@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! # allconcur-baselines — what AllConcur is measured against
+//!
+//! The paper's evaluation (§5) compares AllConcur with two baselines, both
+//! rebuilt here over the *same* simulated LogGP network as AllConcur
+//! itself, so the Fig. 10 comparison is apples-to-apples:
+//!
+//! * [`leader`] — **leader-based atomic broadcast** in the deployment of
+//!   §4.5/Fig. 1a: `n` servers send their updates to the leader of a
+//!   small replication group (size 5, enough for 6-nines — §5); the
+//!   leader replicates for reliability, then disseminates every update to
+//!   every server. This is the Libpaxos stand-in: it exhibits the leader's
+//!   `O(n²)` work bottleneck and carries a configurable per-message
+//!   software overhead calibrated to Libpaxos-class implementations.
+//! * [`allgather`] — **unreliable agreement** à la `MPI_Allgather`
+//!   (recursive doubling and ring variants): every server ends up with
+//!   every message, but a single failure loses data. AllConcur's
+//!   fault-tolerance overhead (the "58%" of §5) is measured against this
+//!   floor.
+//!
+//! Both baselines also come with in-memory correctness tests (total order
+//! for the leader protocol; completeness for allgather).
+
+pub mod allgather;
+pub mod leader;

@@ -1,0 +1,128 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **overlay family** — GS(n,d) vs binomial vs complete digraph at the
+//!   same n: GS buys the same agreement latency class with far less
+//!   redundancy (work ∝ d);
+//! * **failure-detector mode** — `P` vs `◇P` (the FWD/BWD majority gate
+//!   costs one extra flood in each direction);
+//! * **detection delay** — with early termination, a crashy round's
+//!   latency is `≈ Δ_to + D sweeps`, not the worst-case
+//!   `f + D_f` windows: sweeping `Δ_to` shows the linear dependence;
+//! * **batching factor** — the Fig. 10 axis at micro scale.
+
+use allconcur_core::batch::encode_fixed;
+use allconcur_core::config::FdMode;
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_graph::standard::complete_digraph;
+use allconcur_graph::Digraph;
+use allconcur_sim::failure::FailurePlan;
+use allconcur_sim::{NetworkModel, SimCluster, SimTime};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn payloads(n: usize) -> Vec<Bytes> {
+    (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect()
+}
+
+fn run_once(graph: Digraph, fd_mode: FdMode, payloads: &[Bytes]) -> SimTime {
+    let mut cluster = SimCluster::builder(graph)
+        .network(NetworkModel::ib_verbs())
+        .fd_mode(fd_mode)
+        .build();
+    cluster.run_round(payloads).unwrap().agreement_latency()
+}
+
+/// Overlay family at n = 16: simulated agreement latency (the metric the
+/// protocol itself optimises; wall time of the bench is the DES cost).
+fn ablate_overlay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/overlay_n16");
+    let ps = payloads(16);
+    for (name, graph) in [
+        ("gs_d4", gs_digraph(16, 4).unwrap()),
+        ("binomial_d9", binomial_graph(16)),
+        ("complete_d15", complete_digraph(16)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter_batched(
+                || g.clone(),
+                |g| run_once(g, FdMode::Perfect, &ps),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// `P` vs `◇P`: the cost of the surviving-partition gate.
+fn ablate_fd_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/fd_mode_n16");
+    let ps = payloads(16);
+    for (name, mode) in [("perfect", FdMode::Perfect), ("eventually_perfect", FdMode::EventuallyPerfect)]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter_batched(
+                || gs_digraph(16, 4).unwrap(),
+                |g| run_once(g, mode, &ps),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// One crash per round, sweeping the FD detection delay: early
+/// termination makes round latency track Δ_to linearly (DES wall time is
+/// roughly constant; the *simulated* latency is the interesting output,
+/// asserted in tests — here we pin the DES cost).
+fn ablate_detection_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/detection_delay_us");
+    let ps = payloads(16);
+    for delay_us in [20u64, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(delay_us), &delay_us, |b, &delay| {
+            b.iter_batched(
+                || {
+                    SimCluster::builder(gs_digraph(16, 4).unwrap())
+                        .network(NetworkModel::ib_verbs())
+                        .failures(FailurePlan::none().fail_at(15, SimTime::from_ns(1)))
+                        .fd_detection_delay(SimTime::from_us(delay))
+                        .build()
+                },
+                |mut cluster| cluster.run_round(&ps).unwrap().agreement_latency(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Batching factor at micro scale: protocol cost per round as messages
+/// grow from 128 B to 32 KiB.
+fn ablate_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/batch_factor_n8");
+    group.sample_size(30);
+    for factor in [16usize, 256, 4096] {
+        let ps: Vec<Bytes> = (0..8).map(|_| encode_fixed(factor, 8, 0xAA)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            b.iter_batched(
+                || {
+                    SimCluster::builder(gs_digraph(8, 3).unwrap())
+                        .network(NetworkModel::tcp_cluster())
+                        .build()
+                },
+                |mut cluster| cluster.run_round(&ps).unwrap().agreement_latency(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_overlay,
+    ablate_fd_mode,
+    ablate_detection_delay,
+    ablate_batch_size
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks of the digraph substrate: GS(n,d) construction
+//! (needed at every reconfiguration), diameter, connectivity, and the
+//! §4.2.3 min-sum disjoint-paths heuristic.
+
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::choose_gs_degree;
+use allconcur_graph::connectivity::vertex_connectivity;
+use allconcur_graph::disjoint_paths::min_sum_disjoint_paths;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_graph::reliability::ReliabilityModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_gs_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/gs_construction");
+    for (n, d) in [(64usize, 5usize), (256, 7), (1024, 11)] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(n, d), |b, &(n, d)| {
+            b.iter(|| gs_digraph(n, d).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_binomial_construction(c: &mut Criterion) {
+    c.bench_function("graphs/binomial_1024", |b| {
+        b.iter(|| binomial_graph(1024));
+    });
+}
+
+fn bench_diameter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphs/diameter");
+    for (n, d) in [(64usize, 5usize), (256, 7)] {
+        let g = gs_digraph(n, d).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| g.diameter().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let g = gs_digraph(22, 4).unwrap();
+    c.bench_function("graphs/vertex_connectivity_gs22", |b| {
+        b.iter(|| vertex_connectivity(&g));
+    });
+}
+
+fn bench_disjoint_paths(c: &mut Criterion) {
+    let g = binomial_graph(12);
+    c.bench_function("graphs/min_sum_disjoint_paths_binomial12", |b| {
+        b.iter(|| min_sum_disjoint_paths(&g, 0, 3, 6).unwrap());
+    });
+}
+
+fn bench_degree_selection(c: &mut Criterion) {
+    let model = ReliabilityModel::paper_default();
+    c.bench_function("graphs/choose_gs_degree_4096", |b| {
+        b.iter(|| choose_gs_degree(4096, &model, 6.0).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gs_construction,
+    bench_binomial_construction,
+    bench_diameter,
+    bench_connectivity,
+    bench_disjoint_paths,
+    bench_degree_selection
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Microbenchmarks of the protocol hot path: state-machine event
+//! handling, tracking-digraph updates under failure notifications, and
+//! the wire codec.
+
+use allconcur_core::config::Config;
+use allconcur_core::message::Message;
+use allconcur_core::server::{Event, Server};
+use allconcur_core::tracking::{TrackingContext, TrackingDigraph};
+use allconcur_graph::gs::gs_digraph;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+/// Drive one full failure-free round through n in-memory servers,
+/// hand-delivering every message — pure state-machine cost, no network
+/// model.
+fn bench_full_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/full_round");
+    for n in [8usize, 16, 32, 64] {
+        let d = if n < 16 {
+            3
+        } else if n < 64 {
+            4
+        } else {
+            5
+        };
+        let cfg = Config::new(Arc::new(gs_digraph(n, d).unwrap()), d - 1);
+        group.throughput(Throughput::Elements((n * n * d) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let servers: Vec<Server> =
+                        (0..n as u32).map(|i| Server::new(cfg.clone(), i)).collect();
+                    servers
+                },
+                |mut servers| {
+                    let mut inbox: std::collections::VecDeque<(u32, u32, Message)> =
+                        std::collections::VecDeque::new();
+                    for i in 0..n as u32 {
+                        for a in servers[i as usize]
+                            .handle(Event::ABroadcast(Bytes::from_static(&[0u8; 64])))
+                        {
+                            if let allconcur_core::server::Action::Send { to, msg } = a {
+                                inbox.push_back((i, to, msg));
+                            }
+                        }
+                    }
+                    while let Some((from, to, msg)) = inbox.pop_front() {
+                        for a in servers[to as usize].handle(Event::Receive { from, msg }) {
+                            if let allconcur_core::server::Action::Send { to: t, msg } = a {
+                                inbox.push_back((to, t, msg));
+                            }
+                        }
+                    }
+                    servers
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+struct StaticCtx {
+    succ: Vec<Vec<u32>>,
+    fails: std::collections::BTreeSet<(u32, u32)>,
+}
+
+impl TrackingContext for StaticCtx {
+    fn successors(&self, p: u32) -> &[u32] {
+        &self.succ[p as usize]
+    }
+    fn is_known_failed(&self, p: u32) -> bool {
+        self.fails.iter().any(|&(f, _)| f == p)
+    }
+    fn has_notification(&self, failed: u32, detector: u32) -> bool {
+        self.fails.contains(&(failed, detector))
+    }
+}
+
+/// Tracking-digraph expansion + pruning for one failure notification on a
+/// GS(64,5) overlay — the per-notification cost in Algorithm 1's
+/// lines 24–40.
+fn bench_tracking_update(c: &mut Criterion) {
+    let graph = gs_digraph(64, 5).unwrap();
+    let succ: Vec<Vec<u32>> = (0..64u32).map(|v| graph.successors(v).to_vec()).collect();
+    let mut fails = std::collections::BTreeSet::new();
+    fails.insert((0u32, 1u32));
+    let ctx = StaticCtx { succ, fails };
+    c.bench_function("protocol/tracking_first_notification", |b| {
+        b.iter_batched(
+            || TrackingDigraph::new(0),
+            |mut g| {
+                g.on_failure(0, 1, &ctx);
+                g
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Wire codec throughput for the hot message kinds.
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol/codec");
+    let bcast = Message::Bcast { round: 42, origin: 7, payload: Bytes::from(vec![0xAB; 1024]) };
+    let fail = Message::Fail { round: 42, failed: 3, detector: 9 };
+    for (name, msg) in [("bcast_1k", &bcast), ("fail", &fail)] {
+        group.throughput(Throughput::Bytes(msg.encoded_len() as u64));
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| std::hint::black_box(msg.to_bytes()));
+        });
+        let bytes = msg.to_bytes();
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| {
+                let mut buf = bytes.clone();
+                std::hint::black_box(Message::decode(&mut buf).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_round, bench_tracking_update, bench_codec);
+criterion_main!(benches);

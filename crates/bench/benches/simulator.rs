@@ -1,0 +1,59 @@
+//! Benchmarks of the discrete-event simulator itself: events per second
+//! for full agreement rounds — the quantity that bounds how large a
+//! deployment the figure binaries can sweep.
+
+use allconcur_bench::workloads::paper_overlay;
+use allconcur_sim::{NetworkModel, SimCluster};
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+fn bench_sim_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/round");
+    group.sample_size(20);
+    for n in [8usize, 32, 64] {
+        let graph = paper_overlay(n);
+        let d = graph.degree();
+        let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect();
+        // Each round moves n²·d messages, two NIC events each.
+        group.throughput(Throughput::Elements((2 * n * n * d) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || SimCluster::builder(graph.clone()).network(NetworkModel::ib_verbs()).build(),
+                |mut cluster| {
+                    cluster.run_round(&payloads).unwrap();
+                    cluster
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_round_with_crash(c: &mut Criterion) {
+    let n = 16usize;
+    let graph = paper_overlay(n);
+    let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect();
+    c.bench_function("simulator/round_with_crash_n16", |b| {
+        b.iter_batched(
+            || {
+                SimCluster::builder(graph.clone())
+                    .network(NetworkModel::ib_verbs())
+                    .failures(
+                        allconcur_sim::failure::FailurePlan::none()
+                            .fail_after_sends((n - 1) as u32, 2),
+                    )
+                    .fd_detection_delay(allconcur_sim::SimTime::from_us(30))
+                    .build()
+            },
+            |mut cluster| {
+                cluster.run_round(&payloads).unwrap();
+                cluster
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_sim_round, bench_sim_round_with_crash);
+criterion_main!(benches);

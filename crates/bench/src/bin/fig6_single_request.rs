@@ -1,0 +1,77 @@
+//! Fig. 6 — agreement latency for a single 64-byte request vs system
+//! size, on the IBV (6a) and TCP (6b) network profiles, next to the LogP
+//! work and depth models of §4.
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin fig6_single_request [--csv] [--reps N]
+//! ```
+//!
+//! Paper shape to check: measured latency between the depth model (lower
+//! envelope at small n) and the work model (dominant at large n); TCP
+//! ≈ 3× IBV.
+
+use allconcur_bench::output::{arg_value, fmt_time, has_flag, Table};
+use allconcur_bench::workloads::{paper_overlay, single_request_round};
+use allconcur_sim::network::Jitter;
+use allconcur_sim::stats;
+use allconcur_sim::{logp, NetworkModel, SimCluster, SimTime};
+
+const SIZES: &[usize] = &[6, 8, 11, 16, 22, 32, 45, 64, 90];
+
+fn run_profile(name: &str, base: NetworkModel, reps: usize, csv: bool) {
+    let mut table = Table::new(vec![
+        "n",
+        "d",
+        "D",
+        "median",
+        "ci_lo",
+        "ci_hi",
+        "work_logp",
+        "depth_logp",
+    ]);
+    for &n in SIZES {
+        let graph = paper_overlay(n);
+        let d = graph.degree();
+        let diameter = graph.diameter().expect("connected");
+        // Measurement noise: a small exponential latency jitter gives the
+        // median a real confidence interval, like the paper's error bars.
+        let jittered = base.with_jitter(Jitter::Exponential {
+            mean_ns: (base.latency.as_ns() / 20).max(10) as f64,
+        });
+        let mut lat_us = Vec::with_capacity(reps);
+        let mut cluster = SimCluster::builder(graph.clone()).network(jittered).seed(42).build();
+        for rep in 0..reps {
+            let out = single_request_round(&mut cluster, (rep % n) as u32, 64)
+                .expect("failure-free round");
+            lat_us.push(out.agreement_latency().as_us_f64());
+        }
+        let ci = stats::median_ci95(&lat_us);
+        let work = logp::work_bound(n, d, &base);
+        let depth = logp::depth_bound(diameter, d, &base);
+        table.row(vec![
+            n.to_string(),
+            d.to_string(),
+            diameter.to_string(),
+            fmt_time(SimTime::from_secs_f64(ci.median / 1e6)),
+            fmt_time(SimTime::from_secs_f64(ci.lo / 1e6)),
+            fmt_time(SimTime::from_secs_f64(ci.hi / 1e6)),
+            fmt_time(work),
+            fmt_time(depth),
+        ]);
+    }
+    println!("Fig. 6{name} — single 64-byte request agreement latency");
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+    println!();
+}
+
+fn main() {
+    let reps: usize = arg_value("--reps").and_then(|v| v.parse().ok()).unwrap_or(15);
+    let csv = has_flag("--csv");
+    println!("LogP params — IBV: L=1.25µs o=0.38µs; TCP: L=12µs o=1.8µs (paper §5)\n");
+    run_profile("a (AllConcur-IBV)", NetworkModel::ib_verbs(), reps, csv);
+    run_profile("b (AllConcur-TCP)", NetworkModel::tcp_cluster(), reps, csv);
+}

@@ -1,0 +1,93 @@
+//! Fig. 7 — agreement throughput during membership changes: servers
+//! failing (F) and joining (J), 32 servers, 10 000 64-byte requests per
+//! server per second, `Δ_hb = 10 ms`, `Δ_to = 100 ms`.
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin fig7_membership [--csv] [--duration SECS]
+//! ```
+//!
+//! Paper shape to check: a failure causes ≈190 ms of unavailability
+//! (FD timeout + recovery) followed by a throughput spike (accumulated
+//! requests drain), then a plateau at the reduced membership's rate;
+//! joins cause a shorter (≈80 ms) dip and restore the plateau.
+
+use allconcur_bench::output::{arg_value, has_flag, Table};
+use allconcur_bench::workloads::{ChurnEvent, ChurnTimeline};
+use allconcur_sim::stats::bin_series;
+use allconcur_sim::SimTime;
+
+fn main() {
+    let duration: f64 = arg_value("--duration").and_then(|v| v.parse().ok()).unwrap_or(1.6);
+    // Scaled-down version of the paper's F J FF JJ FFF JJJ sequence (the
+    // paper spreads it over ~70 s of wall time; the shape is per-event).
+    let events = vec![
+        ChurnEvent::Fail { at: 0.15, count: 1 },
+        ChurnEvent::Join { at: 0.35, count: 1 },
+        ChurnEvent::Fail { at: 0.55, count: 1 },
+        ChurnEvent::Fail { at: 0.65, count: 1 },
+        ChurnEvent::Join { at: 0.80, count: 2 },
+        ChurnEvent::Fail { at: 1.00, count: 1 },
+        ChurnEvent::Fail { at: 1.10, count: 1 },
+        ChurnEvent::Fail { at: 1.20, count: 1 },
+        ChurnEvent::Join { at: 1.40, count: 3 },
+    ];
+    let timeline = ChurnTimeline {
+        n: 32,
+        rate_per_server: 10_000.0,
+        request_size: 64,
+        duration,
+        events: events.clone(),
+        fd_timeout: SimTime::from_ms(100),
+        join_pause: SimTime::from_ms(80),
+    };
+    let samples = timeline.run(1);
+
+    // Fig. 7 bins into 10 ms intervals; print 50 ms rows to keep the
+    // table readable (CSV emits the full 10 ms series).
+    let bins = bin_series(&samples, 0.010, duration);
+    let csv = has_flag("--csv");
+    let mut table = Table::new(vec!["time_s", "throughput_req_per_s", "events"]);
+    let step = if csv { 1 } else { 5 };
+    for (i, chunk) in bins.chunks(step).enumerate() {
+        let t0 = i as f64 * 0.010 * step as f64;
+        let reqs: f64 = chunk.iter().sum();
+        let thr = reqs / (0.010 * chunk.len() as f64);
+        let marks: Vec<String> = events
+            .iter()
+            .filter_map(|e| match *e {
+                ChurnEvent::Fail { at, count } if at >= t0 && at < t0 + 0.010 * step as f64 => {
+                    Some(format!("F×{count}"))
+                }
+                ChurnEvent::Join { at, count } if at >= t0 && at < t0 + 0.010 * step as f64 => {
+                    Some(format!("J×{count}"))
+                }
+                _ => None,
+            })
+            .collect();
+        table.row(vec![format!("{t0:.2}"), format!("{thr:.0}"), marks.join(" ")]);
+    }
+    println!("Fig. 7 — throughput under membership changes (n=32, 10k req/s/server, 64B)");
+    println!("Δ_hb=10ms Δ_to=100ms; F = failure, J = join\n");
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+
+    // Unavailability summary: longest delivery gap around each event.
+    println!("\nunavailability (longest inter-delivery gap within ±250ms of each event):");
+    for e in &events {
+        let (at, label) = match *e {
+            ChurnEvent::Fail { at, count } => (at, format!("F×{count}@{at:.2}s")),
+            ChurnEvent::Join { at, count } => (at, format!("J×{count}@{at:.2}s")),
+        };
+        let mut window: Vec<f64> = samples
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|&t| t >= at - 0.05 && t <= at + 0.45)
+            .collect();
+        window.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let gap = window.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
+        println!("  {label}: {:.0} ms", gap * 1e3);
+    }
+}

@@ -1,0 +1,93 @@
+//! Table 2 — space complexity per server of Algorithm 1's data
+//! structures, measured live against the theoretical bounds:
+//!
+//! | structure | bound      |
+//! |-----------|-----------|
+//! | `G`       | `O(n·d)`  |
+//! | `M_i`     | `O(n)`    |
+//! | `F_i`     | `O(f·d)`  |
+//! | `g_i`     | `O(f²·d)` |
+//! | `Q`       | `O(f·d)`  |
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin table2_space [--csv]
+//! ```
+//!
+//! Method: run GS(64,5) rounds with 0..4 injected crashes; the harness
+//! folds per-server [`allconcur_core::server::SpaceUsage`] into running
+//! peaks after every protocol event, so the mid-round maxima (before
+//! early termination clears the digraphs) are what gets reported.
+
+use allconcur_bench::output::{has_flag, Table};
+use allconcur_bench::workloads::paper_overlay;
+use allconcur_core::ServerId;
+use allconcur_sim::failure::FailurePlan;
+use allconcur_sim::{NetworkModel, SimCluster, SimTime};
+use bytes::Bytes;
+
+fn main() {
+    let csv = has_flag("--csv");
+    let n = 64usize;
+    let graph = paper_overlay(n);
+    let d = graph.degree();
+    let mut table = Table::new(vec![
+        "f",
+        "graph_bytes",
+        "max_msgs(M)",
+        "max_fails(F)",
+        "max_track_digraphs",
+        "max_track_vertices",
+        "peak_1digraph_vertices",
+        "bound_F(f·d)",
+        "bound_g(f²·d)",
+    ]);
+    for f in 0..=4usize {
+        let mut plan = FailurePlan::none();
+        for victim in 0..f {
+            // Crash mid-fan-out: after `victim+1` sends, the §2.3 regime
+            // that actually grows the tracking digraphs.
+            plan = plan.fail_after_sends((n - 1 - victim) as ServerId, (victim + 1) as u64);
+        }
+        let mut cluster = SimCluster::builder(graph.clone())
+            .network(NetworkModel::ib_verbs())
+            .failures(plan)
+            .fd_detection_delay(SimTime::from_us(50))
+            .track_space(true)
+            .build();
+        let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect();
+        cluster.run_round(&payloads).expect("f < k(G) keeps liveness");
+        let mut max_msgs = 0;
+        let mut max_fails = 0;
+        let mut max_digraphs = 0;
+        let mut max_vertices = 0;
+        let mut peak_vertices = 0;
+        let mut graph_bytes = 0;
+        for s in cluster.live_servers() {
+            let u = cluster.space_peaks(s);
+            max_msgs = max_msgs.max(u.messages);
+            max_fails = max_fails.max(u.fail_notifications);
+            max_digraphs = max_digraphs.max(u.tracking_digraphs);
+            max_vertices = max_vertices.max(u.tracking_vertices);
+            peak_vertices = peak_vertices.max(u.peak_tracking_vertices);
+            graph_bytes = graph_bytes.max(u.graph_bytes);
+        }
+        table.row(vec![
+            f.to_string(),
+            graph_bytes.to_string(),
+            max_msgs.to_string(),
+            max_fails.to_string(),
+            max_digraphs.to_string(),
+            max_vertices.to_string(),
+            peak_vertices.to_string(),
+            (f * d).to_string(),
+            (f * f * d).to_string(),
+        ]);
+    }
+    println!("Table 2 — measured space per server (event-level peaks), GS({n},{d}), f mid-broadcast crashes");
+    println!("(G is O(n·d); M is O(n); F is O(f·d); tracking digraphs are O(f²·d) total with only O(f) growing past one vertex)\n");
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

@@ -1,0 +1,71 @@
+//! Real-sockets agreement latency on loopback — the closest this
+//! repository gets to the paper's AllConcur-TCP hardware measurements
+//! (Fig. 6b), and a sanity check that the production transport keeps up
+//! with the simulator's predictions qualitatively.
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin tcp_latency [--csv] [--rounds N] [--sizes 4,8,16]
+//! ```
+//!
+//! Numbers here reflect loopback + OS scheduling on the host machine,
+//! not a cluster fabric: expect higher medians and much wider tails than
+//! the simulated IB-hsw figures. Shape to check: latency grows with n,
+//! dominated by per-server work (n·d message handlings per round).
+
+use allconcur_bench::output::{arg_value, has_flag, Table};
+use allconcur_net::runtime::RuntimeOptions;
+use allconcur_net::LocalCluster;
+use allconcur_sim::stats;
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let rounds: usize = arg_value("--rounds").and_then(|v| v.parse().ok()).unwrap_or(30);
+    let sizes: Vec<usize> = arg_value("--sizes")
+        .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| vec![4, 8, 16]);
+    let csv = has_flag("--csv");
+
+    let mut table = Table::new(vec!["n", "d", "median_us", "ci_lo_us", "ci_hi_us", "p95_us"]);
+    for &n in &sizes {
+        let graph = allconcur_bench::workloads::paper_overlay(n);
+        let d = graph.degree();
+        let cluster = LocalCluster::spawn(graph, RuntimeOptions::default())
+            .expect("loopback cluster");
+        let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect();
+
+        // Warm-up: connection buffers, allocator, scheduler.
+        for _ in 0..3 {
+            cluster.run_round(&payloads, Duration::from_secs(10));
+        }
+        let mut lat_us = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            let deliveries = cluster.run_round(&payloads, Duration::from_secs(10));
+            let elapsed = t0.elapsed();
+            assert!(
+                deliveries.iter().all(Option::is_some),
+                "round timed out at n={n}"
+            );
+            lat_us.push(elapsed.as_secs_f64() * 1e6);
+        }
+        cluster.shutdown();
+        let ci = stats::median_ci95(&lat_us);
+        let p95 = stats::quantile(&lat_us, 0.95);
+        table.row(vec![
+            n.to_string(),
+            d.to_string(),
+            format!("{:.0}", ci.median),
+            format!("{:.0}", ci.lo),
+            format!("{:.0}", ci.hi),
+            format!("{p95:.0}"),
+        ]);
+    }
+    println!("Real-TCP loopback agreement latency (64-byte payloads, {rounds} rounds)");
+    println!("(host-machine numbers; compare shapes, not absolutes, with Fig. 6b)\n");
+    if csv {
+        print!("{}", table.render_csv());
+    } else {
+        print!("{}", table.render());
+    }
+}

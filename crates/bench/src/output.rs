@@ -1,0 +1,138 @@
+//! Minimal aligned-column table printing for the figure/table binaries.
+//!
+//! The binaries print both a human-readable table and (behind `--csv`)
+//! machine-readable CSV so the series can be replotted against the
+//! paper's figures.
+
+/// A simple column-aligned table accumulated row by row.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human-friendly time formatting (µs under 1 ms, ms under 1 s).
+pub fn fmt_time(t: allconcur_sim::SimTime) -> String {
+    let ns = t.as_ns();
+    if ns < 1_000_000 {
+        format!("{:.1}µs", t.as_us_f64())
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", t.as_ms_f64())
+    } else {
+        format!("{:.3}s", t.as_secs_f64())
+    }
+}
+
+/// Gbps from bytes over a simulated duration.
+pub fn gbps(bytes: f64, time: allconcur_sim::SimTime) -> f64 {
+    bytes * 8.0 / time.as_secs_f64() / 1e9
+}
+
+/// Minimal CLI flag parsing for the figure binaries: `has_flag("--csv")`
+/// and `arg_value("--rounds")` over `std::env::args`.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Value of `--name value` or `--name=value`, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(rest) = a.strip_prefix(&format!("{name}=")) {
+            return Some(rest.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allconcur_sim::SimTime;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["n", "latency"]);
+        t.row(vec!["8", "35µs"]);
+        t.row(vec!["64", "0.75ms"]);
+        let s = t.render();
+        assert!(s.contains(" n  latency"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn csv_renders() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.render_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(SimTime::from_us(35)), "35.0µs");
+        assert_eq!(fmt_time(SimTime::from_ms(2)), "2.00ms");
+        assert_eq!(fmt_time(SimTime::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn gbps_math() {
+        // 1 GB in 1 s = 8 Gbps.
+        assert!((gbps(1e9, SimTime::from_secs(1)) - 8.0).abs() < 1e-9);
+    }
+}

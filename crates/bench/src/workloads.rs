@@ -1,0 +1,422 @@
+//! Workload generators for the evaluation scenarios (§1.1, §5).
+//!
+//! All workloads drive a [`SimCluster`] through consecutive agreement
+//! rounds with the paper's buffering rule: "requests are buffered until
+//! the current agreement round is completed; then, they are packed into a
+//! message that is A-broadcast in the next round". Request arrival is
+//! modelled fluidly — `rate × round_duration` requests accumulate per
+//! server per round (with fractional carry), which reproduces both the
+//! flat low-rate latency plateau and the unstable blow-up beyond the
+//! saturation rate that Fig. 8 discusses.
+
+use allconcur_core::batch::encode_fixed;
+use allconcur_core::ServerId;
+use allconcur_graph::{choose_gs_degree, ReliabilityModel};
+use allconcur_sim::harness::{RoundOutcome, SimCluster, SimError};
+use allconcur_sim::stats;
+use allconcur_sim::SimTime;
+use bytes::Bytes;
+
+/// The paper's reliability target for overlay selection (6-nines).
+pub const TARGET_NINES: f64 = 6.0;
+
+/// Pick the Table 3 overlay for `n` servers (GS(n,d) with the 6-nines
+/// degree; complete digraph below the GS threshold).
+pub fn paper_overlay(n: usize) -> allconcur_graph::Digraph {
+    allconcur_core::membership::build_overlay(n, &ReliabilityModel::paper_default(), TARGET_NINES)
+}
+
+/// Degree used by [`paper_overlay`] (for reporting).
+pub fn paper_degree(n: usize) -> usize {
+    if n >= 6 {
+        choose_gs_degree(n, &ReliabilityModel::paper_default(), TARGET_NINES).unwrap_or(n - 1)
+    } else {
+        n - 1
+    }
+}
+
+/// A constant-rate request workload.
+#[derive(Debug, Clone, Copy)]
+pub struct RateWorkload {
+    /// Request size in bytes (64 for travel, 40 for games/exchange, 8 for
+    /// the throughput sweeps).
+    pub request_size: usize,
+    /// Requests generated per server per second.
+    pub rate_per_server: f64,
+    /// Measured rounds (after warm-up).
+    pub rounds: usize,
+    /// Warm-up rounds excluded from statistics.
+    pub warmup: usize,
+}
+
+/// Result of a rate-driven run.
+#[derive(Debug, Clone)]
+pub struct RateOutcome {
+    /// Per-round agreement latencies (post-warm-up).
+    pub latencies: Vec<SimTime>,
+    /// Median agreement latency.
+    pub median_latency: SimTime,
+    /// 95% nonparametric CI around the median.
+    pub ci: (SimTime, SimTime),
+    /// Requests agreed per second over the measured window.
+    pub request_throughput: f64,
+    /// The offered rate exceeded the agreement capacity: batch sizes grew
+    /// monotonically and the run was cut short (Fig. 8's instability).
+    pub unstable: bool,
+}
+
+/// Drive `cluster` with a constant request rate per server.
+pub fn run_rate_workload(
+    cluster: &mut SimCluster,
+    w: &RateWorkload,
+) -> Result<RateOutcome, SimError> {
+    let n = cluster.n();
+    let mut carry = vec![0.0f64; n];
+    let mut batch = vec![1usize; n]; // bootstrap with one request each
+    let mut latencies = Vec::with_capacity(w.rounds);
+    let mut requests_done = 0u64;
+    let mut measured_time = SimTime::ZERO;
+    let mut unstable = false;
+    let blowup_limit = 1usize << 18; // 256Ki requests per batch: declare unstable
+    let mut baseline_latency: Option<SimTime> = None;
+
+    for round in 0..(w.warmup + w.rounds) {
+        let payloads: Vec<Bytes> = (0..n)
+            .map(|i| {
+                if cluster.is_crashed(i as ServerId) {
+                    Bytes::new()
+                } else {
+                    encode_fixed(batch[i], w.request_size, round as u8)
+                }
+            })
+            .collect();
+        let out = cluster.run_round(&payloads)?;
+        let dt = out.agreement_latency();
+        let base = *baseline_latency.get_or_insert(dt);
+        if round >= w.warmup {
+            latencies.push(dt);
+            measured_time += dt;
+            requests_done += batch.iter().map(|&b| b as u64).sum::<u64>();
+        }
+        // Fluid arrivals during the round just completed.
+        let dt_s = dt.as_secs_f64();
+        for i in 0..n {
+            let gen = w.rate_per_server * dt_s + carry[i];
+            batch[i] = gen as usize;
+            carry[i] = gen - batch[i] as f64;
+            if batch[i] > blowup_limit {
+                unstable = true;
+            }
+        }
+        // Geometric latency growth = offered rate beyond capacity; cut
+        // the run before the batches eat the machine.
+        if dt.as_ns() > base.as_ns().saturating_mul(50) {
+            unstable = true;
+        }
+        if unstable {
+            break;
+        }
+    }
+
+    let lat_us: Vec<f64> = latencies.iter().map(|t| t.as_us_f64()).collect();
+    let ci = if lat_us.is_empty() {
+        stats::MedianCi { median: 0.0, lo: 0.0, hi: 0.0 }
+    } else {
+        stats::median_ci95(&lat_us)
+    };
+    Ok(RateOutcome {
+        median_latency: SimTime::from_ns((ci.median * 1e3) as u64),
+        ci: (
+            SimTime::from_ns((ci.lo * 1e3) as u64),
+            SimTime::from_ns((ci.hi * 1e3) as u64),
+        ),
+        latencies,
+        request_throughput: if measured_time > SimTime::ZERO {
+            requests_done as f64 / measured_time.as_secs_f64()
+        } else {
+            0.0
+        },
+        unstable,
+    })
+}
+
+/// Fixed-batch throughput run (Fig. 10): every server A-broadcasts
+/// `batch_factor` requests of `request_size` bytes per round.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputWorkload {
+    /// Requests per message (the x-axis of Fig. 10).
+    pub batch_factor: usize,
+    /// Request size (8 bytes in Fig. 10).
+    pub request_size: usize,
+    /// Rounds to run (median taken).
+    pub rounds: usize,
+}
+
+/// Result of a throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputOutcome {
+    /// Median round duration.
+    pub round_time: SimTime,
+    /// Agreement throughput in Gbps: `n × batch_bytes × 8 / round_time`
+    /// (the amount of data agreed per second, §5).
+    pub agreement_gbps: f64,
+    /// Aggregated throughput (`× n` — every server delivers the data).
+    pub aggregated_gbps: f64,
+}
+
+/// Run the Fig. 10 fixed-batch loop on `cluster`.
+pub fn run_throughput(
+    cluster: &mut SimCluster,
+    w: &ThroughputWorkload,
+) -> Result<ThroughputOutcome, SimError> {
+    let n = cluster.n();
+    let batch_bytes = w.batch_factor * w.request_size;
+    let payloads: Vec<Bytes> =
+        (0..n).map(|i| encode_fixed(w.batch_factor, w.request_size, i as u8)).collect();
+    let mut times = Vec::with_capacity(w.rounds);
+    for _ in 0..w.rounds {
+        let out = cluster.run_round(&payloads)?;
+        times.push(out.agreement_latency().as_us_f64());
+    }
+    let round_time = SimTime::from_ns((stats::median(&times) * 1e3) as u64);
+    let agreed_bits = (n * batch_bytes) as f64 * 8.0;
+    let agreement_gbps = agreed_bits / round_time.as_secs_f64() / 1e9;
+    Ok(ThroughputOutcome {
+        round_time,
+        agreement_gbps,
+        aggregated_gbps: agreement_gbps * n as f64,
+    })
+}
+
+/// One membership-timeline sample: requests delivered at a given time.
+pub type ThroughputSample = (f64, f64);
+
+/// Membership-churn event (Fig. 7): F and J markers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChurnEvent {
+    /// `count` servers crash at time `at` (seconds).
+    Fail {
+        /// Event time in simulated seconds.
+        at: f64,
+        /// Servers crashing simultaneously.
+        count: usize,
+    },
+    /// `count` servers join at time `at` (seconds).
+    Join {
+        /// Event time in simulated seconds.
+        at: f64,
+        /// Servers joining.
+        count: usize,
+    },
+}
+
+/// Fig. 7's scenario: constant per-server request rate under a scripted
+/// fail/join sequence; returns `(time, requests-delivered)` samples for
+/// binning plus the events actually applied.
+///
+/// Joins rebuild the overlay (a fresh GS over the grown membership —
+/// §3's agreed reconfiguration) after a connection-establishment pause;
+/// failures rely on the FD (`Δ_to`) and the protocol's failed-tagging.
+pub struct ChurnTimeline {
+    /// Initial server count (32 in Fig. 7).
+    pub n: usize,
+    /// Requests per server per second (10 000 in Fig. 7).
+    pub rate_per_server: f64,
+    /// Request size (64 B in Fig. 7).
+    pub request_size: usize,
+    /// Total simulated duration in seconds.
+    pub duration: f64,
+    /// The F/J script.
+    pub events: Vec<ChurnEvent>,
+    /// FD timeout `Δ_to` (100 ms in Fig. 7).
+    pub fd_timeout: SimTime,
+    /// Pause while a joiner establishes connections (§5 reports ≈80 ms of
+    /// unavailability per join).
+    pub join_pause: SimTime,
+}
+
+impl ChurnTimeline {
+    /// Run the timeline; returns throughput samples (time in seconds,
+    /// requests delivered at that instant).
+    pub fn run(&self, seed: u64) -> Vec<ThroughputSample> {
+        fn time_of(e: &ChurnEvent) -> f64 {
+            match e {
+                ChurnEvent::Fail { at, .. } | ChurnEvent::Join { at, .. } => *at,
+            }
+        }
+        let mut samples: Vec<ThroughputSample> = Vec::new();
+        let mut n = self.n;
+        let mut pending_events = self.events.clone();
+        pending_events.sort_by(|a, b| time_of(a).partial_cmp(&time_of(b)).expect("no NaN times"));
+
+        let mut cluster = self.make_cluster(n, SimTime::ZERO, seed);
+        let mut carry = vec![0.0f64; n];
+        let mut batch = vec![1usize; n];
+        let mut event_idx = 0usize;
+
+        while cluster.clock().as_secs_f64() < self.duration {
+            // Apply due events.
+            while event_idx < pending_events.len() {
+                let due = time_of(&pending_events[event_idx]);
+                if due > cluster.clock().as_secs_f64() {
+                    break;
+                }
+                match pending_events[event_idx] {
+                    ChurnEvent::Fail { count, .. } => {
+                        // Crash the highest-numbered live servers.
+                        let live = cluster.live_servers();
+                        for &victim in live.iter().rev().take(count) {
+                            cluster.schedule_crash(cluster.clock(), victim);
+                        }
+                    }
+                    ChurnEvent::Join { count, .. } => {
+                        // Agreed reconfiguration: fresh overlay over the
+                        // surviving members plus the joiners, after the
+                        // connection-establishment pause.
+                        let survivors = cluster.live_servers().len();
+                        n = survivors + count;
+                        let resume = cluster.clock() + self.join_pause;
+                        cluster = self.make_cluster(n, resume, seed.wrapping_add(event_idx as u64));
+                        carry = vec![0.0; n];
+                        batch = vec![1; n];
+                    }
+                }
+                event_idx += 1;
+            }
+
+            let payloads: Vec<Bytes> = (0..n)
+                .map(|i| {
+                    if cluster.is_crashed(i as ServerId) {
+                        Bytes::new()
+                    } else {
+                        encode_fixed(batch[i], self.request_size, 0)
+                    }
+                })
+                .collect();
+            let Ok(out) = cluster.run_round(&payloads) else {
+                break; // overlay lost liveness (too many failures)
+            };
+            let delivered: u64 = cluster
+                .live_servers()
+                .first()
+                .and_then(|&s| out.delivered.get(&s))
+                .map(|msgs| {
+                    msgs.iter().map(|(_, b)| (b.len() / self.request_size) as u64).sum()
+                })
+                .unwrap_or(0);
+            samples.push((out.end().as_secs_f64(), delivered as f64));
+
+            let dt = out.agreement_latency().as_secs_f64();
+            for i in 0..n {
+                if cluster.is_crashed(i as ServerId) {
+                    batch[i] = 0;
+                    continue;
+                }
+                let gen = self.rate_per_server * dt + carry[i];
+                batch[i] = gen as usize;
+                carry[i] = gen - batch[i] as f64;
+            }
+        }
+        samples
+    }
+
+    fn make_cluster(&self, n: usize, start: SimTime, seed: u64) -> SimCluster {
+        // TCP profile: its ≈250 µs rounds keep the DES event count (and
+        // the binary's wall time) manageable over multi-second timelines;
+        // the failure/join dips are FD-dominated (100 ms ≫ round time) so
+        // the figure's shape is identical on the IBV profile.
+        SimCluster::builder(paper_overlay(n))
+            .network(allconcur_sim::NetworkModel::tcp_cluster())
+            .fd_detection_delay(self.fd_timeout)
+            .seed(seed)
+            .start_clock(start)
+            .build()
+    }
+}
+
+/// Convenience: one failure-free single-payload round (Fig. 6's
+/// single-request benchmark). Returns the round outcome.
+pub fn single_request_round(
+    cluster: &mut SimCluster,
+    sender: ServerId,
+    request_size: usize,
+) -> Result<RoundOutcome, SimError> {
+    let n = cluster.n();
+    let payloads: Vec<Bytes> = (0..n as ServerId)
+        .map(|i| if i == sender { Bytes::from(vec![0xA5; request_size]) } else { Bytes::new() })
+        .collect();
+    cluster.run_round(&payloads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allconcur_sim::NetworkModel;
+
+    fn cluster(n: usize) -> SimCluster {
+        SimCluster::builder(paper_overlay(n)).network(NetworkModel::ib_verbs()).build()
+    }
+
+    #[test]
+    fn paper_overlay_matches_table3() {
+        assert_eq!(paper_degree(8), 3);
+        assert_eq!(paper_degree(64), 5);
+        let g = paper_overlay(32);
+        assert_eq!(g.degree(), 4);
+        assert_eq!(g.order(), 32);
+    }
+
+    #[test]
+    fn low_rate_latency_is_flat() {
+        let mut c = cluster(8);
+        let w = RateWorkload { request_size: 64, rate_per_server: 100.0, rounds: 12, warmup: 3 };
+        let out = run_rate_workload(&mut c, &w).unwrap();
+        assert!(!out.unstable);
+        // At 100 req/s the batches are empty: latency ≈ empty-round time,
+        // well under a millisecond on IBV.
+        assert!(out.median_latency < SimTime::from_ms(1), "{}", out.median_latency);
+    }
+
+    #[test]
+    fn overload_detected_as_unstable() {
+        let mut c = cluster(8);
+        // 10^12 requests/s/server of 64 B is far beyond any capacity.
+        let w = RateWorkload { request_size: 64, rate_per_server: 1e12, rounds: 40, warmup: 0 };
+        let out = run_rate_workload(&mut c, &w).unwrap();
+        assert!(out.unstable, "absurd offered load must blow up");
+    }
+
+    #[test]
+    fn throughput_peaks_with_batching() {
+        let mut tiny = cluster(8);
+        let small = run_throughput(
+            &mut tiny,
+            &ThroughputWorkload { batch_factor: 16, request_size: 8, rounds: 3 },
+        )
+        .unwrap();
+        let mut big = cluster(8);
+        let large = run_throughput(
+            &mut big,
+            &ThroughputWorkload { batch_factor: 1 << 12, request_size: 8, rounds: 3 },
+        )
+        .unwrap();
+        assert!(
+            large.agreement_gbps > 5.0 * small.agreement_gbps,
+            "batching must amortise per-message overhead: {} vs {}",
+            large.agreement_gbps,
+            small.agreement_gbps
+        );
+        assert!((large.aggregated_gbps - 8.0 * large.agreement_gbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_request_has_empty_peers() {
+        let mut c = cluster(8);
+        let out = single_request_round(&mut c, 3, 64).unwrap();
+        let msgs = &out.delivered[&0];
+        assert_eq!(msgs.len(), 8);
+        let nonempty: Vec<_> = msgs.iter().filter(|(_, b)| !b.is_empty()).collect();
+        assert_eq!(nonempty.len(), 1);
+        assert_eq!(nonempty[0].0, 3);
+    }
+}

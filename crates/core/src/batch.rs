@@ -1,0 +1,157 @@
+//! Request batching (§5).
+//!
+//! AllConcur agrees on one message per server per round; applications
+//! buffer individual requests while a round is in flight and pack them
+//! into the next round's message ("the requests are buffered until the
+//! current agreement round is completed; then, they are packed into a
+//! message that is A-broadcast in the next round"). The *batching factor*
+//! — requests per message — is the x-axis of Fig. 10.
+//!
+//! The encoding is length-prefixed requests; for fixed-size requests (the
+//! paper's 8/40/64-byte workloads) [`encode_fixed`] skips the prefixes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A queue of pending requests plus the packing policy.
+#[derive(Debug, Clone, Default)]
+pub struct Batcher {
+    pending: std::collections::VecDeque<Bytes>,
+    pending_bytes: usize,
+    /// Optional cap on requests per batch; `None` = unbounded (the paper
+    /// notes unbounded batching makes the system unstable once the offered
+    /// rate exceeds the agreement throughput — Fig. 8's discussion).
+    max_requests: Option<usize>,
+}
+
+impl Batcher {
+    /// Unbounded batcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Batcher that packs at most `max_requests` per round.
+    pub fn with_max_requests(max_requests: usize) -> Self {
+        Batcher { max_requests: Some(max_requests), ..Self::default() }
+    }
+
+    /// Enqueue one request.
+    pub fn push(&mut self, request: Bytes) {
+        self.pending_bytes += request.len();
+        self.pending.push_back(request);
+    }
+
+    /// Number of requests waiting.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no requests are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total bytes waiting.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Drain up to the batch cap into a round payload (length-prefixed).
+    /// Returns an empty payload when nothing is pending — the server still
+    /// participates in the round with an empty message.
+    pub fn take_batch(&mut self) -> Bytes {
+        let take = self.max_requests.unwrap_or(usize::MAX).min(self.pending.len());
+        let mut buf = BytesMut::with_capacity(
+            self.pending.iter().take(take).map(|r| 4 + r.len()).sum(),
+        );
+        for _ in 0..take {
+            let r = self.pending.pop_front().expect("len checked");
+            self.pending_bytes -= r.len();
+            buf.put_u32_le(r.len() as u32);
+            buf.put_slice(&r);
+        }
+        buf.freeze()
+    }
+}
+
+/// Decode a length-prefixed batch back into requests.
+pub fn decode_batch(mut payload: Bytes) -> Result<Vec<Bytes>, crate::message::CodecError> {
+    let mut out = Vec::new();
+    while payload.has_remaining() {
+        if payload.remaining() < 4 {
+            return Err(crate::message::CodecError::Truncated);
+        }
+        let len = payload.get_u32_le() as usize;
+        if payload.remaining() < len {
+            return Err(crate::message::CodecError::Truncated);
+        }
+        out.push(payload.split_to(len));
+    }
+    Ok(out)
+}
+
+/// Pack `count` copies of a fixed-size request without prefixes — the
+/// paper's fixed-size benchmark messages ("each server delivers a
+/// fixed-size message per round"). `batch_bytes = count × request_size`.
+pub fn encode_fixed(count: usize, request_size: usize, fill: u8) -> Bytes {
+    let mut buf = BytesMut::with_capacity(count * request_size);
+    buf.resize(count * request_size, fill);
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_roundtrip() {
+        let mut b = Batcher::new();
+        b.push(Bytes::from_static(b"alpha"));
+        b.push(Bytes::from_static(b"bb"));
+        b.push(Bytes::from_static(b""));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.pending_bytes(), 7);
+        let batch = b.take_batch();
+        assert!(b.is_empty());
+        assert_eq!(b.pending_bytes(), 0);
+        let reqs = decode_batch(batch).unwrap();
+        assert_eq!(reqs, vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"bb"), Bytes::new()]);
+    }
+
+    #[test]
+    fn empty_batch_is_empty_payload() {
+        let mut b = Batcher::new();
+        assert!(b.take_batch().is_empty());
+    }
+
+    #[test]
+    fn max_requests_cap_respected() {
+        let mut b = Batcher::with_max_requests(2);
+        for i in 0..5u8 {
+            b.push(Bytes::from(vec![i]));
+        }
+        let first = decode_batch(b.take_batch()).unwrap();
+        assert_eq!(first.len(), 2);
+        assert_eq!(b.len(), 3);
+        let second = decode_batch(b.take_batch()).unwrap();
+        assert_eq!(second.len(), 2);
+        let third = decode_batch(b.take_batch()).unwrap();
+        assert_eq!(third.len(), 1);
+        assert_eq!(third[0], Bytes::from(vec![4]));
+    }
+
+    #[test]
+    fn fixed_encoding_size() {
+        // Fig 10's largest point: 2^15 requests of 8 bytes.
+        let batch = encode_fixed(1 << 15, 8, 0xAB);
+        assert_eq!(batch.len(), (1 << 15) * 8);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_batch(Bytes::from_static(&[1, 2])).is_err());
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32_le(100);
+        buf.put_slice(b"short");
+        assert!(decode_batch(buf.freeze()).is_err());
+    }
+}

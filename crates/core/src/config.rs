@@ -1,0 +1,76 @@
+//! Round configuration: the overlay, the resilience target, and the
+//! failure-detector mode.
+//!
+//! AllConcur is bootstrapped with an initial configuration — the identity
+//! of the `n` servers, the fault tolerance `f`, and the digraph `G` (§3,
+//! "Initial bootstrap"). Any later change is itself agreed upon via
+//! atomic broadcast ([`crate::membership`]).
+
+use crate::ServerId;
+use allconcur_graph::Digraph;
+use std::sync::Arc;
+
+/// Which failure-detector abstraction the protocol runs under (§2.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FdMode {
+    /// Perfect failure detector `P`: completeness and accuracy both hold.
+    /// Algorithm 1 as printed; safety and liveness for `f < k(G)` (§3.1).
+    #[default]
+    Perfect,
+    /// Eventually perfect `◇P`: suspicions may be wrong. Termination goes
+    /// through the FWD/BWD surviving-partition protocol and only a
+    /// strongly-connected majority delivers (§3.3.2).
+    EventuallyPerfect,
+}
+
+/// Immutable configuration shared by every server of a deployment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// The overlay digraph `G`. Server ids are vertex indices.
+    pub graph: Arc<Digraph>,
+    /// Maximum number of failures the deployment must survive. Liveness
+    /// requires `f < k(G)` (§3.1); safety holds regardless (§3.3.1).
+    pub resilience: usize,
+    /// Failure-detector mode.
+    pub fd_mode: FdMode,
+}
+
+impl Config {
+    /// Configuration over `graph` with resilience `f` and a perfect FD.
+    pub fn new(graph: Arc<Digraph>, resilience: usize) -> Self {
+        Config { graph, resilience, fd_mode: FdMode::Perfect }
+    }
+
+    /// Switch to the eventually-perfect-FD termination protocol.
+    pub fn with_fd_mode(mut self, mode: FdMode) -> Self {
+        self.fd_mode = mode;
+        self
+    }
+
+    /// Number of servers in the configuration (alive or not).
+    pub fn n(&self) -> usize {
+        self.graph.order()
+    }
+
+    /// All server ids of this configuration.
+    pub fn server_ids(&self) -> impl Iterator<Item = ServerId> {
+        self.graph.vertices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allconcur_graph::gs::gs_digraph;
+
+    #[test]
+    fn config_basics() {
+        let g = Arc::new(gs_digraph(8, 3).unwrap());
+        let cfg = Config::new(g, 2);
+        assert_eq!(cfg.n(), 8);
+        assert_eq!(cfg.resilience, 2);
+        assert_eq!(cfg.fd_mode, FdMode::Perfect);
+        let cfg = cfg.with_fd_mode(FdMode::EventuallyPerfect);
+        assert_eq!(cfg.fd_mode, FdMode::EventuallyPerfect);
+    }
+}

@@ -1,0 +1,203 @@
+//! Failure-detector accuracy model (§3.2).
+//!
+//! AllConcur's FD is heartbeat-based: every server sends heartbeats to
+//! its overlay successors with period `Δ_hb`; a server that hears nothing
+//! from a predecessor for `Δ_to` suspects it. *Completeness* (every crash
+//! eventually detected) is guaranteed by construction; *accuracy* (no
+//! false suspicion) can only be guaranteed probabilistically, because
+//! message delays are unbounded in an asynchronous system.
+//!
+//! When delays follow a known distribution `T`, the probability that the
+//! whole deployment behaves like a perfect FD for one detection window is
+//! at least
+//!
+//! ```text
+//! (1 − Π_{k=1}^{⌊Δto/Δhb⌋} Pr[T > Δto − k·Δhb])^(n·d)
+//! ```
+//!
+//! — a server is falsely suspected only if *all* `⌊Δto/Δhb⌋` heartbeats
+//! in the window are late, there are `d` monitored predecessors per
+//! server and `n` servers. Together with `Pr[< k(G) failures]`
+//! ([`allconcur_graph::reliability`]) this defines AllConcur's overall
+//! reliability.
+
+/// A delay distribution `T`, queried for tail probabilities.
+pub trait DelayDistribution {
+    /// `Pr[T > t]` for a delay in the same time unit as the heartbeat
+    /// parameters.
+    fn tail(&self, t: f64) -> f64;
+}
+
+/// Exponential delays with the given mean — the memoryless baseline used
+/// in the evaluation's probabilistic analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialDelay {
+    /// Mean delay.
+    pub mean: f64,
+}
+
+impl DelayDistribution for ExponentialDelay {
+    fn tail(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            1.0
+        } else {
+            (-t / self.mean).exp()
+        }
+    }
+}
+
+/// Pareto-tailed delays: `Pr[T > t] = (scale / t)^shape` for `t > scale`.
+/// Heavy tails model congested networks, where FD accuracy degrades much
+/// faster than the exponential model suggests.
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoDelay {
+    /// Minimum delay (the distribution's scale).
+    pub scale: f64,
+    /// Tail exponent (the distribution's shape); heavier tails for
+    /// smaller values.
+    pub shape: f64,
+}
+
+impl DelayDistribution for ParetoDelay {
+    fn tail(&self, t: f64) -> f64 {
+        if t <= self.scale {
+            1.0
+        } else {
+            (self.scale / t).powf(self.shape)
+        }
+    }
+}
+
+/// Heartbeat FD parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeartbeatFd {
+    /// Heartbeat period `Δ_hb`.
+    pub heartbeat_period: f64,
+    /// Suspicion timeout `Δ_to`.
+    pub timeout: f64,
+}
+
+impl HeartbeatFd {
+    /// The evaluation's setting (Fig. 7): `Δ_hb = 10 ms`, `Δ_to = 100 ms`,
+    /// in milliseconds.
+    pub fn paper_default() -> Self {
+        HeartbeatFd { heartbeat_period: 10.0, timeout: 100.0 }
+    }
+
+    /// Probability that one specific monitor falsely suspects one specific
+    /// predecessor within a window: all `⌊Δto/Δhb⌋` heartbeats must exceed
+    /// their slack.
+    pub fn false_suspicion_probability<D: DelayDistribution>(&self, delays: &D) -> f64 {
+        let k_max = (self.timeout / self.heartbeat_period).floor() as usize;
+        let mut p = 1.0;
+        for k in 1..=k_max {
+            p *= delays.tail(self.timeout - k as f64 * self.heartbeat_period);
+        }
+        p
+    }
+
+    /// §3.2's lower bound on the probability that the FD is accurate
+    /// across the whole deployment: `n` servers each monitoring `d`
+    /// predecessors.
+    pub fn accuracy_probability<D: DelayDistribution>(
+        &self,
+        delays: &D,
+        n: usize,
+        degree: usize,
+    ) -> f64 {
+        let single = self.false_suspicion_probability(delays);
+        (1.0 - single).powi((n * degree) as i32)
+    }
+
+    /// Overall per-window reliability: accurate FD **and** fewer than
+    /// `k(G)` crashes (§3.2's closing remark).
+    pub fn system_reliability<D: DelayDistribution>(
+        &self,
+        delays: &D,
+        n: usize,
+        degree: usize,
+        connectivity: usize,
+        failure_model: &allconcur_graph::ReliabilityModel,
+    ) -> f64 {
+        self.accuracy_probability(delays, n, degree)
+            * failure_model.reliability(n, connectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_tail() {
+        let d = ExponentialDelay { mean: 2.0 };
+        assert!((d.tail(2.0) - (-1.0f64).exp()).abs() < 1e-12);
+        assert_eq!(d.tail(0.0), 1.0);
+        assert_eq!(d.tail(-1.0), 1.0);
+    }
+
+    #[test]
+    fn pareto_tail() {
+        let d = ParetoDelay { scale: 1.0, shape: 2.0 };
+        assert_eq!(d.tail(0.5), 1.0);
+        assert!((d.tail(2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_suspicion_needs_all_heartbeats_late() {
+        // Δto/Δhb = 10 heartbeats; exponential mean 1ms, slacks 90..0ms:
+        // the product is astronomically small.
+        let fd = HeartbeatFd::paper_default();
+        let p = fd.false_suspicion_probability(&ExponentialDelay { mean: 1.0 });
+        assert!(p < 1e-100, "p = {p}");
+    }
+
+    #[test]
+    fn accuracy_decreases_with_system_size() {
+        let fd = HeartbeatFd { heartbeat_period: 10.0, timeout: 30.0 };
+        let delays = ExponentialDelay { mean: 8.0 };
+        let small = fd.accuracy_probability(&delays, 8, 3);
+        let large = fd.accuracy_probability(&delays, 512, 8);
+        assert!(small > large);
+        assert!(small > 0.0 && small < 1.0);
+    }
+
+    #[test]
+    fn longer_timeout_improves_accuracy() {
+        let delays = ExponentialDelay { mean: 8.0 };
+        let short = HeartbeatFd { heartbeat_period: 10.0, timeout: 30.0 };
+        let long = HeartbeatFd { heartbeat_period: 10.0, timeout: 100.0 };
+        assert!(
+            long.accuracy_probability(&delays, 64, 5)
+                > short.accuracy_probability(&delays, 64, 5)
+        );
+    }
+
+    #[test]
+    fn faster_heartbeats_improve_accuracy() {
+        let delays = ExponentialDelay { mean: 8.0 };
+        let sparse = HeartbeatFd { heartbeat_period: 25.0, timeout: 50.0 };
+        let dense = HeartbeatFd { heartbeat_period: 5.0, timeout: 50.0 };
+        assert!(
+            dense.accuracy_probability(&delays, 64, 5)
+                > sparse.accuracy_probability(&delays, 64, 5)
+        );
+    }
+
+    #[test]
+    fn heavy_tails_hurt() {
+        let fd = HeartbeatFd { heartbeat_period: 10.0, timeout: 40.0 };
+        let exp = fd.accuracy_probability(&ExponentialDelay { mean: 5.0 }, 64, 5);
+        let pareto = fd.accuracy_probability(&ParetoDelay { scale: 5.0, shape: 1.5 }, 64, 5);
+        assert!(pareto < exp, "pareto {pareto} should be worse than exponential {exp}");
+    }
+
+    #[test]
+    fn system_reliability_composes() {
+        let fd = HeartbeatFd::paper_default();
+        let delays = ExponentialDelay { mean: 1.0 };
+        let model = allconcur_graph::ReliabilityModel::paper_default();
+        let r = fd.system_reliability(&delays, 8, 3, 3, &model);
+        assert!(r > 0.999_99 && r <= 1.0, "r = {r}");
+    }
+}

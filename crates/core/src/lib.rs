@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # allconcur-core — the AllConcur protocol (Algorithm 1)
+//!
+//! AllConcur (Poke, Hoefler, Glass — HPDC'17) is a completely
+//! decentralized, `f`-resilient, round-based **atomic broadcast**
+//! algorithm. In every round each of the `n` servers:
+//!
+//! 1. A-broadcasts a single (possibly empty) message over a digraph
+//!    overlay `G`;
+//! 2. tracks every in-flight message with the *early termination*
+//!    mechanism (§2.3): per-origin **tracking digraphs** fed by failure
+//!    notifications over-approximate which servers may still hold a
+//!    message, so a server can stop waiting the moment no non-faulty
+//!    server can possibly hold anything it lacks — instead of always
+//!    sitting out the worst-case `f + D_f(G, f)` communication steps;
+//! 3. once every tracking digraph is empty, A-delivers the round's
+//!    message set in a deterministic order.
+//!
+//! This crate implements the protocol as a **deterministic,
+//! transport-agnostic state machine**: [`server::Server`] consumes
+//! [`server::Event`]s and emits [`server::Action`]s. The discrete-event
+//! simulator (`allconcur-sim`) and the TCP runtime (`allconcur-net`) both
+//! drive this same state machine, so every correctness test exercises the
+//! exact code deployed over real sockets.
+//!
+//! Modules:
+//!
+//! * [`message`] — wire messages (`BCAST`, `FAIL`, `FWD`, `BWD`) and the
+//!   hand-rolled binary codec;
+//! * [`tracking`] — tracking digraphs `g_i[p*]` (Algorithm 1 lines 21–41);
+//! * [`server`] — the full round state machine, including iteration
+//!   (failed tagging, notification carry-over — §3 "Iterating") and the
+//!   eventually-perfect-FD surviving-partition mode (§3.3.2);
+//! * [`config`] — static round configuration: overlay, resilience, FD mode;
+//! * [`membership`] — deterministic reconfiguration plans for joins and
+//!   departures (§3 "dynamic membership");
+//! * [`fd`] — failure-detector accuracy model (§3.2);
+//! * [`batch`] — request batching into round payloads (§5's batching
+//!   factor).
+
+pub mod batch;
+pub mod config;
+pub mod fd;
+pub mod membership;
+pub mod message;
+pub mod replica;
+pub mod server;
+pub mod tracking;
+
+/// Stable identifier of a server: its vertex index in the overlay digraph.
+pub type ServerId = u32;
+
+/// Round number. Each round is one instance of concurrent atomic
+/// broadcast; message identifiers embed the round so that consecutive
+/// rounds can coexist in flight (§3).
+pub type Round = u64;

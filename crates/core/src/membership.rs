@@ -1,0 +1,148 @@
+//! Dynamic membership (§3 "Initial bootstrap and dynamic membership").
+//!
+//! Once AllConcur is running, reconfigurations — servers joining or
+//! leaving, overlay changes — are agreed upon **via atomic broadcast
+//! itself**: a membership request rides in a round's message, every
+//! server delivers it at the same round boundary, and every server then
+//! derives the *same* next configuration deterministically. No leader
+//! election is ever needed (contrast with §4.5's leader-based cost
+//! analysis).
+//!
+//! This module provides the deterministic derivation:
+//! [`plan_reconfiguration`] maps (previous membership, leavers, joiners,
+//! reliability target) to a fresh GS(n,d) overlay and an id translation
+//! table. The simulator and the TCP runtime both apply plans at round
+//! boundaries; `examples/membership_churn.rs` shows the full loop.
+
+use crate::config::{Config, FdMode};
+use crate::ServerId;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_graph::standard::complete_digraph;
+use allconcur_graph::{choose_gs_degree, ReliabilityModel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deterministic reconfiguration: the new overlay plus the mapping from
+/// surviving old ids to new ids. All servers that deliver the same
+/// membership round compute an identical plan.
+#[derive(Debug, Clone)]
+pub struct ReconfigPlan {
+    /// Configuration for the next round.
+    pub config: Config,
+    /// Old id → new id for surviving members. Joining servers take the
+    /// ids after the survivors, in the order given to
+    /// [`plan_reconfiguration`].
+    pub id_map: BTreeMap<ServerId, ServerId>,
+    /// New ids assigned to the joiners, in input order.
+    pub joiner_ids: Vec<ServerId>,
+}
+
+/// Derive the configuration after `leavers` leave and `joiner_count`
+/// fresh servers join a deployment whose previous members are
+/// `members` (sorted old ids).
+///
+/// The new overlay is GS(n', d') with `d'` fitted to `target_nines` under
+/// `model` (Table 3's rule); if `n'` is too small for a GS digraph
+/// (`n < 2d` or `n < 6`), a complete digraph is used — at those sizes the
+/// all-to-all overlay is cheap and maximally reliable.
+pub fn plan_reconfiguration(
+    members: &[ServerId],
+    leavers: &[ServerId],
+    joiner_count: usize,
+    model: &ReliabilityModel,
+    target_nines: f64,
+    fd_mode: FdMode,
+) -> ReconfigPlan {
+    let survivors: Vec<ServerId> =
+        members.iter().copied().filter(|m| !leavers.contains(m)).collect();
+    let n = survivors.len() + joiner_count;
+    assert!(n >= 1, "reconfiguration to an empty membership");
+
+    let graph = build_overlay(n, model, target_nines);
+    let resilience = allconcur_graph::connectivity::vertex_connectivity(&graph).saturating_sub(1);
+    let config = Config { graph: Arc::new(graph), resilience, fd_mode };
+
+    let id_map: BTreeMap<ServerId, ServerId> = survivors
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new as ServerId))
+        .collect();
+    let joiner_ids: Vec<ServerId> =
+        (survivors.len()..n).map(|i| i as ServerId).collect();
+    ReconfigPlan { config, id_map, joiner_ids }
+}
+
+/// Overlay choice for `n` members: GS(n, d) with the Table 3 degree when
+/// possible, complete digraph below the GS validity threshold.
+pub fn build_overlay(
+    n: usize,
+    model: &ReliabilityModel,
+    target_nines: f64,
+) -> allconcur_graph::Digraph {
+    if n >= 6 {
+        if let Some(d) = choose_gs_degree(n, model, target_nines) {
+            if n >= 2 * d {
+                if let Ok(g) = gs_digraph(n, d) {
+                    return g;
+                }
+            }
+        }
+    }
+    complete_digraph(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ReliabilityModel {
+        ReliabilityModel::paper_default()
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let members: Vec<ServerId> = (0..8).collect();
+        let a = plan_reconfiguration(&members, &[3], 1, &model(), 6.0, FdMode::Perfect);
+        let b = plan_reconfiguration(&members, &[3], 1, &model(), 6.0, FdMode::Perfect);
+        assert_eq!(a.id_map, b.id_map);
+        assert_eq!(a.joiner_ids, b.joiner_ids);
+        assert_eq!(a.config.n(), b.config.n());
+        assert_eq!(a.config.graph.edges().collect::<Vec<_>>(), b.config.graph.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn leave_and_join_remaps_ids() {
+        let members: Vec<ServerId> = (0..8).collect();
+        let plan = plan_reconfiguration(&members, &[2, 5], 1, &model(), 6.0, FdMode::Perfect);
+        assert_eq!(plan.config.n(), 7);
+        // Survivors 0,1,3,4,6,7 → 0..6; joiner gets 6.
+        assert_eq!(plan.id_map.get(&0), Some(&0));
+        assert_eq!(plan.id_map.get(&3), Some(&2));
+        assert_eq!(plan.id_map.get(&7), Some(&5));
+        assert!(!plan.id_map.contains_key(&2));
+        assert_eq!(plan.joiner_ids, vec![6]);
+    }
+
+    #[test]
+    fn overlay_uses_gs_when_large_enough() {
+        let g = build_overlay(32, &model(), 6.0);
+        assert_eq!(g.order(), 32);
+        assert_eq!(g.degree(), 4, "Table 3: GS(32,4)");
+        assert!(g.is_regular());
+    }
+
+    #[test]
+    fn overlay_falls_back_to_complete_for_tiny_n() {
+        let g = build_overlay(4, &model(), 6.0);
+        assert_eq!(g.order(), 4);
+        assert_eq!(g.size(), 12, "complete digraph");
+    }
+
+    #[test]
+    fn resilience_matches_connectivity() {
+        let members: Vec<ServerId> = (0..8).collect();
+        let plan = plan_reconfiguration(&members, &[], 0, &model(), 6.0, FdMode::Perfect);
+        // GS(8,3): k = 3 → f = 2.
+        assert_eq!(plan.config.resilience, 2);
+    }
+}

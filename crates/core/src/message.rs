@@ -1,0 +1,281 @@
+//! Protocol messages and the binary wire codec.
+//!
+//! AllConcur distinguishes two message types (§3):
+//!
+//! * `⟨BCAST, m_j⟩` — a message A-broadcast by server `p_j`;
+//! * `⟨FAIL, p_j, p_k ∈ p_j⁺(G)⟩` — a notification R-broadcast by `p_k`
+//!   that it suspects its predecessor `p_j` to have failed.
+//!
+//! The eventually-perfect-FD extension (§3.3.2) adds `⟨FWD, p_i⟩` and
+//! `⟨BWD, p_i⟩`, R-broadcast over `G` and its transpose respectively, used
+//! to elect the surviving partition.
+//!
+//! Every message carries the round in which it was first sent, so
+//! consecutive rounds can coexist: `BCAST`s are uniquely identified by
+//! `(R, p_j)` and `FAIL`s by `(R, p_j, p_k)` (§3 "Iterating AllConcur").
+//!
+//! The codec is a hand-rolled little-endian framing over [`bytes`]: a
+//! fixed header (tag + round) followed by per-variant fields. No
+//! serialization framework — the message set is tiny, fixed, and hot.
+
+use crate::{Round, ServerId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A protocol message. `Clone` is cheap: payloads are ref-counted
+/// [`Bytes`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// `⟨BCAST, m⟩`: the single message `origin` A-broadcasts in `round`.
+    /// An empty payload is legal and common — a server with nothing to
+    /// say still participates (§2.3, footnote 2).
+    Bcast {
+        /// Round the message belongs to.
+        round: Round,
+        /// The A-broadcasting server.
+        origin: ServerId,
+        /// Application payload (batched requests).
+        payload: Bytes,
+    },
+    /// `⟨FAIL, failed, detector⟩`: `detector` (a successor of `failed` in
+    /// the overlay) suspects `failed` to have crashed.
+    Fail {
+        /// Round this notification applies to.
+        round: Round,
+        /// The suspected server.
+        failed: ServerId,
+        /// The successor whose failure detector raised the suspicion.
+        detector: ServerId,
+    },
+    /// `⟨FWD, origin⟩` (§3.3.2): `origin` has decided its message set;
+    /// flooded over `G`.
+    Fwd {
+        /// Round being decided.
+        round: Round,
+        /// Server that decided.
+        origin: ServerId,
+    },
+    /// `⟨BWD, origin⟩` (§3.3.2): as `FWD` but flooded over the transpose
+    /// of `G`.
+    Bwd {
+        /// Round being decided.
+        round: Round,
+        /// Server that decided.
+        origin: ServerId,
+    },
+}
+
+impl Message {
+    /// The round this message was first sent in.
+    pub fn round(&self) -> Round {
+        match *self {
+            Message::Bcast { round, .. }
+            | Message::Fail { round, .. }
+            | Message::Fwd { round, .. }
+            | Message::Bwd { round, .. } => round,
+        }
+    }
+
+    /// Wire size in bytes (exact).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::Bcast { payload, .. } => 1 + 8 + 4 + 4 + payload.len(),
+            Message::Fail { .. } => 1 + 8 + 4 + 4,
+            Message::Fwd { .. } | Message::Bwd { .. } => 1 + 8 + 4,
+        }
+    }
+
+    /// Append the encoded message to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        match self {
+            Message::Bcast { round, origin, payload } => {
+                buf.put_u8(tag::BCAST);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*origin);
+                buf.put_u32_le(payload.len() as u32);
+                buf.put_slice(payload);
+            }
+            Message::Fail { round, failed, detector } => {
+                buf.put_u8(tag::FAIL);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*failed);
+                buf.put_u32_le(*detector);
+            }
+            Message::Fwd { round, origin } => {
+                buf.put_u8(tag::FWD);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*origin);
+            }
+            Message::Bwd { round, origin } => {
+                buf.put_u8(tag::BWD);
+                buf.put_u64_le(*round);
+                buf.put_u32_le(*origin);
+            }
+        }
+    }
+
+    /// Encode into a fresh buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode one message from `buf`, advancing it past the consumed
+    /// bytes. The buffer must contain a complete message (framing is the
+    /// transport's job — see `allconcur-net`'s length-prefixed codec).
+    pub fn decode(buf: &mut Bytes) -> Result<Message, CodecError> {
+        if buf.remaining() < 1 + 8 {
+            return Err(CodecError::Truncated);
+        }
+        let t = buf.get_u8();
+        let round = buf.get_u64_le();
+        match t {
+            tag::BCAST => {
+                if buf.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let origin = buf.get_u32_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(CodecError::Truncated);
+                }
+                let payload = buf.split_to(len);
+                Ok(Message::Bcast { round, origin, payload })
+            }
+            tag::FAIL => {
+                if buf.remaining() < 8 {
+                    return Err(CodecError::Truncated);
+                }
+                let failed = buf.get_u32_le();
+                let detector = buf.get_u32_le();
+                Ok(Message::Fail { round, failed, detector })
+            }
+            tag::FWD | tag::BWD => {
+                if buf.remaining() < 4 {
+                    return Err(CodecError::Truncated);
+                }
+                let origin = buf.get_u32_le();
+                Ok(if t == tag::FWD {
+                    Message::Fwd { round, origin }
+                } else {
+                    Message::Bwd { round, origin }
+                })
+            }
+            other => Err(CodecError::UnknownTag(other)),
+        }
+    }
+}
+
+mod tag {
+    pub const BCAST: u8 = 0;
+    pub const FAIL: u8 = 1;
+    pub const FWD: u8 = 2;
+    pub const BWD: u8 = 3;
+}
+
+/// Wire decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Buffer ended mid-message.
+    Truncated,
+    /// Unrecognised message tag byte.
+    UnknownTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated message"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let mut bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        let decoded = Message::decode(&mut bytes).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(bytes.is_empty(), "decode must consume the whole encoding");
+    }
+
+    #[test]
+    fn roundtrip_bcast() {
+        roundtrip(Message::Bcast {
+            round: 7,
+            origin: 3,
+            payload: Bytes::from_static(b"hello allconcur"),
+        });
+    }
+
+    #[test]
+    fn roundtrip_empty_bcast() {
+        roundtrip(Message::Bcast { round: 0, origin: 0, payload: Bytes::new() });
+    }
+
+    #[test]
+    fn roundtrip_fail() {
+        roundtrip(Message::Fail { round: u64::MAX, failed: 12, detector: 99 });
+    }
+
+    #[test]
+    fn roundtrip_fwd_bwd() {
+        roundtrip(Message::Fwd { round: 1, origin: 42 });
+        roundtrip(Message::Bwd { round: 2, origin: 0 });
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tag() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(200);
+        buf.put_u64_le(1);
+        buf.put_u32_le(0);
+        let mut b = buf.freeze();
+        assert_eq!(Message::decode(&mut b), Err(CodecError::UnknownTag(200)));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_header() {
+        let mut b = Bytes::from_static(&[0, 1, 2]);
+        assert_eq!(Message::decode(&mut b), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let msg = Message::Bcast { round: 1, origin: 2, payload: Bytes::from_static(b"abcdef") };
+        let bytes = msg.to_bytes();
+        let mut cut = bytes.slice(..bytes.len() - 2);
+        assert_eq!(Message::decode(&mut cut), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn several_messages_in_one_buffer() {
+        let msgs = vec![
+            Message::Fail { round: 3, failed: 1, detector: 2 },
+            Message::Bcast { round: 3, origin: 1, payload: Bytes::from_static(b"x") },
+            Message::Fwd { round: 3, origin: 9 },
+        ];
+        let mut buf = BytesMut::new();
+        for m in &msgs {
+            m.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        for m in &msgs {
+            assert_eq!(&Message::decode(&mut bytes).unwrap(), m);
+        }
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn round_accessor() {
+        assert_eq!(Message::Fwd { round: 5, origin: 1 }.round(), 5);
+        assert_eq!(Message::Fail { round: 8, failed: 0, detector: 1 }.round(), 8);
+    }
+}

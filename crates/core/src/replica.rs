@@ -1,0 +1,316 @@
+//! Replicated state machines on top of AllConcur — the coordination-
+//! service layer the paper's introduction motivates (§1: "atomic
+//! broadcast is often used to implement large-scale coordination
+//! services, such as replicated state machines").
+//!
+//! [`Replica`] wraps any deterministic [`StateMachine`] and consumes
+//! round deliveries: commands are applied in the agreed order, so every
+//! replica that applies the same rounds holds an identical state.
+//!
+//! Reads come in two consistencies, matching §1's discussion:
+//!
+//! * [`Replica::query`] — **local** read: no coordination; may lag the
+//!   freshest state by at most one round ("a server's view of the shared
+//!   state cannot fall behind more than one round");
+//! * [`Replica::query_serialized`] — **strongly consistent** read:
+//!   the query itself rides through atomic broadcast as a command and is
+//!   answered when its round delivers.
+
+use crate::{Round, ServerId};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// A deterministic application state machine. Determinism is the only
+/// contract: identical command sequences must produce identical states
+/// and outputs.
+pub trait StateMachine {
+    /// Output of applying a command (returned to the submitting client).
+    type Output;
+
+    /// Apply one command, in agreement order. `origin` is the server
+    /// whose round message carried the command.
+    fn apply(&mut self, origin: ServerId, command: &[u8]) -> Self::Output;
+}
+
+/// A replica: a state machine plus round-application bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Replica<S> {
+    state: S,
+    applied_rounds: u64,
+    applied_commands: u64,
+    last_round: Option<Round>,
+}
+
+impl<S: StateMachine> Replica<S> {
+    /// Wrap an initial state.
+    pub fn new(state: S) -> Self {
+        Replica { state, applied_rounds: 0, applied_commands: 0, last_round: None }
+    }
+
+    /// Apply one delivered round: `messages` exactly as produced by the
+    /// protocol's `Deliver` action (origin-ascending). Each message is a
+    /// batch of commands if `decode_batch`-framed, or a single raw
+    /// command otherwise — the caller picks via `batched`.
+    ///
+    /// Rounds must be applied in order; gaps panic (a gap would mean the
+    /// transport dropped an agreed round, which breaks the RSM contract).
+    pub fn apply_round(
+        &mut self,
+        round: Round,
+        messages: &[(ServerId, Bytes)],
+        batched: bool,
+    ) -> Vec<S::Output> {
+        if let Some(last) = self.last_round {
+            assert_eq!(round, last + 1, "round gap: {last} → {round}");
+        }
+        self.last_round = Some(round);
+        self.applied_rounds += 1;
+        let mut outputs = Vec::new();
+        for (origin, payload) in messages {
+            if payload.is_empty() {
+                continue; // empty round message: nothing to apply
+            }
+            if batched {
+                let commands = crate::batch::decode_batch(payload.clone())
+                    .expect("agreed payloads are well-formed batches");
+                for cmd in commands {
+                    outputs.push(self.state.apply(*origin, &cmd));
+                    self.applied_commands += 1;
+                }
+            } else {
+                outputs.push(self.state.apply(*origin, payload));
+                self.applied_commands += 1;
+            }
+        }
+        outputs
+    }
+
+    /// Local read (≤ one round stale).
+    pub fn query(&self) -> &S {
+        &self.state
+    }
+
+    /// Strongly consistent read: the caller must route `query_command`
+    /// through A-broadcast like any write and call this from the
+    /// delivery path — provided here as a named alias to make call sites
+    /// self-documenting.
+    pub fn query_serialized(&mut self, origin: ServerId, query_command: &[u8]) -> S::Output {
+        self.applied_commands += 1;
+        self.state.apply(origin, query_command)
+    }
+
+    /// Rounds applied so far.
+    pub fn applied_rounds(&self) -> u64 {
+        self.applied_rounds
+    }
+
+    /// Commands applied so far.
+    pub fn applied_commands(&self) -> u64 {
+        self.applied_commands
+    }
+
+    /// Latest applied round.
+    pub fn last_round(&self) -> Option<Round> {
+        self.last_round
+    }
+}
+
+/// A ready-made key-value state machine, used by the examples and tests
+/// (and handy as a ZooKeeper-style demo service).
+///
+/// Commands (first byte is the opcode):
+/// * `P key_len:u16 key value` — put;
+/// * `D key_len:u16 key` — delete;
+/// * `G key_len:u16 key` — get (serialized read).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvStore {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+/// Outcome of a [`KvStore`] command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOutput {
+    /// Put/delete applied.
+    Ack,
+    /// Get result.
+    Value(Option<Vec<u8>>),
+    /// Command could not be parsed (applied as no-op — all replicas
+    /// reject identically, preserving determinism).
+    Malformed,
+}
+
+impl KvStore {
+    /// Encode a put command.
+    pub fn put_command(key: &[u8], value: &[u8]) -> Bytes {
+        let mut buf = Vec::with_capacity(3 + key.len() + value.len());
+        buf.push(b'P');
+        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        buf.extend_from_slice(key);
+        buf.extend_from_slice(value);
+        Bytes::from(buf)
+    }
+
+    /// Encode a delete command.
+    pub fn delete_command(key: &[u8]) -> Bytes {
+        let mut buf = Vec::with_capacity(3 + key.len());
+        buf.push(b'D');
+        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        buf.extend_from_slice(key);
+        Bytes::from(buf)
+    }
+
+    /// Encode a serialized-get command.
+    pub fn get_command(key: &[u8]) -> Bytes {
+        let mut buf = Vec::with_capacity(3 + key.len());
+        buf.push(b'G');
+        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
+        buf.extend_from_slice(key);
+        Bytes::from(buf)
+    }
+
+    /// Local (possibly one-round-stale) read.
+    pub fn get_local(&self, key: &[u8]) -> Option<&[u8]> {
+        self.map.get(key).map(Vec::as_slice)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl StateMachine for KvStore {
+    type Output = KvOutput;
+
+    fn apply(&mut self, _origin: ServerId, command: &[u8]) -> KvOutput {
+        let Some((&op, rest)) = command.split_first() else {
+            return KvOutput::Malformed;
+        };
+        if rest.len() < 2 {
+            return KvOutput::Malformed;
+        }
+        let key_len = u16::from_le_bytes([rest[0], rest[1]]) as usize;
+        let rest = &rest[2..];
+        if rest.len() < key_len {
+            return KvOutput::Malformed;
+        }
+        let (key, value) = rest.split_at(key_len);
+        match op {
+            b'P' => {
+                self.map.insert(key.to_vec(), value.to_vec());
+                KvOutput::Ack
+            }
+            b'D' => {
+                self.map.remove(key);
+                KvOutput::Ack
+            }
+            b'G' => KvOutput::Value(self.map.get(key).cloned()),
+            _ => KvOutput::Malformed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_msgs(cmds: &[(ServerId, Bytes)]) -> Vec<(ServerId, Bytes)> {
+        cmds.to_vec()
+    }
+
+    #[test]
+    fn kv_basic_operations() {
+        let mut kv = KvStore::default();
+        assert_eq!(kv.apply(0, &KvStore::put_command(b"k", b"v1")), KvOutput::Ack);
+        assert_eq!(kv.get_local(b"k"), Some(&b"v1"[..]));
+        assert_eq!(
+            kv.apply(1, &KvStore::get_command(b"k")),
+            KvOutput::Value(Some(b"v1".to_vec()))
+        );
+        assert_eq!(kv.apply(0, &KvStore::delete_command(b"k")), KvOutput::Ack);
+        assert_eq!(kv.apply(1, &KvStore::get_command(b"k")), KvOutput::Value(None));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn kv_malformed_commands_are_deterministic_noops() {
+        let mut a = KvStore::default();
+        let mut b = KvStore::default();
+        for cmd in [&b""[..], b"P", b"P\xff\xff", b"Z\x01\x00k", b"P\x05\x00ab"] {
+            assert_eq!(a.apply(0, cmd), KvOutput::Malformed);
+            assert_eq!(b.apply(0, cmd), KvOutput::Malformed);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicas_converge_on_same_rounds() {
+        let rounds: Vec<Vec<(ServerId, Bytes)>> = vec![
+            round_msgs(&[
+                (0, KvStore::put_command(b"x", b"1")),
+                (1, KvStore::put_command(b"y", b"2")),
+            ]),
+            round_msgs(&[(0, KvStore::put_command(b"x", b"3")), (1, Bytes::new())]),
+            round_msgs(&[(0, Bytes::new()), (1, KvStore::delete_command(b"y"))]),
+        ];
+        let mut r1 = Replica::new(KvStore::default());
+        let mut r2 = Replica::new(KvStore::default());
+        for (i, msgs) in rounds.iter().enumerate() {
+            r1.apply_round(i as Round, msgs, false);
+            r2.apply_round(i as Round, msgs, false);
+        }
+        assert_eq!(r1.query(), r2.query());
+        assert_eq!(r1.query().get_local(b"x"), Some(&b"3"[..]));
+        assert_eq!(r1.query().get_local(b"y"), None);
+        assert_eq!(r1.applied_rounds(), 3);
+        assert_eq!(r1.applied_commands(), 4);
+    }
+
+    #[test]
+    fn order_matters_and_is_enforced_by_agreement() {
+        // Same commands, different order → different state. This is
+        // exactly why total order is needed.
+        let put_a = KvStore::put_command(b"k", b"a");
+        let put_b = KvStore::put_command(b"k", b"b");
+        let mut r1 = Replica::new(KvStore::default());
+        r1.apply_round(0, &[(0, put_a.clone()), (1, put_b.clone())], false);
+        let mut r2 = Replica::new(KvStore::default());
+        r2.apply_round(0, &[(0, put_b), (1, put_a)], false);
+        assert_ne!(r1.query(), r2.query(), "order must matter for this test to mean anything");
+    }
+
+    #[test]
+    #[should_panic(expected = "round gap")]
+    fn round_gaps_rejected() {
+        let mut r = Replica::new(KvStore::default());
+        r.apply_round(0, &[], false);
+        r.apply_round(2, &[], false);
+    }
+
+    #[test]
+    fn batched_rounds_unpack() {
+        let mut batcher = crate::batch::Batcher::new();
+        batcher.push(KvStore::put_command(b"a", b"1"));
+        batcher.push(KvStore::put_command(b"b", b"2"));
+        let payload = batcher.take_batch();
+        let mut r = Replica::new(KvStore::default());
+        let outputs = r.apply_round(0, &[(0, payload)], true);
+        assert_eq!(outputs, vec![KvOutput::Ack, KvOutput::Ack]);
+        assert_eq!(r.query().len(), 2);
+        assert_eq!(r.applied_commands(), 2);
+    }
+
+    #[test]
+    fn empty_messages_skipped() {
+        let mut r = Replica::new(KvStore::default());
+        let outputs = r.apply_round(0, &[(0, Bytes::new()), (1, Bytes::new())], true);
+        assert!(outputs.is_empty());
+        assert_eq!(r.applied_commands(), 0);
+        assert_eq!(r.last_round(), Some(0));
+    }
+}

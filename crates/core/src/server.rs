@@ -1,0 +1,919 @@
+//! The AllConcur server state machine — Algorithm 1, plus round iteration
+//! (§3 "Iterating AllConcur") and the eventually-perfect-FD termination
+//! protocol (§3.3.2).
+//!
+//! [`Server`] is deliberately **transport-agnostic and deterministic**: it
+//! consumes [`Event`]s (application broadcasts, received messages, local
+//! failure-detector suspicions) and emits [`Action`]s (sends and
+//! deliveries). Feeding two servers the same event sequence produces the
+//! same actions, which the property tests and the replayable simulator
+//! both exploit. The TCP runtime drives the *same* state machine over
+//! real sockets.
+//!
+//! ## Round lifecycle
+//!
+//! 1. The application submits this round's (possibly empty) payload with
+//!    [`Event::ABroadcast`]; a server that receives someone else's
+//!    `BCAST` first auto-broadcasts an empty message (Algorithm 1 line
+//!    15), so one willing sender suffices to start the round.
+//! 2. `BCAST`s flood the overlay with per-origin deduplication;
+//!    [`Event::Suspect`] suspicions turn into `FAIL` notifications that
+//!    drive the tracking digraphs ([`crate::tracking`]).
+//! 3. When every tracking digraph is empty the round terminates: under a
+//!    perfect FD the server immediately emits [`Action::Deliver`] with the
+//!    message set in deterministic (origin-id) order; under `◇P` it first
+//!    runs the FWD/BWD majority-partition protocol.
+//! 4. Advancing tags servers whose messages were missing as failed
+//!    (removing them from the overlay view), carries the still-relevant
+//!    failure notifications into the new round, and re-sends them
+//!    (Algorithm 1 lines 9–13).
+
+use crate::config::{Config, FdMode};
+use crate::message::Message;
+use crate::tracking::{TrackingContext, TrackingDigraph};
+use crate::{Round, ServerId};
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Input to the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The application submits this round's payload (one per round; empty
+    /// payloads are fine — §2.3 footnote 2).
+    ABroadcast(Bytes),
+    /// A message arrived from direct predecessor `from`.
+    Receive {
+        /// The overlay predecessor the message came from (not necessarily
+        /// the origin — messages are flooded).
+        from: ServerId,
+        /// The message itself.
+        msg: Message,
+    },
+    /// The local failure detector suspects predecessor `suspect` to have
+    /// failed. Equivalent to receiving `⟨FAIL, suspect, self⟩` from the
+    /// local FD (Algorithm 1 line 21's `k = i` case).
+    Suspect {
+        /// The suspected predecessor.
+        suspect: ServerId,
+    },
+}
+
+/// Output of the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Hand `msg` to the transport, addressed to overlay neighbour `to`.
+    Send {
+        /// Destination server.
+        to: ServerId,
+        /// Message to transmit.
+        msg: Message,
+    },
+    /// Round `round` reached agreement: deliver `messages` to the
+    /// application, already in deterministic (origin-id) order. Empty
+    /// payloads from servers with nothing to say are included; servers
+    /// whose messages are absent have been tagged as failed.
+    Deliver {
+        /// The completed round.
+        round: Round,
+        /// `(origin, payload)` pairs, ascending by origin.
+        messages: Vec<(ServerId, Bytes)>,
+    },
+}
+
+/// Termination phase within a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Collecting messages and tracking (Algorithm 1 proper).
+    Gathering,
+    /// `◇P` only: message set decided, awaiting FWD/BWD majority
+    /// (§3.3.2).
+    Deciding,
+}
+
+/// Space-usage snapshot of one server — the data structures of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpaceUsage {
+    /// Bytes held by the overlay digraph `G` (`O(n·d)`).
+    pub graph_bytes: usize,
+    /// Messages currently in `M_i` (`O(n)`).
+    pub messages: usize,
+    /// Payload bytes in `M_i`.
+    pub message_bytes: usize,
+    /// Failure notifications in `F_i` (`O(f·d)`).
+    pub fail_notifications: usize,
+    /// Live tracking digraphs (`≤ n`, only `O(f)` ever grow).
+    pub tracking_digraphs: usize,
+    /// Total vertices across tracking digraphs (`O(f²·d)` worst case).
+    pub tracking_vertices: usize,
+    /// Total edges across tracking digraphs.
+    pub tracking_edges: usize,
+    /// High-water mark of vertices in any single tracking digraph.
+    pub peak_tracking_vertices: usize,
+}
+
+/// One AllConcur server (Algorithm 1's `p_i`).
+#[derive(Debug, Clone)]
+pub struct Server {
+    cfg: Config,
+    id: ServerId,
+    round: Round,
+    /// Overlay view: false once a server is tagged failed (line 11).
+    alive: Vec<bool>,
+    /// Alive successors per vertex under the current view; rebuilt on
+    /// round advance. Indexed by ServerId.
+    succ_view: Vec<Vec<ServerId>>,
+    /// Alive predecessors of `self` (transpose successors — also the
+    /// targets of `BWD` floods).
+    pred_view: Vec<ServerId>,
+
+    // ---- per-round state ----
+    /// `M_i`: origin → payload.
+    msgs: BTreeMap<ServerId, Bytes>,
+    /// Whether our own message has been A-broadcast this round.
+    own_sent: bool,
+    /// `F_i`: (failed, detector) notifications seen this round.
+    fails: BTreeSet<(ServerId, ServerId)>,
+    /// Servers with at least one notification in `F_i`.
+    known_failed: BTreeSet<ServerId>,
+    /// Predecessors whose `BCAST`s we ignore (suspected — §3.3.2 rule).
+    suspected_preds: BTreeSet<ServerId>,
+    /// `g_i[p*]` for every origin whose message is still outstanding.
+    tracking: BTreeMap<ServerId, TrackingDigraph>,
+    phase: Phase,
+    /// `◇P`: servers whose FWD / BWD we have seen this round.
+    fwd_seen: BTreeSet<ServerId>,
+    bwd_seen: BTreeSet<ServerId>,
+
+    /// Events for rounds we have not reached yet.
+    future: BTreeMap<Round, VecDeque<(ServerId, Message)>>,
+    /// Peak single-digraph vertex count across the server's lifetime.
+    peak_tracking: usize,
+    /// Rounds delivered so far.
+    rounds_delivered: u64,
+}
+
+/// Borrowed view implementing [`TrackingContext`] against the server's
+/// round state (disjoint from the tracking map itself).
+struct RoundCtx<'a> {
+    succ_view: &'a [Vec<ServerId>],
+    fails: &'a BTreeSet<(ServerId, ServerId)>,
+    known_failed: &'a BTreeSet<ServerId>,
+}
+
+impl TrackingContext for RoundCtx<'_> {
+    fn successors(&self, p: ServerId) -> &[ServerId] {
+        &self.succ_view[p as usize]
+    }
+    fn is_known_failed(&self, p: ServerId) -> bool {
+        self.known_failed.contains(&p)
+    }
+    fn has_notification(&self, failed: ServerId, detector: ServerId) -> bool {
+        self.fails.contains(&(failed, detector))
+    }
+}
+
+impl Server {
+    /// Create server `id` of a fresh deployment at round 0.
+    pub fn new(cfg: Config, id: ServerId) -> Self {
+        let n = cfg.n();
+        assert!((id as usize) < n, "server id {id} outside configuration of {n}");
+        let alive = vec![true; n];
+        let (succ_view, pred_view) = build_views(&cfg, &alive, id);
+        let mut s = Server {
+            cfg,
+            id,
+            round: 0,
+            alive,
+            succ_view,
+            pred_view,
+            msgs: BTreeMap::new(),
+            own_sent: false,
+            fails: BTreeSet::new(),
+            known_failed: BTreeSet::new(),
+            suspected_preds: BTreeSet::new(),
+            tracking: BTreeMap::new(),
+            phase: Phase::Gathering,
+            fwd_seen: BTreeSet::new(),
+            bwd_seen: BTreeSet::new(),
+            future: BTreeMap::new(),
+            peak_tracking: 0,
+            rounds_delivered: 0,
+        };
+        s.init_tracking();
+        s
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Whether the application already A-broadcast this round.
+    pub fn has_broadcast(&self) -> bool {
+        self.own_sent
+    }
+
+    /// Servers still in the overlay view (not tagged failed).
+    pub fn alive_members(&self) -> Vec<ServerId> {
+        (0..self.cfg.n() as ServerId).filter(|&p| self.alive[p as usize]).collect()
+    }
+
+    /// Whether `p` is still in the overlay view.
+    pub fn is_alive(&self, p: ServerId) -> bool {
+        self.alive[p as usize]
+    }
+
+    /// Number of rounds this server has delivered.
+    pub fn rounds_delivered(&self) -> u64 {
+        self.rounds_delivered
+    }
+
+    /// Alive predecessors of this server — the set its failure detector
+    /// must monitor (§3.2).
+    pub fn monitored_predecessors(&self) -> &[ServerId] {
+        &self.pred_view
+    }
+
+    /// Table 2 snapshot.
+    pub fn space_usage(&self) -> SpaceUsage {
+        SpaceUsage {
+            graph_bytes: self.cfg.graph.memory_bytes(),
+            messages: self.msgs.len(),
+            message_bytes: self.msgs.values().map(Bytes::len).sum(),
+            fail_notifications: self.fails.len(),
+            tracking_digraphs: self.tracking.len(),
+            tracking_vertices: self.tracking.values().map(TrackingDigraph::vertex_count).sum(),
+            tracking_edges: self.tracking.values().map(TrackingDigraph::edge_count).sum(),
+            peak_tracking_vertices: self.peak_tracking,
+        }
+    }
+
+    /// Replace the configuration (agreed membership change, §3): fresh
+    /// overlay, all members alive, per-round state reset, starting at
+    /// `round`. Cross-configuration failure notifications are dropped —
+    /// the new overlay has different edges, so old (failed, detector)
+    /// pairs are meaningless under it.
+    pub fn reconfigure(&mut self, cfg: Config, round: Round) {
+        let n = cfg.n();
+        assert!((self.id as usize) < n, "server id lost in reconfiguration");
+        self.cfg = cfg;
+        self.round = round;
+        self.alive = vec![true; n];
+        let (sv, pv) = build_views(&self.cfg, &self.alive, self.id);
+        self.succ_view = sv;
+        self.pred_view = pv;
+        self.reset_round_state();
+        self.future.retain(|&r, _| r >= round);
+    }
+
+    /// Feed one event; actions are appended to `out`.
+    pub fn handle_into(&mut self, event: Event, out: &mut Vec<Action>) {
+        match event {
+            Event::ABroadcast(payload) => self.a_broadcast(payload, out),
+            Event::Receive { from, msg } => {
+                let r = msg.round();
+                if r > self.round {
+                    self.future.entry(r).or_default().push_back((from, msg));
+                } else if r == self.round {
+                    self.dispatch(from, msg, out);
+                } // stale rounds are dropped: the sender has everything it
+                  // needs from us or has tagged us failed (§3).
+            }
+            Event::Suspect { suspect } => {
+                if self.alive[suspect as usize] {
+                    debug_assert!(
+                        self.cfg.graph.predecessors(self.id).contains(&suspect),
+                        "FD suspicion for non-predecessor {suspect}"
+                    );
+                    self.suspected_preds.insert(suspect);
+                    self.handle_fail(suspect, self.id, out);
+                }
+            }
+        }
+    }
+
+    /// Feed one event; returns the resulting actions.
+    pub fn handle(&mut self, event: Event) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.handle_into(event, &mut out);
+        out
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    fn init_tracking(&mut self) {
+        self.tracking.clear();
+        for p in 0..self.cfg.n() as ServerId {
+            if p != self.id && self.alive[p as usize] {
+                self.tracking.insert(p, TrackingDigraph::new(p));
+            }
+        }
+    }
+
+    fn reset_round_state(&mut self) {
+        self.msgs.clear();
+        self.own_sent = false;
+        self.fails.clear();
+        self.known_failed.clear();
+        self.suspected_preds.clear();
+        self.phase = Phase::Gathering;
+        self.fwd_seen.clear();
+        self.bwd_seen.clear();
+        self.init_tracking();
+    }
+
+    fn send_to_successors(&self, msg: &Message, out: &mut Vec<Action>) {
+        for &s in &self.succ_view[self.id as usize] {
+            out.push(Action::Send { to: s, msg: msg.clone() });
+        }
+    }
+
+    fn send_to_predecessors(&self, msg: &Message, out: &mut Vec<Action>) {
+        for &p in &self.pred_view {
+            out.push(Action::Send { to: p, msg: msg.clone() });
+        }
+    }
+
+    /// Algorithm 1 lines 1–4.
+    ///
+    /// One message per server per round: if this round's message already
+    /// went out (either an earlier application submission or the reactive
+    /// empty broadcast of line 15), the call is ignored and the payload
+    /// dropped. Callers that must not lose payloads check
+    /// [`Server::has_broadcast`] and queue for the next round — see the
+    /// TCP runtime's pending queue and `crate::batch`.
+    fn a_broadcast(&mut self, payload: Bytes, out: &mut Vec<Action>) {
+        if self.own_sent {
+            return;
+        }
+        self.own_sent = true;
+        let msg = Message::Bcast { round: self.round, origin: self.id, payload: payload.clone() };
+        self.send_to_successors(&msg, out);
+        self.msgs.insert(self.id, payload);
+        self.check_termination(out);
+    }
+
+    fn dispatch(&mut self, from: ServerId, msg: Message, out: &mut Vec<Action>) {
+        match msg {
+            Message::Bcast { origin, payload, .. } => {
+                // §3.3.2: after suspecting a predecessor, ignore its
+                // messages (except failure notifications) for the round.
+                if self.suspected_preds.contains(&from) {
+                    return;
+                }
+                self.handle_bcast(origin, payload, out);
+            }
+            Message::Fail { failed, detector, .. } => self.handle_fail(failed, detector, out),
+            Message::Fwd { origin, .. } => self.handle_fwd(origin, out),
+            Message::Bwd { origin, .. } => self.handle_bwd(origin, out),
+        }
+    }
+
+    /// Algorithm 1 lines 14–20.
+    fn handle_bcast(&mut self, origin: ServerId, payload: Bytes, out: &mut Vec<Action>) {
+        if !self.alive[origin as usize] || self.msgs.contains_key(&origin) {
+            return; // stale origin or duplicate — already forwarded once
+        }
+        if self.phase == Phase::Deciding {
+            return; // ◇P: message set already decided (§3.3.2)
+        }
+        // Line 15: react with our own (empty) message if we have not
+        // broadcast yet; the application can pre-empt this by calling
+        // ABroadcast first.
+        if !self.own_sent {
+            self.a_broadcast(Bytes::new(), out);
+        }
+        self.msgs.insert(origin, payload.clone());
+        // Lines 17–18: continue dissemination (only this message is new;
+        // everything else was forwarded on first receipt).
+        let msg = Message::Bcast { round: self.round, origin, payload };
+        self.send_to_successors(&msg, out);
+        // Line 19: stop tracking m_origin.
+        self.tracking.remove(&origin);
+        self.check_termination(out);
+    }
+
+    /// Algorithm 1 lines 21–41.
+    fn handle_fail(&mut self, failed: ServerId, detector: ServerId, out: &mut Vec<Action>) {
+        if !self.alive[failed as usize] || self.fails.contains(&(failed, detector)) {
+            return; // stale or duplicate — R-broadcast dedup
+        }
+        // Line 22: disseminate first (R-broadcast).
+        let msg = Message::Fail { round: self.round, failed, detector };
+        self.send_to_successors(&msg, out);
+        // Line 23: record.
+        self.fails.insert((failed, detector));
+        self.known_failed.insert(failed);
+        // Lines 24–40: update every tracking digraph that contains
+        // `failed`.
+        self.apply_fail_to_tracking(failed, detector);
+        self.check_termination(out);
+    }
+
+    fn apply_fail_to_tracking(&mut self, failed: ServerId, detector: ServerId) {
+        // Split borrows: tracking map vs the context fields.
+        let ctx = RoundCtx {
+            succ_view: &self.succ_view,
+            fails: &self.fails,
+            known_failed: &self.known_failed,
+        };
+        let mut peak = self.peak_tracking;
+        self.tracking.retain(|_, g| {
+            g.on_failure(failed, detector, &ctx);
+            peak = peak.max(g.peak_vertices());
+            !g.is_empty()
+        });
+        self.peak_tracking = peak;
+    }
+
+    /// §3.3.2: a server that decided its set floods FWD over `G`.
+    fn handle_fwd(&mut self, origin: ServerId, out: &mut Vec<Action>) {
+        if self.cfg.fd_mode != FdMode::EventuallyPerfect {
+            return;
+        }
+        if self.fwd_seen.insert(origin) {
+            let msg = Message::Fwd { round: self.round, origin };
+            self.send_to_successors(&msg, out);
+            self.check_decision(out);
+        }
+    }
+
+    /// §3.3.2: BWD floods over the transpose of `G`.
+    fn handle_bwd(&mut self, origin: ServerId, out: &mut Vec<Action>) {
+        if self.cfg.fd_mode != FdMode::EventuallyPerfect {
+            return;
+        }
+        if self.bwd_seen.insert(origin) {
+            let msg = Message::Bwd { round: self.round, origin };
+            self.send_to_predecessors(&msg, out);
+            self.check_decision(out);
+        }
+    }
+
+    /// Algorithm 1 lines 5–13 (plus the ◇P decision hand-off).
+    fn check_termination(&mut self, out: &mut Vec<Action>) {
+        if self.phase != Phase::Gathering || !self.tracking.is_empty() {
+            return;
+        }
+        // Validity guard: our own message must be part of the set. The
+        // check is implicit in Algorithm 1 (M_i always contains m_i by
+        // the time every other digraph empties) but explicit here because
+        // the application drives A-broadcast.
+        if !self.own_sent {
+            return;
+        }
+        match self.cfg.fd_mode {
+            FdMode::Perfect => self.deliver_and_advance(out),
+            FdMode::EventuallyPerfect => {
+                self.phase = Phase::Deciding;
+                // R-broadcast ⟨FWD, p_i⟩ over G and ⟨BWD, p_i⟩ over G^T.
+                self.fwd_seen.insert(self.id);
+                self.bwd_seen.insert(self.id);
+                let fwd = Message::Fwd { round: self.round, origin: self.id };
+                self.send_to_successors(&fwd, out);
+                let bwd = Message::Bwd { round: self.round, origin: self.id };
+                self.send_to_predecessors(&bwd, out);
+                self.check_decision(out);
+            }
+        }
+    }
+
+    /// §3.3.2: deliver once ⌊n/2⌋ *other* servers are known to share our
+    /// set in both directions (FWD: theirs ⊆ ours; BWD: ours ⊆ theirs) —
+    /// a strict majority including ourselves.
+    fn check_decision(&mut self, out: &mut Vec<Action>) {
+        if self.phase != Phase::Deciding {
+            return;
+        }
+        let n = self.alive.iter().filter(|&&a| a).count();
+        let both = self
+            .fwd_seen
+            .iter()
+            .filter(|&&p| p != self.id && self.bwd_seen.contains(&p))
+            .count();
+        if both >= n / 2 {
+            self.deliver_and_advance(out);
+        }
+    }
+
+    fn deliver_and_advance(&mut self, out: &mut Vec<Action>) {
+        // Deliver sort(M_i) — BTreeMap iteration is origin-ascending.
+        let messages: Vec<(ServerId, Bytes)> =
+            self.msgs.iter().map(|(&p, b)| (p, b.clone())).collect();
+        out.push(Action::Deliver { round: self.round, messages });
+        self.rounds_delivered += 1;
+
+        // Lines 9–11: tag servers whose messages were not delivered.
+        for p in 0..self.cfg.n() as ServerId {
+            if self.alive[p as usize] && !self.msgs.contains_key(&p) {
+                self.alive[p as usize] = false;
+            }
+        }
+        // Lines 12–13: keep notifications about still-alive servers (they
+        // failed *after* A-broadcasting; the new round must know).
+        let carried: Vec<(ServerId, ServerId)> = self
+            .fails
+            .iter()
+            .copied()
+            .filter(|&(p, _)| self.alive[p as usize])
+            .collect();
+
+        // Enter the next round under the shrunken overlay view.
+        self.round += 1;
+        let (sv, pv) = build_views(&self.cfg, &self.alive, self.id);
+        self.succ_view = sv;
+        self.pred_view = pv;
+        self.reset_round_state();
+
+        // Re-derive the ignore-rule for predecessors we ourselves
+        // suspected, then replay the carried notifications: batch-insert
+        // first so expansions see the full refutation set, then update
+        // tracking and resend under the new round's tag.
+        for &(p, det) in &carried {
+            if det == self.id {
+                self.suspected_preds.insert(p);
+            }
+            self.fails.insert((p, det));
+            self.known_failed.insert(p);
+        }
+        for &(p, det) in &carried {
+            let msg = Message::Fail { round: self.round, failed: p, detector: det };
+            self.send_to_successors(&msg, out);
+            self.apply_fail_to_tracking(p, det);
+        }
+        // The carried notifications alone may already settle the round's
+        // tracking state for long-dead senders, but delivery still waits
+        // for our own A-broadcast (the application drives it).
+
+        // Drain any buffered events that now belong to the current round.
+        self.drain_future(out);
+    }
+
+    fn drain_future(&mut self, out: &mut Vec<Action>) {
+        // Delivering inside the drain can advance the round again, so
+        // loop until no buffered events remain for the current round.
+        loop {
+            let Some(mut queue) = self.future.remove(&self.round) else { return };
+            let round_before = self.round;
+            while let Some((from, msg)) = queue.pop_front() {
+                self.dispatch(from, msg, out);
+                if self.round != round_before {
+                    // Advanced mid-drain; remaining messages are stale for
+                    // the new round only if tagged older — they are all
+                    // tagged `round_before`, so drop them.
+                    break;
+                }
+            }
+            if self.round == round_before {
+                return;
+            }
+        }
+    }
+}
+
+/// Build (successor view, self's predecessor view) under an alive mask:
+/// dead servers keep their vertex ids but lose every edge.
+fn build_views(cfg: &Config, alive: &[bool], id: ServerId) -> (Vec<Vec<ServerId>>, Vec<ServerId>) {
+    let n = cfg.n();
+    let mut succ = vec![Vec::new(); n];
+    for v in 0..n as ServerId {
+        if !alive[v as usize] {
+            continue;
+        }
+        succ[v as usize] = cfg
+            .graph
+            .successors(v)
+            .iter()
+            .copied()
+            .filter(|&s| alive[s as usize])
+            .collect();
+    }
+    let pred = cfg
+        .graph
+        .predecessors(id)
+        .iter()
+        .copied()
+        .filter(|&p| alive[p as usize])
+        .collect();
+    (succ, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allconcur_graph::gs::gs_digraph;
+    use allconcur_graph::standard::complete_digraph;
+    use std::sync::Arc;
+
+    fn cfg_gs83() -> Config {
+        Config::new(Arc::new(gs_digraph(8, 3).unwrap()), 2)
+    }
+
+    fn payload(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 8])
+    }
+
+    /// Drive a full failure-free round by hand-delivering every Send.
+    /// Returns per-server delivered message vectors.
+    fn run_lockstep_round(cfg: &Config) -> Vec<Vec<(ServerId, Bytes)>> {
+        let n = cfg.n();
+        let mut servers: Vec<Server> = (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
+        let mut inbox: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
+        let mut delivered: Vec<Vec<(ServerId, Bytes)>> = vec![Vec::new(); n];
+
+        for i in 0..n as ServerId {
+            for a in servers[i as usize].handle(Event::ABroadcast(payload(i as u8))) {
+                match a {
+                    Action::Send { to, msg } => inbox.push_back((i, to, msg)),
+                    Action::Deliver { .. } => unreachable!("cannot deliver before dissemination"),
+                }
+            }
+        }
+        while let Some((from, to, msg)) = inbox.pop_front() {
+            for a in servers[to as usize].handle(Event::Receive { from, msg }) {
+                match a {
+                    Action::Send { to: t2, msg } => inbox.push_back((to, t2, msg)),
+                    Action::Deliver { messages, .. } => delivered[to as usize] = messages,
+                }
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn failure_free_round_delivers_everything_everywhere() {
+        let cfg = cfg_gs83();
+        let delivered = run_lockstep_round(&cfg);
+        for (i, msgs) in delivered.iter().enumerate() {
+            assert_eq!(msgs.len(), 8, "server {i} delivered {} messages", msgs.len());
+            // Total order: identical ordered vector everywhere.
+            assert_eq!(msgs, &delivered[0], "server {i} delivered a different sequence");
+            // Deterministic order = ascending origin.
+            let origins: Vec<ServerId> = msgs.iter().map(|&(o, _)| o).collect();
+            assert_eq!(origins, (0..8).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_payloads_are_delivered() {
+        let cfg = Config::new(Arc::new(complete_digraph(4)), 1);
+        let mut servers: Vec<Server> = (0..4).map(|i| Server::new(cfg.clone(), i)).collect();
+        let mut inbox: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
+        // Only server 0 has something to say; 1–3 stay reactive.
+        for a in servers[0].handle(Event::ABroadcast(payload(9))) {
+            if let Action::Send { to, msg } = a {
+                inbox.push_back((0, to, msg));
+            }
+        }
+        let mut delivered = vec![Vec::new(); 4];
+        while let Some((from, to, msg)) = inbox.pop_front() {
+            for a in servers[to as usize].handle(Event::Receive { from, msg }) {
+                match a {
+                    Action::Send { to: t, msg } => inbox.push_back((to, t, msg)),
+                    Action::Deliver { messages, .. } => delivered[to as usize] = messages,
+                }
+            }
+        }
+        // Servers 1..3 delivered 4 messages (3 empty), all identical; but
+        // server 0 may still be waiting for nothing — it delivered too
+        // since its own broadcast happened first.
+        for (i, d) in delivered.iter().enumerate() {
+            assert_eq!(d.len(), 4, "server {i}");
+            assert_eq!(d[0].1, payload(9));
+            assert!(d[1].1.is_empty() && d[2].1.is_empty() && d[3].1.is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_bcast_not_reforwarded() {
+        let cfg = cfg_gs83();
+        let mut s = Server::new(cfg.clone(), 0);
+        s.handle(Event::ABroadcast(Bytes::new()));
+        let pred = cfg.graph.predecessors(0)[0];
+        let msg = Message::Bcast { round: 0, origin: 5, payload: Bytes::new() };
+        let first = s.handle(Event::Receive { from: pred, msg: msg.clone() });
+        assert!(first.iter().any(|a| matches!(a, Action::Send { .. })));
+        let second = s.handle(Event::Receive { from: pred, msg });
+        assert!(second.is_empty(), "duplicate must be ignored: {second:?}");
+    }
+
+    #[test]
+    fn suspect_generates_fail_flood() {
+        let cfg = cfg_gs83();
+        let mut s = Server::new(cfg.clone(), 0);
+        let suspect = cfg.graph.predecessors(0)[0];
+        let actions = s.handle(Event::Suspect { suspect });
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, msg: Message::Fail { failed, detector, round } } => {
+                    Some((*to, *failed, *detector, *round))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends.len(), cfg.graph.out_degree(0));
+        for (_, failed, detector, round) in sends {
+            assert_eq!(failed, suspect);
+            assert_eq!(detector, 0);
+            assert_eq!(round, 0);
+        }
+    }
+
+    #[test]
+    fn bcast_from_suspected_predecessor_is_ignored() {
+        let cfg = cfg_gs83();
+        let mut s = Server::new(cfg.clone(), 0);
+        s.handle(Event::ABroadcast(Bytes::new()));
+        let suspect = cfg.graph.predecessors(0)[0];
+        s.handle(Event::Suspect { suspect });
+        let msg = Message::Bcast { round: 0, origin: suspect, payload: Bytes::new() };
+        let actions = s.handle(Event::Receive { from: suspect, msg });
+        assert!(actions.is_empty(), "suspected predecessor's BCAST must be dropped");
+    }
+
+    #[test]
+    fn future_round_messages_are_buffered() {
+        let cfg = cfg_gs83();
+        let mut s = Server::new(cfg.clone(), 0);
+        let pred = cfg.graph.predecessors(0)[0];
+        let future_msg = Message::Bcast { round: 1, origin: 5, payload: payload(5) };
+        let actions = s.handle(Event::Receive { from: pred, msg: future_msg });
+        assert!(actions.is_empty(), "round-1 message must be buffered at round 0");
+        assert_eq!(s.round(), 0);
+    }
+
+    #[test]
+    fn stale_round_messages_are_dropped() {
+        // Drive a full round on a complete digraph, then replay a round-0
+        // message: it must be ignored.
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut servers: Vec<Server> = (0..3).map(|i| Server::new(cfg.clone(), i)).collect();
+        let mut inbox: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
+        for i in 0..3u32 {
+            for a in servers[i as usize].handle(Event::ABroadcast(Bytes::new())) {
+                if let Action::Send { to, msg } = a {
+                    inbox.push_back((i, to, msg));
+                }
+            }
+        }
+        while let Some((from, to, msg)) = inbox.pop_front() {
+            for a in servers[to as usize].handle(Event::Receive { from, msg }) {
+                if let Action::Send { to: t, msg } = a {
+                    inbox.push_back((to, t, msg));
+                }
+            }
+        }
+        assert_eq!(servers[0].round(), 1);
+        let stale = Message::Bcast { round: 0, origin: 1, payload: Bytes::new() };
+        assert!(servers[0].handle(Event::Receive { from: 1, msg: stale }).is_empty());
+    }
+
+    #[test]
+    fn no_delivery_before_own_broadcast() {
+        // Server 2 in a 2-ring... use complete_digraph(2): server 1 gets
+        // server 0's message but must not deliver before its own
+        // A-broadcast — which line 15 triggers automatically, so delivery
+        // happens but includes server 1's empty message.
+        let cfg = Config::new(Arc::new(complete_digraph(2)), 0);
+        let mut s1 = Server::new(cfg, 1);
+        let msg = Message::Bcast { round: 0, origin: 0, payload: payload(1) };
+        let actions = s1.handle(Event::Receive { from: 0, msg });
+        let deliver = actions.iter().find_map(|a| match a {
+            Action::Deliver { messages, .. } => Some(messages.clone()),
+            _ => None,
+        });
+        let messages = deliver.expect("round complete for n=2");
+        assert_eq!(messages.len(), 2);
+        assert_eq!(messages[0].0, 0);
+        assert_eq!(messages[1].0, 1);
+        assert!(messages[1].1.is_empty(), "auto-broadcast is empty");
+    }
+
+    #[test]
+    fn failed_server_tagged_and_removed_next_round() {
+        // Complete digraph n=3; server 2 never broadcasts and is reported
+        // failed by everyone. Servers 0/1 must deliver without m2 and tag
+        // server 2 as failed.
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s0 = Server::new(cfg.clone(), 0);
+        let mut acts = Vec::new();
+        s0.handle_into(Event::ABroadcast(payload(0)), &mut acts);
+        s0.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 0, origin: 1, payload: payload(1) },
+            },
+            &mut acts,
+        );
+        // FD: suspect 2; also receive server 1's notification about 2.
+        s0.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+        acts.clear();
+        s0.handle_into(
+            Event::Receive { from: 1, msg: Message::Fail { round: 0, failed: 2, detector: 1 } },
+            &mut acts,
+        );
+        let deliver = acts.iter().find_map(|a| match a {
+            Action::Deliver { round, messages } => Some((*round, messages.clone())),
+            _ => None,
+        });
+        let (round, messages) = deliver.expect("tracking digraph for 2 must clear: all holders failed");
+        assert_eq!(round, 0);
+        assert_eq!(messages.iter().map(|&(o, _)| o).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s0.round(), 1);
+        assert!(!s0.is_alive(2), "server 2 tagged failed");
+        assert_eq!(s0.alive_members(), vec![0, 1]);
+    }
+
+    #[test]
+    fn late_failure_notification_carried_to_next_round() {
+        // Server 2 broadcasts, then fails: the round delivers all three
+        // messages, and the (2, detector) notification is carried over and
+        // re-sent in round 1.
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s0 = Server::new(cfg, 0);
+        let mut acts = Vec::new();
+        s0.handle_into(Event::ABroadcast(payload(0)), &mut acts);
+        s0.handle_into(
+            Event::Receive {
+                from: 2,
+                msg: Message::Bcast { round: 0, origin: 2, payload: payload(2) },
+            },
+            &mut acts,
+        );
+        s0.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+        acts.clear();
+        s0.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 0, origin: 1, payload: payload(1) },
+            },
+            &mut acts,
+        );
+        // All three messages present; tracking for 2 cleared by receipt;
+        // delivery includes m2 even though 2 is suspected.
+        let deliver = acts.iter().find_map(|a| match a {
+            Action::Deliver { messages, .. } => Some(messages.len()),
+            _ => None,
+        });
+        assert_eq!(deliver, Some(3));
+        assert_eq!(s0.round(), 1);
+        assert!(s0.is_alive(2), "message delivered → not tagged this round");
+        // The carried notification must have been re-sent in round 1.
+        let carried: Vec<_> = acts
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    Action::Send { msg: Message::Fail { round: 1, failed: 2, .. }, .. }
+                )
+            })
+            .collect();
+        assert!(!carried.is_empty(), "carry-over FAIL must be resent in round 1: {acts:?}");
+    }
+
+    #[test]
+    fn reconfigure_resets_state() {
+        let cfg = cfg_gs83();
+        let mut s = Server::new(cfg, 3);
+        s.handle(Event::ABroadcast(payload(3)));
+        let new_cfg = Config::new(Arc::new(gs_digraph(6, 3).unwrap()), 2);
+        s.reconfigure(new_cfg, 7);
+        assert_eq!(s.round(), 7);
+        assert!(!s.has_broadcast());
+        assert_eq!(s.alive_members().len(), 6);
+    }
+
+    #[test]
+    fn space_usage_reflects_state() {
+        let cfg = cfg_gs83();
+        let mut s = Server::new(cfg, 0);
+        let before = s.space_usage();
+        assert_eq!(before.messages, 0);
+        assert_eq!(before.tracking_digraphs, 7);
+        assert_eq!(before.tracking_vertices, 7);
+        s.handle(Event::ABroadcast(payload(0)));
+        let after = s.space_usage();
+        assert_eq!(after.messages, 1);
+        assert_eq!(after.message_bytes, 8);
+        assert!(after.graph_bytes > 0);
+    }
+
+    #[test]
+    fn single_server_cluster_is_trivial() {
+        let g = Arc::new(allconcur_graph::digraph::DigraphBuilder::new(1).build());
+        let mut s = Server::new(Config::new(g, 0), 0);
+        let acts = s.handle(Event::ABroadcast(payload(7)));
+        let deliver = acts.iter().find_map(|a| match a {
+            Action::Deliver { round, messages } => Some((*round, messages.len())),
+            _ => None,
+        });
+        assert_eq!(deliver, Some((0, 1)));
+        assert_eq!(s.round(), 1);
+    }
+}

@@ -1,0 +1,474 @@
+//! Tracking digraphs — the data structure behind early termination (§2.3,
+//! Algorithm 1 lines 21–41).
+//!
+//! Server `p_i` keeps one tracking digraph `g_i[p*]` per server `p*` whose
+//! round-`R` message `m*` it has not yet received. The digraph
+//! *over-approximates* the possible whereabouts of `m*`:
+//!
+//! * vertices — servers that (for all `p_i` knows) may hold `m*`;
+//! * an edge `(p_j, p_k)` — `p_i`'s suspicion that `p_k` received `m*`
+//!   directly from `p_j`.
+//!
+//! Failure notifications drive the digraph:
+//!
+//! * the first notification involving a tracked vertex `p_j` with no
+//!   successors yet *expands* the digraph — `p_j` may have managed to send
+//!   `m*` to any successor before dying (except the notifier, who by FIFO
+//!   order would have relayed `m*` before the notification) — recursing
+//!   through successors already known to have failed (lines 26–34);
+//! * a later notification `(p_j, p_k)` *refutes* the edge `(p_j, p_k)`:
+//!   had `p_k` received `m*` from `p_j`, it would have forwarded `m*`
+//!   before notifying (lines 35–36);
+//! * pruning removes vertices no longer reachable from `p*` (they cannot
+//!   have received `m*` — line 37) and clears the digraph entirely when
+//!   every remaining vertex is known to have failed: no non-faulty server
+//!   holds `m*`, so nobody will ever deliver it (lines 39–40).
+//!
+//! `p_i` stops tracking `m*` the moment it receives it (line 19). The
+//! round terminates when **all** tracking digraphs are empty (line 6).
+//!
+//! Per Table 2 the digraphs stay small — `O(f·d)` vertices each, and only
+//! `O(f)` of them ever grow beyond one vertex — so the implementation
+//! favours dense little maps over asymptotics.
+
+use crate::ServerId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Interface the tracking logic needs from the rest of the server state.
+/// Implemented by the round state in [`crate::server`]; kept as a trait so
+/// the tracking digraph can be unit-tested in isolation.
+pub trait TrackingContext {
+    /// Successors of `p` in the current overlay view (alive members only —
+    /// dead servers keep their vertex but lose their edges).
+    fn successors(&self, p: ServerId) -> &[ServerId];
+    /// Whether any failure notification `(p, *)` has been received this
+    /// round, i.e. `p` is known to have failed.
+    fn is_known_failed(&self, p: ServerId) -> bool;
+    /// Whether the specific notification `(failed, detector)` has been
+    /// received this round (the `F_i` set).
+    fn has_notification(&self, failed: ServerId, detector: ServerId) -> bool;
+}
+
+/// The tracking digraph `g_i[p*]` for one tracked origin `p*`.
+///
+/// Uses sorted maps/sets: deterministic iteration keeps the whole server
+/// state machine reproducible, which the simulator's replayable runs and
+/// the property tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackingDigraph {
+    /// The tracked origin `p*`.
+    origin: ServerId,
+    /// Adjacency: vertex → successors within the tracking digraph.
+    /// Every vertex of the digraph has an entry (possibly empty).
+    succs: BTreeMap<ServerId, BTreeSet<ServerId>>,
+    /// Peak vertex count reached — Table 2 instrumentation.
+    peak_vertices: usize,
+}
+
+impl TrackingDigraph {
+    /// Fresh digraph: `V = {p*}`, no edges (Algorithm 1's INIT).
+    pub fn new(origin: ServerId) -> Self {
+        let mut succs = BTreeMap::new();
+        succs.insert(origin, BTreeSet::new());
+        TrackingDigraph { origin, succs, peak_vertices: 1 }
+    }
+
+    /// The tracked origin `p*`.
+    pub fn origin(&self) -> ServerId {
+        self.origin
+    }
+
+    /// Whether the digraph has been emptied — either `m*` was received or
+    /// no non-faulty server can hold it.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Current vertex count.
+    pub fn vertex_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Current edge count.
+    pub fn edge_count(&self) -> usize {
+        self.succs.values().map(|s| s.len()).sum()
+    }
+
+    /// Largest vertex count this digraph ever reached (Table 2).
+    pub fn peak_vertices(&self) -> usize {
+        self.peak_vertices
+    }
+
+    /// Whether `p` is currently a vertex.
+    pub fn contains(&self, p: ServerId) -> bool {
+        self.succs.contains_key(&p)
+    }
+
+    /// Whether the edge `(a, b)` is present.
+    pub fn has_edge(&self, a: ServerId, b: ServerId) -> bool {
+        self.succs.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Stop tracking entirely (message received, or give-up rule).
+    pub fn clear(&mut self) {
+        self.succs.clear();
+    }
+
+    /// Process the failure notification `(failed, detector)` —
+    /// Algorithm 1 lines 24–40. Returns `true` if the digraph changed.
+    ///
+    /// `ctx` supplies the overlay and the notification set `F_i`
+    /// (*including* the notification being processed, which Algorithm 1
+    /// inserts at line 23 before touching the digraphs).
+    pub fn on_failure<C: TrackingContext>(
+        &mut self,
+        failed: ServerId,
+        detector: ServerId,
+        ctx: &C,
+    ) -> bool {
+        if self.is_empty() || !self.contains(failed) {
+            return false;
+        }
+        let had_successors = !self.succs[&failed].is_empty();
+        let mut changed = false;
+
+        if !had_successors {
+            // Expansion (lines 26–34): `failed` may have sent m* to any
+            // successor before dying. BFS through successors that are
+            // themselves already known failed. Two exclusions apply: the
+            // notifying detector cannot have received m* from `failed`
+            // (FIFO channels — it would have relayed m* first), and any
+            // (src, dst) pair already refuted by a notification in F_i.
+            let mut queue: VecDeque<(ServerId, ServerId)> = VecDeque::new();
+            for &p in ctx.successors(failed) {
+                if p != detector && !ctx.has_notification(failed, p) {
+                    queue.push_back((failed, p));
+                }
+            }
+            while let Some((src, dst)) = queue.pop_front() {
+                if !self.contains(dst) {
+                    self.succs.insert(dst, BTreeSet::new());
+                    changed = true;
+                    if ctx.is_known_failed(dst) {
+                        // dst may have relayed m* before failing in turn.
+                        for &ps in ctx.successors(dst) {
+                            if !ctx.has_notification(dst, ps) {
+                                queue.push_back((dst, ps));
+                            }
+                        }
+                    }
+                }
+                changed |= self
+                    .succs
+                    .get_mut(&src)
+                    .expect("expansion source must be a vertex")
+                    .insert(dst);
+            }
+        } else if self.has_edge(failed, detector) {
+            // Refutation (lines 35–36): detector has not received m*
+            // from `failed`.
+            self.succs.get_mut(&failed).expect("checked").remove(&detector);
+            changed = true;
+        }
+
+        if changed {
+            self.prune(ctx);
+            self.peak_vertices = self.peak_vertices.max(self.succs.len());
+        }
+        changed
+    }
+
+    /// Pruning (lines 37–40): drop vertices unreachable from `p*`, then
+    /// clear entirely if every surviving vertex is known to have failed.
+    fn prune<C: TrackingContext>(&mut self, ctx: &C) {
+        if self.succs.is_empty() {
+            return;
+        }
+        if !self.contains(self.origin) {
+            // p* was never removable while present; if it is gone the
+            // whole digraph is unreachable.
+            self.succs.clear();
+            return;
+        }
+        // Reachability from p*.
+        let mut reachable = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        reachable.insert(self.origin);
+        queue.push_back(self.origin);
+        while let Some(u) = queue.pop_front() {
+            if let Some(succs) = self.succs.get(&u) {
+                for &v in succs {
+                    if reachable.insert(v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        if reachable.len() != self.succs.len() {
+            self.succs.retain(|v, _| reachable.contains(v));
+            for set in self.succs.values_mut() {
+                set.retain(|v| reachable.contains(v));
+            }
+        }
+        // Give-up rule: all remaining holders are dead — m* is lost.
+        if self.succs.keys().all(|&p| ctx.is_known_failed(p)) {
+            self.succs.clear();
+        }
+    }
+
+    /// Vertices currently tracked (sorted). Exposed for tests and
+    /// instrumentation.
+    pub fn vertices(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.succs.keys().copied()
+    }
+
+    /// Edges currently tracked (sorted). Exposed for tests and
+    /// instrumentation.
+    pub fn edges(&self) -> impl Iterator<Item = (ServerId, ServerId)> + '_ {
+        self.succs.iter().flat_map(|(&u, vs)| vs.iter().map(move |&v| (u, v)))
+    }
+
+    /// Approximate heap usage in bytes (Table 2 instrumentation).
+    pub fn memory_bytes(&self) -> usize {
+        // BTree nodes are opaque; count logical entries.
+        self.succs.len() * 16 + self.edge_count() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A test context over an explicit successor map.
+    struct Ctx {
+        succ: BTreeMap<ServerId, Vec<ServerId>>,
+        notifications: BTreeSet<(ServerId, ServerId)>,
+    }
+
+    impl Ctx {
+        fn new(edges: &[(ServerId, &[ServerId])]) -> Self {
+            let succ = edges.iter().map(|&(p, s)| (p, s.to_vec())).collect();
+            Ctx { succ, notifications: BTreeSet::new() }
+        }
+        fn notify(&mut self, failed: ServerId, detector: ServerId) {
+            self.notifications.insert((failed, detector));
+        }
+    }
+
+    impl TrackingContext for Ctx {
+        fn successors(&self, p: ServerId) -> &[ServerId] {
+            self.succ.get(&p).map(|v| v.as_slice()).unwrap_or(&[])
+        }
+        fn is_known_failed(&self, p: ServerId) -> bool {
+            self.notifications.iter().any(|&(f, _)| f == p)
+        }
+        fn has_notification(&self, failed: ServerId, detector: ServerId) -> bool {
+            self.notifications.contains(&(failed, detector))
+        }
+    }
+
+    /// Binomial-graph successors for the paper's 9-server example (§2.3,
+    /// Fig. 2): p_i connects to i ± {1, 2, 4} mod 9.
+    fn binomial9() -> Ctx {
+        let mut edges: Vec<(ServerId, Vec<ServerId>)> = Vec::new();
+        for i in 0..9u32 {
+            let mut s: Vec<ServerId> = [1u32, 2, 4, 5, 7, 8] // ±1,±2,±4 mod 9
+                .iter()
+                .map(|&o| (i + o) % 9)
+                .collect();
+            s.sort_unstable();
+            edges.push((i, s));
+        }
+        Ctx {
+            succ: edges.into_iter().collect(),
+            notifications: BTreeSet::new(),
+        }
+    }
+
+    #[test]
+    fn fresh_digraph_tracks_origin_only() {
+        let g = TrackingDigraph::new(4);
+        assert!(!g.is_empty());
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.contains(4));
+    }
+
+    #[test]
+    fn paper_figure2_walkthrough() {
+        // Fig. 2b, server p6 tracking m0 through failures of p0 and p1.
+        let mut ctx = binomial9();
+        let mut g0 = TrackingDigraph::new(0);
+        let mut g1 = TrackingDigraph::new(1);
+
+        // ⟨FAIL, p0, p2⟩: g6[p0] expands with p0's successors except p2.
+        ctx.notify(0, 2);
+        assert!(g0.on_failure(0, 2, &ctx));
+        let vs: Vec<_> = g0.vertices().collect();
+        assert_eq!(vs, vec![0, 1, 4, 5, 7, 8], "p0's successors minus p2, plus p0");
+        assert!(g0.has_edge(0, 1));
+        assert!(!g0.contains(2));
+        // g6[p1] untouched: p0 is not a vertex of g6[p1].
+        assert!(!g1.on_failure(0, 2, &ctx));
+        assert_eq!(g1.vertex_count(), 1);
+
+        // ⟨FAIL, p0, p5⟩: refutes edge (p0, p5); p5 pruned (unreachable).
+        ctx.notify(0, 5);
+        assert!(g0.on_failure(0, 5, &ctx));
+        assert!(!g0.contains(5));
+        assert!(!g0.has_edge(0, 5));
+
+        // ⟨FAIL, p1, p3⟩: g6[p1] expands with p1's successors except p3,
+        // recursing through p0 (already known failed) while skipping the
+        // already-refuted pairs (p0,p2) and (p0,p5).
+        ctx.notify(1, 3);
+        assert!(g1.on_failure(1, 3, &ctx));
+        // p1's successors: {0,2,3,5,6,8} minus p3 → {0,2,5,6,8}; recursion
+        // through p0 adds {4, 7} (p0's successors minus refuted p2, p5).
+        let vs: Vec<_> = g1.vertices().collect();
+        assert_eq!(vs, vec![0, 1, 2, 4, 5, 6, 7, 8]);
+        assert!(g1.has_edge(1, 0));
+        assert!(g1.has_edge(0, 4));
+        assert!(!g1.has_edge(0, 2), "p2 already refuted receiving from p0");
+        // g6[p0] also expands: p1 is a vertex of g0 with no successors.
+        assert!(g0.on_failure(1, 3, &ctx));
+        assert!(g0.has_edge(1, 0), "p0 ∈ succ(p1): the edge is tracked even toward the origin");
+
+        // ⟨BCAST, m1⟩ arrives: p6 stops tracking m1.
+        g1.clear();
+        assert!(g1.is_empty());
+        assert!(!g0.is_empty(), "m0 still being tracked");
+    }
+
+    #[test]
+    fn notification_for_untracked_server_is_noop() {
+        let ctx = binomial9();
+        let mut g = TrackingDigraph::new(0);
+        assert!(!g.on_failure(3, 5, &ctx));
+        assert_eq!(g.vertex_count(), 1);
+    }
+
+    #[test]
+    fn all_successors_refuted_clears_digraph() {
+        // Tiny overlay: 0 → {1, 2}; both notify. After the second
+        // notification no vertex can hold m0 (0 failed, 1 and 2 refuted),
+        // so the digraph must clear.
+        let mut ctx = Ctx::new(&[(0, &[1, 2]), (1, &[0, 2]), (2, &[0, 1])]);
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 1);
+        g.on_failure(0, 1, &ctx);
+        assert_eq!(g.vertices().collect::<Vec<_>>(), vec![0, 2]);
+        ctx.notify(0, 2);
+        g.on_failure(0, 2, &ctx);
+        assert!(g.is_empty(), "no non-faulty server can hold m0");
+    }
+
+    #[test]
+    fn give_up_when_all_holders_failed() {
+        // 0 → 1 → 2 chain; 0 fails having maybe sent to 1; then 1 fails
+        // having maybe sent to 2; then 2 fails having maybe sent to... no
+        // one (successor is 0, already failed and refuted by its own
+        // notifications? keep 2's successors = [0]). Eventually every
+        // vertex is failed → digraph clears.
+        let mut ctx = Ctx::new(&[(0, &[1]), (1, &[2]), (2, &[0])]);
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 9); // detector outside successor set: expansion keeps 1
+        g.on_failure(0, 9, &ctx);
+        assert!(g.contains(1));
+        ctx.notify(1, 9);
+        g.on_failure(1, 9, &ctx);
+        assert!(g.contains(2));
+        ctx.notify(2, 9);
+        g.on_failure(2, 9, &ctx);
+        // 2's expansion adds 0 (already a vertex, already failed). All of
+        // {0,1,2} are known failed → cleared.
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn re_expansion_respects_refuted_pairs() {
+        // Regression for the line-27 subtlety: if every edge out of a
+        // failed vertex has been refuted, a later notification must NOT
+        // resurrect refuted edges.
+        let mut ctx = Ctx::new(&[(0, &[1, 2, 3]), (1, &[0]), (2, &[0]), (3, &[0])]);
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 1);
+        g.on_failure(0, 1, &ctx); // expands to {2, 3}
+        ctx.notify(0, 2);
+        g.on_failure(0, 2, &ctx); // refutes (0,2); 2 pruned
+        assert!(!g.contains(2));
+        ctx.notify(0, 3);
+        g.on_failure(0, 3, &ctx); // refutes (0,3); 3 pruned; only 0 left → clear
+        assert!(g.is_empty(), "got vertices {:?}", g.vertices().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unreachable_vertices_pruned_transitively() {
+        // 0 fails → expand {1}; 1 fails → expand {4 via 1→4}; then the
+        // edge (0,1) is refuted by 1's own earlier... construct: refute
+        // (0,1) via second notification from detector 1? detector 1 is
+        // the edge target. Chain: 0→1→4; refuting (0,1) must also prune 4.
+        let mut ctx = Ctx::new(&[(0, &[1]), (1, &[4]), (4, &[0])]);
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 7);
+        g.on_failure(0, 7, &ctx); // V = {0,1}, E = {(0,1)}
+        ctx.notify(1, 7);
+        g.on_failure(1, 7, &ctx); // V = {0,1,4}, E = {(0,1),(1,4)}
+        assert!(g.contains(4));
+        ctx.notify(0, 1);
+        g.on_failure(0, 1, &ctx); // refute (0,1): 1 and 4 unreachable
+        // 0 is failed and alone → cleared entirely.
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn expansion_through_failed_successor_chains() {
+        // Line 32: adding a successor that is already known failed
+        // recursively adds its successors.
+        let mut ctx = Ctx::new(&[(0, &[1]), (1, &[2]), (2, &[3]), (3, &[0])]);
+        let mut g = TrackingDigraph::new(0);
+        // 1 and 2 already known failed before 0's notification arrives.
+        ctx.notify(1, 8);
+        ctx.notify(2, 8);
+        ctx.notify(0, 8);
+        g.on_failure(0, 8, &ctx);
+        // 0 → 1 (failed) → 2 (failed) → 3 (alive): all become vertices.
+        assert_eq!(g.vertices().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.is_empty(), "3 is alive and may hold m0");
+    }
+
+    #[test]
+    fn clear_is_terminal() {
+        let ctx = binomial9();
+        let mut g = TrackingDigraph::new(0);
+        g.clear();
+        assert!(g.is_empty());
+        assert!(!g.on_failure(0, 2, &ctx), "cleared digraph ignores notifications");
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn peak_vertices_tracks_high_water_mark() {
+        let mut ctx = binomial9();
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 2);
+        g.on_failure(0, 2, &ctx);
+        let peak = g.peak_vertices();
+        assert!(peak >= 6);
+        g.clear();
+        assert_eq!(g.peak_vertices(), peak, "peak survives clear");
+    }
+
+    #[test]
+    fn duplicate_notification_is_noop() {
+        let mut ctx = binomial9();
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 2);
+        assert!(g.on_failure(0, 2, &ctx));
+        let snapshot = g.clone();
+        assert!(!g.on_failure(0, 2, &ctx), "same notification twice must not change state");
+        assert_eq!(g, snapshot);
+    }
+}

@@ -1,0 +1,223 @@
+//! Targeted edge-case tests for the server state machine: round-boundary
+//! buffering, carry-over interactions, EP decision thresholds, and
+//! reconfiguration corner cases that the broader property tests only hit
+//! probabilistically.
+
+use allconcur_core::config::{Config, FdMode};
+use allconcur_core::message::Message;
+use allconcur_core::server::{Action, Event, Server};
+use allconcur_graph::standard::complete_digraph;
+use bytes::Bytes;
+use std::sync::Arc;
+
+fn cfg(n: usize) -> Config {
+    Config::new(Arc::new(complete_digraph(n)), n.saturating_sub(2))
+}
+
+fn deliver_actions(actions: &[Action]) -> Option<(u64, Vec<(u32, Bytes)>)> {
+    actions.iter().find_map(|a| match a {
+        Action::Deliver { round, messages } => Some((*round, messages.clone())),
+        _ => None,
+    })
+}
+
+#[test]
+fn buffered_future_round_replays_after_advance() {
+    // Server 0 of a 3-clique receives a round-1 message while still in
+    // round 0; after round 0 completes, the buffered message must count
+    // toward round 1 without retransmission from the peer.
+    let mut s = Server::new(cfg(3), 0);
+    let mut acts = Vec::new();
+    s.handle_into(Event::ABroadcast(Bytes::from_static(b"r0-own")), &mut acts);
+
+    // Round-1 BCAST from server 1 arrives early.
+    let early = Message::Bcast { round: 1, origin: 1, payload: Bytes::from_static(b"r1-m1") };
+    assert!(s.handle(Event::Receive { from: 1, msg: early }).is_empty());
+    assert_eq!(s.round(), 0);
+
+    // Finish round 0.
+    acts.clear();
+    for origin in [1u32, 2u32] {
+        let msg = Message::Bcast {
+            round: 0,
+            origin,
+            payload: Bytes::from(format!("r0-m{origin}").into_bytes()),
+        };
+        s.handle_into(Event::Receive { from: origin, msg }, &mut acts);
+    }
+    let (round, msgs) = deliver_actions(&acts).expect("round 0 delivers");
+    assert_eq!(round, 0);
+    assert_eq!(msgs.len(), 3);
+    assert_eq!(s.round(), 1);
+
+    // The buffered round-1 message was replayed — and Algorithm 1 line 15
+    // made server 0 react to it with an empty round-1 broadcast already.
+    assert!(s.has_broadcast(), "reactive empty broadcast fired during the drain");
+    // A well-behaved application checks has_broadcast() and queues its
+    // payload; submitting anyway is dropped without disturbing the round.
+    acts.clear();
+    s.handle_into(Event::ABroadcast(Bytes::from_static(b"r1-own")), &mut acts);
+    assert!(acts.is_empty(), "duplicate submission ignored");
+    let msg = Message::Bcast { round: 1, origin: 2, payload: Bytes::from_static(b"r1-m2") };
+    s.handle_into(Event::Receive { from: 2, msg }, &mut acts);
+    let (round, msgs) = deliver_actions(&acts).expect("round 1 delivers without re-receiving m1");
+    assert_eq!(round, 1);
+    assert_eq!(msgs.iter().map(|&(o, _)| o).collect::<Vec<_>>(), vec![0, 1, 2]);
+    assert!(msgs[0].1.is_empty(), "own round-1 slot carries the reactive empty message");
+}
+
+#[test]
+fn two_rounds_buffered_ahead_drain_in_order() {
+    // Peer racing two rounds ahead: both rounds' messages buffer, then
+    // drain in order as the local server catches up.
+    let mut s = Server::new(cfg(2), 0);
+    let m_r1 = Message::Bcast { round: 1, origin: 1, payload: Bytes::from_static(b"r1") };
+    let m_r0 = Message::Bcast { round: 0, origin: 1, payload: Bytes::from_static(b"r0") };
+    assert!(s.handle(Event::Receive { from: 1, msg: m_r1 }).is_empty());
+
+    // Completing round 0 (auto-broadcast on receipt) delivers round 0,
+    // replays the buffered round-1 message, and — Algorithm 1 line 15 —
+    // reacts to it with an empty round-1 broadcast, completing round 1
+    // in the same handler call.
+    let acts = s.handle(Event::Receive { from: 1, msg: m_r0 });
+    let delivers: Vec<u64> = acts
+        .iter()
+        .filter_map(|a| match a {
+            Action::Deliver { round, .. } => Some(*round),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivers, vec![0, 1], "both rounds complete from one input");
+    assert_eq!(s.round(), 2);
+    // Round 1's delivery carries the buffered m1 plus our auto-empty.
+    let round1 = acts
+        .iter()
+        .find_map(|a| match a {
+            Action::Deliver { round: 1, messages } => Some(messages.clone()),
+            _ => None,
+        })
+        .expect("round 1 delivered");
+    assert_eq!(round1.len(), 2);
+    assert!(round1[0].1.is_empty(), "own round-1 message was the reactive empty");
+    assert_eq!(round1[1].1, Bytes::from_static(b"r1"));
+}
+
+#[test]
+fn ep_decision_requires_exact_majority() {
+    // n = 5 complete digraph, EP mode: the decider needs ⌊5/2⌋ = 2 other
+    // servers with both FWD and BWD before delivering.
+    let config = cfg(5).with_fd_mode(FdMode::EventuallyPerfect);
+    let mut s = Server::new(config, 0);
+    let mut acts = Vec::new();
+    s.handle_into(Event::ABroadcast(Bytes::from_static(b"m0")), &mut acts);
+    for origin in 1u32..5 {
+        let msg = Message::Bcast { round: 0, origin, payload: Bytes::new() };
+        s.handle_into(Event::Receive { from: origin, msg }, &mut acts);
+    }
+    // Tracking complete → Deciding, but no deliver yet.
+    assert!(deliver_actions(&acts).is_none(), "must await FWD/BWD majority");
+
+    // FWD from 1 and BWD from 2: still no pair.
+    acts.clear();
+    s.handle_into(
+        Event::Receive { from: 1, msg: Message::Fwd { round: 0, origin: 1 } },
+        &mut acts,
+    );
+    s.handle_into(
+        Event::Receive { from: 2, msg: Message::Bwd { round: 0, origin: 2 } },
+        &mut acts,
+    );
+    assert!(deliver_actions(&acts).is_none(), "one-sided evidence is not enough");
+
+    // Complete the pair for server 1 → one full pair; need two.
+    s.handle_into(
+        Event::Receive { from: 1, msg: Message::Bwd { round: 0, origin: 1 } },
+        &mut acts,
+    );
+    assert!(deliver_actions(&acts).is_none(), "1 pair < ⌊n/2⌋ = 2");
+
+    // Second full pair (server 2) → deliver.
+    s.handle_into(
+        Event::Receive { from: 2, msg: Message::Fwd { round: 0, origin: 2 } },
+        &mut acts,
+    );
+    let (round, msgs) = deliver_actions(&acts).expect("majority reached");
+    assert_eq!(round, 0);
+    assert_eq!(msgs.len(), 5);
+}
+
+#[test]
+fn fail_notification_about_already_removed_server_ignored() {
+    // Server 2 gets tagged failed in round 0; a straggler FAIL about it
+    // tagged round 1 must be ignored (not re-propagated).
+    let mut s = Server::new(cfg(3), 0);
+    let mut acts = Vec::new();
+    s.handle_into(Event::ABroadcast(Bytes::from_static(b"m0")), &mut acts);
+    s.handle_into(
+        Event::Receive { from: 1, msg: Message::Bcast { round: 0, origin: 1, payload: Bytes::new() } },
+        &mut acts,
+    );
+    s.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+    s.handle_into(
+        Event::Receive { from: 1, msg: Message::Fail { round: 0, failed: 2, detector: 1 } },
+        &mut acts,
+    );
+    assert_eq!(s.round(), 1, "round 0 done, server 2 tagged");
+    assert!(!s.is_alive(2));
+
+    let straggler = Message::Fail { round: 1, failed: 2, detector: 1 };
+    let reaction = s.handle(Event::Receive { from: 1, msg: straggler });
+    assert!(reaction.is_empty(), "stale-member FAIL must be dropped: {reaction:?}");
+}
+
+#[test]
+fn suspect_event_for_dead_member_is_noop() {
+    let mut s = Server::new(cfg(3), 0);
+    let mut acts = Vec::new();
+    s.handle_into(Event::ABroadcast(Bytes::new()), &mut acts);
+    s.handle_into(
+        Event::Receive { from: 1, msg: Message::Bcast { round: 0, origin: 1, payload: Bytes::new() } },
+        &mut acts,
+    );
+    s.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+    s.handle_into(
+        Event::Receive { from: 1, msg: Message::Fail { round: 0, failed: 2, detector: 1 } },
+        &mut acts,
+    );
+    assert!(!s.is_alive(2));
+    // Local FD fires again in the next round (heartbeats still absent):
+    // the protocol must swallow it.
+    assert!(s.handle(Event::Suspect { suspect: 2 }).is_empty());
+}
+
+#[test]
+fn reconfigure_drops_stale_buffered_rounds() {
+    let mut s = Server::new(cfg(3), 0);
+    let future = Message::Bcast { round: 3, origin: 1, payload: Bytes::new() };
+    s.handle(Event::Receive { from: 1, msg: future });
+    // Reconfigure to round 5: the buffered round-3 message is obsolete.
+    s.reconfigure(cfg(3), 5);
+    assert_eq!(s.round(), 5);
+    // Complete round 5 normally; the stale buffer must not resurface.
+    let mut acts = Vec::new();
+    s.handle_into(Event::ABroadcast(Bytes::new()), &mut acts);
+    for origin in [1u32, 2] {
+        s.handle_into(
+            Event::Receive {
+                from: origin,
+                msg: Message::Bcast { round: 5, origin, payload: Bytes::new() },
+            },
+            &mut acts,
+        );
+    }
+    let (round, msgs) = deliver_actions(&acts).expect("round 5 completes");
+    assert_eq!(round, 5);
+    assert_eq!(msgs.len(), 3);
+}
+
+#[test]
+fn fwd_bwd_ignored_in_perfect_mode() {
+    let mut s = Server::new(cfg(3), 0);
+    assert!(s.handle(Event::Receive { from: 1, msg: Message::Fwd { round: 0, origin: 1 } }).is_empty());
+    assert!(s.handle(Event::Receive { from: 1, msg: Message::Bwd { round: 0, origin: 1 } }).is_empty());
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the protocol state machine, driven directly
+//! (no network model): adversarial message orderings, duplicated and
+//! stale deliveries, and codec round-trips.
+
+use allconcur_core::config::{Config, FdMode};
+use allconcur_core::message::Message;
+use allconcur_core::server::{Action, Event, Server};
+use allconcur_core::ServerId;
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::gs::gs_digraph;
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Run all servers to quiescence with a pending-message queue whose
+/// service order is permuted by `order_seed`: every schedule a real
+/// network could produce (FIFO per link is preserved by servicing a
+/// whole link burst at once... here we permute at message granularity,
+/// which is *stronger* than TCP FIFO and must still converge because
+/// round-tagged dedup makes handlers order-insensitive within a round).
+fn run_permuted(
+    cfg: &Config,
+    payloads: &[Bytes],
+    order_seed: u64,
+) -> Vec<Vec<(ServerId, Bytes)>> {
+    let n = cfg.n();
+    let mut servers: Vec<Server> = (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
+    let mut queue: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
+    let mut delivered: Vec<Vec<(ServerId, Bytes)>> = vec![Vec::new(); n];
+    let mut rng_state = order_seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+
+    let mut push_actions =
+        |from: ServerId, actions: Vec<Action>, queue: &mut VecDeque<(ServerId, ServerId, Message)>, delivered: &mut Vec<Vec<(ServerId, Bytes)>>| {
+            for a in actions {
+                match a {
+                    Action::Send { to, msg } => queue.push_back((from, to, msg)),
+                    Action::Deliver { messages, .. } => delivered[from as usize] = messages,
+                }
+            }
+        };
+
+    for i in 0..n as ServerId {
+        let actions = servers[i as usize].handle(Event::ABroadcast(payloads[i as usize].clone()));
+        push_actions(i, actions, &mut queue, &mut delivered);
+    }
+    while !queue.is_empty() {
+        // Xorshift pick: service a pseudo-random queued message. FIFO per
+        // (from, to) link is preserved by scanning for the first message
+        // of the chosen link.
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        let pick = (rng_state as usize) % queue.len();
+        let (pf, pt, _) = queue[pick];
+        let first_of_link = (0..queue.len())
+            .find(|&i| {
+                let (f, t, _) = queue[i];
+                (f, t) == (pf, pt)
+            })
+            .expect("pick exists");
+        let (from, to, msg) = queue.remove(first_of_link).expect("index valid");
+        let actions = servers[to as usize].handle(Event::Receive { from, msg });
+        push_actions(to, actions, &mut queue, &mut delivered);
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any link-FIFO-preserving schedule produces the same total order.
+    #[test]
+    fn total_order_under_any_schedule(order_seed in 0u64..1_000_000, n in 6usize..11) {
+        let graph = binomial_graph(n);
+        let cfg = Config::new(Arc::new(graph), 1);
+        let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 12])).collect();
+        let delivered = run_permuted(&cfg, &payloads, order_seed);
+        let reference = &delivered[0];
+        prop_assert_eq!(reference.len(), n);
+        for (i, seq) in delivered.iter().enumerate() {
+            prop_assert_eq!(seq, reference, "server {} diverged under schedule {}", i, order_seed);
+        }
+        for (i, (origin, payload)) in reference.iter().enumerate() {
+            prop_assert_eq!(*origin as usize, i);
+            prop_assert_eq!(payload, &payloads[i]);
+        }
+    }
+
+    /// Duplicated deliveries (e.g. a retransmitting transport) change
+    /// nothing: feed every message twice.
+    #[test]
+    fn duplicate_deliveries_are_harmless(n in 6usize..10) {
+        let graph = gs_digraph(n.max(6), 3).unwrap();
+        let n = graph.order();
+        let cfg = Config::new(Arc::new(graph), 2);
+        let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 4])).collect();
+
+        let mut servers: Vec<Server> =
+            (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
+        let mut queue: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
+        let mut delivered: Vec<Vec<(ServerId, Bytes)>> = vec![Vec::new(); n];
+        for i in 0..n as ServerId {
+            for a in servers[i as usize].handle(Event::ABroadcast(payloads[i as usize].clone())) {
+                if let Action::Send { to, msg } = a {
+                    queue.push_back((i, to, msg));
+                }
+            }
+        }
+        while let Some((from, to, msg)) = queue.pop_front() {
+            // Deliver twice.
+            for copy in [msg.clone(), msg] {
+                for a in servers[to as usize].handle(Event::Receive { from, msg: copy }) {
+                    match a {
+                        Action::Send { to: t, msg } => queue.push_back((to, t, msg)),
+                        Action::Deliver { messages, .. } => delivered[to as usize] = messages,
+                    }
+                }
+            }
+        }
+        let reference = &delivered[0];
+        prop_assert_eq!(reference.len(), n);
+        for seq in &delivered {
+            prop_assert_eq!(seq, reference);
+        }
+    }
+
+    /// Codec round-trip for arbitrary messages.
+    #[test]
+    fn codec_roundtrip(
+        round in 0u64..u64::MAX,
+        origin in 0u32..10_000,
+        detector in 0u32..10_000,
+        payload in prop::collection::vec(any::<u8>(), 0..2048),
+        kind in 0u8..4,
+    ) {
+        let msg = match kind {
+            0 => Message::Bcast { round, origin, payload: Bytes::from(payload) },
+            1 => Message::Fail { round, failed: origin, detector },
+            2 => Message::Fwd { round, origin },
+            _ => Message::Bwd { round, origin },
+        };
+        let mut encoded = msg.to_bytes();
+        prop_assert_eq!(encoded.len(), msg.encoded_len());
+        let decoded = Message::decode(&mut encoded).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(encoded.is_empty());
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn codec_decode_never_panics(junk in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = Bytes::from(junk);
+        let _ = Message::decode(&mut buf); // Ok or Err, never panic
+    }
+
+    /// Batch encode/decode round-trip with arbitrary request sizes.
+    #[test]
+    fn batch_roundtrip(requests in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..32)) {
+        let mut batcher = allconcur_core::batch::Batcher::new();
+        for r in &requests {
+            batcher.push(Bytes::from(r.clone()));
+        }
+        let payload = batcher.take_batch();
+        let decoded = allconcur_core::batch::decode_batch(payload).unwrap();
+        prop_assert_eq!(decoded.len(), requests.len());
+        for (d, r) in decoded.iter().zip(&requests) {
+            prop_assert_eq!(d.as_ref(), r.as_slice());
+        }
+    }
+
+    /// ◇P mode delivers the same sequence as P mode in failure-free
+    /// runs, for any schedule.
+    #[test]
+    fn ep_mode_equals_p_mode_failure_free(order_seed in 0u64..100_000) {
+        let n = 8;
+        let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 6])).collect();
+        let graph = gs_digraph(n, 3).unwrap();
+        let p_cfg = Config::new(Arc::new(graph.clone()), 2);
+        let ep_cfg = Config::new(Arc::new(graph), 2).with_fd_mode(FdMode::EventuallyPerfect);
+        let p = run_permuted(&p_cfg, &payloads, order_seed);
+        let ep = run_permuted(&ep_cfg, &payloads, order_seed);
+        prop_assert_eq!(&p[0], &ep[0]);
+        for seq in &ep {
+            prop_assert_eq!(seq, &ep[0]);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Binomial graphs (Angskun, Bosilca, Dongarra — ISPA'07).
+//!
+//! The paper's running example for early termination (§2.3, Fig. 2a) and
+//! the comparison overlay in §4.4/Fig. 5. Vertices `p_i` and `p_j` are
+//! connected iff `j = i ± 2^l (mod n)` for `0 ≤ l ≤ ⌊log₂ n⌋` — a
+//! generalization of 1-way dissemination; all edges are bidirectional.
+
+use crate::digraph::{Digraph, DigraphBuilder, NodeId};
+
+/// Build the binomial graph on `n ≥ 2` vertices.
+///
+/// Degree is `|{±2^l mod n}|`, which is `2⌊log₂ n⌋ + 1` when `n` is odd and
+/// one less when `2^⌊log₂ n⌋` is its own negation mod `n` (e.g. powers of
+/// two); the graph is regular and optimally connected (`k = d`, per the
+/// original paper).
+pub fn binomial_graph(n: usize) -> Digraph {
+    assert!(n >= 2, "binomial graph needs at least 2 vertices");
+    let mut b = DigraphBuilder::new(n);
+    let levels = (n as f64).log2().floor() as u32;
+    for i in 0..n as u64 {
+        for l in 0..=levels {
+            let step = 1u64 << l;
+            let fwd = ((i + step) % n as u64) as NodeId;
+            let bwd = ((i + n as u64 - (step % n as u64)) % n as u64) as NodeId;
+            b.add_edge(i as NodeId, fwd);
+            b.add_edge(i as NodeId, bwd);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+
+    #[test]
+    fn nine_vertices_matches_paper_example() {
+        // §2.3 / Fig 2a uses a 9-vertex binomial graph: offsets ±1, ±2, ±4.
+        let g = binomial_graph(9);
+        assert_eq!(g.order(), 9);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(), 6);
+        let succ0 = g.successors(0);
+        assert_eq!(succ0, &[1, 2, 4, 5, 7, 8]); // ±1, ±2, ±4 mod 9
+    }
+
+    #[test]
+    fn twelve_vertices_matches_section_423_example() {
+        // §4.2.3: n = 12, p±{1,2,4}, connectivity k = 6, diameter D = 2.
+        let g = binomial_graph(12);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(), 6);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(vertex_connectivity(&g), 6);
+        assert_eq!(g.successors(0), &[1, 2, 4, 8, 10, 11]);
+    }
+
+    #[test]
+    fn power_of_two_sizes() {
+        let g = binomial_graph(8);
+        // offsets ±1, ±2, ±4 mod 8; +4 and −4 coincide → degree 5.
+        assert_eq!(g.degree(), 5);
+        assert!(g.is_regular());
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn smallest_binomial() {
+        let g = binomial_graph(2);
+        assert_eq!(g.size(), 2);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn connectivity_grows_with_size() {
+        for n in [5usize, 9, 16, 25] {
+            let g = binomial_graph(n);
+            assert!(g.is_strongly_connected(), "n={n} disconnected");
+            let k = vertex_connectivity(&g);
+            assert_eq!(k, g.degree(), "binomial graph n={n} not optimally connected");
+        }
+    }
+}

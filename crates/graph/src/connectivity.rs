@@ -1,0 +1,266 @@
+//! Vertex connectivity `k(G)` via max-flow (Menger's theorem, §2.1.1).
+//!
+//! `k(G)` bounds AllConcur's fault tolerance: the algorithm is
+//! `f`-resilient for every `f < k(G)`, and digraphs with `k(G) = d(G)` are
+//! *optimally connected* — both binomial graphs and GS(n,d) are.
+//!
+//! Method: by Menger, the maximum number of internally vertex-disjoint
+//! `u→v` paths equals the minimum `u→v` vertex cut. We compute it as
+//! max-flow on the vertex-split network (each `w` becomes `w_in → w_out`
+//! with capacity 1; each edge `(a,b)` becomes `a_out → b_in` with capacity
+//! `n`). Dinic's algorithm; flow values are at most `d`, so each pair
+//! costs `O(d · m)`.
+//!
+//! Global connectivity uses the classical Even-style reduction: a minimum
+//! vertex cut has at most `δ` vertices, so among any `δ+1` fixed vertices
+//! at least one lies outside the cut and is separated from some other
+//! vertex; it suffices to compute `λ(v_i, u)` and `λ(u, v_i)` for the
+//! first `δ+1` vertices `v_i` against all non-adjacent `u`.
+
+use crate::digraph::{Digraph, NodeId};
+
+/// Dense-capacity Dinic max-flow on a small network.
+pub(crate) struct Dinic {
+    // Adjacency as index lists into `to`/`cap`; reverse edge is `e ^ 1`.
+    head: Vec<Vec<u32>>,
+    to: Vec<u32>,
+    cap: Vec<i64>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl Dinic {
+    pub(crate) fn new(n: usize) -> Self {
+        Dinic {
+            head: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    pub(crate) fn add_edge(&mut self, u: usize, v: usize, c: i64) {
+        let e = self.to.len() as u32;
+        self.head[u].push(e);
+        self.to.push(v as u32);
+        self.cap.push(c);
+        self.head[v].push(e + 1);
+        self.to.push(u as u32);
+        self.cap.push(0);
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.head[u] {
+                let v = self.to[e as usize] as usize;
+                if self.cap[e as usize] > 0 && self.level[v] < 0 {
+                    self.level[v] = self.level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: i64) -> i64 {
+        if u == t {
+            return f;
+        }
+        while self.iter[u] < self.head[u].len() {
+            let e = self.head[u][self.iter[u]] as usize;
+            let v = self.to[e] as usize;
+            if self.cap[e] > 0 && self.level[v] == self.level[u] + 1 {
+                let d = self.dfs(v, t, f.min(self.cap[e]));
+                if d > 0 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0
+    }
+
+    /// Max-flow from `s` to `t`, stopping early once `limit` is reached
+    /// (connectivity only needs the min so far).
+    pub(crate) fn max_flow(&mut self, s: usize, t: usize, limit: i64) -> i64 {
+        let mut flow = 0;
+        while flow < limit && self.bfs(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs(s, t, limit - flow);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+                if flow >= limit {
+                    break;
+                }
+            }
+        }
+        flow
+    }
+}
+
+/// Maximum number of internally vertex-disjoint paths from `s` to `t`
+/// (`s ≠ t`), capped at `limit` for early exit. If the edge `(s,t)` exists
+/// it contributes one path.
+pub fn local_connectivity_capped(g: &Digraph, s: NodeId, t: NodeId, limit: usize) -> usize {
+    assert_ne!(s, t);
+    let n = g.order();
+    // Vertex split: w_in = 2w, w_out = 2w+1.
+    let inn = |w: NodeId| 2 * w as usize;
+    let out = |w: NodeId| 2 * w as usize + 1;
+    let mut net = Dinic::new(2 * n);
+    let big = n as i64 + 1;
+    for w in g.vertices() {
+        // s and t are not internal vertices of any s→t path: give them
+        // unbounded pass-through.
+        let c = if w == s || w == t { big } else { 1 };
+        net.add_edge(inn(w), out(w), c);
+    }
+    for (u, v) in g.edges() {
+        // Unit edge capacity: vertex-disjoint paths cannot share an edge
+        // anyway, and this stops the direct (s,t) edge — whose endpoints
+        // both have unbounded pass-through — from carrying several units.
+        net.add_edge(out(u), inn(v), 1);
+    }
+    net.max_flow(out(s), inn(t), limit as i64) as usize
+}
+
+/// Maximum number of internally vertex-disjoint `s→t` paths (uncapped).
+pub fn local_connectivity(g: &Digraph, s: NodeId, t: NodeId) -> usize {
+    local_connectivity_capped(g, s, t, g.order())
+}
+
+/// `k(G)`: the minimum number of vertices whose removal disconnects `G`
+/// or reduces it to a single vertex (§2.1.1). Returns `n − 1` for complete
+/// digraphs (no vertex cut exists).
+pub fn vertex_connectivity(g: &Digraph) -> usize {
+    let n = g.order();
+    if n <= 1 {
+        return 0;
+    }
+    // Minimum degree upper-bounds connectivity.
+    let delta = g
+        .vertices()
+        .map(|v| g.out_degree(v).min(g.in_degree(v)))
+        .min()
+        .unwrap_or(0);
+    if delta == 0 {
+        return 0;
+    }
+    let mut best = n - 1; // complete-digraph default
+    // A min cut C has |C| = k ≤ δ < δ+1, so among v_0..v_δ at least one
+    // vertex is outside C; pairing it (in both directions) against every
+    // non-adjacent vertex finds the cut.
+    let probes: Vec<NodeId> = (0..n.min(delta + 1)).map(|i| i as NodeId).collect();
+    for &s in &probes {
+        for t in g.vertices() {
+            if t == s {
+                continue;
+            }
+            if !g.has_edge(s, t) {
+                best = best.min(local_connectivity_capped(g, s, t, best));
+                if best == 0 {
+                    return 0;
+                }
+            }
+            if !g.has_edge(t, s) {
+                best = best.min(local_connectivity_capped(g, t, s, best));
+                if best == 0 {
+                    return 0;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Whether `G` stays strongly connected after removing any `f` vertices,
+/// i.e. `f < k(G)`. This is AllConcur's liveness precondition (§3).
+pub fn tolerates_failures(g: &Digraph, f: usize) -> bool {
+    vertex_connectivity(g) > f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+    use crate::standard::{complete_digraph, hypercube_digraph, ring_digraph};
+
+    #[test]
+    fn ring_has_connectivity_one() {
+        assert_eq!(vertex_connectivity(&ring_digraph(6)), 1);
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        assert_eq!(vertex_connectivity(&complete_digraph(5)), 4);
+    }
+
+    #[test]
+    fn hypercube_connectivity_equals_dimension() {
+        assert_eq!(vertex_connectivity(&hypercube_digraph(3)), 3);
+        assert_eq!(vertex_connectivity(&hypercube_digraph(4)), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_connectivity_zero() {
+        let mut b = DigraphBuilder::new(4);
+        b.add_bidirectional(0, 1);
+        b.add_bidirectional(2, 3);
+        assert_eq!(vertex_connectivity(&b.build()), 0);
+    }
+
+    #[test]
+    fn path_digraph_zero() {
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        // 2 has no outgoing edges: not strongly connected.
+        assert_eq!(vertex_connectivity(&b.build()), 0);
+    }
+
+    #[test]
+    fn cut_vertex_detected() {
+        // Two triangles sharing vertex 2: removing 2 disconnects.
+        let mut b = DigraphBuilder::new(5);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)] {
+            b.add_bidirectional(u, v);
+        }
+        assert_eq!(vertex_connectivity(&b.build()), 1);
+    }
+
+    #[test]
+    fn local_connectivity_counts_direct_edge() {
+        let g = complete_digraph(4);
+        // 3 internal-disjoint paths: direct edge + 2 two-hop paths.
+        assert_eq!(local_connectivity(&g, 0, 1), 3);
+    }
+
+    #[test]
+    fn local_connectivity_ring() {
+        let g = ring_digraph(5);
+        assert_eq!(local_connectivity(&g, 0, 3), 1);
+    }
+
+    #[test]
+    fn tolerates_failures_threshold() {
+        let g = hypercube_digraph(3); // k = 3
+        assert!(tolerates_failures(&g, 0));
+        assert!(tolerates_failures(&g, 2));
+        assert!(!tolerates_failures(&g, 3));
+    }
+
+    #[test]
+    fn capped_flow_stops_early() {
+        let g = complete_digraph(8);
+        assert_eq!(local_connectivity_capped(&g, 0, 1, 2), 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! Generalized de Bruijn digraphs and the self-loop→cycle rewrite `G*_B`.
+//!
+//! GS(n,d) (§4.4) is built as the line digraph of a *generalized de Bruijn
+//! digraph* `G_B(m,d)` (Du & Hwang) whose self-loops have been replaced by
+//! cycles. `G_B(m,d)` and `G*_B(m,d)` are multigraphs — parallel edges
+//! matter because every edge copy becomes a distinct vertex of the line
+//! digraph — so this module carries explicit edge lists with multiplicity.
+
+use crate::GraphError;
+
+/// A directed multigraph: `n` vertices, edge list with multiplicity.
+/// Only the GS construction needs this; the rest of the crate works with
+/// simple [`crate::Digraph`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiDigraph {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl MultiDigraph {
+    /// Create with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        MultiDigraph { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Edge list (with multiplicity, in insertion order).
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Append an edge (parallel edges and self-loops allowed).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v));
+    }
+
+    /// Out-degree of `v`, counting multiplicity.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.edges.iter().filter(|&&(u, _)| u == v).count()
+    }
+
+    /// In-degree of `v`, counting multiplicity.
+    pub fn in_degree(&self, v: u32) -> usize {
+        self.edges.iter().filter(|&&(_, w)| w == v).count()
+    }
+
+    /// Number of self-loops at `v`.
+    pub fn self_loops(&self, v: u32) -> usize {
+        self.edges.iter().filter(|&&(u, w)| u == v && w == v).count()
+    }
+
+    /// Whether every vertex has in- and out-degree exactly `d`.
+    pub fn is_regular(&self, d: usize) -> bool {
+        (0..self.n as u32).all(|v| self.out_degree(v) == d && self.in_degree(v) == d)
+    }
+}
+
+/// The generalized de Bruijn digraph `G_B(m, d)`:
+/// vertices `0..m`, edges `(u, u·d + a mod m)` for `a = 0..d` — a multiset
+/// of exactly `m·d` edges, including self-loops.
+pub fn generalized_de_bruijn(m: usize, d: usize) -> Result<MultiDigraph, GraphError> {
+    if m < 2 || d < 1 {
+        return Err(GraphError::InvalidParameters(format!(
+            "G_B(m,d) requires m >= 2 and d >= 1, got m={m}, d={d}"
+        )));
+    }
+    let mut g = MultiDigraph::new(m);
+    for u in 0..m as u64 {
+        for a in 0..d as u64 {
+            g.add_edge(u as u32, ((u * d as u64 + a) % m as u64) as u32);
+        }
+    }
+    Ok(g)
+}
+
+/// `G*_B(m, d)`: `G_B(m, d)` with its self-loops removed and replaced by
+/// cycles (§4.4):
+///
+/// * every vertex has at least `⌊d/m⌋` self-loops — remove `⌊d/m⌋` from
+///   every vertex and add `⌊d/m⌋` Hamiltonian cycles `0→1→…→m−1→0`;
+/// * the vertices with `⌈d/m⌉` self-loops (at least `0` and `m−1` whenever
+///   `d mod m ≠ 0`) each keep one extra loop — remove those and connect
+///   exactly these vertices by one additional cycle, in ascending order.
+///
+/// The result is a `d`-regular multigraph without self-loops.
+pub fn de_bruijn_star(m: usize, d: usize) -> Result<MultiDigraph, GraphError> {
+    let gb = generalized_de_bruijn(m, d)?;
+    let floor_loops = d / m;
+    let rem = d % m;
+
+    let mut g = MultiDigraph::new(m);
+    let mut extra_loop_vertices: Vec<u32> = Vec::new();
+    for v in 0..m as u32 {
+        let loops = gb.self_loops(v);
+        debug_assert!(
+            loops == floor_loops || loops == floor_loops + 1,
+            "self-loop count {loops} at {v} outside {{⌊d/m⌋, ⌈d/m⌉}}"
+        );
+        if rem != 0 && loops == floor_loops + 1 {
+            extra_loop_vertices.push(v);
+        }
+    }
+    if rem != 0 {
+        debug_assert!(
+            extra_loop_vertices.len() >= 2,
+            "paper guarantees >= 2 vertices with ⌈d/m⌉ self-loops"
+        );
+        debug_assert!(extra_loop_vertices.contains(&0));
+        debug_assert!(extra_loop_vertices.contains(&(m as u32 - 1)));
+    }
+
+    // Copy every non-self-loop edge.
+    for &(u, v) in gb.edges() {
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    // ⌊d/m⌋ Hamiltonian cycles replacing the base self-loops.
+    for _ in 0..floor_loops {
+        for u in 0..m as u32 {
+            g.add_edge(u, (u + 1) % m as u32);
+        }
+    }
+    // One cycle through the vertices that had an extra self-loop.
+    if rem != 0 {
+        let s = &extra_loop_vertices;
+        for i in 0..s.len() {
+            g.add_edge(s[i], s[(i + 1) % s.len()]);
+        }
+    }
+
+    debug_assert!(g.is_regular(d), "G*_B(m={m}, d={d}) must be {d}-regular");
+    debug_assert!((0..m as u32).all(|v| g.self_loops(v) == 0));
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gb_edge_count() {
+        let g = generalized_de_bruijn(5, 3).unwrap();
+        assert_eq!(g.edges().len(), 15);
+        assert!(g.is_regular(3));
+    }
+
+    #[test]
+    fn gb_rejects_bad_params() {
+        assert!(generalized_de_bruijn(1, 3).is_err());
+        assert!(generalized_de_bruijn(4, 0).is_err());
+    }
+
+    #[test]
+    fn gb_classic_de_bruijn_case() {
+        // m = d² gives the classic de Bruijn digraph B(d, 2); every vertex
+        // has 0 or 1 self-loops, and exactly d vertices have one.
+        let g = generalized_de_bruijn(9, 3).unwrap();
+        let loops: usize = (0..9).map(|v| g.self_loops(v)).sum();
+        assert_eq!(loops, 3); // u·3 + a ≡ u mod 9 → 2u ≡ -a; solutions: 3.
+    }
+
+    #[test]
+    fn gb_self_loop_bounds_hold() {
+        for (m, d) in [(2, 3), (3, 3), (2, 4), (5, 4), (7, 3), (4, 8)] {
+            let g = generalized_de_bruijn(m, d).unwrap();
+            let floor = d / m;
+            for v in 0..m as u32 {
+                let l = g.self_loops(v);
+                assert!(l == floor || l == floor + (usize::from(d % m != 0)),
+                    "m={m} d={d} v={v}: loops={l}");
+            }
+            if d % m != 0 {
+                assert!(g.self_loops(0) == floor + 1, "vertex 0 must have ⌈d/m⌉ loops");
+                assert!(g.self_loops(m as u32 - 1) == floor + 1, "vertex m-1 must have ⌈d/m⌉ loops");
+            }
+        }
+    }
+
+    #[test]
+    fn star_regular_no_loops() {
+        for (m, d) in [(2, 3), (3, 3), (2, 4), (5, 4), (7, 3), (4, 8), (18, 5), (12, 3)] {
+            let g = de_bruijn_star(m, d).unwrap();
+            assert!(g.is_regular(d), "G*_B({m},{d}) not {d}-regular");
+            for v in 0..m as u32 {
+                assert_eq!(g.self_loops(v), 0, "G*_B({m},{d}) has self-loop at {v}");
+            }
+            assert_eq!(g.edges().len(), m * d);
+        }
+    }
+
+    #[test]
+    fn star_preserves_non_loop_edges() {
+        let gb = generalized_de_bruijn(5, 3).unwrap();
+        let star = de_bruijn_star(5, 3).unwrap();
+        for &(u, v) in gb.edges() {
+            if u != v {
+                assert!(star.edges().contains(&(u, v)), "lost edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn multidigraph_degree_counting() {
+        let mut g = MultiDigraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(1), 2);
+        assert_eq!(g.self_loops(2), 1);
+        assert!(!g.is_regular(2));
+    }
+}

@@ -1,0 +1,417 @@
+//! Compact digraph representation.
+//!
+//! AllConcur overlays are small (tens to a few thousand vertices) and
+//! *static within a round*: the protocol reads successor/predecessor lists
+//! on every message but never mutates the overlay mid-round. The
+//! representation is therefore a frozen CSR-style structure: successor and
+//! predecessor lists in flat arrays with per-vertex offsets, giving cache
+//! friendly O(deg) iteration and O(1) membership checks via a bitset.
+
+use std::fmt;
+
+/// Index of a vertex (server) in a digraph. Kept as `u32`: the paper's
+/// largest deployment is 2^15 servers and indices are stored in bulk.
+pub type NodeId = u32;
+
+/// An immutable digraph with `n` vertices labelled `0..n`.
+///
+/// Construction goes through [`DigraphBuilder`]; all analyses in this crate
+/// take `&Digraph`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Digraph {
+    n: u32,
+    /// CSR offsets into `succs`, length n + 1.
+    succ_off: Vec<u32>,
+    /// Flat successor lists, sorted per vertex.
+    succs: Vec<NodeId>,
+    /// CSR offsets into `preds`, length n + 1.
+    pred_off: Vec<u32>,
+    /// Flat predecessor lists, sorted per vertex.
+    preds: Vec<NodeId>,
+}
+
+impl Digraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successors of `v` (the servers `v` sends to), sorted ascending.
+    #[inline]
+    pub fn successors(&self, v: NodeId) -> &[NodeId] {
+        let (a, b) = (self.succ_off[v as usize], self.succ_off[v as usize + 1]);
+        &self.succs[a as usize..b as usize]
+    }
+
+    /// Predecessors of `v` (the servers `v` receives from), sorted ascending.
+    #[inline]
+    pub fn predecessors(&self, v: NodeId) -> &[NodeId] {
+        let (a, b) = (self.pred_off[v as usize], self.pred_off[v as usize + 1]);
+        &self.preds[a as usize..b as usize]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.successors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.predecessors(v).len()
+    }
+
+    /// `d(G)`: the maximum in- or out-degree over all vertices (§2.1.1).
+    pub fn degree(&self) -> usize {
+        (0..self.n)
+            .map(|v| self.out_degree(v).max(self.in_degree(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the digraph is `d`-regular: every vertex has in-degree and
+    /// out-degree exactly `d(G)`.
+    pub fn is_regular(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let d = self.out_degree(0);
+        (0..self.n).all(|v| self.out_degree(v) == d && self.in_degree(v) == d)
+    }
+
+    /// Whether edge `(u, v)` exists. O(log d) via binary search on the
+    /// sorted successor list.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.successors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n).flat_map(move |u| self.successors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = NodeId> {
+        0..self.n
+    }
+
+    /// The transpose digraph (every edge reversed). Used by the
+    /// eventually-perfect-FD mode: `BWD` messages are R-broadcast over the
+    /// transpose of `G` (§3.3.2).
+    pub fn transpose(&self) -> Digraph {
+        Digraph {
+            n: self.n,
+            succ_off: self.pred_off.clone(),
+            succs: self.preds.clone(),
+            pred_off: self.succ_off.clone(),
+            preds: self.succs.clone(),
+        }
+    }
+
+    /// The subgraph induced by removing `removed` vertices (edge endpoints
+    /// keep their original labels; removed vertices keep their slots but
+    /// lose all edges). This mirrors the paper's `G_F` (§2.1.1) while
+    /// preserving vertex identity, which the protocol relies on.
+    pub fn remove_vertices(&self, removed: &[NodeId]) -> Digraph {
+        let mut gone = vec![false; self.n as usize];
+        for &r in removed {
+            gone[r as usize] = true;
+        }
+        let mut b = DigraphBuilder::new(self.n as usize);
+        for (u, v) in self.edges() {
+            if !gone[u as usize] && !gone[v as usize] {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// `D(G)`: length of the longest shortest path between any ordered pair
+    /// of vertices, or `None` if the digraph is not strongly connected.
+    /// BFS from every vertex: O(n·(n+m)).
+    pub fn diameter(&self) -> Option<usize> {
+        crate::traversal::diameter(self)
+    }
+
+    /// Whether the digraph is strongly connected.
+    pub fn is_strongly_connected(&self) -> bool {
+        crate::traversal::is_strongly_connected(self)
+    }
+
+    /// Approximate heap footprint in bytes (Table 2: storing `G` costs
+    /// `O(n·d)` per server).
+    pub fn memory_bytes(&self) -> usize {
+        self.succ_off.capacity() * 4
+            + self.succs.capacity() * 4
+            + self.pred_off.capacity() * 4
+            + self.preds.capacity() * 4
+    }
+}
+
+impl fmt::Debug for Digraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Digraph(n={}, m={})", self.n, self.size())?;
+        for v in 0..self.n.min(32) {
+            writeln!(f, "  {v} -> {:?}", self.successors(v))?;
+        }
+        if self.n > 32 {
+            writeln!(f, "  ... ({} more vertices)", self.n - 32)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Digraph`]. Duplicate edges and self-loops are
+/// rejected at build time with a panic in debug builds and silently deduped
+/// in release (constructors in this crate never produce either).
+#[derive(Clone, Debug)]
+pub struct DigraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl DigraphBuilder {
+    /// Start building a digraph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        DigraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Add the directed edge `(u, v)`. Self-loops are ignored: AllConcur
+    /// overlays never contain them (a server does not send to itself), and
+    /// the GS construction explicitly rewrites de Bruijn self-loops into
+    /// cycles (§4.4).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        debug_assert!((u as usize) < self.n, "edge source {u} out of range");
+        debug_assert!((v as usize) < self.n, "edge target {v} out of range");
+        if u != v {
+            self.edges.push((u, v));
+        }
+        self
+    }
+
+    /// Add both `(u, v)` and `(v, u)`; convenience for symmetric overlays
+    /// such as binomial graphs.
+    pub fn add_bidirectional(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edge(u, v);
+        self.add_edge(v, u)
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Freeze into an immutable [`Digraph`].
+    pub fn build(mut self) -> Digraph {
+        let n = self.n;
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let mut succ_off = vec![0u32; n + 1];
+        for &(u, _) in &self.edges {
+            succ_off[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let succs: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // Predecessor lists: counting sort by target.
+        let mut pred_off = vec![0u32; n + 1];
+        for &(_, v) in &self.edges {
+            pred_off[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut cursor = pred_off.clone();
+        let mut preds = vec![0 as NodeId; self.edges.len()];
+        for &(u, v) in &self.edges {
+            let c = &mut cursor[v as usize];
+            preds[*c as usize] = u;
+            *c += 1;
+        }
+        // Each bucket was filled in ascending source order (edges sorted by
+        // (u, v)), so predecessor lists are already sorted.
+
+        Digraph { n: n as u32, succ_off, succs, pred_off, preds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Digraph {
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn empty_digraph() {
+        let g = DigraphBuilder::new(0).build();
+        assert_eq!(g.order(), 0);
+        assert_eq!(g.size(), 0);
+        assert_eq!(g.degree(), 0);
+        assert!(g.is_regular());
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = DigraphBuilder::new(1).build();
+        assert_eq!(g.order(), 1);
+        assert_eq!(g.size(), 0);
+        assert!(g.successors(0).is_empty());
+        assert!(g.predecessors(0).is_empty());
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.order(), 3);
+        assert_eq!(g.size(), 3);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.predecessors(0), &[2]);
+        assert_eq!(g.successors(1), &[2]);
+        assert_eq!(g.predecessors(2), &[1]);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(), 1);
+    }
+
+    #[test]
+    fn has_edge_lookup() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = DigraphBuilder::new(2);
+        b.add_edge(0, 0).add_edge(0, 1).add_edge(1, 1);
+        let g = b.build();
+        assert_eq!(g.size(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn duplicate_edges_deduped() {
+        let mut b = DigraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(0, 1).add_edge(0, 1);
+        assert_eq!(b.build().size(), 1);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = triangle();
+        let t = g.transpose();
+        assert!(t.has_edge(1, 0));
+        assert!(t.has_edge(2, 1));
+        assert!(t.has_edge(0, 2));
+        assert_eq!(t.size(), 3);
+        // Double transpose is the identity.
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn successor_lists_sorted() {
+        let mut b = DigraphBuilder::new(5);
+        b.add_edge(0, 4).add_edge(0, 2).add_edge(0, 3).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.successors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn predecessor_lists_sorted() {
+        let mut b = DigraphBuilder::new(5);
+        b.add_edge(4, 0).add_edge(2, 0).add_edge(3, 0).add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.predecessors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn remove_vertices_keeps_labels() {
+        // 0 -> 1 -> 2 -> 3 -> 0 ring; removing 1 leaves edges 2->3, 3->0.
+        let mut b = DigraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 3).add_edge(3, 0);
+        let g = b.build().remove_vertices(&[1]);
+        assert_eq!(g.order(), 4);
+        assert_eq!(g.size(), 2);
+        assert!(g.has_edge(2, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(g.successors(1).is_empty());
+        assert!(g.predecessors(1).is_empty());
+    }
+
+    #[test]
+    fn bidirectional_helper() {
+        let mut b = DigraphBuilder::new(2);
+        b.add_bidirectional(0, 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn edges_iterator_complete() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        assert!(triangle().memory_bytes() > 0);
+    }
+}
+
+impl Digraph {
+    /// Graphviz DOT rendering of the digraph — handy for inspecting small
+    /// overlays (`dot -Tsvg`). Vertices listed in `highlight` are drawn
+    /// filled (e.g. failed servers).
+    pub fn to_dot(&self, name: &str, highlight: &[NodeId]) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(32 + self.size() * 12);
+        writeln!(out, "digraph {name} {{").expect("string write");
+        writeln!(out, "  rankdir=LR; node [shape=circle];").expect("string write");
+        for v in highlight {
+            writeln!(out, "  {v} [style=filled, fillcolor=lightcoral];").expect("string write");
+        }
+        for (u, v) in self.edges() {
+            writeln!(out, "  {u} -> {v};").expect("string write");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+
+    #[test]
+    fn dot_output_contains_all_edges() {
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        let dot = b.build().to_dot("ring3", &[1]);
+        assert!(dot.starts_with("digraph ring3 {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+        assert!(dot.contains("2 -> 0;"));
+        assert!(dot.contains("1 [style=filled"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,296 @@
+//! Min-sum vertex-disjoint paths — the paper's fault-diameter heuristic
+//! (§4.2.3).
+//!
+//! The true fault-diameter bound needs the *min-max* `(f+1)`-disjoint-paths
+//! problem (find `f+1` vertex-disjoint paths minimizing the longest), which
+//! is strongly NP-complete (Li, McCormick, Simchi-Levi). The paper's
+//! heuristic solves the tractable *min-sum* relaxation instead — a
+//! minimum-cost flow of value `f+1` on the vertex-split network — and uses
+//! the inequality chain (Eq. 1):
+//!
+//! ```text
+//! avg_len(min-sum) ≤ avg_len(min-max) ≤ δ_f ≤ δ̂_f = max_len(min-sum)
+//! ```
+//!
+//! so `δ̂_f` upper-bounds the fault diameter when `D_f(G,f) ≤ δ_f` (the
+//! Krishnamoorthy & Krishnamurthy condition), and `avg_len` certifies how
+//! tight the approximation is.
+
+use crate::digraph::{Digraph, NodeId};
+
+/// Result of the min-sum disjoint-path computation for one vertex pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisjointPaths {
+    /// The vertex-disjoint paths, each including both endpoints.
+    pub paths: Vec<Vec<NodeId>>,
+    /// Length (edge count) of the longest path: `δ̂_f` for this pair.
+    pub max_len: usize,
+    /// Mean path length — the Eq. (1) lower bound on `δ_f`.
+    pub avg_len: f64,
+}
+
+/// Successive-shortest-paths min-cost flow tailored to unit vertex
+/// capacities and unit edge costs.
+struct McmfNetwork {
+    head: Vec<Vec<u32>>,
+    to: Vec<u32>,
+    cap: Vec<i32>,
+    cost: Vec<i32>,
+}
+
+impl McmfNetwork {
+    fn new(n: usize) -> Self {
+        McmfNetwork { head: vec![Vec::new(); n], to: Vec::new(), cap: Vec::new(), cost: Vec::new() }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, cap: i32, cost: i32) {
+        let e = self.to.len() as u32;
+        self.head[u].push(e);
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.cost.push(cost);
+        self.head[v].push(e + 1);
+        self.to.push(u as u32);
+        self.cap.push(0);
+        self.cost.push(-cost);
+    }
+
+    /// Send up to `want` units from `s` to `t`; returns units sent.
+    /// SPFA-based Bellman-Ford per augmentation (costs can be negative in
+    /// the residual network). Flow values here are ≤ d ≤ ~11, so the
+    /// simple variant is plenty.
+    fn min_cost_flow(&mut self, s: usize, t: usize, want: i32) -> i32 {
+        let n = self.head.len();
+        let mut sent = 0;
+        while sent < want {
+            let mut dist = vec![i32::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev_edge = vec![u32::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s] = 0;
+            queue.push_back(s);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let du = dist[u];
+                for &e in &self.head[u] {
+                    let e = e as usize;
+                    if self.cap[e] > 0 {
+                        let v = self.to[e] as usize;
+                        let nd = du + self.cost[e];
+                        if nd < dist[v] {
+                            dist[v] = nd;
+                            prev_edge[v] = e as u32;
+                            if !in_queue[v] {
+                                in_queue[v] = true;
+                                queue.push_back(v);
+                            }
+                        }
+                    }
+                }
+            }
+            if dist[t] == i32::MAX {
+                break; // no more augmenting paths
+            }
+            // Augment by 1 unit (all relevant capacities are 1).
+            let mut v = t;
+            while v != s {
+                let e = prev_edge[v] as usize;
+                self.cap[e] -= 1;
+                self.cap[e ^ 1] += 1;
+                v = self.to[e ^ 1] as usize;
+            }
+            sent += 1;
+        }
+        sent
+    }
+}
+
+/// Solve the min-sum `count`-vertex-disjoint-paths problem from `s` to `t`.
+/// Returns `None` if fewer than `count` disjoint paths exist (i.e.
+/// `count > λ(s,t)`).
+pub fn min_sum_disjoint_paths(
+    g: &Digraph,
+    s: NodeId,
+    t: NodeId,
+    count: usize,
+) -> Option<DisjointPaths> {
+    assert_ne!(s, t, "disjoint paths need distinct endpoints");
+    let n = g.order();
+    let inn = |w: NodeId| 2 * w as usize;
+    let out = |w: NodeId| 2 * w as usize + 1;
+    let mut net = McmfNetwork::new(2 * n);
+    for w in g.vertices() {
+        let c = if w == s || w == t { count as i32 } else { 1 };
+        net.add_edge(inn(w), out(w), c, 0);
+    }
+    for (u, v) in g.edges() {
+        net.add_edge(out(u), inn(v), 1, 1);
+    }
+    let sent = net.min_cost_flow(out(s), inn(t), count as i32);
+    if (sent as usize) < count {
+        return None;
+    }
+
+    // Decode paths by walking saturated forward edges out of each vertex.
+    // Build a successor map from used edges: edge (out(u) -> inn(v)) with
+    // zero remaining capacity means the unit of flow traversed (u, v).
+    let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in g.vertices() {
+        for &e in &net.head[out(u)] {
+            let e = e as usize;
+            // Forward graph edges have cost 1 and were added with cap 1.
+            if net.cost[e] == 1 && net.cap[e] == 0 {
+                let v_in = net.to[e] as usize;
+                let v = (v_in / 2) as NodeId;
+                // Exclude residual/backward artifacts: forward edges go
+                // out(u) -> inn(v), i.e. odd -> even node ids.
+                if v_in.is_multiple_of(2) {
+                    next[u as usize].push(v);
+                }
+            }
+        }
+    }
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut path = vec![s];
+        let mut cur = s;
+        while cur != t {
+            let nexts = &mut next[cur as usize];
+            let step = nexts.pop().expect("flow decomposition broke: dead end");
+            path.push(step);
+            cur = step;
+            assert!(path.len() <= n + 1, "flow decomposition cycled");
+        }
+        paths.push(path);
+    }
+
+    let max_len = paths.iter().map(|p| p.len() - 1).max().unwrap_or(0);
+    let total: usize = paths.iter().map(|p| p.len() - 1).sum();
+    let avg_len = total as f64 / paths.len() as f64;
+    Some(DisjointPaths { paths, max_len, avg_len })
+}
+
+/// `δ̂_f` over all ordered vertex pairs: the max over pairs of the longest
+/// of the `f+1` min-sum disjoint paths. Per Krishnamoorthy & Krishnamurthy,
+/// `D_f(G, f) ≤ δ_f ≤ δ̂_f`. Also returns the Eq. (1) lower bound (max over
+/// pairs of the average length, rounded up).
+///
+/// `O(n²)` min-cost flows: intended for construction-time analysis, not
+/// the protocol hot path.
+pub fn fault_diameter_bound(g: &Digraph, f: usize) -> Option<(usize, usize)> {
+    let mut upper = 0usize;
+    let mut lower = 0usize;
+    for s in g.vertices() {
+        for t in g.vertices() {
+            if s == t {
+                continue;
+            }
+            let dp = min_sum_disjoint_paths(g, s, t, f + 1)?;
+            upper = upper.max(dp.max_len);
+            lower = lower.max(dp.avg_len.ceil() as usize);
+        }
+    }
+    Some((lower, upper))
+}
+
+/// Verify a set of paths is internally vertex-disjoint (shared endpoints
+/// allowed). Exposed for tests and for the simulator's sanity checks.
+pub fn are_vertex_disjoint(paths: &[Vec<NodeId>]) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for p in paths {
+        if p.len() < 2 {
+            return false;
+        }
+        for &v in &p[1..p.len() - 1] {
+            if !seen.insert(v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::binomial_graph;
+    use crate::standard::{complete_digraph, ring_digraph};
+
+    #[test]
+    fn complete_digraph_paths() {
+        let g = complete_digraph(5);
+        let dp = min_sum_disjoint_paths(&g, 0, 1, 4).unwrap();
+        assert_eq!(dp.paths.len(), 4);
+        assert!(are_vertex_disjoint(&dp.paths));
+        // Min-sum: one direct edge (len 1) + three 2-hop paths.
+        assert_eq!(dp.max_len, 2);
+        let total: usize = dp.paths.iter().map(|p| p.len() - 1).sum();
+        assert_eq!(total, 1 + 2 + 2 + 2);
+    }
+
+    #[test]
+    fn ring_has_single_path() {
+        let g = ring_digraph(6);
+        assert!(min_sum_disjoint_paths(&g, 0, 3, 2).is_none());
+        let dp = min_sum_disjoint_paths(&g, 0, 3, 1).unwrap();
+        assert_eq!(dp.paths, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn paths_start_and_end_correctly() {
+        let g = binomial_graph(9);
+        let dp = min_sum_disjoint_paths(&g, 2, 7, 4).unwrap();
+        for p in &dp.paths {
+            assert_eq!(*p.first().unwrap(), 2);
+            assert_eq!(*p.last().unwrap(), 7);
+            // Consecutive vertices are graph edges.
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "non-edge in path: {w:?}");
+            }
+        }
+        assert!(are_vertex_disjoint(&dp.paths));
+    }
+
+    #[test]
+    fn paper_section_423_binomial_12_example() {
+        // §4.2.3: binomial graph n = 12 (offsets ±1, ±2, ±4), k = 6, D = 2.
+        // "After solving the min-sum problem, we can estimate the fault
+        // diameter bound, i.e., 3 ≤ δ_f ≤ 4" for f = k − 1 = 5.
+        let g = binomial_graph(12);
+        let (lower, upper) = fault_diameter_bound(&g, 5).unwrap();
+        assert!((2..=4).contains(&lower), "lower bound {lower} out of paper range");
+        assert_eq!(upper, 4, "δ̂_5 should be 4 per the paper's example");
+        // The paper names a length-4 path among the six disjoint 0→3
+        // paths; check the pairwise solve reproduces a max length of 4.
+        let dp = min_sum_disjoint_paths(&g, 0, 3, 6).unwrap();
+        assert_eq!(dp.paths.len(), 6);
+        assert!(are_vertex_disjoint(&dp.paths));
+        assert!(dp.max_len >= 3, "0→3 needs at least one path of length ≥ 3");
+    }
+
+    #[test]
+    fn eq1_lower_bound_never_exceeds_upper() {
+        for n in [8usize, 10, 12] {
+            let g = binomial_graph(n);
+            let k = g.degree(); // binomial graphs are optimally connected
+            for f in [1usize, 2, k - 1] {
+                let (lo, hi) = fault_diameter_bound(&g, f).unwrap();
+                assert!(lo <= hi, "n={n} f={f}: lower {lo} > upper {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn asking_for_too_many_paths_fails() {
+        let g = complete_digraph(4);
+        assert!(min_sum_disjoint_paths(&g, 0, 1, 4).is_none()); // λ = 3
+    }
+
+    #[test]
+    fn disjointness_checker() {
+        assert!(are_vertex_disjoint(&[vec![0, 1, 2], vec![0, 3, 2]]));
+        assert!(!are_vertex_disjoint(&[vec![0, 1, 2], vec![0, 1, 2]]));
+        assert!(!are_vertex_disjoint(&[vec![0]]));
+    }
+}

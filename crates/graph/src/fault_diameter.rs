@@ -1,0 +1,162 @@
+//! Fault diameter `D_f(G, f)` (§2.1.1, §4.2.3).
+//!
+//! `D_f(G, f)` is the maximum diameter over all digraphs `G_F` obtained by
+//! removing any `f < k(G)` vertices. AllConcur's worst-case depth is
+//! `f + D_f(G, f)` (§2.2.1); the expected depth analysis (§4.2.2) needs
+//! `D_f` too.
+//!
+//! Three estimators, in increasing cost:
+//!
+//! 1. [`chung_garey_bound`] — the trivial bound `⌊(n−f−2)/(k−f)⌋ + 1`
+//!    (Chung & Garey); loose but O(1);
+//! 2. [`crate::disjoint_paths::fault_diameter_bound`] — the paper's
+//!    min-sum heuristic `δ̂_f`;
+//! 3. [`exact_fault_diameter`] — exhaustive enumeration of all
+//!    `C(n, f)` failure sets; exponential, for validation on small graphs.
+
+use crate::digraph::{Digraph, NodeId};
+use crate::traversal::bfs_distances_avoiding;
+
+/// Chung & Garey's generic fault-diameter bound
+/// `D_f(G,f) ≤ ⌊(n−f−2)/(k−f)⌋ + 1` for `f < k` ([15, Theorem 6] in the
+/// paper). Neither tight nor diameter-relative, but always valid.
+pub fn chung_garey_bound(n: usize, k: usize, f: usize) -> Option<usize> {
+    if f >= k || n < f + 2 {
+        return None;
+    }
+    Some((n - f - 2) / (k - f) + 1)
+}
+
+/// Diameter of `G` after removing exactly the vertices in `failed`;
+/// `None` if the survivor digraph is disconnected (which cannot happen for
+/// `|failed| < k(G)`).
+pub fn surviving_diameter(g: &Digraph, failed: &[NodeId]) -> Option<usize> {
+    let n = g.order();
+    let mut removed = vec![false; n];
+    for &v in failed {
+        removed[v as usize] = true;
+    }
+    let alive: Vec<NodeId> = g.vertices().filter(|&v| !removed[v as usize]).collect();
+    if alive.len() <= 1 {
+        return Some(0);
+    }
+    let mut diam = 0u32;
+    for &s in &alive {
+        let dist = bfs_distances_avoiding(g, s, &removed);
+        for &t in &alive {
+            let d = dist[t as usize];
+            if d == u32::MAX {
+                return None;
+            }
+            diam = diam.max(d);
+        }
+    }
+    Some(diam as usize)
+}
+
+/// Exact `D_f(G, f)` by enumerating every `f`-subset of vertices.
+/// `C(n, f)` BFS sweeps — use only for validation (`n ≲ 16`, `f ≲ 3` keeps
+/// this in the thousands of sweeps).
+///
+/// Returns `None` if some failure set disconnects the survivors, i.e.
+/// `f ≥ k(G)`.
+pub fn exact_fault_diameter(g: &Digraph, f: usize) -> Option<usize> {
+    let n = g.order();
+    assert!(f < n, "cannot fail all vertices");
+    let mut subset: Vec<NodeId> = (0..f as NodeId).collect();
+    let mut worst = g.diameter()?;
+    if f == 0 {
+        return Some(worst);
+    }
+    loop {
+        worst = worst.max(surviving_diameter(g, &subset)?);
+        // Next combination in lexicographic order.
+        let mut i = f;
+        loop {
+            if i == 0 {
+                return Some(worst);
+            }
+            i -= 1;
+            if subset[i] < (n - f + i) as NodeId {
+                subset[i] += 1;
+                for j in i + 1..f {
+                    subset[j] = subset[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::binomial_graph;
+    use crate::disjoint_paths::fault_diameter_bound;
+    use crate::gs::gs_digraph;
+    use crate::standard::{complete_digraph, hypercube_digraph};
+
+    #[test]
+    fn chung_garey_examples() {
+        // n=8, k=3, f=2: ⌊(8-2-2)/(3-2)⌋+1 = 5.
+        assert_eq!(chung_garey_bound(8, 3, 2), Some(5));
+        assert_eq!(chung_garey_bound(8, 3, 3), None);
+        assert_eq!(chung_garey_bound(3, 2, 1), Some(1));
+    }
+
+    #[test]
+    fn complete_graph_fault_diameter_is_one() {
+        let g = complete_digraph(6);
+        for f in 0..4 {
+            assert_eq!(exact_fault_diameter(&g, f), Some(1));
+        }
+    }
+
+    #[test]
+    fn hypercube_fault_diameter() {
+        // Q3: D = 3, k = 3. Known: fault diameter of hypercube Q_n with
+        // n-1 faults is n+1... for f=1 it is D+1 = 4 in the worst case.
+        let g = hypercube_digraph(3);
+        let d1 = exact_fault_diameter(&g, 1).unwrap();
+        assert!((3..=4).contains(&d1), "Q3 with 1 fault: {d1}");
+        // f = k disconnects some survivor pair's paths? Not necessarily
+        // disconnected, but liveness bound applies to f < k only.
+    }
+
+    #[test]
+    fn exact_matches_minsum_bound_on_binomial_8() {
+        let g = binomial_graph(8); // d = k = 5
+        for f in [1usize, 2] {
+            let exact = exact_fault_diameter(&g, f).unwrap();
+            let (_, heuristic_upper) = fault_diameter_bound(&g, f).unwrap();
+            assert!(
+                exact <= heuristic_upper,
+                "f={f}: exact {exact} > heuristic upper bound {heuristic_upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn gs_8_3_fault_diameter_small() {
+        let g = gs_digraph(8, 3).unwrap(); // D = 2, k = 3
+        let d1 = exact_fault_diameter(&g, 1).unwrap();
+        let d2 = exact_fault_diameter(&g, 2).unwrap();
+        assert!(d1 >= 2);
+        assert!(d2 >= d1, "fault diameter must be monotone in f");
+        // The min-sum upper bound must dominate the exact value.
+        let (_, up2) = fault_diameter_bound(&g, 2).unwrap();
+        assert!(d2 <= up2);
+    }
+
+    #[test]
+    fn surviving_diameter_none_when_disconnected() {
+        let g = crate::standard::ring_digraph(5);
+        assert_eq!(surviving_diameter(&g, &[2]), None);
+    }
+
+    #[test]
+    fn surviving_diameter_zero_fail_matches_diameter() {
+        let g = binomial_graph(9);
+        assert_eq!(surviving_diameter(&g, &[]), g.diameter());
+    }
+}

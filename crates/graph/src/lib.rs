@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+//! # allconcur-graph — digraph substrate for AllConcur
+//!
+//! AllConcur (Poke, Hoefler, Glass — HPDC'17) disseminates messages over a
+//! logical overlay network described by a digraph `G`. The overlay's
+//! parameters govern the whole system (§2.1.1 of the paper):
+//!
+//! * **degree** `d(G)` — work per server is `O(n·d)`;
+//! * **diameter** `D(G)` — failure-free agreement depth;
+//! * **vertex-connectivity** `k(G)` — fault tolerance: AllConcur is
+//!   `f`-resilient for any `f < k(G)`;
+//! * **fault diameter** `D_f(G, f)` — worst-case depth after `f` failures.
+//!
+//! This crate implements everything the paper needs from graph theory:
+//!
+//! * [`Digraph`] — compact adjacency representation with successor and
+//!   predecessor lists;
+//! * constructors: [`binomial::binomial_graph`] (Angskun et al.),
+//!   [`gs::gs_digraph`] (the GS(n,d) digraphs of Soneoka et al. used by
+//!   AllConcur, §4.4), [`de_bruijn`] (the generalized de Bruijn digraphs
+//!   GS(n,d) is built from), and the standard digraphs in [`standard`];
+//! * analyses: [`connectivity`] (vertex connectivity via max-flow and
+//!   Menger's theorem), [`disjoint_paths`] (min-sum vertex-disjoint paths
+//!   via min-cost flow — the §4.2.3 fault-diameter heuristic),
+//!   [`fault_diameter`] (exact `D_f` for small graphs plus the `δ̂_f`
+//!   bound), and [`reliability`] (the `ρ_G` model behind Fig. 5/Table 3).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use allconcur_graph::{gs::gs_digraph, connectivity::vertex_connectivity};
+//!
+//! // The overlay used by the paper for 8 servers: GS(8,3), degree 3,
+//! // diameter 2 (Fig. 1b).
+//! let g = gs_digraph(8, 3).unwrap();
+//! assert_eq!(g.order(), 8);
+//! assert_eq!(g.degree(), 3);
+//! assert_eq!(g.diameter(), Some(2));
+//! // Optimally connected: k(G) = d(G), so up to 2 failures are tolerated.
+//! assert_eq!(vertex_connectivity(&g), 3);
+//! ```
+
+pub mod binomial;
+pub mod connectivity;
+pub mod de_bruijn;
+pub mod digraph;
+pub mod disjoint_paths;
+pub mod fault_diameter;
+pub mod gs;
+pub mod moore;
+pub mod reliability;
+pub mod standard;
+pub mod traversal;
+
+pub use digraph::{Digraph, DigraphBuilder, NodeId};
+pub use gs::gs_digraph;
+pub use moore::moore_diameter_lower_bound;
+pub use reliability::{choose_gs_degree, ReliabilityModel};
+
+/// Errors produced by graph constructors and analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The requested parameters cannot produce a valid digraph
+    /// (e.g. GS(n,d) requires `d >= 3` and `n >= 2d`).
+    InvalidParameters(String),
+    /// The digraph is not connected, so the requested analysis is undefined.
+    Disconnected,
+    /// The analysis requires a regular digraph.
+    NotRegular,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            GraphError::Disconnected => write!(f, "digraph is disconnected"),
+            GraphError::NotRegular => write!(f, "digraph is not regular"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,100 @@
+//! Moore bound for digraph diameter.
+//!
+//! A `d`-regular digraph reaches at most `1 + d + d² + … + d^D` vertices
+//! within `D` hops, so `n ≤ (d^{D+1} − 1)/(d − 1)`; inverting gives the
+//! diameter lower bound the paper uses in Table 3:
+//! `D_L(n,d) = ⌈log_d(n(d−1) + d)⌉ − 1`.
+
+/// `D_L(n, d)`: minimum possible diameter of any `d`-regular digraph on
+/// `n` vertices. GS(n,d) is *quasiminimal*: within `D_L + 1` for
+/// `n ≤ d³ + d` (§4.4).
+pub fn moore_diameter_lower_bound(n: usize, d: usize) -> usize {
+    assert!(d >= 2, "Moore bound needs d >= 2");
+    if n <= 1 {
+        return 0;
+    }
+    // Invert n ≤ (d^{D+1} − 1)/(d − 1), i.e. n(d−1) + 1 ≤ d^{D+1}, in
+    // exact integer arithmetic. (The paper prints the equivalent
+    // ⌈log_d(n(d−1)+d)⌉ − 1, which differs only at exact Moore sizes,
+    // where the closed form over-counts by one.)
+    let target = (n as u128) * (d as u128 - 1) + 1;
+    let mut power = 1u128;
+    let mut exp = 0usize;
+    while power < target {
+        power = power.saturating_mul(d as u128);
+        exp += 1;
+    }
+    // exp = ⌈log_d target⌉ (power == target counts exactly).
+    exp - 1
+}
+
+/// Maximum number of vertices a `d`-regular digraph of diameter `dia` can
+/// have (the directed Moore bound): `1 + d + … + d^dia`.
+pub fn moore_vertex_bound(d: usize, dia: usize) -> u128 {
+    let mut total = 1u128;
+    let mut term = 1u128;
+    for _ in 0..dia {
+        term = term.saturating_mul(d as u128);
+        total = total.saturating_add(term);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lower_bounds() {
+        // D_L column of Table 3.
+        let rows: &[(usize, usize, usize)] = &[
+            (6, 3, 2),
+            (8, 3, 2),
+            (11, 3, 2),
+            (16, 4, 2),
+            (22, 4, 3),
+            (32, 4, 3),
+            (45, 4, 3),
+            (64, 5, 3),
+            (90, 5, 3),
+            (128, 5, 3),
+            (256, 7, 3),
+            (512, 8, 3),
+            (1024, 11, 3),
+        ];
+        for &(n, d, dl) in rows {
+            assert_eq!(
+                moore_diameter_lower_bound(n, d),
+                dl,
+                "D_L({n},{d}) should be {dl}"
+            );
+        }
+    }
+
+    #[test]
+    fn moore_bound_consistency() {
+        // n within the Moore bound for D_L but not for D_L - 1.
+        for &(n, d) in &[(90usize, 5usize), (256, 7), (1024, 11)] {
+            let dl = moore_diameter_lower_bound(n, d);
+            assert!(moore_vertex_bound(d, dl) >= n as u128);
+            if dl > 0 {
+                assert!(moore_vertex_bound(d, dl - 1) < n as u128);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_power_edge_case() {
+        // n = 1 + d: diameter 1 complete-ish case.
+        assert_eq!(moore_diameter_lower_bound(4, 3), 1);
+        assert_eq!(moore_diameter_lower_bound(5, 3), 2);
+        assert_eq!(moore_diameter_lower_bound(13, 3), 2); // 1+3+9 = 13 exactly
+        assert_eq!(moore_diameter_lower_bound(14, 3), 3);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(moore_diameter_lower_bound(1, 3), 0);
+        assert_eq!(moore_diameter_lower_bound(2, 3), 1);
+    }
+}

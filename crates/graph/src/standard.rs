@@ -1,0 +1,136 @@
+//! Standard digraph families used as baselines and test fixtures:
+//! complete digraphs (the naive reliable-broadcast overlay of §2.1),
+//! directed rings, binary hypercubes, and random regular digraphs.
+
+use crate::digraph::{Digraph, DigraphBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Complete digraph `K_n`: every ordered pair is an edge. This is the
+/// overlay of the simple reliable broadcast algorithm in §2.1; it tolerates
+/// `n - 2` failures but costs `O(n²)` messages.
+pub fn complete_digraph(n: usize) -> Digraph {
+    let mut b = DigraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed ring `0 → 1 → … → n−1 → 0`: degree 1, diameter `n − 1`,
+/// connectivity 1. The minimal connected overlay; useful as a worst case.
+pub fn ring_digraph(n: usize) -> Digraph {
+    let mut b = DigraphBuilder::new(n);
+    if n > 1 {
+        for u in 0..n as NodeId {
+            b.add_edge(u, (u + 1) % n as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Binary hypercube on `n = 2^dim` vertices, each edge in both directions:
+/// degree `dim`, diameter `dim`, connectivity `dim`. The paper compares
+/// binomial graphs against hypercubes (§4.4).
+pub fn hypercube_digraph(dim: u32) -> Digraph {
+    let n = 1usize << dim;
+    let mut b = DigraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for bit in 0..dim {
+            b.add_edge(u, u ^ (1 << bit));
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular digraph on `n` vertices built from `d` random
+/// permutations (rejecting self-loops and duplicate edges by resampling).
+/// Used by randomized/property tests as an "arbitrary regular overlay".
+///
+/// Requires `d < n`. Retries permutations until every column is a
+/// derangement relative to the identity and previously chosen columns; for
+/// `d ≪ n` this terminates quickly with overwhelming probability.
+pub fn random_regular_digraph<R: Rng>(n: usize, d: usize, rng: &mut R) -> Digraph {
+    assert!(d < n, "degree must be < n");
+    let mut succ: Vec<Vec<NodeId>> = vec![Vec::with_capacity(d); n];
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut cols = 0;
+    let mut attempts = 0;
+    while cols < d {
+        perm.shuffle(rng);
+        attempts += 1;
+        assert!(attempts < 10_000, "failed to sample regular digraph");
+        let ok = (0..n).all(|i| perm[i] != i as NodeId && !succ[i].contains(&perm[i]));
+        if ok {
+            for i in 0..n {
+                succ[i].push(perm[i]);
+            }
+            cols += 1;
+        }
+    }
+    let mut b = DigraphBuilder::new(n);
+    for (u, list) in succ.iter().enumerate() {
+        for &v in list {
+            b.add_edge(u as NodeId, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_parameters() {
+        let g = complete_digraph(6);
+        assert_eq!(g.size(), 30);
+        assert_eq!(g.degree(), 5);
+        assert!(g.is_regular());
+        assert_eq!(g.diameter(), Some(1));
+    }
+
+    #[test]
+    fn ring_parameters() {
+        let g = ring_digraph(7);
+        assert_eq!(g.size(), 7);
+        assert_eq!(g.degree(), 1);
+        assert!(g.is_regular());
+        assert_eq!(g.diameter(), Some(6));
+        assert_eq!(vertex_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn ring_small() {
+        assert_eq!(ring_digraph(1).size(), 0);
+        let g2 = ring_digraph(2);
+        assert_eq!(g2.size(), 2);
+        assert!(g2.has_edge(0, 1) && g2.has_edge(1, 0));
+    }
+
+    #[test]
+    fn hypercube_parameters() {
+        let g = hypercube_digraph(3);
+        assert_eq!(g.order(), 8);
+        assert_eq!(g.degree(), 3);
+        assert!(g.is_regular());
+        assert_eq!(g.diameter(), Some(3));
+        assert_eq!(vertex_connectivity(&g), 3);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_connected_usually() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let g = random_regular_digraph(24, 4, &mut rng);
+        assert!(g.is_regular());
+        assert_eq!(g.degree(), 4);
+        assert_eq!(g.order(), 24);
+    }
+}

@@ -1,0 +1,329 @@
+//! Breadth-first traversal, shortest paths, diameter, and strong
+//! connectivity (Tarjan SCC).
+//!
+//! These primitives back most analyses in the crate: the diameter `D(G)`
+//! bounds failure-free agreement depth (§4.2.1), and strong connectivity is
+//! the liveness precondition for Algorithm 1 (§3.3.1).
+
+use crate::digraph::{Digraph, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances (in hops) from `src` to every vertex; `u32::MAX` marks
+/// unreachable vertices.
+pub fn bfs_distances(g: &Digraph, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.order()];
+    let mut queue = VecDeque::with_capacity(g.order());
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.successors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS distances from `src` avoiding a set of removed vertices (used by the
+/// exact fault-diameter computation). `src` itself must not be removed.
+pub fn bfs_distances_avoiding(g: &Digraph, src: NodeId, removed: &[bool]) -> Vec<u32> {
+    debug_assert!(!removed[src as usize]);
+    let mut dist = vec![u32::MAX; g.order()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.successors(u) {
+            if !removed[v as usize] && dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest path from `src` to `dst`, as a vertex sequence including
+/// both endpoints, or `None` if unreachable.
+pub fn shortest_path(g: &Digraph, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut parent = vec![u32::MAX; g.order()];
+    let mut queue = VecDeque::new();
+    parent[src as usize] = src;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.successors(u) {
+            if parent[v as usize] == u32::MAX {
+                parent[v as usize] = u;
+                if v == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = parent[cur as usize];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// `D(G)`: the longest shortest path over all ordered pairs, or `None` if
+/// `G` is not strongly connected (§2.1.1).
+pub fn diameter(g: &Digraph) -> Option<usize> {
+    let n = g.order();
+    if n <= 1 {
+        return Some(0);
+    }
+    let mut diam = 0u32;
+    for src in g.vertices() {
+        let dist = bfs_distances(g, src);
+        for (v, &d) in dist.iter().enumerate() {
+            if d == u32::MAX {
+                debug_assert!(v != src as usize || n == 1);
+                return None;
+            }
+            diam = diam.max(d);
+        }
+    }
+    Some(diam as usize)
+}
+
+/// Eccentricity of `src`: the longest shortest path out of `src`, or `None`
+/// if some vertex is unreachable.
+pub fn eccentricity(g: &Digraph, src: NodeId) -> Option<usize> {
+    let dist = bfs_distances(g, src);
+    let mut ecc = 0u32;
+    for &d in &dist {
+        if d == u32::MAX {
+            return None;
+        }
+        ecc = ecc.max(d);
+    }
+    Some(ecc as usize)
+}
+
+/// Whether `G` is strongly connected: one vertex reaches all others in both
+/// `G` and its transpose. O(n + m).
+pub fn is_strongly_connected(g: &Digraph) -> bool {
+    let n = g.order();
+    if n <= 1 {
+        return true;
+    }
+    let reaches_all = |g: &Digraph| bfs_distances(g, 0).iter().all(|&d| d != u32::MAX);
+    reaches_all(g) && reaches_all(&g.transpose())
+}
+
+/// Strongly connected components via Tarjan's algorithm (iterative —
+/// overlays can be deep enough to overflow a recursive stack). Returns, for
+/// each vertex, its component id; ids are assigned in reverse topological
+/// order of the condensation.
+///
+/// The eventually-perfect-FD mode uses SCCs to identify the *surviving
+/// partition* (§3.3.2).
+pub fn strongly_connected_components(g: &Digraph) -> Vec<u32> {
+    let n = g.order();
+    let mut comp = vec![u32::MAX; n];
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_comp = 0u32;
+
+    // Explicit DFS frame: (vertex, position in its successor list).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.vertices() {
+        if index[root as usize] != u32::MAX {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut i)) = frames.last_mut() {
+            let succs = g.successors(v);
+            if *i < succs.len() {
+                let w = succs[*i];
+                *i += 1;
+                if index[w as usize] == u32::MAX {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Size of the largest strongly connected component.
+pub fn largest_scc_size(g: &Digraph) -> usize {
+    let comp = strongly_connected_components(g);
+    let mut counts = std::collections::HashMap::new();
+    for c in comp {
+        *counts.entry(c).or_insert(0usize) += 1;
+    }
+    counts.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DigraphBuilder;
+    use crate::standard::{complete_digraph, ring_digraph};
+
+    #[test]
+    fn bfs_on_ring() {
+        let g = ring_digraph(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_ring() {
+        assert_eq!(diameter(&ring_digraph(6)), Some(5));
+    }
+
+    #[test]
+    fn diameter_complete() {
+        assert_eq!(diameter(&complete_digraph(7)), Some(1));
+    }
+
+    #[test]
+    fn diameter_disconnected_is_none() {
+        let mut b = DigraphBuilder::new(2);
+        b.add_edge(0, 1);
+        assert_eq!(diameter(&b.build()), None);
+    }
+
+    #[test]
+    fn diameter_trivial() {
+        assert_eq!(diameter(&DigraphBuilder::new(1).build()), Some(0));
+        assert_eq!(diameter(&DigraphBuilder::new(0).build()), Some(0));
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = ring_digraph(5);
+        let p = shortest_path(&g, 1, 4).unwrap();
+        assert_eq!(p, vec![1, 2, 3, 4]);
+        assert_eq!(shortest_path(&g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn shortest_path_none_when_unreachable() {
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert!(shortest_path(&b.build(), 1, 0).is_none());
+    }
+
+    #[test]
+    fn strong_connectivity_ring_vs_path() {
+        assert!(is_strongly_connected(&ring_digraph(4)));
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        assert!(!is_strongly_connected(&b.build()));
+    }
+
+    #[test]
+    fn scc_two_components() {
+        // Two 2-cycles joined by a one-way bridge.
+        let mut b = DigraphBuilder::new(4);
+        b.add_bidirectional(0, 1);
+        b.add_bidirectional(2, 3);
+        b.add_edge(1, 2);
+        let comp = strongly_connected_components(&b.build());
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn scc_singletons_in_dag() {
+        let mut b = DigraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let comp = strongly_connected_components(&b.build());
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn largest_scc_of_complete() {
+        assert_eq!(largest_scc_size(&complete_digraph(6)), 6);
+    }
+
+    #[test]
+    fn eccentricity_ring() {
+        let g = ring_digraph(5);
+        assert_eq!(eccentricity(&g, 0), Some(4));
+    }
+
+    #[test]
+    fn bfs_avoiding_blocks_paths() {
+        let g = ring_digraph(5);
+        let mut removed = vec![false; 5];
+        removed[1] = true;
+        let d = bfs_distances_avoiding(&g, 0, &removed);
+        // 0 can reach nobody else: the only outgoing edge goes through 1.
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[0], 0);
+    }
+
+    #[test]
+    fn tarjan_handles_deep_path_iteratively() {
+        // A long path would overflow a recursive Tarjan; the iterative one
+        // must handle it.
+        let n = 200_000;
+        let mut b = DigraphBuilder::new(n);
+        for i in 0..(n - 1) as u32 {
+            b.add_edge(i, i + 1);
+        }
+        let comp = strongly_connected_components(&b.build());
+        assert_eq!(comp.len(), n);
+    }
+}

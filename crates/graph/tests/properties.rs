@@ -1,0 +1,169 @@
+//! Property-based tests of the digraph substrate's invariants.
+
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::connectivity::{local_connectivity, vertex_connectivity};
+use allconcur_graph::de_bruijn::de_bruijn_star;
+use allconcur_graph::digraph::DigraphBuilder;
+use allconcur_graph::disjoint_paths::{are_vertex_disjoint, min_sum_disjoint_paths};
+use allconcur_graph::fault_diameter::{chung_garey_bound, exact_fault_diameter};
+use allconcur_graph::gs::{gs_digraph, line_digraph};
+use allconcur_graph::moore::{moore_diameter_lower_bound, moore_vertex_bound};
+use allconcur_graph::reliability::{binomial_tail, ReliabilityModel};
+use allconcur_graph::standard::random_regular_digraph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// GS(n,d) is always d-regular, strongly connected, with n·d edges
+    /// and quasiminimal diameter within its validity range.
+    #[test]
+    fn gs_invariants(n in 6usize..120, d in 3usize..6) {
+        prop_assume!(n >= 2 * d);
+        let g = gs_digraph(n, d).unwrap();
+        prop_assert_eq!(g.order(), n);
+        prop_assert_eq!(g.size(), n * d);
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.degree(), d);
+        prop_assert!(g.is_strongly_connected());
+        let diam = g.diameter().unwrap();
+        let dl = moore_diameter_lower_bound(n, d);
+        prop_assert!(diam >= dl);
+        if n <= d * d * d + d {
+            prop_assert!(diam <= dl + 1, "GS({},{}) diameter {} > D_L+1 = {}", n, d, diam, dl + 1);
+        }
+    }
+
+    /// The de Bruijn rewrite is d-regular and self-loop-free for every
+    /// valid (m, d).
+    #[test]
+    fn de_bruijn_star_invariants(m in 2usize..40, d in 1usize..9) {
+        let g = de_bruijn_star(m, d).unwrap();
+        prop_assert!(g.is_regular(d));
+        for v in 0..m as u32 {
+            prop_assert_eq!(g.self_loops(v), 0);
+        }
+        prop_assert_eq!(g.edges().len(), m * d);
+    }
+
+    /// Line digraphs preserve regularity and edge-to-vertex counts.
+    #[test]
+    fn line_digraph_of_regular_multigraph(m in 2usize..20, d in 1usize..6) {
+        let star = de_bruijn_star(m, d).unwrap();
+        let (line, labels) = line_digraph(&star);
+        prop_assert_eq!(line.order(), m * d);
+        prop_assert_eq!(labels.len(), m * d);
+        prop_assert!(line.is_regular(), "line digraph of a regular multigraph is regular");
+        prop_assert_eq!(line.size(), m * d * d);
+    }
+
+    /// Binomial graphs: regular, optimally connected (k = d).
+    #[test]
+    fn binomial_optimal_connectivity(n in 4usize..28) {
+        let g = binomial_graph(n);
+        prop_assert!(g.is_regular());
+        prop_assert!(g.is_strongly_connected());
+        prop_assert_eq!(vertex_connectivity(&g), g.degree());
+    }
+
+    /// Menger duality spot-check: the number of vertex-disjoint paths the
+    /// min-cost-flow finds equals the max-flow local connectivity.
+    #[test]
+    fn disjoint_paths_match_local_connectivity(n in 6usize..16, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_regular_digraph(n, 3, &mut rng);
+        prop_assume!(g.is_strongly_connected());
+        let (s, t) = (0u32, (n - 1) as u32);
+        let lambda = local_connectivity(&g, s, t);
+        prop_assert!(lambda >= 1);
+        // Exactly λ disjoint paths exist...
+        let paths = min_sum_disjoint_paths(&g, s, t, lambda);
+        prop_assert!(paths.is_some(), "λ = {} paths must exist", lambda);
+        let dp = paths.unwrap();
+        prop_assert!(are_vertex_disjoint(&dp.paths));
+        for p in &dp.paths {
+            prop_assert_eq!(*p.first().unwrap(), s);
+            prop_assert_eq!(*p.last().unwrap(), t);
+            for w in p.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+        // ... and λ + 1 do not.
+        prop_assert!(min_sum_disjoint_paths(&g, s, t, lambda + 1).is_none());
+    }
+
+    /// Exact fault diameter respects the Chung–Garey bound and grows
+    /// monotonically with f.
+    #[test]
+    fn fault_diameter_bounds(n in 8usize..12) {
+        let g = binomial_graph(n);
+        let k = vertex_connectivity(&g);
+        let mut last = g.diameter().unwrap();
+        for f in 0..k.min(3) {
+            let df = exact_fault_diameter(&g, f).unwrap();
+            prop_assert!(df >= last || f == 0, "fault diameter must not shrink");
+            if let Some(cg) = chung_garey_bound(n, k, f) {
+                prop_assert!(df <= cg, "exact {} > Chung–Garey {}", df, cg);
+            }
+            last = df;
+        }
+    }
+
+    /// Transpose is an involution and preserves all degree structure.
+    #[test]
+    fn transpose_involution(n in 2usize..30, edges in prop::collection::vec((0u32..30, 0u32..30), 0..120)) {
+        let mut b = DigraphBuilder::new(n);
+        for (u, v) in edges {
+            if (u as usize) < n && (v as usize) < n {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let t = g.transpose();
+        prop_assert_eq!(&t.transpose(), &g);
+        prop_assert_eq!(g.size(), t.size());
+        for v in g.vertices() {
+            prop_assert_eq!(g.out_degree(v), t.in_degree(v));
+            prop_assert_eq!(g.in_degree(v), t.out_degree(v));
+        }
+    }
+
+    /// Binomial tail: monotone in k (decreasing) and p (increasing), and
+    /// consistent with the complement at k = 1.
+    #[test]
+    fn binomial_tail_monotonicity(n in 1usize..200, k in 1usize..20, p in 1e-6f64..0.5) {
+        prop_assume!(k <= n);
+        let t_k = binomial_tail(n, k, p);
+        prop_assert!((0.0..=1.0).contains(&t_k));
+        prop_assert!(binomial_tail(n, k + 1, p) <= t_k + 1e-12);
+        prop_assert!(binomial_tail(n, k, p * 1.5) >= t_k - 1e-12);
+        let direct = 1.0 - (1.0 - p).powi(n as i32);
+        prop_assert!((binomial_tail(n, 1, p) - direct).abs() < 1e-9);
+    }
+
+    /// Reliability in nines is monotone in connectivity and the selected
+    /// GS degree always meets the target.
+    #[test]
+    fn degree_selection_meets_target(n in 6usize..4000, target in 3.0f64..9.0) {
+        let model = ReliabilityModel::paper_default();
+        if let Some(d) = allconcur_graph::choose_gs_degree(n, &model, target) {
+            prop_assert!(model.nines(n, d) >= target - 0.05);
+            if d > 3 {
+                prop_assert!(model.nines(n, d - 1) < target - 0.05,
+                    "selected degree must be minimal");
+            }
+        }
+    }
+
+    /// Moore bound consistency: a digraph can never beat it.
+    #[test]
+    fn measured_diameters_respect_moore(n in 6usize..60) {
+        let g = binomial_graph(n);
+        let d = g.degree();
+        let diam = g.diameter().unwrap();
+        prop_assert!(diam >= moore_diameter_lower_bound(n, d));
+        prop_assert!(moore_vertex_bound(d, diam) >= n as u128);
+    }
+}

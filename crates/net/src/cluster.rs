@@ -1,0 +1,205 @@
+//! A full AllConcur deployment on loopback — every server a
+//! [`crate::runtime::NodeRuntime`] in the current process, wired over
+//! real TCP/UDP sockets on 127.0.0.1.
+//!
+//! This is the harness behind the TCP integration tests, the
+//! `quickstart` example, and the TCP rows of the benchmark tables.
+
+use crate::runtime::{Delivery, NodeRuntime, RuntimeOptions};
+use allconcur_core::config::{Config, FdMode};
+use allconcur_core::ServerId;
+use allconcur_graph::Digraph;
+use bytes::Bytes;
+use std::net::{SocketAddr, TcpListener, UdpSocket};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A local multi-server deployment.
+pub struct LocalCluster {
+    nodes: Vec<Option<NodeRuntime>>,
+    cfg: Config,
+}
+
+impl LocalCluster {
+    /// Spawn one server per overlay vertex on ephemeral loopback ports.
+    pub fn spawn(graph: Digraph, opts: RuntimeOptions) -> std::io::Result<LocalCluster> {
+        let n = graph.order();
+        let k = allconcur_graph::connectivity::vertex_connectivity(&graph);
+        let cfg = Config {
+            graph: Arc::new(graph),
+            resilience: k.saturating_sub(1),
+            fd_mode: FdMode::Perfect,
+        };
+
+        // Bind every socket before starting any runtime, so successor
+        // connections find listening peers immediately.
+        let mut listeners = Vec::with_capacity(n);
+        let mut udps = Vec::with_capacity(n);
+        let mut tcp_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        let mut udp_addrs: Vec<SocketAddr> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            tcp_addrs.push(l.local_addr()?);
+            listeners.push(l);
+            let u = UdpSocket::bind("127.0.0.1:0")?;
+            udp_addrs.push(u.local_addr()?);
+            udps.push(u);
+        }
+
+        let mut nodes = Vec::with_capacity(n);
+        // Reverse order so that accept threads of high-numbered servers
+        // exist before low-numbered servers connect... connections retry
+        // anyway; order is cosmetic.
+        for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
+            let node = NodeRuntime::start(
+                i as ServerId,
+                cfg.clone(),
+                listener,
+                udp,
+                tcp_addrs.clone(),
+                udp_addrs.clone(),
+                opts,
+            )?;
+            nodes.push(Some(node));
+        }
+        Ok(LocalCluster { nodes, cfg })
+    }
+
+    /// Number of configured servers.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Submit `payload` as server `id`'s message for its current round.
+    pub fn broadcast(&self, id: ServerId, payload: Bytes) {
+        if let Some(node) = &self.nodes[id as usize] {
+            node.broadcast(payload);
+        }
+    }
+
+    /// Wait for the next delivery at `id`.
+    pub fn recv_delivery(&self, id: ServerId, timeout: Duration) -> Option<Delivery> {
+        self.nodes[id as usize].as_ref()?.recv_delivery(timeout)
+    }
+
+    /// Emulate a fail-stop crash of `id`: all its threads stop, sockets
+    /// close, heartbeats cease. Peers detect via disconnect/FD.
+    pub fn kill(&mut self, id: ServerId) {
+        if let Some(node) = self.nodes[id as usize].take() {
+            node.shutdown();
+        }
+    }
+
+    /// Whether `id` is still running.
+    pub fn is_running(&self, id: ServerId) -> bool {
+        self.nodes[id as usize].is_some()
+    }
+
+    /// Run one full round: broadcast `payloads[i]` as server `i` (for
+    /// running servers) and collect one delivery from each. Returns
+    /// `None` entries for servers that are dead or time out.
+    pub fn run_round(&self, payloads: &[Bytes], timeout: Duration) -> Vec<Option<Delivery>> {
+        assert_eq!(payloads.len(), self.n());
+        for (i, p) in payloads.iter().enumerate() {
+            self.broadcast(i as ServerId, p.clone());
+        }
+        (0..self.n() as ServerId).map(|i| self.recv_delivery(i, timeout)).collect()
+    }
+
+    /// Graceful shutdown of every remaining server.
+    pub fn shutdown(mut self) {
+        for node in self.nodes.iter_mut() {
+            if let Some(n) = node.take() {
+                n.shutdown();
+            }
+        }
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        for node in self.nodes.iter_mut() {
+            if let Some(n) = node.take() {
+                n.shutdown();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allconcur_graph::gs::gs_digraph;
+    use allconcur_graph::standard::complete_digraph;
+
+    fn payloads(n: usize) -> Vec<Bytes> {
+        (0..n).map(|i| Bytes::from(vec![i as u8; 32])).collect()
+    }
+
+    #[test]
+    fn tcp_round_on_complete_digraph() {
+        let cluster = LocalCluster::spawn(complete_digraph(4), RuntimeOptions::default()).unwrap();
+        let deliveries = cluster.run_round(&payloads(4), Duration::from_secs(10));
+        let first = deliveries[0].as_ref().expect("server 0 delivered");
+        assert_eq!(first.messages.len(), 4);
+        for (i, d) in deliveries.iter().enumerate() {
+            let d = d.as_ref().unwrap_or_else(|| panic!("server {i} timed out"));
+            assert_eq!(d.round, 0);
+            assert_eq!(d.messages, first.messages, "total order violated at {i}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_multiple_rounds_gs83() {
+        let cluster =
+            LocalCluster::spawn(gs_digraph(8, 3).unwrap(), RuntimeOptions::default()).unwrap();
+        for round in 0..3u64 {
+            let deliveries = cluster.run_round(&payloads(8), Duration::from_secs(10));
+            for (i, d) in deliveries.iter().enumerate() {
+                let d = d.as_ref().unwrap_or_else(|| panic!("server {i} round {round}"));
+                assert_eq!(d.round, round);
+                assert_eq!(d.messages.len(), 8);
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn tcp_survives_crash() {
+        let mut cluster =
+            LocalCluster::spawn(gs_digraph(8, 3).unwrap(), RuntimeOptions::default()).unwrap();
+        // Round 0: all alive.
+        let d0 = cluster.run_round(&payloads(8), Duration::from_secs(10));
+        assert!(d0.iter().all(Option::is_some));
+        // Kill server 6, then run a round without it.
+        cluster.kill(6);
+        let mut ps = payloads(8);
+        ps[6] = Bytes::new();
+        for (i, p) in ps.iter().enumerate() {
+            cluster.broadcast(i as ServerId, p.clone());
+        }
+        let mut reference: Option<Vec<(ServerId, Bytes)>> = None;
+        for i in 0..8u32 {
+            if i == 6 {
+                continue;
+            }
+            let d = cluster
+                .recv_delivery(i, Duration::from_secs(20))
+                .unwrap_or_else(|| panic!("server {i} stuck after crash"));
+            assert_eq!(d.round, 1);
+            let origins: Vec<ServerId> = d.messages.iter().map(|&(o, _)| o).collect();
+            assert!(!origins.contains(&6), "server {i} delivered the dead server's message");
+            match &reference {
+                None => reference = Some(d.messages),
+                Some(r) => assert_eq!(&d.messages, r, "set agreement violated at {i}"),
+            }
+        }
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,100 @@
+//! TCP framing: 4-byte little-endian length prefix + the message encoding
+//! from [`allconcur_core::message`], plus the connection handshake (the
+//! connecting side announces its server id so the receiver can attribute
+//! frames).
+
+use allconcur_core::message::Message;
+use allconcur_core::ServerId;
+use bytes::{Bytes, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Maximum accepted frame, guarding against corrupt length prefixes.
+/// Large enough for Fig. 10's biggest batch (2¹⁵ × 8 B) with room to
+/// spare.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one framed message.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    let len = msg.encoded_len();
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let mut buf = BytesMut::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    msg.encode(&mut buf);
+    w.write_all(&buf)
+}
+
+/// Read one framed message (blocking).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Message> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    let mut bytes = Bytes::from(buf);
+    Message::decode(&mut bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Handshake sent by the connecting (predecessor) side.
+pub fn write_handshake<W: Write>(w: &mut W, id: ServerId) -> io::Result<()> {
+    w.write_all(&id.to_le_bytes())
+}
+
+/// Handshake read by the accepting (successor) side.
+pub fn read_handshake<R: Read>(r: &mut R) -> io::Result<ServerId> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(ServerId::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let msgs = vec![
+            Message::Bcast { round: 9, origin: 2, payload: Bytes::from(vec![7u8; 1000]) },
+            Message::Fail { round: 9, failed: 1, detector: 3 },
+            Message::Fwd { round: 9, origin: 0 },
+        ];
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        for m in &msgs {
+            assert_eq!(&read_frame(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn handshake_roundtrip() {
+        let mut wire = Vec::new();
+        write_handshake(&mut wire, 42).unwrap();
+        assert_eq!(read_handshake(&mut Cursor::new(wire)).unwrap(), 42);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        assert!(read_frame(&mut Cursor::new(wire)).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let msg = Message::Bcast { round: 1, origin: 0, payload: Bytes::from(vec![1u8; 64]) };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        wire.truncate(wire.len() - 10);
+        assert!(read_frame(&mut Cursor::new(wire)).is_err());
+    }
+}

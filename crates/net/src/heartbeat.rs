@@ -1,0 +1,321 @@
+//! UDP heartbeats and the timeout failure detector (§3.2).
+//!
+//! "The failure detector is implemented over unreliable datagrams" (§5).
+//! Every server sends a heartbeat datagram to each overlay successor with
+//! period `Δ_hb`; a monitor thread tracks the last heartbeat heard from
+//! each overlay predecessor and raises a suspicion after `Δ_to` of
+//! silence — completeness by construction, accuracy probabilistic
+//! (the model in [`allconcur_core::fd`]).
+
+use allconcur_core::ServerId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Heartbeat datagram: magic + sender id.
+const MAGIC: [u8; 4] = *b"ACHB";
+
+/// Failure-detector timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FdParams {
+    /// Heartbeat period `Δ_hb`.
+    pub heartbeat_period: Duration,
+    /// Suspicion timeout `Δ_to`.
+    pub timeout: Duration,
+}
+
+impl FdParams {
+    /// The paper's Fig. 7 setting: `Δ_hb = 10 ms`, `Δ_to = 100 ms`.
+    pub fn paper_default() -> Self {
+        FdParams { heartbeat_period: Duration::from_millis(10), timeout: Duration::from_millis(100) }
+    }
+
+    /// A fast profile for loopback tests.
+    pub fn fast() -> Self {
+        FdParams { heartbeat_period: Duration::from_millis(5), timeout: Duration::from_millis(60) }
+    }
+}
+
+/// Shared last-heard table, written by the receive thread and read by the
+/// monitor thread.
+#[derive(Debug, Default)]
+pub struct HeartbeatTable {
+    last_heard: Mutex<HashMap<ServerId, Instant>>,
+}
+
+impl HeartbeatTable {
+    /// Fresh table; predecessors are considered "heard" at registration so
+    /// startup does not generate spurious suspicions.
+    pub fn new(predecessors: &[ServerId]) -> Arc<Self> {
+        let now = Instant::now();
+        let table = HeartbeatTable {
+            last_heard: Mutex::new(predecessors.iter().map(|&p| (p, now)).collect()),
+        };
+        Arc::new(table)
+    }
+
+    /// Record a heartbeat from `from`.
+    pub fn record(&self, from: ServerId) {
+        if let Some(slot) = self.last_heard.lock().get_mut(&from) {
+            *slot = Instant::now();
+        }
+    }
+
+    /// Predecessors silent for longer than `timeout`. Each is reported
+    /// once: expired entries are removed so the monitor does not re-fire.
+    pub fn expired(&self, timeout: Duration) -> Vec<ServerId> {
+        let mut guard = self.last_heard.lock();
+        let now = Instant::now();
+        let dead: Vec<ServerId> = guard
+            .iter()
+            .filter(|(_, &t)| now.duration_since(t) > timeout)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in &dead {
+            guard.remove(p);
+        }
+        dead
+    }
+
+    /// Stop monitoring `p` (it was tagged failed by the protocol).
+    pub fn forget(&self, p: ServerId) {
+        self.last_heard.lock().remove(&p);
+    }
+}
+
+/// Heartbeat sender: periodically fires one datagram per successor until
+/// stopped. Returns the join handle.
+pub fn spawn_sender(
+    socket: UdpSocket,
+    id: ServerId,
+    successors: Vec<SocketAddr>,
+    params: FdParams,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ac-hb-send-{id}"))
+        .spawn(move || {
+            let mut buf = [0u8; 8];
+            buf[..4].copy_from_slice(&MAGIC);
+            buf[4..].copy_from_slice(&id.to_le_bytes());
+            while !stop.load(Ordering::Relaxed) {
+                for addr in &successors {
+                    // Best-effort: heartbeats are unreliable by design.
+                    let _ = socket.send_to(&buf, addr);
+                }
+                std::thread::sleep(params.heartbeat_period);
+            }
+        })
+        .expect("spawn heartbeat sender")
+}
+
+/// Heartbeat receiver: records arrivals into the table until stopped.
+pub fn spawn_receiver(
+    socket: UdpSocket,
+    id: ServerId,
+    table: Arc<HeartbeatTable>,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    socket
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .expect("set UDP read timeout");
+    std::thread::Builder::new()
+        .name(format!("ac-hb-recv-{id}"))
+        .spawn(move || {
+            let mut buf = [0u8; 16];
+            while !stop.load(Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((8, _)) if buf[..4] == MAGIC => {
+                        let from = ServerId::from_le_bytes(buf[4..8].try_into().expect("sized"));
+                        table.record(from);
+                    }
+                    Ok(_) => {} // malformed datagram: drop
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => break, // socket closed
+                }
+            }
+        })
+        .expect("spawn heartbeat receiver")
+}
+
+/// Monitor: polls the table and reports expirations through `on_suspect`
+/// until stopped.
+pub fn spawn_monitor<F>(
+    id: ServerId,
+    table: Arc<HeartbeatTable>,
+    params: FdParams,
+    stop: Arc<AtomicBool>,
+    on_suspect: F,
+) -> std::thread::JoinHandle<()>
+where
+    F: Fn(ServerId) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("ac-fd-{id}"))
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for suspect in table.expired(params.timeout) {
+                    on_suspect(suspect);
+                }
+                std::thread::sleep(params.heartbeat_period / 2);
+            }
+        })
+        .expect("spawn FD monitor")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_records_and_expires() {
+        let table = HeartbeatTable::new(&[1, 2]);
+        table.record(1);
+        std::thread::sleep(Duration::from_millis(30));
+        table.record(2);
+        let dead = table.expired(Duration::from_millis(20));
+        assert_eq!(dead, vec![1]);
+        // Reported once only.
+        assert!(table.expired(Duration::from_millis(20)).is_empty());
+    }
+
+    #[test]
+    fn forget_removes_monitoring() {
+        let table = HeartbeatTable::new(&[3]);
+        table.forget(3);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(table.expired(Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn unknown_sender_ignored() {
+        let table = HeartbeatTable::new(&[1]);
+        table.record(99); // not a predecessor: no panic, no entry
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(table.expired(Duration::from_millis(1)), vec![1]);
+    }
+
+    #[test]
+    fn end_to_end_heartbeats_over_udp() {
+        // Server 0 sends to server 1; killing the sender triggers the
+        // monitor exactly once.
+        let sock0 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sock1 = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr1 = sock1.local_addr().unwrap();
+        let params = FdParams { heartbeat_period: Duration::from_millis(5), timeout: Duration::from_millis(50) };
+
+        let stop_send = Arc::new(AtomicBool::new(false));
+        let sender = spawn_sender(sock0, 0, vec![addr1], params, stop_send.clone());
+
+        let table = HeartbeatTable::new(&[0]);
+        let stop_recv = Arc::new(AtomicBool::new(false));
+        let receiver = spawn_receiver(sock1, 1, table.clone(), stop_recv.clone());
+
+        let suspected = Arc::new(Mutex::new(Vec::new()));
+        let suspected2 = suspected.clone();
+        let stop_mon = Arc::new(AtomicBool::new(false));
+        let monitor = spawn_monitor(1, table, params, stop_mon.clone(), move |s| {
+            suspected2.lock().push(s);
+        });
+
+        // Healthy phase: no suspicion.
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(suspected.lock().is_empty(), "live sender must not be suspected");
+
+        // Kill the sender; suspicion within ~Δ_to + slack.
+        stop_send.store(true, Ordering::Relaxed);
+        sender.join().unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(suspected.lock().as_slice(), &[0], "dead sender must be suspected once");
+
+        stop_recv.store(true, Ordering::Relaxed);
+        stop_mon.store(true, Ordering::Relaxed);
+        receiver.join().unwrap();
+        monitor.join().unwrap();
+    }
+}
+
+/// Adaptive timeout — the §3.3.2 recipe for an eventually-perfect FD:
+/// "When a server falsely suspects another server to have failed, it
+/// increments the timeout period `Δ_to`; thus, eventually, non-faulty
+/// servers are no longer suspected."
+///
+/// The runtime reports evidence of a false suspicion (a message arriving
+/// from a server we suspected) via [`AdaptiveTimeout::report_false_suspicion`];
+/// each report grows the timeout multiplicatively up to a cap.
+#[derive(Debug)]
+pub struct AdaptiveTimeout {
+    current: Mutex<Duration>,
+    growth_num: u32,
+    growth_den: u32,
+    max: Duration,
+}
+
+impl AdaptiveTimeout {
+    /// Start at `initial`, growing by 3/2 per false suspicion, capped at
+    /// `max`.
+    pub fn new(initial: Duration, max: Duration) -> Self {
+        assert!(initial <= max, "initial timeout above cap");
+        AdaptiveTimeout { current: Mutex::new(initial), growth_num: 3, growth_den: 2, max }
+    }
+
+    /// The timeout to use for the next suspicion decision.
+    pub fn current(&self) -> Duration {
+        *self.current.lock()
+    }
+
+    /// Evidence of a false suspicion: grow the timeout. Returns the new
+    /// value.
+    pub fn report_false_suspicion(&self) -> Duration {
+        let mut cur = self.current.lock();
+        let grown = cur
+            .checked_mul(self.growth_num)
+            .map(|d| d / self.growth_den)
+            .unwrap_or(self.max);
+        *cur = grown.min(self.max);
+        *cur
+    }
+}
+
+#[cfg(test)]
+mod adaptive_tests {
+    use super::*;
+
+    #[test]
+    fn grows_multiplicatively_to_cap() {
+        let at = AdaptiveTimeout::new(Duration::from_millis(100), Duration::from_secs(2));
+        assert_eq!(at.current(), Duration::from_millis(100));
+        assert_eq!(at.report_false_suspicion(), Duration::from_millis(150));
+        assert_eq!(at.report_false_suspicion(), Duration::from_millis(225));
+        for _ in 0..20 {
+            at.report_false_suspicion();
+        }
+        assert_eq!(at.current(), Duration::from_secs(2), "capped");
+    }
+
+    #[test]
+    #[should_panic(expected = "initial timeout above cap")]
+    fn rejects_inverted_bounds() {
+        AdaptiveTimeout::new(Duration::from_secs(5), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn eventually_exceeds_any_bounded_delay() {
+        // The ◇P property: for any (unknown) true message-delay bound,
+        // enough false suspicions push Δ_to above it permanently.
+        let at = AdaptiveTimeout::new(Duration::from_millis(10), Duration::from_secs(3600));
+        let true_delay_bound = Duration::from_millis(750);
+        let mut reports = 0;
+        while at.current() <= true_delay_bound {
+            at.report_false_suspicion();
+            reports += 1;
+            assert!(reports < 100, "must converge quickly");
+        }
+        assert!(at.current() > true_delay_bound);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # allconcur-net — sockets-based TCP transport for AllConcur
+//!
+//! The paper's implementation runs over standard sockets-based TCP (and
+//! InfiniBand Verbs; §5). This crate is the TCP half: it drives the
+//! *same* [`allconcur_core::server::Server`] state machine as the
+//! simulator, over real `std::net` sockets with one OS process hosting
+//! one or more servers.
+//!
+//! * [`codec`] — length-prefixed framing of protocol messages plus the
+//!   connection handshake;
+//! * [`runtime`] — per-server runtime: listener, per-predecessor reader
+//!   threads, a protocol thread owning the state machine, buffered
+//!   writers to overlay successors;
+//! * [`heartbeat`] — UDP heartbeats and the timeout-based failure
+//!   detector (`Δ_hb` / `Δ_to`, §3.2); connection loss can optionally be
+//!   treated as an immediate suspicion to accelerate detection;
+//! * [`cluster`] — [`cluster::LocalCluster`]: spin up a full deployment
+//!   on loopback for tests, examples, and benches.
+//!
+//! The integration tests in `tests/` run multi-server agreement,
+//! including crash-failure runs, over real TCP on 127.0.0.1.
+
+pub mod cluster;
+pub mod codec;
+pub mod heartbeat;
+pub mod runtime;
+
+pub use cluster::LocalCluster;

@@ -1,0 +1,370 @@
+//! Per-server TCP runtime.
+//!
+//! Thread layout per server (mirroring the paper's libev-based event
+//! loop, translated to blocking threads):
+//!
+//! * **accept** — accepts connections from overlay predecessors; each
+//!   accepted connection gets a **reader** thread that decodes frames and
+//!   forwards them to the protocol thread;
+//! * **protocol** — owns the [`Server`] state machine and the buffered
+//!   writers to overlay successors; the single consumer of the input
+//!   channel, so the state machine needs no locking at all;
+//! * **heartbeat sender / receiver / FD monitor** — see
+//!   [`crate::heartbeat`].
+//!
+//! Message flow direction matches the overlay: a server *connects out* to
+//! its successors (it sends to them) and *accepts in* from its
+//! predecessors.
+
+use crate::codec::{read_frame, read_handshake, write_frame, write_handshake};
+use crate::heartbeat::{self, FdParams, HeartbeatTable};
+use allconcur_core::config::Config;
+use allconcur_core::message::Message;
+use allconcur_core::server::{Action, Event, Server};
+use allconcur_core::{Round, ServerId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::io::{BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One completed round, as seen by the application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The agreed round.
+    pub round: Round,
+    /// `(origin, payload)` pairs in deterministic order.
+    pub messages: Vec<(ServerId, Bytes)>,
+}
+
+/// Inputs multiplexed into the protocol thread.
+enum NodeInput {
+    Net { from: ServerId, msg: Message },
+    Broadcast(Bytes),
+    Suspect(ServerId),
+    Shutdown,
+}
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeOptions {
+    /// FD timing.
+    pub fd: FdParams,
+    /// Treat a predecessor's TCP disconnect as an immediate suspicion
+    /// (faster than waiting `Δ_to`; sound under fail-stop because healthy
+    /// overlay connections are never closed).
+    pub suspect_on_disconnect: bool,
+    /// Retry budget while establishing successor connections.
+    pub connect_attempts: u32,
+    /// Delay between connection attempts.
+    pub connect_backoff: Duration,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            fd: FdParams::fast(),
+            suspect_on_disconnect: true,
+            connect_attempts: 100,
+            connect_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Handle to a running AllConcur server on real sockets.
+pub struct NodeRuntime {
+    id: ServerId,
+    input_tx: Sender<NodeInput>,
+    delivery_rx: Receiver<Delivery>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl NodeRuntime {
+    /// Start server `id`. `listener`/`udp` must already be bound;
+    /// `tcp_addrs`/`udp_addrs` give every server's addresses (index =
+    /// server id).
+    pub fn start(
+        id: ServerId,
+        cfg: Config,
+        listener: TcpListener,
+        udp: UdpSocket,
+        tcp_addrs: Vec<SocketAddr>,
+        udp_addrs: Vec<SocketAddr>,
+        opts: RuntimeOptions,
+    ) -> std::io::Result<NodeRuntime> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (input_tx, input_rx) = unbounded::<NodeInput>();
+        let (delivery_tx, delivery_rx) = unbounded::<Delivery>();
+        let mut threads = Vec::new();
+
+        let graph = cfg.graph.clone();
+        let successors: Vec<ServerId> = graph.successors(id).to_vec();
+        let predecessors: Vec<ServerId> = graph.predecessors(id).to_vec();
+
+        // --- accept + reader threads -------------------------------------
+        listener.set_nonblocking(true)?;
+        {
+            let stop = stop.clone();
+            let input_tx = input_tx.clone();
+            let suspect_on_disconnect = opts.suspect_on_disconnect;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ac-accept-{id}"))
+                    .spawn(move || {
+                        let mut readers = Vec::new();
+                        while !stop.load(Ordering::Relaxed) {
+                            match listener.accept() {
+                                Ok((stream, _)) => {
+                                    stream.set_nonblocking(false).ok();
+                                    let tx = input_tx.clone();
+                                    let stop2 = stop.clone();
+                                    readers.push(spawn_reader(
+                                        id,
+                                        stream,
+                                        tx,
+                                        stop2,
+                                        suspect_on_disconnect,
+                                    ));
+                                }
+                                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(_) => break,
+                            }
+                        }
+                        for r in readers {
+                            let _ = r.join();
+                        }
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+
+        // --- outgoing connections to successors ---------------------------
+        let mut writers: HashMap<ServerId, BufWriter<TcpStream>> = HashMap::new();
+        for &succ in &successors {
+            let addr = tcp_addrs[succ as usize];
+            let stream = connect_with_retry(addr, opts.connect_attempts, opts.connect_backoff)?;
+            stream.set_nodelay(true).ok();
+            let mut w = BufWriter::new(stream);
+            write_handshake(&mut w, id)?;
+            w.flush()?;
+            writers.insert(succ, w);
+        }
+
+        // --- protocol thread ----------------------------------------------
+        {
+            let stop = stop.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ac-proto-{id}"))
+                    .spawn(move || {
+                        protocol_loop(id, cfg, writers, input_rx, delivery_tx, stop);
+                    })
+                    .expect("spawn protocol thread"),
+            );
+        }
+
+        // --- failure detector ----------------------------------------------
+        let hb_table = HeartbeatTable::new(&predecessors);
+        let succ_udp: Vec<SocketAddr> =
+            successors.iter().map(|&s| udp_addrs[s as usize]).collect();
+        let hb_send_sock = udp.try_clone()?;
+        threads.push(heartbeat::spawn_sender(hb_send_sock, id, succ_udp, opts.fd, stop.clone()));
+        threads.push(heartbeat::spawn_receiver(udp, id, hb_table.clone(), stop.clone()));
+        {
+            let tx = input_tx.clone();
+            threads.push(heartbeat::spawn_monitor(id, hb_table, opts.fd, stop.clone(), move |s| {
+                let _ = tx.send(NodeInput::Suspect(s));
+            }));
+        }
+
+        Ok(NodeRuntime { id, input_tx, delivery_rx, stop, threads })
+    }
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Submit this round's payload for A-broadcast.
+    pub fn broadcast(&self, payload: Bytes) {
+        let _ = self.input_tx.send(NodeInput::Broadcast(payload));
+    }
+
+    /// Blocking receive of the next delivery, with timeout.
+    pub fn recv_delivery(&self, timeout: Duration) -> Option<Delivery> {
+        self.delivery_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Stop all threads and close sockets. Used both for graceful
+    /// shutdown and to emulate a crash (peers detect via disconnect/FD).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.input_tx.send(NodeInput::Shutdown);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn connect_with_retry(
+    addr: SocketAddr,
+    attempts: u32,
+    backoff: Duration,
+) -> std::io::Result<TcpStream> {
+    let mut last_err = None;
+    for _ in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
+}
+
+fn spawn_reader(
+    id: ServerId,
+    mut stream: TcpStream,
+    tx: Sender<NodeInput>,
+    stop: Arc<AtomicBool>,
+    suspect_on_disconnect: bool,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("ac-read-{id}"))
+        .spawn(move || {
+            stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+            let from = loop {
+                match read_handshake(&mut stream) {
+                    Ok(f) => break f,
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            };
+            while !stop.load(Ordering::Relaxed) {
+                match read_frame(&mut stream) {
+                    Ok(msg) => {
+                        if tx.send(NodeInput::Net { from, msg }).is_err() {
+                            return;
+                        }
+                    }
+                    Err(ref e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => {
+                        // EOF or reset: the predecessor is gone.
+                        if suspect_on_disconnect && !stop.load(Ordering::Relaxed) {
+                            let _ = tx.send(NodeInput::Suspect(from));
+                        }
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn reader thread")
+}
+
+fn protocol_loop(
+    id: ServerId,
+    cfg: Config,
+    mut writers: HashMap<ServerId, BufWriter<TcpStream>>,
+    input_rx: Receiver<NodeInput>,
+    delivery_tx: Sender<Delivery>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut server = Server::new(cfg, id);
+    let mut actions = Vec::new();
+    // Payloads that arrived after this round's message already went out
+    // (e.g. the server reacted to a peer's BCAST with an empty message —
+    // Algorithm 1 line 15). They ride in subsequent rounds, exactly the
+    // paper's request-batching flow (§5).
+    let mut pending: std::collections::VecDeque<Bytes> = std::collections::VecDeque::new();
+    while let Ok(input) = input_rx.recv() {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let event = match input {
+            NodeInput::Net { from, msg } => Event::Receive { from, msg },
+            NodeInput::Broadcast(payload) => {
+                if server.has_broadcast() {
+                    pending.push_back(payload);
+                    continue;
+                }
+                Event::ABroadcast(payload)
+            }
+            NodeInput::Suspect(s) => {
+                // The monitor and disconnect paths can both report the
+                // same suspicion; the state machine dedups via F_i, and a
+                // suspicion for an already-removed server is a no-op.
+                Event::Suspect { suspect: s }
+            }
+            NodeInput::Shutdown => return,
+        };
+        actions.clear();
+        server.handle_into(event, &mut actions);
+        if !flush_actions(&mut actions, &mut writers, &delivery_tx) {
+            return;
+        }
+        // If the round advanced and payloads are queued, open the new
+        // round with the oldest one (repeat if that completes a round
+        // whose peers' messages were already buffered).
+        while !server.has_broadcast() {
+            let Some(p) = pending.pop_front() else { break };
+            actions.clear();
+            server.handle_into(Event::ABroadcast(p), &mut actions);
+            if !flush_actions(&mut actions, &mut writers, &delivery_tx) {
+                return;
+            }
+        }
+    }
+}
+
+/// Write out sends (removing broken peers) and forward deliveries.
+/// Returns false when the application side hung up.
+fn flush_actions(
+    actions: &mut Vec<Action>,
+    writers: &mut HashMap<ServerId, BufWriter<TcpStream>>,
+    delivery_tx: &Sender<Delivery>,
+) -> bool {
+    let mut dirty: Vec<ServerId> = Vec::new();
+    for action in actions.drain(..) {
+        match action {
+            Action::Send { to, msg } => {
+                if let Some(w) = writers.get_mut(&to) {
+                    if write_frame(w, &msg).is_err() {
+                        writers.remove(&to); // peer gone; FD handles the rest
+                    } else if !dirty.contains(&to) {
+                        dirty.push(to);
+                    }
+                }
+            }
+            Action::Deliver { round, messages } => {
+                if delivery_tx.send(Delivery { round, messages }).is_err() {
+                    return false;
+                }
+            }
+        }
+    }
+    for to in &dirty {
+        if let Some(w) = writers.get_mut(to) {
+            if w.flush().is_err() {
+                writers.remove(to);
+            }
+        }
+    }
+    true
+}

@@ -1,0 +1,176 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap keyed by `(time, sequence)`: the sequence number
+//! makes simultaneous events process in insertion order, so entire runs
+//! are bit-for-bit reproducible for a fixed seed — a property the
+//! regression tests and the paper-figure harness both depend on.
+
+use crate::time::SimTime;
+use allconcur_core::message::Message;
+use allconcur_core::ServerId;
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Something that happens at a simulated instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A message finishes arriving at `to`'s NIC.
+    Deliver {
+        /// Receiving server.
+        to: ServerId,
+        /// Direct overlay sender.
+        from: ServerId,
+        /// When the message left the sender's NIC. A crash earlier than
+        /// this departure cancels the message (it never physically left).
+        depart: SimTime,
+        /// The protocol message.
+        msg: Message,
+    },
+    /// The application on `id` submits this round's payload.
+    AppBroadcast {
+        /// Broadcasting server.
+        id: ServerId,
+        /// Round payload.
+        payload: Bytes,
+    },
+    /// Scripted fail-stop crash of `id`.
+    Crash {
+        /// Crashing server.
+        id: ServerId,
+    },
+    /// `at`'s failure detector times out on predecessor `suspect`.
+    FdSuspect {
+        /// The monitoring server.
+        at: ServerId,
+        /// The suspected predecessor.
+        suspect: ServerId,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: SimEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic min-heap event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: SimEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, SimEvent)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn crash(id: ServerId) -> SimEvent {
+        SimEvent::Crash { id }
+    }
+
+    #[test]
+    fn deliver_event_carries_departure() {
+        let mut q = EventQueue::new();
+        let msg = Message::Bcast { round: 0, origin: 1, payload: Bytes::new() };
+        q.schedule(
+            SimTime::from_us(9),
+            SimEvent::Deliver { to: 2, from: 1, depart: SimTime::from_us(4), msg },
+        );
+        match q.pop().unwrap().1 {
+            SimEvent::Deliver { depart, .. } => assert_eq!(depart, SimTime::from_us(4)),
+            _ => panic!("wrong event"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_us(30), crash(3));
+        q.schedule(SimTime::from_us(10), crash(1));
+        q.schedule(SimTime::from_us(20), crash(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_ns()).collect();
+        assert_eq!(order, vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_us(5);
+        for id in 0..10 {
+            q.schedule(t, crash(id));
+        }
+        let ids: Vec<ServerId> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                SimEvent::Crash { id } => id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>(), "ties must break by insertion order");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.peek_time().is_none());
+        q.schedule(SimTime::from_ms(1), crash(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(1)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Failure injection plans.
+//!
+//! The fail-stop model (§2): a server either works or silently stops.
+//! Three injection styles cover the paper's scenarios:
+//!
+//! * [`FailureEvent::At`] — crash at an absolute simulated instant
+//!   (Fig. 7's membership timeline);
+//! * [`FailureEvent::AfterSends`] — crash after exactly `k` message
+//!   departures, reproducing §2.3's "p0 fails after sending its message
+//!   m0 only to p1" walkthrough;
+//! * random MTTF-driven crashes via [`FailurePlan::exponential`]
+//!   (§4.2.2's lifetime model).
+
+use crate::time::SimTime;
+use allconcur_core::ServerId;
+use rand::Rng;
+
+/// One scripted crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureEvent {
+    /// Crash `server` at simulated time `at`.
+    At {
+        /// Victim.
+        server: ServerId,
+        /// Crash instant.
+        at: SimTime,
+    },
+    /// Crash `server` immediately after its `sends`-th message departure
+    /// (counted across the whole run).
+    AfterSends {
+        /// Victim.
+        server: ServerId,
+        /// Number of departures allowed before the crash.
+        sends: u64,
+    },
+}
+
+/// A set of scripted crashes handed to the harness.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    events: Vec<FailureEvent>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a timed crash.
+    pub fn fail_at(mut self, server: ServerId, at: SimTime) -> Self {
+        self.events.push(FailureEvent::At { server, at });
+        self
+    }
+
+    /// Add a crash after exactly `sends` departures — the §2.3 partial
+    /// broadcast scenario uses `sends = 1`.
+    pub fn fail_after_sends(mut self, server: ServerId, sends: u64) -> Self {
+        self.events.push(FailureEvent::AfterSends { server, sends });
+        self
+    }
+
+    /// Sample crash times for `n` servers from the exponential lifetime
+    /// model with the given MTTF, truncated to `horizon`: the §4.2.2
+    /// failure model. Servers whose sampled lifetime exceeds the horizon
+    /// never crash.
+    pub fn exponential<R: Rng>(
+        n: usize,
+        mttf: SimTime,
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> Self {
+        let mut plan = Self::default();
+        for s in 0..n as ServerId {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let lifetime = -(mttf.as_ns() as f64) * u.ln();
+            if lifetime < horizon.as_ns() as f64 {
+                plan.events.push(FailureEvent::At {
+                    server: s,
+                    at: SimTime::from_ns(lifetime.round() as u64),
+                });
+            }
+        }
+        plan
+    }
+
+    /// The scripted events.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Number of scripted crashes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_accumulates() {
+        let plan = FailurePlan::none()
+            .fail_at(3, SimTime::from_ms(5))
+            .fail_after_sends(1, 1);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan.events()[0],
+            FailureEvent::At { server: 3, at: SimTime::from_ms(5) }
+        );
+        assert_eq!(plan.events()[1], FailureEvent::AfterSends { server: 1, sends: 1 });
+    }
+
+    #[test]
+    fn exponential_plan_respects_horizon() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let plan = FailurePlan::exponential(
+            1000,
+            SimTime::from_secs(10),
+            SimTime::from_secs(1),
+            &mut rng,
+        );
+        // Expected crash fraction ≈ 1 − e^{−0.1} ≈ 9.5%.
+        assert!(plan.len() > 40 && plan.len() < 200, "got {}", plan.len());
+        for e in plan.events() {
+            match e {
+                FailureEvent::At { at, .. } => assert!(*at < SimTime::from_secs(1)),
+                _ => panic!("unexpected event type"),
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_plan_deterministic_for_seed() {
+        let a = FailurePlan::exponential(
+            64,
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let b = FailurePlan::exponential(
+            64,
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a.events(), b.events());
+    }
+}

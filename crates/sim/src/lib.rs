@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! # allconcur-sim — discrete-event LogP simulator for AllConcur
+//!
+//! The paper evaluates AllConcur on a 96-node InfiniBand cluster and a
+//! Cray XC40 (§5). This crate substitutes a **discrete-event simulator**
+//! parameterised by the paper's own LogP measurements (IBV: `L = 1.25 µs`,
+//! `o = 0.38 µs`; TCP: `L = 12 µs`, `o = 1.8 µs`) — the substitution is
+//! faithful because the paper itself analyses the algorithm in LogP (§4),
+//! and because the simulator executes the *real* protocol state machine
+//! from `allconcur-core`, not a re-abstraction of it.
+//!
+//! What is modelled:
+//!
+//! * **sender/receiver overhead and contention** — each NIC serialises
+//!   message hand-offs at `o` per message (§4.2.1's `o_s` contention term
+//!   emerges from the queueing rather than being assumed);
+//! * **bandwidth** — an optional LogGP-style per-byte gap `G`, needed for
+//!   the batching-factor throughput curves (Fig. 10);
+//! * **failures** — fail-stop crashes at arbitrary instants, including
+//!   mid-broadcast after a chosen number of sends (the §2.3 scenario);
+//!   in-flight messages still arrive, unsent ones never depart;
+//! * **failure detection** — successors of a crashed server raise
+//!   suspicions after a configurable detection delay (`Δ_to`), optionally
+//!   jittered; false suspicions can be injected for `◇P` testing.
+//!
+//! Entry point: [`harness::SimCluster`].
+
+pub mod event;
+pub mod failure;
+pub mod harness;
+pub mod logp;
+pub mod network;
+pub mod stats;
+pub mod time;
+
+pub use harness::{RoundOutcome, SimCluster, SimClusterBuilder};
+pub use network::NetworkModel;
+pub use time::SimTime;

@@ -1,0 +1,192 @@
+//! Measurement statistics.
+//!
+//! The paper reports "the median and the 95% nonparametric confidence
+//! interval around it" (§5, citing Hoefler & Belli's benchmarking
+//! guidelines). This module implements exactly that: median plus the
+//! order-statistic confidence interval from the binomial(n, ½)
+//! distribution, alongside the usual summary helpers.
+
+/// Summary of a sample: median with a 95% nonparametric CI.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MedianCi {
+    /// The sample median.
+    pub median: f64,
+    /// Lower bound of the 95% CI around the median.
+    pub lo: f64,
+    /// Upper bound of the 95% CI around the median.
+    pub hi: f64,
+}
+
+/// Median of a sample (averaging the middle pair for even sizes).
+/// Panics on an empty sample.
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
+    v[idx]
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median with the 95% nonparametric confidence interval: the CI bounds
+/// are the order statistics at ranks `⌊(n − 1.96√n)/2⌋` and
+/// `⌈1 + (n + 1.96√n)/2⌉` (binomial order-statistic interval). For tiny
+/// samples the CI degenerates to the sample range.
+pub fn median_ci95(values: &[f64]) -> MedianCi {
+    assert!(!values.is_empty(), "CI of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let n = v.len();
+    let med = if n % 2 == 1 { v[n / 2] } else { 0.5 * (v[n / 2 - 1] + v[n / 2]) };
+    let nf = n as f64;
+    let half_width = 1.96 * nf.sqrt() / 2.0;
+    let lo_rank = ((nf / 2.0 - half_width).floor() as isize).max(0) as usize;
+    let hi_rank = (((nf / 2.0 + half_width).ceil() as usize).max(1) - 1).min(n - 1);
+    MedianCi { median: med, lo: v[lo_rank], hi: v[hi_rank] }
+}
+
+/// Online mean/variance accumulator (Welford) for streaming runs where
+/// storing every sample is wasteful.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Bin `(time_seconds, value)` samples into fixed-width buckets and sum
+/// each bucket — Fig. 7's "throughput binned into 10 ms intervals".
+pub fn bin_series(samples: &[(f64, f64)], bin_width: f64, duration: f64) -> Vec<f64> {
+    assert!(bin_width > 0.0);
+    let bins = (duration / bin_width).ceil() as usize;
+    let mut out = vec![0.0; bins.max(1)];
+    for &(t, v) in samples {
+        let idx = ((t / bin_width) as usize).min(out.len() - 1);
+        out[idx] += v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&v, 0.5), 50.0);
+        assert_eq!(quantile(&v, 0.95), 95.0);
+        assert_eq!(quantile(&v, 1.0), 100.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn ci_contains_median() {
+        let v: Vec<f64> = (0..200).map(|i| (i % 37) as f64).collect();
+        let ci = median_ci95(&v);
+        assert!(ci.lo <= ci.median && ci.median <= ci.hi);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..10_000).map(|i| (i % 10) as f64).collect();
+        let cs = median_ci95(&small);
+        let cl = median_ci95(&large);
+        assert!(cl.hi - cl.lo <= cs.hi - cs.lo);
+    }
+
+    #[test]
+    fn ci_single_sample() {
+        let ci = median_ci95(&[5.0]);
+        assert_eq!((ci.lo, ci.median, ci.hi), (5.0, 5.0, 5.0));
+    }
+
+    #[test]
+    fn welford_matches_direct() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        let direct_var = xs.iter().map(|x| (x - 5.0) * (x - 5.0)).sum::<f64>() / 7.0;
+        assert!((w.variance() - direct_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binning() {
+        let samples = [(0.001, 10.0), (0.009, 5.0), (0.015, 1.0), (0.999, 2.0)];
+        let bins = bin_series(&samples, 0.01, 1.0);
+        assert_eq!(bins.len(), 100);
+        assert_eq!(bins[0], 15.0);
+        assert_eq!(bins[1], 1.0);
+        assert_eq!(bins[99], 2.0);
+    }
+}

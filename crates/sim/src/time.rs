@@ -1,0 +1,143 @@
+//! Simulated time: nanosecond ticks in a `u64`.
+//!
+//! 2⁶⁴ ns ≈ 584 years of simulated time — comfortably beyond any
+//! experiment. All simulator APIs traffic in [`SimTime`] to keep units
+//! impossible to confuse with wall-clock durations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// From microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// From seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (rounds to nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "invalid duration {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// Nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.checked_sub(rhs.0).expect("negative simulated time"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}µs", self.as_us_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_ns(), 500_000_000);
+        assert!((SimTime::from_ms(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_us(10);
+        let b = SimTime::from_us(4);
+        assert_eq!(a + b, SimTime::from_us(14));
+        assert_eq!(a - b, SimTime::from_us(6));
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, SimTime::from_us(14));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn underflow_panics() {
+        let _ = SimTime::from_us(1) - SimTime::from_us(2);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(SimTime::from_ns(12).to_string(), "12ns");
+        assert_eq!(SimTime::from_us(12).to_string(), "12.000µs");
+        assert_eq!(SimTime::from_ms(12).to_string(), "12.000ms");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.000s");
+    }
+}

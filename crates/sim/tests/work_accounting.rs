@@ -1,0 +1,92 @@
+//! §4.1's work analysis, checked against measured wire traffic:
+//!
+//! * failure-free: every server receives an A-broadcast copy from each of
+//!   its `d` predecessors → `n²·d` BCAST copies total, zero FAILs;
+//! * with `f` failures: up to `d²` notifications of each failure arrive
+//!   per server, i.e. at most `f·n·d²` FAIL copies in the network, and in
+//!   practice far fewer thanks to early termination.
+
+use allconcur_graph::gs::gs_digraph;
+use allconcur_sim::failure::FailurePlan;
+use allconcur_sim::network::NetworkModel;
+use allconcur_sim::{SimCluster, SimTime};
+use bytes::Bytes;
+
+fn payloads(n: usize) -> Vec<Bytes> {
+    (0..n).map(|i| Bytes::from(vec![i as u8; 16])).collect()
+}
+
+#[test]
+fn failure_free_work_is_exactly_n_squared_d() {
+    for &(n, d) in &[(8usize, 3usize), (16, 4), (32, 4)] {
+        let mut cluster = SimCluster::builder(gs_digraph(n, d).unwrap())
+            .network(NetworkModel::ib_verbs())
+            .build();
+        cluster.run_round(&payloads(n)).unwrap();
+        let t = cluster.traffic();
+        assert_eq!(t.bcast as usize, n * n * d, "n={n}");
+        assert_eq!(t.fail, 0, "n={n}: no failures, no notifications");
+        assert_eq!(t.fwd + t.bwd, 0, "perfect-FD mode never sends FWD/BWD");
+        assert_eq!(t.total(), cluster.messages_sent());
+    }
+}
+
+#[test]
+fn failure_notifications_bounded_by_f_n_d_squared() {
+    let (n, d, f) = (16usize, 4usize, 2usize);
+    let plan = FailurePlan::none()
+        .fail_at(14, SimTime::from_ns(10))
+        .fail_at(15, SimTime::from_ns(10));
+    let mut cluster = SimCluster::builder(gs_digraph(n, d).unwrap())
+        .network(NetworkModel::ib_verbs())
+        .fd_detection_delay(SimTime::from_us(20))
+        .failures(plan)
+        .build();
+    cluster.run_round(&payloads(n)).unwrap();
+    let t = cluster.traffic();
+    assert!(t.fail > 0, "failures must generate notifications");
+    let bound = (f * n * d * d) as u64;
+    assert!(t.fail <= bound, "FAIL copies {} exceed §4.1 bound {bound}", t.fail);
+    // Dead servers send nothing: strictly fewer BCAST copies than the
+    // failure-free n²·d.
+    assert!((t.bcast as usize) < n * n * d);
+}
+
+#[test]
+fn ep_mode_fwd_bwd_each_flood_once() {
+    use allconcur_core::config::FdMode;
+    let (n, d) = (8usize, 3usize);
+    let mut cluster = SimCluster::builder(gs_digraph(n, d).unwrap())
+        .network(NetworkModel::ib_verbs())
+        .fd_mode(FdMode::EventuallyPerfect)
+        .build();
+    cluster.run_round(&payloads(n)).unwrap();
+    let t = cluster.traffic();
+    // R-broadcast of one FWD per server floods up to n²·d copies in each
+    // direction (like the BCAST flood), trimmed at the top because
+    // servers that reach their majority advance rounds and drop the
+    // stragglers — early termination cutting its own flood short.
+    let full_flood = n * n * d;
+    let min_flood = n * d; // every server at least fans out its own
+    for (name, count) in [("FWD", t.fwd as usize), ("BWD", t.bwd as usize)] {
+        assert!(
+            (min_flood..=full_flood).contains(&count),
+            "{name} copies {count} outside [{min_flood}, {full_flood}]"
+        );
+    }
+}
+
+#[test]
+fn per_server_work_matches_model() {
+    // §4.1: every server sends each of the n messages (its own included)
+    // once to each of its d successors — n·d outbound copies per server,
+    // and by regularity the same inbound. Average per-server traffic must
+    // therefore be exactly n·d.
+    let (n, d) = (16usize, 4usize);
+    let mut cluster = SimCluster::builder(gs_digraph(n, d).unwrap())
+        .network(NetworkModel::ib_verbs())
+        .build();
+    cluster.run_round(&payloads(n)).unwrap();
+    let per_server = cluster.traffic().bcast as usize / n;
+    assert_eq!(per_server, n * d);
+}

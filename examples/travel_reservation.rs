@@ -1,0 +1,138 @@
+//! Travel reservation system (§1.1): strongly consistent bookings with
+//! locally answered queries.
+//!
+//! ```text
+//! cargo run --release --example travel_reservation
+//! ```
+//!
+//! The scenario: clients issue many *queries* (seat availability) per
+//! *update* (booking). Queries are answered from each server's local
+//! replica — AllConcur guarantees a server's view "cannot fall behind
+//! more than one round" (§1) — while updates go through atomic broadcast
+//! so that two clients can never book the last seat twice, no matter
+//! which server they talk to.
+
+use allconcur::prelude::*;
+use allconcur::sim::harness::SimCluster as Cluster;
+use bytes::{BufMut, Bytes, BytesMut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A booking request: flight id + seats wanted, issued via some server.
+#[derive(Debug, Clone, Copy)]
+struct Booking {
+    flight: u16,
+    seats: u16,
+}
+
+fn encode(bookings: &[Booking]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(bookings.len() * 4);
+    for b in bookings {
+        buf.put_u16_le(b.flight);
+        buf.put_u16_le(b.seats);
+    }
+    buf.freeze()
+}
+
+fn decode(mut payload: &[u8]) -> Vec<Booking> {
+    let mut out = Vec::new();
+    while payload.len() >= 4 {
+        let flight = u16::from_le_bytes([payload[0], payload[1]]);
+        let seats = u16::from_le_bytes([payload[2], payload[3]]);
+        out.push(Booking { flight, seats });
+        payload = &payload[4..];
+    }
+    out
+}
+
+/// The replicated state: seats left per flight. Deterministic updates in
+/// delivery order keep every replica identical.
+#[derive(Debug, Clone, PartialEq)]
+struct Inventory {
+    seats_left: BTreeMap<u16, u32>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Inventory {
+    fn new(flights: u16, capacity: u32) -> Self {
+        Inventory {
+            seats_left: (0..flights).map(|f| (f, capacity)).collect(),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    fn apply(&mut self, b: Booking) {
+        let left = self.seats_left.get_mut(&b.flight).expect("known flight");
+        if *left >= b.seats as u32 {
+            *left -= b.seats as u32;
+            self.accepted += 1;
+        } else {
+            self.rejected += 1; // sold out: consistently rejected everywhere
+        }
+    }
+
+    /// A locally answered query — no coordination.
+    fn query(&self, flight: u16) -> u32 {
+        self.seats_left[&flight]
+    }
+}
+
+fn main() {
+    const N: usize = 8;
+    const FLIGHTS: u16 = 4;
+    const CAPACITY: u32 = 120;
+    const ROUNDS: usize = 20;
+
+    let overlay = gs_digraph(N, 3).expect("GS(8,3)");
+    let mut cluster = Cluster::builder(overlay).network(NetworkModel::ib_verbs()).build();
+    let mut replicas: Vec<Inventory> = vec![Inventory::new(FLIGHTS, CAPACITY); N];
+    let mut rng = StdRng::seed_from_u64(2017);
+
+    let mut total_queries = 0u64;
+    for round in 0..ROUNDS {
+        // Each server first serves a burst of local queries (the
+        // read-heavy part), then batches the bookings it received.
+        let mut payloads = Vec::with_capacity(N);
+        for replica in replicas.iter() {
+            let queries = rng.gen_range(50..200);
+            total_queries += queries;
+            let _availability: Vec<u32> =
+                (0..FLIGHTS).map(|f| replica.query(f)).collect(); // local, stale ≤ 1 round
+            let bookings: Vec<Booking> = (0..rng.gen_range(1..5))
+                .map(|_| Booking { flight: rng.gen_range(0..FLIGHTS), seats: rng.gen_range(1..4) })
+                .collect();
+            payloads.push(encode(&bookings));
+        }
+        let outcome = cluster.run_round(&payloads).expect("failure-free run");
+        // Apply the agreed bookings in delivery order on every replica.
+        for (server, replica) in replicas.iter_mut().enumerate() {
+            let delivered = &outcome.delivered[&(server as u32)];
+            for (_, payload) in delivered {
+                for booking in decode(payload) {
+                    replica.apply(booking);
+                }
+            }
+        }
+        if round == 0 {
+            println!("round 0 agreed in {}", outcome.agreement_latency());
+        }
+    }
+
+    // Strong consistency: every replica is byte-identical.
+    for (i, r) in replicas.iter().enumerate() {
+        assert_eq!(r, &replicas[0], "replica {i} diverged");
+    }
+    let r = &replicas[0];
+    println!(
+        "after {ROUNDS} rounds: {} bookings accepted, {} rejected (sold out), {} local queries served",
+        r.accepted, r.rejected, total_queries
+    );
+    for f in 0..FLIGHTS {
+        println!("  flight {f}: {} seats left", r.query(f));
+    }
+    let booked: u64 = (0..FLIGHTS).map(|f| (CAPACITY - r.query(f)) as u64).sum();
+    println!("no flight oversold ✓ ({} seats booked in total)", booked);
+}

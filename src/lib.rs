@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+//! # AllConcur — leaderless concurrent atomic broadcast
+//!
+//! Umbrella crate re-exporting the full AllConcur stack. See the README
+//! for an architecture overview and `DESIGN.md` for the paper-to-module
+//! map.
+//!
+//! * [`graph`] — overlay digraphs: GS(n,d), binomial graphs, connectivity,
+//!   fault diameter, reliability (§2.1.1, §4.4 of the paper);
+//! * [`core`] — the AllConcur protocol itself: Algorithm 1 as a
+//!   transport-agnostic state machine (§3);
+//! * [`sim`] — discrete-event LogP simulator and benchmarking harness
+//!   (§4, §5);
+//! * [`net`] — sockets-based TCP transport and local cluster runtime (§5);
+//! * [`baselines`] — leader-based atomic broadcast (Libpaxos stand-in) and
+//!   unreliable allgather (§4.5, §5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use allconcur::prelude::*;
+//! use bytes::Bytes;
+//!
+//! // 8 servers on the GS(8,3) overlay of Fig. 1b, simulated over the
+//! // paper's TCP LogP parameters; every server broadcasts one request.
+//! let overlay = gs_digraph(8, 3).unwrap();
+//! let mut cluster = SimCluster::builder(overlay)
+//!     .network(NetworkModel::tcp_cluster())
+//!     .build();
+//! let payloads: Vec<Bytes> = (0..8u8).map(|i| Bytes::from(vec![i; 64])).collect();
+//! let outcome = cluster.run_round(&payloads).unwrap();
+//! // Atomic broadcast: every server delivers the same 8 messages, in the
+//! // same order.
+//! let reference = &outcome.delivered[&0];
+//! assert_eq!(reference.len(), 8);
+//! for deliveries in outcome.delivered.values() {
+//!     assert_eq!(deliveries, reference);
+//! }
+//! ```
+
+pub use allconcur_baselines as baselines;
+pub use allconcur_core as core;
+pub use allconcur_graph as graph;
+pub use allconcur_net as net;
+pub use allconcur_sim as sim;
+
+/// Convenience re-exports covering the common entry points.
+pub mod prelude {
+    pub use allconcur_core::{
+        config::Config,
+        replica::{KvStore, Replica, StateMachine},
+        server::{Action, Event, Server},
+        ServerId,
+    };
+    pub use allconcur_graph::{
+        binomial::binomial_graph, gs::gs_digraph, Digraph, ReliabilityModel,
+    };
+    pub use allconcur_sim::{
+        harness::{RoundOutcome, SimCluster},
+        network::NetworkModel,
+    };
+}

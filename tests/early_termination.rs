@@ -1,0 +1,197 @@
+//! Early termination (§2.3) — the paper's core mechanism, verified
+//! end-to-end through the simulator:
+//!
+//! * failure-free rounds terminate in ≈ D communication steps, never
+//!   waiting for any failure-detector timeout;
+//! * the §2.3 walkthrough (p0 dies after sending m0 to exactly one
+//!   successor, which then also dies) still reaches agreement;
+//! * termination beats the worst-case `f + D_f(G, f)` bound whenever the
+//!   failure evidence arrives early (the whole point of tracking
+//!   digraphs).
+
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_sim::failure::FailurePlan;
+use allconcur_sim::logp;
+use allconcur_sim::network::NetworkModel;
+use allconcur_sim::{SimCluster, SimTime};
+use bytes::Bytes;
+
+fn payloads(n: usize) -> Vec<Bytes> {
+    (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect()
+}
+
+#[test]
+fn failure_free_round_never_waits_for_fd() {
+    // Give the FD an absurdly long timeout: if the protocol consulted it
+    // on the happy path, the round would take half a minute.
+    let mut cluster = SimCluster::builder(gs_digraph(22, 4).unwrap())
+        .network(NetworkModel::tcp_cluster())
+        .fd_detection_delay(SimTime::from_secs(30))
+        .build();
+    let out = cluster.run_round(&payloads(22)).unwrap();
+    assert!(
+        out.agreement_latency() < SimTime::from_ms(5),
+        "happy path must not involve the FD: {}",
+        out.agreement_latency()
+    );
+}
+
+#[test]
+fn latency_tracks_logp_models_failure_free() {
+    // The measured latency must sit between the depth model (optimistic
+    // pipeline) and a small multiple of the work model (§4's envelopes,
+    // Fig. 6's "models are good indicators").
+    for &(n, d) in &[(8usize, 3usize), (16, 4), (32, 4), (64, 5)] {
+        let graph = gs_digraph(n, d).unwrap();
+        let diameter = graph.diameter().unwrap();
+        let model = NetworkModel::ib_verbs();
+        let mut cluster = SimCluster::builder(graph).network(model).build();
+        let out = cluster.run_round(&payloads(n)).unwrap();
+        let measured = out.agreement_latency();
+        let depth = logp::depth_bound(diameter, d, &model);
+        let work = logp::work_bound(n, d, &model);
+        let upper = SimTime::from_ns(3 * depth.as_ns().max(work.as_ns()));
+        assert!(
+            measured <= upper,
+            "n={n}: measured {measured} above 3× model envelope {upper}"
+        );
+        assert!(
+            measured.as_ns() * 6 >= depth.as_ns().min(work.as_ns()),
+            "n={n}: measured {measured} implausibly below the models"
+        );
+    }
+}
+
+#[test]
+fn paper_section_23_walkthrough_end_to_end() {
+    // The §2.3 scenario on the 9-server binomial graph: p0 fails after
+    // sending m0 only to its first successor p1; p1 relays m0 but then
+    // fails too. Everyone else must still deliver — *with* m0, because
+    // p1 relayed it before dying.
+    let n = 9;
+    let graph = binomial_graph(n);
+    let plan = FailurePlan::none()
+        .fail_after_sends(0, 1) // p0: exactly one send
+        .fail_after_sends(1, 14); // p1: enough sends to relay m0 + own msg, then dies
+    let mut cluster = SimCluster::builder(graph)
+        .network(NetworkModel::tcp_cluster())
+        .fd_detection_delay(SimTime::from_us(200))
+        .failures(plan)
+        .build();
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), 7, "p0 and p1 are gone");
+    let reference = &out.delivered[&2];
+    for (s, seq) in &out.delivered {
+        assert_eq!(seq, reference, "server {s} diverged");
+    }
+    let origins: Vec<u32> = reference.iter().map(|&(o, _)| o).collect();
+    assert!(origins.contains(&0), "m0 was relayed by p1 before p1 died: {origins:?}");
+}
+
+#[test]
+fn message_never_sent_is_consistently_excluded() {
+    // The complementary case: p0 dies *before* sending anything. No one
+    // can deliver m0; all survivors must agree on its absence.
+    let n = 9;
+    let plan = FailurePlan::none().fail_at(0, SimTime::from_ns(1));
+    let mut cluster = SimCluster::builder(binomial_graph(n))
+        .network(NetworkModel::tcp_cluster())
+        .fd_detection_delay(SimTime::from_us(100))
+        .failures(plan)
+        .build();
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), 8);
+    for (s, seq) in &out.delivered {
+        let origins: Vec<u32> = seq.iter().map(|&(o, _)| o).collect();
+        assert_eq!(origins, (1..9).collect::<Vec<u32>>(), "server {s}");
+    }
+}
+
+#[test]
+fn early_termination_beats_worst_case_bound() {
+    // With one pre-round crash, the worst-case synchronous bound is
+    // (f + D_f) rounds of message time *plus* the detection delay for
+    // every possible failure — but early termination needs only the
+    // actual failure's evidence. Measure: the round must complete in
+    // roughly (FD delay + a few network sweeps), far under a
+    // conservatively provisioned worst-case timeout of f + D_f sweeps of
+    // the FD period.
+    let n = 22;
+    let graph = gs_digraph(n, 4).unwrap();
+    let fd_delay = SimTime::from_ms(2);
+    let plan = FailurePlan::none().fail_at(21, SimTime::from_ns(1));
+    let mut cluster = SimCluster::builder(graph)
+        .network(NetworkModel::tcp_cluster())
+        .fd_detection_delay(fd_delay)
+        .failures(plan)
+        .build();
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    let worst_case_provisioning = SimTime::from_ns(fd_delay.as_ns() * 4); // f+D_f ≥ 4 windows
+    assert!(
+        out.agreement_latency() < worst_case_provisioning,
+        "early termination: {} should beat the {} worst-case provisioning",
+        out.agreement_latency(),
+        worst_case_provisioning
+    );
+    // And the latency is dominated by exactly one FD window.
+    assert!(out.agreement_latency() >= fd_delay);
+    assert!(out.agreement_latency() < fd_delay + SimTime::from_ms(4));
+}
+
+#[test]
+fn multiple_cascading_failures_within_connectivity() {
+    // GS(16,4): k = 4, tolerate 3. Kill three servers at staggered times
+    // inside one round.
+    let n = 16;
+    let graph = gs_digraph(n, 4).unwrap();
+    let plan = FailurePlan::none()
+        .fail_at(13, SimTime::from_ns(10))
+        .fail_at(14, SimTime::from_us(40))
+        .fail_at(15, SimTime::from_us(80));
+    let mut cluster = SimCluster::builder(graph)
+        .network(NetworkModel::tcp_cluster())
+        .fd_detection_delay(SimTime::from_us(150))
+        .failures(plan)
+        .build();
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), 13);
+    let reference = &out.delivered[&0];
+    for seq in out.delivered.values() {
+        assert_eq!(seq, reference);
+    }
+}
+
+#[test]
+fn crash_round_latency_tracks_detection_delay_linearly() {
+    // Early termination makes a crashy round's latency ≈ Δ_to + c, with
+    // c the constant dissemination tail — NOT a multiple of Δ_to as the
+    // worst-case (f + D_f)-window provisioning would be. Sweep Δ_to and
+    // check the measured latencies differ by exactly the Δ_to deltas
+    // (within one dissemination sweep).
+    let n = 16;
+    let run = |delay: SimTime| {
+        let plan = FailurePlan::none().fail_at(15, SimTime::from_ns(1));
+        let mut cluster = SimCluster::builder(gs_digraph(n, 4).unwrap())
+            .network(NetworkModel::tcp_cluster())
+            .fd_detection_delay(delay)
+            .failures(plan)
+            .build();
+        cluster.run_round(&payloads(n)).unwrap().agreement_latency()
+    };
+    let t1 = run(SimTime::from_ms(1));
+    let t4 = run(SimTime::from_ms(4));
+    let t16 = run(SimTime::from_ms(16));
+    let slack = SimTime::from_ms(1); // one dissemination sweep of tolerance
+    let close = |a: SimTime, b: SimTime| a.saturating_sub(b).max(b.saturating_sub(a)) < slack;
+    assert!(
+        close(t4 - t1, SimTime::from_ms(3)),
+        "Δ latency {} should be ≈ Δ timeout 3ms",
+        t4 - t1
+    );
+    assert!(
+        close(t16 - t4, SimTime::from_ms(12)),
+        "Δ latency {} should be ≈ Δ timeout 12ms",
+        t16 - t4
+    );
+}

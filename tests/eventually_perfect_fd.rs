@@ -1,0 +1,130 @@
+//! The eventually-perfect failure detector mode (§3.3.2): termination
+//! goes through the FWD/BWD surviving-partition protocol, so safety holds
+//! even when suspicions are wrong.
+
+use allconcur_core::config::FdMode;
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_sim::failure::FailurePlan;
+use allconcur_sim::network::NetworkModel;
+use allconcur_sim::{SimCluster, SimTime};
+use bytes::Bytes;
+
+fn payloads(n: usize) -> Vec<Bytes> {
+    (0..n).map(|i| Bytes::from(vec![i as u8; 32])).collect()
+}
+
+#[test]
+fn ep_mode_failure_free_round_delivers_everywhere() {
+    let n = 8;
+    let mut cluster = SimCluster::builder(gs_digraph(n, 3).unwrap())
+        .network(NetworkModel::tcp_cluster())
+        .fd_mode(FdMode::EventuallyPerfect)
+        .build();
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), n);
+    let reference = &out.delivered[&0];
+    assert_eq!(reference.len(), n);
+    for seq in out.delivered.values() {
+        assert_eq!(seq, reference);
+    }
+}
+
+#[test]
+fn ep_mode_costs_extra_fwd_bwd_traffic() {
+    // The majority gate costs one extra R-broadcast in each direction:
+    // EP rounds must ship strictly more messages than P rounds.
+    let count = |mode: FdMode| {
+        let mut cluster = SimCluster::builder(gs_digraph(8, 3).unwrap())
+            .network(NetworkModel::tcp_cluster())
+            .fd_mode(mode)
+            .build();
+        cluster.run_round(&payloads(8)).unwrap().messages_sent
+    };
+    let p = count(FdMode::Perfect);
+    let ep = count(FdMode::EventuallyPerfect);
+    assert!(ep > p + 8, "FWD/BWD flooding must show up: P={p}, EP={ep}");
+}
+
+#[test]
+fn ep_mode_survives_false_suspicion() {
+    // Server 3 falsely suspects its predecessor early in the round. The
+    // suspected server is alive and its message floods via other paths;
+    // everyone (including both parties) must deliver the same full set.
+    let n = 9;
+    let graph = binomial_graph(n);
+    let suspect = graph.predecessors(3)[0];
+    let mut cluster = SimCluster::builder(graph)
+        .network(NetworkModel::tcp_cluster())
+        .fd_mode(FdMode::EventuallyPerfect)
+        .build();
+    cluster.schedule_suspicion(SimTime::from_us(5), 3, suspect);
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), n, "false suspicion must not kill anyone");
+    let reference = &out.delivered[&0];
+    assert_eq!(reference.len(), n, "the falsely suspected server's message survives");
+    for (s, seq) in &out.delivered {
+        assert_eq!(seq, reference, "server {s} diverged after false suspicion");
+    }
+}
+
+#[test]
+fn ep_mode_handles_real_crash() {
+    let n = 9;
+    let plan = FailurePlan::none().fail_at(8, SimTime::from_ns(1));
+    let mut cluster = SimCluster::builder(binomial_graph(n))
+        .network(NetworkModel::tcp_cluster())
+        .fd_mode(FdMode::EventuallyPerfect)
+        .fd_detection_delay(SimTime::from_us(200))
+        .failures(plan)
+        .build();
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), n - 1);
+    let reference = &out.delivered[&0];
+    let origins: Vec<u32> = reference.iter().map(|&(o, _)| o).collect();
+    assert_eq!(origins, (0..8).collect::<Vec<u32>>());
+    for seq in out.delivered.values() {
+        assert_eq!(seq, reference);
+    }
+}
+
+#[test]
+fn ep_mode_multi_round() {
+    let n = 8;
+    let mut cluster = SimCluster::builder(gs_digraph(n, 3).unwrap())
+        .network(NetworkModel::tcp_cluster())
+        .fd_mode(FdMode::EventuallyPerfect)
+        .build();
+    for round in 0..4u64 {
+        let out = cluster.run_round(&payloads(n)).unwrap();
+        assert_eq!(out.round, round);
+        assert_eq!(out.delivered.len(), n);
+    }
+}
+
+#[test]
+fn ep_false_suspicion_with_simultaneous_crash() {
+    // Stress: a real crash and a false suspicion in the same round.
+    let n = 9;
+    let graph = binomial_graph(n);
+    let false_suspect = graph.predecessors(2)[1];
+    let plan = FailurePlan::none().fail_at(8, SimTime::from_ns(5));
+    let mut cluster = SimCluster::builder(graph)
+        .network(NetworkModel::tcp_cluster())
+        .fd_mode(FdMode::EventuallyPerfect)
+        .fd_detection_delay(SimTime::from_us(150))
+        .failures(plan)
+        .build();
+    cluster.schedule_suspicion(SimTime::from_us(10), 2, false_suspect);
+    let out = cluster.run_round(&payloads(n)).unwrap();
+    assert_eq!(out.delivered.len(), n - 1);
+    let reference = &out.delivered[&0];
+    for seq in out.delivered.values() {
+        assert_eq!(seq, reference);
+    }
+    // The falsely suspected server's message must still be in the set
+    // (it is alive and flooding); only the crashed server's is missing.
+    let origins: Vec<u32> = reference.iter().map(|&(o, _)| o).collect();
+    assert!(origins.contains(&false_suspect));
+    assert!(!origins.contains(&8));
+}

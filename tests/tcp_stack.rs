@@ -1,0 +1,151 @@
+//! Integration tests over the real TCP transport: the same protocol state
+//! machine as the simulator, but on 127.0.0.1 sockets with OS threads,
+//! UDP heartbeats, and disconnect detection.
+
+use allconcur::net::runtime::RuntimeOptions;
+use allconcur::net::LocalCluster;
+use allconcur_graph::binomial::binomial_graph;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_graph::standard::complete_digraph;
+use allconcur_sim::network::NetworkModel;
+use allconcur_sim::SimCluster;
+use bytes::Bytes;
+use std::time::Duration;
+
+fn payloads(n: usize) -> Vec<Bytes> {
+    (0..n).map(|i| Bytes::from(format!("payload-{i}").into_bytes())).collect()
+}
+
+const ROUND_TIMEOUT: Duration = Duration::from_secs(20);
+
+#[test]
+fn tcp_agreement_on_three_topologies() {
+    for (name, graph) in [
+        ("complete(5)", complete_digraph(5)),
+        ("gs(8,3)", gs_digraph(8, 3).unwrap()),
+        ("binomial(9)", binomial_graph(9)),
+    ] {
+        let n = graph.order();
+        let cluster = LocalCluster::spawn(graph, RuntimeOptions::default())
+            .unwrap_or_else(|e| panic!("{name}: spawn failed: {e}"));
+        let deliveries = cluster.run_round(&payloads(n), ROUND_TIMEOUT);
+        let first = deliveries[0].as_ref().unwrap_or_else(|| panic!("{name}: server 0 timeout"));
+        assert_eq!(first.messages.len(), n, "{name}");
+        for (i, d) in deliveries.iter().enumerate() {
+            let d = d.as_ref().unwrap_or_else(|| panic!("{name}: server {i} timeout"));
+            assert_eq!(d.messages, first.messages, "{name}: total order violated at {i}");
+        }
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn tcp_and_simulator_agree_on_delivery_sequence() {
+    // The deterministic delivery order (ascending origin id) means the
+    // simulator and the TCP stack must produce byte-identical sequences
+    // for the same inputs.
+    let n = 8;
+    let graph = gs_digraph(n, 3).unwrap();
+    let ps = payloads(n);
+
+    let mut sim = SimCluster::builder(graph.clone()).network(NetworkModel::tcp_cluster()).build();
+    let sim_out = sim.run_round(&ps).unwrap();
+    let sim_seq = &sim_out.delivered[&0];
+
+    let tcp = LocalCluster::spawn(graph, RuntimeOptions::default()).unwrap();
+    let tcp_deliveries = tcp.run_round(&ps, ROUND_TIMEOUT);
+    let tcp_seq = &tcp_deliveries[0].as_ref().expect("tcp delivery").messages;
+
+    assert_eq!(sim_seq, tcp_seq, "simulated and real transports must agree");
+    tcp.shutdown();
+}
+
+#[test]
+fn tcp_ten_rounds_sustained() {
+    let n = 6;
+    let cluster = LocalCluster::spawn(gs_digraph(n, 3).unwrap(), RuntimeOptions::default()).unwrap();
+    for round in 0..10u64 {
+        let deliveries = cluster.run_round(&payloads(n), ROUND_TIMEOUT);
+        for (i, d) in deliveries.iter().enumerate() {
+            let d = d.as_ref().unwrap_or_else(|| panic!("server {i} round {round}"));
+            assert_eq!(d.round, round);
+            assert_eq!(d.messages.len(), n);
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_crash_mid_deployment_recovers() {
+    let n = 9;
+    let mut cluster =
+        LocalCluster::spawn(binomial_graph(n), RuntimeOptions::default()).unwrap();
+    // Healthy round.
+    let d0 = cluster.run_round(&payloads(n), ROUND_TIMEOUT);
+    assert!(d0.iter().all(Option::is_some));
+
+    // Kill two servers (binomial(9) has k = 6: plenty of margin).
+    cluster.kill(7);
+    cluster.kill(8);
+
+    let ps = payloads(n);
+    for (i, p) in ps.iter().enumerate() {
+        if cluster.is_running(i as u32) {
+            cluster.broadcast(i as u32, p.clone());
+        }
+    }
+    let mut reference: Option<Vec<(u32, Bytes)>> = None;
+    for i in 0..7u32 {
+        let d = cluster
+            .recv_delivery(i, ROUND_TIMEOUT)
+            .unwrap_or_else(|| panic!("server {i} stuck after crashes"));
+        let origins: Vec<u32> = d.messages.iter().map(|&(o, _)| o).collect();
+        assert!(!origins.contains(&7) && !origins.contains(&8), "dead messages at {i}");
+        match &reference {
+            None => reference = Some(d.messages),
+            Some(r) => assert_eq!(&d.messages, r, "set agreement violated at {i}"),
+        }
+    }
+    // The system keeps running with 7 members.
+    for (i, p) in ps.iter().enumerate().take(7) {
+        cluster.broadcast(i as u32, p.clone());
+    }
+    for i in 0..7u32 {
+        let d = cluster.recv_delivery(i, ROUND_TIMEOUT).expect("next round after recovery");
+        assert_eq!(d.messages.len(), 7);
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_empty_payload_round() {
+    // Servers with nothing to say still participate with empty messages.
+    let n = 5;
+    let cluster = LocalCluster::spawn(complete_digraph(n), RuntimeOptions::default()).unwrap();
+    let empties: Vec<Bytes> = vec![Bytes::new(); n];
+    let deliveries = cluster.run_round(&empties, ROUND_TIMEOUT);
+    for d in &deliveries {
+        let d = d.as_ref().expect("all deliver");
+        assert_eq!(d.messages.len(), n);
+        assert!(d.messages.iter().all(|(_, b)| b.is_empty()));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn tcp_large_batched_payloads() {
+    // Fig. 10-sized batches over real sockets: 2¹² × 8-byte requests.
+    let n = 4;
+    let cluster = LocalCluster::spawn(complete_digraph(n), RuntimeOptions::default()).unwrap();
+    let batch = allconcur_core::batch::encode_fixed(1 << 12, 8, 0x5A);
+    let ps: Vec<Bytes> = vec![batch.clone(); n];
+    let deliveries = cluster.run_round(&ps, ROUND_TIMEOUT);
+    for d in &deliveries {
+        let d = d.as_ref().expect("all deliver");
+        assert_eq!(d.messages.len(), n);
+        for (_, payload) in &d.messages {
+            assert_eq!(payload.len(), (1 << 12) * 8);
+        }
+    }
+    cluster.shutdown();
+}
