@@ -202,7 +202,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn recursive_doubling_rejects_odd_n() {
-        simulate_allgather(6, 8, AllgatherAlgorithm::RecursiveDoubling, &NetworkModel::tcp_cluster());
+        simulate_allgather(
+            6,
+            8,
+            AllgatherAlgorithm::RecursiveDoubling,
+            &NetworkModel::tcp_cluster(),
+        );
     }
 
     #[test]

@@ -121,9 +121,8 @@ impl LeaderCluster {
 
         // Group members pay the protocol stack's per-byte cost on top of
         // the wire gap: their NICs are modelled with the inflated gap.
-        let sw_model = self
-            .model
-            .with_gap_per_byte_ns(self.model.gap_per_byte_ns + software_gap_per_byte_ns);
+        let sw_model =
+            self.model.with_gap_per_byte_ns(self.model.gap_per_byte_ns + software_gap_per_byte_ns);
         let mut leader_nic = NicState::default();
         let mut follower_nics = vec![NicState::default(); followers];
         let mut messages = 0u64;
@@ -136,8 +135,8 @@ impl LeaderCluster {
         let mut commit_times = Vec::with_capacity(n);
         for _ in 0..n {
             let arrival = start + self.model.occupancy(batch_bytes) + self.model.latency;
-            let recvd = leader_nic.schedule_recv(arrival, batch_bytes, &sw_model)
-                + software_overhead;
+            let recvd =
+                leader_nic.schedule_recv(arrival, batch_bytes, &sw_model) + software_overhead;
             messages += 1;
             bytes += batch_bytes as u64;
 
@@ -145,8 +144,9 @@ impl LeaderCluster {
             let mut ack_times = Vec::with_capacity(followers);
             for fnic in follower_nics.iter_mut() {
                 let depart = leader_nic.schedule_send(recvd, batch_bytes, &sw_model);
-                let f_recv = fnic.schedule_recv(depart + self.model.latency, batch_bytes, &sw_model)
-                    + software_overhead;
+                let f_recv =
+                    fnic.schedule_recv(depart + self.model.latency, batch_bytes, &sw_model)
+                        + software_overhead;
                 // Ack (tiny message) back to the leader.
                 let ack_arrival = f_recv + self.model.occupancy(16) + self.model.latency;
                 let acked = leader_nic.schedule_recv(ack_arrival, 16, &sw_model);
@@ -155,11 +155,8 @@ impl LeaderCluster {
                 bytes += batch_bytes as u64 + 16;
             }
             ack_times.sort_unstable();
-            let committed = if majority_acks == 0 {
-                recvd
-            } else {
-                ack_times[majority_acks - 1].max(recvd)
-            };
+            let committed =
+                if majority_acks == 0 { recvd } else { ack_times[majority_acks - 1].max(recvd) };
             commit_times.push(committed);
         }
 
@@ -168,7 +165,8 @@ impl LeaderCluster {
         let mut last_delivery = start;
         for &commit in &commit_times {
             for _ in 0..n {
-                let depart = leader_nic.schedule_send(commit + software_overhead, batch_bytes, &sw_model);
+                let depart =
+                    leader_nic.schedule_send(commit + software_overhead, batch_bytes, &sw_model);
                 let delivered = depart + self.model.latency + self.model.occupancy(batch_bytes);
                 last_delivery = last_delivery.max(delivered);
                 messages += 1;

@@ -26,10 +26,8 @@ fn payloads(n: usize) -> Vec<Bytes> {
 }
 
 fn run_once(graph: Digraph, fd_mode: FdMode, payloads: &[Bytes]) -> SimTime {
-    let mut cluster = SimCluster::builder(graph)
-        .network(NetworkModel::ib_verbs())
-        .fd_mode(fd_mode)
-        .build();
+    let mut cluster =
+        SimCluster::builder(graph).network(NetworkModel::ib_verbs()).fd_mode(fd_mode).build();
     cluster.run_round(payloads).unwrap().agreement_latency()
 }
 
@@ -58,7 +56,8 @@ fn ablate_overlay(c: &mut Criterion) {
 fn ablate_fd_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/fd_mode_n16");
     let ps = payloads(16);
-    for (name, mode) in [("perfect", FdMode::Perfect), ("eventually_perfect", FdMode::EventuallyPerfect)]
+    for (name, mode) in
+        [("perfect", FdMode::Perfect), ("eventually_perfect", FdMode::EventuallyPerfect)]
     {
         group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             b.iter_batched(

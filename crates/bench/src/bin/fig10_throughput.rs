@@ -15,10 +15,10 @@
 //! lower; allgather is the no-fault-tolerance ceiling (average overhead
 //! ≈58%); aggregated throughput *increases* with n (≈750 Gbps at 512+).
 
-use allconcur_bench::output::{has_flag, Table};
-use allconcur_bench::workloads::{paper_overlay, run_throughput, ThroughputWorkload};
 use allconcur_baselines::allgather::{simulate_allgather_eff, AllgatherAlgorithm};
 use allconcur_baselines::leader::{LeaderCluster, LeaderConfig};
+use allconcur_bench::output::{has_flag, Table};
+use allconcur_bench::workloads::{paper_overlay, run_throughput, ThroughputWorkload};
 use allconcur_sim::{NetworkModel, SimCluster};
 
 const REQ: usize = 8;
@@ -49,9 +49,12 @@ fn header(ns: &[usize]) -> Vec<String> {
 fn allconcur_gbps(n: usize, batch: usize, model: NetworkModel) -> f64 {
     let rounds = if n >= 512 { 2 } else { 3 };
     let mut cluster = SimCluster::builder(paper_overlay(n)).network(model).seed(1).build();
-    run_throughput(&mut cluster, &ThroughputWorkload { batch_factor: batch, request_size: REQ, rounds })
-        .map(|o| o.agreement_gbps)
-        .unwrap_or(f64::NAN)
+    run_throughput(
+        &mut cluster,
+        &ThroughputWorkload { batch_factor: batch, request_size: REQ, rounds },
+    )
+    .map(|o| o.agreement_gbps)
+    .unwrap_or(f64::NAN)
 }
 
 fn fig_a(ns: &[usize], model: NetworkModel, csv: bool) {
@@ -129,7 +132,8 @@ fn overhead_summary(model: NetworkModel) {
     let mut best_leader: f64 = 0.0;
     for b in batch_factors() {
         best_ac = best_ac.max(allconcur_gbps(n, b, model));
-        let ag = simulate_allgather_eff(n, b * REQ, AllgatherAlgorithm::Ring, &model, MPI_EFFICIENCY);
+        let ag =
+            simulate_allgather_eff(n, b * REQ, AllgatherAlgorithm::Ring, &model, MPI_EFFICIENCY);
         best_ag = best_ag.max((n * b * REQ) as f64 * 8.0 / ag.round_time.as_secs_f64() / 1e9);
         let mut lc = LeaderCluster::new(LeaderConfig::paper_default(n), model);
         let out = lc.run_round(b * REQ);
@@ -137,10 +141,16 @@ fn overhead_summary(model: NetworkModel) {
             best_leader.max((n * b * REQ) as f64 * 8.0 / out.round_time.as_secs_f64() / 1e9);
     }
     println!("summary (n=8, best batching factor):");
-    println!("  AllConcur peak:            {best_ac:.2} Gbps ≈ {:.0}M 8-byte req/s", best_ac * 1e9 / 8.0 / 8.0 / 1e6);
+    println!(
+        "  AllConcur peak:            {best_ac:.2} Gbps ≈ {:.0}M 8-byte req/s",
+        best_ac * 1e9 / 8.0 / 8.0 / 1e6
+    );
     println!("  allgather (unreliable):    {best_ag:.2} Gbps");
     println!("  leader-based (Libpaxos):   {best_leader:.2} Gbps");
-    println!("  fault-tolerance overhead:  {:.0}% (paper: 58% avg)", (best_ag / best_ac - 1.0) * 100.0);
+    println!(
+        "  fault-tolerance overhead:  {:.0}% (paper: 58% avg)",
+        (best_ag / best_ac - 1.0) * 100.0
+    );
     println!("  AllConcur vs leader-based: {:.1}× (paper: ≥17×)", best_ac / best_leader);
 }
 

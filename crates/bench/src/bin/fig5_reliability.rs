@@ -33,13 +33,7 @@ fn binomial_connectivity(n: usize) -> usize {
 fn main() {
     let model = ReliabilityModel::paper_default();
     let target = 6.0;
-    let mut table = Table::new(vec![
-        "n",
-        "binomial_k",
-        "binomial_nines",
-        "gs_degree",
-        "gs_nines",
-    ]);
+    let mut table = Table::new(vec!["n", "binomial_k", "binomial_nines", "gs_degree", "gs_nines"]);
     for exp in 3..=15u32 {
         let n = 1usize << exp;
         let bk = binomial_connectivity(n);

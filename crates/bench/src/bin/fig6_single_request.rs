@@ -19,16 +19,8 @@ use allconcur_sim::{logp, NetworkModel, SimCluster, SimTime};
 const SIZES: &[usize] = &[6, 8, 11, 16, 22, 32, 45, 64, 90];
 
 fn run_profile(name: &str, base: NetworkModel, reps: usize, csv: bool) {
-    let mut table = Table::new(vec![
-        "n",
-        "d",
-        "D",
-        "median",
-        "ci_lo",
-        "ci_hi",
-        "work_logp",
-        "depth_logp",
-    ]);
+    let mut table =
+        Table::new(vec!["n", "d", "D", "median", "ci_lo", "ci_hi", "work_logp", "depth_logp"]);
     for &n in SIZES {
         let graph = paper_overlay(n);
         let d = graph.degree();

@@ -81,11 +81,8 @@ fn main() {
             ChurnEvent::Fail { at, count } => (at, format!("F×{count}@{at:.2}s")),
             ChurnEvent::Join { at, count } => (at, format!("J×{count}@{at:.2}s")),
         };
-        let mut window: Vec<f64> = samples
-            .iter()
-            .map(|&(t, _)| t)
-            .filter(|&t| t >= at - 0.05 && t <= at + 0.45)
-            .collect();
+        let mut window: Vec<f64> =
+            samples.iter().map(|&(t, _)| t).filter(|&t| t >= at - 0.05 && t <= at + 0.45).collect();
         window.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let gap = window.windows(2).map(|w| w[1] - w[0]).fold(0.0f64, f64::max);
         println!("  {label}: {:.0} ms", gap * 1e3);

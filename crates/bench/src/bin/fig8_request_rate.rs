@@ -19,9 +19,7 @@ use allconcur_bench::workloads::{paper_overlay, run_rate_workload, RateWorkload}
 use allconcur_sim::{NetworkModel, SimCluster};
 
 const NS: &[usize] = &[8, 16, 32, 64];
-const RATES: &[f64] = &[
-    1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8,
-];
+const RATES: &[f64] = &[1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 3e6, 1e7, 3e7, 1e8];
 
 fn run_profile(name: &str, model: NetworkModel, rounds: usize, csv: bool) {
     let mut table = Table::new(vec!["rate_per_server", "n=8", "n=16", "n=32", "n=64"]);

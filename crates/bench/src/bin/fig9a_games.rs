@@ -23,24 +23,22 @@ fn main() {
     if full {
         sizes.push(1024);
     }
-    let mut table = Table::new(vec!["players", "d", "latency_200apm", "latency_400apm", "frame_budget_ok"]);
+    let mut table =
+        Table::new(vec!["players", "d", "latency_200apm", "latency_400apm", "frame_budget_ok"]);
     for &n in &sizes {
         let graph = paper_overlay(n);
         let d = graph.degree();
         let mut row = vec![n.to_string(), d.to_string()];
         let mut worst_ms = 0.0f64;
         for apm in [200.0, 400.0] {
-            let mut cluster =
-                SimCluster::builder(graph.clone()).network(NetworkModel::tcp_cluster()).seed(5).build();
+            let mut cluster = SimCluster::builder(graph.clone())
+                .network(NetworkModel::tcp_cluster())
+                .seed(5)
+                .build();
             // Deterministic network: per-round latency is stable, so a
             // handful of rounds pins the median even at large n.
             let (rounds, warmup) = if n >= 256 { (3, 1) } else { (10, 2) };
-            let w = RateWorkload {
-                request_size: 40,
-                rate_per_server: apm / 60.0,
-                rounds,
-                warmup,
-            };
+            let w = RateWorkload { request_size: 40, rate_per_server: apm / 60.0, rounds, warmup };
             let out = run_rate_workload(&mut cluster, &w).expect("game workload");
             worst_ms = worst_ms.max(out.median_latency.as_ms_f64());
             row.push(fmt_time(out.median_latency));

@@ -36,12 +36,8 @@ fn main() {
                 .seed(9)
                 .build();
             let (rounds, warmup) = if n >= 256 { (3, 1) } else { (10, 2) };
-            let w = RateWorkload {
-                request_size: 40,
-                rate_per_server: rate / n as f64,
-                rounds,
-                warmup,
-            };
+            let w =
+                RateWorkload { request_size: 40, rate_per_server: rate / n as f64, rounds, warmup };
             let cell = match run_rate_workload(&mut cluster, &w) {
                 Ok(out) if out.unstable => "unstable".to_string(),
                 Ok(out) => fmt_time(out.median_latency),

@@ -13,8 +13,7 @@
 //! dominated by per-server work (n·d message handlings per round).
 
 use allconcur_bench::output::{arg_value, has_flag, Table};
-use allconcur_net::runtime::RuntimeOptions;
-use allconcur_net::LocalCluster;
+use allconcur_cluster::Cluster;
 use allconcur_sim::stats;
 use bytes::Bytes;
 use std::time::{Duration, Instant};
@@ -30,26 +29,24 @@ fn main() {
     for &n in &sizes {
         let graph = allconcur_bench::workloads::paper_overlay(n);
         let d = graph.degree();
-        let cluster = LocalCluster::spawn(graph, RuntimeOptions::default())
-            .expect("loopback cluster");
+        let mut cluster = Cluster::tcp(graph).expect("loopback cluster");
         let payloads: Vec<Bytes> = (0..n).map(|i| Bytes::from(vec![i as u8; 64])).collect();
 
         // Warm-up: connection buffers, allocator, scheduler.
         for _ in 0..3 {
-            cluster.run_round(&payloads, Duration::from_secs(10));
+            cluster.run_round(&payloads, Duration::from_secs(10)).expect("warm-up round");
         }
         let mut lat_us = Vec::with_capacity(rounds);
         for _ in 0..rounds {
             let t0 = Instant::now();
-            let deliveries = cluster.run_round(&payloads, Duration::from_secs(10));
+            let deliveries = cluster
+                .run_round(&payloads, Duration::from_secs(10))
+                .unwrap_or_else(|e| panic!("round failed at n={n}: {e}"));
             let elapsed = t0.elapsed();
-            assert!(
-                deliveries.iter().all(Option::is_some),
-                "round timed out at n={n}"
-            );
+            assert_eq!(deliveries.len(), n, "round incomplete at n={n}");
             lat_us.push(elapsed.as_secs_f64() * 1e6);
         }
-        cluster.shutdown();
+        cluster.shutdown().expect("clean shutdown");
         let ci = stats::median_ci95(&lat_us);
         let p95 = stats::quantile(&lat_us, 0.95);
         table.row(vec![

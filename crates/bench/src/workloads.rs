@@ -126,10 +126,7 @@ pub fn run_rate_workload(
     };
     Ok(RateOutcome {
         median_latency: SimTime::from_ns((ci.median * 1e3) as u64),
-        ci: (
-            SimTime::from_ns((ci.lo * 1e3) as u64),
-            SimTime::from_ns((ci.hi * 1e3) as u64),
-        ),
+        ci: (SimTime::from_ns((ci.lo * 1e3) as u64), SimTime::from_ns((ci.hi * 1e3) as u64)),
         latencies,
         request_throughput: if measured_time > SimTime::ZERO {
             requests_done as f64 / measured_time.as_secs_f64()
@@ -181,11 +178,7 @@ pub fn run_throughput(
     let round_time = SimTime::from_ns((stats::median(&times) * 1e3) as u64);
     let agreed_bits = (n * batch_bytes) as f64 * 8.0;
     let agreement_gbps = agreed_bits / round_time.as_secs_f64() / 1e9;
-    Ok(ThroughputOutcome {
-        round_time,
-        agreement_gbps,
-        aggregated_gbps: agreement_gbps * n as f64,
-    })
+    Ok(ThroughputOutcome { round_time, agreement_gbps, aggregated_gbps: agreement_gbps * n as f64 })
 }
 
 /// One membership-timeline sample: requests delivered at a given time.
@@ -300,9 +293,7 @@ impl ChurnTimeline {
                 .live_servers()
                 .first()
                 .and_then(|&s| out.delivered.get(&s))
-                .map(|msgs| {
-                    msgs.iter().map(|(_, b)| (b.len() / self.request_size) as u64).sum()
-                })
+                .map(|msgs| msgs.iter().map(|(_, b)| (b.len() / self.request_size) as u64).sum())
                 .unwrap_or(0);
             samples.push((out.end().as_secs_f64(), delivered as f64));
 

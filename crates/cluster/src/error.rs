@@ -1,0 +1,111 @@
+//! The unified error type of the `Cluster` facade.
+//!
+//! Before this crate, every driving surface failed differently:
+//! `SimCluster::run_round` returned `SimError`, `LocalCluster::spawn`
+//! returned `io::Result`, and `recv_delivery` signalled both "dead
+//! server" and "timed out" as `None`. [`ClusterError`] folds all of that
+//! into one typed enum so scenario code can match on *what went wrong*
+//! regardless of the backend.
+
+use allconcur_core::{Round, ServerId};
+use allconcur_sim::harness::SimError;
+use std::time::Duration;
+
+/// Everything that can go wrong driving a cluster through the facade.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The server id is outside the current configuration.
+    UnknownServer(ServerId),
+    /// The server exists but has crashed / been shut down.
+    ServerDown(ServerId),
+    /// The protocol cannot make progress: the deployment lost liveness
+    /// (e.g. more than `k(G) − 1` failures, or a disconnected overlay).
+    Stalled {
+        /// The round that failed to complete, when known.
+        round: Option<Round>,
+        /// Servers that had not delivered, when known.
+        missing: Vec<ServerId>,
+    },
+    /// No delivery arrived within the waiting budget. For the simulated
+    /// transport the budget is interpreted in simulated time, for the TCP
+    /// transport in wall-clock time.
+    Timeout {
+        /// The budget that elapsed.
+        waited: Duration,
+    },
+    /// Transport-level I/O failure (TCP backend).
+    Io(std::io::Error),
+    /// The cluster was already shut down.
+    ShutDown,
+    /// The operation is not supported by this transport.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownServer(id) => write!(f, "unknown server {id}"),
+            ClusterError::ServerDown(id) => write!(f, "server {id} is down"),
+            ClusterError::Stalled { round, missing } => match round {
+                Some(r) => {
+                    write!(f, "round {r} stalled; servers {missing:?} never delivered")
+                }
+                None => write!(f, "cluster stalled; servers {missing:?} never delivered"),
+            },
+            ClusterError::Timeout { waited } => {
+                write!(f, "no delivery within {waited:?}")
+            }
+            ClusterError::Io(e) => write!(f, "transport I/O error: {e}"),
+            ClusterError::ShutDown => write!(f, "cluster already shut down"),
+            ClusterError::Unsupported(what) => {
+                write!(f, "operation not supported by this transport: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClusterError {
+    fn from(e: std::io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+impl From<SimError> for ClusterError {
+    fn from(e: SimError) -> Self {
+        match e {
+            SimError::Stalled { missing, round } => {
+                ClusterError::Stalled { round: Some(round), missing }
+            }
+            // `deadline` is an *absolute* simulated instant, not an
+            // elapsed budget; it is the closest value available. (The
+            // facade's own polling never takes this path — it converts
+            // deadline misses to `Ok(None)` and reports the caller's
+            // real budget — so this only affects direct SimError
+            // conversions in user code.)
+            SimError::DeadlineExceeded { deadline } => {
+                ClusterError::Timeout { waited: Duration::from_nanos(deadline.as_ns()) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_error_conversion() {
+        let e: ClusterError = SimError::Stalled { missing: vec![1, 2], round: 4 }.into();
+        assert!(matches!(e, ClusterError::Stalled { round: Some(4), .. }));
+        assert_eq!(e.to_string(), "round 4 stalled; servers [1, 2] never delivered");
+    }
+}

@@ -1,0 +1,209 @@
+//! [`SimTransport`] — the discrete-event simulator behind the
+//! [`crate::Transport`] contract.
+//!
+//! Wraps an [`allconcur_sim::SimCluster`] and drives it incrementally:
+//! submissions become `AppBroadcast` events, and `poll_delivery` runs
+//! the event loop until the next `A-deliver`. A per-server pending queue
+//! mirrors the TCP runtime's: the protocol sends exactly one message per
+//! server per round, so extra submissions wait for the round to advance
+//! (the paper's request-batching flow, §5).
+
+use crate::error::ClusterError;
+use crate::transport::Transport;
+use allconcur_core::config::FdMode;
+use allconcur_core::delivery::Delivery;
+use allconcur_core::ServerId;
+use allconcur_graph::Digraph;
+use allconcur_sim::harness::SimCluster;
+use allconcur_sim::network::NetworkModel;
+use allconcur_sim::time::SimTime;
+use bytes::Bytes;
+use std::time::Duration;
+
+/// Construction knobs for [`SimTransport`], remembered across
+/// [`Transport::reconfigure`] so the rebuilt deployment keeps the same
+/// network profile, FD settings, and seed lineage.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Simulated network parameters (default: the paper's TCP cluster).
+    pub network: NetworkModel,
+    /// Failure-detector mode (default: perfect).
+    pub fd_mode: FdMode,
+    /// Detection delay `Δ_to` between a crash and its successors'
+    /// suspicions (default 100 ms — the paper's Fig. 7 setting).
+    pub fd_delay: SimTime,
+    /// RNG seed for jitter.
+    pub seed: u64,
+    /// Per-round simulated-time budget.
+    pub round_deadline: SimTime,
+    /// Simulated pause charged on reconfiguration (§5 reports ≈80 ms of
+    /// unavailability per join while connections are established).
+    pub reconfigure_pause: SimTime,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            network: NetworkModel::tcp_cluster(),
+            fd_mode: FdMode::Perfect,
+            fd_delay: SimTime::from_ms(100),
+            seed: 0,
+            round_deadline: SimTime::from_secs(600),
+            reconfigure_pause: SimTime::from_ms(80),
+        }
+    }
+}
+
+impl SimOptions {
+    fn build(&self, graph: Digraph, start_clock: SimTime) -> SimCluster {
+        SimCluster::builder(graph)
+            .network(self.network)
+            .fd_mode(self.fd_mode)
+            .fd_detection_delay(self.fd_delay)
+            .seed(self.seed)
+            .round_deadline(self.round_deadline)
+            .start_clock(start_clock)
+            .build()
+    }
+}
+
+/// The simulated backend of the `Cluster` facade.
+pub struct SimTransport {
+    cluster: SimCluster,
+    opts: SimOptions,
+    down: bool,
+}
+
+impl SimTransport {
+    /// A fresh simulated deployment over `graph`.
+    pub fn new(graph: Digraph, opts: SimOptions) -> SimTransport {
+        let cluster = opts.build(graph, SimTime::ZERO);
+        SimTransport { cluster, opts, down: false }
+    }
+
+    /// The wrapped simulator, for instrumentation (latency, traffic and
+    /// space counters, failure scripting).
+    pub fn cluster(&self) -> &SimCluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the wrapped simulator.
+    ///
+    /// Lockstep helpers like `SimCluster::run_round` clear the
+    /// incremental delivery log; mixing them with facade-driven rounds
+    /// in the same scenario is not supported.
+    pub fn cluster_mut(&mut self) -> &mut SimCluster {
+        &mut self.cluster
+    }
+
+    fn check_id(&self, id: ServerId) -> Result<(), ClusterError> {
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
+        if (id as usize) >= self.cluster.n() {
+            return Err(ClusterError::UnknownServer(id));
+        }
+        Ok(())
+    }
+}
+
+impl Transport for SimTransport {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn n(&self) -> usize {
+        self.cluster.n()
+    }
+
+    fn is_live(&self, id: ServerId) -> bool {
+        !self.down && (id as usize) < self.cluster.n() && !self.cluster.is_crashed(id)
+    }
+
+    fn submit(&mut self, origin: ServerId, payload: Bytes) -> Result<(), ClusterError> {
+        self.check_id(origin)?;
+        if self.cluster.is_crashed(origin) {
+            return Err(ClusterError::ServerDown(origin));
+        }
+        // Round discipline lives in the state machine: a submission
+        // beyond the current round queues inside the server and opens a
+        // later round by itself.
+        self.cluster.submit(origin, payload);
+        Ok(())
+    }
+
+    fn poll_delivery(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(ServerId, Delivery)>, ClusterError> {
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
+        // Saturate: huge timeouts (e.g. Duration::MAX) must not overflow
+        // the simulated clock.
+        let clock = self.cluster.clock();
+        let budget_ns = timeout.as_nanos().min((u64::MAX - clock.as_ns()) as u128) as u64;
+        let deadline = clock + SimTime::from_ns(budget_ns);
+        match self.cluster.step_until_delivery(deadline) {
+            Ok(Some(next)) => Ok(Some(next)),
+            Ok(None) => {
+                // Queue drained. A live server with its round's message
+                // out but no delivery is waiting for messages that can
+                // never arrive — the deployment lost liveness (e.g. more
+                // than k(G)−1 crashes disconnected the overlay). Plain
+                // idleness (no open rounds) is an ordinary timeout.
+                let missing: Vec<ServerId> = (0..self.cluster.n() as ServerId)
+                    .filter(|&id| {
+                        !self.cluster.is_crashed(id) && self.cluster.server(id).has_broadcast()
+                    })
+                    .collect();
+                if missing.is_empty() {
+                    Ok(None)
+                } else {
+                    let round = self.cluster.server(missing[0]).round();
+                    Err(ClusterError::Stalled { round: Some(round), missing })
+                }
+            }
+            Err(allconcur_sim::harness::SimError::DeadlineExceeded { .. }) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn crash(&mut self, id: ServerId) -> Result<(), ClusterError> {
+        self.check_id(id)?;
+        if self.cluster.is_crashed(id) {
+            return Err(ClusterError::ServerDown(id));
+        }
+        self.cluster.schedule_crash(self.cluster.clock(), id);
+        // Apply the crash (and anything else due now) immediately, so
+        // `is_live` reflects it as soon as the call returns.
+        self.cluster.settle(self.cluster.clock());
+        Ok(())
+    }
+
+    fn suspect(&mut self, at: ServerId, suspected: ServerId) -> Result<(), ClusterError> {
+        self.check_id(at)?;
+        self.check_id(suspected)?;
+        self.cluster.schedule_suspicion(self.cluster.clock(), at, suspected);
+        Ok(())
+    }
+
+    fn reconfigure(&mut self, graph: Digraph) -> Result<(), ClusterError> {
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
+        let resume = self.cluster.clock() + self.opts.reconfigure_pause;
+        self.opts.seed = self.opts.seed.wrapping_add(1);
+        self.cluster = self.opts.build(graph, resume);
+        Ok(())
+    }
+
+    fn shutdown(&mut self) -> Result<(), ClusterError> {
+        self.down = true;
+        Ok(())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,73 @@
+//! The [`Transport`] abstraction: one driving contract implemented by
+//! the discrete-event simulator and the TCP runtime.
+//!
+//! A transport owns a full deployment (`n` protocol state machines plus
+//! whatever carries their messages) and exposes exactly the operations
+//! the facade needs: submit a payload, pull the next delivery, and the
+//! lifecycle controls (crash, suspect, reconfigure, shutdown). Scenario
+//! code never touches a transport directly — it drives a
+//! [`crate::Cluster`], which works identically over either
+//! implementation; that is the paper's central "same algorithm,
+//! analytically / simulated / deployed" claim turned into an API.
+
+use crate::error::ClusterError;
+use allconcur_core::delivery::Delivery;
+use allconcur_core::ServerId;
+use allconcur_graph::Digraph;
+use bytes::Bytes;
+use std::any::Any;
+use std::time::Duration;
+
+/// A backend able to run an AllConcur deployment.
+///
+/// Implementations must preserve the protocol's per-server delivery
+/// order: successive deliveries reported for one server are exactly that
+/// server's A-delivery sequence. The interleaving *between* servers is
+/// unspecified (the simulator orders by virtual time, TCP by arrival).
+pub trait Transport {
+    /// Human-readable backend name (`"sim"`, `"tcp"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of configured servers (alive or not).
+    fn n(&self) -> usize;
+
+    /// Whether `id` is currently live (transport-level knowledge).
+    fn is_live(&self, id: ServerId) -> bool;
+
+    /// Queue `payload` as `origin`'s message for its next open round.
+    ///
+    /// Submissions beyond the current round are buffered and ride in
+    /// later rounds — the paper's request-batching flow (§5). Submitting
+    /// to a dead server is an error.
+    fn submit(&mut self, origin: ServerId, payload: Bytes) -> Result<(), ClusterError>;
+
+    /// Drive the deployment until some server A-delivers a round, and
+    /// return that delivery. `Ok(None)` when no delivery arrived within
+    /// `timeout` — simulated time for the sim backend, wall-clock for
+    /// TCP.
+    fn poll_delivery(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(ServerId, Delivery)>, ClusterError>;
+
+    /// Fail-stop `id` right now. Peers detect the crash through the
+    /// backend's failure detector.
+    fn crash(&mut self, id: ServerId) -> Result<(), ClusterError>;
+
+    /// Inject a (possibly false) failure suspicion at server `at`
+    /// against `suspected`, as if `at`'s local FD had raised it.
+    fn suspect(&mut self, at: ServerId, suspected: ServerId) -> Result<(), ClusterError>;
+
+    /// Move the deployment to a fresh overlay — the agreed
+    /// reconfiguration of §3 ("dynamic membership"): surviving members
+    /// plus joiners restart on `graph`, with server ids renumbered to its
+    /// vertices and rounds restarting from zero.
+    fn reconfigure(&mut self, graph: Digraph) -> Result<(), ClusterError>;
+
+    /// Graceful shutdown of every remaining server. Idempotent.
+    fn shutdown(&mut self) -> Result<(), ClusterError>;
+
+    /// Escape hatch for backend-specific instrumentation (e.g. the
+    /// simulator's latency and traffic counters).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -60,9 +60,8 @@ impl Batcher {
     /// participates in the round with an empty message.
     pub fn take_batch(&mut self) -> Bytes {
         let take = self.max_requests.unwrap_or(usize::MAX).min(self.pending.len());
-        let mut buf = BytesMut::with_capacity(
-            self.pending.iter().take(take).map(|r| 4 + r.len()).sum(),
-        );
+        let mut buf =
+            BytesMut::with_capacity(self.pending.iter().take(take).map(|r| 4 + r.len()).sum());
         for _ in 0..take {
             let r = self.pending.pop_front().expect("len checked");
             self.pending_bytes -= r.len();
@@ -114,7 +113,10 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.pending_bytes(), 0);
         let reqs = decode_batch(batch).unwrap();
-        assert_eq!(reqs, vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"bb"), Bytes::new()]);
+        assert_eq!(
+            reqs,
+            vec![Bytes::from_static(b"alpha"), Bytes::from_static(b"bb"), Bytes::new()]
+        );
     }
 
     #[test]

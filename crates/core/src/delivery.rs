@@ -1,0 +1,55 @@
+//! The application-facing outcome of one agreement round.
+//!
+//! Every transport — the discrete-event simulator (`allconcur-sim`), the
+//! TCP runtime (`allconcur-net`), and the unified `Cluster` facade
+//! (`allconcur-cluster`) — reports round completions as the same
+//! [`Delivery`] value, so scenarios written against one backend compare
+//! byte-for-byte against another.
+
+use crate::{Round, ServerId};
+use bytes::Bytes;
+
+/// One completed agreement round, as seen by the application at one
+/// server: the A-delivered message set in the deterministic
+/// origin-ascending order every correct server agrees on (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The agreed round.
+    pub round: Round,
+    /// `(origin, payload)` pairs in deterministic order.
+    pub messages: Vec<(ServerId, Bytes)>,
+}
+
+impl Delivery {
+    /// Origins of the delivered messages, in delivery order.
+    pub fn origins(&self) -> Vec<ServerId> {
+        self.messages.iter().map(|&(o, _)| o).collect()
+    }
+
+    /// The payload delivered for `origin`, when present.
+    pub fn payload_of(&self, origin: ServerId) -> Option<&Bytes> {
+        self.messages.iter().find(|&&(o, _)| o == origin).map(|(_, p)| p)
+    }
+
+    /// Total payload bytes agreed in this round.
+    pub fn payload_bytes(&self) -> usize {
+        self.messages.iter().map(|(_, p)| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let d = Delivery {
+            round: 3,
+            messages: vec![(0, Bytes::from_static(b"a")), (2, Bytes::from_static(b"bc"))],
+        };
+        assert_eq!(d.origins(), vec![0, 2]);
+        assert_eq!(d.payload_of(2), Some(&Bytes::from_static(b"bc")));
+        assert_eq!(d.payload_of(1), None);
+        assert_eq!(d.payload_bytes(), 3);
+    }
+}

@@ -119,8 +119,7 @@ impl HeartbeatFd {
         connectivity: usize,
         failure_model: &allconcur_graph::ReliabilityModel,
     ) -> f64 {
-        self.accuracy_probability(delays, n, degree)
-            * failure_model.reliability(n, connectivity)
+        self.accuracy_probability(delays, n, degree) * failure_model.reliability(n, connectivity)
     }
 }
 
@@ -168,8 +167,7 @@ mod tests {
         let short = HeartbeatFd { heartbeat_period: 10.0, timeout: 30.0 };
         let long = HeartbeatFd { heartbeat_period: 10.0, timeout: 100.0 };
         assert!(
-            long.accuracy_probability(&delays, 64, 5)
-                > short.accuracy_probability(&delays, 64, 5)
+            long.accuracy_probability(&delays, 64, 5) > short.accuracy_probability(&delays, 64, 5)
         );
     }
 

@@ -25,6 +25,8 @@
 //!
 //! Modules:
 //!
+//! * [`delivery`] — the shared [`delivery::Delivery`] outcome type every
+//!   transport reports round completions with;
 //! * [`message`] — wire messages (`BCAST`, `FAIL`, `FWD`, `BWD`) and the
 //!   hand-rolled binary codec;
 //! * [`tracking`] — tracking digraphs `g_i[p*]` (Algorithm 1 lines 21–41);
@@ -40,6 +42,7 @@
 
 pub mod batch;
 pub mod config;
+pub mod delivery;
 pub mod fd;
 pub mod membership;
 pub mod message;

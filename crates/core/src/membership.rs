@@ -62,13 +62,9 @@ pub fn plan_reconfiguration(
     let resilience = allconcur_graph::connectivity::vertex_connectivity(&graph).saturating_sub(1);
     let config = Config { graph: Arc::new(graph), resilience, fd_mode };
 
-    let id_map: BTreeMap<ServerId, ServerId> = survivors
-        .iter()
-        .enumerate()
-        .map(|(new, &old)| (old, new as ServerId))
-        .collect();
-    let joiner_ids: Vec<ServerId> =
-        (survivors.len()..n).map(|i| i as ServerId).collect();
+    let id_map: BTreeMap<ServerId, ServerId> =
+        survivors.iter().enumerate().map(|(new, &old)| (old, new as ServerId)).collect();
+    let joiner_ids: Vec<ServerId> = (survivors.len()..n).map(|i| i as ServerId).collect();
     ReconfigPlan { config, id_map, joiner_ids }
 }
 
@@ -107,7 +103,10 @@ mod tests {
         assert_eq!(a.id_map, b.id_map);
         assert_eq!(a.joiner_ids, b.joiner_ids);
         assert_eq!(a.config.n(), b.config.n());
-        assert_eq!(a.config.graph.edges().collect::<Vec<_>>(), b.config.graph.edges().collect::<Vec<_>>());
+        assert_eq!(
+            a.config.graph.edges().collect::<Vec<_>>(),
+            b.config.graph.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

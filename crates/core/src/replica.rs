@@ -228,10 +228,7 @@ mod tests {
         let mut kv = KvStore::default();
         assert_eq!(kv.apply(0, &KvStore::put_command(b"k", b"v1")), KvOutput::Ack);
         assert_eq!(kv.get_local(b"k"), Some(&b"v1"[..]));
-        assert_eq!(
-            kv.apply(1, &KvStore::get_command(b"k")),
-            KvOutput::Value(Some(b"v1".to_vec()))
-        );
+        assert_eq!(kv.apply(1, &KvStore::get_command(b"k")), KvOutput::Value(Some(b"v1".to_vec())));
         assert_eq!(kv.apply(0, &KvStore::delete_command(b"k")), KvOutput::Ack);
         assert_eq!(kv.apply(1, &KvStore::get_command(b"k")), KvOutput::Value(None));
         assert!(kv.is_empty());

@@ -144,6 +144,13 @@ pub struct Server {
     fwd_seen: BTreeSet<ServerId>,
     bwd_seen: BTreeSet<ServerId>,
 
+    /// Application payloads submitted while this round's message was
+    /// already out. Popped one per round on advance — *before* buffered
+    /// peer messages are replayed, so a queued payload always beats the
+    /// line-15 empty-message reaction. This is the paper's request
+    /// batching (§5) hoisted into the state machine, where the simulator
+    /// and the TCP runtime share it.
+    pending_payloads: VecDeque<Bytes>,
     /// Events for rounds we have not reached yet.
     future: BTreeMap<Round, VecDeque<(ServerId, Message)>>,
     /// Peak single-digraph vertex count across the server's lifetime.
@@ -195,6 +202,7 @@ impl Server {
             phase: Phase::Gathering,
             fwd_seen: BTreeSet::new(),
             bwd_seen: BTreeSet::new(),
+            pending_payloads: VecDeque::new(),
             future: BTreeMap::new(),
             peak_tracking: 0,
             rounds_delivered: 0,
@@ -216,6 +224,12 @@ impl Server {
     /// Whether the application already A-broadcast this round.
     pub fn has_broadcast(&self) -> bool {
         self.own_sent
+    }
+
+    /// Application payloads queued for rounds after this one (submitted
+    /// while the current round's message was already out).
+    pub fn queued_payloads(&self) -> usize {
+        self.pending_payloads.len()
     }
 
     /// Servers still in the overlay view (not tagged failed).
@@ -257,7 +271,11 @@ impl Server {
     /// overlay, all members alive, per-round state reset, starting at
     /// `round`. Cross-configuration failure notifications are dropped —
     /// the new overlay has different edges, so old (failed, detector)
-    /// pairs are meaningless under it.
+    /// pairs are meaningless under it. Queued application payloads are
+    /// dropped too: they were submitted against the old membership (and
+    /// keeping them while `own_sent` resets would let a peer's first
+    /// `BCAST` displace them with the line-15 empty reaction); the
+    /// application resubmits on the new configuration.
     pub fn reconfigure(&mut self, cfg: Config, round: Round) {
         let n = cfg.n();
         assert!((self.id as usize) < n, "server id lost in reconfiguration");
@@ -268,6 +286,7 @@ impl Server {
         self.succ_view = sv;
         self.pred_view = pv;
         self.reset_round_state();
+        self.pending_payloads.clear();
         self.future.retain(|&r, _| r >= round);
     }
 
@@ -343,12 +362,13 @@ impl Server {
     ///
     /// One message per server per round: if this round's message already
     /// went out (either an earlier application submission or the reactive
-    /// empty broadcast of line 15), the call is ignored and the payload
-    /// dropped. Callers that must not lose payloads check
-    /// [`Server::has_broadcast`] and queue for the next round — see the
-    /// TCP runtime's pending queue and `crate::batch`.
+    /// empty broadcast of line 15), the payload queues and opens a later
+    /// round — the paper's request-batching flow (§5). Queued payloads
+    /// take priority over the reactive empty broadcast when the round
+    /// advances, so pipelined submissions are never silently displaced.
     fn a_broadcast(&mut self, payload: Bytes, out: &mut Vec<Action>) {
         if self.own_sent {
+            self.pending_payloads.push_back(payload);
             return;
         }
         self.own_sent = true;
@@ -491,11 +511,8 @@ impl Server {
             return;
         }
         let n = self.alive.iter().filter(|&&a| a).count();
-        let both = self
-            .fwd_seen
-            .iter()
-            .filter(|&&p| p != self.id && self.bwd_seen.contains(&p))
-            .count();
+        let both =
+            self.fwd_seen.iter().filter(|&&p| p != self.id && self.bwd_seen.contains(&p)).count();
         if both >= n / 2 {
             self.deliver_and_advance(out);
         }
@@ -516,12 +533,8 @@ impl Server {
         }
         // Lines 12–13: keep notifications about still-alive servers (they
         // failed *after* A-broadcasting; the new round must know).
-        let carried: Vec<(ServerId, ServerId)> = self
-            .fails
-            .iter()
-            .copied()
-            .filter(|&(p, _)| self.alive[p as usize])
-            .collect();
+        let carried: Vec<(ServerId, ServerId)> =
+            self.fails.iter().copied().filter(|&(p, _)| self.alive[p as usize]).collect();
 
         // Enter the next round under the shrunken overlay view.
         self.round += 1;
@@ -549,6 +562,14 @@ impl Server {
         // The carried notifications alone may already settle the round's
         // tracking state for long-dead senders, but delivery still waits
         // for our own A-broadcast (the application drives it).
+
+        // A queued application payload opens the new round *before* any
+        // buffered peer messages replay, so it cannot be displaced by the
+        // line-15 empty reaction. (May recurse into another advance when
+        // everything else already settled.)
+        if let Some(payload) = self.pending_payloads.pop_front() {
+            self.a_broadcast(payload, out);
+        }
 
         // Drain any buffered events that now belong to the current round.
         self.drain_future(out);
@@ -585,21 +606,10 @@ fn build_views(cfg: &Config, alive: &[bool], id: ServerId) -> (Vec<Vec<ServerId>
         if !alive[v as usize] {
             continue;
         }
-        succ[v as usize] = cfg
-            .graph
-            .successors(v)
-            .iter()
-            .copied()
-            .filter(|&s| alive[s as usize])
-            .collect();
+        succ[v as usize] =
+            cfg.graph.successors(v).iter().copied().filter(|&s| alive[s as usize]).collect();
     }
-    let pred = cfg
-        .graph
-        .predecessors(id)
-        .iter()
-        .copied()
-        .filter(|&p| alive[p as usize])
-        .collect();
+    let pred = cfg.graph.predecessors(id).iter().copied().filter(|&p| alive[p as usize]).collect();
     (succ, pred)
 }
 
@@ -622,7 +632,8 @@ mod tests {
     /// Returns per-server delivered message vectors.
     fn run_lockstep_round(cfg: &Config) -> Vec<Vec<(ServerId, Bytes)>> {
         let n = cfg.n();
-        let mut servers: Vec<Server> = (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
+        let mut servers: Vec<Server> =
+            (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
         let mut inbox: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
         let mut delivered: Vec<Vec<(ServerId, Bytes)>> = vec![Vec::new(); n];
 
@@ -822,7 +833,8 @@ mod tests {
             Action::Deliver { round, messages } => Some((*round, messages.clone())),
             _ => None,
         });
-        let (round, messages) = deliver.expect("tracking digraph for 2 must clear: all holders failed");
+        let (round, messages) =
+            deliver.expect("tracking digraph for 2 must clear: all holders failed");
         assert_eq!(round, 0);
         assert_eq!(messages.iter().map(|&(o, _)| o).collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(s0.round(), 1);
@@ -868,10 +880,7 @@ mod tests {
         let carried: Vec<_> = acts
             .iter()
             .filter(|a| {
-                matches!(
-                    a,
-                    Action::Send { msg: Message::Fail { round: 1, failed: 2, .. }, .. }
-                )
+                matches!(a, Action::Send { msg: Message::Fail { round: 1, failed: 2, .. }, .. })
             })
             .collect();
         assert!(!carried.is_empty(), "carry-over FAIL must be resent in round 1: {acts:?}");

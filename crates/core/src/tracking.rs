@@ -279,10 +279,7 @@ mod tests {
             s.sort_unstable();
             edges.push((i, s));
         }
-        Ctx {
-            succ: edges.into_iter().collect(),
-            notifications: BTreeSet::new(),
-        }
+        Ctx { succ: edges.into_iter().collect(), notifications: BTreeSet::new() }
     }
 
     #[test]
@@ -417,7 +414,7 @@ mod tests {
         assert!(g.contains(4));
         ctx.notify(0, 1);
         g.on_failure(0, 1, &ctx); // refute (0,1): 1 and 4 unreachable
-        // 0 is failed and alone → cleared entirely.
+                                  // 0 is failed and alone → cleared entirely.
         assert!(g.is_empty());
     }
 

@@ -119,28 +119,16 @@ fn ep_decision_requires_exact_majority() {
 
     // FWD from 1 and BWD from 2: still no pair.
     acts.clear();
-    s.handle_into(
-        Event::Receive { from: 1, msg: Message::Fwd { round: 0, origin: 1 } },
-        &mut acts,
-    );
-    s.handle_into(
-        Event::Receive { from: 2, msg: Message::Bwd { round: 0, origin: 2 } },
-        &mut acts,
-    );
+    s.handle_into(Event::Receive { from: 1, msg: Message::Fwd { round: 0, origin: 1 } }, &mut acts);
+    s.handle_into(Event::Receive { from: 2, msg: Message::Bwd { round: 0, origin: 2 } }, &mut acts);
     assert!(deliver_actions(&acts).is_none(), "one-sided evidence is not enough");
 
     // Complete the pair for server 1 → one full pair; need two.
-    s.handle_into(
-        Event::Receive { from: 1, msg: Message::Bwd { round: 0, origin: 1 } },
-        &mut acts,
-    );
+    s.handle_into(Event::Receive { from: 1, msg: Message::Bwd { round: 0, origin: 1 } }, &mut acts);
     assert!(deliver_actions(&acts).is_none(), "1 pair < ⌊n/2⌋ = 2");
 
     // Second full pair (server 2) → deliver.
-    s.handle_into(
-        Event::Receive { from: 2, msg: Message::Fwd { round: 0, origin: 2 } },
-        &mut acts,
-    );
+    s.handle_into(Event::Receive { from: 2, msg: Message::Fwd { round: 0, origin: 2 } }, &mut acts);
     let (round, msgs) = deliver_actions(&acts).expect("majority reached");
     assert_eq!(round, 0);
     assert_eq!(msgs.len(), 5);
@@ -154,7 +142,10 @@ fn fail_notification_about_already_removed_server_ignored() {
     let mut acts = Vec::new();
     s.handle_into(Event::ABroadcast(Bytes::from_static(b"m0")), &mut acts);
     s.handle_into(
-        Event::Receive { from: 1, msg: Message::Bcast { round: 0, origin: 1, payload: Bytes::new() } },
+        Event::Receive {
+            from: 1,
+            msg: Message::Bcast { round: 0, origin: 1, payload: Bytes::new() },
+        },
         &mut acts,
     );
     s.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
@@ -176,7 +167,10 @@ fn suspect_event_for_dead_member_is_noop() {
     let mut acts = Vec::new();
     s.handle_into(Event::ABroadcast(Bytes::new()), &mut acts);
     s.handle_into(
-        Event::Receive { from: 1, msg: Message::Bcast { round: 0, origin: 1, payload: Bytes::new() } },
+        Event::Receive {
+            from: 1,
+            msg: Message::Bcast { round: 0, origin: 1, payload: Bytes::new() },
+        },
         &mut acts,
     );
     s.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
@@ -218,6 +212,10 @@ fn reconfigure_drops_stale_buffered_rounds() {
 #[test]
 fn fwd_bwd_ignored_in_perfect_mode() {
     let mut s = Server::new(cfg(3), 0);
-    assert!(s.handle(Event::Receive { from: 1, msg: Message::Fwd { round: 0, origin: 1 } }).is_empty());
-    assert!(s.handle(Event::Receive { from: 1, msg: Message::Bwd { round: 0, origin: 1 } }).is_empty());
+    assert!(s
+        .handle(Event::Receive { from: 1, msg: Message::Fwd { round: 0, origin: 1 } })
+        .is_empty());
+    assert!(s
+        .handle(Event::Receive { from: 1, msg: Message::Bwd { round: 0, origin: 1 } })
+        .is_empty());
 }

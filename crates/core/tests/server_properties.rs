@@ -19,26 +19,25 @@ use std::sync::Arc;
 /// whole link burst at once... here we permute at message granularity,
 /// which is *stronger* than TCP FIFO and must still converge because
 /// round-tagged dedup makes handlers order-insensitive within a round).
-fn run_permuted(
-    cfg: &Config,
-    payloads: &[Bytes],
-    order_seed: u64,
-) -> Vec<Vec<(ServerId, Bytes)>> {
+fn run_permuted(cfg: &Config, payloads: &[Bytes], order_seed: u64) -> Vec<Vec<(ServerId, Bytes)>> {
     let n = cfg.n();
-    let mut servers: Vec<Server> = (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
+    let mut servers: Vec<Server> =
+        (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
     let mut queue: VecDeque<(ServerId, ServerId, Message)> = VecDeque::new();
     let mut delivered: Vec<Vec<(ServerId, Bytes)>> = vec![Vec::new(); n];
     let mut rng_state = order_seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
 
-    let mut push_actions =
-        |from: ServerId, actions: Vec<Action>, queue: &mut VecDeque<(ServerId, ServerId, Message)>, delivered: &mut Vec<Vec<(ServerId, Bytes)>>| {
-            for a in actions {
-                match a {
-                    Action::Send { to, msg } => queue.push_back((from, to, msg)),
-                    Action::Deliver { messages, .. } => delivered[from as usize] = messages,
-                }
+    let push_actions = |from: ServerId,
+                        actions: Vec<Action>,
+                        queue: &mut VecDeque<(ServerId, ServerId, Message)>,
+                        delivered: &mut Vec<Vec<(ServerId, Bytes)>>| {
+        for a in actions {
+            match a {
+                Action::Send { to, msg } => queue.push_back((from, to, msg)),
+                Action::Deliver { messages, .. } => delivered[from as usize] = messages,
             }
-        };
+        }
+    };
 
     for i in 0..n as ServerId {
         let actions = servers[i as usize].handle(Event::ABroadcast(payloads[i as usize].clone()));

@@ -148,18 +148,14 @@ pub fn vertex_connectivity(g: &Digraph) -> usize {
         return 0;
     }
     // Minimum degree upper-bounds connectivity.
-    let delta = g
-        .vertices()
-        .map(|v| g.out_degree(v).min(g.in_degree(v)))
-        .min()
-        .unwrap_or(0);
+    let delta = g.vertices().map(|v| g.out_degree(v).min(g.in_degree(v))).min().unwrap_or(0);
     if delta == 0 {
         return 0;
     }
     let mut best = n - 1; // complete-digraph default
-    // A min cut C has |C| = k ≤ δ < δ+1, so among v_0..v_δ at least one
-    // vertex is outside C; pairing it (in both directions) against every
-    // non-adjacent vertex finds the cut.
+                          // A min cut C has |C| = k ≤ δ < δ+1, so among v_0..v_δ at least one
+                          // vertex is outside C; pairing it (in both directions) against every
+                          // non-adjacent vertex finds the cut.
     let probes: Vec<NodeId> = (0..n.min(delta + 1)).map(|i| i as NodeId).collect();
     for &s in &probes {
         for t in g.vertices() {

@@ -172,12 +172,17 @@ mod tests {
             let floor = d / m;
             for v in 0..m as u32 {
                 let l = g.self_loops(v);
-                assert!(l == floor || l == floor + (usize::from(d % m != 0)),
-                    "m={m} d={d} v={v}: loops={l}");
+                assert!(
+                    l == floor || l == floor + (usize::from(d % m != 0)),
+                    "m={m} d={d} v={v}: loops={l}"
+                );
             }
             if d % m != 0 {
                 assert!(g.self_loops(0) == floor + 1, "vertex 0 must have ⌈d/m⌉ loops");
-                assert!(g.self_loops(m as u32 - 1) == floor + 1, "vertex m-1 must have ⌈d/m⌉ loops");
+                assert!(
+                    g.self_loops(m as u32 - 1) == floor + 1,
+                    "vertex m-1 must have ⌈d/m⌉ loops"
+                );
             }
         }
     }

@@ -71,10 +71,7 @@ impl Digraph {
 
     /// `d(G)`: the maximum in- or out-degree over all vertices (§2.1.1).
     pub fn degree(&self) -> usize {
-        (0..self.n)
-            .map(|v| self.out_degree(v).max(self.in_degree(v)))
-            .max()
-            .unwrap_or(0)
+        (0..self.n).map(|v| self.out_degree(v).max(self.in_degree(v))).max().unwrap_or(0)
     }
 
     /// Whether the digraph is `d`-regular: every vertex has in-degree and

@@ -47,9 +47,7 @@ pub fn line_digraph(g: &MultiDigraph) -> (Digraph, Vec<(u32, u32)>) {
 /// Build `GS(n, d)`. Requires `d ≥ 3` and `n ≥ 2d` (§4.4).
 pub fn gs_digraph(n: usize, d: usize) -> Result<Digraph, GraphError> {
     if d < 3 {
-        return Err(GraphError::InvalidParameters(format!(
-            "GS(n,d) requires d >= 3, got d={d}"
-        )));
+        return Err(GraphError::InvalidParameters(format!("GS(n,d) requires d >= 3, got d={d}")));
     }
     if n < 2 * d {
         return Err(GraphError::InvalidParameters(format!(

@@ -63,11 +63,7 @@ mod tests {
             (1024, 11, 3),
         ];
         for &(n, d, dl) in rows {
-            assert_eq!(
-                moore_diameter_lower_bound(n, d),
-                dl,
-                "D_L({n},{d}) should be {dl}"
-            );
+            assert_eq!(moore_diameter_lower_bound(n, d), dl, "D_L({n},{d}) should be {dl}");
         }
     }
 

@@ -152,9 +152,7 @@ mod tests {
         // P[X ≥ k] + P[X ≤ k−1] = 1; compute head directly for small n.
         let (n, k, p) = (12usize, 4usize, 0.2f64);
         let head: f64 = (0..k)
-            .map(|i| {
-                ln_choose(n, i).exp() * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32)
-            })
+            .map(|i| ln_choose(n, i).exp() * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32))
             .sum();
         assert!((binomial_tail(n, k, p) + head - 1.0).abs() < 1e-10);
     }

@@ -107,6 +107,7 @@ fn main() {
         suspect_on_disconnect: true,
         connect_attempts: 600, // allow ~60s for peers to come up
         connect_backoff: Duration::from_millis(100),
+        ..RuntimeOptions::default()
     };
     let node = NodeRuntime::start(id, cfg, listener, udp, tcp_addrs, udp_addrs, opts)
         .unwrap_or_else(|e| {
@@ -118,19 +119,17 @@ fn main() {
     // Delivery printer thread.
     let stdin = std::io::stdin();
     std::thread::scope(|scope| {
-        scope.spawn(|| {
-            loop {
-                match node.recv_delivery(Duration::from_millis(200)) {
-                    Some(d) => {
-                        let rendered: Vec<String> = d
-                            .messages
-                            .iter()
-                            .map(|(o, p)| format!("{o}:{}", String::from_utf8_lossy(p)))
-                            .collect();
-                        println!("ROUND {} {}", d.round, rendered.join(" "));
-                    }
-                    None => continue,
+        scope.spawn(|| loop {
+            match node.recv_delivery(Duration::from_millis(200)) {
+                Some(d) => {
+                    let rendered: Vec<String> = d
+                        .messages
+                        .iter()
+                        .map(|(o, p)| format!("{o}:{}", String::from_utf8_lossy(p)))
+                        .collect();
+                    println!("ROUND {} {}", d.round, rendered.join(" "));
                 }
+                None => continue,
             }
         });
         for line in stdin.lock().lines() {

@@ -83,8 +83,26 @@ impl LocalCluster {
     }
 
     /// Wait for the next delivery at `id`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `allconcur_cluster::Cluster::recv_delivery`, which distinguishes \
+                timeouts from dead servers and works identically over both backends"
+    )]
     pub fn recv_delivery(&self, id: ServerId, timeout: Duration) -> Option<Delivery> {
         self.nodes[id as usize].as_ref()?.recv_delivery(timeout)
+    }
+
+    /// Non-blocking receive of the next delivery at `id`.
+    pub fn try_recv_delivery(&self, id: ServerId) -> Option<Delivery> {
+        self.nodes[id as usize].as_ref()?.try_recv_delivery()
+    }
+
+    /// Inject a failure suspicion at server `at`, as if its local FD had
+    /// suspected `suspected`.
+    pub fn suspect(&self, at: ServerId, suspected: ServerId) {
+        if let Some(node) = &self.nodes[at as usize] {
+            node.inject_suspicion(suspected);
+        }
     }
 
     /// Emulate a fail-stop crash of `id`: all its threads stop, sockets
@@ -92,6 +110,16 @@ impl LocalCluster {
     pub fn kill(&mut self, id: ServerId) {
         if let Some(node) = self.nodes[id as usize].take() {
             node.shutdown();
+        }
+    }
+
+    /// [`LocalCluster::kill`], returning the deliveries `id` produced
+    /// that the application had not yet received (drained after the
+    /// node's threads have joined, so none are lost in the teardown).
+    pub fn kill_and_drain(&mut self, id: ServerId) -> Vec<Delivery> {
+        match self.nodes[id as usize].take() {
+            Some(node) => node.shutdown_and_drain(),
+            None => Vec::new(),
         }
     }
 
@@ -103,6 +131,12 @@ impl LocalCluster {
     /// Run one full round: broadcast `payloads[i]` as server `i` (for
     /// running servers) and collect one delivery from each. Returns
     /// `None` entries for servers that are dead or time out.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive deployments through `allconcur_cluster::Cluster::run_round`, which \
+                works identically over the simulator and TCP"
+    )]
+    #[allow(deprecated)] // shim calls its deprecated sibling
     pub fn run_round(&self, payloads: &[Bytes], timeout: Duration) -> Vec<Option<Delivery>> {
         assert_eq!(payloads.len(), self.n());
         for (i, p) in payloads.iter().enumerate() {
@@ -132,6 +166,7 @@ impl Drop for LocalCluster {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated lockstep shim on purpose
 mod tests {
     use super::*;
     use allconcur_graph::gs::gs_digraph;

@@ -30,12 +30,23 @@ pub struct FdParams {
 impl FdParams {
     /// The paper's Fig. 7 setting: `Δ_hb = 10 ms`, `Δ_to = 100 ms`.
     pub fn paper_default() -> Self {
-        FdParams { heartbeat_period: Duration::from_millis(10), timeout: Duration::from_millis(100) }
+        FdParams {
+            heartbeat_period: Duration::from_millis(10),
+            timeout: Duration::from_millis(100),
+        }
     }
 
-    /// A fast profile for loopback tests.
+    /// A profile for loopback tests. The timeout is deliberately lax:
+    /// on shared CI machines, scheduler hiccups of tens of milliseconds
+    /// are routine and a tight `Δ_to` produces spurious suspicions of
+    /// live servers. Loopback crash detection does not pay for the lax
+    /// timeout because a dead peer's closed socket triggers the
+    /// disconnect-based suspicion path immediately.
     pub fn fast() -> Self {
-        FdParams { heartbeat_period: Duration::from_millis(5), timeout: Duration::from_millis(60) }
+        FdParams {
+            heartbeat_period: Duration::from_millis(10),
+            timeout: Duration::from_millis(1500),
+        }
     }
 }
 
@@ -119,9 +130,7 @@ pub fn spawn_receiver(
     table: Arc<HeartbeatTable>,
     stop: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
-    socket
-        .set_read_timeout(Some(Duration::from_millis(20)))
-        .expect("set UDP read timeout");
+    socket.set_read_timeout(Some(Duration::from_millis(20))).expect("set UDP read timeout");
     std::thread::Builder::new()
         .name(format!("ac-hb-recv-{id}"))
         .spawn(move || {
@@ -207,7 +216,10 @@ mod tests {
         let sock0 = UdpSocket::bind("127.0.0.1:0").unwrap();
         let sock1 = UdpSocket::bind("127.0.0.1:0").unwrap();
         let addr1 = sock1.local_addr().unwrap();
-        let params = FdParams { heartbeat_period: Duration::from_millis(5), timeout: Duration::from_millis(50) };
+        let params = FdParams {
+            heartbeat_period: Duration::from_millis(5),
+            timeout: Duration::from_millis(50),
+        };
 
         let stop_send = Arc::new(AtomicBool::new(false));
         let sender = spawn_sender(sock0, 0, vec![addr1], params, stop_send.clone());
@@ -273,10 +285,8 @@ impl AdaptiveTimeout {
     /// value.
     pub fn report_false_suspicion(&self) -> Duration {
         let mut cur = self.current.lock();
-        let grown = cur
-            .checked_mul(self.growth_num)
-            .map(|d| d / self.growth_den)
-            .unwrap_or(self.max);
+        let grown =
+            cur.checked_mul(self.growth_num).map(|d| d / self.growth_den).unwrap_or(self.max);
         *cur = grown.min(self.max);
         *cur
     }

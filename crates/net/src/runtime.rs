@@ -21,9 +21,9 @@ use crate::heartbeat::{self, FdParams, HeartbeatTable};
 use allconcur_core::config::Config;
 use allconcur_core::message::Message;
 use allconcur_core::server::{Action, Event, Server};
-use allconcur_core::{Round, ServerId};
+use allconcur_core::ServerId;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
@@ -32,13 +32,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// One completed round, as seen by the application.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Delivery {
-    /// The agreed round.
-    pub round: Round,
-    /// `(origin, payload)` pairs in deterministic order.
-    pub messages: Vec<(ServerId, Bytes)>,
-}
+///
+/// Re-exported from `allconcur-core` so every transport shares one
+/// outcome type (it used to be defined here).
+pub use allconcur_core::delivery::Delivery;
 
 /// Inputs multiplexed into the protocol thread.
 enum NodeInput {
@@ -61,6 +58,28 @@ pub struct RuntimeOptions {
     pub connect_attempts: u32,
     /// Delay between connection attempts.
     pub connect_backoff: Duration,
+    /// How long the protocol thread holds back peers' `BCAST`s for a
+    /// round the application has not submitted a payload for yet.
+    ///
+    /// Without the gate, a peer's round-`r` broadcast racing ahead of the
+    /// local `broadcast()` call makes Algorithm 1 line 15 answer with an
+    /// *empty* message and silently defers the application's payload to
+    /// round `r+1`. Submitting before or promptly after a round opens
+    /// (as [`crate::cluster::LocalCluster::run_round`] and the `Cluster`
+    /// facade do) never hits the deadline; a server left without a
+    /// submission falls back to the empty broadcast after the grace, so
+    /// liveness is preserved.
+    ///
+    /// The gate covers BCASTs arriving for an open round. A BCAST for a
+    /// *future* round that arrives mid-round buffers inside the state
+    /// machine and replays on advance, where — if the application has
+    /// neither submitted nor queued the next payload by then — the
+    /// line-15 empty reaction still applies. That residual race is
+    /// inherent to the protocol (one message per server per round,
+    /// started by whoever speaks first); submit pipelined payloads ahead
+    /// of time (they queue in the server and win over the empty
+    /// reaction) to avoid it entirely.
+    pub app_grace: Duration,
 }
 
 impl Default for RuntimeOptions {
@@ -70,6 +89,7 @@ impl Default for RuntimeOptions {
             suspect_on_disconnect: true,
             connect_attempts: 100,
             connect_backoff: Duration::from_millis(10),
+            app_grace: Duration::from_millis(400),
         }
     }
 }
@@ -159,11 +179,12 @@ impl NodeRuntime {
         // --- protocol thread ----------------------------------------------
         {
             let stop = stop.clone();
+            let app_grace = opts.app_grace;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("ac-proto-{id}"))
                     .spawn(move || {
-                        protocol_loop(id, cfg, writers, input_rx, delivery_tx, stop);
+                        protocol_loop(id, cfg, writers, input_rx, delivery_tx, stop, app_grace);
                     })
                     .expect("spawn protocol thread"),
             );
@@ -171,8 +192,7 @@ impl NodeRuntime {
 
         // --- failure detector ----------------------------------------------
         let hb_table = HeartbeatTable::new(&predecessors);
-        let succ_udp: Vec<SocketAddr> =
-            successors.iter().map(|&s| udp_addrs[s as usize]).collect();
+        let succ_udp: Vec<SocketAddr> = successors.iter().map(|&s| udp_addrs[s as usize]).collect();
         let hb_send_sock = udp.try_clone()?;
         threads.push(heartbeat::spawn_sender(hb_send_sock, id, succ_udp, opts.fd, stop.clone()));
         threads.push(heartbeat::spawn_receiver(udp, id, hb_table.clone(), stop.clone()));
@@ -201,14 +221,39 @@ impl NodeRuntime {
         self.delivery_rx.recv_timeout(timeout).ok()
     }
 
+    /// Non-blocking receive of the next delivery.
+    pub fn try_recv_delivery(&self) -> Option<Delivery> {
+        self.delivery_rx.try_recv().ok()
+    }
+
+    /// Inject a failure suspicion, as if the local FD had raised it.
+    /// Used by the `Cluster` facade's lifecycle API and by `◇P` tests.
+    pub fn inject_suspicion(&self, suspect: ServerId) {
+        let _ = self.input_tx.send(NodeInput::Suspect(suspect));
+    }
+
     /// Stop all threads and close sockets. Used both for graceful
     /// shutdown and to emulate a crash (peers detect via disconnect/FD).
-    pub fn shutdown(mut self) {
+    pub fn shutdown(self) {
+        let _ = self.shutdown_and_drain();
+    }
+
+    /// Like [`NodeRuntime::shutdown`], but additionally return every
+    /// delivery the server produced that the application had not yet
+    /// received. Draining happens *after* the protocol thread has
+    /// joined, so no completed round can slip away in the teardown
+    /// window.
+    pub fn shutdown_and_drain(mut self) -> Vec<Delivery> {
         self.stop.store(true, Ordering::Relaxed);
         let _ = self.input_tx.send(NodeInput::Shutdown);
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
+        let mut drained = Vec::new();
+        while let Some(d) = self.try_recv_delivery() {
+            drained.push(d);
+        }
+        drained
     }
 }
 
@@ -278,57 +323,133 @@ fn spawn_reader(
         .expect("spawn reader thread")
 }
 
+/// Mutable state of one server's protocol thread.
+struct ProtocolState {
+    server: Server,
+    writers: HashMap<ServerId, BufWriter<TcpStream>>,
+    delivery_tx: Sender<Delivery>,
+    actions: Vec<Action>,
+    /// Peer messages held back while the current round awaits the
+    /// application's submission (see [`RuntimeOptions::app_grace`]).
+    /// Kept in arrival order so link-FIFO is preserved.
+    deferred: std::collections::VecDeque<(ServerId, Message)>,
+    /// When the gate opened; deferred messages are force-released past
+    /// this instant.
+    gate_deadline: Option<std::time::Instant>,
+    app_grace: Duration,
+}
+
+impl ProtocolState {
+    /// Feed one event and act on the outputs. Returns `false` when the
+    /// application side hung up. (Payloads submitted beyond the current
+    /// round queue inside the state machine and open later rounds by
+    /// themselves — the §5 batching flow.)
+    fn process(&mut self, event: Event) -> bool {
+        self.actions.clear();
+        self.server.handle_into(event, &mut self.actions);
+        flush_actions(&mut self.actions, &mut self.writers, &self.delivery_tx)
+    }
+
+    /// Process deferred peer messages until one has to wait for the
+    /// application again (a `BCAST` for a round we have not opened).
+    /// `force` releases the head unconditionally — the grace expired, so
+    /// the state machine answers with an empty broadcast (Algorithm 1
+    /// line 15) rather than stalling the cluster.
+    fn release_deferred(&mut self, mut force: bool) -> bool {
+        loop {
+            let Some((_, msg)) = self.deferred.front() else {
+                self.gate_deadline = None;
+                return true;
+            };
+            let gated = matches!(msg, Message::Bcast { .. }) && !self.server.has_broadcast();
+            if gated && !force {
+                if self.gate_deadline.is_none() {
+                    self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
+                }
+                return true;
+            }
+            force = false;
+            let (from, msg) = self.deferred.pop_front().expect("peeked");
+            if !self.process(Event::Receive { from, msg }) {
+                return false;
+            }
+        }
+    }
+}
+
 fn protocol_loop(
     id: ServerId,
     cfg: Config,
-    mut writers: HashMap<ServerId, BufWriter<TcpStream>>,
+    writers: HashMap<ServerId, BufWriter<TcpStream>>,
     input_rx: Receiver<NodeInput>,
     delivery_tx: Sender<Delivery>,
     stop: Arc<AtomicBool>,
+    app_grace: Duration,
 ) {
-    let mut server = Server::new(cfg, id);
-    let mut actions = Vec::new();
-    // Payloads that arrived after this round's message already went out
-    // (e.g. the server reacted to a peer's BCAST with an empty message —
-    // Algorithm 1 line 15). They ride in subsequent rounds, exactly the
-    // paper's request-batching flow (§5).
-    let mut pending: std::collections::VecDeque<Bytes> = std::collections::VecDeque::new();
-    while let Ok(input) = input_rx.recv() {
+    let mut st = ProtocolState {
+        server: Server::new(cfg, id),
+        writers,
+        delivery_tx,
+        actions: Vec::new(),
+        deferred: std::collections::VecDeque::new(),
+        gate_deadline: None,
+        app_grace,
+    };
+    loop {
+        // While peer messages are gated, wake up at the deadline to
+        // force-release them; otherwise block on the next input.
+        let input = match st.gate_deadline {
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(std::time::Instant::now());
+                match input_rx.recv_timeout(wait) {
+                    Ok(i) => Some(i),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match input_rx.recv() {
+                Ok(i) => Some(i),
+                Err(_) => return,
+            },
+        };
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        let event = match input {
-            NodeInput::Net { from, msg } => Event::Receive { from, msg },
-            NodeInput::Broadcast(payload) => {
-                if server.has_broadcast() {
-                    pending.push_back(payload);
-                    continue;
-                }
-                Event::ABroadcast(payload)
+        let ok = match input {
+            None => {
+                // Grace expired without an application submission.
+                st.gate_deadline = None;
+                st.release_deferred(true)
             }
-            NodeInput::Suspect(s) => {
+            Some(NodeInput::Net { from, msg }) => {
+                // Defer a BCAST for a round the application has not
+                // submitted to yet — and, to preserve link-FIFO, any
+                // message arriving behind a deferred one *from the same
+                // sender*. Messages on other links (e.g. a FAIL
+                // notification) flow through undelayed.
+                if st.deferred.iter().any(|&(f, _)| f == from)
+                    || (matches!(msg, Message::Bcast { .. }) && !st.server.has_broadcast())
+                {
+                    if st.gate_deadline.is_none() {
+                        st.gate_deadline = Some(std::time::Instant::now() + st.app_grace);
+                    }
+                    st.deferred.push_back((from, msg));
+                    true
+                } else {
+                    st.process(Event::Receive { from, msg })
+                }
+            }
+            Some(NodeInput::Broadcast(payload)) => st.process(Event::ABroadcast(payload)),
+            Some(NodeInput::Suspect(s)) => {
                 // The monitor and disconnect paths can both report the
                 // same suspicion; the state machine dedups via F_i, and a
                 // suspicion for an already-removed server is a no-op.
-                Event::Suspect { suspect: s }
+                st.process(Event::Suspect { suspect: s })
             }
-            NodeInput::Shutdown => return,
+            Some(NodeInput::Shutdown) => return,
         };
-        actions.clear();
-        server.handle_into(event, &mut actions);
-        if !flush_actions(&mut actions, &mut writers, &delivery_tx) {
+        if !ok || !st.release_deferred(false) {
             return;
-        }
-        // If the round advanced and payloads are queued, open the new
-        // round with the oldest one (repeat if that completes a round
-        // whose peers' messages were already buffered).
-        while !server.has_broadcast() {
-            let Some(p) = pending.pop_front() else { break };
-            actions.clear();
-            server.handle_into(Event::ABroadcast(p), &mut actions);
-            if !flush_actions(&mut actions, &mut writers, &delivery_tx) {
-                return;
-            }
         }
     }
 }

@@ -64,12 +64,7 @@ impl FailurePlan {
     /// model with the given MTTF, truncated to `horizon`: the §4.2.2
     /// failure model. Servers whose sampled lifetime exceeds the horizon
     /// never crash.
-    pub fn exponential<R: Rng>(
-        n: usize,
-        mttf: SimTime,
-        horizon: SimTime,
-        rng: &mut R,
-    ) -> Self {
+    pub fn exponential<R: Rng>(n: usize, mttf: SimTime, horizon: SimTime, rng: &mut R) -> Self {
         let mut plan = Self::default();
         for s in 0..n as ServerId {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -108,26 +103,17 @@ mod tests {
 
     #[test]
     fn builder_accumulates() {
-        let plan = FailurePlan::none()
-            .fail_at(3, SimTime::from_ms(5))
-            .fail_after_sends(1, 1);
+        let plan = FailurePlan::none().fail_at(3, SimTime::from_ms(5)).fail_after_sends(1, 1);
         assert_eq!(plan.len(), 2);
-        assert_eq!(
-            plan.events()[0],
-            FailureEvent::At { server: 3, at: SimTime::from_ms(5) }
-        );
+        assert_eq!(plan.events()[0], FailureEvent::At { server: 3, at: SimTime::from_ms(5) });
         assert_eq!(plan.events()[1], FailureEvent::AfterSends { server: 1, sends: 1 });
     }
 
     #[test]
     fn exponential_plan_respects_horizon() {
         let mut rng = StdRng::seed_from_u64(11);
-        let plan = FailurePlan::exponential(
-            1000,
-            SimTime::from_secs(10),
-            SimTime::from_secs(1),
-            &mut rng,
-        );
+        let plan =
+            FailurePlan::exponential(1000, SimTime::from_secs(10), SimTime::from_secs(1), &mut rng);
         // Expected crash fraction ≈ 1 − e^{−0.1} ≈ 9.5%.
         assert!(plan.len() > 40 && plan.len() < 200, "got {}", plan.len());
         for e in plan.events() {

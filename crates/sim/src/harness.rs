@@ -16,6 +16,7 @@ use crate::failure::{FailureEvent, FailurePlan};
 use crate::network::{NetworkModel, NicState};
 use crate::time::SimTime;
 use allconcur_core::config::{Config, FdMode};
+use allconcur_core::delivery::Delivery;
 use allconcur_core::message::Message;
 use allconcur_core::server::{Action, Event, Server, SpaceUsage};
 use allconcur_core::{Round, ServerId};
@@ -208,7 +209,8 @@ impl SimClusterBuilder {
     pub fn build(self) -> SimCluster {
         let n = self.graph.order();
         let k = allconcur_graph::connectivity::vertex_connectivity(&self.graph);
-        let cfg = Config { graph: self.graph, resilience: k.saturating_sub(1), fd_mode: self.fd_mode };
+        let cfg =
+            Config { graph: self.graph, resilience: k.saturating_sub(1), fd_mode: self.fd_mode };
         let servers: Vec<Server> =
             (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
         let mut cluster = SimCluster {
@@ -234,6 +236,7 @@ impl SimClusterBuilder {
             waiting_round: None,
             waiting: vec![false; n],
             waiting_count: 0,
+            delivery_log: std::collections::VecDeque::new(),
         };
         for ev in self.failure_plan.events().to_vec() {
             match ev {
@@ -281,6 +284,11 @@ pub struct SimCluster {
     waiting_round: Option<Round>,
     waiting: Vec<bool>,
     waiting_count: usize,
+    /// Deliveries in completion order, for the incremental
+    /// [`SimCluster::step_until_delivery`] driver (the `Cluster` facade's
+    /// sim transport). [`SimCluster::run_round`] clears it on entry so
+    /// lockstep users do not accumulate history.
+    delivery_log: std::collections::VecDeque<(ServerId, Delivery)>,
 }
 
 impl SimCluster {
@@ -356,6 +364,7 @@ impl SimCluster {
     /// delivered the round.
     pub fn run_round(&mut self, payloads: &[Bytes]) -> Result<RoundOutcome, SimError> {
         assert_eq!(payloads.len(), self.n(), "one payload per configured server");
+        self.delivery_log.clear();
         let live = self.live_servers();
         assert!(!live.is_empty(), "no live servers");
         let round = self.servers[live[0] as usize].round();
@@ -366,8 +375,10 @@ impl SimCluster {
         let msg0 = self.messages_sent;
         let bytes0 = self.bytes_sent;
         for &s in &live {
-            self.queue
-                .schedule(start, SimEvent::AppBroadcast { id: s, payload: payloads[s as usize].clone() });
+            self.queue.schedule(
+                start,
+                SimEvent::AppBroadcast { id: s, payload: payloads[s as usize].clone() },
+            );
         }
         let deadline = start + self.round_deadline;
         self.run_until_round(round, deadline)?;
@@ -407,9 +418,8 @@ impl SimCluster {
                 break Ok(());
             }
             let Some((t, ev)) = self.queue.pop() else {
-                let missing = (0..self.n() as ServerId)
-                    .filter(|&s| self.waiting[s as usize])
-                    .collect();
+                let missing =
+                    (0..self.n() as ServerId).filter(|&s| self.waiting[s as usize]).collect();
                 break Err(SimError::Stalled { missing, round });
             };
             if t > deadline {
@@ -439,6 +449,45 @@ impl SimCluster {
     pub fn advance_clock_to(&mut self, at: SimTime) {
         assert!(at >= self.clock, "clock cannot move backwards");
         self.clock = at;
+    }
+
+    /// Schedule `payload` as `origin`'s A-broadcast at the current clock.
+    ///
+    /// Incremental counterpart of [`SimCluster::run_round`] used by the
+    /// `Cluster` facade: the caller decides when each server opens its
+    /// round. A server ignores a second `ABroadcast` within one round
+    /// (Algorithm 1 sends exactly one message per server per round), so
+    /// callers pipelining submissions must queue them until the round
+    /// advances — see `allconcur-cluster`'s sim transport.
+    pub fn submit(&mut self, origin: ServerId, payload: Bytes) {
+        self.queue.schedule(self.clock, SimEvent::AppBroadcast { id: origin, payload });
+    }
+
+    /// Process events until some server A-delivers a round, and return
+    /// that delivery (oldest first when several complete at one event).
+    ///
+    /// `Ok(None)` means the event queue drained with no further delivery
+    /// pending — the cluster is idle (nothing was submitted, or all
+    /// submitted rounds already completed). [`SimError::DeadlineExceeded`]
+    /// reports a queue that still holds work scheduled past `deadline`.
+    pub fn step_until_delivery(
+        &mut self,
+        deadline: SimTime,
+    ) -> Result<Option<(ServerId, Delivery)>, SimError> {
+        loop {
+            if let Some(next) = self.delivery_log.pop_front() {
+                return Ok(Some(next));
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return Ok(None);
+            };
+            if t > deadline {
+                return Err(SimError::DeadlineExceeded { deadline });
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.clock = self.clock.max(t);
+            self.process(t, ev);
+        }
     }
 
     fn process(&mut self, t: SimTime, ev: SimEvent) {
@@ -505,6 +554,8 @@ impl SimCluster {
                     self.transmit(id, to, msg, now);
                 }
                 Action::Deliver { round, messages } => {
+                    self.delivery_log
+                        .push_back((id, Delivery { round, messages: messages.clone() }));
                     self.delivered[id as usize].insert(round, messages);
                     self.delivery_times[id as usize].insert(round, now);
                     if self.waiting_round == Some(round) && self.waiting[id as usize] {
@@ -552,7 +603,8 @@ impl SimCluster {
         // servers with `id` as predecessor.)
         for &succ in self.cfg.graph.successors(id) {
             if !self.crashed[succ as usize] {
-                self.queue.schedule(at + self.fd_delay, SimEvent::FdSuspect { at: succ, suspect: id });
+                self.queue
+                    .schedule(at + self.fd_delay, SimEvent::FdSuspect { at: succ, suspect: id });
             }
         }
     }

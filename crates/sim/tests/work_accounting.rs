@@ -34,9 +34,8 @@ fn failure_free_work_is_exactly_n_squared_d() {
 #[test]
 fn failure_notifications_bounded_by_f_n_d_squared() {
     let (n, d, f) = (16usize, 4usize, 2usize);
-    let plan = FailurePlan::none()
-        .fail_at(14, SimTime::from_ns(10))
-        .fail_at(15, SimTime::from_ns(10));
+    let plan =
+        FailurePlan::none().fail_at(14, SimTime::from_ns(10)).fail_at(15, SimTime::from_ns(10));
     let mut cluster = SimCluster::builder(gs_digraph(n, d).unwrap())
         .network(NetworkModel::ib_verbs())
         .fd_detection_delay(SimTime::from_us(20))
@@ -83,9 +82,8 @@ fn per_server_work_matches_model() {
     // and by regularity the same inbound. Average per-server traffic must
     // therefore be exactly n·d.
     let (n, d) = (16usize, 4usize);
-    let mut cluster = SimCluster::builder(gs_digraph(n, d).unwrap())
-        .network(NetworkModel::ib_verbs())
-        .build();
+    let mut cluster =
+        SimCluster::builder(gs_digraph(n, d).unwrap()).network(NetworkModel::ib_verbs()).build();
     cluster.run_round(&payloads(n)).unwrap();
     let per_server = cluster.traffic().bcast as usize / n;
     assert_eq!(per_server, n * d);

@@ -7,8 +7,6 @@
 //! cargo run --release --example coordination_service
 //! ```
 
-use allconcur::net::runtime::RuntimeOptions;
-use allconcur::net::LocalCluster;
 use allconcur::prelude::*;
 use allconcur_core::batch::Batcher;
 use bytes::Bytes;
@@ -16,13 +14,10 @@ use std::time::Duration;
 
 fn main() {
     const N: usize = 5;
-    let overlay = allconcur_core::membership::build_overlay(
-        N,
-        &ReliabilityModel::paper_default(),
-        6.0,
-    );
+    let overlay =
+        allconcur_core::membership::build_overlay(N, &ReliabilityModel::paper_default(), 6.0);
     println!("coordination service: {N} servers over TCP, overlay degree {}", overlay.degree());
-    let cluster = LocalCluster::spawn(overlay, RuntimeOptions::default()).expect("local cluster");
+    let mut cluster = Cluster::tcp(overlay).expect("local cluster");
     let mut replicas: Vec<Replica<KvStore>> =
         (0..N).map(|_| Replica::new(KvStore::default())).collect();
 
@@ -39,7 +34,7 @@ fn main() {
         }
         round_payloads.push(batch.take_batch());
     }
-    apply_round(&cluster, &mut replicas, &round_payloads, 0);
+    apply_round(&mut cluster, &mut replicas, &round_payloads, 0);
 
     // Round 1: server 3 updates the config; others submit nothing.
     let mut payloads: Vec<Bytes> = vec![Bytes::new(); N];
@@ -47,7 +42,7 @@ fn main() {
     batch.push(KvStore::put_command(b"/config/epoch", b"2"));
     batch.push(KvStore::delete_command(b"/services/node-1"));
     payloads[3] = batch.take_batch();
-    apply_round(&cluster, &mut replicas, &payloads, 1);
+    apply_round(&mut cluster, &mut replicas, &payloads, 1);
 
     // Every replica answers local reads identically (≤ 1 round stale).
     for (s, r) in replicas.iter().enumerate() {
@@ -64,19 +59,21 @@ fn main() {
         replicas[0].applied_commands()
     );
     println!("local read from any server: /config/epoch = 2 (no coordination needed)");
-    cluster.shutdown();
+    cluster.shutdown().expect("clean shutdown");
 }
 
 fn apply_round(
-    cluster: &LocalCluster,
+    cluster: &mut Cluster,
     replicas: &mut [Replica<KvStore>],
     payloads: &[Bytes],
     round: u64,
 ) {
-    let deliveries = cluster.run_round(payloads, Duration::from_secs(15));
-    for (s, d) in deliveries.iter().enumerate() {
-        let d = d.as_ref().unwrap_or_else(|| panic!("server {s} timed out in round {round}"));
+    let deliveries = cluster
+        .run_round(payloads, Duration::from_secs(15))
+        .unwrap_or_else(|e| panic!("round {round} failed: {e}"));
+    for (s, replica) in replicas.iter_mut().enumerate() {
+        let d = &deliveries[&(s as u32)];
         assert_eq!(d.round, round);
-        replicas[s].apply_round(round, &d.messages, true);
+        replica.apply_round(round, &d.messages, true);
     }
 }

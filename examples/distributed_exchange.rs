@@ -138,7 +138,7 @@ fn main() {
                         next_id += 1;
                         Order {
                             id: (next_id << 8) | server as u64,
-                            price_cents: 10_000 + rng.gen_range(0..200),
+                            price_cents: 10_000 + rng.gen_range(0u32..200),
                             quantity: rng.gen_range(1..100),
                             is_buy: rng.gen_bool(0.5),
                         }

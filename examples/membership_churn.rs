@@ -40,7 +40,11 @@ fn main() {
     // Two healthy rounds.
     for round in 0..2 {
         let out = cluster.run_round(&payloads(n0, round)).expect("healthy rounds");
-        println!("round {round}: {} messages agreed in {}", out.delivered[&0].len(), out.agreement_latency());
+        println!(
+            "round {round}: {} messages agreed in {}",
+            out.delivered[&0].len(),
+            out.agreement_latency()
+        );
     }
 
     // Server 5 crashes mid-operation.

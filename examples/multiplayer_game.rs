@@ -74,8 +74,7 @@ impl World {
 }
 
 fn main() {
-    let players: usize =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
+    let players: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(64);
     const FRAME_MS: f64 = 50.0; // 20 frames per second
     const FRAMES: usize = 10;
 

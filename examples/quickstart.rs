@@ -1,5 +1,6 @@
 //! Quickstart: agreement among 8 servers, both simulated (LogP) and over
-//! real TCP sockets on loopback.
+//! real TCP sockets on loopback — the *same* driving code for both,
+//! through the unified `Cluster` facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,43 +10,56 @@
 //! diameter 2, vertex-connectivity 3, so the deployment survives any two
 //! simultaneous crashes.
 
-use allconcur::net::runtime::RuntimeOptions;
-use allconcur::net::LocalCluster;
 use allconcur::prelude::*;
 use bytes::Bytes;
 use std::time::Duration;
 
+/// One agreement round over whichever backend `cluster` wraps.
+fn demo_round(mut cluster: Cluster, payloads: &[Bytes]) -> Delivery {
+    let round = cluster
+        .run_round(payloads, Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("{} round failed: {e}", cluster.backend()));
+    let reference = round[&0].clone();
+    for (server, delivery) in &round {
+        assert_eq!(
+            delivery.messages, reference.messages,
+            "total order violated at server {server}"
+        );
+    }
+    println!(
+        "[{}] round {}: all {} servers delivered the same {} messages",
+        cluster.backend(),
+        reference.round,
+        round.len(),
+        reference.messages.len(),
+    );
+    cluster.shutdown().expect("clean shutdown");
+    reference
+}
+
 fn main() {
     let overlay = gs_digraph(8, 3).expect("GS(8,3) is a valid parameterisation");
     println!("overlay: GS(8,3) — degree {}, diameter {:?}", overlay.degree(), overlay.diameter());
-
-    // ---- 1. Simulated deployment (the paper's IBV LogP profile) --------
-    let mut sim = SimCluster::builder(overlay.clone())
-        .network(NetworkModel::ib_verbs())
-        .build();
     let payloads: Vec<Bytes> =
         (0..8u8).map(|i| Bytes::from(format!("update-from-server-{i}"))).collect();
-    let outcome = sim.run_round(&payloads).expect("failure-free round");
-    println!("\nsimulated round 0 agreed in {}", outcome.agreement_latency());
-    let reference = &outcome.delivered[&0];
-    for (server, delivered) in &outcome.delivered {
-        assert_eq!(delivered, reference, "total order violated at server {server}");
-    }
-    println!("all 8 servers delivered the same {} messages, in the same order:", reference.len());
-    for (origin, payload) in reference {
+
+    // ---- 1. Simulated deployment (the paper's IBV LogP profile) --------
+    let sim = Cluster::sim_with(
+        overlay.clone(),
+        SimOptions { network: NetworkModel::ib_verbs(), ..SimOptions::default() },
+    );
+    let simulated = demo_round(sim, &payloads);
+    for (origin, payload) in &simulated.messages {
         println!("  [{origin}] {}", String::from_utf8_lossy(payload));
     }
 
     // ---- 2. The same protocol over real TCP sockets ---------------------
     println!("\nnow over real TCP on 127.0.0.1 ...");
-    let cluster =
-        LocalCluster::spawn(overlay, RuntimeOptions::default()).expect("loopback cluster");
-    let deliveries = cluster.run_round(&payloads, Duration::from_secs(10));
-    let first = deliveries[0].as_ref().expect("server 0 delivered");
-    for (i, d) in deliveries.iter().enumerate() {
-        let d = d.as_ref().unwrap_or_else(|| panic!("server {i} timed out"));
-        assert_eq!(d.messages, first.messages, "total order violated at server {i}");
-    }
-    println!("TCP round {} delivered {} messages on every server ✓", first.round, first.messages.len());
-    cluster.shutdown();
+    let tcp = Cluster::tcp(overlay).expect("loopback cluster");
+    let real = demo_round(tcp, &payloads);
+
+    // The paper's claim, as an assertion: simulation and deployment run
+    // the same algorithm, so they agree byte-for-byte.
+    assert_eq!(simulated.messages, real.messages, "sim and TCP agree");
+    println!("\nsimulated and TCP delivery sequences are byte-identical ✓");
 }

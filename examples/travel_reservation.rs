@@ -97,10 +97,9 @@ fn main() {
         // read-heavy part), then batches the bookings it received.
         let mut payloads = Vec::with_capacity(N);
         for replica in replicas.iter() {
-            let queries = rng.gen_range(50..200);
+            let queries: u64 = rng.gen_range(50..200);
             total_queries += queries;
-            let _availability: Vec<u32> =
-                (0..FLIGHTS).map(|f| replica.query(f)).collect(); // local, stale ≤ 1 round
+            let _availability: Vec<u32> = (0..FLIGHTS).map(|f| replica.query(f)).collect(); // local, stale ≤ 1 round
             let bookings: Vec<Booking> = (0..rng.gen_range(1..5))
                 .map(|_| Booking { flight: rng.gen_range(0..FLIGHTS), seats: rng.gen_range(1..4) })
                 .collect();

@@ -12,6 +12,8 @@
 //! * [`sim`] — discrete-event LogP simulator and benchmarking harness
 //!   (§4, §5);
 //! * [`net`] — sockets-based TCP transport and local cluster runtime (§5);
+//! * [`cluster`] — the unified [`cluster::Cluster`] facade: one
+//!   submit/deliver API over the simulated and TCP transports;
 //! * [`baselines`] — leader-based atomic broadcast (Libpaxos stand-in) and
 //!   unreliable allgather (§4.5, §5).
 //!
@@ -20,25 +22,32 @@
 //! ```
 //! use allconcur::prelude::*;
 //! use bytes::Bytes;
+//! use std::time::Duration;
 //!
 //! // 8 servers on the GS(8,3) overlay of Fig. 1b, simulated over the
 //! // paper's TCP LogP parameters; every server broadcasts one request.
+//! // Swap `Cluster::sim` for `Cluster::tcp` and the same code runs over
+//! // real sockets on loopback.
 //! let overlay = gs_digraph(8, 3).unwrap();
-//! let mut cluster = SimCluster::builder(overlay)
-//!     .network(NetworkModel::tcp_cluster())
-//!     .build();
+//! let mut cluster = Cluster::sim(overlay);
 //! let payloads: Vec<Bytes> = (0..8u8).map(|i| Bytes::from(vec![i; 64])).collect();
-//! let outcome = cluster.run_round(&payloads).unwrap();
+//! let round = cluster.run_round(&payloads, Duration::from_secs(10)).unwrap();
 //! // Atomic broadcast: every server delivers the same 8 messages, in the
 //! // same order.
-//! let reference = &outcome.delivered[&0];
-//! assert_eq!(reference.len(), 8);
-//! for deliveries in outcome.delivered.values() {
-//!     assert_eq!(deliveries, reference);
+//! let reference = &round[&0];
+//! assert_eq!(reference.messages.len(), 8);
+//! for delivery in round.values() {
+//!     assert_eq!(delivery.messages, reference.messages);
 //! }
 //! ```
+//!
+//! The facade's streaming surface ([`cluster::Cluster::submit`] /
+//! [`cluster::Cluster::deliveries`]) supports pipelined rounds, crash
+//! and suspicion injection, and agreed reconfiguration — see the
+//! `allconcur-cluster` crate docs.
 
 pub use allconcur_baselines as baselines;
+pub use allconcur_cluster as cluster;
 pub use allconcur_core as core;
 pub use allconcur_graph as graph;
 pub use allconcur_net as net;
@@ -46,6 +55,10 @@ pub use allconcur_sim as sim;
 
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
+    pub use allconcur_cluster::{
+        Cluster, ClusterError, Delivery, SimOptions, SimTransport, SubmitHandle, TcpTransport,
+        Transport,
+    };
     pub use allconcur_core::{
         config::Config,
         replica::{KvStore, Replica, StateMachine},

@@ -52,10 +52,7 @@ fn latency_tracks_logp_models_failure_free() {
         let depth = logp::depth_bound(diameter, d, &model);
         let work = logp::work_bound(n, d, &model);
         let upper = SimTime::from_ns(3 * depth.as_ns().max(work.as_ns()));
-        assert!(
-            measured <= upper,
-            "n={n}: measured {measured} above 3× model envelope {upper}"
-        );
+        assert!(measured <= upper, "n={n}: measured {measured} above 3× model envelope {upper}");
         assert!(
             measured.as_ns() * 6 >= depth.as_ns().min(work.as_ns()),
             "n={n}: measured {measured} implausibly below the models"
@@ -184,11 +181,7 @@ fn crash_round_latency_tracks_detection_delay_linearly() {
     let t16 = run(SimTime::from_ms(16));
     let slack = SimTime::from_ms(1); // one dissemination sweep of tolerance
     let close = |a: SimTime, b: SimTime| a.saturating_sub(b).max(b.saturating_sub(a)) < slack;
-    assert!(
-        close(t4 - t1, SimTime::from_ms(3)),
-        "Δ latency {} should be ≈ Δ timeout 3ms",
-        t4 - t1
-    );
+    assert!(close(t4 - t1, SimTime::from_ms(3)), "Δ latency {} should be ≈ Δ timeout 3ms", t4 - t1);
     assert!(
         close(t16 - t4, SimTime::from_ms(12)),
         "Δ latency {} should be ≈ Δ timeout 12ms",

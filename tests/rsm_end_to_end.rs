@@ -1,20 +1,31 @@
 //! End-to-end replicated state machine on top of AllConcur: the
 //! coordination-service usage the paper's introduction motivates. A
-//! key-value store replicated across a simulated cluster stays identical
-//! on every server across rounds, batching, and crashes.
+//! key-value store replicated across a cluster stays identical on every
+//! server across rounds, batching, and crashes — driven through the
+//! unified `Cluster` facade, so the identical scenario also runs over
+//! the TCP backend by swapping the constructor.
 
+use allconcur::prelude::*;
 use allconcur_core::batch::Batcher;
-use allconcur_core::replica::{KvOutput, KvStore, Replica};
+use allconcur_core::replica::KvOutput;
 use allconcur_graph::gs::gs_digraph;
-use allconcur_sim::network::NetworkModel;
-use allconcur_sim::{SimCluster, SimTime};
+use allconcur_sim::SimTime;
 use bytes::Bytes;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn ib_cluster(n: usize) -> Cluster {
+    Cluster::sim_with(
+        gs_digraph(n, 3).unwrap(),
+        SimOptions { network: NetworkModel::ib_verbs(), ..SimOptions::default() },
+    )
+}
 
 #[test]
 fn kv_store_replicates_across_rounds() {
     let n = 8usize;
-    let mut cluster =
-        SimCluster::builder(gs_digraph(n, 3).unwrap()).network(NetworkModel::ib_verbs()).build();
+    let mut cluster = ib_cluster(n);
     let mut replicas: Vec<Replica<KvStore>> =
         (0..n).map(|_| Replica::new(KvStore::default())).collect();
 
@@ -33,10 +44,11 @@ fn kv_store_replicates_across_rounds() {
                 b.take_batch()
             })
             .collect();
-        let out = cluster.run_round(&payloads).unwrap();
+        let out = cluster.run_round(&payloads, TIMEOUT).unwrap();
         for (s, replica) in replicas.iter_mut().enumerate() {
-            let delivered = &out.delivered[&(s as u32)];
-            replica.apply_round(round, delivered, true);
+            let delivery = &out[&(s as u32)];
+            assert_eq!(delivery.round, round);
+            replica.apply_round(round, &delivery.messages, true);
         }
     }
 
@@ -57,10 +69,14 @@ fn kv_store_replicates_across_rounds() {
 #[test]
 fn kv_store_survives_crash_consistently() {
     let n = 8usize;
-    let mut cluster = SimCluster::builder(gs_digraph(n, 3).unwrap())
-        .network(NetworkModel::ib_verbs())
-        .fd_detection_delay(SimTime::from_us(50))
-        .build();
+    let mut cluster = Cluster::sim_with(
+        gs_digraph(n, 3).unwrap(),
+        SimOptions {
+            network: NetworkModel::ib_verbs(),
+            fd_delay: SimTime::from_us(50),
+            ..SimOptions::default()
+        },
+    );
     let mut replicas: Vec<Option<Replica<KvStore>>> =
         (0..n).map(|_| Some(Replica::new(KvStore::default()))).collect();
 
@@ -72,18 +88,19 @@ fn kv_store_survives_crash_consistently() {
             b.take_batch()
         })
         .collect();
-    let out = cluster.run_round(&payloads).unwrap();
+    let out = cluster.run_round(&payloads, TIMEOUT).unwrap();
     for (s, r) in replicas.iter_mut().enumerate() {
-        r.as_mut().expect("alive").apply_round(0, &out.delivered[&(s as u32)], true);
+        r.as_mut().expect("alive").apply_round(0, &out[&(s as u32)].messages, true);
     }
 
     // Server 7 crashes; round 1 proceeds without it.
-    cluster.schedule_crash(cluster.clock(), 7);
+    cluster.crash(7).unwrap();
     replicas[7] = None;
-    let out = cluster.run_round(&payloads).unwrap();
+    let out = cluster.run_round(&payloads, TIMEOUT).unwrap();
+    assert_eq!(out.len(), 7);
     let survivors: Vec<usize> = (0..7).collect();
     for &s in &survivors {
-        replicas[s].as_mut().expect("alive").apply_round(1, &out.delivered[&(s as u32)], true);
+        replicas[s].as_mut().expect("alive").apply_round(1, &out[&(s as u32)].messages, true);
     }
     let reference = replicas[0].as_ref().expect("alive").query().clone();
     for &s in &survivors {
@@ -98,10 +115,10 @@ fn kv_store_survives_crash_consistently() {
     read_batch.push(KvStore::get_command(b"k3"));
     let mut payloads2: Vec<Bytes> = vec![Bytes::new(); n];
     payloads2[0] = read_batch.take_batch();
-    let out = cluster.run_round(&payloads2).unwrap();
+    let out = cluster.run_round(&payloads2, TIMEOUT).unwrap();
     for &s in &survivors {
         let outputs =
-            replicas[s].as_mut().expect("alive").apply_round(2, &out.delivered[&(s as u32)], true);
+            replicas[s].as_mut().expect("alive").apply_round(2, &out[&(s as u32)].messages, true);
         assert_eq!(outputs, vec![KvOutput::Value(Some(b"v0".to_vec()))], "server {s}");
     }
 }

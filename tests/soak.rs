@@ -1,19 +1,33 @@
 //! Soak test: a longer-lived deployment with repeated failures,
 //! reconfigurations, and sustained rounds — the closest the test suite
-//! gets to the paper's multi-minute Fig. 7 runs.
+//! gets to the paper's multi-minute Fig. 7 runs. Driven entirely through
+//! the `Cluster` facade, including the agreed reconfigurations.
 
+use allconcur::prelude::*;
 use allconcur_core::config::FdMode;
-use allconcur_core::membership::plan_reconfiguration;
-use allconcur_graph::ReliabilityModel;
+use allconcur_core::membership::{build_overlay, plan_reconfiguration};
 use allconcur_sim::network::{Jitter, NetworkModel};
-use allconcur_sim::{SimCluster, SimTime};
+use allconcur_sim::SimTime;
 use bytes::Bytes;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn sim_options(seed: u64) -> SimOptions {
+    SimOptions {
+        network: NetworkModel::ib_verbs().with_jitter(Jitter::Uniform { max_ns: 1_000 }),
+        fd_delay: SimTime::from_us(100),
+        seed,
+        ..SimOptions::default()
+    }
+}
 
 #[test]
 fn thirty_rounds_with_periodic_crashes_and_reconfigs() {
     let model = ReliabilityModel::paper_default();
     let mut n = 16usize;
-    let mut cluster = new_cluster(n, SimTime::ZERO, 0);
+    let overlay = build_overlay(n, &model, 6.0);
+    let mut cluster = Cluster::sim_with(overlay, sim_options(0));
     let mut total_rounds = 0u64;
     let mut crashes = 0usize;
 
@@ -23,53 +37,36 @@ fn thirty_rounds_with_periodic_crashes_and_reconfigs() {
             if r == 4 {
                 // Crash the highest live server mid-epoch.
                 let victim = *cluster.live_servers().last().expect("nonempty");
-                cluster.schedule_crash(cluster.clock(), victim);
+                cluster.crash(victim).unwrap();
                 crashes += 1;
             }
-            let payloads: Vec<Bytes> = (0..n)
-                .map(|i| Bytes::from(format!("e{epoch}-r{r}-s{i}").into_bytes()))
-                .collect();
-            let out = cluster.run_round(&payloads).unwrap_or_else(|e| {
-                panic!("epoch {epoch} round {r} failed: {e}")
-            });
+            let payloads: Vec<Bytes> =
+                (0..n).map(|i| Bytes::from(format!("e{epoch}-r{r}-s{i}").into_bytes())).collect();
+            let out = cluster
+                .run_round(&payloads, TIMEOUT)
+                .unwrap_or_else(|e| panic!("epoch {epoch} round {r} failed: {e}"));
             total_rounds += 1;
             // All deliverers agree.
-            let reference = out.delivered.values().next().expect("someone delivered").clone();
-            for (s, seq) in &out.delivered {
-                assert_eq!(seq, &reference, "divergence at epoch {epoch} round {r} server {s}");
+            let reference = out.values().next().expect("someone delivered").clone();
+            for (s, d) in &out {
+                assert_eq!(
+                    d.messages, reference.messages,
+                    "divergence at epoch {epoch} round {r} server {s}"
+                );
             }
         }
-        // Reconfigure: survivors + one joiner on a fresh overlay.
+        // Reconfigure: survivors + one joiner on a fresh overlay, agreed
+        // by every member (§3's dynamic membership).
         let survivors = cluster.live_servers();
         let plan = plan_reconfiguration(&survivors, &[], 1, &model, 6.0, FdMode::Perfect);
         n = plan.config.n();
-        let resume = cluster.clock() + SimTime::from_ms(80);
-        cluster = SimCluster::builder((*plan.config.graph).clone())
-            .network(
-                NetworkModel::ib_verbs().with_jitter(Jitter::Uniform { max_ns: 1_000 }),
-            )
-            .fd_detection_delay(SimTime::from_us(100))
-            .seed(epoch as u64 + 1)
-            .start_clock(resume)
-            .build();
+        cluster.reconfigure((*plan.config.graph).clone()).unwrap();
+        assert_eq!(cluster.n(), n);
+        assert_eq!(cluster.live_servers().len(), n, "everyone alive after reconfig");
     }
 
     assert_eq!(total_rounds, 30);
     assert_eq!(crashes, 3);
     // Net membership: 16 − 3 crashes + 3 joins = 16.
     assert_eq!(n, 16);
-}
-
-fn new_cluster(n: usize, start: SimTime, seed: u64) -> SimCluster {
-    let overlay = allconcur_core::membership::build_overlay(
-        n,
-        &ReliabilityModel::paper_default(),
-        6.0,
-    );
-    SimCluster::builder(overlay)
-        .network(NetworkModel::ib_verbs().with_jitter(Jitter::Uniform { max_ns: 1_000 }))
-        .fd_detection_delay(SimTime::from_us(100))
-        .seed(seed)
-        .start_clock(start)
-        .build()
 }

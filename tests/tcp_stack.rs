@@ -1,14 +1,12 @@
-//! Integration tests over the real TCP transport: the same protocol state
-//! machine as the simulator, but on 127.0.0.1 sockets with OS threads,
-//! UDP heartbeats, and disconnect detection.
+//! Integration tests over the real TCP transport, driven through the
+//! unified `Cluster` facade: the same protocol state machine as the
+//! simulator, but on 127.0.0.1 sockets with OS threads, UDP heartbeats,
+//! and disconnect detection.
 
-use allconcur::net::runtime::RuntimeOptions;
-use allconcur::net::LocalCluster;
+use allconcur::prelude::*;
 use allconcur_graph::binomial::binomial_graph;
 use allconcur_graph::gs::gs_digraph;
 use allconcur_graph::standard::complete_digraph;
-use allconcur_sim::network::NetworkModel;
-use allconcur_sim::SimCluster;
 use bytes::Bytes;
 use std::time::Duration;
 
@@ -26,16 +24,17 @@ fn tcp_agreement_on_three_topologies() {
         ("binomial(9)", binomial_graph(9)),
     ] {
         let n = graph.order();
-        let cluster = LocalCluster::spawn(graph, RuntimeOptions::default())
-            .unwrap_or_else(|e| panic!("{name}: spawn failed: {e}"));
-        let deliveries = cluster.run_round(&payloads(n), ROUND_TIMEOUT);
-        let first = deliveries[0].as_ref().unwrap_or_else(|| panic!("{name}: server 0 timeout"));
+        let mut cluster =
+            Cluster::tcp(graph).unwrap_or_else(|e| panic!("{name}: spawn failed: {e}"));
+        let round = cluster
+            .run_round(&payloads(n), ROUND_TIMEOUT)
+            .unwrap_or_else(|e| panic!("{name}: round failed: {e}"));
+        let first = &round[&0];
         assert_eq!(first.messages.len(), n, "{name}");
-        for (i, d) in deliveries.iter().enumerate() {
-            let d = d.as_ref().unwrap_or_else(|| panic!("{name}: server {i} timeout"));
+        for (i, d) in &round {
             assert_eq!(d.messages, first.messages, "{name}: total order violated at {i}");
         }
-        cluster.shutdown();
+        cluster.shutdown().unwrap();
     }
 }
 
@@ -43,109 +42,117 @@ fn tcp_agreement_on_three_topologies() {
 fn tcp_and_simulator_agree_on_delivery_sequence() {
     // The deterministic delivery order (ascending origin id) means the
     // simulator and the TCP stack must produce byte-identical sequences
-    // for the same inputs.
+    // for the same inputs — and the facade runs the identical scenario
+    // code on both.
     let n = 8;
     let graph = gs_digraph(n, 3).unwrap();
     let ps = payloads(n);
 
-    let mut sim = SimCluster::builder(graph.clone()).network(NetworkModel::tcp_cluster()).build();
-    let sim_out = sim.run_round(&ps).unwrap();
-    let sim_seq = &sim_out.delivered[&0];
+    let mut sim = Cluster::sim(graph.clone());
+    let sim_round = sim.run_round(&ps, ROUND_TIMEOUT).unwrap();
 
-    let tcp = LocalCluster::spawn(graph, RuntimeOptions::default()).unwrap();
-    let tcp_deliveries = tcp.run_round(&ps, ROUND_TIMEOUT);
-    let tcp_seq = &tcp_deliveries[0].as_ref().expect("tcp delivery").messages;
+    let mut tcp = Cluster::tcp(graph).unwrap();
+    let tcp_round = tcp.run_round(&ps, ROUND_TIMEOUT).unwrap();
 
-    assert_eq!(sim_seq, tcp_seq, "simulated and real transports must agree");
-    tcp.shutdown();
+    assert_eq!(
+        sim_round[&0].messages, tcp_round[&0].messages,
+        "simulated and real transports must agree"
+    );
+    tcp.shutdown().unwrap();
 }
 
 #[test]
 fn tcp_ten_rounds_sustained() {
     let n = 6;
-    let cluster = LocalCluster::spawn(gs_digraph(n, 3).unwrap(), RuntimeOptions::default()).unwrap();
+    let mut cluster = Cluster::tcp(gs_digraph(n, 3).unwrap()).unwrap();
     for round in 0..10u64 {
-        let deliveries = cluster.run_round(&payloads(n), ROUND_TIMEOUT);
-        for (i, d) in deliveries.iter().enumerate() {
-            let d = d.as_ref().unwrap_or_else(|| panic!("server {i} round {round}"));
-            assert_eq!(d.round, round);
-            assert_eq!(d.messages.len(), n);
+        let deliveries = cluster.run_round(&payloads(n), ROUND_TIMEOUT).unwrap();
+        for (i, d) in &deliveries {
+            assert_eq!(d.round, round, "server {i}");
+            assert_eq!(d.messages.len(), n, "server {i} round {round}");
         }
     }
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
 }
 
 #[test]
 fn tcp_crash_mid_deployment_recovers() {
     let n = 9;
-    let mut cluster =
-        LocalCluster::spawn(binomial_graph(n), RuntimeOptions::default()).unwrap();
+    let mut cluster = Cluster::tcp(binomial_graph(n)).unwrap();
     // Healthy round.
-    let d0 = cluster.run_round(&payloads(n), ROUND_TIMEOUT);
-    assert!(d0.iter().all(Option::is_some));
+    let d0 = cluster.run_round(&payloads(n), ROUND_TIMEOUT).unwrap();
+    assert_eq!(d0.len(), n);
 
     // Kill two servers (binomial(9) has k = 6: plenty of margin).
-    cluster.kill(7);
-    cluster.kill(8);
+    cluster.crash(7).unwrap();
+    cluster.crash(8).unwrap();
+    assert_eq!(cluster.live_servers().len(), 7);
 
-    let ps = payloads(n);
-    for (i, p) in ps.iter().enumerate() {
-        if cluster.is_running(i as u32) {
-            cluster.broadcast(i as u32, p.clone());
-        }
-    }
-    let mut reference: Option<Vec<(u32, Bytes)>> = None;
-    for i in 0..7u32 {
-        let d = cluster
-            .recv_delivery(i, ROUND_TIMEOUT)
-            .unwrap_or_else(|| panic!("server {i} stuck after crashes"));
-        let origins: Vec<u32> = d.messages.iter().map(|&(o, _)| o).collect();
+    let round = cluster.run_round(&payloads(n), ROUND_TIMEOUT).unwrap();
+    assert_eq!(round.len(), 7);
+    let reference = &round[&1];
+    for (i, d) in &round {
+        let origins = d.origins();
         assert!(!origins.contains(&7) && !origins.contains(&8), "dead messages at {i}");
-        match &reference {
-            None => reference = Some(d.messages),
-            Some(r) => assert_eq!(&d.messages, r, "set agreement violated at {i}"),
-        }
+        assert_eq!(d.messages, reference.messages, "set agreement violated at {i}");
     }
+
     // The system keeps running with 7 members.
-    for (i, p) in ps.iter().enumerate().take(7) {
-        cluster.broadcast(i as u32, p.clone());
-    }
-    for i in 0..7u32 {
-        let d = cluster.recv_delivery(i, ROUND_TIMEOUT).expect("next round after recovery");
+    let next = cluster.run_round(&payloads(n), ROUND_TIMEOUT).unwrap();
+    assert_eq!(next.len(), 7);
+    for d in next.values() {
         assert_eq!(d.messages.len(), 7);
     }
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
 }
 
 #[test]
 fn tcp_empty_payload_round() {
     // Servers with nothing to say still participate with empty messages.
     let n = 5;
-    let cluster = LocalCluster::spawn(complete_digraph(n), RuntimeOptions::default()).unwrap();
+    let mut cluster = Cluster::tcp(complete_digraph(n)).unwrap();
     let empties: Vec<Bytes> = vec![Bytes::new(); n];
-    let deliveries = cluster.run_round(&empties, ROUND_TIMEOUT);
-    for d in &deliveries {
-        let d = d.as_ref().expect("all deliver");
+    let round = cluster.run_round(&empties, ROUND_TIMEOUT).unwrap();
+    for d in round.values() {
         assert_eq!(d.messages.len(), n);
         assert!(d.messages.iter().all(|(_, b)| b.is_empty()));
     }
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
 }
 
 #[test]
 fn tcp_large_batched_payloads() {
     // Fig. 10-sized batches over real sockets: 2¹² × 8-byte requests.
     let n = 4;
-    let cluster = LocalCluster::spawn(complete_digraph(n), RuntimeOptions::default()).unwrap();
+    let mut cluster = Cluster::tcp(complete_digraph(n)).unwrap();
     let batch = allconcur_core::batch::encode_fixed(1 << 12, 8, 0x5A);
     let ps: Vec<Bytes> = vec![batch.clone(); n];
-    let deliveries = cluster.run_round(&ps, ROUND_TIMEOUT);
-    for d in &deliveries {
-        let d = d.as_ref().expect("all deliver");
+    let round = cluster.run_round(&ps, ROUND_TIMEOUT).unwrap();
+    for d in round.values() {
         assert_eq!(d.messages.len(), n);
         for (_, payload) in &d.messages {
             assert_eq!(payload.len(), (1 << 12) * 8);
         }
     }
-    cluster.shutdown();
+    cluster.shutdown().unwrap();
+}
+
+#[test]
+fn tcp_streaming_submit_and_handles() {
+    // The streaming half of the facade on real sockets: submit through
+    // handles, await the tracked payload, stream deliveries.
+    let n = 5;
+    let mut cluster = Cluster::tcp(complete_digraph(n)).unwrap();
+    let handle = cluster.submit(2, Bytes::from_static(b"tracked-write")).unwrap();
+    for id in 0..n as u32 {
+        if id != 2 {
+            cluster.submit(id, Bytes::new()).unwrap();
+        }
+    }
+    let delivery = cluster.wait_delivered(&handle, ROUND_TIMEOUT).unwrap();
+    assert_eq!(delivery.payload_of(2), Some(&Bytes::from_static(b"tracked-write")));
+    // wait_delivered does not consume: the origin's stream still has it.
+    let streamed = cluster.recv_delivery(2, ROUND_TIMEOUT).unwrap();
+    assert_eq!(streamed, delivery);
+    cluster.shutdown().unwrap();
 }

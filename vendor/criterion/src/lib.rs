@@ -1,0 +1,222 @@
+//! Offline, API-compatible subset of the [`criterion`] benchmark crate.
+//!
+//! The build environment has no crates.io access, so this minimal
+//! stand-in keeps the workspace's `benches/` targets compiling and
+//! running. It measures each benchmark with plain `Instant` timing over a
+//! fixed number of iterations and prints one line per benchmark — no
+//! statistics, plots, or HTML reports. Good enough to smoke-run the
+//! benches and eyeball relative magnitudes; swap in the real crate for
+//! publishable numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the measured routine receives its per-iteration input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values: batch them generously.
+    SmallInput,
+    /// Large setup values: one at a time.
+    LargeInput,
+    /// Let the harness decide per call.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+const MEASURE_ITERS: u64 = 10;
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    /// Total measured time, accumulated by `iter`/`iter_batched`.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher { elapsed: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += MEASURE_ITERS;
+    }
+
+    /// Time `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Like `iter_batched`, taking the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..MEASURE_ITERS {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("bench {id:<48} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() / self.iters as u128;
+        println!("bench {id:<48} {per_iter:>12} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub ignores it.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub ignores it.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the stub ignores it.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// End the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+}
+
+/// Mirrors criterion's `criterion_group!`: defines a function running the
+/// listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors criterion's `criterion_main!`: defines `main` running the
+/// listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

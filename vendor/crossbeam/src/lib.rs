@@ -1,0 +1,88 @@
+//! Offline, API-compatible subset of the [`crossbeam`] crate.
+//!
+//! Only [`channel`] is provided, implemented over `std::sync::mpsc`. The
+//! workspace uses multi-producer/single-consumer channels exclusively, so
+//! the std primitive is a faithful substitute.
+
+pub mod channel {
+    //! MPSC channels with the `crossbeam-channel` API surface the
+    //! workspace uses: `unbounded`, cloneable [`Sender`], and a
+    //! [`Receiver`] with blocking, timed, and non-blocking receives.
+
+    use std::sync::{mpsc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half; cheap to clone.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; errors when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half. Like crossbeam's receiver (and unlike std's)
+    /// it is `Sync`: receives from several threads serialize through an
+    /// internal mutex.
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        fn with<R>(&self, f: impl FnOnce(&mpsc::Receiver<T>) -> R) -> R {
+            f(&self.inner.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Block until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.with(|rx| rx.recv())
+        }
+
+        /// Block up to `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.with(|rx| rx.recv_timeout(timeout))
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.with(|rx| rx.try_recv())
+        }
+
+        /// Drain everything currently queued.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            std::iter::from_fn(move || self.try_recv().ok())
+        }
+    }
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: Mutex::new(rx) })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(42u32).unwrap());
+            assert_eq!(rx.recv().unwrap(), 42);
+            drop(tx);
+            assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline, API-compatible subset of the [`proptest`] crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the property-testing surface its test suites use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range / `Just`
+//! / tuple / `collection::vec` / `prop_oneof!` strategies, `any::<T>()`,
+//! and the `prop_assert!` family. Differences from the real crate:
+//! cases are generated from a deterministic per-case seed and **failing
+//! inputs are not shrunk** — the failure message reports the exact
+//! inputs instead.
+
+pub mod test_runner {
+    //! Case generation and the test-loop configuration.
+
+    use rand::prelude::*;
+
+    /// Source of randomness handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Deterministic per-case generator.
+        pub fn deterministic(case: u64) -> TestRng {
+            // Decorrelate consecutive case indices.
+            TestRng(StdRng::seed_from_u64(case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA55A))
+        }
+
+        /// Uniform sample from a range (delegates to the vendored rand).
+        pub fn gen_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+            self.0.gen_range(range)
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Global `prop_assume!` rejection budget before the run fails.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65536 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the inputs; the case is retried.
+        Reject(String),
+        /// A `prop_assert!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an associated type from randomness.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Produce one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    /// Uniform choice among boxed strategies — the engine behind
+    /// [`crate::prop_oneof!`].
+    pub struct Union<T: Debug> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// A union over `options` (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    /// Strategies are usable through references (lets `proptest!` take
+    /// the strategy expression by value or reference alike).
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Sample the full domain uniformly.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T: Arbitrary>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a random length.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() { 0 } else { rng.gen_range(self.size.clone()) };
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A vector of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = vec![$(::std::boxed::Box::new($strategy)),+];
+        $crate::strategy::Union::new(options)
+    }};
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the subset used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $name $($rest)*);
+    };
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // `#[test]` arrives through `$meta` (matching it literally is
+            // ambiguous with the attribute repetition).
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut passed: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case_seed: u64 = 0;
+                while passed < config.cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(case_seed);
+                    case_seed += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                    )+
+                    let inputs: ::std::string::String =
+                        [$(format!("{} = {:?}", stringify!($arg), &$arg)),+].join(", ");
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest `{}`: too many prop_assume! rejections (last: {})",
+                                    stringify!($name), why
+                                );
+                            }
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed after {} passing case(s): {}\n  inputs: {}",
+                                stringify!($name), passed, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_vecs(x in 1u32..50, v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(v.len() < 8);
+        }
+
+        #[test]
+        fn assume_filters(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_tuples(choice in prop_oneof![Just(1u8), Just(2u8)], pair in (0u8..4, 0u8..4)) {
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+}
