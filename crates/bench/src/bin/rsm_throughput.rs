@@ -1,0 +1,140 @@
+//! RSM throughput through the typed `Service` layer: commands/second a
+//! replicated key-value store sustains end to end — encode, batch,
+//! agree, decode, apply, correlate the typed response — as a function of
+//! the per-round batch size (§5's batching factor, measured at the
+//! application contract instead of raw payload bytes).
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin rsm_throughput [--csv] [--json PATH]
+//! ```
+//!
+//! Besides the table, the run emits machine-readable `BENCH_rsm.json`
+//! (override with `--json PATH`) so the performance trajectory of the
+//! RSM hot path is recorded PR over PR.
+
+use allconcur_bench::output::{has_flag, Table};
+use allconcur_cluster::{Cluster, SimOptions};
+use allconcur_core::replica::{KvCommand, KvStore};
+use allconcur_graph::gs::gs_digraph;
+use allconcur_rsm::Service;
+use allconcur_sim::network::NetworkModel;
+use std::time::{Duration, Instant};
+
+const N: usize = 8;
+const TIMEOUT: Duration = Duration::from_secs(600);
+
+struct Point {
+    batch: usize,
+    commands: u64,
+    sim_us: f64,
+    wall_ms: f64,
+}
+
+impl Point {
+    /// Commands per *simulated* second — the deployment-model number.
+    fn cmds_per_sec_sim(&self) -> f64 {
+        self.commands as f64 / (self.sim_us / 1e6)
+    }
+
+    /// Commands per wall-clock second — the engine-overhead number
+    /// (encode/decode, correlation, pump) on the host running the bench.
+    fn cmds_per_sec_wall(&self) -> f64 {
+        self.commands as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Drive `rounds` rounds with `batch` commands per server per round and
+/// measure simulated + wall time across the whole typed pipeline.
+fn run_point(batch: usize, rounds: usize) -> Point {
+    let cluster = Cluster::sim_with(
+        gs_digraph(N, 3).expect("GS(8,3)"),
+        SimOptions { network: NetworkModel::tcp_cluster(), seed: 1, ..SimOptions::default() },
+    );
+    let mut kv = Service::new(cluster, &KvStore::default()).expect("service");
+    let clock = |kv: &mut Service<KvStore>| {
+        kv.cluster_mut().sim_transport_mut().expect("sim").cluster().clock()
+    };
+
+    let wall_start = Instant::now();
+    let sim_start = clock(&mut kv);
+    let mut commands = 0u64;
+    let mut handles = Vec::with_capacity(N * batch);
+    for round in 0..rounds {
+        handles.clear();
+        for s in 0..N as u32 {
+            for i in 0..batch {
+                let cmd = KvCommand::Put {
+                    key: format!("k{}", i % 32).into_bytes(),
+                    value: round.to_le_bytes().to_vec(),
+                };
+                handles.push(kv.submit(s, &cmd).expect("submit"));
+                commands += 1;
+            }
+        }
+        kv.sync(TIMEOUT).expect("round agreed");
+        for handle in &handles {
+            kv.wait(handle, TIMEOUT).expect("typed response");
+        }
+    }
+    let sim_us = (clock(&mut kv) - sim_start).as_us_f64();
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    Point { batch, commands, sim_us, wall_ms }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = has_flag("--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_rsm.json".to_string());
+
+    let points: Vec<Point> =
+        [1usize, 4, 16, 64, 256].iter().map(|&batch| run_point(batch, 4)).collect();
+
+    let mut table = Table::new(vec![
+        "batch/server",
+        "commands",
+        "sim_time_us",
+        "cmds_per_sec_sim",
+        "wall_ms",
+        "cmds_per_sec_wall",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.batch.to_string(),
+            p.commands.to_string(),
+            format!("{:.1}", p.sim_us),
+            format!("{:.0}", p.cmds_per_sec_sim()),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.0}", p.cmds_per_sec_wall()),
+        ]);
+    }
+    println!("RSM throughput — typed Service over sim({N} servers, TCP LogP profile)\n");
+    print!("{}", if csv { table.render_csv() } else { table.render() });
+
+    // Hand-rolled JSON (no serde in the build environment).
+    let series: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"batch_per_server\": {}, \"commands\": {}, \"sim_us\": {:.1}, \
+                 \"cmds_per_sec_sim\": {:.0}, \"wall_ms\": {:.1}, \"cmds_per_sec_wall\": {:.0}}}",
+                p.batch,
+                p.commands,
+                p.sim_us,
+                p.cmds_per_sec_sim(),
+                p.wall_ms,
+                p.cmds_per_sec_wall()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"rsm_throughput\",\n  \"backend\": \"sim\",\n  \"n\": {N},\n  \
+         \"state_machine\": \"KvStore\",\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    std::fs::write(&json_path, json).expect("write BENCH json");
+    println!("\nwrote {json_path}");
+}

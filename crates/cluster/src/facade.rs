@@ -40,10 +40,19 @@ fn saturating_deadline(timeout: Duration) -> std::time::Instant {
 /// The handle records which server the payload was submitted through and
 /// the payload itself; [`Cluster::wait_delivered`] turns it into the
 /// delivery that carried the payload.
+///
+/// The `(origin, origin_seq)` pair is a correlation key: submissions
+/// through one origin are carried in rounds in submission order, so the
+/// `k`-th non-empty payload delivered for `origin` is the one with
+/// `origin_seq == k` — no request ids on the wire needed. (The typed
+/// `Service` layer in `allconcur-rsm` applies the same origin +
+/// per-origin-sequence scheme one level down, at command granularity
+/// within batched payloads.)
 #[derive(Debug, Clone)]
 pub struct SubmitHandle {
     origin: ServerId,
     seq: u64,
+    origin_seq: u64,
     payload: Bytes,
 }
 
@@ -56,6 +65,13 @@ impl SubmitHandle {
     /// Facade-wide submission sequence number (submission order).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Per-origin submission sequence number: how many payloads were
+    /// submitted through [`SubmitHandle::origin`] before this one (in
+    /// the current configuration — reconfiguration restarts the count).
+    pub fn origin_seq(&self) -> u64 {
+        self.origin_seq
     }
 
     /// The submitted payload.
@@ -77,6 +93,9 @@ pub struct Cluster {
     /// consumed, in per-server A-delivery order.
     inbox: Vec<VecDeque<Delivery>>,
     next_seq: u64,
+    /// Per-origin submission counters backing
+    /// [`SubmitHandle::origin_seq`].
+    next_origin_seq: Vec<u64>,
     /// The error that ended the last [`Cluster::deliveries`] stream, when
     /// it was something other than an ordinary timeout or a dead server.
     stream_error: Option<ClusterError>,
@@ -95,6 +114,7 @@ impl Cluster {
             transport: Box::new(transport),
             inbox: vec![VecDeque::new(); n],
             next_seq: 0,
+            next_origin_seq: vec![0; n],
             stream_error: None,
             inbox_cap: None,
             dropped: vec![0; n],
@@ -183,7 +203,23 @@ impl Cluster {
         self.transport.submit(origin, payload.clone())?;
         let seq = self.next_seq;
         self.next_seq += 1;
-        Ok(SubmitHandle { origin, seq, payload })
+        let origin_seq = self.next_origin_seq[origin as usize];
+        self.next_origin_seq[origin as usize] += 1;
+        Ok(SubmitHandle { origin, seq, origin_seq, payload })
+    }
+
+    /// Non-blocking variant of [`Cluster::next_delivery`]: the next
+    /// delivery at any server if one is already available (buffered, or
+    /// producible without waiting), else `Ok(None)`. The drain primitive
+    /// for layered consumers that interleave submission and delivery
+    /// handling (the `allconcur-rsm` `Service` uses it to resolve
+    /// already-agreed responses without blocking).
+    pub fn try_next_delivery(&mut self) -> Result<Option<(ServerId, Delivery)>, ClusterError> {
+        match self.next_delivery(Duration::ZERO) {
+            Ok(next) => Ok(Some(next)),
+            Err(ClusterError::Timeout { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     /// The next delivery at any server, in backend order. Buffered
@@ -365,6 +401,7 @@ impl Cluster {
         let n = self.transport.n();
         self.inbox = vec![VecDeque::new(); n];
         self.dropped = vec![0; n];
+        self.next_origin_seq = vec![0; n];
         Ok(())
     }
 

@@ -3,39 +3,149 @@
 //! broadcast is often used to implement large-scale coordination
 //! services, such as replicated state machines").
 //!
-//! [`Replica`] wraps any deterministic [`StateMachine`] and consumes
-//! round deliveries: commands are applied in the agreed order, so every
-//! replica that applies the same rounds holds an identical state.
+//! The application contract is *typed*: a [`StateMachine`] declares its
+//! `Command` and `Response` types plus a [`Codec`] that maps commands to
+//! the raw bytes AllConcur agrees on. [`Replica`] wraps any
+//! deterministic state machine and consumes round deliveries: agreed
+//! payloads are decoded and applied in the agreed order, so every
+//! replica that applies the same rounds holds an identical state and
+//! produces identical typed responses.
 //!
-//! Reads come in two consistencies, matching §1's discussion:
+//! Rounds apply **atomically**: every payload of a round is decoded
+//! before any command mutates state, so a malformed agreed payload
+//! yields a typed [`RsmError`] on every replica with no partial
+//! application — replicas cannot diverge through error paths.
 //!
-//! * [`Replica::query`] — **local** read: no coordination; may lag the
-//!   freshest state by at most one round ("a server's view of the shared
-//!   state cannot fall behind more than one round");
-//! * [`Replica::query_serialized`] — **strongly consistent** read:
-//!   the query itself rides through atomic broadcast as a command and is
-//!   answered when its round delivers.
+//! [`StateMachine::snapshot`] / [`StateMachine::restore`] let a joining
+//! or reconfigured server catch up from a peer's serialized state
+//! without replaying history (§3's dynamic membership needs exactly
+//! this hand-off); the `Service` layer in `allconcur-rsm` wires them
+//! through `Cluster::reconfigure`.
 
 use crate::{Round, ServerId};
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 use std::collections::BTreeMap;
 
-/// A deterministic application state machine. Determinism is the only
-/// contract: identical command sequences must produce identical states
-/// and outputs.
-pub trait StateMachine {
-    /// Output of applying a command (returned to the submitting client).
-    type Output;
+/// Why a command or snapshot failed to decode. The reason is a static
+/// string so decode failures stay deterministic (identical bytes fail
+/// identically on every replica) and allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encoding between a typed value and its agreed wire bytes.
+///
+/// No external serde: implementations hand-roll their format, which
+/// keeps the agreed bytes stable across toolchains (the bytes *are* the
+/// replicated history — their layout is part of the protocol).
+/// `Default` lets [`Replica`] construct the codec itself.
+pub trait Codec: Default {
+    /// The typed value this codec carries.
+    type Item;
+
+    /// Serialize `item` into the payload bytes to A-broadcast.
+    fn encode(&self, item: &Self::Item) -> Bytes;
+
+    /// Parse agreed payload bytes back into the typed value.
+    ///
+    /// Must be deterministic: the same bytes either decode to the same
+    /// value or fail with the same error on every replica.
+    fn decode(&self, bytes: &[u8]) -> Result<Self::Item, DecodeError>;
+}
+
+/// Everything that can go wrong applying agreed rounds to a replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsmError {
+    /// [`Replica::apply_round`] was handed a round out of order: a gap
+    /// means the transport dropped an agreed round, which would break
+    /// the RSM contract if applied — reportable, not fatal.
+    RoundGap {
+        /// The round the replica expected next.
+        expected: Round,
+        /// The round it was handed.
+        got: Round,
+    },
+    /// An agreed payload failed to decode as a command. Deterministic:
+    /// every replica rejects the same bytes with the same reason, and
+    /// the round is rejected *before* any state mutation.
+    Decode {
+        /// The server whose round message carried the bad payload.
+        origin: ServerId,
+        /// The round it was agreed in.
+        round: Round,
+        /// What the codec objected to.
+        reason: DecodeError,
+    },
+    /// The batch framing of an agreed payload was malformed.
+    BadBatch {
+        /// The server whose round message carried the bad batch.
+        origin: ServerId,
+        /// The round it was agreed in.
+        round: Round,
+    },
+    /// A snapshot failed to parse during [`Replica::from_snapshot`].
+    BadSnapshot(DecodeError),
+}
+
+impl std::fmt::Display for RsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsmError::RoundGap { expected, got } => {
+                write!(f, "round gap: expected round {expected}, got {got}")
+            }
+            RsmError::Decode { origin, round, reason } => {
+                write!(f, "agreed payload from server {origin} in round {round}: {reason}")
+            }
+            RsmError::BadBatch { origin, round } => {
+                write!(f, "malformed batch from server {origin} in round {round}")
+            }
+            RsmError::BadSnapshot(reason) => write!(f, "snapshot rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RsmError {}
+
+/// A deterministic application state machine with typed commands.
+///
+/// Determinism is the core contract: identical command sequences must
+/// produce identical states, identical responses, and identical
+/// snapshots on every replica.
+pub trait StateMachine: Sized {
+    /// The typed operation clients submit.
+    type Command;
+
+    /// The typed outcome of applying one command (returned to the
+    /// submitting client by the `Service` layer).
+    type Response;
+
+    /// How commands are (de)serialized to the agreed wire bytes.
+    type Codec: Codec<Item = Self::Command>;
 
     /// Apply one command, in agreement order. `origin` is the server
     /// whose round message carried the command.
-    fn apply(&mut self, origin: ServerId, command: &[u8]) -> Self::Output;
+    fn apply(&mut self, origin: ServerId, command: Self::Command) -> Self::Response;
+
+    /// Serialize the full state, so a joining or reconfigured server
+    /// can catch up without replaying history.
+    fn snapshot(&self) -> Bytes;
+
+    /// Rebuild the state from a snapshot produced by [`Self::snapshot`].
+    fn restore(snapshot: &[u8]) -> Result<Self, DecodeError>;
 }
 
 /// A replica: a state machine plus round-application bookkeeping.
 #[derive(Debug, Clone)]
-pub struct Replica<S> {
+pub struct Replica<S: StateMachine> {
     state: S,
+    codec: S::Codec,
     applied_rounds: u64,
     applied_commands: u64,
     last_round: Option<Round>,
@@ -44,7 +154,22 @@ pub struct Replica<S> {
 impl<S: StateMachine> Replica<S> {
     /// Wrap an initial state.
     pub fn new(state: S) -> Self {
-        Replica { state, applied_rounds: 0, applied_commands: 0, last_round: None }
+        Replica {
+            state,
+            codec: S::Codec::default(),
+            applied_rounds: 0,
+            applied_commands: 0,
+            last_round: None,
+        }
+    }
+
+    /// Rebuild a replica from a peer's snapshot — the §3 catch-up path
+    /// for joining or reconfigured servers. Round tracking resets: the
+    /// restored replica accepts whatever round its new configuration
+    /// starts at (rounds restart from zero after a reconfiguration).
+    pub fn from_snapshot(snapshot: &[u8]) -> Result<Self, RsmError> {
+        let state = S::restore(snapshot).map_err(RsmError::BadSnapshot)?;
+        Ok(Replica::new(state))
     }
 
     /// Apply one delivered round: `messages` exactly as produced by the
@@ -52,51 +177,75 @@ impl<S: StateMachine> Replica<S> {
     /// batch of commands if `decode_batch`-framed, or a single raw
     /// command otherwise — the caller picks via `batched`.
     ///
-    /// Rounds must be applied in order; gaps panic (a gap would mean the
-    /// transport dropped an agreed round, which breaks the RSM contract).
+    /// Returns the typed responses tagged with the origin that carried
+    /// each command, in agreement order.
+    ///
+    /// Rounds must be applied in order; a gap yields
+    /// [`RsmError::RoundGap`] (a gap means the transport dropped an
+    /// agreed round). The round is decoded *in full* before any command
+    /// is applied, so on any error the state is untouched.
     pub fn apply_round(
         &mut self,
         round: Round,
         messages: &[(ServerId, Bytes)],
         batched: bool,
-    ) -> Vec<S::Output> {
+    ) -> Result<Vec<(ServerId, S::Response)>, RsmError> {
         if let Some(last) = self.last_round {
-            assert_eq!(round, last + 1, "round gap: {last} → {round}");
+            if round != last + 1 {
+                return Err(RsmError::RoundGap { expected: last + 1, got: round });
+            }
         }
-        self.last_round = Some(round);
-        self.applied_rounds += 1;
-        let mut outputs = Vec::new();
+        // Decode phase: reject the whole round before mutating anything.
+        let mut commands: Vec<(ServerId, S::Command)> = Vec::new();
         for (origin, payload) in messages {
             if payload.is_empty() {
                 continue; // empty round message: nothing to apply
             }
             if batched {
-                let commands = crate::batch::decode_batch(payload.clone())
-                    .expect("agreed payloads are well-formed batches");
-                for cmd in commands {
-                    outputs.push(self.state.apply(*origin, &cmd));
-                    self.applied_commands += 1;
+                let requests = crate::batch::decode_batch(payload.clone())
+                    .map_err(|_| RsmError::BadBatch { origin: *origin, round })?;
+                for req in requests {
+                    let cmd = self.codec.decode(&req).map_err(|reason| RsmError::Decode {
+                        origin: *origin,
+                        round,
+                        reason,
+                    })?;
+                    commands.push((*origin, cmd));
                 }
             } else {
-                outputs.push(self.state.apply(*origin, payload));
-                self.applied_commands += 1;
+                let cmd = self.codec.decode(payload).map_err(|reason| RsmError::Decode {
+                    origin: *origin,
+                    round,
+                    reason,
+                })?;
+                commands.push((*origin, cmd));
             }
         }
-        outputs
+        // Apply phase: infallible.
+        self.last_round = Some(round);
+        self.applied_rounds += 1;
+        let mut outputs = Vec::with_capacity(commands.len());
+        for (origin, cmd) in commands {
+            let response = self.state.apply(origin, cmd);
+            self.applied_commands += 1;
+            outputs.push((origin, response));
+        }
+        Ok(outputs)
     }
 
-    /// Local read (≤ one round stale).
+    /// Local read (≤ one round stale) — no coordination.
     pub fn query(&self) -> &S {
         &self.state
     }
 
-    /// Strongly consistent read: the caller must route `query_command`
-    /// through A-broadcast like any write and call this from the
-    /// delivery path — provided here as a named alias to make call sites
-    /// self-documenting.
-    pub fn query_serialized(&mut self, origin: ServerId, query_command: &[u8]) -> S::Output {
-        self.applied_commands += 1;
-        self.state.apply(origin, query_command)
+    /// Serialize the wrapped state (see [`StateMachine::snapshot`]).
+    pub fn snapshot(&self) -> Bytes {
+        self.state.snapshot()
+    }
+
+    /// The codec instance used for this replica's commands.
+    pub fn codec(&self) -> &S::Codec {
+        &self.codec
     }
 
     /// Rounds applied so far.
@@ -117,57 +266,98 @@ impl<S: StateMachine> Replica<S> {
 
 /// A ready-made key-value state machine, used by the examples and tests
 /// (and handy as a ZooKeeper-style demo service).
-///
-/// Commands (first byte is the opcode):
-/// * `P key_len:u16 key value` — put;
-/// * `D key_len:u16 key` — delete;
-/// * `G key_len:u16 key` — get (serialized read).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KvStore {
     map: BTreeMap<Vec<u8>, Vec<u8>>,
 }
 
-/// Outcome of a [`KvStore`] command.
+/// A typed [`KvStore`] operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum KvOutput {
+pub enum KvCommand {
+    /// Set `key` to `value`.
+    Put {
+        /// The key to set.
+        key: Vec<u8>,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key to remove.
+        key: Vec<u8>,
+    },
+    /// Read `key` at the agreed point — a linearizable get (the read
+    /// rides atomic broadcast like any write).
+    Get {
+        /// The key to read.
+        key: Vec<u8>,
+    },
+}
+
+/// The typed outcome of a [`KvCommand`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
     /// Put/delete applied.
     Ack,
-    /// Get result.
+    /// Get result at the agreed point.
     Value(Option<Vec<u8>>),
-    /// Command could not be parsed (applied as no-op — all replicas
-    /// reject identically, preserving determinism).
-    Malformed,
+}
+
+/// Wire codec for [`KvCommand`]: opcode byte (`P`/`D`/`G`), little-
+/// endian `u16` key length, key, then (for puts) the value.
+///
+/// Keys are limited to `u16::MAX` bytes by the length prefix; `encode`
+/// panics on oversized keys rather than silently truncating the prefix
+/// (which would make every replica store under the wrong key).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KvCodec;
+
+impl Codec for KvCodec {
+    type Item = KvCommand;
+
+    fn encode(&self, cmd: &KvCommand) -> Bytes {
+        let (op, key, value): (u8, &[u8], &[u8]) = match cmd {
+            KvCommand::Put { key, value } => (b'P', key, value),
+            KvCommand::Delete { key } => (b'D', key, &[]),
+            KvCommand::Get { key } => (b'G', key, &[]),
+        };
+        assert!(
+            key.len() <= u16::MAX as usize,
+            "KvCommand key of {} bytes exceeds the u16 length prefix",
+            key.len()
+        );
+        let mut buf = BytesMut::with_capacity(3 + key.len() + value.len());
+        buf.put_u8(op);
+        buf.put_u16_le(key.len() as u16);
+        buf.put_slice(key);
+        buf.put_slice(value);
+        buf.freeze()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<KvCommand, DecodeError> {
+        let Some((&op, rest)) = bytes.split_first() else {
+            return Err(DecodeError("empty command"));
+        };
+        if rest.len() < 2 {
+            return Err(DecodeError("missing key length"));
+        }
+        let key_len = u16::from_le_bytes([rest[0], rest[1]]) as usize;
+        let rest = &rest[2..];
+        if rest.len() < key_len {
+            return Err(DecodeError("key shorter than its length prefix"));
+        }
+        let (key, value) = rest.split_at(key_len);
+        match op {
+            b'P' => Ok(KvCommand::Put { key: key.to_vec(), value: value.to_vec() }),
+            b'D' if value.is_empty() => Ok(KvCommand::Delete { key: key.to_vec() }),
+            b'G' if value.is_empty() => Ok(KvCommand::Get { key: key.to_vec() }),
+            b'D' | b'G' => Err(DecodeError("trailing bytes after key")),
+            _ => Err(DecodeError("unknown opcode")),
+        }
+    }
 }
 
 impl KvStore {
-    /// Encode a put command.
-    pub fn put_command(key: &[u8], value: &[u8]) -> Bytes {
-        let mut buf = Vec::with_capacity(3 + key.len() + value.len());
-        buf.push(b'P');
-        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        buf.extend_from_slice(key);
-        buf.extend_from_slice(value);
-        Bytes::from(buf)
-    }
-
-    /// Encode a delete command.
-    pub fn delete_command(key: &[u8]) -> Bytes {
-        let mut buf = Vec::with_capacity(3 + key.len());
-        buf.push(b'D');
-        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        buf.extend_from_slice(key);
-        Bytes::from(buf)
-    }
-
-    /// Encode a serialized-get command.
-    pub fn get_command(key: &[u8]) -> Bytes {
-        let mut buf = Vec::with_capacity(3 + key.len());
-        buf.push(b'G');
-        buf.extend_from_slice(&(key.len() as u16).to_le_bytes());
-        buf.extend_from_slice(key);
-        Bytes::from(buf)
-    }
-
     /// Local (possibly one-round-stale) read.
     pub fn get_local(&self, key: &[u8]) -> Option<&[u8]> {
         self.map.get(key).map(Vec::as_slice)
@@ -185,33 +375,65 @@ impl KvStore {
 }
 
 impl StateMachine for KvStore {
-    type Output = KvOutput;
+    type Command = KvCommand;
+    type Response = KvResponse;
+    type Codec = KvCodec;
 
-    fn apply(&mut self, _origin: ServerId, command: &[u8]) -> KvOutput {
-        let Some((&op, rest)) = command.split_first() else {
-            return KvOutput::Malformed;
-        };
-        if rest.len() < 2 {
-            return KvOutput::Malformed;
-        }
-        let key_len = u16::from_le_bytes([rest[0], rest[1]]) as usize;
-        let rest = &rest[2..];
-        if rest.len() < key_len {
-            return KvOutput::Malformed;
-        }
-        let (key, value) = rest.split_at(key_len);
-        match op {
-            b'P' => {
-                self.map.insert(key.to_vec(), value.to_vec());
-                KvOutput::Ack
+    fn apply(&mut self, _origin: ServerId, command: KvCommand) -> KvResponse {
+        match command {
+            KvCommand::Put { key, value } => {
+                self.map.insert(key, value);
+                KvResponse::Ack
             }
-            b'D' => {
-                self.map.remove(key);
-                KvOutput::Ack
+            KvCommand::Delete { key } => {
+                self.map.remove(&key);
+                KvResponse::Ack
             }
-            b'G' => KvOutput::Value(self.map.get(key).cloned()),
-            _ => KvOutput::Malformed,
+            KvCommand::Get { key } => KvResponse::Value(self.map.get(&key).cloned()),
         }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.map.len() as u32);
+        for (key, value) in &self.map {
+            buf.put_u32_le(key.len() as u32);
+            buf.put_slice(key);
+            buf.put_u32_le(value.len() as u32);
+            buf.put_slice(value);
+        }
+        buf.freeze()
+    }
+
+    fn restore(snapshot: &[u8]) -> Result<Self, DecodeError> {
+        fn read_chunk<'a>(buf: &mut &'a [u8], what: &'static str) -> Result<&'a [u8], DecodeError> {
+            if buf.len() < 4 {
+                return Err(DecodeError(what));
+            }
+            let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            if buf.len() - 4 < len {
+                return Err(DecodeError(what));
+            }
+            let (chunk, rest) = buf[4..].split_at(len);
+            *buf = rest;
+            Ok(chunk)
+        }
+        let mut buf = snapshot;
+        if buf.len() < 4 {
+            return Err(DecodeError("snapshot missing entry count"));
+        }
+        let count = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        buf = &buf[4..];
+        let mut map = BTreeMap::new();
+        for _ in 0..count {
+            let key = read_chunk(&mut buf, "snapshot key truncated")?;
+            let value = read_chunk(&mut buf, "snapshot value truncated")?;
+            map.insert(key.to_vec(), value.to_vec());
+        }
+        if !buf.is_empty() {
+            return Err(DecodeError("snapshot has trailing bytes"));
+        }
+        Ok(KvStore { map })
     }
 }
 
@@ -219,49 +441,64 @@ impl StateMachine for KvStore {
 mod tests {
     use super::*;
 
-    fn round_msgs(cmds: &[(ServerId, Bytes)]) -> Vec<(ServerId, Bytes)> {
-        cmds.to_vec()
+    fn put(key: &[u8], value: &[u8]) -> KvCommand {
+        KvCommand::Put { key: key.to_vec(), value: value.to_vec() }
+    }
+
+    fn encoded(cmd: &KvCommand) -> Bytes {
+        KvCodec.encode(cmd)
     }
 
     #[test]
     fn kv_basic_operations() {
         let mut kv = KvStore::default();
-        assert_eq!(kv.apply(0, &KvStore::put_command(b"k", b"v1")), KvOutput::Ack);
+        assert_eq!(kv.apply(0, put(b"k", b"v1")), KvResponse::Ack);
         assert_eq!(kv.get_local(b"k"), Some(&b"v1"[..]));
-        assert_eq!(kv.apply(1, &KvStore::get_command(b"k")), KvOutput::Value(Some(b"v1".to_vec())));
-        assert_eq!(kv.apply(0, &KvStore::delete_command(b"k")), KvOutput::Ack);
-        assert_eq!(kv.apply(1, &KvStore::get_command(b"k")), KvOutput::Value(None));
+        assert_eq!(
+            kv.apply(1, KvCommand::Get { key: b"k".to_vec() }),
+            KvResponse::Value(Some(b"v1".to_vec()))
+        );
+        assert_eq!(kv.apply(0, KvCommand::Delete { key: b"k".to_vec() }), KvResponse::Ack);
+        assert_eq!(kv.apply(1, KvCommand::Get { key: b"k".to_vec() }), KvResponse::Value(None));
         assert!(kv.is_empty());
     }
 
     #[test]
-    fn kv_malformed_commands_are_deterministic_noops() {
-        let mut a = KvStore::default();
-        let mut b = KvStore::default();
-        for cmd in [&b""[..], b"P", b"P\xff\xff", b"Z\x01\x00k", b"P\x05\x00ab"] {
-            assert_eq!(a.apply(0, cmd), KvOutput::Malformed);
-            assert_eq!(b.apply(0, cmd), KvOutput::Malformed);
+    fn kv_codec_round_trips() {
+        for cmd in [
+            put(b"key", b"value"),
+            put(b"", b""),
+            KvCommand::Delete { key: b"k".to_vec() },
+            KvCommand::Get { key: vec![0xff; 300] },
+        ] {
+            assert_eq!(KvCodec.decode(&KvCodec.encode(&cmd)).unwrap(), cmd);
         }
-        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kv_codec_rejects_garbage_deterministically() {
+        for bad in [&b""[..], b"P", b"P\xff\xff", b"Z\x01\x00k", b"P\x05\x00ab"] {
+            let first = KvCodec.decode(bad);
+            assert!(first.is_err(), "{bad:?} should not decode");
+            assert_eq!(first, KvCodec.decode(bad), "decode must be deterministic");
+        }
     }
 
     #[test]
     fn replicas_converge_on_same_rounds() {
         let rounds: Vec<Vec<(ServerId, Bytes)>> = vec![
-            round_msgs(&[
-                (0, KvStore::put_command(b"x", b"1")),
-                (1, KvStore::put_command(b"y", b"2")),
-            ]),
-            round_msgs(&[(0, KvStore::put_command(b"x", b"3")), (1, Bytes::new())]),
-            round_msgs(&[(0, Bytes::new()), (1, KvStore::delete_command(b"y"))]),
+            vec![(0, encoded(&put(b"x", b"1"))), (1, encoded(&put(b"y", b"2")))],
+            vec![(0, encoded(&put(b"x", b"3"))), (1, Bytes::new())],
+            vec![(0, Bytes::new()), (1, encoded(&KvCommand::Delete { key: b"y".to_vec() }))],
         ];
         let mut r1 = Replica::new(KvStore::default());
         let mut r2 = Replica::new(KvStore::default());
         for (i, msgs) in rounds.iter().enumerate() {
-            r1.apply_round(i as Round, msgs, false);
-            r2.apply_round(i as Round, msgs, false);
+            r1.apply_round(i as Round, msgs, false).unwrap();
+            r2.apply_round(i as Round, msgs, false).unwrap();
         }
         assert_eq!(r1.query(), r2.query());
+        assert_eq!(r1.snapshot(), r2.snapshot());
         assert_eq!(r1.query().get_local(b"x"), Some(&b"3"[..]));
         assert_eq!(r1.query().get_local(b"y"), None);
         assert_eq!(r1.applied_rounds(), 3);
@@ -269,35 +506,61 @@ mod tests {
     }
 
     #[test]
-    fn order_matters_and_is_enforced_by_agreement() {
-        // Same commands, different order → different state. This is
-        // exactly why total order is needed.
-        let put_a = KvStore::put_command(b"k", b"a");
-        let put_b = KvStore::put_command(b"k", b"b");
-        let mut r1 = Replica::new(KvStore::default());
-        r1.apply_round(0, &[(0, put_a.clone()), (1, put_b.clone())], false);
-        let mut r2 = Replica::new(KvStore::default());
-        r2.apply_round(0, &[(0, put_b), (1, put_a)], false);
-        assert_ne!(r1.query(), r2.query(), "order must matter for this test to mean anything");
+    fn responses_carry_origins_in_agreement_order() {
+        let mut r = Replica::new(KvStore::default());
+        let outputs = r
+            .apply_round(
+                0,
+                &[
+                    (2, encoded(&put(b"a", b"1"))),
+                    (5, encoded(&KvCommand::Get { key: b"a".to_vec() })),
+                ],
+                false,
+            )
+            .unwrap();
+        assert_eq!(
+            outputs,
+            vec![(2, KvResponse::Ack), (5, KvResponse::Value(Some(b"1".to_vec())))]
+        );
     }
 
     #[test]
-    #[should_panic(expected = "round gap")]
-    fn round_gaps_rejected() {
+    fn round_gap_is_a_typed_error_not_a_panic() {
         let mut r = Replica::new(KvStore::default());
-        r.apply_round(0, &[], false);
-        r.apply_round(2, &[], false);
+        r.apply_round(0, &[], false).unwrap();
+        let err = r.apply_round(2, &[], false).unwrap_err();
+        assert_eq!(err, RsmError::RoundGap { expected: 1, got: 2 });
+        // The failed call left the replica untouched: round 1 still fits.
+        r.apply_round(1, &[], false).unwrap();
+        assert_eq!(r.last_round(), Some(1));
+    }
+
+    #[test]
+    fn bad_payload_rejects_whole_round_before_any_apply() {
+        let mut r = Replica::new(KvStore::default());
+        let err = r
+            .apply_round(
+                0,
+                &[(0, encoded(&put(b"k", b"v"))), (1, Bytes::from_static(b"Z\x01\x00k"))],
+                false,
+            )
+            .unwrap_err();
+        assert!(matches!(err, RsmError::Decode { origin: 1, round: 0, .. }), "{err:?}");
+        // Atomicity: server 0's valid put must NOT have been applied.
+        assert!(r.query().is_empty());
+        assert_eq!(r.last_round(), None);
+        assert_eq!(r.applied_commands(), 0);
     }
 
     #[test]
     fn batched_rounds_unpack() {
         let mut batcher = crate::batch::Batcher::new();
-        batcher.push(KvStore::put_command(b"a", b"1"));
-        batcher.push(KvStore::put_command(b"b", b"2"));
+        batcher.push(encoded(&put(b"a", b"1")));
+        batcher.push(encoded(&put(b"b", b"2")));
         let payload = batcher.take_batch();
         let mut r = Replica::new(KvStore::default());
-        let outputs = r.apply_round(0, &[(0, payload)], true);
-        assert_eq!(outputs, vec![KvOutput::Ack, KvOutput::Ack]);
+        let outputs = r.apply_round(0, &[(0, payload)], true).unwrap();
+        assert_eq!(outputs, vec![(0, KvResponse::Ack), (0, KvResponse::Ack)]);
         assert_eq!(r.query().len(), 2);
         assert_eq!(r.applied_commands(), 2);
     }
@@ -305,9 +568,24 @@ mod tests {
     #[test]
     fn empty_messages_skipped() {
         let mut r = Replica::new(KvStore::default());
-        let outputs = r.apply_round(0, &[(0, Bytes::new()), (1, Bytes::new())], true);
+        let outputs = r.apply_round(0, &[(0, Bytes::new()), (1, Bytes::new())], true).unwrap();
         assert!(outputs.is_empty());
         assert_eq!(r.applied_commands(), 0);
         assert_eq!(r.last_round(), Some(0));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut r = Replica::new(KvStore::default());
+        r.apply_round(0, &[(0, encoded(&put(b"a", b"1"))), (1, encoded(&put(b"b", b"22")))], false)
+            .unwrap();
+        let snap = r.snapshot();
+        let restored: Replica<KvStore> = Replica::from_snapshot(&snap).unwrap();
+        assert_eq!(restored.query(), r.query());
+        // Round tracking reset: the restored replica joins a fresh epoch.
+        assert_eq!(restored.last_round(), None);
+        // Garbage snapshots are rejected, not mis-restored.
+        assert!(Replica::<KvStore>::from_snapshot(&snap[..snap.len() - 1]).is_err());
+        assert!(Replica::<KvStore>::from_snapshot(b"\xff\xff\xff\xff").is_err());
     }
 }

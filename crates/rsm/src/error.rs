@@ -1,0 +1,105 @@
+//! The error surface of the typed [`crate::Service`] layer.
+//!
+//! Two layers compose here: [`RsmError`] (from `allconcur-core`) covers
+//! everything that can go wrong *applying* agreed rounds — round gaps,
+//! undecodable agreed payloads, bad snapshots — while [`ServiceError`]
+//! adds what can go wrong *getting* a command agreed in the first place:
+//! transport failures, crashed origins, reconfigurations that moved on
+//! without an outstanding command.
+
+use allconcur_cluster::ClusterError;
+use allconcur_core::replica::RsmError;
+use allconcur_core::ServerId;
+use std::time::Duration;
+
+/// Everything that can go wrong driving a replicated state machine
+/// through [`crate::Service`].
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Applying an agreed round failed (round gap, undecodable agreed
+    /// payload, bad snapshot) — see [`RsmError`].
+    Rsm(RsmError),
+    /// The underlying transport failed — see [`ClusterError`].
+    Cluster(ClusterError),
+    /// The command was submitted through a server that is down, so it
+    /// can never be carried in a round. Resubmit through a live server.
+    OriginDown(ServerId),
+    /// The origin crashed after the command was handed to the transport:
+    /// its round was agreed *without* the origin's message (early
+    /// termination excluded it), so the command was never applied.
+    CommandLost {
+        /// The crashed origin.
+        origin: ServerId,
+        /// The per-origin command sequence number that was lost.
+        seq: u64,
+    },
+    /// The command was still outstanding when the deployment
+    /// reconfigured; rounds restarted on the new configuration without
+    /// it. Resubmit on the new configuration.
+    Reconfigured,
+    /// The response did not arrive within the waiting budget.
+    Timeout {
+        /// The budget that elapsed.
+        waited: Duration,
+    },
+}
+
+/// How an unresolved command failed — the lightweight, copyable record
+/// kept per `(origin, seq)` until the client collects it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FailReason {
+    OriginDown(ServerId),
+    CommandLost { origin: ServerId, seq: u64 },
+    Reconfigured,
+}
+
+impl From<FailReason> for ServiceError {
+    fn from(reason: FailReason) -> Self {
+        match reason {
+            FailReason::OriginDown(id) => ServiceError::OriginDown(id),
+            FailReason::CommandLost { origin, seq } => ServiceError::CommandLost { origin, seq },
+            FailReason::Reconfigured => ServiceError::Reconfigured,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rsm(e) => write!(f, "state machine error: {e}"),
+            ServiceError::Cluster(e) => write!(f, "cluster error: {e}"),
+            ServiceError::OriginDown(id) => {
+                write!(f, "server {id} is down; command not submitted")
+            }
+            ServiceError::CommandLost { origin, seq } => {
+                write!(f, "command {seq} via server {origin} lost to its crash")
+            }
+            ServiceError::Reconfigured => {
+                write!(f, "command outstanding across a reconfiguration")
+            }
+            ServiceError::Timeout { waited } => write!(f, "no response within {waited:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Rsm(e) => Some(e),
+            ServiceError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RsmError> for ServiceError {
+    fn from(e: RsmError) -> Self {
+        ServiceError::Rsm(e)
+    }
+}
+
+impl From<ClusterError> for ServiceError {
+    fn from(e: ClusterError) -> Self {
+        ServiceError::Cluster(e)
+    }
+}

@@ -1,0 +1,532 @@
+//! [`Service`] — the typed replicated-state-machine engine.
+//!
+//! A `Service<S>` owns a [`Cluster`] (the whole deployment, simulated
+//! or TCP) plus one [`Replica<S>`] per server, and pumps deliveries
+//! internally: clients submit *typed* commands and get typed responses
+//! back, never touching payload bytes, batches, or `Delivery` values.
+//!
+//! ```text
+//!   submit(origin, cmd) ──► per-origin queue ──► batch ──► A-broadcast
+//!                                                              │
+//!        CommandHandle ◄── (origin, seq) ◄──────── agreed round │
+//!              │                                                ▼
+//!        wait(handle) ◄── typed response ◄── Replica::apply_round
+//! ```
+//!
+//! Correlation is by **origin + per-origin sequence**: commands
+//! submitted through one server are carried in rounds in submission
+//! order (the transports preserve per-origin order, and batches unpack
+//! in push order), so the `k`-th command applied from `origin` is the
+//! one with sequence `k` — batching-aware, no request ids on the wire.
+
+use crate::error::{FailReason, ServiceError};
+use allconcur_cluster::{Cluster, ClusterError};
+use allconcur_core::batch::Batcher;
+use allconcur_core::delivery::Delivery;
+use allconcur_core::replica::{Codec, Replica, StateMachine};
+use allconcur_core::{Round, ServerId};
+use allconcur_graph::Digraph;
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// `Instant::now() + timeout` that survives `Duration::MAX`.
+fn saturating_deadline(timeout: Duration) -> Instant {
+    let now = Instant::now();
+    now.checked_add(timeout).unwrap_or_else(|| now + Duration::from_secs(60 * 60 * 24 * 365))
+}
+
+/// Receipt for one [`Service::submit`] call, resolving to the typed
+/// response of *this* command once its round delivers.
+///
+/// Redeem it with [`Service::wait`] (blocking) or
+/// [`Service::try_response`] (non-blocking). The phantom type parameter
+/// carries the response type, so redeeming a handle against a service
+/// of a different state machine is a compile error.
+pub struct CommandHandle<R> {
+    origin: ServerId,
+    seq: u64,
+    _resp: PhantomData<fn() -> R>,
+}
+
+impl<R> CommandHandle<R> {
+    /// The server the command was submitted through.
+    pub fn origin(&self) -> ServerId {
+        self.origin
+    }
+
+    /// Per-origin command sequence number (submission order through
+    /// [`CommandHandle::origin`]).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl<R> Clone for CommandHandle<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<R> Copy for CommandHandle<R> {}
+
+impl<R> std::fmt::Debug for CommandHandle<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommandHandle")
+            .field("origin", &self.origin)
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+/// A replicated state machine service: every server of the wrapped
+/// [`Cluster`] runs a [`Replica<S>`], commands go in typed, responses
+/// come out typed.
+///
+/// Reads come in two consistencies, matching §1's discussion:
+///
+/// * [`Service::query_local`] — read any server's replica directly; no
+///   coordination, stale by at most one round ("a server's view of the
+///   shared state cannot fall behind more than one round");
+/// * [`Service::query_linearizable`] — the query rides atomic broadcast
+///   as a command and is answered at the agreed point.
+pub struct Service<S: StateMachine> {
+    cluster: Cluster,
+    codec: S::Codec,
+    replicas: Vec<Replica<S>>,
+    /// Per-origin encoded-but-unflushed commands, in submission order.
+    queues: Vec<VecDeque<(u64, Bytes)>>,
+    /// Per-origin in-flight correlation: for each flushed round, the
+    /// sequence numbers packed into that origin's payload.
+    flights: Vec<VecDeque<(Round, Vec<u64>)>>,
+    /// Per-origin next command sequence number. Monotone across
+    /// reconfigurations so correlation keys never collide.
+    next_seq: Vec<u64>,
+    /// Rounds flushed (submitted to every live origin) this epoch.
+    flushed: u64,
+    /// Rounds whose responses were harvested (from the first replica to
+    /// apply them) this epoch.
+    harvested: u64,
+    /// How many rounds may be in flight before [`Service::submit`]ted
+    /// commands wait in the queue (≥ 1).
+    pipeline: u64,
+    responses: BTreeMap<(ServerId, u64), S::Response>,
+    failed: BTreeMap<(ServerId, u64), FailReason>,
+}
+
+impl<S: StateMachine> Service<S> {
+    /// Start a replicated `initial` state on `cluster`: every server's
+    /// replica is seeded from `initial.snapshot()` — the same hand-off a
+    /// joining server uses, so the snapshot path is exercised from round
+    /// zero.
+    pub fn new(cluster: Cluster, initial: &S) -> Result<Self, ServiceError> {
+        let n = cluster.n();
+        let snap = initial.snapshot();
+        let replicas =
+            (0..n).map(|_| Replica::from_snapshot(&snap)).collect::<Result<Vec<_>, _>>()?;
+        Ok(Service {
+            cluster,
+            codec: S::Codec::default(),
+            replicas,
+            queues: vec![VecDeque::new(); n],
+            flights: vec![VecDeque::new(); n],
+            next_seq: vec![0; n],
+            flushed: 0,
+            harvested: 0,
+            pipeline: 1,
+            responses: BTreeMap::new(),
+            failed: BTreeMap::new(),
+        })
+    }
+
+    /// Allow up to `depth` rounds in flight before further submissions
+    /// queue (default 1). Deeper pipelines trade per-command latency for
+    /// throughput — Fig. 8's rate/latency trade-off.
+    pub fn set_pipeline(&mut self, depth: usize) {
+        self.pipeline = depth.max(1) as u64;
+    }
+
+    /// Number of configured servers.
+    pub fn n(&self) -> usize {
+        self.cluster.n()
+    }
+
+    /// Backend name of the wrapped cluster (`"sim"` or `"tcp"`).
+    pub fn backend(&self) -> &'static str {
+        self.cluster.backend()
+    }
+
+    /// Servers currently live.
+    pub fn live_servers(&self) -> Vec<ServerId> {
+        self.cluster.live_servers()
+    }
+
+    /// The wrapped cluster, for instrumentation (e.g. the simulator's
+    /// clock and traffic counters).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the wrapped cluster. Driving rounds manually
+    /// while commands are in flight voids the correlation warranty.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Server `at`'s replica (bounded staleness: at most one round
+    /// behind the freshest agreed state, §1).
+    pub fn replica(&self, at: ServerId) -> Result<&Replica<S>, ServiceError> {
+        self.replicas.get(at as usize).ok_or(ServiceError::Cluster(ClusterError::UnknownServer(at)))
+    }
+
+    /// Local read of server `at`'s state — no coordination, stale by at
+    /// most one round. Drive the service ([`Service::pump`],
+    /// [`Service::sync`], [`Service::wait`]) to keep replicas current.
+    pub fn query_local(&self, at: ServerId) -> Result<&S, ServiceError> {
+        Ok(self.replica(at)?.query())
+    }
+
+    /// Submit a typed command through `origin`. The command is encoded,
+    /// queued, and packed with any other commands pending at `origin`
+    /// into its next round payload (§5's request batching). The handle
+    /// resolves with the command's typed response once its round
+    /// delivers.
+    pub fn submit(
+        &mut self,
+        origin: ServerId,
+        command: &S::Command,
+    ) -> Result<CommandHandle<S::Response>, ServiceError> {
+        if (origin as usize) >= self.cluster.n() {
+            return Err(ServiceError::Cluster(ClusterError::UnknownServer(origin)));
+        }
+        if !self.cluster.is_live(origin) {
+            return Err(ServiceError::OriginDown(origin));
+        }
+        let bytes = self.codec.encode(command);
+        let seq = self.next_seq[origin as usize];
+        self.next_seq[origin as usize] += 1;
+        self.queues[origin as usize].push_back((seq, bytes));
+        Ok(CommandHandle { origin, seq, _resp: PhantomData })
+    }
+
+    /// Submit and wait: the typed response once the command's round is
+    /// agreed and applied.
+    pub fn execute(
+        &mut self,
+        origin: ServerId,
+        command: &S::Command,
+        timeout: Duration,
+    ) -> Result<S::Response, ServiceError> {
+        let handle = self.submit(origin, command)?;
+        self.wait(&handle, timeout)
+    }
+
+    /// Linearizable read: the query rides atomic broadcast like any
+    /// write and is answered at the agreed point (§1's strongly
+    /// consistent read). Alias of [`Service::execute`] named for call
+    /// sites where the command is a pure read.
+    pub fn query_linearizable(
+        &mut self,
+        origin: ServerId,
+        query: &S::Command,
+        timeout: Duration,
+    ) -> Result<S::Response, ServiceError> {
+        self.execute(origin, query, timeout)
+    }
+
+    /// Block until `handle`'s command is agreed and applied, and return
+    /// its typed response. Each handle redeems once; waiting again (or
+    /// after [`Service::try_response`] returned the value) times out.
+    pub fn wait(
+        &mut self,
+        handle: &CommandHandle<S::Response>,
+        timeout: Duration,
+    ) -> Result<S::Response, ServiceError> {
+        let key = (handle.origin, handle.seq);
+        let deadline = saturating_deadline(timeout);
+        loop {
+            if let Some(response) = self.responses.remove(&key) {
+                return Ok(response);
+            }
+            if let Some(reason) = self.failed.remove(&key) {
+                return Err(reason.into());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServiceError::Timeout { waited: timeout });
+            }
+            if !self.pump(remaining)? {
+                // Nothing arrived in the whole window. If the origin is
+                // dead and the command never reached the transport, it
+                // can no longer make progress — report that. A command
+                // already *in flight* may still be carried (crash after
+                // propagation), so its outcome is genuinely unknown:
+                // report a timeout, not a resubmittable failure.
+                let in_flight = self.flights[handle.origin as usize]
+                    .iter()
+                    .any(|(_, seqs)| seqs.contains(&handle.seq));
+                if !self.cluster.is_live(handle.origin) && !in_flight {
+                    return Err(ServiceError::OriginDown(handle.origin));
+                }
+                return Err(ServiceError::Timeout { waited: timeout });
+            }
+        }
+    }
+
+    /// Non-blocking redeem: `Some(response)` if `handle`'s command has
+    /// already been applied. Deliveries the transport has ready are
+    /// drained first (without waiting), so a response that has already
+    /// been agreed is found even if nothing else pumps the service.
+    pub fn try_response(
+        &mut self,
+        handle: &CommandHandle<S::Response>,
+    ) -> Result<Option<S::Response>, ServiceError> {
+        self.fail_dead_queued();
+        self.flush_if_ready()?;
+        while let Some((at, delivery)) = self.cluster.try_next_delivery()? {
+            self.ingest(at, delivery)?;
+        }
+        let key = (handle.origin, handle.seq);
+        if let Some(reason) = self.failed.remove(&key) {
+            return Err(reason.into());
+        }
+        Ok(self.responses.remove(&key))
+    }
+
+    /// One engine step: flush queued commands into a round if the
+    /// pipeline window allows, then wait up to `timeout` for the next
+    /// delivery and apply it. Returns whether a delivery was applied.
+    pub fn pump(&mut self, timeout: Duration) -> Result<bool, ServiceError> {
+        self.fail_dead_queued();
+        self.flush_if_ready()?;
+        match self.cluster.next_delivery(timeout) {
+            Ok((at, delivery)) => {
+                self.ingest(at, delivery)?;
+                Ok(true)
+            }
+            Err(ClusterError::Timeout { .. }) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Drive until quiescent: every queued command flushed, every
+    /// in-flight round agreed, and every live replica caught up on all
+    /// flushed rounds. The barrier to call before comparing replicas or
+    /// reconfiguring.
+    pub fn sync(&mut self, timeout: Duration) -> Result<(), ServiceError> {
+        let deadline = saturating_deadline(timeout);
+        loop {
+            self.fail_dead_queued();
+            self.flush_if_ready()?;
+            if self.is_quiescent() {
+                return Ok(());
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServiceError::Timeout { waited: timeout });
+            }
+            if !self.pump(remaining)? && !self.is_quiescent() {
+                return Err(ServiceError::Timeout { waited: timeout });
+            }
+        }
+    }
+
+    /// Fail-stop `id` right now. Its queued-but-unflushed commands fail
+    /// with [`ServiceError::OriginDown`]; commands already handed to the
+    /// transport either ride their round (crash after propagation) or
+    /// fail with [`ServiceError::CommandLost`] (round agreed without
+    /// the origin's message).
+    pub fn crash(&mut self, id: ServerId) -> Result<(), ServiceError> {
+        self.cluster.crash(id)?;
+        self.fail_dead_queued();
+        Ok(())
+    }
+
+    /// Inject a (possibly false) suspicion at `at` against `suspected`.
+    pub fn suspect(&mut self, at: ServerId, suspected: ServerId) -> Result<(), ServiceError> {
+        self.cluster.suspect(at, suspected)?;
+        Ok(())
+    }
+
+    /// Move the deployment to a fresh overlay (§3's agreed
+    /// reconfiguration), carrying the replicated state across via
+    /// snapshot: outstanding work is settled ([`Service::sync`]), the
+    /// most advanced live replica is snapshotted, and every server of
+    /// the new configuration — surviving or joining — restores from
+    /// that snapshot, so joiners catch up without replaying history.
+    /// Rounds and correlation restart from zero on the new overlay.
+    pub fn reconfigure(&mut self, graph: Digraph, timeout: Duration) -> Result<(), ServiceError> {
+        self.sync(timeout)?;
+        let source = *self
+            .cluster
+            .live_servers()
+            .first()
+            .ok_or(ServiceError::Cluster(ClusterError::ShutDown))?;
+        let snap = self.replicas[source as usize].snapshot();
+        self.cluster.reconfigure(graph)?;
+        let n = self.cluster.n();
+        self.replicas =
+            (0..n).map(|_| Replica::from_snapshot(&snap)).collect::<Result<Vec<_>, _>>()?;
+        // Defensive: anything still unflushed or in flight (sync can
+        // only leave residue behind a dead origin) fails typed.
+        for origin in 0..self.queues.len() {
+            for (seq, _) in std::mem::take(&mut self.queues[origin]) {
+                self.failed.insert((origin as ServerId, seq), FailReason::Reconfigured);
+            }
+            for (_, seqs) in std::mem::take(&mut self.flights[origin]) {
+                for seq in seqs {
+                    self.failed.insert((origin as ServerId, seq), FailReason::Reconfigured);
+                }
+            }
+        }
+        self.queues = vec![VecDeque::new(); n];
+        self.flights = vec![VecDeque::new(); n];
+        // Sequence numbers restart above every previously issued number
+        // so old unclaimed correlation keys cannot collide with new ones
+        // — even for server ids that leave and later reappear across
+        // several reconfigurations.
+        let floor = self.next_seq.iter().copied().max().unwrap_or(0);
+        self.next_seq = vec![floor; n];
+        self.flushed = 0;
+        self.harvested = 0;
+        Ok(())
+    }
+
+    /// Snapshot of the most advanced live replica's state.
+    pub fn snapshot(&self) -> Result<Bytes, ServiceError> {
+        let best = self
+            .cluster
+            .live_servers()
+            .into_iter()
+            .max_by_key(|&id| self.replicas[id as usize].applied_rounds())
+            .ok_or(ServiceError::Cluster(ClusterError::ShutDown))?;
+        Ok(self.replicas[best as usize].snapshot())
+    }
+
+    /// Graceful shutdown of the deployment.
+    pub fn shutdown(self) -> Result<(), ServiceError> {
+        self.cluster.shutdown()?;
+        Ok(())
+    }
+
+    // ---- engine internals -------------------------------------------------
+
+    /// Commands queued behind a dead origin can never be carried; fail
+    /// them typed.
+    fn fail_dead_queued(&mut self) {
+        for origin in 0..self.queues.len() {
+            if !self.cluster.is_live(origin as ServerId) && !self.queues[origin].is_empty() {
+                for (seq, _) in std::mem::take(&mut self.queues[origin]) {
+                    self.failed.insert(
+                        (origin as ServerId, seq),
+                        FailReason::OriginDown(origin as ServerId),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Open the next round if any commands are queued and the pipeline
+    /// window allows: one payload per live origin (empty for origins
+    /// with nothing pending — every server participates in every round).
+    fn flush_if_ready(&mut self) -> Result<(), ServiceError> {
+        if self.flushed - self.harvested >= self.pipeline {
+            return Ok(());
+        }
+        let live = self.cluster.live_servers();
+        if !live.iter().any(|&id| !self.queues[id as usize].is_empty()) {
+            return Ok(());
+        }
+        let round = self.flushed;
+        // The round is now considered open no matter what happens below:
+        // a partial flush must never reuse this round number, or flight
+        // entries would duplicate and correlation would wedge forever.
+        self.flushed += 1;
+        let mut fatal: Option<ClusterError> = None;
+        for &id in &live {
+            let mut batcher = Batcher::new();
+            let mut seqs = Vec::new();
+            while let Some((seq, bytes)) = self.queues[id as usize].pop_front() {
+                batcher.push(bytes);
+                seqs.push(seq);
+            }
+            match self.cluster.submit(id, batcher.take_batch()) {
+                Ok(_handle) => self.flights[id as usize].push_back((round, seqs)),
+                // The origin died between live_servers() and submit: its
+                // commands can never be carried; the round proceeds with
+                // the remaining origins (early termination excludes it).
+                Err(ClusterError::ServerDown(_) | ClusterError::UnknownServer(_)) => {
+                    for seq in seqs {
+                        self.failed.insert((id, seq), FailReason::OriginDown(id));
+                    }
+                }
+                // Transport-level failure: keep the flight so round
+                // accounting stays consistent (if the round never
+                // delivers, the handles time out), and report it.
+                Err(e) => {
+                    self.flights[id as usize].push_back((round, seqs));
+                    fatal.get_or_insert(e);
+                }
+            }
+        }
+        match fatal {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+
+    /// Apply one delivery to its server's replica; if this is the first
+    /// replica to apply the round, harvest the typed responses and
+    /// resolve the round's in-flight correlation entries.
+    fn ingest(&mut self, at: ServerId, delivery: Delivery) -> Result<(), ServiceError> {
+        let round = delivery.round;
+        let outputs = self.replicas[at as usize].apply_round(round, &delivery.messages, true)?;
+        if round != self.harvested {
+            return Ok(()); // a later replica catching up on a harvested round
+        }
+        self.harvested += 1;
+        // Group this round's responses by origin, preserving order.
+        let mut by_origin: BTreeMap<ServerId, Vec<S::Response>> = BTreeMap::new();
+        for (origin, response) in outputs {
+            by_origin.entry(origin).or_default().push(response);
+        }
+        for origin in 0..self.flights.len() as ServerId {
+            let Some(&(flight_round, _)) = self.flights[origin as usize].front() else {
+                continue;
+            };
+            if flight_round != round {
+                continue;
+            }
+            let (_, seqs) = self.flights[origin as usize].pop_front().expect("front checked");
+            let responses = by_origin.remove(&origin).unwrap_or_default();
+            if responses.len() == seqs.len() {
+                for (seq, response) in seqs.into_iter().zip(responses) {
+                    self.responses.insert((origin, seq), response);
+                }
+            } else {
+                // The round was agreed without (or with a displaced
+                // version of) the origin's payload — only possible when
+                // the origin crashed mid-broadcast. Its commands of this
+                // round are lost.
+                for seq in seqs {
+                    self.failed.insert((origin, seq), FailReason::CommandLost { origin, seq });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether nothing is queued, in flight, or unapplied.
+    fn is_quiescent(&self) -> bool {
+        let queues_empty = self.queues.iter().all(VecDeque::is_empty);
+        let flights_empty = self.flights.iter().all(VecDeque::is_empty);
+        let expected_last = self.flushed.checked_sub(1);
+        let replicas_current = self
+            .cluster
+            .live_servers()
+            .into_iter()
+            .all(|id| self.replicas[id as usize].last_round() == expected_last);
+        queues_empty && flights_empty && replicas_current
+    }
+}

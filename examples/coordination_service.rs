@@ -1,79 +1,76 @@
 //! A ZooKeeper-style coordination service over real TCP sockets: a
 //! replicated key-value store where every server answers local reads and
 //! any server accepts writes — the §1 "coordination services" use case,
-//! assembled from the public API end to end.
+//! assembled from the typed `Service` API end to end: no payload bytes,
+//! no delivery pumping, no response correlation by hand.
 //!
 //! ```text
 //! cargo run --release --example coordination_service
 //! ```
+#![deny(deprecated)]
 
 use allconcur::prelude::*;
-use allconcur_core::batch::Batcher;
-use bytes::Bytes;
 use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(15);
+
+fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+    KvCommand::Put { key: key.into(), value: value.into() }
+}
 
 fn main() {
     const N: usize = 5;
     let overlay =
-        allconcur_core::membership::build_overlay(N, &ReliabilityModel::paper_default(), 6.0);
+        allconcur::core::membership::build_overlay(N, &ReliabilityModel::paper_default(), 6.0);
     println!("coordination service: {N} servers over TCP, overlay degree {}", overlay.degree());
-    let mut cluster = Cluster::tcp(overlay).expect("local cluster");
-    let mut replicas: Vec<Replica<KvStore>> =
-        (0..N).map(|_| Replica::new(KvStore::default())).collect();
+    let cluster = Cluster::tcp(overlay).expect("local cluster");
+    let mut kv = Service::new(cluster, &KvStore::default()).expect("service");
 
-    // Round 0: different servers register different services.
-    let mut round_payloads: Vec<Bytes> = Vec::new();
-    for s in 0..N {
-        let mut batch = Batcher::new();
-        batch.push(KvStore::put_command(
-            format!("/services/node-{s}").as_bytes(),
-            format!("127.0.0.1:90{s:02}").as_bytes(),
-        ));
-        if s == 0 {
-            batch.push(KvStore::put_command(b"/config/leader-free", b"true"));
-        }
-        round_payloads.push(batch.take_batch());
-    }
-    apply_round(&mut cluster, &mut replicas, &round_payloads, 0);
-
-    // Round 1: server 3 updates the config; others submit nothing.
-    let mut payloads: Vec<Bytes> = vec![Bytes::new(); N];
-    let mut batch = Batcher::new();
-    batch.push(KvStore::put_command(b"/config/epoch", b"2"));
-    batch.push(KvStore::delete_command(b"/services/node-1"));
-    payloads[3] = batch.take_batch();
-    apply_round(&mut cluster, &mut replicas, &payloads, 1);
-
-    // Every replica answers local reads identically (≤ 1 round stale).
-    for (s, r) in replicas.iter().enumerate() {
-        assert_eq!(r.query().get_local(b"/config/epoch"), Some(&b"2"[..]), "server {s}");
-        assert_eq!(r.query().get_local(b"/services/node-1"), None, "server {s}");
-        assert_eq!(
-            r.query().get_local(b"/services/node-4"),
-            Some(&b"127.0.0.1:9004"[..]),
-            "server {s}"
+    // Wave 1: different servers register different services; server 0
+    // also flips a config flag — both commands batch into its round
+    // payload automatically.
+    let mut registrations = Vec::new();
+    for s in 0..N as u32 {
+        registrations.push(
+            kv.submit(s, &put(format!("/services/node-{s}"), format!("127.0.0.1:90{s:02}")))
+                .expect("submit"),
         );
     }
+    let flag = kv.submit(0, &put("/config/leader-free", "true")).expect("submit");
+
+    // Wave 2: server 3 updates the config and deregisters node 1.
+    let epoch = kv.submit(3, &put("/config/epoch", "2")).expect("submit");
+    kv.submit(3, &KvCommand::Delete { key: b"/services/node-1".to_vec() }).expect("submit");
+
+    // Redeem the typed responses: each handle resolves with the outcome
+    // of exactly its command, in whatever round carried it.
+    for handle in &registrations {
+        assert_eq!(kv.wait(handle, TIMEOUT).expect("registration"), KvResponse::Ack);
+    }
+    assert_eq!(kv.wait(&flag, TIMEOUT).expect("flag"), KvResponse::Ack);
+    assert_eq!(kv.wait(&epoch, TIMEOUT).expect("epoch"), KvResponse::Ack);
+    kv.sync(TIMEOUT).expect("all replicas caught up");
+
+    // Every replica answers local reads identically (≤ 1 round stale).
+    for s in 0..N as u32 {
+        let state = kv.query_local(s).expect("replica");
+        assert_eq!(state.get_local(b"/config/epoch"), Some(&b"2"[..]), "server {s}");
+        assert_eq!(state.get_local(b"/services/node-1"), None, "server {s}");
+        assert_eq!(state.get_local(b"/services/node-4"), Some(&b"127.0.0.1:9004"[..]));
+    }
+
+    // A linearizable read through an arbitrary server: the query rides
+    // atomic broadcast and is answered at the agreed point.
+    let strong = kv
+        .query_linearizable(2, &KvCommand::Get { key: b"/config/leader-free".to_vec() }, TIMEOUT)
+        .expect("linearizable read");
+    assert_eq!(strong, KvResponse::Value(Some(b"true".to_vec())));
+
     println!(
-        "all {N} replicas identical after {} commands across 2 rounds ✓",
-        replicas[0].applied_commands()
+        "all {N} replicas identical after {} commands ✓",
+        kv.replica(0).expect("replica").applied_commands()
     );
     println!("local read from any server: /config/epoch = 2 (no coordination needed)");
-    cluster.shutdown().expect("clean shutdown");
-}
-
-fn apply_round(
-    cluster: &mut Cluster,
-    replicas: &mut [Replica<KvStore>],
-    payloads: &[Bytes],
-    round: u64,
-) {
-    let deliveries = cluster
-        .run_round(payloads, Duration::from_secs(15))
-        .unwrap_or_else(|e| panic!("round {round} failed: {e}"));
-    for (s, replica) in replicas.iter_mut().enumerate() {
-        let d = &deliveries[&(s as u32)];
-        assert_eq!(d.round, round);
-        replica.apply_round(round, &d.messages, true);
-    }
+    println!("linearizable read via server 2: /config/leader-free = true (rode a round)");
+    kv.shutdown().expect("clean shutdown");
 }

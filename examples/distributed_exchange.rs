@@ -1,5 +1,5 @@
 //! Distributed exchange (§1.1): a fair, geographically distributable
-//! order book.
+//! order book, on the typed `Service` API.
 //!
 //! ```text
 //! cargo run --release --example distributed_exchange
@@ -10,16 +10,21 @@
 //! *any* server with equal latency get equal treatment — no co-location
 //! arms race around a central exchange host. Orders from all servers are
 //! totally ordered by atomic broadcast and matched deterministically, so
-//! all books stay identical.
+//! all books stay identical — and each submitting client receives a
+//! typed execution report for exactly its order.
+#![deny(deprecated)]
 
 use allconcur::prelude::*;
 use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A 40-byte limit order (the paper's §1.1 client-request size).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Order {
     id: u64,
     price_cents: u32,
@@ -27,33 +32,50 @@ struct Order {
     is_buy: bool,
 }
 
-fn encode(orders: &[Order]) -> Bytes {
-    let mut b = BytesMut::with_capacity(orders.len() * 40);
-    for o in orders {
+/// What the submitting client learns about its own order, typed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExecutionReport {
+    /// Fills executed against resting orders.
+    trades: u32,
+    /// Quantity matched immediately.
+    filled: u32,
+    /// Quantity left resting on the book.
+    resting: u32,
+}
+
+/// 40-byte wire format: id, price, quantity, side, zero padding.
+#[derive(Debug, Clone, Copy, Default)]
+struct OrderCodec;
+
+impl Codec for OrderCodec {
+    type Item = Order;
+
+    fn encode(&self, o: &Order) -> Bytes {
+        let mut b = BytesMut::with_capacity(40);
         b.put_u64_le(o.id);
         b.put_u32_le(o.price_cents);
         b.put_u32_le(o.quantity);
         b.put_u8(u8::from(o.is_buy));
         b.put_bytes(0, 23); // pad to 40 bytes
+        b.freeze()
     }
-    b.freeze()
-}
 
-fn decode(payload: &[u8]) -> Vec<Order> {
-    payload
-        .chunks_exact(40)
-        .map(|c| Order {
+    fn decode(&self, c: &[u8]) -> Result<Order, DecodeError> {
+        if c.len() != 40 {
+            return Err(DecodeError("order must be exactly 40 bytes"));
+        }
+        Ok(Order {
             id: u64::from_le_bytes(c[0..8].try_into().expect("sized")),
             price_cents: u32::from_le_bytes(c[8..12].try_into().expect("sized")),
             quantity: u32::from_le_bytes(c[12..16].try_into().expect("sized")),
             is_buy: c[16] != 0,
         })
-        .collect()
+    }
 }
 
 /// A price-time-priority matching engine. Deterministic given the order
 /// stream, so identical on every server.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 struct OrderBook {
     bids: BTreeMap<u32, Vec<(u64, u32)>>, // price → [(order id, qty)]
     asks: BTreeMap<u32, Vec<(u64, u32)>>,
@@ -62,61 +84,118 @@ struct OrderBook {
 }
 
 impl OrderBook {
-    fn submit(&mut self, o: Order) {
-        let mut remaining = o.quantity;
-        if o.is_buy {
-            // Match against asks from the lowest price up.
-            while remaining > 0 {
-                let Some((&price, _)) = self.asks.iter().next() else { break };
-                if price > o.price_cents {
-                    break;
-                }
-                let queue = self.asks.get_mut(&price).expect("present");
-                while remaining > 0 && !queue.is_empty() {
-                    let (maker, qty) = &mut queue[0];
-                    let fill = remaining.min(*qty);
-                    remaining -= fill;
-                    *qty -= fill;
-                    self.trades += 1;
-                    self.volume += fill as u64;
-                    let _ = maker;
-                    if *qty == 0 {
-                        queue.remove(0);
-                    }
-                }
-                if queue.is_empty() {
-                    self.asks.remove(&price);
+    /// Match `remaining` against one side of the book; returns
+    /// (trades, filled) executed.
+    fn match_against(
+        book: &mut BTreeMap<u32, Vec<(u64, u32)>>,
+        remaining: &mut u32,
+        crosses: impl Fn(u32) -> bool,
+        best_is_max: bool,
+    ) -> (u32, u32) {
+        let mut trades = 0u32;
+        let mut filled = 0u32;
+        while *remaining > 0 {
+            let best = if best_is_max {
+                book.iter().next_back().map(|(&p, _)| p)
+            } else {
+                book.iter().next().map(|(&p, _)| p)
+            };
+            let Some(price) = best else { break };
+            if !crosses(price) {
+                break;
+            }
+            let queue = book.get_mut(&price).expect("present");
+            while *remaining > 0 && !queue.is_empty() {
+                let (_, qty) = &mut queue[0];
+                let fill = (*remaining).min(*qty);
+                *remaining -= fill;
+                *qty -= fill;
+                trades += 1;
+                filled += fill;
+                if *qty == 0 {
+                    queue.remove(0);
                 }
             }
-            if remaining > 0 {
-                self.bids.entry(o.price_cents).or_default().push((o.id, remaining));
-            }
-        } else {
-            while remaining > 0 {
-                let Some((&price, _)) = self.bids.iter().next_back() else { break };
-                if price < o.price_cents {
-                    break;
-                }
-                let queue = self.bids.get_mut(&price).expect("present");
-                while remaining > 0 && !queue.is_empty() {
-                    let (_, qty) = &mut queue[0];
-                    let fill = remaining.min(*qty);
-                    remaining -= fill;
-                    *qty -= fill;
-                    self.trades += 1;
-                    self.volume += fill as u64;
-                    if *qty == 0 {
-                        queue.remove(0);
-                    }
-                }
-                if queue.is_empty() {
-                    self.bids.remove(&price);
-                }
-            }
-            if remaining > 0 {
-                self.asks.entry(o.price_cents).or_default().push((o.id, remaining));
+            if queue.is_empty() {
+                book.remove(&price);
             }
         }
+        (trades, filled)
+    }
+}
+
+impl StateMachine for OrderBook {
+    type Command = Order;
+    type Response = ExecutionReport;
+    type Codec = OrderCodec;
+
+    fn apply(&mut self, _origin: ServerId, o: Order) -> ExecutionReport {
+        let mut remaining = o.quantity;
+        let (trades, filled) = if o.is_buy {
+            Self::match_against(&mut self.asks, &mut remaining, |p| p <= o.price_cents, false)
+        } else {
+            Self::match_against(&mut self.bids, &mut remaining, |p| p >= o.price_cents, true)
+        };
+        self.trades += trades as u64;
+        self.volume += filled as u64;
+        if remaining > 0 {
+            let side = if o.is_buy { &mut self.bids } else { &mut self.asks };
+            side.entry(o.price_cents).or_default().push((o.id, remaining));
+        }
+        ExecutionReport { trades, filled, resting: remaining }
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        for side in [&self.bids, &self.asks] {
+            buf.put_u32_le(side.len() as u32);
+            for (&price, queue) in side {
+                buf.put_u32_le(price);
+                buf.put_u32_le(queue.len() as u32);
+                for &(id, qty) in queue {
+                    buf.put_u64_le(id);
+                    buf.put_u32_le(qty);
+                }
+            }
+        }
+        buf.put_u64_le(self.trades);
+        buf.put_u64_le(self.volume);
+        buf.freeze()
+    }
+
+    fn restore(snapshot: &[u8]) -> Result<Self, DecodeError> {
+        let err = DecodeError("order book snapshot truncated");
+        let mut at = 0usize;
+        let read_u32 = |at: &mut usize| -> Result<u32, DecodeError> {
+            let Some(c) = snapshot.get(*at..*at + 4) else { return Err(err) };
+            *at += 4;
+            Ok(u32::from_le_bytes(c.try_into().expect("sized")))
+        };
+        let read_side = |at: &mut usize| -> Result<BTreeMap<u32, Vec<(u64, u32)>>, DecodeError> {
+            let mut side = BTreeMap::new();
+            for _ in 0..read_u32(at)? {
+                let price = read_u32(at)?;
+                let depth = read_u32(at)?;
+                let mut queue = Vec::with_capacity(depth as usize);
+                for _ in 0..depth {
+                    let Some(c) = snapshot.get(*at..*at + 8) else { return Err(err) };
+                    let id = u64::from_le_bytes(c.try_into().expect("sized"));
+                    *at += 8;
+                    queue.push((id, read_u32(at)?));
+                }
+                side.insert(price, queue);
+            }
+            Ok(side)
+        };
+        let bids = read_side(&mut at)?;
+        let asks = read_side(&mut at)?;
+        let Some(c) = snapshot.get(at..at + 16) else { return Err(err) };
+        Ok(OrderBook {
+            bids,
+            asks,
+            trades: u64::from_le_bytes(c[0..8].try_into().expect("sized")),
+            volume: u64::from_le_bytes(c[8..16].try_into().expect("sized")),
+        })
     }
 }
 
@@ -124,48 +203,48 @@ fn main() {
     const N: usize = 8;
     const ROUNDS: usize = 25;
     let overlay = gs_digraph(N, 3).expect("GS(8,3)");
-    let mut cluster = SimCluster::builder(overlay).network(NetworkModel::tcp_cluster()).build();
-    let mut books: Vec<OrderBook> = vec![OrderBook::default(); N];
+    let mut exchange = Service::new(Cluster::sim(overlay), &OrderBook::default()).expect("service");
     let mut rng = StdRng::seed_from_u64(7);
     let mut next_id = 0u64;
-    let mut latencies = Vec::new();
+    let mut immediate_fills = 0u64;
+    let mut rested = 0u64;
 
     for _ in 0..ROUNDS {
-        let payloads: Vec<Bytes> = (0..N)
-            .map(|server| {
-                let orders: Vec<Order> = (0..rng.gen_range(1..6))
-                    .map(|_| {
-                        next_id += 1;
-                        Order {
-                            id: (next_id << 8) | server as u64,
-                            price_cents: 10_000 + rng.gen_range(0u32..200),
-                            quantity: rng.gen_range(1..100),
-                            is_buy: rng.gen_bool(0.5),
-                        }
-                    })
-                    .collect();
-                encode(&orders)
-            })
-            .collect();
-        let outcome = cluster.run_round(&payloads).expect("failure-free trading");
-        latencies.push(outcome.agreement_latency().as_us_f64());
-        for (server, book) in books.iter_mut().enumerate() {
-            for (_, payload) in &outcome.delivered[&(server as u32)] {
-                for order in decode(payload) {
-                    book.submit(order);
-                }
+        let mut handles = Vec::new();
+        for server in 0..N as u32 {
+            for _ in 0..rng.gen_range(1..6) {
+                next_id += 1;
+                let order = Order {
+                    id: (next_id << 8) | server as u64,
+                    price_cents: 10_000 + rng.gen_range(0u32..200),
+                    quantity: rng.gen_range(1..100),
+                    is_buy: rng.gen_bool(0.5),
+                };
+                handles.push(exchange.submit(server, &order).expect("submit"));
+            }
+        }
+        for handle in handles {
+            let report = exchange.wait(&handle, TIMEOUT).expect("execution report");
+            immediate_fills += report.filled as u64;
+            if report.resting > 0 {
+                rested += 1;
             }
         }
     }
+    exchange.sync(TIMEOUT).expect("books caught up");
 
-    for (i, b) in books.iter().enumerate() {
-        assert_eq!(b, &books[0], "order book {i} diverged — fairness broken");
+    let reference = exchange.query_local(0).expect("replica").clone();
+    for s in 0..N as u32 {
+        assert_eq!(
+            exchange.query_local(s).expect("replica"),
+            &reference,
+            "order book {s} diverged — fairness broken"
+        );
     }
-    let median = allconcur::sim::stats::median(&latencies);
+    assert_eq!(reference.volume, immediate_fills, "typed reports match the replicated tape");
     println!("{N} exchange servers, {ROUNDS} rounds of 40-byte orders");
-    println!("median agreement latency: {median:.1} µs");
     println!(
-        "books identical everywhere ✓ — {} trades, {} shares matched",
-        books[0].trades, books[0].volume
+        "books identical everywhere ✓ — {} trades, {} shares matched, {} orders resting",
+        reference.trades, reference.volume, rested
     );
 }

@@ -1,5 +1,6 @@
 //! Dynamic membership (§3, Fig. 7): servers crash and join while the
-//! system keeps agreeing.
+//! system keeps agreeing — driven through the typed `Service` API, so
+//! the replicated state itself demonstrably survives the churn.
 //!
 //! ```text
 //! cargo run --release --example membership_churn
@@ -12,18 +13,31 @@
 //!   the dead server's message, and the protocol tags it out of the
 //!   overlay — no leader election, ever;
 //! * **joins** — a reconfiguration (computed deterministically by every
-//!   member via [`allconcur_core::membership::plan_reconfiguration`])
-//!   moves the deployment to a fresh overlay that includes the joiner.
+//!   member via [`allconcur::core::membership::plan_reconfiguration`])
+//!   moves the deployment to a fresh overlay that includes the joiners,
+//!   who catch up from a snapshot instead of replaying history.
+#![deny(deprecated)]
 
+use allconcur::core::config::FdMode;
+use allconcur::core::membership::plan_reconfiguration;
 use allconcur::prelude::*;
-use allconcur_core::config::FdMode;
-use allconcur_core::membership::plan_reconfiguration;
-use allconcur_graph::ReliabilityModel;
+use allconcur_sim::network::NetworkModel;
 use allconcur_sim::SimTime;
-use bytes::Bytes;
+use std::time::Duration;
 
-fn payloads(n: usize, round: usize) -> Vec<Bytes> {
-    (0..n).map(|i| Bytes::from(format!("r{round}-s{i}"))).collect()
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+    KvCommand::Put { key: key.into(), value: value.into() }
+}
+
+fn write_epoch(kv: &mut Service<KvStore>, epoch: usize, rounds: usize) {
+    for r in 0..rounds {
+        for s in kv.live_servers() {
+            kv.submit(s, &put(format!("e{epoch}-r{r}-s{s}"), format!("{s}"))).expect("submit");
+        }
+        kv.sync(TIMEOUT).expect("round agreed");
+    }
 }
 
 fn main() {
@@ -32,60 +46,68 @@ fn main() {
     let overlay = gs_digraph(n0, 3).expect("GS(8,3)");
     println!("initial deployment: {} servers, overlay degree {}", n0, overlay.degree());
 
-    let mut cluster = SimCluster::builder(overlay)
-        .network(NetworkModel::ib_verbs())
-        .fd_detection_delay(SimTime::from_ms(1))
-        .build();
-
-    // Two healthy rounds.
-    for round in 0..2 {
-        let out = cluster.run_round(&payloads(n0, round)).expect("healthy rounds");
-        println!(
-            "round {round}: {} messages agreed in {}",
-            out.delivered[&0].len(),
-            out.agreement_latency()
-        );
-    }
-
-    // Server 5 crashes mid-operation.
-    println!("\n--- server 5 crashes ---");
-    cluster.schedule_crash(cluster.clock(), 5);
-    let out = cluster.run_round(&payloads(n0, 2)).expect("crash tolerated: f=1 < k=3");
-    println!(
-        "round 2: survivors agreed on {} messages (server 5 excluded) in {}",
-        out.delivered[&0].len(),
-        out.agreement_latency()
+    let cluster = Cluster::sim_with(
+        overlay,
+        SimOptions {
+            network: NetworkModel::ib_verbs(),
+            fd_delay: SimTime::from_ms(1),
+            ..SimOptions::default()
+        },
     );
-    assert!(!out.delivered.contains_key(&5));
-    assert_eq!(out.delivered[&0].len(), n0 - 1);
+    let mut kv = Service::new(cluster, &KvStore::default()).expect("service");
 
-    // The survivors now agree (via atomic broadcast — here condensed) to
-    // admit two new servers; every member derives the same plan.
+    // Two healthy epochs of writes.
+    write_epoch(&mut kv, 0, 2);
+    println!("epoch 0: 2 rounds agreed by all {n0} servers");
+
+    // Server 5 crashes mid-operation; the survivors keep agreeing
+    // without it — no leader election, the FD + early termination do it.
+    println!("\n--- server 5 crashes ---");
+    kv.crash(5).expect("crash");
+    write_epoch(&mut kv, 1, 1);
+    let survivors = kv.live_servers();
+    println!(
+        "epoch 1: {} survivors agreed (server 5 excluded), state intact: e0-r0-s5 = {:?}",
+        survivors.len(),
+        kv.query_local(0)
+            .expect("replica")
+            .get_local(b"e0-r0-s5")
+            .map(|v| String::from_utf8_lossy(v).into_owned())
+    );
+
+    // The survivors now agree to admit two new servers; every member
+    // derives the same plan, and the joiners catch up from a snapshot —
+    // no history replay.
     println!("\n--- two servers join ---");
-    let members: Vec<u32> = cluster.live_servers();
-    let plan = plan_reconfiguration(&members, &[], 2, &model, 6.0, FdMode::Perfect);
+    let plan = plan_reconfiguration(&survivors, &[], 2, &model, 6.0, FdMode::Perfect);
     let n1 = plan.config.n();
     println!(
         "reconfiguration: {} survivors + 2 joiners → {} servers, overlay degree {}",
-        members.len(),
+        survivors.len(),
         n1,
         plan.config.graph.degree()
     );
-    let mut cluster = SimCluster::builder((*plan.config.graph).clone())
-        .network(NetworkModel::ib_verbs())
-        .fd_detection_delay(SimTime::from_ms(1))
-        .start_clock(cluster.clock() + SimTime::from_ms(80)) // connection setup
-        .build();
-    for round in 0..2 {
-        let out = cluster.run_round(&payloads(n1, round + 3)).expect("post-join rounds");
-        println!(
-            "round {}: {} messages agreed in {} (all {} members participating)",
-            round + 3,
-            out.delivered[&0].len(),
-            out.agreement_latency(),
-            n1
-        );
-        assert_eq!(out.delivered.len(), n1);
+    kv.reconfigure((*plan.config.graph).clone(), TIMEOUT).expect("reconfigure");
+
+    // A joiner (highest new id) already holds the full replicated state.
+    let joiner = (n1 - 1) as u32;
+    let carried = kv.query_local(joiner).expect("joiner replica");
+    assert_eq!(carried.get_local(b"e0-r0-s0"), Some(&b"0"[..]));
+    println!(
+        "joiner {joiner} caught up via snapshot: {} keys, zero rounds replayed",
+        carried.len()
+    );
+
+    // The new configuration keeps agreeing, all members participating.
+    write_epoch(&mut kv, 2, 2);
+    let reference = kv.query_local(0).expect("replica").clone();
+    for s in 0..n1 as u32 {
+        assert_eq!(kv.query_local(s).expect("replica"), &reference, "server {s} diverged");
     }
+    println!(
+        "epoch 2: 2 rounds agreed by all {} members ({} keys replicated everywhere)",
+        n1,
+        reference.len()
+    );
     println!("\nmembership changes handled without any leader election ✓");
 }

@@ -1,5 +1,5 @@
 //! Multiplayer game state agreement (§1.1): hundreds of players sharing
-//! one global, strongly consistent world.
+//! one global, strongly consistent world, on the typed `Service` API.
 //!
 //! ```text
 //! cargo run --release --example multiplayer_game [players]
@@ -10,14 +10,19 @@
 //! actions (40-byte updates, ~200 APM). Agreement must finish inside the
 //! frame budget; the paper's "epic battles" claim is 512 players at
 //! 38 ms. Every server then applies all actions in the agreed order, so
-//! the worlds never diverge — no area-of-interest filtering needed.
+//! the worlds never diverge — and each player's client gets its own
+//! agreed position back, typed.
+#![deny(deprecated)]
 
+use allconcur::core::membership::build_overlay;
 use allconcur::prelude::*;
-use allconcur_core::membership::build_overlay;
-use allconcur_graph::ReliabilityModel;
+use allconcur_sim::SimTime;
 use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A 40-byte action: player position/velocity update (the paper cites
 /// Donnybrook's typical update size).
@@ -32,18 +37,43 @@ struct Action {
     _pad: [u32; 4],
 }
 
-fn encode(a: &Action) -> Bytes {
-    let mut b = BytesMut::with_capacity(40);
-    b.put_u32_le(a.player);
-    b.put_f32_le(a.x);
-    b.put_f32_le(a.y);
-    b.put_f32_le(a.dx);
-    b.put_f32_le(a.dy);
-    b.put_u32_le(a.kind);
-    for p in a._pad {
-        b.put_u32_le(p);
+/// 40-byte wire format mirroring [`Action`] field order.
+#[derive(Debug, Clone, Copy, Default)]
+struct ActionCodec;
+
+impl Codec for ActionCodec {
+    type Item = Action;
+
+    fn encode(&self, a: &Action) -> Bytes {
+        let mut b = BytesMut::with_capacity(40);
+        b.put_u32_le(a.player);
+        b.put_f32_le(a.x);
+        b.put_f32_le(a.y);
+        b.put_f32_le(a.dx);
+        b.put_f32_le(a.dy);
+        b.put_u32_le(a.kind);
+        for p in a._pad {
+            b.put_u32_le(p);
+        }
+        b.freeze()
     }
-    b.freeze()
+
+    fn decode(&self, c: &[u8]) -> Result<Action, DecodeError> {
+        if c.len() != 40 {
+            return Err(DecodeError("action must be exactly 40 bytes"));
+        }
+        let f = |at: usize| f32::from_le_bytes(c[at..at + 4].try_into().expect("sized"));
+        let u = |at: usize| u32::from_le_bytes(c[at..at + 4].try_into().expect("sized"));
+        Ok(Action {
+            player: u(0),
+            x: f(4),
+            y: f(8),
+            dx: f(12),
+            dy: f(16),
+            kind: u(20),
+            _pad: [u(24), u(28), u(32), u(36)],
+        })
+    }
 }
 
 /// World state: player positions, updated deterministically from the
@@ -58,18 +88,58 @@ impl World {
     fn new(players: usize) -> Self {
         World { positions: vec![(0.0, 0.0); players], applied: 0 }
     }
-    fn apply(&mut self, payload: &[u8]) {
-        // Each payload is a concatenation of 40-byte actions.
+}
+
+impl StateMachine for World {
+    type Command = Action;
+    /// The player's agreed position after the action — what the client
+    /// renders, identical no matter which server it is connected to.
+    type Response = (f32, f32);
+    type Codec = ActionCodec;
+
+    fn apply(&mut self, _origin: ServerId, a: Action) -> (f32, f32) {
         let players = self.positions.len();
-        for chunk in payload.chunks_exact(40) {
-            let player = u32::from_le_bytes(chunk[0..4].try_into().expect("sized")) as usize;
-            let dx = f32::from_le_bytes(chunk[12..16].try_into().expect("sized"));
-            let dy = f32::from_le_bytes(chunk[16..20].try_into().expect("sized"));
-            let p = &mut self.positions[player % players];
-            p.0 += dx;
-            p.1 += dy;
-            self.applied += 1;
+        let p = &mut self.positions[a.player as usize % players];
+        p.0 += a.dx;
+        p.1 += a.dy;
+        self.applied += 1;
+        *p
+    }
+
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + self.positions.len() * 8 + 8);
+        buf.put_u32_le(self.positions.len() as u32);
+        for &(x, y) in &self.positions {
+            buf.put_f32_le(x);
+            buf.put_f32_le(y);
         }
+        buf.put_u64_le(self.applied);
+        buf.freeze()
+    }
+
+    fn restore(snapshot: &[u8]) -> Result<Self, DecodeError> {
+        let err = DecodeError("world snapshot truncated");
+        if snapshot.len() < 4 {
+            return Err(err);
+        }
+        let players = u32::from_le_bytes(snapshot[0..4].try_into().expect("sized")) as usize;
+        if snapshot.len() != 4 + players * 8 + 8 {
+            return Err(err);
+        }
+        let positions = (0..players)
+            .map(|i| {
+                let at = 4 + i * 8;
+                (
+                    f32::from_le_bytes(snapshot[at..at + 4].try_into().expect("sized")),
+                    f32::from_le_bytes(snapshot[at + 4..at + 8].try_into().expect("sized")),
+                )
+            })
+            .collect();
+        let tail = 4 + players * 8;
+        Ok(World {
+            positions,
+            applied: u64::from_le_bytes(snapshot[tail..tail + 8].try_into().expect("sized")),
+        })
     }
 }
 
@@ -83,46 +153,56 @@ fn main() {
         "{players} players, overlay degree {} (6-nines), frame budget {FRAME_MS} ms",
         overlay.degree()
     );
-    let mut cluster = SimCluster::builder(overlay).network(NetworkModel::tcp_cluster()).build();
-    let mut worlds: Vec<World> = vec![World::new(players); players];
+    let mut game = Service::new(Cluster::sim(overlay), &World::new(players)).expect("service");
     let mut rng = StdRng::seed_from_u64(99);
+
+    let clock = |game: &mut Service<World>| -> SimTime {
+        game.cluster_mut().sim_transport_mut().expect("sim backend").cluster().clock()
+    };
 
     let mut worst_ms = 0.0f64;
     for frame in 0..FRAMES {
         // ~200 APM → one action roughly every 18 frames; emulate by
         // giving each player an action with probability 1/18 per frame.
-        let payloads: Vec<Bytes> = (0..players)
-            .map(|p| {
-                if rng.gen_ratio(1, 18) {
-                    encode(&Action {
-                        player: p as u32,
-                        x: 0.0,
-                        y: 0.0,
-                        dx: rng.gen_range(-1.0..1.0),
-                        dy: rng.gen_range(-1.0..1.0),
-                        kind: 1,
-                        _pad: [0; 4],
-                    })
-                } else {
-                    Bytes::new() // nothing this frame — empty message
-                }
-            })
-            .collect();
-        let outcome = cluster.run_round(&payloads).expect("failure-free frames");
-        let ms = outcome.agreement_latency().as_ms_f64();
-        worst_ms = worst_ms.max(ms);
-        for (server, world) in worlds.iter_mut().enumerate() {
-            for (_, payload) in &outcome.delivered[&(server as u32)] {
-                world.apply(payload);
+        let mut handles = Vec::new();
+        for p in 0..players {
+            if rng.gen_ratio(1, 18) {
+                let action = Action {
+                    player: p as u32,
+                    x: 0.0,
+                    y: 0.0,
+                    dx: rng.gen_range(-1.0..1.0),
+                    dy: rng.gen_range(-1.0..1.0),
+                    kind: 1,
+                    _pad: [0; 4],
+                };
+                handles.push(game.submit(p as u32, &action).expect("submit"));
             }
         }
+        // Agreement latency in *simulated* time: how long the frame's
+        // round took every server to deliver and apply.
+        let before = clock(&mut game);
+        game.sync(TIMEOUT).expect("frame agreed");
+        let ms = (clock(&mut game) - before).as_ms_f64();
+        for handle in &handles {
+            let (x, y) = game.wait(handle, TIMEOUT).expect("agreed position");
+            assert!(x.is_finite() && y.is_finite());
+        }
+        if !handles.is_empty() {
+            worst_ms = worst_ms.max(ms);
+        }
         if frame < 3 {
-            println!("frame {frame}: agreed in {:.2} ms", ms);
+            println!("frame {frame}: {} actions agreed in {:.2} ms", handles.len(), ms);
         }
     }
 
-    for (i, w) in worlds.iter().enumerate() {
-        assert_eq!(w, &worlds[0], "world {i} diverged — consistency broken");
+    let reference = game.query_local(0).expect("replica").clone();
+    for s in 0..players as u32 {
+        assert_eq!(
+            game.query_local(s).expect("replica"),
+            &reference,
+            "world {s} diverged — consistency broken"
+        );
     }
     println!(
         "{FRAMES} frames, worst agreement latency {:.2} ms — {}",
@@ -133,5 +213,5 @@ fn main() {
             "OVER the frame budget ✗"
         }
     );
-    println!("all {players} worlds identical after {} applied actions ✓", worlds[0].applied);
+    println!("all {players} worlds identical after {} applied actions ✓", reference.applied);
 }

@@ -9,6 +9,7 @@
 //! The overlay is GS(8,3) — the paper's Fig. 1b example: degree 3,
 //! diameter 2, vertex-connectivity 3, so the deployment survives any two
 //! simultaneous crashes.
+#![deny(deprecated)]
 
 use allconcur::prelude::*;
 use bytes::Bytes;

@@ -1,5 +1,5 @@
 //! Travel reservation system (§1.1): strongly consistent bookings with
-//! locally answered queries.
+//! locally answered queries, on the typed `Service` API.
 //!
 //! ```text
 //! cargo run --release --example travel_reservation
@@ -10,45 +10,64 @@
 //! replica — AllConcur guarantees a server's view "cannot fall behind
 //! more than one round" (§1) — while updates go through atomic broadcast
 //! so that two clients can never book the last seat twice, no matter
-//! which server they talk to.
+//! which server they talk to. The booking outcome comes back *typed*:
+//! the submitting client learns Confirmed/SoldOut for its own request.
+#![deny(deprecated)]
 
 use allconcur::prelude::*;
-use allconcur::sim::harness::SimCluster as Cluster;
+use allconcur_sim::network::NetworkModel;
 use bytes::{BufMut, Bytes, BytesMut};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::time::Duration;
 
-/// A booking request: flight id + seats wanted, issued via some server.
-#[derive(Debug, Clone, Copy)]
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A booking request: flight id + seats wanted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Booking {
     flight: u16,
     seats: u16,
 }
 
-fn encode(bookings: &[Booking]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(bookings.len() * 4);
-    for b in bookings {
-        buf.put_u16_le(b.flight);
-        buf.put_u16_le(b.seats);
-    }
-    buf.freeze()
+/// Typed outcome the submitting client gets back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BookingOutcome {
+    /// Seats reserved; how many remain after this booking.
+    Confirmed { remaining: u32 },
+    /// Not enough seats left at the agreed point.
+    SoldOut,
 }
 
-fn decode(mut payload: &[u8]) -> Vec<Booking> {
-    let mut out = Vec::new();
-    while payload.len() >= 4 {
-        let flight = u16::from_le_bytes([payload[0], payload[1]]);
-        let seats = u16::from_le_bytes([payload[2], payload[3]]);
-        out.push(Booking { flight, seats });
-        payload = &payload[4..];
+/// 4-byte wire format: flight, seats (little-endian u16 each).
+#[derive(Debug, Clone, Copy, Default)]
+struct BookingCodec;
+
+impl Codec for BookingCodec {
+    type Item = Booking;
+
+    fn encode(&self, b: &Booking) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_u16_le(b.flight);
+        buf.put_u16_le(b.seats);
+        buf.freeze()
     }
-    out
+
+    fn decode(&self, bytes: &[u8]) -> Result<Booking, DecodeError> {
+        if bytes.len() != 4 {
+            return Err(DecodeError("booking must be exactly 4 bytes"));
+        }
+        Ok(Booking {
+            flight: u16::from_le_bytes([bytes[0], bytes[1]]),
+            seats: u16::from_le_bytes([bytes[2], bytes[3]]),
+        })
+    }
 }
 
 /// The replicated state: seats left per flight. Deterministic updates in
-/// delivery order keep every replica identical.
-#[derive(Debug, Clone, PartialEq)]
+/// agreement order keep every replica identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Inventory {
     seats_left: BTreeMap<u16, u32>,
     accepted: u64,
@@ -64,19 +83,66 @@ impl Inventory {
         }
     }
 
-    fn apply(&mut self, b: Booking) {
-        let left = self.seats_left.get_mut(&b.flight).expect("known flight");
+    /// A locally answered query — no coordination.
+    fn available(&self, flight: u16) -> u32 {
+        self.seats_left.get(&flight).copied().unwrap_or(0)
+    }
+}
+
+impl StateMachine for Inventory {
+    type Command = Booking;
+    type Response = BookingOutcome;
+    type Codec = BookingCodec;
+
+    fn apply(&mut self, _origin: ServerId, b: Booking) -> BookingOutcome {
+        let Some(left) = self.seats_left.get_mut(&b.flight) else {
+            self.rejected += 1;
+            return BookingOutcome::SoldOut; // unknown flight: consistently rejected
+        };
         if *left >= b.seats as u32 {
             *left -= b.seats as u32;
             self.accepted += 1;
+            BookingOutcome::Confirmed { remaining: *left }
         } else {
             self.rejected += 1; // sold out: consistently rejected everywhere
+            BookingOutcome::SoldOut
         }
     }
 
-    /// A locally answered query — no coordination.
-    fn query(&self, flight: u16) -> u32 {
-        self.seats_left[&flight]
+    fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.seats_left.len() as u32);
+        for (&flight, &left) in &self.seats_left {
+            buf.put_u16_le(flight);
+            buf.put_u32_le(left);
+        }
+        buf.put_u64_le(self.accepted);
+        buf.put_u64_le(self.rejected);
+        buf.freeze()
+    }
+
+    fn restore(snapshot: &[u8]) -> Result<Self, DecodeError> {
+        let err = DecodeError("inventory snapshot truncated");
+        if snapshot.len() < 4 {
+            return Err(err);
+        }
+        let count = u32::from_le_bytes(snapshot[0..4].try_into().unwrap()) as usize;
+        if snapshot.len() != 4 + count * 6 + 16 {
+            return Err(err);
+        }
+        let mut seats_left = BTreeMap::new();
+        for i in 0..count {
+            let at = 4 + i * 6;
+            let flight = u16::from_le_bytes(snapshot[at..at + 2].try_into().unwrap());
+            let left = u32::from_le_bytes(snapshot[at + 2..at + 6].try_into().unwrap());
+            seats_left.insert(flight, left);
+        }
+        let tail = 4 + count * 6;
+        Ok(Inventory {
+            seats_left,
+            accepted: u64::from_le_bytes(snapshot[tail..tail + 8].try_into().unwrap()),
+            rejected: u64::from_le_bytes(snapshot[tail + 8..tail + 16].try_into().unwrap()),
+        })
     }
 }
 
@@ -87,51 +153,57 @@ fn main() {
     const ROUNDS: usize = 20;
 
     let overlay = gs_digraph(N, 3).expect("GS(8,3)");
-    let mut cluster = Cluster::builder(overlay).network(NetworkModel::ib_verbs()).build();
-    let mut replicas: Vec<Inventory> = vec![Inventory::new(FLIGHTS, CAPACITY); N];
+    let cluster = Cluster::sim_with(
+        overlay,
+        SimOptions { network: NetworkModel::ib_verbs(), ..SimOptions::default() },
+    );
+    let mut service = Service::new(cluster, &Inventory::new(FLIGHTS, CAPACITY)).expect("service");
     let mut rng = StdRng::seed_from_u64(2017);
 
     let mut total_queries = 0u64;
-    for round in 0..ROUNDS {
+    let mut confirmed = 0u64;
+    let mut sold_out = 0u64;
+    for _ in 0..ROUNDS {
         // Each server first serves a burst of local queries (the
-        // read-heavy part), then batches the bookings it received.
-        let mut payloads = Vec::with_capacity(N);
-        for replica in replicas.iter() {
+        // read-heavy part), then submits the bookings it received — all
+        // of a server's bookings batch into one round payload.
+        let mut handles = Vec::new();
+        for s in 0..N as u32 {
             let queries: u64 = rng.gen_range(50..200);
             total_queries += queries;
-            let _availability: Vec<u32> = (0..FLIGHTS).map(|f| replica.query(f)).collect(); // local, stale ≤ 1 round
-            let bookings: Vec<Booking> = (0..rng.gen_range(1..5))
-                .map(|_| Booking { flight: rng.gen_range(0..FLIGHTS), seats: rng.gen_range(1..4) })
-                .collect();
-            payloads.push(encode(&bookings));
-        }
-        let outcome = cluster.run_round(&payloads).expect("failure-free run");
-        // Apply the agreed bookings in delivery order on every replica.
-        for (server, replica) in replicas.iter_mut().enumerate() {
-            let delivered = &outcome.delivered[&(server as u32)];
-            for (_, payload) in delivered {
-                for booking in decode(payload) {
-                    replica.apply(booking);
-                }
+            let replica = service.query_local(s).expect("replica");
+            let _availability: Vec<u32> = (0..FLIGHTS).map(|f| replica.available(f)).collect(); // local, stale ≤ 1 round
+            for _ in 0..rng.gen_range(1..5) {
+                let booking =
+                    Booking { flight: rng.gen_range(0..FLIGHTS), seats: rng.gen_range(1..4) };
+                handles.push(service.submit(s, &booking).expect("submit"));
             }
         }
-        if round == 0 {
-            println!("round 0 agreed in {}", outcome.agreement_latency());
+        // Each client learns the fate of exactly its booking, typed.
+        for handle in handles {
+            match service.wait(&handle, TIMEOUT).expect("booking outcome") {
+                BookingOutcome::Confirmed { .. } => confirmed += 1,
+                BookingOutcome::SoldOut => sold_out += 1,
+            }
         }
     }
+    service.sync(TIMEOUT).expect("replicas caught up");
 
-    // Strong consistency: every replica is byte-identical.
-    for (i, r) in replicas.iter().enumerate() {
-        assert_eq!(r, &replicas[0], "replica {i} diverged");
+    // Strong consistency: every replica is identical.
+    let reference = service.query_local(0).expect("replica").clone();
+    for s in 0..N as u32 {
+        assert_eq!(service.query_local(s).expect("replica"), &reference, "replica {s} diverged");
     }
-    let r = &replicas[0];
+    assert_eq!(reference.accepted, confirmed, "typed outcomes match replicated counters");
+    assert_eq!(reference.rejected, sold_out);
+
     println!(
-        "after {ROUNDS} rounds: {} bookings accepted, {} rejected (sold out), {} local queries served",
-        r.accepted, r.rejected, total_queries
+        "after {ROUNDS} rounds: {confirmed} bookings confirmed, {sold_out} rejected (sold out), \
+         {total_queries} local queries served"
     );
     for f in 0..FLIGHTS {
-        println!("  flight {f}: {} seats left", r.query(f));
+        println!("  flight {f}: {} seats left", reference.available(f));
     }
-    let booked: u64 = (0..FLIGHTS).map(|f| (CAPACITY - r.query(f)) as u64).sum();
-    println!("no flight oversold ✓ ({} seats booked in total)", booked);
+    let booked: u64 = (0..FLIGHTS).map(|f| (CAPACITY - reference.available(f)) as u64).sum();
+    println!("no flight oversold ✓ ({booked} seats booked in total)");
 }

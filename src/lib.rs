@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(deprecated)]
 //! # AllConcur — leaderless concurrent atomic broadcast
 //!
 //! Umbrella crate re-exporting the full AllConcur stack. See the README
@@ -14,6 +15,9 @@
 //! * [`net`] — sockets-based TCP transport and local cluster runtime (§5);
 //! * [`cluster`] — the unified [`cluster::Cluster`] facade: one
 //!   submit/deliver API over the simulated and TCP transports;
+//! * [`rsm`] — the typed [`rsm::Service`] layer: replicated state
+//!   machines with typed commands/responses, snapshot catch-up, and
+//!   linearizable reads (§1's coordination services);
 //! * [`baselines`] — leader-based atomic broadcast (Libpaxos stand-in) and
 //!   unreliable allgather (§4.5, §5).
 //!
@@ -45,12 +49,33 @@
 //! [`cluster::Cluster::deliveries`]) supports pipelined rounds, crash
 //! and suspicion injection, and agreed reconfiguration — see the
 //! `allconcur-cluster` crate docs.
+//!
+//! ## Typed replicated state machines
+//!
+//! Applications should not hand-pump deliveries: the [`rsm::Service`]
+//! layer owns the cluster, encodes/decodes commands through a typed
+//! [`core::replica::Codec`], and correlates each submitted command with
+//! its typed response:
+//!
+//! ```
+//! use allconcur::prelude::*;
+//! use std::time::Duration;
+//!
+//! let cluster = Cluster::sim(gs_digraph(8, 3).unwrap());
+//! let mut kv = Service::new(cluster, &KvStore::default()).unwrap();
+//! let put = KvCommand::Put { key: b"k".to_vec(), value: b"v".to_vec() };
+//! let handle = kv.submit(0, &put).unwrap();
+//! assert_eq!(kv.wait(&handle, Duration::from_secs(10)).unwrap(), KvResponse::Ack);
+//! kv.sync(Duration::from_secs(10)).unwrap(); // barrier: all replicas caught up
+//! assert_eq!(kv.query_local(7).unwrap().get_local(b"k"), Some(&b"v"[..]));
+//! ```
 
 pub use allconcur_baselines as baselines;
 pub use allconcur_cluster as cluster;
 pub use allconcur_core as core;
 pub use allconcur_graph as graph;
 pub use allconcur_net as net;
+pub use allconcur_rsm as rsm;
 pub use allconcur_sim as sim;
 
 /// Convenience re-exports covering the common entry points.
@@ -61,13 +86,17 @@ pub mod prelude {
     };
     pub use allconcur_core::{
         config::Config,
-        replica::{KvStore, Replica, StateMachine},
+        replica::{
+            Codec, DecodeError, KvCodec, KvCommand, KvResponse, KvStore, Replica, RsmError,
+            StateMachine,
+        },
         server::{Action, Event, Server},
         ServerId,
     };
     pub use allconcur_graph::{
         binomial::binomial_graph, gs::gs_digraph, Digraph, ReliabilityModel,
     };
+    pub use allconcur_rsm::{CommandHandle, Service, ServiceError};
     pub use allconcur_sim::{
         harness::{RoundOutcome, SimCluster},
         network::NetworkModel,

@@ -104,7 +104,13 @@ fn parity_holds_for_streaming_submission() {
     let run = |mut cluster: Cluster| -> Vec<Vec<(ServerId, Bytes)>> {
         for round in 0..3u64 {
             for id in 0..8u32 {
-                cluster.submit(id, Bytes::from(format!("s{round}-{id}").into_bytes())).unwrap();
+                let handle =
+                    cluster.submit(id, Bytes::from(format!("s{round}-{id}").into_bytes())).unwrap();
+                // Correlation metadata: the k-th submission through one
+                // origin carries per-origin sequence k — the round that
+                // will carry it, under pipelined submission.
+                assert_eq!(handle.origin(), id);
+                assert_eq!(handle.origin_seq(), round);
             }
         }
         let seqs: Vec<Vec<(ServerId, Bytes)>> =

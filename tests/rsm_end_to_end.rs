@@ -1,19 +1,22 @@
-//! End-to-end replicated state machine on top of AllConcur: the
-//! coordination-service usage the paper's introduction motivates. A
-//! key-value store replicated across a cluster stays identical on every
-//! server across rounds, batching, and crashes — driven through the
-//! unified `Cluster` facade, so the identical scenario also runs over
-//! the TCP backend by swapping the constructor.
+//! End-to-end replicated state machine on top of AllConcur, through the
+//! typed `Service` API: a key-value store replicated across a cluster
+//! stays identical on every server across rounds, batching, and
+//! crashes — commands go in typed, responses come out typed, and the
+//! identical scenario also runs over the TCP backend by swapping the
+//! constructor (see `tests/rsm_parity.rs`).
+#![deny(deprecated)]
 
 use allconcur::prelude::*;
-use allconcur_core::batch::Batcher;
-use allconcur_core::replica::KvOutput;
 use allconcur_graph::gs::gs_digraph;
+use allconcur_sim::network::NetworkModel;
 use allconcur_sim::SimTime;
-use bytes::Bytes;
 use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+    KvCommand::Put { key: key.into(), value: value.into() }
+}
 
 fn ib_cluster(n: usize) -> Cluster {
     Cluster::sim_with(
@@ -25,39 +28,34 @@ fn ib_cluster(n: usize) -> Cluster {
 #[test]
 fn kv_store_replicates_across_rounds() {
     let n = 8usize;
-    let mut cluster = ib_cluster(n);
-    let mut replicas: Vec<Replica<KvStore>> =
-        (0..n).map(|_| Replica::new(KvStore::default())).collect();
+    let mut kv = Service::new(ib_cluster(n), &KvStore::default()).unwrap();
 
+    let mut handles = Vec::new();
     for round in 0..5u64 {
-        // Each server batches a couple of writes.
-        let payloads: Vec<Bytes> = (0..n)
-            .map(|s| {
-                let mut b = Batcher::new();
-                b.push(KvStore::put_command(
-                    format!("key-{s}-{round}").as_bytes(),
-                    format!("value-{round}").as_bytes(),
-                ));
-                if round % 2 == 0 {
-                    b.push(KvStore::put_command(b"shared", format!("{s}:{round}").as_bytes()));
-                }
-                b.take_batch()
-            })
-            .collect();
-        let out = cluster.run_round(&payloads, TIMEOUT).unwrap();
-        for (s, replica) in replicas.iter_mut().enumerate() {
-            let delivery = &out[&(s as u32)];
-            assert_eq!(delivery.round, round);
-            replica.apply_round(round, &delivery.messages, true);
+        // Each server batches a couple of writes: both commands queue at
+        // the origin and ride one round payload together.
+        for s in 0..n as u32 {
+            handles.push(
+                kv.submit(s, &put(format!("key-{s}-{round}"), format!("value-{round}"))).unwrap(),
+            );
+            if round % 2 == 0 {
+                handles.push(kv.submit(s, &put("shared", format!("{s}:{round}"))).unwrap());
+            }
         }
+        kv.sync(TIMEOUT).unwrap();
+    }
+
+    // Every write acknowledged, typed.
+    for handle in handles {
+        assert_eq!(kv.wait(&handle, TIMEOUT).unwrap(), KvResponse::Ack);
     }
 
     // Strong consistency: identical state everywhere, including the
     // contended "shared" key — last agreed write wins identically.
-    let reference = replicas[0].query().clone();
-    for (i, r) in replicas.iter().enumerate() {
-        assert_eq!(r.query(), &reference, "replica {i} diverged");
-        assert_eq!(r.applied_rounds(), 5);
+    let reference = kv.query_local(0).unwrap().clone();
+    for s in 0..n as u32 {
+        assert_eq!(kv.query_local(s).unwrap(), &reference, "replica {s} diverged");
+        assert_eq!(kv.replica(s).unwrap().applied_rounds(), 5);
     }
     // shared key: written by all servers in rounds 0, 2, 4; agreement
     // order is origin-ascending, so the last writer is server n−1 of the
@@ -69,7 +67,7 @@ fn kv_store_replicates_across_rounds() {
 #[test]
 fn kv_store_survives_crash_consistently() {
     let n = 8usize;
-    let mut cluster = Cluster::sim_with(
+    let cluster = Cluster::sim_with(
         gs_digraph(n, 3).unwrap(),
         SimOptions {
             network: NetworkModel::ib_verbs(),
@@ -77,48 +75,74 @@ fn kv_store_survives_crash_consistently() {
             ..SimOptions::default()
         },
     );
-    let mut replicas: Vec<Option<Replica<KvStore>>> =
-        (0..n).map(|_| Some(Replica::new(KvStore::default()))).collect();
+    let mut kv = Service::new(cluster, &KvStore::default()).unwrap();
 
     // Round 0: all write.
-    let payloads: Vec<Bytes> = (0..n)
-        .map(|s| {
-            let mut b = Batcher::new();
-            b.push(KvStore::put_command(format!("k{s}").as_bytes(), b"v0"));
-            b.take_batch()
-        })
-        .collect();
-    let out = cluster.run_round(&payloads, TIMEOUT).unwrap();
-    for (s, r) in replicas.iter_mut().enumerate() {
-        r.as_mut().expect("alive").apply_round(0, &out[&(s as u32)].messages, true);
+    for s in 0..n as u32 {
+        kv.submit(s, &put(format!("k{s}"), "v0")).unwrap();
     }
+    kv.sync(TIMEOUT).unwrap();
 
-    // Server 7 crashes; round 1 proceeds without it.
-    cluster.crash(7).unwrap();
-    replicas[7] = None;
-    let out = cluster.run_round(&payloads, TIMEOUT).unwrap();
-    assert_eq!(out.len(), 7);
-    let survivors: Vec<usize> = (0..7).collect();
-    for &s in &survivors {
-        replicas[s].as_mut().expect("alive").apply_round(1, &out[&(s as u32)].messages, true);
+    // Server 7 crashes; the next round proceeds without it.
+    kv.crash(7).unwrap();
+    assert!(matches!(kv.submit(7, &put("dead", "x")), Err(ServiceError::OriginDown(7))));
+    for s in 0..7u32 {
+        kv.submit(s, &put(format!("k{s}"), "v1")).unwrap();
     }
-    let reference = replicas[0].as_ref().expect("alive").query().clone();
-    for &s in &survivors {
-        assert_eq!(replicas[s].as_ref().expect("alive").query(), &reference);
+    kv.sync(TIMEOUT).unwrap();
+
+    let reference = kv.query_local(0).unwrap().clone();
+    for s in 0..7u32 {
+        assert_eq!(kv.query_local(s).unwrap(), &reference, "survivor {s} diverged");
     }
     // k7 was written in round 0 (before the crash) and survives; its
-    // round-1 write is absent but k0..k6 were overwritten identically.
+    // round-1 write never happened but k0..k6 were overwritten
+    // identically.
     assert_eq!(reference.get_local(b"k7"), Some(&b"v0"[..]));
+    assert_eq!(reference.get_local(b"k0"), Some(&b"v1"[..]));
 
-    // Serialized read via round 2: agreement on the read point.
-    let mut read_batch = Batcher::new();
-    read_batch.push(KvStore::get_command(b"k3"));
-    let mut payloads2: Vec<Bytes> = vec![Bytes::new(); n];
-    payloads2[0] = read_batch.take_batch();
-    let out = cluster.run_round(&payloads2, TIMEOUT).unwrap();
-    for &s in &survivors {
-        let outputs =
-            replicas[s].as_mut().expect("alive").apply_round(2, &out[&(s as u32)].messages, true);
-        assert_eq!(outputs, vec![KvOutput::Value(Some(b"v0".to_vec()))], "server {s}");
+    // Linearizable read rides a round of its own: agreement on the read
+    // point, answered typed.
+    let value = kv.query_linearizable(0, &KvCommand::Get { key: b"k3".to_vec() }, TIMEOUT).unwrap();
+    assert_eq!(value, KvResponse::Value(Some(b"v1".to_vec())));
+}
+
+#[test]
+fn snapshot_reconfigure_carries_state_to_joiners() {
+    use allconcur_core::config::FdMode;
+    use allconcur_core::membership::plan_reconfiguration;
+    use allconcur_graph::ReliabilityModel;
+
+    let n = 8usize;
+    let mut kv = Service::new(ib_cluster(n), &KvStore::default()).unwrap();
+    for s in 0..n as u32 {
+        kv.submit(s, &put(format!("pre-{s}"), "agreed")).unwrap();
+    }
+    kv.sync(TIMEOUT).unwrap();
+
+    // Crash one server, then admit two joiners on a fresh overlay. The
+    // replicated state crosses the reconfiguration via snapshot.
+    kv.crash(5).unwrap();
+    let model = ReliabilityModel::paper_default();
+    let survivors = kv.live_servers();
+    let plan = plan_reconfiguration(&survivors, &[], 2, &model, 6.0, FdMode::Perfect);
+    let n1 = plan.config.n();
+    assert_eq!(n1, n + 1); // 7 survivors + 2 joiners
+    kv.reconfigure((*plan.config.graph).clone(), TIMEOUT).unwrap();
+
+    // Every member of the new configuration — including the joiners,
+    // which never saw the original rounds — holds the full state.
+    for s in 0..n1 as u32 {
+        let state = kv.query_local(s).unwrap();
+        assert_eq!(state.len(), n, "server {s} missing history after reconfigure");
+        assert_eq!(state.get_local(b"pre-0"), Some(&b"agreed"[..]));
+    }
+
+    // The new configuration keeps agreeing, from round zero.
+    let response = kv.execute(0, &put("post", "reconfig"), TIMEOUT).unwrap();
+    assert_eq!(response, KvResponse::Ack);
+    kv.sync(TIMEOUT).unwrap();
+    for s in 0..n1 as u32 {
+        assert_eq!(kv.query_local(s).unwrap().get_local(b"post"), Some(&b"reconfig"[..]));
     }
 }
