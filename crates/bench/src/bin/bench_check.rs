@@ -1,0 +1,107 @@
+//! Compare a freshly generated `BENCH_*.json` against the committed
+//! baseline and warn — non-fatally — when a metric regressed beyond the
+//! threshold. CI runs this after regenerating the benches; a regression
+//! prints GitHub `::warning::` annotations but never fails the job
+//! (shared-runner perf is noisy; the committed baselines are the
+//! reviewed source of truth).
+//!
+//! ```text
+//! cargo run -p allconcur-bench --bin bench_check -- \
+//!     --baseline BENCH_rsm.json --fresh /tmp/new.json \
+//!     --metric cmds_per_sec_wall [--threshold 0.20]
+//! ```
+//!
+//! Series entries are matched by position (the benches emit a fixed,
+//! deterministic series), and every non-metric field of the entry is
+//! echoed in the warning for context. The JSON subset parsed here is
+//! exactly what the bench binaries emit (one `{...}` object per series
+//! line); there is no serde in the build environment.
+
+use allconcur_bench::output::arg_value;
+
+/// `(fields, metric_value)` for one series entry.
+type Entry = (Vec<(String, String)>, Option<f64>);
+
+/// Parse every `{...}` series object in the file into field lists,
+/// extracting `metric` when present.
+fn parse_series(path: &str, metric: &str) -> Vec<Entry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(open) = line.find('{') else { continue };
+        let Some(close) = line.rfind('}') else { continue };
+        if close <= open {
+            continue;
+        }
+        let body = &line[open + 1..close];
+        if !body.contains(':') {
+            continue;
+        }
+        let mut fields = Vec::new();
+        let mut value = None;
+        for part in body.split(", \"") {
+            let part = part.trim_start_matches('"');
+            let Some((name, raw)) = part.split_once("\":") else { continue };
+            let raw = raw.trim().trim_matches('"').to_string();
+            if name == metric {
+                value = raw.parse::<f64>().ok();
+            }
+            fields.push((name.to_string(), raw));
+        }
+        out.push((fields, value));
+    }
+    out
+}
+
+fn describe(fields: &[(String, String)], metric: &str) -> String {
+    fields
+        .iter()
+        .filter(|(name, _)| name != metric)
+        .map(|(name, v)| format!("{name}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let baseline_path = arg_value("--baseline").expect("--baseline PATH required");
+    let fresh_path = arg_value("--fresh").expect("--fresh PATH required");
+    let metric = arg_value("--metric").expect("--metric NAME required");
+    let threshold: f64 = arg_value("--threshold").and_then(|v| v.parse().ok()).unwrap_or(0.20);
+
+    let baseline = parse_series(&baseline_path, &metric);
+    let fresh = parse_series(&fresh_path, &metric);
+    if baseline.is_empty() {
+        println!("::warning::{baseline_path}: no series entries found");
+        return;
+    }
+    if baseline.len() != fresh.len() {
+        println!(
+            "::warning::{fresh_path}: series length {} differs from baseline {} — bench shape changed?",
+            fresh.len(),
+            baseline.len()
+        );
+    }
+
+    let mut regressions = 0usize;
+    for (i, ((base_fields, base), (_, new))) in baseline.iter().zip(&fresh).enumerate() {
+        let (Some(base), Some(new)) = (base, new) else { continue };
+        if *base <= 0.0 {
+            continue;
+        }
+        let ratio = new / base;
+        let ctx = describe(base_fields, &metric);
+        if ratio < 1.0 - threshold {
+            regressions += 1;
+            println!(
+                "::warning::{metric} regressed {:.0}% at series[{i}] ({ctx}): {base:.0} -> {new:.0}",
+                (1.0 - ratio) * 100.0
+            );
+        } else {
+            println!("ok: {metric} at series[{i}] ({ctx}): {base:.0} -> {new:.0} ({ratio:.2}x)");
+        }
+    }
+    if regressions == 0 {
+        println!("{metric}: no regressions beyond {:.0}% vs {baseline_path}", threshold * 100.0);
+    }
+    // Always exit 0: the check is advisory (see module docs).
+}

@@ -1,0 +1,331 @@
+//! Raw protocol-engine throughput: rounds per second of bare [`Server`]
+//! state machines driven lockstep, with **no** simulator clock, RSM
+//! layer, or sockets in the way — the purest measurement of the hot
+//! path this repository has (message dispatch, dense round state,
+//! tracking, delivery, round advance).
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin core_rounds [--csv] [--json PATH] [--rounds N]
+//! ```
+//!
+//! Two regimes per system size (the paper's Table 3 overlays at
+//! n ∈ {8, 32, 64}):
+//!
+//! * `ff` — failure-free steady state: every server A-broadcasts an
+//!   8-byte payload, the flood drains, everyone delivers. This is the
+//!   regime the dense data layout targets: the measured loop performs
+//!   **zero heap allocations per protocol event** — the only
+//!   allocations are the `n` per-round delivery vectors handed to the
+//!   application, and the run *asserts* this with a counting global
+//!   allocator (`allocs_per_round == n`).
+//! * `f1` — one crash per scenario: a victim crashes after two sends of
+//!   its round-0 broadcast; its successors suspect it, the FAIL flood
+//!   and tracking-digraph machinery run, survivors finish the round and
+//!   one more. Measures failure-handling cost (scenario construction is
+//!   excluded from the zero-alloc claim — expansion and carry-over may
+//!   allocate, as Table 2 budgets).
+//!
+//! Emits committed `BENCH_core.json` (override with `--json PATH`) so
+//! the raw-engine trajectory is tracked PR over PR alongside
+//! `BENCH_rsm.json`.
+
+use allconcur_bench::output::{arg_value, has_flag, Table};
+use allconcur_bench::workloads::{paper_degree, paper_overlay};
+use allconcur_core::config::Config;
+use allconcur_core::message::Message;
+use allconcur_core::server::{Action, Event, Server};
+use allconcur_core::ServerId;
+use bytes::Bytes;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counts every allocation (and reallocation) so the failure-free
+/// steady state can *prove* its zero-per-event-allocation claim.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Lockstep driver: FIFO inbox over raw servers, reused buffers
+/// throughout (`handle_into` + scratch), so the harness itself adds no
+/// allocator traffic to the measurement.
+struct Bench {
+    servers: Vec<Server>,
+    inbox: VecDeque<(ServerId, ServerId, Message)>,
+    scratch: Vec<Action>,
+    payload: Bytes,
+    /// Crashed server, if the scenario has one: its sends beyond the
+    /// budget are dropped (partial broadcast, §2.3) and nothing is
+    /// delivered to it.
+    victim: Option<ServerId>,
+    victim_sends_left: usize,
+    /// Protocol events fed (A-broadcasts + receives + suspicions).
+    events: u64,
+    /// Deliveries observed (must be n per failure-free round).
+    deliveries: u64,
+}
+
+impl Bench {
+    fn new(cfg: &Config) -> Bench {
+        let n = cfg.n();
+        Bench {
+            servers: (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect(),
+            inbox: VecDeque::new(),
+            scratch: Vec::new(),
+            payload: Bytes::from(vec![0xA5u8; 8]),
+            victim: None,
+            victim_sends_left: 0,
+            events: 0,
+            deliveries: 0,
+        }
+    }
+
+    fn feed(&mut self, id: ServerId, event: Event) {
+        self.events += 1;
+        self.scratch.clear();
+        self.servers[id as usize].handle_into(event, &mut self.scratch);
+        for action in self.scratch.drain(..) {
+            match action {
+                Action::Send { to, msg } => {
+                    if self.victim == Some(id) {
+                        if self.victim_sends_left == 0 {
+                            continue; // crashed: this send never left
+                        }
+                        self.victim_sends_left -= 1;
+                    }
+                    if self.victim == Some(to) {
+                        continue; // crashed servers receive nothing
+                    }
+                    self.inbox.push_back((id, to, msg));
+                }
+                Action::Deliver { .. } => self.deliveries += 1,
+            }
+        }
+    }
+
+    fn drain(&mut self) {
+        while let Some((from, to, msg)) = self.inbox.pop_front() {
+            self.feed(to, Event::Receive { from, msg });
+        }
+    }
+
+    /// One failure-free round: everyone broadcasts, the flood drains.
+    fn round_ff(&mut self) {
+        for i in 0..self.servers.len() as ServerId {
+            let payload = self.payload.clone();
+            self.feed(i, Event::ABroadcast(payload));
+        }
+        self.drain();
+    }
+}
+
+struct Point {
+    n: usize,
+    d: usize,
+    mode: &'static str,
+    rounds: u64,
+    wall_ms: f64,
+    events: u64,
+    allocs_per_round: f64,
+}
+
+impl Point {
+    fn rounds_per_sec(&self) -> f64 {
+        self.rounds as f64 / (self.wall_ms / 1e3)
+    }
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / (self.wall_ms / 1e3)
+    }
+}
+
+/// Failure-free steady state, with the zero-alloc assertion.
+fn run_ff(n: usize, rounds: u64) -> Point {
+    let graph = paper_overlay(n);
+    let d = paper_degree(n);
+    let cfg = Config::new(Arc::new(graph), d.saturating_sub(1));
+    let mut bench = Bench::new(&cfg);
+
+    // Warm-up: buffer capacities, view rebuilds, inbox ring.
+    for _ in 0..10 {
+        bench.round_ff();
+    }
+    let deliveries_before = bench.deliveries;
+    let events_before = bench.events;
+
+    let alloc0 = allocs_now();
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        bench.round_ff();
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let allocs = allocs_now() - alloc0;
+
+    let delivered = bench.deliveries - deliveries_before;
+    assert_eq!(delivered, rounds * n as u64, "every server delivers every round");
+    // The zero-alloc claim, enforced: the steady-state loop's only heap
+    // allocations are the per-round delivery vectors (one per server
+    // per round, moved out to the application) — nothing per event.
+    assert_eq!(
+        allocs,
+        rounds * n as u64,
+        "steady-state round loop allocated beyond the delivery vectors \
+         ({} allocs over {} rounds at n={n}; budget is exactly n per round)",
+        allocs,
+        rounds,
+    );
+
+    Point {
+        n,
+        d,
+        mode: "ff",
+        rounds,
+        wall_ms,
+        events: bench.events - events_before,
+        allocs_per_round: allocs as f64 / rounds as f64,
+    }
+}
+
+/// Crash scenario: victim crashes after 2 sends of its round-0
+/// broadcast; successors suspect; survivors finish round 0 and run one
+/// more round. Repeated `iters` times on fresh servers.
+fn run_f1(n: usize, iters: u64) -> Point {
+    let graph = Arc::new(paper_overlay(n));
+    let d = paper_degree(n);
+    let cfg = Config::new(graph.clone(), d.saturating_sub(1));
+    let victim: ServerId = (n / 2) as ServerId;
+    let mut successors: Vec<ServerId> = graph.successors(victim).to_vec();
+    successors.sort_unstable();
+
+    let mut events = 0u64;
+    let t0 = Instant::now();
+    let mut rounds = 0u64;
+    for _ in 0..iters {
+        let mut bench = Bench::new(&cfg);
+        bench.victim = Some(victim);
+        bench.victim_sends_left = 2;
+        // Round 0 kickoff; the victim's broadcast is cut short by the
+        // send budget in `feed`.
+        for i in 0..n as ServerId {
+            bench.feed(i, Event::ABroadcast(bench.payload.clone()));
+        }
+        bench.drain();
+        // FD: every successor suspects the victim.
+        for &s in &successors {
+            if s != victim {
+                bench.feed(s, Event::Suspect { suspect: victim });
+            }
+        }
+        bench.drain();
+        // One more round among survivors (carried notifications replay).
+        for i in 0..n as ServerId {
+            if i != victim {
+                bench.feed(i, Event::ABroadcast(bench.payload.clone()));
+            }
+        }
+        bench.drain();
+        rounds += 2;
+        events += bench.events;
+        assert!(
+            bench.servers[0].round() >= 2,
+            "survivors must complete both rounds (n={n}, at round {})",
+            bench.servers[0].round()
+        );
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    Point { n, d, mode: "f1", rounds, wall_ms, events, allocs_per_round: f64::NAN }
+}
+
+fn main() {
+    let rounds: u64 = arg_value("--rounds").and_then(|v| v.parse().ok()).unwrap_or(200);
+    let csv = has_flag("--csv");
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_core.json".to_string());
+
+    let mut points = Vec::new();
+    for &n in &[8usize, 32, 64] {
+        points.push(run_ff(n, rounds));
+        points.push(run_f1(n, (rounds / 10).max(5)));
+    }
+
+    let mut table = Table::new(vec![
+        "n",
+        "d",
+        "mode",
+        "rounds",
+        "wall_ms",
+        "rounds_per_sec",
+        "events_per_sec",
+        "allocs_per_round",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.n.to_string(),
+            p.d.to_string(),
+            p.mode.to_string(),
+            p.rounds.to_string(),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.0}", p.rounds_per_sec()),
+            format!("{:.0}", p.events_per_sec()),
+            if p.allocs_per_round.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{:.0}", p.allocs_per_round)
+            },
+        ]);
+    }
+    println!("Raw protocol engine — lockstep rounds over bare Servers (8-byte payloads)");
+    println!("(ff asserts zero per-event heap allocations: exactly n delivery Vecs/round)\n");
+    print!("{}", if csv { table.render_csv() } else { table.render() });
+
+    // Hand-rolled JSON (no serde in the build environment); same shape
+    // as BENCH_rsm.json.
+    let series: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"n\": {}, \"d\": {}, \"mode\": \"{}\", \"rounds\": {}, \"wall_ms\": {:.1}, \
+                 \"rounds_per_sec\": {:.0}, \"events_per_sec\": {:.0}, \"allocs_per_round\": {}}}",
+                p.n,
+                p.d,
+                p.mode,
+                p.rounds,
+                p.wall_ms,
+                p.rounds_per_sec(),
+                p.events_per_sec(),
+                if p.allocs_per_round.is_nan() {
+                    "null".to_string()
+                } else {
+                    format!("{:.0}", p.allocs_per_round)
+                },
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"core_rounds\",\n  \"backend\": \"raw\",\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    std::fs::write(&json_path, json).expect("write BENCH json");
+    println!("\nwrote {json_path}");
+}

@@ -4,13 +4,18 @@
 //! with the simulator's predictions qualitatively.
 //!
 //! ```text
-//! cargo run --release -p allconcur-bench --bin tcp_latency [--csv] [--rounds N] [--sizes 4,8,16]
+//! cargo run --release -p allconcur-bench --bin tcp_latency [--csv] [--rounds N] [--sizes 4,8,16] [--json PATH]
 //! ```
 //!
 //! Numbers here reflect loopback + OS scheduling on the host machine,
 //! not a cluster fabric: expect higher medians and much wider tails than
 //! the simulated IB-hsw figures. Shape to check: latency grows with n,
 //! dominated by per-server work (n·d message handlings per round).
+//!
+//! Besides the table, the run emits machine-readable `BENCH_tcp.json`
+//! (override with `--json PATH`) — the same shape as `BENCH_rsm.json` —
+//! so the real-sockets perf trajectory is tracked PR over PR alongside
+//! the sim and raw-engine baselines.
 
 use allconcur_bench::output::{arg_value, has_flag, Table};
 use allconcur_cluster::Cluster;
@@ -24,6 +29,17 @@ fn main() {
         .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
         .unwrap_or_else(|| vec![4, 8, 16]);
     let csv = has_flag("--csv");
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_tcp.json".to_string());
+
+    struct Point {
+        n: usize,
+        d: usize,
+        median_us: f64,
+        ci_lo_us: f64,
+        ci_hi_us: f64,
+        p95_us: f64,
+    }
+    let mut points: Vec<Point> = Vec::new();
 
     let mut table = Table::new(vec!["n", "d", "median_us", "ci_lo_us", "ci_hi_us", "p95_us"]);
     for &n in &sizes {
@@ -57,6 +73,14 @@ fn main() {
             format!("{:.0}", ci.hi),
             format!("{p95:.0}"),
         ]);
+        points.push(Point {
+            n,
+            d,
+            median_us: ci.median,
+            ci_lo_us: ci.lo,
+            ci_hi_us: ci.hi,
+            p95_us: p95,
+        });
     }
     println!("Real-TCP loopback agreement latency (64-byte payloads, {rounds} rounds)");
     println!("(host-machine numbers; compare shapes, not absolutes, with Fig. 6b)\n");
@@ -65,4 +89,24 @@ fn main() {
     } else {
         print!("{}", table.render());
     }
+
+    // Hand-rolled JSON (no serde in the build environment); same shape
+    // as BENCH_rsm.json.
+    let series: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"n\": {}, \"d\": {}, \"median_us\": {:.0}, \"ci_lo_us\": {:.0}, \
+                 \"ci_hi_us\": {:.0}, \"p95_us\": {:.0}}}",
+                p.n, p.d, p.median_us, p.ci_lo_us, p.ci_hi_us, p.p95_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"tcp_latency\",\n  \"backend\": \"tcp\",\n  \"payload_bytes\": 64,\n  \
+         \"rounds\": {rounds},\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    std::fs::write(&json_path, json).expect("write BENCH json");
+    println!("\nwrote {json_path}");
 }

@@ -73,19 +73,47 @@ impl Batcher {
 }
 
 /// Decode a length-prefixed batch back into requests.
-pub fn decode_batch(mut payload: Bytes) -> Result<Vec<Bytes>, crate::message::CodecError> {
-    let mut out = Vec::new();
-    while payload.has_remaining() {
-        if payload.remaining() < 4 {
-            return Err(crate::message::CodecError::Truncated);
+///
+/// Collects into a `Vec`; the replication hot path uses [`iter_batch`]
+/// instead, which yields the same requests without the intermediate
+/// allocation.
+pub fn decode_batch(payload: Bytes) -> Result<Vec<Bytes>, crate::message::CodecError> {
+    iter_batch(payload).collect()
+}
+
+/// Iterate a length-prefixed batch without collecting it: each item is a
+/// zero-copy [`Bytes`] slice of the payload (shared refcount, no data
+/// copied, no per-request allocation). Malformed framing yields one
+/// `Err` and then ends the iteration.
+pub fn iter_batch(payload: Bytes) -> BatchIter {
+    BatchIter { payload, failed: false }
+}
+
+/// Iterator returned by [`iter_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchIter {
+    payload: Bytes,
+    failed: bool,
+}
+
+impl Iterator for BatchIter {
+    type Item = Result<Bytes, crate::message::CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || !self.payload.has_remaining() {
+            return None;
         }
-        let len = payload.get_u32_le() as usize;
-        if payload.remaining() < len {
-            return Err(crate::message::CodecError::Truncated);
+        if self.payload.remaining() < 4 {
+            self.failed = true;
+            return Some(Err(crate::message::CodecError::Truncated));
         }
-        out.push(payload.split_to(len));
+        let len = self.payload.get_u32_le() as usize;
+        if self.payload.remaining() < len {
+            self.failed = true;
+            return Some(Err(crate::message::CodecError::Truncated));
+        }
+        Some(Ok(self.payload.split_to(len)))
     }
-    Ok(out)
 }
 
 /// Pack `count` copies of a fixed-size request without prefixes — the
@@ -146,6 +174,28 @@ mod tests {
         // Fig 10's largest point: 2^15 requests of 8 bytes.
         let batch = encode_fixed(1 << 15, 8, 0xAB);
         assert_eq!(batch.len(), (1 << 15) * 8);
+    }
+
+    #[test]
+    fn iter_batch_is_zero_copy_and_matches_decode() {
+        let mut b = Batcher::new();
+        b.push(Bytes::from_static(b"alpha"));
+        b.push(Bytes::from_static(b"bb"));
+        let batch = b.take_batch();
+        let collected: Vec<Bytes> = iter_batch(batch.clone()).map(Result::unwrap).collect();
+        assert_eq!(collected, decode_batch(batch.clone()).unwrap());
+        // Zero-copy: the items alias the batch buffer.
+        assert_eq!(collected[0].as_ptr(), batch[4..].as_ptr());
+    }
+
+    #[test]
+    fn iter_batch_reports_truncation_once() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u32_le(100);
+        buf.put_slice(b"short");
+        let items: Vec<_> = iter_batch(buf.freeze()).collect();
+        assert_eq!(items.len(), 1);
+        assert!(items[0].is_err());
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! Dense id-indexed sets for the protocol hot path.
+//!
+//! Server ids are dense `u32 < n` (vertex indices of the overlay), so
+//! every per-round set the protocol keeps — delivered origins, failure
+//! notifications, suspected predecessors, FWD/BWD votes, live tracking
+//! digraphs — fits in a few machine words instead of a pointer-chasing
+//! sorted tree. [`IdSet`] is a plain bitset over ids; [`IdPairSet`]
+//! packs `(failed, detector)` notification pairs into one bitset of
+//! `n²` bits (Table 2 bounds the live pairs at `O(f·d)`, so even the
+//! dense representation is tiny: 512 bytes at n = 64).
+//!
+//! Both iterate in **ascending order** — exactly the order the previous
+//! `BTreeSet`-based state iterated in — which is what keeps the action
+//! stream byte-identical across the data-layout migration (see the
+//! golden-transcript test in the umbrella crate).
+//!
+//! `clear` zeroes words in place and every growth path keeps its
+//! allocation, so steady-state rounds reuse the same storage with no
+//! allocator traffic.
+
+/// A dense bitset over server ids, iterating in ascending id order.
+#[derive(Debug, Clone, Default)]
+pub struct IdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IdSet {
+    /// An empty set with no storage (grows on first insert).
+    pub fn new() -> IdSet {
+        IdSet::default()
+    }
+
+    /// An empty set pre-sized for ids `< n` (no growth needed later).
+    pub fn with_capacity(n: usize) -> IdSet {
+        IdSet { words: vec![0; n.div_ceil(64)], len: 0 }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every id, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Whether `id` is in the set.
+    pub fn contains(&self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        self.words.get(w).is_some_and(|&word| word & (1u64 << (id % 64)) != 0)
+    }
+
+    /// Insert `id`; returns whether it was newly inserted.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (id % 64);
+        let fresh = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Remove `id`; returns whether it was present.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let w = (id / 64) as usize;
+        let Some(word) = self.words.get_mut(w) else { return false };
+        let bit = 1u64 << (id % 64);
+        let present = *word & bit != 0;
+        *word &= !bit;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Ids in ascending order.
+    pub fn iter(&self) -> IdSetIter<'_> {
+        IdSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Number of ids present in both `self` and `other`.
+    pub fn intersection_len(&self, other: &IdSet) -> usize {
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// Keep only ids also present in `other` (in-place intersection).
+    pub fn intersect_with(&mut self, other: &IdSet) {
+        let mut len = 0;
+        for (i, word) in self.words.iter_mut().enumerate() {
+            *word &= other.words.get(i).copied().unwrap_or(0);
+            len += word.count_ones() as usize;
+        }
+        self.len = len;
+    }
+}
+
+/// Logical equality: same id membership, regardless of trailing
+/// capacity.
+impl PartialEq for IdSet {
+    fn eq(&self, other: &IdSet) -> bool {
+        let max = self.words.len().max(other.words.len());
+        (0..max).all(|i| {
+            self.words.get(i).copied().unwrap_or(0) == other.words.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for IdSet {}
+
+impl FromIterator<u32> for IdSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> IdSet {
+        let mut s = IdSet::new();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+/// Ascending iterator over an [`IdSet`].
+pub struct IdSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IdSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some(self.word_idx as u32 * 64 + bit)
+    }
+}
+
+impl<'a> IntoIterator for &'a IdSet {
+    type Item = u32;
+    type IntoIter = IdSetIter<'a>;
+    fn into_iter(self) -> IdSetIter<'a> {
+        self.iter()
+    }
+}
+
+/// A dense set of `(a, b)` id pairs with `a, b < n`, iterating in
+/// ascending `(a, b)` lexicographic order — the same order as a
+/// `BTreeSet<(u32, u32)>`. Backs the round's notification set `F_i`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IdPairSet {
+    n: usize,
+    bits: IdSet,
+}
+
+impl IdPairSet {
+    /// An empty set for pairs of ids `< n`.
+    pub fn new(n: usize) -> IdPairSet {
+        IdPairSet { n, bits: IdSet::with_capacity(n * n) }
+    }
+
+    /// Drop every pair and re-size for a new id bound (reconfiguration).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.bits = IdSet::with_capacity(n * n);
+    }
+
+    /// Number of pairs in the set.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Remove every pair, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+
+    fn index(&self, a: u32, b: u32) -> u32 {
+        debug_assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "pair ({a},{b}) out of range"
+        );
+        a * self.n as u32 + b
+    }
+
+    /// Whether `(a, b)` is in the set.
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        (a as usize) < self.n && (b as usize) < self.n && self.bits.contains(self.index(a, b))
+    }
+
+    /// Insert `(a, b)`; returns whether it was newly inserted.
+    pub fn insert(&mut self, a: u32, b: u32) -> bool {
+        let idx = self.index(a, b);
+        self.bits.insert(idx)
+    }
+
+    /// Pairs in ascending `(a, b)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let n = self.n as u32;
+        self.bits.iter().map(move |idx| (idx / n, idx % n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = IdSet::with_capacity(70);
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "duplicate insert");
+        assert!(s.insert(69));
+        assert!(s.contains(3) && s.contains(69));
+        assert!(!s.contains(4));
+        assert!(!s.contains(1000), "out of capacity is absent, not a panic");
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let ids = [64, 0, 7, 127, 65, 2];
+        let s: IdSet = ids.iter().copied().collect();
+        let got: Vec<u32> = s.iter().collect();
+        assert_eq!(got, vec![0, 2, 7, 64, 65, 127]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut s = IdSet::with_capacity(128);
+        s.insert(100);
+        let cap = s.words.len();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.words.len(), cap);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn growth_on_demand() {
+        let mut s = IdSet::new();
+        assert!(!s.contains(500));
+        s.insert(500);
+        assert!(s.contains(500));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![500]);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let mut a = IdSet::with_capacity(1024);
+        let mut b = IdSet::new();
+        a.insert(5);
+        b.insert(5);
+        assert_eq!(a, b);
+        b.insert(6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn intersection_ops() {
+        let a: IdSet = [1, 2, 3, 64, 65].iter().copied().collect();
+        let b: IdSet = [2, 64, 99].iter().copied().collect();
+        assert_eq!(a.intersection_len(&b), 2);
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![2, 64]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn pair_set_orders_like_btreeset() {
+        let pairs = [(3u32, 1u32), (0, 2), (3, 0), (0, 1), (2, 3)];
+        let mut dense = IdPairSet::new(4);
+        let mut sorted = std::collections::BTreeSet::new();
+        for &(a, b) in &pairs {
+            assert!(dense.insert(a, b));
+            sorted.insert((a, b));
+        }
+        assert!(!dense.insert(3, 1), "duplicate insert");
+        assert_eq!(dense.len(), sorted.len());
+        assert_eq!(dense.iter().collect::<Vec<_>>(), sorted.into_iter().collect::<Vec<_>>());
+        assert!(dense.contains(0, 2));
+        assert!(!dense.contains(2, 0));
+    }
+
+    #[test]
+    fn pair_set_reset_resizes() {
+        let mut s = IdPairSet::new(4);
+        s.insert(3, 3);
+        s.reset(8);
+        assert!(s.is_empty());
+        s.insert(7, 7);
+        assert!(s.contains(7, 7));
+    }
+}

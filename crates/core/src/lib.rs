@@ -29,6 +29,8 @@
 //!   transport reports round completions with;
 //! * [`message`] — wire messages (`BCAST`, `FAIL`, `FWD`, `BWD`) and the
 //!   hand-rolled binary codec;
+//! * [`bitset`] — dense id-indexed sets ([`bitset::IdSet`],
+//!   [`bitset::IdPairSet`]) backing the per-round hot-path state;
 //! * [`tracking`] — tracking digraphs `g_i[p*]` (Algorithm 1 lines 21–41);
 //! * [`server`] — the full round state machine, including iteration
 //!   (failed tagging, notification carry-over — §3 "Iterating") and the
@@ -41,6 +43,7 @@
 //!   factor).
 
 pub mod batch;
+pub mod bitset;
 pub mod config;
 pub mod delivery;
 pub mod fd;

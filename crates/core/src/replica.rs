@@ -53,11 +53,23 @@ pub trait Codec: Default {
     /// Serialize `item` into the payload bytes to A-broadcast.
     fn encode(&self, item: &Self::Item) -> Bytes;
 
+    /// Append `item`'s encoding to `buf` — the batching fast path: the
+    /// `Service` layer packs commands straight into the round payload,
+    /// so a codec overriding this avoids the intermediate [`Bytes`]
+    /// allocation of [`Codec::encode`] entirely.
+    fn encode_into(&self, item: &Self::Item, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.encode(item));
+    }
+
     /// Parse agreed payload bytes back into the typed value.
+    ///
+    /// The input is the refcounted agreed buffer, so codecs can hold
+    /// zero-copy slices of it in their commands (`bytes.slice(..)`)
+    /// instead of copying fields out.
     ///
     /// Must be deterministic: the same bytes either decode to the same
     /// value or fail with the same error on every replica.
-    fn decode(&self, bytes: &[u8]) -> Result<Self::Item, DecodeError>;
+    fn decode(&self, bytes: &Bytes) -> Result<Self::Item, DecodeError>;
 }
 
 /// Everything that can go wrong applying agreed rounds to a replica.
@@ -120,7 +132,13 @@ impl std::error::Error for RsmError {}
 /// snapshots on every replica.
 pub trait StateMachine: Sized {
     /// The typed operation clients submit.
-    type Command;
+    ///
+    /// `Clone` is required so an agreed round can be decoded **once**
+    /// and the decoded commands fanned out to every replica
+    /// ([`Replica::apply_decoded`]) — the clone should be cheap
+    /// (commands built from refcounted [`Bytes`] slices, or `Copy`
+    /// structs, clone in a few instructions).
+    type Command: Clone;
 
     /// The typed outcome of applying one command (returned to the
     /// submitting client by the `Service` layer).
@@ -196,15 +214,36 @@ impl<S: StateMachine> Replica<S> {
             }
         }
         // Decode phase: reject the whole round before mutating anything.
+        // Batched payloads stream through `iter_batch` — every request is
+        // a zero-copy slice of the agreed buffer, so decoding a round
+        // allocates nothing beyond the command vector itself.
+        let commands = self.decode_round(round, messages, batched)?;
+        // Apply phase: infallible.
+        self.apply_decoded(round, &commands, true)
+    }
+
+    /// Decode one delivered round into typed commands without touching
+    /// the state — the first half of [`Replica::apply_round`].
+    ///
+    /// Codecs are deterministic and every replica runs the same codec
+    /// (`S::Codec::default()`), so the result can be shared: the
+    /// `Service` layer decodes each agreed round **once** and applies
+    /// the same decoded commands to all replicas via
+    /// [`Replica::apply_decoded`], instead of re-decoding `n` times.
+    pub fn decode_round(
+        &self,
+        round: Round,
+        messages: &[(ServerId, Bytes)],
+        batched: bool,
+    ) -> Result<Vec<(ServerId, S::Command)>, RsmError> {
         let mut commands: Vec<(ServerId, S::Command)> = Vec::new();
         for (origin, payload) in messages {
             if payload.is_empty() {
                 continue; // empty round message: nothing to apply
             }
             if batched {
-                let requests = crate::batch::decode_batch(payload.clone())
-                    .map_err(|_| RsmError::BadBatch { origin: *origin, round })?;
-                for req in requests {
+                for req in crate::batch::iter_batch(payload.clone()) {
+                    let req = req.map_err(|_| RsmError::BadBatch { origin: *origin, round })?;
                     let cmd = self.codec.decode(&req).map_err(|reason| RsmError::Decode {
                         origin: *origin,
                         round,
@@ -221,14 +260,37 @@ impl<S: StateMachine> Replica<S> {
                 commands.push((*origin, cmd));
             }
         }
-        // Apply phase: infallible.
+        Ok(commands)
+    }
+
+    /// Apply an already-decoded round (from [`Replica::decode_round`],
+    /// possibly decoded by a *different* replica of the same state
+    /// machine type). Round-ordering rules match
+    /// [`Replica::apply_round`].
+    ///
+    /// When `collect` is false the typed responses are not gathered
+    /// (replicas that merely follow a round skip the response vector
+    /// entirely — only the harvesting replica pays for it).
+    pub fn apply_decoded(
+        &mut self,
+        round: Round,
+        commands: &[(ServerId, S::Command)],
+        collect: bool,
+    ) -> Result<Vec<(ServerId, S::Response)>, RsmError> {
+        if let Some(last) = self.last_round {
+            if round != last + 1 {
+                return Err(RsmError::RoundGap { expected: last + 1, got: round });
+            }
+        }
         self.last_round = Some(round);
         self.applied_rounds += 1;
-        let mut outputs = Vec::with_capacity(commands.len());
+        let mut outputs = Vec::with_capacity(if collect { commands.len() } else { 0 });
         for (origin, cmd) in commands {
-            let response = self.state.apply(origin, cmd);
+            let response = self.state.apply(*origin, cmd.clone());
             self.applied_commands += 1;
-            outputs.push((origin, response));
+            if collect {
+                outputs.push((*origin, response));
+            }
         }
         Ok(outputs)
     }
@@ -266,31 +328,37 @@ impl<S: StateMachine> Replica<S> {
 
 /// A ready-made key-value state machine, used by the examples and tests
 /// (and handy as a ZooKeeper-style demo service).
+///
+/// Keys and values are refcounted [`Bytes`]: applying a decoded command
+/// moves zero-copy slices of the agreed round payload straight into the
+/// map — the whole decode-and-apply path performs no per-command copy.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KvStore {
-    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    map: BTreeMap<Bytes, Bytes>,
 }
 
-/// A typed [`KvStore`] operation.
+/// A typed [`KvStore`] operation. Fields are [`Bytes`] so decoded
+/// commands borrow the agreed payload (refcounted) instead of copying;
+/// constructing one from owned data is a plain `.into()`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum KvCommand {
     /// Set `key` to `value`.
     Put {
         /// The key to set.
-        key: Vec<u8>,
+        key: Bytes,
         /// The value to store.
-        value: Vec<u8>,
+        value: Bytes,
     },
     /// Remove `key`.
     Delete {
         /// The key to remove.
-        key: Vec<u8>,
+        key: Bytes,
     },
     /// Read `key` at the agreed point — a linearizable get (the read
     /// rides atomic broadcast like any write).
     Get {
         /// The key to read.
-        key: Vec<u8>,
+        key: Bytes,
     },
 }
 
@@ -299,8 +367,9 @@ pub enum KvCommand {
 pub enum KvResponse {
     /// Put/delete applied.
     Ack,
-    /// Get result at the agreed point.
-    Value(Option<Vec<u8>>),
+    /// Get result at the agreed point (refcounted view of the stored
+    /// value).
+    Value(Option<Bytes>),
 }
 
 /// Wire codec for [`KvCommand`]: opcode byte (`P`/`D`/`G`), little-
@@ -316,6 +385,12 @@ impl Codec for KvCodec {
     type Item = KvCommand;
 
     fn encode(&self, cmd: &KvCommand) -> Bytes {
+        let mut buf = Vec::new();
+        self.encode_into(cmd, &mut buf);
+        Bytes::from(buf)
+    }
+
+    fn encode_into(&self, cmd: &KvCommand, buf: &mut Vec<u8>) {
         let (op, key, value): (u8, &[u8], &[u8]) = match cmd {
             KvCommand::Put { key, value } => (b'P', key, value),
             KvCommand::Delete { key } => (b'D', key, &[]),
@@ -326,31 +401,33 @@ impl Codec for KvCodec {
             "KvCommand key of {} bytes exceeds the u16 length prefix",
             key.len()
         );
-        let mut buf = BytesMut::with_capacity(3 + key.len() + value.len());
+        buf.reserve(3 + key.len() + value.len());
         buf.put_u8(op);
         buf.put_u16_le(key.len() as u16);
         buf.put_slice(key);
         buf.put_slice(value);
-        buf.freeze()
     }
 
-    fn decode(&self, bytes: &[u8]) -> Result<KvCommand, DecodeError> {
-        let Some((&op, rest)) = bytes.split_first() else {
+    fn decode(&self, bytes: &Bytes) -> Result<KvCommand, DecodeError> {
+        let raw: &[u8] = bytes;
+        let Some((&op, rest)) = raw.split_first() else {
             return Err(DecodeError("empty command"));
         };
         if rest.len() < 2 {
             return Err(DecodeError("missing key length"));
         }
         let key_len = u16::from_le_bytes([rest[0], rest[1]]) as usize;
-        let rest = &rest[2..];
-        if rest.len() < key_len {
+        if rest.len() - 2 < key_len {
             return Err(DecodeError("key shorter than its length prefix"));
         }
-        let (key, value) = rest.split_at(key_len);
+        // Zero-copy: key and value are refcounted slices of the agreed
+        // payload, not fresh allocations.
+        let key = bytes.slice(3..3 + key_len);
+        let value = bytes.slice(3 + key_len..);
         match op {
-            b'P' => Ok(KvCommand::Put { key: key.to_vec(), value: value.to_vec() }),
-            b'D' if value.is_empty() => Ok(KvCommand::Delete { key: key.to_vec() }),
-            b'G' if value.is_empty() => Ok(KvCommand::Get { key: key.to_vec() }),
+            b'P' => Ok(KvCommand::Put { key, value }),
+            b'D' if value.is_empty() => Ok(KvCommand::Delete { key }),
+            b'G' if value.is_empty() => Ok(KvCommand::Get { key }),
             b'D' | b'G' => Err(DecodeError("trailing bytes after key")),
             _ => Err(DecodeError("unknown opcode")),
         }
@@ -360,7 +437,7 @@ impl Codec for KvCodec {
 impl KvStore {
     /// Local (possibly one-round-stale) read.
     pub fn get_local(&self, key: &[u8]) -> Option<&[u8]> {
-        self.map.get(key).map(Vec::as_slice)
+        self.map.get(key).map(|v| v.as_ref())
     }
 
     /// Number of keys.
@@ -428,7 +505,7 @@ impl StateMachine for KvStore {
         for _ in 0..count {
             let key = read_chunk(&mut buf, "snapshot key truncated")?;
             let value = read_chunk(&mut buf, "snapshot value truncated")?;
-            map.insert(key.to_vec(), value.to_vec());
+            map.insert(Bytes::copy_from_slice(key), Bytes::copy_from_slice(value));
         }
         if !buf.is_empty() {
             return Err(DecodeError("snapshot has trailing bytes"));
@@ -442,7 +519,7 @@ mod tests {
     use super::*;
 
     fn put(key: &[u8], value: &[u8]) -> KvCommand {
-        KvCommand::Put { key: key.to_vec(), value: value.to_vec() }
+        KvCommand::Put { key: Bytes::copy_from_slice(key), value: Bytes::copy_from_slice(value) }
     }
 
     fn encoded(cmd: &KvCommand) -> Bytes {
@@ -455,11 +532,17 @@ mod tests {
         assert_eq!(kv.apply(0, put(b"k", b"v1")), KvResponse::Ack);
         assert_eq!(kv.get_local(b"k"), Some(&b"v1"[..]));
         assert_eq!(
-            kv.apply(1, KvCommand::Get { key: b"k".to_vec() }),
-            KvResponse::Value(Some(b"v1".to_vec()))
+            kv.apply(1, KvCommand::Get { key: Bytes::copy_from_slice(b"k") }),
+            KvResponse::Value(Some(Bytes::copy_from_slice(b"v1")))
         );
-        assert_eq!(kv.apply(0, KvCommand::Delete { key: b"k".to_vec() }), KvResponse::Ack);
-        assert_eq!(kv.apply(1, KvCommand::Get { key: b"k".to_vec() }), KvResponse::Value(None));
+        assert_eq!(
+            kv.apply(0, KvCommand::Delete { key: Bytes::copy_from_slice(b"k") }),
+            KvResponse::Ack
+        );
+        assert_eq!(
+            kv.apply(1, KvCommand::Get { key: Bytes::copy_from_slice(b"k") }),
+            KvResponse::Value(None)
+        );
         assert!(kv.is_empty());
     }
 
@@ -468,8 +551,8 @@ mod tests {
         for cmd in [
             put(b"key", b"value"),
             put(b"", b""),
-            KvCommand::Delete { key: b"k".to_vec() },
-            KvCommand::Get { key: vec![0xff; 300] },
+            KvCommand::Delete { key: Bytes::copy_from_slice(b"k") },
+            KvCommand::Get { key: Bytes::from(vec![0xff; 300]) },
         ] {
             assert_eq!(KvCodec.decode(&KvCodec.encode(&cmd)).unwrap(), cmd);
         }
@@ -478,9 +561,10 @@ mod tests {
     #[test]
     fn kv_codec_rejects_garbage_deterministically() {
         for bad in [&b""[..], b"P", b"P\xff\xff", b"Z\x01\x00k", b"P\x05\x00ab"] {
-            let first = KvCodec.decode(bad);
+            let bad = Bytes::copy_from_slice(bad);
+            let first = KvCodec.decode(&bad);
             assert!(first.is_err(), "{bad:?} should not decode");
-            assert_eq!(first, KvCodec.decode(bad), "decode must be deterministic");
+            assert_eq!(first, KvCodec.decode(&bad), "decode must be deterministic");
         }
     }
 
@@ -489,7 +573,10 @@ mod tests {
         let rounds: Vec<Vec<(ServerId, Bytes)>> = vec![
             vec![(0, encoded(&put(b"x", b"1"))), (1, encoded(&put(b"y", b"2")))],
             vec![(0, encoded(&put(b"x", b"3"))), (1, Bytes::new())],
-            vec![(0, Bytes::new()), (1, encoded(&KvCommand::Delete { key: b"y".to_vec() }))],
+            vec![
+                (0, Bytes::new()),
+                (1, encoded(&KvCommand::Delete { key: Bytes::copy_from_slice(b"y") })),
+            ],
         ];
         let mut r1 = Replica::new(KvStore::default());
         let mut r2 = Replica::new(KvStore::default());
@@ -513,14 +600,14 @@ mod tests {
                 0,
                 &[
                     (2, encoded(&put(b"a", b"1"))),
-                    (5, encoded(&KvCommand::Get { key: b"a".to_vec() })),
+                    (5, encoded(&KvCommand::Get { key: Bytes::copy_from_slice(b"a") })),
                 ],
                 false,
             )
             .unwrap();
         assert_eq!(
             outputs,
-            vec![(2, KvResponse::Ack), (5, KvResponse::Value(Some(b"1".to_vec())))]
+            vec![(2, KvResponse::Ack), (5, KvResponse::Value(Some(Bytes::copy_from_slice(b"1"))))]
         );
     }
 

@@ -27,13 +27,28 @@
 //!    (removing them from the overlay view), carries the still-relevant
 //!    failure notifications into the new round, and re-sends them
 //!    (Algorithm 1 lines 9–13).
+//!
+//! ## Data layout
+//!
+//! All per-round state is **dense and id-indexed** (ids are `u32 < n`):
+//! `M_i` is a `Vec<Option<Bytes>>`, the notification set `F_i` an
+//! [`IdPairSet`] bitset, the FWD/BWD votes and suspicion sets [`IdSet`]s,
+//! and one pre-allocated tracking digraph per origin is re-armed in place
+//! each round. Advancing a round clears this storage instead of
+//! reallocating it, and delivery *moves* the round's payloads out of
+//! `M_i` instead of cloning them, so a steady-state round performs no
+//! per-event heap allocation (measured by the `core_rounds` bench).
+//! Every set iterates in ascending id order — the same order the
+//! original sorted-map layout produced — so replayable-sim determinism
+//! and cross-backend parity are unaffected (golden-transcript test).
 
+use crate::bitset::{IdPairSet, IdSet};
 use crate::config::{Config, FdMode};
 use crate::message::Message;
 use crate::tracking::{TrackingContext, TrackingDigraph};
 use crate::{Round, ServerId};
 use bytes::Bytes;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Input to the state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,30 +134,40 @@ pub struct Server {
     round: Round,
     /// Overlay view: false once a server is tagged failed (line 11).
     alive: Vec<bool>,
-    /// Alive successors per vertex under the current view; rebuilt on
-    /// round advance. Indexed by ServerId.
+    /// Cached ascending list of alive ids (rebuilt on round advance /
+    /// reconfiguration) — backs [`Server::alive_members`] without a
+    /// per-call allocation.
+    alive_ids: Vec<ServerId>,
+    /// Alive successors per vertex under the current view; refilled in
+    /// place on round advance. Indexed by ServerId.
     succ_view: Vec<Vec<ServerId>>,
     /// Alive predecessors of `self` (transpose successors — also the
     /// targets of `BWD` floods).
     pred_view: Vec<ServerId>,
 
-    // ---- per-round state ----
-    /// `M_i`: origin → payload.
-    msgs: BTreeMap<ServerId, Bytes>,
+    // ---- per-round state (dense, id-indexed, reused across rounds) ----
+    /// `M_i`: payload by origin (`None` = not yet received).
+    msgs: Vec<Option<Bytes>>,
+    /// Number of `Some` entries in `msgs`.
+    msgs_len: usize,
+    /// Total payload bytes in `msgs`.
+    msg_bytes: usize,
     /// Whether our own message has been A-broadcast this round.
     own_sent: bool,
     /// `F_i`: (failed, detector) notifications seen this round.
-    fails: BTreeSet<(ServerId, ServerId)>,
+    fails: IdPairSet,
     /// Servers with at least one notification in `F_i`.
-    known_failed: BTreeSet<ServerId>,
+    known_failed: IdSet,
     /// Predecessors whose `BCAST`s we ignore (suspected — §3.3.2 rule).
-    suspected_preds: BTreeSet<ServerId>,
-    /// `g_i[p*]` for every origin whose message is still outstanding.
-    tracking: BTreeMap<ServerId, TrackingDigraph>,
+    suspected_preds: IdSet,
+    /// `g_i[p*]` for every origin, pre-allocated; `tracking_active`
+    /// marks the origins whose message is still outstanding.
+    tracking: Vec<TrackingDigraph>,
+    tracking_active: IdSet,
     phase: Phase,
     /// `◇P`: servers whose FWD / BWD we have seen this round.
-    fwd_seen: BTreeSet<ServerId>,
-    bwd_seen: BTreeSet<ServerId>,
+    fwd_seen: IdSet,
+    bwd_seen: IdSet,
 
     /// Application payloads submitted while this round's message was
     /// already out. Popped one per round on advance — *before* buffered
@@ -153,6 +178,11 @@ pub struct Server {
     pending_payloads: VecDeque<Bytes>,
     /// Events for rounds we have not reached yet.
     future: BTreeMap<Round, VecDeque<(ServerId, Message)>>,
+    /// Drained future-round queues, kept for reuse so pipelined rounds
+    /// do not reallocate buffers.
+    future_pool: Vec<VecDeque<(ServerId, Message)>>,
+    /// Scratch for the notifications carried across a round advance.
+    carried_scratch: Vec<(ServerId, ServerId)>,
     /// Peak single-digraph vertex count across the server's lifetime.
     peak_tracking: usize,
     /// Rounds delivered so far.
@@ -160,11 +190,11 @@ pub struct Server {
 }
 
 /// Borrowed view implementing [`TrackingContext`] against the server's
-/// round state (disjoint from the tracking map itself).
+/// round state (disjoint from the tracking digraphs themselves).
 struct RoundCtx<'a> {
     succ_view: &'a [Vec<ServerId>],
-    fails: &'a BTreeSet<(ServerId, ServerId)>,
-    known_failed: &'a BTreeSet<ServerId>,
+    fails: &'a IdPairSet,
+    known_failed: &'a IdSet,
 }
 
 impl TrackingContext for RoundCtx<'_> {
@@ -172,10 +202,10 @@ impl TrackingContext for RoundCtx<'_> {
         &self.succ_view[p as usize]
     }
     fn is_known_failed(&self, p: ServerId) -> bool {
-        self.known_failed.contains(&p)
+        self.known_failed.contains(p)
     }
     fn has_notification(&self, failed: ServerId, detector: ServerId) -> bool {
-        self.fails.contains(&(failed, detector))
+        self.fails.contains(failed, detector)
     }
 }
 
@@ -184,29 +214,34 @@ impl Server {
     pub fn new(cfg: Config, id: ServerId) -> Self {
         let n = cfg.n();
         assert!((id as usize) < n, "server id {id} outside configuration of {n}");
-        let alive = vec![true; n];
-        let (succ_view, pred_view) = build_views(&cfg, &alive, id);
         let mut s = Server {
-            cfg,
             id,
             round: 0,
-            alive,
-            succ_view,
-            pred_view,
-            msgs: BTreeMap::new(),
+            alive: vec![true; n],
+            alive_ids: Vec::with_capacity(n),
+            succ_view: vec![Vec::new(); n],
+            pred_view: Vec::new(),
+            msgs: vec![None; n],
+            msgs_len: 0,
+            msg_bytes: 0,
             own_sent: false,
-            fails: BTreeSet::new(),
-            known_failed: BTreeSet::new(),
-            suspected_preds: BTreeSet::new(),
-            tracking: BTreeMap::new(),
+            fails: IdPairSet::new(n),
+            known_failed: IdSet::with_capacity(n),
+            suspected_preds: IdSet::with_capacity(n),
+            tracking: (0..n as ServerId).map(TrackingDigraph::new).collect(),
+            tracking_active: IdSet::with_capacity(n),
             phase: Phase::Gathering,
-            fwd_seen: BTreeSet::new(),
-            bwd_seen: BTreeSet::new(),
+            fwd_seen: IdSet::with_capacity(n),
+            bwd_seen: IdSet::with_capacity(n),
             pending_payloads: VecDeque::new(),
             future: BTreeMap::new(),
+            future_pool: Vec::new(),
+            carried_scratch: Vec::new(),
             peak_tracking: 0,
             rounds_delivered: 0,
+            cfg,
         };
+        rebuild_views(&s.cfg, &s.alive, s.id, &mut s.succ_view, &mut s.pred_view, &mut s.alive_ids);
         s.init_tracking();
         s
     }
@@ -232,9 +267,10 @@ impl Server {
         self.pending_payloads.len()
     }
 
-    /// Servers still in the overlay view (not tagged failed).
-    pub fn alive_members(&self) -> Vec<ServerId> {
-        (0..self.cfg.n() as ServerId).filter(|&p| self.alive[p as usize]).collect()
+    /// Servers still in the overlay view (not tagged failed), ascending.
+    /// Borrows a cache maintained across round advances — no allocation.
+    pub fn alive_members(&self) -> &[ServerId] {
+        &self.alive_ids
     }
 
     /// Whether `p` is still in the overlay view.
@@ -255,14 +291,22 @@ impl Server {
 
     /// Table 2 snapshot.
     pub fn space_usage(&self) -> SpaceUsage {
+        let (tracking_vertices, tracking_edges) = self
+            .tracking_active
+            .iter()
+            .map(|p| {
+                let g = &self.tracking[p as usize];
+                (g.vertex_count(), g.edge_count())
+            })
+            .fold((0, 0), |(v, e), (gv, ge)| (v + gv, e + ge));
         SpaceUsage {
             graph_bytes: self.cfg.graph.memory_bytes(),
-            messages: self.msgs.len(),
-            message_bytes: self.msgs.values().map(Bytes::len).sum(),
+            messages: self.msgs_len,
+            message_bytes: self.msg_bytes,
             fail_notifications: self.fails.len(),
-            tracking_digraphs: self.tracking.len(),
-            tracking_vertices: self.tracking.values().map(TrackingDigraph::vertex_count).sum(),
-            tracking_edges: self.tracking.values().map(TrackingDigraph::edge_count).sum(),
+            tracking_digraphs: self.tracking_active.len(),
+            tracking_vertices,
+            tracking_edges,
             peak_tracking_vertices: self.peak_tracking,
         }
     }
@@ -281,10 +325,24 @@ impl Server {
         assert!((self.id as usize) < n, "server id lost in reconfiguration");
         self.cfg = cfg;
         self.round = round;
-        self.alive = vec![true; n];
-        let (sv, pv) = build_views(&self.cfg, &self.alive, self.id);
-        self.succ_view = sv;
-        self.pred_view = pv;
+        // Re-size the dense storage for the new membership.
+        self.alive.clear();
+        self.alive.resize(n, true);
+        self.succ_view.resize_with(n, Vec::new);
+        self.msgs.clear();
+        self.msgs.resize(n, None);
+        self.msgs_len = 0;
+        self.msg_bytes = 0;
+        self.fails.reset(n);
+        self.tracking = (0..n as ServerId).map(TrackingDigraph::new).collect();
+        rebuild_views(
+            &self.cfg,
+            &self.alive,
+            self.id,
+            &mut self.succ_view,
+            &mut self.pred_view,
+            &mut self.alive_ids,
+        );
         self.reset_round_state();
         self.pending_payloads.clear();
         self.future.retain(|&r, _| r >= round);
@@ -297,7 +355,14 @@ impl Server {
             Event::Receive { from, msg } => {
                 let r = msg.round();
                 if r > self.round {
-                    self.future.entry(r).or_default().push_back((from, msg));
+                    match self.future.get_mut(&r) {
+                        Some(queue) => queue.push_back((from, msg)),
+                        None => {
+                            let mut queue = self.future_pool.pop().unwrap_or_default();
+                            queue.push_back((from, msg));
+                            self.future.insert(r, queue);
+                        }
+                    }
                 } else if r == self.round {
                     self.dispatch(from, msg, out);
                 } // stale rounds are dropped: the sender has everything it
@@ -317,6 +382,9 @@ impl Server {
     }
 
     /// Feed one event; returns the resulting actions.
+    ///
+    /// Allocates the action vector per call; hot loops should prefer
+    /// [`Server::handle_into`] with a reused scratch vector.
     pub fn handle(&mut self, event: Event) -> Vec<Action> {
         let mut out = Vec::new();
         self.handle_into(event, &mut out);
@@ -326,16 +394,21 @@ impl Server {
     // ---- internals ------------------------------------------------------
 
     fn init_tracking(&mut self) {
-        self.tracking.clear();
+        self.tracking_active.clear();
         for p in 0..self.cfg.n() as ServerId {
             if p != self.id && self.alive[p as usize] {
-                self.tracking.insert(p, TrackingDigraph::new(p));
+                self.tracking[p as usize].reset();
+                self.tracking_active.insert(p);
             }
         }
     }
 
     fn reset_round_state(&mut self) {
-        self.msgs.clear();
+        for slot in &mut self.msgs {
+            *slot = None;
+        }
+        self.msgs_len = 0;
+        self.msg_bytes = 0;
         self.own_sent = false;
         self.fails.clear();
         self.known_failed.clear();
@@ -374,8 +447,16 @@ impl Server {
         self.own_sent = true;
         let msg = Message::Bcast { round: self.round, origin: self.id, payload: payload.clone() };
         self.send_to_successors(&msg, out);
-        self.msgs.insert(self.id, payload);
+        self.insert_msg(self.id, payload);
         self.check_termination(out);
+    }
+
+    fn insert_msg(&mut self, origin: ServerId, payload: Bytes) {
+        let slot = &mut self.msgs[origin as usize];
+        debug_assert!(slot.is_none(), "duplicate insert for origin {origin}");
+        self.msgs_len += 1;
+        self.msg_bytes += payload.len();
+        *slot = Some(payload);
     }
 
     fn dispatch(&mut self, from: ServerId, msg: Message, out: &mut Vec<Action>) {
@@ -383,7 +464,7 @@ impl Server {
             Message::Bcast { origin, payload, .. } => {
                 // §3.3.2: after suspecting a predecessor, ignore its
                 // messages (except failure notifications) for the round.
-                if self.suspected_preds.contains(&from) {
+                if self.suspected_preds.contains(from) {
                     return;
                 }
                 self.handle_bcast(origin, payload, out);
@@ -396,7 +477,7 @@ impl Server {
 
     /// Algorithm 1 lines 14–20.
     fn handle_bcast(&mut self, origin: ServerId, payload: Bytes, out: &mut Vec<Action>) {
-        if !self.alive[origin as usize] || self.msgs.contains_key(&origin) {
+        if !self.alive[origin as usize] || self.msgs[origin as usize].is_some() {
             return; // stale origin or duplicate — already forwarded once
         }
         if self.phase == Phase::Deciding {
@@ -408,26 +489,28 @@ impl Server {
         if !self.own_sent {
             self.a_broadcast(Bytes::new(), out);
         }
-        self.msgs.insert(origin, payload.clone());
+        self.insert_msg(origin, payload.clone());
         // Lines 17–18: continue dissemination (only this message is new;
         // everything else was forwarded on first receipt).
         let msg = Message::Bcast { round: self.round, origin, payload };
         self.send_to_successors(&msg, out);
         // Line 19: stop tracking m_origin.
-        self.tracking.remove(&origin);
+        if self.tracking_active.remove(origin) {
+            self.tracking[origin as usize].clear();
+        }
         self.check_termination(out);
     }
 
     /// Algorithm 1 lines 21–41.
     fn handle_fail(&mut self, failed: ServerId, detector: ServerId, out: &mut Vec<Action>) {
-        if !self.alive[failed as usize] || self.fails.contains(&(failed, detector)) {
+        if !self.alive[failed as usize] || self.fails.contains(failed, detector) {
             return; // stale or duplicate — R-broadcast dedup
         }
         // Line 22: disseminate first (R-broadcast).
         let msg = Message::Fail { round: self.round, failed, detector };
         self.send_to_successors(&msg, out);
         // Line 23: record.
-        self.fails.insert((failed, detector));
+        self.fails.insert(failed, detector);
         self.known_failed.insert(failed);
         // Lines 24–40: update every tracking digraph that contains
         // `failed`.
@@ -436,18 +519,24 @@ impl Server {
     }
 
     fn apply_fail_to_tracking(&mut self, failed: ServerId, detector: ServerId) {
-        // Split borrows: tracking map vs the context fields.
+        // Split borrows: the digraphs vs the context fields.
         let ctx = RoundCtx {
             succ_view: &self.succ_view,
             fails: &self.fails,
             known_failed: &self.known_failed,
         };
         let mut peak = self.peak_tracking;
-        self.tracking.retain(|_, g| {
+        for p in 0..self.tracking.len() {
+            if !self.tracking_active.contains(p as ServerId) {
+                continue;
+            }
+            let g = &mut self.tracking[p];
             g.on_failure(failed, detector, &ctx);
             peak = peak.max(g.peak_vertices());
-            !g.is_empty()
-        });
+            if g.is_empty() {
+                self.tracking_active.remove(p as ServerId);
+            }
+        }
         self.peak_tracking = peak;
     }
 
@@ -477,7 +566,7 @@ impl Server {
 
     /// Algorithm 1 lines 5–13 (plus the ◇P decision hand-off).
     fn check_termination(&mut self, out: &mut Vec<Action>) {
-        if self.phase != Phase::Gathering || !self.tracking.is_empty() {
+        if self.phase != Phase::Gathering || !self.tracking_active.is_empty() {
             return;
         }
         // Validity guard: our own message must be part of the set. The
@@ -510,55 +599,72 @@ impl Server {
         if self.phase != Phase::Deciding {
             return;
         }
-        let n = self.alive.iter().filter(|&&a| a).count();
-        let both =
-            self.fwd_seen.iter().filter(|&&p| p != self.id && self.bwd_seen.contains(&p)).count();
+        let n = self.alive_ids.len();
+        // In the Deciding phase both sets contain `self` (inserted at the
+        // phase hand-off), so the word-wise intersection overcounts the
+        // "other servers" tally by exactly one.
+        let both = self.fwd_seen.intersection_len(&self.bwd_seen) - 1;
         if both >= n / 2 {
             self.deliver_and_advance(out);
         }
     }
 
     fn deliver_and_advance(&mut self, out: &mut Vec<Action>) {
-        // Deliver sort(M_i) — BTreeMap iteration is origin-ascending.
-        let messages: Vec<(ServerId, Bytes)> =
-            self.msgs.iter().map(|(&p, b)| (p, b.clone())).collect();
+        // Deliver sort(M_i): ascending-origin scan of the dense slots,
+        // *moving* each payload out instead of cloning it (the round
+        // state is reset below anyway). Lines 9–11 fold into the same
+        // sweep: an alive server with no message is tagged failed.
+        let mut messages: Vec<(ServerId, Bytes)> = Vec::with_capacity(self.msgs_len);
+        for p in 0..self.cfg.n() {
+            match self.msgs[p].take() {
+                Some(payload) => messages.push((p as ServerId, payload)),
+                None => {
+                    if self.alive[p] {
+                        self.alive[p] = false;
+                    }
+                }
+            }
+        }
+        self.msgs_len = 0;
+        self.msg_bytes = 0;
         out.push(Action::Deliver { round: self.round, messages });
         self.rounds_delivered += 1;
 
-        // Lines 9–11: tag servers whose messages were not delivered.
-        for p in 0..self.cfg.n() as ServerId {
-            if self.alive[p as usize] && !self.msgs.contains_key(&p) {
-                self.alive[p as usize] = false;
-            }
-        }
         // Lines 12–13: keep notifications about still-alive servers (they
         // failed *after* A-broadcasting; the new round must know).
-        let carried: Vec<(ServerId, ServerId)> =
-            self.fails.iter().copied().filter(|&(p, _)| self.alive[p as usize]).collect();
+        let mut carried = std::mem::take(&mut self.carried_scratch);
+        carried.clear();
+        carried.extend(self.fails.iter().filter(|&(p, _)| self.alive[p as usize]));
 
         // Enter the next round under the shrunken overlay view.
         self.round += 1;
-        let (sv, pv) = build_views(&self.cfg, &self.alive, self.id);
-        self.succ_view = sv;
-        self.pred_view = pv;
+        rebuild_views(
+            &self.cfg,
+            &self.alive,
+            self.id,
+            &mut self.succ_view,
+            &mut self.pred_view,
+            &mut self.alive_ids,
+        );
         self.reset_round_state();
 
         // Re-derive the ignore-rule for predecessors we ourselves
         // suspected, then replay the carried notifications: batch-insert
         // first so expansions see the full refutation set, then update
         // tracking and resend under the new round's tag.
-        for &(p, det) in &carried {
+        for &(p, det) in carried.iter() {
             if det == self.id {
                 self.suspected_preds.insert(p);
             }
-            self.fails.insert((p, det));
+            self.fails.insert(p, det);
             self.known_failed.insert(p);
         }
-        for &(p, det) in &carried {
+        for &(p, det) in carried.iter() {
             let msg = Message::Fail { round: self.round, failed: p, detector: det };
             self.send_to_successors(&msg, out);
             self.apply_fail_to_tracking(p, det);
         }
+        self.carried_scratch = carried;
         // The carried notifications alone may already settle the round's
         // tracking state for long-dead senders, but delivery still waits
         // for our own A-broadcast (the application drives it).
@@ -590,6 +696,8 @@ impl Server {
                     break;
                 }
             }
+            queue.clear();
+            self.future_pool.push(queue);
             if self.round == round_before {
                 return;
             }
@@ -597,20 +705,32 @@ impl Server {
     }
 }
 
-/// Build (successor view, self's predecessor view) under an alive mask:
-/// dead servers keep their vertex ids but lose every edge.
-fn build_views(cfg: &Config, alive: &[bool], id: ServerId) -> (Vec<Vec<ServerId>>, Vec<ServerId>) {
+/// Refill (successor view, self's predecessor view, alive-id cache) in
+/// place under an alive mask: dead servers keep their vertex ids but
+/// lose every edge. A free function over disjoint `Server` fields so the
+/// per-round rebuild borrows cleanly and reuses the existing buffers.
+fn rebuild_views(
+    cfg: &Config,
+    alive: &[bool],
+    id: ServerId,
+    succ: &mut [Vec<ServerId>],
+    pred: &mut Vec<ServerId>,
+    alive_ids: &mut Vec<ServerId>,
+) {
     let n = cfg.n();
-    let mut succ = vec![Vec::new(); n];
-    for v in 0..n as ServerId {
-        if !alive[v as usize] {
+    for v in 0..n {
+        succ[v].clear();
+        if !alive[v] {
             continue;
         }
-        succ[v as usize] =
-            cfg.graph.successors(v).iter().copied().filter(|&s| alive[s as usize]).collect();
+        succ[v].extend(
+            cfg.graph.successors(v as ServerId).iter().copied().filter(|&s| alive[s as usize]),
+        );
     }
-    let pred = cfg.graph.predecessors(id).iter().copied().filter(|&p| alive[p as usize]).collect();
-    (succ, pred)
+    pred.clear();
+    pred.extend(cfg.graph.predecessors(id).iter().copied().filter(|&p| alive[p as usize]));
+    alive_ids.clear();
+    alive_ids.extend((0..n as ServerId).filter(|&p| alive[p as usize]));
 }
 
 #[cfg(test)]
@@ -839,7 +959,7 @@ mod tests {
         assert_eq!(messages.iter().map(|&(o, _)| o).collect::<Vec<_>>(), vec![0, 1]);
         assert_eq!(s0.round(), 1);
         assert!(!s0.is_alive(2), "server 2 tagged failed");
-        assert_eq!(s0.alive_members(), vec![0, 1]);
+        assert_eq!(s0.alive_members(), &[0, 1][..]);
     }
 
     #[test]
@@ -924,5 +1044,31 @@ mod tests {
         });
         assert_eq!(deliver, Some((0, 1)));
         assert_eq!(s.round(), 1);
+    }
+
+    #[test]
+    fn alive_members_cache_tracks_round_advances() {
+        // The cached slice must shrink exactly when the overlay view
+        // does, and never allocate per call (API returns a borrow).
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s0 = Server::new(cfg, 0);
+        assert_eq!(s0.alive_members(), &[0, 1, 2][..]);
+        let mut acts = Vec::new();
+        s0.handle_into(Event::ABroadcast(payload(0)), &mut acts);
+        s0.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 0, origin: 1, payload: payload(1) },
+            },
+            &mut acts,
+        );
+        s0.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+        s0.handle_into(
+            Event::Receive { from: 1, msg: Message::Fail { round: 0, failed: 2, detector: 1 } },
+            &mut acts,
+        );
+        assert_eq!(s0.round(), 1);
+        assert_eq!(s0.alive_members(), &[0, 1][..]);
+        assert_eq!(s0.monitored_predecessors(), &[1][..]);
     }
 }

@@ -28,11 +28,15 @@
 //! round terminates when **all** tracking digraphs are empty (line 6).
 //!
 //! Per Table 2 the digraphs stay small — `O(f·d)` vertices each, and only
-//! `O(f)` of them ever grow beyond one vertex — so the implementation
-//! favours dense little maps over asymptotics.
+//! `O(f)` of them ever grow beyond one vertex — so the layout is **dense**:
+//! a vertex bitset plus one adjacency bitset row per vertex (ids are dense
+//! `u32 < n`). Membership tests and refutations are single word ops,
+//! iteration is ascending-id (the same deterministic order the previous
+//! sorted-map layout produced), and `reset` reuses every allocation so a
+//! server's per-round re-initialisation costs no allocator traffic.
 
+use crate::bitset::IdSet;
 use crate::ServerId;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Interface the tracking logic needs from the rest of the server state.
 /// Implemented by the round state in [`crate::server`]; kept as a trait so
@@ -51,26 +55,62 @@ pub trait TrackingContext {
 
 /// The tracking digraph `g_i[p*]` for one tracked origin `p*`.
 ///
-/// Uses sorted maps/sets: deterministic iteration keeps the whole server
-/// state machine reproducible, which the simulator's replayable runs and
-/// the property tests rely on.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Dense layout: `verts` is the vertex set; `adj[v]` the successor set of
+/// vertex `v`. Invariant: the adjacency row of a non-vertex is empty, so
+/// edge iteration over `verts` sees exactly the digraph's edges. All
+/// iteration is ascending-id, keeping the whole server state machine
+/// reproducible (the simulator's replayable runs and the golden-transcript
+/// test rely on it).
+#[derive(Debug, Clone)]
 pub struct TrackingDigraph {
     /// The tracked origin `p*`.
     origin: ServerId,
-    /// Adjacency: vertex → successors within the tracking digraph.
-    /// Every vertex of the digraph has an entry (possibly empty).
-    succs: BTreeMap<ServerId, BTreeSet<ServerId>>,
+    /// Vertex set.
+    verts: IdSet,
+    /// Adjacency rows, indexed by vertex id; rows grow on demand and are
+    /// kept (cleared) across rounds.
+    adj: Vec<IdSet>,
+    /// Number of edges (maintained incrementally).
+    edges: usize,
     /// Peak vertex count reached — Table 2 instrumentation.
     peak_vertices: usize,
+    /// Scratch for the expansion BFS (reused across notifications).
+    bfs_queue: Vec<(ServerId, ServerId)>,
+    /// Scratch for the pruning reachability sweep.
+    reachable: IdSet,
+    prune_queue: Vec<ServerId>,
 }
 
 impl TrackingDigraph {
     /// Fresh digraph: `V = {p*}`, no edges (Algorithm 1's INIT).
     pub fn new(origin: ServerId) -> Self {
-        let mut succs = BTreeMap::new();
-        succs.insert(origin, BTreeSet::new());
-        TrackingDigraph { origin, succs, peak_vertices: 1 }
+        let mut verts = IdSet::new();
+        verts.insert(origin);
+        TrackingDigraph {
+            origin,
+            verts,
+            adj: Vec::new(),
+            edges: 0,
+            peak_vertices: 1,
+            bfs_queue: Vec::new(),
+            reachable: IdSet::new(),
+            prune_queue: Vec::new(),
+        }
+    }
+
+    /// Re-initialise to the fresh `V = {p*}` state, reusing all storage —
+    /// the per-round reset path (the peak survives; it is a lifetime
+    /// high-water mark).
+    pub fn reset(&mut self) {
+        for v in self.verts.iter() {
+            // By the row invariant only current vertices can own edges.
+            if let Some(row) = self.adj.get_mut(v as usize) {
+                row.clear();
+            }
+        }
+        self.verts.clear();
+        self.verts.insert(self.origin);
+        self.edges = 0;
     }
 
     /// The tracked origin `p*`.
@@ -81,17 +121,17 @@ impl TrackingDigraph {
     /// Whether the digraph has been emptied — either `m*` was received or
     /// no non-faulty server can hold it.
     pub fn is_empty(&self) -> bool {
-        self.succs.is_empty()
+        self.verts.is_empty()
     }
 
     /// Current vertex count.
     pub fn vertex_count(&self) -> usize {
-        self.succs.len()
+        self.verts.len()
     }
 
     /// Current edge count.
     pub fn edge_count(&self) -> usize {
-        self.succs.values().map(|s| s.len()).sum()
+        self.edges
     }
 
     /// Largest vertex count this digraph ever reached (Table 2).
@@ -101,17 +141,37 @@ impl TrackingDigraph {
 
     /// Whether `p` is currently a vertex.
     pub fn contains(&self, p: ServerId) -> bool {
-        self.succs.contains_key(&p)
+        self.verts.contains(p)
     }
 
     /// Whether the edge `(a, b)` is present.
     pub fn has_edge(&self, a: ServerId, b: ServerId) -> bool {
-        self.succs.get(&a).is_some_and(|s| s.contains(&b))
+        self.adj.get(a as usize).is_some_and(|row| row.contains(b))
     }
 
     /// Stop tracking entirely (message received, or give-up rule).
     pub fn clear(&mut self) {
-        self.succs.clear();
+        for v in self.verts.iter() {
+            if let Some(row) = self.adj.get_mut(v as usize) {
+                row.clear();
+            }
+        }
+        self.verts.clear();
+        self.edges = 0;
+    }
+
+    fn row_mut(&mut self, v: ServerId) -> &mut IdSet {
+        let idx = v as usize;
+        if idx >= self.adj.len() {
+            self.adj.resize_with(idx + 1, IdSet::new);
+        }
+        &mut self.adj[idx]
+    }
+
+    fn insert_edge(&mut self, a: ServerId, b: ServerId) -> bool {
+        let fresh = self.row_mut(a).insert(b);
+        self.edges += usize::from(fresh);
+        fresh
     }
 
     /// Process the failure notification `(failed, detector)` —
@@ -129,7 +189,7 @@ impl TrackingDigraph {
         if self.is_empty() || !self.contains(failed) {
             return false;
         }
-        let had_successors = !self.succs[&failed].is_empty();
+        let had_successors = self.adj.get(failed as usize).is_some_and(|row| !row.is_empty());
         let mut changed = false;
 
         if !had_successors {
@@ -139,41 +199,44 @@ impl TrackingDigraph {
             // notifying detector cannot have received m* from `failed`
             // (FIFO channels — it would have relayed m* first), and any
             // (src, dst) pair already refuted by a notification in F_i.
-            let mut queue: VecDeque<(ServerId, ServerId)> = VecDeque::new();
+            let mut queue = std::mem::take(&mut self.bfs_queue);
+            queue.clear();
             for &p in ctx.successors(failed) {
                 if p != detector && !ctx.has_notification(failed, p) {
-                    queue.push_back((failed, p));
+                    queue.push((failed, p));
                 }
             }
-            while let Some((src, dst)) = queue.pop_front() {
+            let mut head = 0;
+            while head < queue.len() {
+                let (src, dst) = queue[head];
+                head += 1;
                 if !self.contains(dst) {
-                    self.succs.insert(dst, BTreeSet::new());
+                    self.verts.insert(dst);
+                    self.row_mut(dst).clear();
                     changed = true;
                     if ctx.is_known_failed(dst) {
                         // dst may have relayed m* before failing in turn.
                         for &ps in ctx.successors(dst) {
                             if !ctx.has_notification(dst, ps) {
-                                queue.push_back((dst, ps));
+                                queue.push((dst, ps));
                             }
                         }
                     }
                 }
-                changed |= self
-                    .succs
-                    .get_mut(&src)
-                    .expect("expansion source must be a vertex")
-                    .insert(dst);
+                changed |= self.insert_edge(src, dst);
             }
+            self.bfs_queue = queue;
         } else if self.has_edge(failed, detector) {
             // Refutation (lines 35–36): detector has not received m*
             // from `failed`.
-            self.succs.get_mut(&failed).expect("checked").remove(&detector);
+            self.adj[failed as usize].remove(detector);
+            self.edges -= 1;
             changed = true;
         }
 
         if changed {
             self.prune(ctx);
-            self.peak_vertices = self.peak_vertices.max(self.succs.len());
+            self.peak_vertices = self.peak_vertices.max(self.verts.len());
         }
         changed
     }
@@ -181,63 +244,105 @@ impl TrackingDigraph {
     /// Pruning (lines 37–40): drop vertices unreachable from `p*`, then
     /// clear entirely if every surviving vertex is known to have failed.
     fn prune<C: TrackingContext>(&mut self, ctx: &C) {
-        if self.succs.is_empty() {
+        if self.verts.is_empty() {
             return;
         }
         if !self.contains(self.origin) {
             // p* was never removable while present; if it is gone the
             // whole digraph is unreachable.
-            self.succs.clear();
+            self.clear();
             return;
         }
         // Reachability from p*.
-        let mut reachable = BTreeSet::new();
-        let mut queue = VecDeque::new();
+        let mut reachable = std::mem::take(&mut self.reachable);
+        let mut queue = std::mem::take(&mut self.prune_queue);
+        reachable.clear();
+        queue.clear();
         reachable.insert(self.origin);
-        queue.push_back(self.origin);
-        while let Some(u) = queue.pop_front() {
-            if let Some(succs) = self.succs.get(&u) {
-                for &v in succs {
+        queue.push(self.origin);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            if let Some(row) = self.adj.get(u as usize) {
+                for v in row.iter() {
                     if reachable.insert(v) {
-                        queue.push_back(v);
+                        queue.push(v);
                     }
                 }
             }
         }
-        if reachable.len() != self.succs.len() {
-            self.succs.retain(|v, _| reachable.contains(v));
-            for set in self.succs.values_mut() {
-                set.retain(|v| reachable.contains(v));
+        if reachable.len() != self.verts.len() {
+            // Clear the rows of vertices about to drop (row invariant),
+            // then intersect the vertex set and every surviving row.
+            for v in self.verts.iter() {
+                if !reachable.contains(v) {
+                    if let Some(row) = self.adj.get_mut(v as usize) {
+                        row.clear();
+                    }
+                }
             }
+            self.verts.intersect_with(&reachable);
+            let mut edges = 0;
+            for v in self.verts.iter() {
+                if let Some(row) = self.adj.get_mut(v as usize) {
+                    row.intersect_with(&reachable);
+                    edges += row.len();
+                }
+            }
+            self.edges = edges;
         }
+        self.reachable = reachable;
+        self.prune_queue = queue;
         // Give-up rule: all remaining holders are dead — m* is lost.
-        if self.succs.keys().all(|&p| ctx.is_known_failed(p)) {
-            self.succs.clear();
+        if self.verts.iter().all(|p| ctx.is_known_failed(p)) {
+            self.clear();
         }
     }
 
     /// Vertices currently tracked (sorted). Exposed for tests and
     /// instrumentation.
     pub fn vertices(&self) -> impl Iterator<Item = ServerId> + '_ {
-        self.succs.keys().copied()
+        self.verts.iter()
     }
 
     /// Edges currently tracked (sorted). Exposed for tests and
     /// instrumentation.
     pub fn edges(&self) -> impl Iterator<Item = (ServerId, ServerId)> + '_ {
-        self.succs.iter().flat_map(|(&u, vs)| vs.iter().map(move |&v| (u, v)))
+        self.verts.iter().flat_map(move |u| {
+            self.adj
+                .get(u as usize)
+                .into_iter()
+                .flat_map(move |row| row.iter().map(move |v| (u, v)))
+        })
     }
 
-    /// Approximate heap usage in bytes (Table 2 instrumentation).
+    /// Approximate heap usage in bytes (Table 2 instrumentation) —
+    /// counts logical entries, matching the pre-dense accounting so the
+    /// Table 2 series stays comparable across PRs.
     pub fn memory_bytes(&self) -> usize {
-        // BTree nodes are opaque; count logical entries.
-        self.succs.len() * 16 + self.edge_count() * 4
+        self.verts.len() * 16 + self.edge_count() * 4
     }
 }
+
+/// Logical graph equality: same origin, vertex set, edges, and peak.
+/// Scratch buffers and row capacity are excluded.
+impl PartialEq for TrackingDigraph {
+    fn eq(&self, other: &TrackingDigraph) -> bool {
+        self.origin == other.origin
+            && self.peak_vertices == other.peak_vertices
+            && self.verts == other.verts
+            && self.edges == other.edges
+            && self.edges().eq(other.edges())
+    }
+}
+
+impl Eq for TrackingDigraph {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
 
     /// A test context over an explicit successor map.
     struct Ctx {
@@ -467,5 +572,28 @@ mod tests {
         let snapshot = g.clone();
         assert!(!g.on_failure(0, 2, &ctx), "same notification twice must not change state");
         assert_eq!(g, snapshot);
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_restores_init_state() {
+        let mut ctx = binomial9();
+        let mut g = TrackingDigraph::new(0);
+        ctx.notify(0, 2);
+        g.on_failure(0, 2, &ctx);
+        assert!(g.vertex_count() > 1 && g.edge_count() > 0);
+        let peak = g.peak_vertices();
+        g.reset();
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.contains(0));
+        assert_eq!(g.peak_vertices(), peak, "peak is a lifetime high-water mark");
+        // And it behaves like a fresh digraph afterwards.
+        let fresh_walk = {
+            let mut fresh = TrackingDigraph::new(0);
+            fresh.on_failure(0, 2, &ctx);
+            fresh.vertices().collect::<Vec<_>>()
+        };
+        g.on_failure(0, 2, &ctx);
+        assert_eq!(g.vertices().collect::<Vec<_>>(), fresh_walk);
     }
 }

@@ -5,7 +5,7 @@
 
 use allconcur_core::message::Message;
 use allconcur_core::ServerId;
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
 use std::io::{self, Read, Write};
 
 /// Maximum accepted frame, guarding against corrupt length prefixes.
@@ -13,16 +13,28 @@ use std::io::{self, Read, Write};
 /// spare.
 pub const MAX_FRAME: usize = 64 << 20;
 
-/// Write one framed message.
-pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
-    let len = msg.encoded_len();
-    if len > MAX_FRAME {
+/// Encode one message into its wire frame, bounds-checked.
+///
+/// The frame is refcounted [`Bytes`]: encode once, then hand the same
+/// frame to every successor's writer ([`write_encoded_frame`]) — the
+/// fan-out path of the protocol loop never re-encodes per destination.
+pub fn encode_frame(msg: &Message) -> io::Result<Bytes> {
+    if msg.encoded_len() > MAX_FRAME {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
     }
-    let mut buf = BytesMut::with_capacity(4 + len);
-    buf.extend_from_slice(&(len as u32).to_le_bytes());
-    msg.encode(&mut buf);
-    w.write_all(&buf)
+    Ok(msg.to_frame())
+}
+
+/// Write one already-encoded frame (from [`encode_frame`]).
+pub fn write_encoded_frame<W: Write>(w: &mut W, frame: &Bytes) -> io::Result<()> {
+    w.write_all(frame)
+}
+
+/// Write one framed message (encode + write in one step; the fan-out
+/// hot path uses [`encode_frame`] + [`write_encoded_frame`] instead so
+/// one encoding serves all `d` successors).
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    write_encoded_frame(w, &encode_frame(msg)?)
 }
 
 /// Read one framed message (blocking).
@@ -71,6 +83,21 @@ mod tests {
         let mut cursor = Cursor::new(wire);
         for m in &msgs {
             assert_eq!(&read_frame(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn encoded_frame_fans_out_identically() {
+        // One encode_frame, written to several writers, must decode to
+        // the same message on every stream.
+        let msg = Message::Bcast { round: 2, origin: 7, payload: Bytes::from(vec![9u8; 128]) };
+        let frame = encode_frame(&msg).unwrap();
+        let mut wires: Vec<Vec<u8>> = vec![Vec::new(); 3];
+        for w in &mut wires {
+            write_encoded_frame(w, &frame).unwrap();
+        }
+        for wire in wires {
+            assert_eq!(read_frame(&mut Cursor::new(wire)).unwrap(), msg);
         }
     }
 

@@ -16,7 +16,9 @@
 //! its successors (it sends to them) and *accepts in* from its
 //! predecessors.
 
-use crate::codec::{read_frame, read_handshake, write_frame, write_handshake};
+use crate::codec::{
+    encode_frame, read_frame, read_handshake, write_encoded_frame, write_handshake,
+};
 use crate::heartbeat::{self, FdParams, HeartbeatTable};
 use allconcur_core::config::Config;
 use allconcur_core::message::Message;
@@ -329,6 +331,11 @@ struct ProtocolState {
     writers: HashMap<ServerId, BufWriter<TcpStream>>,
     delivery_tx: Sender<Delivery>,
     actions: Vec<Action>,
+    /// Writers holding unflushed bytes. Flushed once per drained input
+    /// batch ([`ProtocolState::flush_writers`]), not per frame — with
+    /// `d` successors and a burst of forwarded messages this collapses
+    /// many small `flush` syscalls into one per writer per batch.
+    dirty: Vec<ServerId>,
     /// Peer messages held back while the current round awaits the
     /// application's submission (see [`RuntimeOptions::app_grace`]).
     /// Kept in arrival order so link-FIFO is preserved.
@@ -347,7 +354,99 @@ impl ProtocolState {
     fn process(&mut self, event: Event) -> bool {
         self.actions.clear();
         self.server.handle_into(event, &mut self.actions);
-        flush_actions(&mut self.actions, &mut self.writers, &self.delivery_tx)
+        self.write_actions()
+    }
+
+    /// Write out sends (encoding each distinct message **once** and
+    /// fanning the same refcounted frame to every destination) and
+    /// forward deliveries. Writers are only marked dirty here; the
+    /// caller flushes them per input batch. Returns `false` when the
+    /// application side hung up.
+    fn write_actions(&mut self) -> bool {
+        // The state machine emits fan-outs as consecutive `Send`s that
+        // clone one message, so a one-entry frame cache captures the
+        // whole run; a miss just re-encodes.
+        let mut frame: Option<(Message, bytes::Bytes)> = None;
+        for action in self.actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => {
+                    let Some(w) = self.writers.get_mut(&to) else { continue };
+                    let cached = match &frame {
+                        Some((m, f)) if same_message(m, &msg) => f.clone(),
+                        _ => match encode_frame(&msg) {
+                            Ok(f) => {
+                                frame = Some((msg, f.clone()));
+                                f
+                            }
+                            Err(_) => continue, // oversized: drop, FD handles the peer
+                        },
+                    };
+                    if write_encoded_frame(w, &cached).is_err() {
+                        self.writers.remove(&to); // peer gone; FD handles the rest
+                        self.dirty.retain(|&d| d != to);
+                    } else if !self.dirty.contains(&to) {
+                        self.dirty.push(to);
+                    }
+                }
+                Action::Deliver { round, messages } => {
+                    if self.delivery_tx.send(Delivery { round, messages }).is_err() {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Flush every writer that buffered bytes since the last flush.
+    fn flush_writers(&mut self) {
+        for to in std::mem::take(&mut self.dirty) {
+            if let Some(w) = self.writers.get_mut(&to) {
+                if w.flush().is_err() {
+                    self.writers.remove(&to);
+                }
+            }
+        }
+    }
+
+    /// Feed one multiplexed input. Returns `false` when the loop should
+    /// exit (shutdown, or the application side hung up). `None` means
+    /// the deferred-release grace expired.
+    fn handle_input(&mut self, input: Option<NodeInput>) -> bool {
+        let ok = match input {
+            None => {
+                // Grace expired without an application submission.
+                self.gate_deadline = None;
+                self.release_deferred(true)
+            }
+            Some(NodeInput::Net { from, msg }) => {
+                // Defer a BCAST for a round the application has not
+                // submitted to yet — and, to preserve link-FIFO, any
+                // message arriving behind a deferred one *from the same
+                // sender*. Messages on other links (e.g. a FAIL
+                // notification) flow through undelayed.
+                if self.deferred.iter().any(|&(f, _)| f == from)
+                    || (matches!(msg, Message::Bcast { .. }) && !self.server.has_broadcast())
+                {
+                    if self.gate_deadline.is_none() {
+                        self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
+                    }
+                    self.deferred.push_back((from, msg));
+                    true
+                } else {
+                    self.process(Event::Receive { from, msg })
+                }
+            }
+            Some(NodeInput::Broadcast(payload)) => self.process(Event::ABroadcast(payload)),
+            Some(NodeInput::Suspect(s)) => {
+                // The monitor and disconnect paths can both report the
+                // same suspicion; the state machine dedups via F_i, and a
+                // suspicion for an already-removed server is a no-op.
+                self.process(Event::Suspect { suspect: s })
+            }
+            Some(NodeInput::Shutdown) => return false,
+        };
+        ok && self.release_deferred(false)
     }
 
     /// Process deferred peer messages until one has to wait for the
@@ -391,6 +490,7 @@ fn protocol_loop(
         writers,
         delivery_tx,
         actions: Vec::new(),
+        dirty: Vec::new(),
         deferred: std::collections::VecDeque::new(),
         gate_deadline: None,
         app_grace,
@@ -415,77 +515,51 @@ fn protocol_loop(
         if stop.load(Ordering::Relaxed) {
             return;
         }
-        let ok = match input {
-            None => {
-                // Grace expired without an application submission.
-                st.gate_deadline = None;
-                st.release_deferred(true)
-            }
-            Some(NodeInput::Net { from, msg }) => {
-                // Defer a BCAST for a round the application has not
-                // submitted to yet — and, to preserve link-FIFO, any
-                // message arriving behind a deferred one *from the same
-                // sender*. Messages on other links (e.g. a FAIL
-                // notification) flow through undelayed.
-                if st.deferred.iter().any(|&(f, _)| f == from)
-                    || (matches!(msg, Message::Bcast { .. }) && !st.server.has_broadcast())
-                {
-                    if st.gate_deadline.is_none() {
-                        st.gate_deadline = Some(std::time::Instant::now() + st.app_grace);
+        let mut ok = st.handle_input(input);
+        // Drain whatever else already queued up before touching the
+        // network flush: one flush per writer per *batch* of inputs,
+        // not per frame. Bounded so a firehose of input cannot starve
+        // the flush (and with it, downstream progress) indefinitely.
+        let mut drained = 0;
+        while ok && drained < MAX_BATCH_DRAIN {
+            match input_rx.try_recv() {
+                Ok(input) => {
+                    drained += 1;
+                    if stop.load(Ordering::Relaxed) {
+                        st.flush_writers();
+                        return;
                     }
-                    st.deferred.push_back((from, msg));
-                    true
-                } else {
-                    st.process(Event::Receive { from, msg })
+                    ok = st.handle_input(Some(input));
                 }
+                Err(_) => break,
             }
-            Some(NodeInput::Broadcast(payload)) => st.process(Event::ABroadcast(payload)),
-            Some(NodeInput::Suspect(s)) => {
-                // The monitor and disconnect paths can both report the
-                // same suspicion; the state machine dedups via F_i, and a
-                // suspicion for an already-removed server is a no-op.
-                st.process(Event::Suspect { suspect: s })
-            }
-            Some(NodeInput::Shutdown) => return,
-        };
-        if !ok || !st.release_deferred(false) {
+        }
+        st.flush_writers();
+        if !ok {
             return;
         }
     }
 }
 
-/// Write out sends (removing broken peers) and forward deliveries.
-/// Returns false when the application side hung up.
-fn flush_actions(
-    actions: &mut Vec<Action>,
-    writers: &mut HashMap<ServerId, BufWriter<TcpStream>>,
-    delivery_tx: &Sender<Delivery>,
-) -> bool {
-    let mut dirty: Vec<ServerId> = Vec::new();
-    for action in actions.drain(..) {
-        match action {
-            Action::Send { to, msg } => {
-                if let Some(w) = writers.get_mut(&to) {
-                    if write_frame(w, &msg).is_err() {
-                        writers.remove(&to); // peer gone; FD handles the rest
-                    } else if !dirty.contains(&to) {
-                        dirty.push(to);
-                    }
-                }
-            }
-            Action::Deliver { round, messages } => {
-                if delivery_tx.send(Delivery { round, messages }).is_err() {
-                    return false;
-                }
-            }
+/// Upper bound on inputs coalesced into one write-then-flush batch.
+const MAX_BATCH_DRAIN: usize = 256;
+
+/// Whether two messages are the *same* fan-out message, cheaply: field
+/// equality, with `Bcast` payloads compared by buffer identity instead
+/// of contents. The state machine fans a message out by cloning it per
+/// successor (refcounted payload), so identity captures exactly those
+/// runs; a false negative merely costs one re-encode.
+fn same_message(a: &Message, b: &Message) -> bool {
+    match (a, b) {
+        (
+            Message::Bcast { round: r1, origin: o1, payload: p1 },
+            Message::Bcast { round: r2, origin: o2, payload: p2 },
+        ) => {
+            r1 == r2
+                && o1 == o2
+                && p1.len() == p2.len()
+                && (p1.is_empty() || p1.as_ptr() == p2.as_ptr())
         }
+        _ => a == b,
     }
-    for to in &dirty {
-        if let Some(w) = writers.get_mut(to) {
-            if w.flush().is_err() {
-                writers.remove(to);
-            }
-        }
-    }
-    true
 }

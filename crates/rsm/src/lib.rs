@@ -38,15 +38,15 @@
 //! let cluster = Cluster::sim(gs_digraph(8, 3).unwrap());
 //! let mut kv = Service::new(cluster, &KvStore::default()).unwrap();
 //!
-//! let put = KvCommand::Put { key: b"epoch".to_vec(), value: b"2".to_vec() };
+//! let put = KvCommand::Put { key: b"epoch".to_vec().into(), value: b"2".to_vec().into() };
 //! let handle = kv.submit(0, &put).unwrap();                   // typed in ...
 //! let response = kv.wait(&handle, Duration::from_secs(10)).unwrap();
 //! assert_eq!(response, KvResponse::Ack);                      // ... typed out
 //!
 //! // Strongly consistent read through any server — it rides broadcast.
-//! let get = KvCommand::Get { key: b"epoch".to_vec() };
+//! let get = KvCommand::Get { key: b"epoch".to_vec().into() };
 //! let value = kv.query_linearizable(5, &get, Duration::from_secs(10)).unwrap();
-//! assert_eq!(value, KvResponse::Value(Some(b"2".to_vec())));
+//! assert_eq!(value, KvResponse::Value(Some(b"2".to_vec().into())));
 //!
 //! // Local read from any replica: no coordination, ≤ 1 round stale.
 //! kv.sync(Duration::from_secs(10)).unwrap(); // barrier: all replicas caught up

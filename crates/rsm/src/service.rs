@@ -21,7 +21,6 @@
 
 use crate::error::{FailReason, ServiceError};
 use allconcur_cluster::{Cluster, ClusterError};
-use allconcur_core::batch::Batcher;
 use allconcur_core::delivery::Delivery;
 use allconcur_core::replica::{Codec, Replica, StateMachine};
 use allconcur_core::{Round, ServerId};
@@ -30,6 +29,35 @@ use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
+
+/// Commands pending at one origin, already encoded into the round
+/// payload's batch framing (length-prefixed requests — the format
+/// `allconcur_core::batch` speaks), plus their correlation sequences.
+///
+/// Encoding happens once, at [`Service::submit`], straight into this
+/// buffer: flushing a round is a single copy-freeze of the accumulated
+/// bytes instead of a per-command re-pack, and the buffer's capacity is
+/// reused round over round.
+#[derive(Debug, Default)]
+struct PendingBatch {
+    buf: Vec<u8>,
+    seqs: Vec<u64>,
+}
+
+impl PendingBatch {
+    fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Freeze the accumulated batch into a round payload and reset for
+    /// the next round, keeping both buffers' capacity.
+    fn take_payload(&mut self) -> (Bytes, Vec<u64>) {
+        let payload =
+            if self.buf.is_empty() { Bytes::new() } else { Bytes::copy_from_slice(&self.buf) };
+        self.buf.clear();
+        (payload, std::mem::take(&mut self.seqs))
+    }
+}
 
 /// `Instant::now() + timeout` that survives `Duration::MAX`.
 fn saturating_deadline(timeout: Duration) -> Instant {
@@ -96,7 +124,7 @@ pub struct Service<S: StateMachine> {
     codec: S::Codec,
     replicas: Vec<Replica<S>>,
     /// Per-origin encoded-but-unflushed commands, in submission order.
-    queues: Vec<VecDeque<(u64, Bytes)>>,
+    queues: Vec<PendingBatch>,
     /// Per-origin in-flight correlation: for each flushed round, the
     /// sequence numbers packed into that origin's payload.
     flights: Vec<VecDeque<(Round, Vec<u64>)>>,
@@ -111,9 +139,27 @@ pub struct Service<S: StateMachine> {
     /// How many rounds may be in flight before [`Service::submit`]ted
     /// commands wait in the queue (≥ 1).
     pipeline: u64,
-    responses: BTreeMap<(ServerId, u64), S::Response>,
+    /// Per-origin resolved responses awaiting redemption, ascending by
+    /// sequence (responses resolve in per-origin submission order, so a
+    /// ring buffer + binary search beats a map: redemption is usually a
+    /// front pop). Unclaimed responses accumulate, as they did under the
+    /// previous map representation — redeem or drop handles promptly.
+    resolved: Vec<VecDeque<(u64, S::Response)>>,
     failed: BTreeMap<(ServerId, u64), FailReason>,
+    /// Per-round decoded commands, shared across replicas: the first
+    /// delivery of a round decodes it once
+    /// (`Replica::decode_round`), every later replica applies the
+    /// cached commands (`Replica::apply_decoded`) instead of
+    /// re-decoding the same agreed bytes n times. Bounded; a replica
+    /// straggling past the window re-decodes — correctness is
+    /// unaffected (codecs are deterministic).
+    decoded: BTreeMap<Round, Vec<(ServerId, S::Command)>>,
 }
+
+/// Rounds of decoded commands kept in [`Service`]'s share cache. Needs
+/// to cover the pipeline depth plus replica skew within a round; beyond
+/// that a straggler simply re-decodes.
+const DECODED_CACHE_ROUNDS: usize = 16;
 
 impl<S: StateMachine> Service<S> {
     /// Start a replicated `initial` state on `cluster`: every server's
@@ -129,14 +175,15 @@ impl<S: StateMachine> Service<S> {
             cluster,
             codec: S::Codec::default(),
             replicas,
-            queues: vec![VecDeque::new(); n],
+            queues: (0..n).map(|_| PendingBatch::default()).collect(),
             flights: vec![VecDeque::new(); n],
             next_seq: vec![0; n],
             flushed: 0,
             harvested: 0,
             pipeline: 1,
-            responses: BTreeMap::new(),
+            resolved: (0..n).map(|_| VecDeque::new()).collect(),
             failed: BTreeMap::new(),
+            decoded: BTreeMap::new(),
         })
     }
 
@@ -203,10 +250,18 @@ impl<S: StateMachine> Service<S> {
         if !self.cluster.is_live(origin) {
             return Err(ServiceError::OriginDown(origin));
         }
-        let bytes = self.codec.encode(command);
+        // Encode straight into the origin's pending batch buffer under
+        // the batch framing (u32-le length prefix, backfilled after the
+        // codec has written), skipping the intermediate `Bytes`.
+        let queue = &mut self.queues[origin as usize];
+        let start = queue.buf.len();
+        queue.buf.extend_from_slice(&[0u8; 4]);
+        self.codec.encode_into(command, &mut queue.buf);
+        let len = (queue.buf.len() - start - 4) as u32;
+        queue.buf[start..start + 4].copy_from_slice(&len.to_le_bytes());
         let seq = self.next_seq[origin as usize];
         self.next_seq[origin as usize] += 1;
-        self.queues[origin as usize].push_back((seq, bytes));
+        queue.seqs.push(seq);
         Ok(CommandHandle { origin, seq, _resp: PhantomData })
     }
 
@@ -244,9 +299,13 @@ impl<S: StateMachine> Service<S> {
         timeout: Duration,
     ) -> Result<S::Response, ServiceError> {
         let key = (handle.origin, handle.seq);
+        // Fast path: already agreed and applied — no clock reads.
+        if let Some(response) = self.take_resolved(handle.origin, handle.seq) {
+            return Ok(response);
+        }
         let deadline = saturating_deadline(timeout);
         loop {
-            if let Some(response) = self.responses.remove(&key) {
+            if let Some(response) = self.take_resolved(handle.origin, handle.seq) {
                 return Ok(response);
             }
             if let Some(reason) = self.failed.remove(&key) {
@@ -291,7 +350,7 @@ impl<S: StateMachine> Service<S> {
         if let Some(reason) = self.failed.remove(&key) {
             return Err(reason.into());
         }
-        Ok(self.responses.remove(&key))
+        Ok(self.take_resolved(handle.origin, handle.seq))
     }
 
     /// One engine step: flush queued commands into a round if the
@@ -371,7 +430,8 @@ impl<S: StateMachine> Service<S> {
         // Defensive: anything still unflushed or in flight (sync can
         // only leave residue behind a dead origin) fails typed.
         for origin in 0..self.queues.len() {
-            for (seq, _) in std::mem::take(&mut self.queues[origin]) {
+            self.queues[origin].buf.clear();
+            for seq in std::mem::take(&mut self.queues[origin].seqs) {
                 self.failed.insert((origin as ServerId, seq), FailReason::Reconfigured);
             }
             for (_, seqs) in std::mem::take(&mut self.flights[origin]) {
@@ -380,7 +440,7 @@ impl<S: StateMachine> Service<S> {
                 }
             }
         }
-        self.queues = vec![VecDeque::new(); n];
+        self.queues = (0..n).map(|_| PendingBatch::default()).collect();
         self.flights = vec![VecDeque::new(); n];
         // Sequence numbers restart above every previously issued number
         // so old unclaimed correlation keys cannot collide with new ones
@@ -388,8 +448,18 @@ impl<S: StateMachine> Service<S> {
         // several reconfigurations.
         let floor = self.next_seq.iter().copied().max().unwrap_or(0);
         self.next_seq = vec![floor; n];
+        // Unclaimed responses stay redeemable (sequence floors keep old
+        // and new correlation keys disjoint) — grow for the new n but
+        // never shrink: a shrinking reconfiguration must not drop
+        // resolved responses of removed origins.
+        while self.resolved.len() < n {
+            self.resolved.push(VecDeque::new());
+        }
         self.flushed = 0;
         self.harvested = 0;
+        // Rounds restart from zero on the new overlay: cached decodes of
+        // old-configuration rounds must not leak into the new numbering.
+        self.decoded.clear();
         Ok(())
     }
 
@@ -412,12 +482,23 @@ impl<S: StateMachine> Service<S> {
 
     // ---- engine internals -------------------------------------------------
 
+    /// Remove and return the resolved response for `(origin, seq)`, if
+    /// present. Responses resolve in ascending sequence order per
+    /// origin, so this is a binary search over the origin's ring — and
+    /// in the common redeem-in-order pattern, a front pop.
+    fn take_resolved(&mut self, origin: ServerId, seq: u64) -> Option<S::Response> {
+        let queue = self.resolved.get_mut(origin as usize)?;
+        let idx = queue.binary_search_by_key(&seq, |&(s, _)| s).ok()?;
+        queue.remove(idx).map(|(_, response)| response)
+    }
+
     /// Commands queued behind a dead origin can never be carried; fail
     /// them typed.
     fn fail_dead_queued(&mut self) {
         for origin in 0..self.queues.len() {
             if !self.cluster.is_live(origin as ServerId) && !self.queues[origin].is_empty() {
-                for (seq, _) in std::mem::take(&mut self.queues[origin]) {
+                self.queues[origin].buf.clear();
+                for seq in std::mem::take(&mut self.queues[origin].seqs) {
                     self.failed.insert(
                         (origin as ServerId, seq),
                         FailReason::OriginDown(origin as ServerId),
@@ -434,10 +515,17 @@ impl<S: StateMachine> Service<S> {
         if self.flushed - self.harvested >= self.pipeline {
             return Ok(());
         }
-        let live = self.cluster.live_servers();
-        if !live.iter().any(|&id| !self.queues[id as usize].is_empty()) {
+        // Allocation-free idle check first: `pump` calls this on every
+        // delivery, and almost all of those calls have nothing to flush.
+        let any_pending = self
+            .queues
+            .iter()
+            .enumerate()
+            .any(|(id, q)| !q.is_empty() && self.cluster.is_live(id as ServerId));
+        if !any_pending {
             return Ok(());
         }
+        let live = self.cluster.live_servers();
         let round = self.flushed;
         // The round is now considered open no matter what happens below:
         // a partial flush must never reuse this round number, or flight
@@ -445,13 +533,8 @@ impl<S: StateMachine> Service<S> {
         self.flushed += 1;
         let mut fatal: Option<ClusterError> = None;
         for &id in &live {
-            let mut batcher = Batcher::new();
-            let mut seqs = Vec::new();
-            while let Some((seq, bytes)) = self.queues[id as usize].pop_front() {
-                batcher.push(bytes);
-                seqs.push(seq);
-            }
-            match self.cluster.submit(id, batcher.take_batch()) {
+            let (payload, seqs) = self.queues[id as usize].take_payload();
+            match self.cluster.submit(id, payload) {
                 Ok(_handle) => self.flights[id as usize].push_back((round, seqs)),
                 // The origin died between live_servers() and submit: its
                 // commands can never be carried; the round proceeds with
@@ -479,30 +562,57 @@ impl<S: StateMachine> Service<S> {
     /// Apply one delivery to its server's replica; if this is the first
     /// replica to apply the round, harvest the typed responses and
     /// resolve the round's in-flight correlation entries.
+    ///
+    /// The round's payloads are decoded once (first delivery seen) and
+    /// the decoded commands shared across all replicas; only the
+    /// harvesting replica collects typed responses.
     fn ingest(&mut self, at: ServerId, delivery: Delivery) -> Result<(), ServiceError> {
         let round = delivery.round;
-        let outputs = self.replicas[at as usize].apply_round(round, &delivery.messages, true)?;
-        if round != self.harvested {
+        let harvest = round == self.harvested;
+        if !self.decoded.contains_key(&round) {
+            let commands =
+                self.replicas[at as usize].decode_round(round, &delivery.messages, true)?;
+            self.decoded.insert(round, commands);
+            while self.decoded.len() > DECODED_CACHE_ROUNDS {
+                self.decoded.pop_first();
+            }
+        }
+        let outputs = match self.decoded.get(&round) {
+            Some(commands) => self.replicas[at as usize].apply_decoded(round, commands, harvest)?,
+            // Evicted (straggler far behind the cache window): decode
+            // again just for this replica.
+            None => self.replicas[at as usize].apply_round(round, &delivery.messages, true)?,
+        };
+        if !harvest {
             return Ok(()); // a later replica catching up on a harvested round
         }
         self.harvested += 1;
-        // Group this round's responses by origin, preserving order.
-        let mut by_origin: BTreeMap<ServerId, Vec<S::Response>> = BTreeMap::new();
-        for (origin, response) in outputs {
-            by_origin.entry(origin).or_default().push(response);
-        }
+        // Responses arrive grouped by origin in ascending order (the
+        // delivery is origin-ascending and batches unpack in push
+        // order), so a single linear walk correlates them against the
+        // per-origin flights — no intermediate grouping map.
+        let mut outputs = outputs.into_iter().peekable();
         for origin in 0..self.flights.len() as ServerId {
-            let Some(&(flight_round, _)) = self.flights[origin as usize].front() else {
-                continue;
-            };
-            if flight_round != round {
+            let this_round =
+                self.flights[origin as usize].front().is_some_and(|&(r, _)| r == round);
+            if !this_round {
+                // No flight for this origin in this round: skip (and
+                // drop) any stray responses attributed to it.
+                while outputs.peek().is_some_and(|&(o, _)| o == origin) {
+                    outputs.next();
+                }
                 continue;
             }
             let (_, seqs) = self.flights[origin as usize].pop_front().expect("front checked");
-            let responses = by_origin.remove(&origin).unwrap_or_default();
+            let mut responses: Vec<S::Response> = Vec::with_capacity(seqs.len());
+            while outputs.peek().is_some_and(|&(o, _)| o == origin) {
+                responses.push(outputs.next().expect("peeked").1);
+            }
             if responses.len() == seqs.len() {
+                // Sequences are monotone per origin, so this stays the
+                // ascending order `take_resolved`'s binary search needs.
                 for (seq, response) in seqs.into_iter().zip(responses) {
-                    self.responses.insert((origin, seq), response);
+                    self.resolved[origin as usize].push_back((seq, response));
                 }
             } else {
                 // The round was agreed without (or with a displaced
@@ -519,13 +629,11 @@ impl<S: StateMachine> Service<S> {
 
     /// Whether nothing is queued, in flight, or unapplied.
     fn is_quiescent(&self) -> bool {
-        let queues_empty = self.queues.iter().all(VecDeque::is_empty);
+        let queues_empty = self.queues.iter().all(PendingBatch::is_empty);
         let flights_empty = self.flights.iter().all(VecDeque::is_empty);
         let expected_last = self.flushed.checked_sub(1);
-        let replicas_current = self
-            .cluster
-            .live_servers()
-            .into_iter()
+        let replicas_current = (0..self.cluster.n() as ServerId)
+            .filter(|&id| self.cluster.is_live(id))
             .all(|id| self.replicas[id as usize].last_round() == expected_last);
         queues_empty && flights_empty && replicas_current
     }

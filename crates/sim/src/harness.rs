@@ -237,6 +237,7 @@ impl SimClusterBuilder {
             waiting: vec![false; n],
             waiting_count: 0,
             delivery_log: std::collections::VecDeque::new(),
+            action_scratch: Vec::new(),
         };
         for ev in self.failure_plan.events().to_vec() {
             match ev {
@@ -289,6 +290,9 @@ pub struct SimCluster {
     /// sim transport). [`SimCluster::run_round`] clears it on entry so
     /// lockstep users do not accumulate history.
     delivery_log: std::collections::VecDeque<(ServerId, Delivery)>,
+    /// Reused action buffer for [`SimCluster::feed`]: one event loop,
+    /// zero per-event vector allocations.
+    action_scratch: Vec<Action>,
 }
 
 impl SimCluster {
@@ -524,9 +528,13 @@ impl SimCluster {
     }
 
     /// Feed one protocol event to server `id` at logical time `now` and
-    /// act on the outputs.
+    /// act on the outputs. The action buffer is owned by the cluster and
+    /// reused across events (`handle_into`), so the steady-state event
+    /// loop allocates nothing.
     fn feed(&mut self, id: ServerId, event: Event, now: SimTime) {
-        let actions = self.servers[id as usize].handle(event);
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        actions.clear();
+        self.servers[id as usize].handle_into(event, &mut actions);
         if self.track_space {
             let u = self.servers[id as usize].space_usage();
             let p = &mut self.space_peaks[id as usize];
@@ -539,11 +547,12 @@ impl SimCluster {
             p.tracking_edges = p.tracking_edges.max(u.tracking_edges);
             p.peak_tracking_vertices = p.peak_tracking_vertices.max(u.peak_tracking_vertices);
         }
-        self.apply_actions(id, actions, now);
+        self.apply_actions(id, &mut actions, now);
+        self.action_scratch = actions;
     }
 
-    fn apply_actions(&mut self, id: ServerId, actions: Vec<Action>, now: SimTime) {
-        for action in actions {
+    fn apply_actions(&mut self, id: ServerId, actions: &mut Vec<Action>, now: SimTime) {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
                     if self.crashed[id as usize] {
@@ -554,9 +563,14 @@ impl SimCluster {
                     self.transmit(id, to, msg, now);
                 }
                 Action::Deliver { round, messages } => {
-                    self.delivery_log
-                        .push_back((id, Delivery { round, messages: messages.clone() }));
-                    self.delivered[id as usize].insert(round, messages);
+                    // Lockstep drivers ([`SimCluster::run_round`]) read
+                    // history out of `delivered`; the incremental facade
+                    // path consumes the delivery log only, so the extra
+                    // history clone is skipped there.
+                    if self.waiting_round.is_some() {
+                        self.delivered[id as usize].insert(round, messages.clone());
+                    }
+                    self.delivery_log.push_back((id, Delivery { round, messages }));
                     self.delivery_times[id as usize].insert(round, now);
                     if self.waiting_round == Some(round) && self.waiting[id as usize] {
                         self.waiting[id as usize] = false;

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(15);
 
-fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+fn put(key: impl Into<Bytes>, value: impl Into<Bytes>) -> KvCommand {
     KvCommand::Put { key: key.into(), value: value.into() }
 }
 
@@ -40,7 +40,7 @@ fn main() {
 
     // Wave 2: server 3 updates the config and deregisters node 1.
     let epoch = kv.submit(3, &put("/config/epoch", "2")).expect("submit");
-    kv.submit(3, &KvCommand::Delete { key: b"/services/node-1".to_vec() }).expect("submit");
+    kv.submit(3, &KvCommand::Delete { key: b"/services/node-1".to_vec().into() }).expect("submit");
 
     // Redeem the typed responses: each handle resolves with the outcome
     // of exactly its command, in whatever round carried it.
@@ -62,9 +62,13 @@ fn main() {
     // A linearizable read through an arbitrary server: the query rides
     // atomic broadcast and is answered at the agreed point.
     let strong = kv
-        .query_linearizable(2, &KvCommand::Get { key: b"/config/leader-free".to_vec() }, TIMEOUT)
+        .query_linearizable(
+            2,
+            &KvCommand::Get { key: b"/config/leader-free".to_vec().into() },
+            TIMEOUT,
+        )
         .expect("linearizable read");
-    assert_eq!(strong, KvResponse::Value(Some(b"true".to_vec())));
+    assert_eq!(strong, KvResponse::Value(Some(b"true".to_vec().into())));
 
     println!(
         "all {N} replicas identical after {} commands ✓",

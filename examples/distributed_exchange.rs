@@ -60,7 +60,7 @@ impl Codec for OrderCodec {
         b.freeze()
     }
 
-    fn decode(&self, c: &[u8]) -> Result<Order, DecodeError> {
+    fn decode(&self, c: &Bytes) -> Result<Order, DecodeError> {
         if c.len() != 40 {
             return Err(DecodeError("order must be exactly 40 bytes"));
         }

@@ -27,7 +27,7 @@ use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(30);
 
-fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+fn put(key: impl Into<Bytes>, value: impl Into<Bytes>) -> KvCommand {
     KvCommand::Put { key: key.into(), value: value.into() }
 }
 

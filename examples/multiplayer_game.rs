@@ -58,7 +58,7 @@ impl Codec for ActionCodec {
         b.freeze()
     }
 
-    fn decode(&self, c: &[u8]) -> Result<Action, DecodeError> {
+    fn decode(&self, c: &Bytes) -> Result<Action, DecodeError> {
         if c.len() != 40 {
             return Err(DecodeError("action must be exactly 40 bytes"));
         }

@@ -54,7 +54,7 @@ impl Codec for BookingCodec {
         buf.freeze()
     }
 
-    fn decode(&self, bytes: &[u8]) -> Result<Booking, DecodeError> {
+    fn decode(&self, bytes: &Bytes) -> Result<Booking, DecodeError> {
         if bytes.len() != 4 {
             return Err(DecodeError("booking must be exactly 4 bytes"));
         }

@@ -63,7 +63,7 @@
 //!
 //! let cluster = Cluster::sim(gs_digraph(8, 3).unwrap());
 //! let mut kv = Service::new(cluster, &KvStore::default()).unwrap();
-//! let put = KvCommand::Put { key: b"k".to_vec(), value: b"v".to_vec() };
+//! let put = KvCommand::Put { key: b"k".to_vec().into(), value: b"v".to_vec().into() };
 //! let handle = kv.submit(0, &put).unwrap();
 //! assert_eq!(kv.wait(&handle, Duration::from_secs(10)).unwrap(), KvResponse::Ack);
 //! kv.sync(Duration::from_secs(10)).unwrap(); // barrier: all replicas caught up
@@ -101,4 +101,5 @@ pub mod prelude {
         harness::{RoundOutcome, SimCluster},
         network::NetworkModel,
     };
+    pub use bytes::Bytes;
 }

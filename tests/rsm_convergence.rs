@@ -42,9 +42,9 @@ fn random_commands(seed: u64, len: usize) -> Vec<KvCommand> {
     let mut rng = XorShift(seed);
     (0..len)
         .map(|_| {
-            let key = format!("k{}", rng.below(KEYS as u64)).into_bytes();
+            let key: bytes::Bytes = format!("k{}", rng.below(KEYS as u64)).into();
             match rng.below(3) {
-                0 => KvCommand::Put { key, value: rng.next().to_le_bytes().to_vec() },
+                0 => KvCommand::Put { key, value: rng.next().to_le_bytes().to_vec().into() },
                 1 => KvCommand::Delete { key },
                 _ => KvCommand::Get { key },
             }

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(20);
 
-fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+fn put(key: impl Into<Bytes>, value: impl Into<Bytes>) -> KvCommand {
     KvCommand::Put { key: key.into(), value: value.into() }
 }
 
@@ -103,8 +103,9 @@ fn kv_store_survives_crash_consistently() {
 
     // Linearizable read rides a round of its own: agreement on the read
     // point, answered typed.
-    let value = kv.query_linearizable(0, &KvCommand::Get { key: b"k3".to_vec() }, TIMEOUT).unwrap();
-    assert_eq!(value, KvResponse::Value(Some(b"v1".to_vec())));
+    let value =
+        kv.query_linearizable(0, &KvCommand::Get { key: b"k3".to_vec().into() }, TIMEOUT).unwrap();
+    assert_eq!(value, KvResponse::Value(Some(b"v1".to_vec().into())));
 }
 
 #[test]
@@ -145,4 +146,26 @@ fn snapshot_reconfigure_carries_state_to_joiners() {
     for s in 0..n1 as u32 {
         assert_eq!(kv.query_local(s).unwrap().get_local(b"post"), Some(&b"reconfig"[..]));
     }
+}
+
+#[test]
+fn resolved_responses_survive_shrinking_reconfiguration() {
+    // A command submitted through a high-id origin resolves (agreed and
+    // applied) but is not redeemed before a reconfiguration that shrinks
+    // the membership below that origin id. The response must remain
+    // redeemable afterwards — responses are never silently dropped.
+    let n = 8usize;
+    let mut kv = Service::new(ib_cluster(n), &KvStore::default()).unwrap();
+    let handle = kv.submit(7, &put("late-claim", "kept")).unwrap();
+    kv.sync(TIMEOUT).unwrap();
+
+    kv.reconfigure(gs_digraph(6, 3).unwrap(), TIMEOUT).unwrap();
+    assert_eq!(kv.n(), 6, "shrunk below the handle's origin id");
+
+    let response = kv.wait(&handle, TIMEOUT).unwrap();
+    assert_eq!(response, KvResponse::Ack, "pre-reconfigure response stays redeemable");
+
+    // The shrunken deployment keeps agreeing.
+    let response = kv.execute(0, &put("post-shrink", "ok"), TIMEOUT).unwrap();
+    assert_eq!(response, KvResponse::Ack);
 }

@@ -17,7 +17,7 @@ use std::time::Duration;
 
 const TIMEOUT: Duration = Duration::from_secs(20);
 
-fn put(key: impl Into<Vec<u8>>, value: impl Into<Vec<u8>>) -> KvCommand {
+fn put(key: impl Into<Bytes>, value: impl Into<Bytes>) -> KvCommand {
     KvCommand::Put { key: key.into(), value: value.into() }
 }
 
@@ -53,8 +53,8 @@ fn run_script(cluster: Cluster) -> (ScriptResponses, ScriptSnapshots) {
     for s in 0..6u32 {
         handles.push(kv.submit(s, &put(format!("a-{s}"), "v2")).unwrap());
     }
-    handles.push(kv.submit(7, &KvCommand::Delete { key: b"a-3".to_vec() }).unwrap());
-    handles.push(kv.submit(0, &KvCommand::Get { key: b"contended".to_vec() }).unwrap());
+    handles.push(kv.submit(7, &KvCommand::Delete { key: b"a-3".to_vec().into() }).unwrap());
+    handles.push(kv.submit(0, &KvCommand::Get { key: b"contended".to_vec().into() }).unwrap());
     kv.sync(TIMEOUT).unwrap_or_else(|e| panic!("[{backend}] wave 2: {e}"));
 
     let responses: Vec<(ServerId, u64, KvResponse)> = handles
@@ -90,7 +90,7 @@ fn sim_and_tcp_produce_identical_typed_states_and_responses() {
     // The linearizable read observed the agreed order: origin-ascending
     // within the round, so the last write to "contended" is from-7.
     let (_, _, read) = sim_responses.last().unwrap();
-    assert_eq!(read, &KvResponse::Value(Some(b"from-7".to_vec())));
+    assert_eq!(read, &KvResponse::Value(Some(b"from-7".to_vec().into())));
 
     // Identical surviving servers, each with an identical snapshot —
     // and all snapshots within one backend agree too.
