@@ -83,6 +83,7 @@ fn main() {
     }
 
     let mut regressions = 0usize;
+    let mut rows: Vec<(String, String, String, String, String)> = Vec::new();
     for (i, ((base_fields, base), (_, new))) in baseline.iter().zip(&fresh).enumerate() {
         let (Some(base), Some(new)) = (base, new) else { continue };
         if *base <= 0.0 {
@@ -90,18 +91,51 @@ fn main() {
         }
         let ratio = new / base;
         let ctx = describe(base_fields, &metric);
-        if ratio < 1.0 - threshold {
+        let verdict = if ratio < 1.0 - threshold {
             regressions += 1;
             println!(
                 "::warning::{metric} regressed {:.0}% at series[{i}] ({ctx}): {base:.0} -> {new:.0}",
                 (1.0 - ratio) * 100.0
             );
+            "REGRESSED"
+        } else if ratio > 1.0 + threshold {
+            "improved"
         } else {
-            println!("ok: {metric} at series[{i}] ({ctx}): {base:.0} -> {new:.0} ({ratio:.2}x)");
-        }
+            "ok"
+        };
+        println!("{verdict}: {metric} at series[{i}] ({ctx}): {base:.0} -> {new:.0} ({ratio:.2}x)");
+        rows.push((
+            ctx,
+            format!("{base:.0}"),
+            format!("{new:.0}"),
+            format!("{ratio:.2}x"),
+            verdict.to_string(),
+        ));
     }
     if regressions == 0 {
         println!("{metric}: no regressions beyond {:.0}% vs {baseline_path}", threshold * 100.0);
+    }
+
+    // Summary table — plain text on stdout, and appended as a Markdown
+    // table to the job summary when running under GitHub Actions, so
+    // pipelining wins/regressions are visible in the PR checks at a
+    // glance. Advisory only; the process still exits 0.
+    let mut md = String::new();
+    md.push_str(&format!(
+        "### `{metric}` — {fresh_path} vs {baseline_path} (±{:.0}% threshold)\n\n",
+        threshold * 100.0
+    ));
+    md.push_str("| series | baseline | fresh | ratio | verdict |\n|---|---|---|---|---|\n");
+    for (ctx, base, new, ratio, verdict) in &rows {
+        md.push_str(&format!("| {ctx} | {base} | {new} | {ratio} | {verdict} |\n"));
+    }
+    md.push('\n');
+    println!("\n{md}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = f.write_all(md.as_bytes());
+        }
     }
     // Always exit 0: the check is advisory (see module docs).
 }

@@ -393,6 +393,18 @@ impl Cluster {
         self.transport.suspect(at, suspected)
     }
 
+    /// Set the round-pipelining window `W` (clamped to ≥ 1): how many
+    /// consecutive agreement rounds every server keeps in flight.
+    /// [`Cluster::submit`] already queues payloads ahead of the delivery
+    /// frontier; the window controls how many of those queued rounds the
+    /// protocol actually runs concurrently — `W` rounds in flight
+    /// amortise the full network round-trip, so rounds/sec scales with
+    /// `W` until CPU-bound. Deliveries stay strictly in round order per
+    /// server. Survives [`Cluster::reconfigure`].
+    pub fn set_round_window(&mut self, window: usize) -> Result<(), ClusterError> {
+        self.transport.set_round_window(window)
+    }
+
     /// Move the deployment to a fresh overlay (§3's agreed
     /// reconfiguration). Undelivered buffered deliveries are dropped;
     /// rounds restart from zero on the new configuration.

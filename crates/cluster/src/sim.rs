@@ -39,6 +39,8 @@ pub struct SimOptions {
     /// Simulated pause charged on reconfiguration (§5 reports ≈80 ms of
     /// unavailability per join while connections are established).
     pub reconfigure_pause: SimTime,
+    /// Round-pipelining window `W` (default 1 — sequential rounds).
+    pub round_window: usize,
 }
 
 impl Default for SimOptions {
@@ -50,6 +52,7 @@ impl Default for SimOptions {
             seed: 0,
             round_deadline: SimTime::from_secs(600),
             reconfigure_pause: SimTime::from_ms(80),
+            round_window: 1,
         }
     }
 }
@@ -63,6 +66,7 @@ impl SimOptions {
             .seed(self.seed)
             .round_deadline(self.round_deadline)
             .start_clock(start_clock)
+            .round_window(self.round_window)
             .build()
     }
 }
@@ -185,6 +189,16 @@ impl Transport for SimTransport {
         self.check_id(at)?;
         self.check_id(suspected)?;
         self.cluster.schedule_suspicion(self.cluster.clock(), at, suspected);
+        Ok(())
+    }
+
+    fn set_round_window(&mut self, window: usize) -> Result<(), ClusterError> {
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
+        // Remembered in the options so reconfiguration keeps the window.
+        self.opts.round_window = window.max(1);
+        self.cluster.set_round_window(window.max(1));
         Ok(())
     }
 

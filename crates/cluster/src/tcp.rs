@@ -152,6 +152,13 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
+    fn set_round_window(&mut self, window: usize) -> Result<(), ClusterError> {
+        // Remembered in the options so reconfiguration keeps the window.
+        self.opts.round_window = window.max(1);
+        self.live_cluster()?.set_round_window(window.max(1));
+        Ok(())
+    }
+
     fn reconfigure(&mut self, graph: Digraph) -> Result<(), ClusterError> {
         let old = self.cluster.take().ok_or(ClusterError::ShutDown)?;
         old.shutdown();

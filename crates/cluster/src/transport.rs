@@ -58,6 +58,11 @@ pub trait Transport {
     /// against `suspected`, as if `at`'s local FD had raised it.
     fn suspect(&mut self, at: ServerId, suspected: ServerId) -> Result<(), ClusterError>;
 
+    /// Set every server's round-pipelining window: how many consecutive
+    /// rounds may be in flight concurrently (clamped to ≥ 1; 1 =
+    /// sequential rounds). Survives [`Transport::reconfigure`].
+    fn set_round_window(&mut self, window: usize) -> Result<(), ClusterError>;
+
     /// Move the deployment to a fresh overlay — the agreed
     /// reconfiguration of §3 ("dynamic membership"): surviving members
     /// plus joiners restart on `graph`, with server ids renumbered to its

@@ -33,17 +33,31 @@ pub struct Config {
     pub resilience: usize,
     /// Failure-detector mode.
     pub fd_mode: FdMode,
+    /// Round-pipelining window `W` (≥ 1): how many consecutive rounds a
+    /// server keeps open concurrently — the frontier round plus up to
+    /// `W − 1` successors disseminating ahead of it. `1` (the default)
+    /// is the sequential protocol of Algorithm 1; larger windows overlap
+    /// rounds so throughput amortises the per-round network latency (the
+    /// extended AllConcur design's `[round]`-tagged concurrent rounds).
+    pub round_window: usize,
 }
 
 impl Config {
-    /// Configuration over `graph` with resilience `f` and a perfect FD.
+    /// Configuration over `graph` with resilience `f`, a perfect FD, and
+    /// a round window of 1 (sequential rounds).
     pub fn new(graph: Arc<Digraph>, resilience: usize) -> Self {
-        Config { graph, resilience, fd_mode: FdMode::Perfect }
+        Config { graph, resilience, fd_mode: FdMode::Perfect, round_window: 1 }
     }
 
     /// Switch to the eventually-perfect-FD termination protocol.
     pub fn with_fd_mode(mut self, mode: FdMode) -> Self {
         self.fd_mode = mode;
+        self
+    }
+
+    /// Set the round-pipelining window (clamped to ≥ 1).
+    pub fn with_round_window(mut self, window: usize) -> Self {
+        self.round_window = window.max(1);
         self
     }
 
@@ -70,7 +84,11 @@ mod tests {
         assert_eq!(cfg.n(), 8);
         assert_eq!(cfg.resilience, 2);
         assert_eq!(cfg.fd_mode, FdMode::Perfect);
+        assert_eq!(cfg.round_window, 1);
         let cfg = cfg.with_fd_mode(FdMode::EventuallyPerfect);
         assert_eq!(cfg.fd_mode, FdMode::EventuallyPerfect);
+        let cfg = cfg.with_round_window(8);
+        assert_eq!(cfg.round_window, 8);
+        assert_eq!(cfg.clone().with_round_window(0).round_window, 1, "clamped to ≥ 1");
     }
 }

@@ -60,7 +60,7 @@ pub fn plan_reconfiguration(
 
     let graph = build_overlay(n, model, target_nines);
     let resilience = allconcur_graph::connectivity::vertex_connectivity(&graph).saturating_sub(1);
-    let config = Config { graph: Arc::new(graph), resilience, fd_mode };
+    let config = Config { graph: Arc::new(graph), resilience, fd_mode, round_window: 1 };
 
     let id_map: BTreeMap<ServerId, ServerId> =
         survivors.iter().enumerate().map(|(new, &old)| (old, new as ServerId)).collect();

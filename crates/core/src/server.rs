@@ -12,7 +12,7 @@
 //!
 //! ## Round lifecycle
 //!
-//! 1. The application submits this round's (possibly empty) payload with
+//! 1. The application submits a round's (possibly empty) payload with
 //!    [`Event::ABroadcast`]; a server that receives someone else's
 //!    `BCAST` first auto-broadcasts an empty message (Algorithm 1 line
 //!    15), so one willing sender suffices to start the round.
@@ -20,27 +20,64 @@
 //!    [`Event::Suspect`] suspicions turn into `FAIL` notifications that
 //!    drive the tracking digraphs ([`crate::tracking`]).
 //! 3. When every tracking digraph is empty the round terminates: under a
-//!    perfect FD the server immediately emits [`Action::Deliver`] with the
-//!    message set in deterministic (origin-id) order; under `◇P` it first
-//!    runs the FWD/BWD majority-partition protocol.
+//!    perfect FD the server emits [`Action::Deliver`] with the message
+//!    set in deterministic (origin-id) order; under `◇P` it first runs
+//!    the FWD/BWD majority-partition protocol.
 //! 4. Advancing tags servers whose messages were missing as failed
 //!    (removing them from the overlay view), carries the still-relevant
-//!    failure notifications into the new round, and re-sends them
+//!    failure notifications into the following round, and re-sends them
 //!    (Algorithm 1 lines 9–13).
+//!
+//! ## Round pipelining (the sliding window)
+//!
+//! Rounds are pipelined: up to [`Config::round_window`] consecutive
+//! rounds — the frontier round plus `W − 1` successors — are **open
+//! concurrently**, each with its own dense round state progressing
+//! independently through dissemination, tracking and early termination
+//! (the extended AllConcur design: every message carries its round tag,
+//! so round `r + 1` disseminates while `r` completes). The invariants:
+//!
+//! * **In-order delivery** — only the frontier round may emit
+//!   [`Action::Deliver`]. A later round that terminates first freezes
+//!   its message set (phase `Ready`, mirroring the post-delivery
+//!   stale-drop of the sequential protocol) and delivers the moment it
+//!   becomes the frontier.
+//! * **Failure notifications propagate forward** — a notification
+//!   received for round `r` is applied to every open round `≥ r`
+//!   (flooded under each round's own tag, deduplicated per round), a
+//!   local suspicion is applied to every open round, and opening a new
+//!   round seeds it with the youngest round's still-relevant
+//!   notifications — the windowed generalisation of lines 12–13's
+//!   carry-over.
+//! * **Tagging is uniform** — when the frontier delivery tags a server
+//!   failed (message missing from the agreed set), the server is
+//!   scrubbed from every still-open round: its tracking digraph is
+//!   dropped and any already-received message of a later round is
+//!   discarded. Every correct server delivers rounds in order, so every
+//!   correct server performs the same scrub before delivering any later
+//!   round — later sets agree even when the scrubbed message reached
+//!   only some of them.
+//! * Application payloads fill rounds in submission order: a submission
+//!   targets the earliest open round without one, opens a new round when
+//!   the window has room, and queues otherwise.
+//!
+//! With `round_window == 1` (the default) the state machine is
+//! observationally identical to the sequential protocol — byte-for-byte,
+//! as pinned by the golden-transcript test.
 //!
 //! ## Data layout
 //!
-//! All per-round state is **dense and id-indexed** (ids are `u32 < n`):
-//! `M_i` is a `Vec<Option<Bytes>>`, the notification set `F_i` an
-//! [`IdPairSet`] bitset, the FWD/BWD votes and suspicion sets [`IdSet`]s,
-//! and one pre-allocated tracking digraph per origin is re-armed in place
-//! each round. Advancing a round clears this storage instead of
-//! reallocating it, and delivery *moves* the round's payloads out of
-//! `M_i` instead of cloning them, so a steady-state round performs no
-//! per-event heap allocation (measured by the `core_rounds` bench).
-//! Every set iterates in ascending id order — the same order the
-//! original sorted-map layout produced — so replayable-sim determinism
-//! and cross-backend parity are unaffected (golden-transcript test).
+//! All per-round state is **dense and id-indexed** (ids are `u32 < n`)
+//! and lives in a [`RoundState`] pooled and re-armed in place across
+//! rounds: `M_i` is a `Vec<Option<Bytes>>`, the notification set `F_i`
+//! an [`IdPairSet`] bitset, the FWD/BWD votes and suspicion sets
+//! [`IdSet`]s, and one pre-allocated tracking digraph per origin.
+//! Delivery *moves* the round's payloads out of `M_i` instead of cloning
+//! them, so a steady-state round performs no per-event heap allocation
+//! (measured by the `core_rounds` bench). Every set iterates in
+//! ascending id order — the same order the original sorted-map layout
+//! produced — so replayable-sim determinism and cross-backend parity are
+//! unaffected (golden-transcript test).
 
 use crate::bitset::{IdPairSet, IdSet};
 use crate::config::{Config, FdMode};
@@ -53,8 +90,10 @@ use std::collections::{BTreeMap, VecDeque};
 /// Input to the state machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
-    /// The application submits this round's payload (one per round; empty
-    /// payloads are fine — §2.3 footnote 2).
+    /// The application submits a round payload (one per round; empty
+    /// payloads are fine — §2.3 footnote 2). Payloads fill rounds in
+    /// submission order; with a round window `> 1` a submission may open
+    /// a round ahead of the delivery frontier.
     ABroadcast(Bytes),
     /// A message arrived from direct predecessor `from`.
     Receive {
@@ -66,7 +105,8 @@ pub enum Event {
     },
     /// The local failure detector suspects predecessor `suspect` to have
     /// failed. Equivalent to receiving `⟨FAIL, suspect, self⟩` from the
-    /// local FD (Algorithm 1 line 21's `k = i` case).
+    /// local FD (Algorithm 1 line 21's `k = i` case). Applied to every
+    /// open round.
     Suspect {
         /// The suspected predecessor.
         suspect: ServerId,
@@ -86,7 +126,8 @@ pub enum Action {
     /// Round `round` reached agreement: deliver `messages` to the
     /// application, already in deterministic (origin-id) order. Empty
     /// payloads from servers with nothing to say are included; servers
-    /// whose messages are absent have been tagged as failed.
+    /// whose messages are absent have been tagged as failed. Deliveries
+    /// are emitted strictly in round order regardless of the window.
     Deliver {
         /// The completed round.
         round: Round,
@@ -103,20 +144,26 @@ enum Phase {
     /// `◇P` only: message set decided, awaiting FWD/BWD majority
     /// (§3.3.2).
     Deciding,
+    /// Terminated ahead of the delivery frontier: the message set is
+    /// frozen (further `BCAST`s are dropped, exactly as the sequential
+    /// protocol drops post-delivery stragglers) and the round delivers
+    /// when it becomes the frontier. Unreachable at `round_window == 1`.
+    Ready,
 }
 
-/// Space-usage snapshot of one server — the data structures of Table 2.
+/// Space-usage snapshot of one server — the data structures of Table 2,
+/// aggregated over every open round of the window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SpaceUsage {
     /// Bytes held by the overlay digraph `G` (`O(n·d)`).
     pub graph_bytes: usize,
-    /// Messages currently in `M_i` (`O(n)`).
+    /// Messages currently held across open rounds (`O(W·n)`).
     pub messages: usize,
-    /// Payload bytes in `M_i`.
+    /// Payload bytes held across open rounds.
     pub message_bytes: usize,
-    /// Failure notifications in `F_i` (`O(f·d)`).
+    /// Failure notifications across open rounds (`O(W·f·d)`).
     pub fail_notifications: usize,
-    /// Live tracking digraphs (`≤ n`, only `O(f)` ever grow).
+    /// Live tracking digraphs (`≤ W·n`, only `O(f)` ever grow).
     pub tracking_digraphs: usize,
     /// Total vertices across tracking digraphs (`O(f²·d)` worst case).
     pub tracking_vertices: usize,
@@ -126,12 +173,104 @@ pub struct SpaceUsage {
     pub peak_tracking_vertices: usize,
 }
 
+/// Dense per-round protocol state, pooled and re-armed in place as the
+/// window slides (see the module docs' data-layout notes).
+#[derive(Debug, Clone)]
+struct RoundState {
+    /// `M_i`: payload by origin (`None` = not yet received).
+    msgs: Vec<Option<Bytes>>,
+    /// Number of `Some` entries in `msgs`.
+    msgs_len: usize,
+    /// Total payload bytes in `msgs`.
+    msg_bytes: usize,
+    /// Whether our own message has been A-broadcast in this round.
+    own_sent: bool,
+    /// `F_i`: (failed, detector) notifications seen for this round.
+    fails: IdPairSet,
+    /// Servers with at least one notification in `F_i`.
+    known_failed: IdSet,
+    /// Predecessors whose `BCAST`s we ignore this round (suspected —
+    /// §3.3.2 rule).
+    suspected_preds: IdSet,
+    /// `g_i[p*]` for every origin, pre-allocated; `tracking_active`
+    /// marks the origins whose message is still outstanding.
+    tracking: Vec<TrackingDigraph>,
+    tracking_active: IdSet,
+    phase: Phase,
+    /// `◇P`: servers whose FWD / BWD we have seen this round.
+    fwd_seen: IdSet,
+    bwd_seen: IdSet,
+}
+
+impl RoundState {
+    fn new(n: usize) -> RoundState {
+        RoundState {
+            msgs: vec![None; n],
+            msgs_len: 0,
+            msg_bytes: 0,
+            own_sent: false,
+            fails: IdPairSet::new(n),
+            known_failed: IdSet::with_capacity(n),
+            suspected_preds: IdSet::with_capacity(n),
+            tracking: (0..n as ServerId).map(TrackingDigraph::new).collect(),
+            tracking_active: IdSet::with_capacity(n),
+            phase: Phase::Gathering,
+            fwd_seen: IdSet::with_capacity(n),
+            bwd_seen: IdSet::with_capacity(n),
+        }
+    }
+
+    /// Re-arm for a fresh round under the current overlay view, reusing
+    /// every allocation. Handles a membership-size change (pool states
+    /// surviving a reconfiguration) by re-sizing the dense storage.
+    fn reset(&mut self, n: usize, alive: &[bool], id: ServerId) {
+        if self.msgs.len() != n {
+            self.msgs.clear();
+            self.msgs.resize(n, None);
+            self.fails.reset(n);
+            self.tracking = (0..n as ServerId).map(TrackingDigraph::new).collect();
+        } else {
+            for slot in &mut self.msgs {
+                *slot = None;
+            }
+            self.fails.clear();
+        }
+        self.msgs_len = 0;
+        self.msg_bytes = 0;
+        self.own_sent = false;
+        self.known_failed.clear();
+        self.suspected_preds.clear();
+        self.phase = Phase::Gathering;
+        self.fwd_seen.clear();
+        self.bwd_seen.clear();
+        self.tracking_active.clear();
+        for p in 0..n as ServerId {
+            if p != id && alive[p as usize] {
+                self.tracking[p as usize].reset();
+                self.tracking_active.insert(p);
+            }
+        }
+    }
+}
+
+/// Spare round states kept beyond the window for reuse, and the bound on
+/// pooled future-round queues beyond the window (see
+/// [`Server::recycle_queue`]) — a small slack so bursty future traffic
+/// cannot grow the pools without bound.
+const POOL_SLACK: usize = 4;
+
 /// One AllConcur server (Algorithm 1's `p_i`).
 #[derive(Debug, Clone)]
 pub struct Server {
     cfg: Config,
     id: ServerId,
+    /// Delivery frontier: the round `rounds[0]` holds; the next round to
+    /// A-deliver.
     round: Round,
+    /// Current round-window size `W` (≥ 1): how many consecutive rounds
+    /// may be open at once. Initialised from [`Config::round_window`],
+    /// adjustable at runtime via [`Server::set_round_window`].
+    window: usize,
     /// Overlay view: false once a server is tagged failed (line 11).
     alive: Vec<bool>,
     /// Cached ascending list of alive ids (rebuilt on round advance /
@@ -144,53 +283,40 @@ pub struct Server {
     /// Alive predecessors of `self` (transpose successors — also the
     /// targets of `BWD` floods).
     pred_view: Vec<ServerId>,
-
-    // ---- per-round state (dense, id-indexed, reused across rounds) ----
-    /// `M_i`: payload by origin (`None` = not yet received).
-    msgs: Vec<Option<Bytes>>,
-    /// Number of `Some` entries in `msgs`.
-    msgs_len: usize,
-    /// Total payload bytes in `msgs`.
-    msg_bytes: usize,
-    /// Whether our own message has been A-broadcast this round.
-    own_sent: bool,
-    /// `F_i`: (failed, detector) notifications seen this round.
-    fails: IdPairSet,
-    /// Servers with at least one notification in `F_i`.
-    known_failed: IdSet,
-    /// Predecessors whose `BCAST`s we ignore (suspected — §3.3.2 rule).
-    suspected_preds: IdSet,
-    /// `g_i[p*]` for every origin, pre-allocated; `tracking_active`
-    /// marks the origins whose message is still outstanding.
-    tracking: Vec<TrackingDigraph>,
-    tracking_active: IdSet,
-    phase: Phase,
-    /// `◇P`: servers whose FWD / BWD we have seen this round.
-    fwd_seen: IdSet,
-    bwd_seen: IdSet,
-
-    /// Application payloads submitted while this round's message was
-    /// already out. Popped one per round on advance — *before* buffered
-    /// peer messages are replayed, so a queued payload always beats the
-    /// line-15 empty-message reaction. This is the paper's request
-    /// batching (§5) hoisted into the state machine, where the simulator
-    /// and the TCP runtime share it.
+    /// Open rounds of the window: `rounds[i]` is round `round + i`.
+    /// Never empty — the frontier round is always open.
+    rounds: VecDeque<RoundState>,
+    /// Recycled round states awaiting reuse (bounded: the window slides
+    /// one state per round, so one spare plus slack suffices).
+    round_pool: Vec<RoundState>,
+    /// Application payloads submitted while every open round already has
+    /// one and the window is full. Popped in order as rounds open, so a
+    /// queued payload always beats the line-15 empty-message reaction.
+    /// This is the paper's request batching (§5) hoisted into the state
+    /// machine, where the simulator and the TCP runtime share it.
     pending_payloads: VecDeque<Bytes>,
-    /// Events for rounds we have not reached yet.
+    /// Events for rounds beyond the window.
     future: BTreeMap<Round, VecDeque<(ServerId, Message)>>,
-    /// Drained future-round queues, kept for reuse so pipelined rounds
-    /// do not reallocate buffers.
+    /// Drained future-round queues, kept for reuse (bounded to the
+    /// window size plus slack) so pipelined rounds do not reallocate
+    /// buffers and bursty future traffic cannot grow the pool without
+    /// bound.
     future_pool: Vec<VecDeque<(ServerId, Message)>>,
     /// Scratch for the notifications carried across a round advance.
     carried_scratch: Vec<(ServerId, ServerId)>,
+    /// Scratch for the subset of carried notifications newly recorded in
+    /// a round during [`Server::seed_round_notifications`].
+    seed_scratch: Vec<(ServerId, ServerId)>,
+    /// Scratch for the servers tagged failed by a frontier delivery.
+    tagged_scratch: Vec<ServerId>,
     /// Peak single-digraph vertex count across the server's lifetime.
     peak_tracking: usize,
     /// Rounds delivered so far.
     rounds_delivered: u64,
 }
 
-/// Borrowed view implementing [`TrackingContext`] against the server's
-/// round state (disjoint from the tracking digraphs themselves).
+/// Borrowed view implementing [`TrackingContext`] against one round's
+/// state (disjoint from the tracking digraphs themselves).
 struct RoundCtx<'a> {
     succ_view: &'a [Vec<ServerId>],
     fails: &'a IdPairSet,
@@ -214,35 +340,31 @@ impl Server {
     pub fn new(cfg: Config, id: ServerId) -> Self {
         let n = cfg.n();
         assert!((id as usize) < n, "server id {id} outside configuration of {n}");
+        let window = cfg.round_window.max(1);
         let mut s = Server {
             id,
             round: 0,
+            window,
             alive: vec![true; n],
             alive_ids: Vec::with_capacity(n),
             succ_view: vec![Vec::new(); n],
             pred_view: Vec::new(),
-            msgs: vec![None; n],
-            msgs_len: 0,
-            msg_bytes: 0,
-            own_sent: false,
-            fails: IdPairSet::new(n),
-            known_failed: IdSet::with_capacity(n),
-            suspected_preds: IdSet::with_capacity(n),
-            tracking: (0..n as ServerId).map(TrackingDigraph::new).collect(),
-            tracking_active: IdSet::with_capacity(n),
-            phase: Phase::Gathering,
-            fwd_seen: IdSet::with_capacity(n),
-            bwd_seen: IdSet::with_capacity(n),
+            rounds: VecDeque::with_capacity(window),
+            round_pool: Vec::new(),
             pending_payloads: VecDeque::new(),
             future: BTreeMap::new(),
             future_pool: Vec::new(),
             carried_scratch: Vec::new(),
+            seed_scratch: Vec::new(),
+            tagged_scratch: Vec::new(),
             peak_tracking: 0,
             rounds_delivered: 0,
             cfg,
         };
         rebuild_views(&s.cfg, &s.alive, s.id, &mut s.succ_view, &mut s.pred_view, &mut s.alive_ids);
-        s.init_tracking();
+        let mut frontier = RoundState::new(n);
+        frontier.reset(n, &s.alive, s.id);
+        s.rounds.push_back(frontier);
         s
     }
 
@@ -251,18 +373,55 @@ impl Server {
         self.id
     }
 
-    /// Current round.
+    /// Current delivery frontier: the next round to A-deliver (also the
+    /// oldest open round).
     pub fn round(&self) -> Round {
         self.round
     }
 
-    /// Whether the application already A-broadcast this round.
-    pub fn has_broadcast(&self) -> bool {
-        self.own_sent
+    /// Current round-window size.
+    pub fn round_window(&self) -> usize {
+        self.window
     }
 
-    /// Application payloads queued for rounds after this one (submitted
-    /// while the current round's message was already out).
+    /// Adjust the round window at runtime (clamped to ≥ 1). Shrinking
+    /// below the number of currently open rounds lets the extra rounds
+    /// complete; no new round opens until the window has room again.
+    pub fn set_round_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// Number of rounds currently open (frontier included); always in
+    /// `1..=window` except transiently after shrinking the window.
+    pub fn open_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the application's payload for the *frontier* round has
+    /// been A-broadcast.
+    pub fn has_broadcast(&self) -> bool {
+        self.rounds[0].own_sent
+    }
+
+    /// The first round not yet covered by an application payload —
+    /// neither broadcast in an open round nor queued. Transports use
+    /// this to gate peers' `BCAST`s of genuinely-unsubmitted rounds (the
+    /// `app_grace` window) without delaying rounds the application has
+    /// already submitted ahead for.
+    pub fn next_unsubmitted_round(&self) -> Round {
+        let mut budget = self.pending_payloads.len();
+        for (i, rs) in self.rounds.iter().enumerate() {
+            if !rs.own_sent {
+                if budget == 0 {
+                    return self.round + i as Round;
+                }
+                budget -= 1;
+            }
+        }
+        self.round + self.rounds.len() as Round + budget as Round
+    }
+
+    /// Application payloads queued for rounds beyond the open window.
     pub fn queued_payloads(&self) -> usize {
         self.pending_payloads.len()
     }
@@ -289,52 +448,45 @@ impl Server {
         &self.pred_view
     }
 
-    /// Table 2 snapshot.
+    /// Table 2 snapshot, aggregated over the open rounds of the window.
     pub fn space_usage(&self) -> SpaceUsage {
-        let (tracking_vertices, tracking_edges) = self
-            .tracking_active
-            .iter()
-            .map(|p| {
-                let g = &self.tracking[p as usize];
-                (g.vertex_count(), g.edge_count())
-            })
-            .fold((0, 0), |(v, e), (gv, ge)| (v + gv, e + ge));
-        SpaceUsage {
+        let mut usage = SpaceUsage {
             graph_bytes: self.cfg.graph.memory_bytes(),
-            messages: self.msgs_len,
-            message_bytes: self.msg_bytes,
-            fail_notifications: self.fails.len(),
-            tracking_digraphs: self.tracking_active.len(),
-            tracking_vertices,
-            tracking_edges,
             peak_tracking_vertices: self.peak_tracking,
+            ..SpaceUsage::default()
+        };
+        for rs in &self.rounds {
+            usage.messages += rs.msgs_len;
+            usage.message_bytes += rs.msg_bytes;
+            usage.fail_notifications += rs.fails.len();
+            usage.tracking_digraphs += rs.tracking_active.len();
+            for p in rs.tracking_active.iter() {
+                let g = &rs.tracking[p as usize];
+                usage.tracking_vertices += g.vertex_count();
+                usage.tracking_edges += g.edge_count();
+            }
         }
+        usage
     }
 
     /// Replace the configuration (agreed membership change, §3): fresh
-    /// overlay, all members alive, per-round state reset, starting at
-    /// `round`. Cross-configuration failure notifications are dropped —
-    /// the new overlay has different edges, so old (failed, detector)
-    /// pairs are meaningless under it. Queued application payloads are
-    /// dropped too: they were submitted against the old membership (and
-    /// keeping them while `own_sent` resets would let a peer's first
-    /// `BCAST` displace them with the line-15 empty reaction); the
-    /// application resubmits on the new configuration.
+    /// overlay, all members alive, every open round discarded and a new
+    /// frontier opened at `round`. Cross-configuration failure
+    /// notifications are dropped — the new overlay has different edges,
+    /// so old (failed, detector) pairs are meaningless under it. Queued
+    /// application payloads are dropped too: they were submitted against
+    /// the old membership; the application resubmits on the new
+    /// configuration. The round window resets to the new
+    /// configuration's [`Config::round_window`].
     pub fn reconfigure(&mut self, cfg: Config, round: Round) {
         let n = cfg.n();
         assert!((self.id as usize) < n, "server id lost in reconfiguration");
         self.cfg = cfg;
         self.round = round;
-        // Re-size the dense storage for the new membership.
+        self.window = self.cfg.round_window.max(1);
         self.alive.clear();
         self.alive.resize(n, true);
         self.succ_view.resize_with(n, Vec::new);
-        self.msgs.clear();
-        self.msgs.resize(n, None);
-        self.msgs_len = 0;
-        self.msg_bytes = 0;
-        self.fails.reset(n);
-        self.tracking = (0..n as ServerId).map(TrackingDigraph::new).collect();
         rebuild_views(
             &self.cfg,
             &self.alive,
@@ -343,7 +495,14 @@ impl Server {
             &mut self.pred_view,
             &mut self.alive_ids,
         );
-        self.reset_round_state();
+        // Old-configuration round states may be sized for a different n;
+        // `RoundState::reset` re-sizes them, so pooling them is fine.
+        while let Some(rs) = self.rounds.pop_front() {
+            self.recycle_round(rs);
+        }
+        let mut frontier = self.round_pool.pop().unwrap_or_else(|| RoundState::new(n));
+        frontier.reset(n, &self.alive, self.id);
+        self.rounds.push_back(frontier);
         self.pending_payloads.clear();
         self.future.retain(|&r, _| r >= round);
     }
@@ -351,31 +510,22 @@ impl Server {
     /// Feed one event; actions are appended to `out`.
     pub fn handle_into(&mut self, event: Event, out: &mut Vec<Action>) {
         match event {
-            Event::ABroadcast(payload) => self.a_broadcast(payload, out),
-            Event::Receive { from, msg } => {
-                let r = msg.round();
-                if r > self.round {
-                    match self.future.get_mut(&r) {
-                        Some(queue) => queue.push_back((from, msg)),
-                        None => {
-                            let mut queue = self.future_pool.pop().unwrap_or_default();
-                            queue.push_back((from, msg));
-                            self.future.insert(r, queue);
-                        }
-                    }
-                } else if r == self.round {
-                    self.dispatch(from, msg, out);
-                } // stale rounds are dropped: the sender has everything it
-                  // needs from us or has tagged us failed (§3).
-            }
+            Event::ABroadcast(payload) => self.submit_payload(payload, out),
+            Event::Receive { from, msg } => self.handle_receive(from, msg, out),
             Event::Suspect { suspect } => {
                 if self.alive[suspect as usize] {
                     debug_assert!(
                         self.cfg.graph.predecessors(self.id).contains(&suspect),
                         "FD suspicion for non-predecessor {suspect}"
                     );
-                    self.suspected_preds.insert(suspect);
-                    self.handle_fail(suspect, self.id, out);
+                    // §3.3.2 ignore-rule and the notification itself both
+                    // apply to every open round (the failure is
+                    // permanent); rounds opened later inherit via the
+                    // carried seed (detector == self).
+                    for rs in self.rounds.iter_mut() {
+                        rs.suspected_preds.insert(suspect);
+                    }
+                    self.apply_fail_from(0, suspect, self.id, out);
                 }
             }
         }
@@ -393,30 +543,17 @@ impl Server {
 
     // ---- internals ------------------------------------------------------
 
-    fn init_tracking(&mut self) {
-        self.tracking_active.clear();
-        for p in 0..self.cfg.n() as ServerId {
-            if p != self.id && self.alive[p as usize] {
-                self.tracking[p as usize].reset();
-                self.tracking_active.insert(p);
-            }
+    fn recycle_round(&mut self, rs: RoundState) {
+        if self.round_pool.len() < self.window + POOL_SLACK {
+            self.round_pool.push(rs);
         }
     }
 
-    fn reset_round_state(&mut self) {
-        for slot in &mut self.msgs {
-            *slot = None;
+    fn recycle_queue(&mut self, mut queue: VecDeque<(ServerId, Message)>) {
+        if self.future_pool.len() < self.window + POOL_SLACK {
+            queue.clear();
+            self.future_pool.push(queue);
         }
-        self.msgs_len = 0;
-        self.msg_bytes = 0;
-        self.own_sent = false;
-        self.fails.clear();
-        self.known_failed.clear();
-        self.suspected_preds.clear();
-        self.phase = Phase::Gathering;
-        self.fwd_seen.clear();
-        self.bwd_seen.clear();
-        self.init_tracking();
     }
 
     fn send_to_successors(&self, msg: &Message, out: &mut Vec<Action>) {
@@ -431,163 +568,271 @@ impl Server {
         }
     }
 
-    /// Algorithm 1 lines 1–4.
+    /// Algorithm 1 lines 1–4, windowed.
     ///
-    /// One message per server per round: if this round's message already
-    /// went out (either an earlier application submission or the reactive
-    /// empty broadcast of line 15), the payload queues and opens a later
-    /// round — the paper's request-batching flow (§5). Queued payloads
-    /// take priority over the reactive empty broadcast when the round
-    /// advances, so pipelined submissions are never silently displaced.
-    fn a_broadcast(&mut self, payload: Bytes, out: &mut Vec<Action>) {
-        if self.own_sent {
+    /// One message per server per round: the payload targets the
+    /// earliest open round without one; when every open round has its
+    /// payload a new round opens (window permitting) or the payload
+    /// queues for the next one — the paper's request-batching flow (§5).
+    /// Queued payloads take priority over the reactive empty broadcast
+    /// when rounds open, so pipelined submissions are never silently
+    /// displaced.
+    fn submit_payload(&mut self, payload: Bytes, out: &mut Vec<Action>) {
+        if let Some(idx) = self.rounds.iter().position(|rs| !rs.own_sent) {
+            self.broadcast_into(idx, payload, out);
+        } else if self.rounds.len() < self.window {
             self.pending_payloads.push_back(payload);
-            return;
+            self.open_next_round(out);
+        } else {
+            self.pending_payloads.push_back(payload);
         }
-        self.own_sent = true;
-        let msg = Message::Bcast { round: self.round, origin: self.id, payload: payload.clone() };
-        self.send_to_successors(&msg, out);
-        self.insert_msg(self.id, payload);
-        self.check_termination(out);
     }
 
-    fn insert_msg(&mut self, origin: ServerId, payload: Bytes) {
-        let slot = &mut self.msgs[origin as usize];
+    /// A-broadcast `payload` as our message for open round `idx`:
+    /// flood it, record it, and re-check termination.
+    fn broadcast_into(&mut self, idx: usize, payload: Bytes, out: &mut Vec<Action>) {
+        debug_assert!(!self.rounds[idx].own_sent, "one message per server per round");
+        self.rounds[idx].own_sent = true;
+        let round = self.round + idx as Round;
+        let msg = Message::Bcast { round, origin: self.id, payload: payload.clone() };
+        self.send_to_successors(&msg, out);
+        self.insert_msg(idx, self.id, payload);
+        self.check_termination(idx, out);
+    }
+
+    fn insert_msg(&mut self, idx: usize, origin: ServerId, payload: Bytes) {
+        let rs = &mut self.rounds[idx];
+        let slot = &mut rs.msgs[origin as usize];
         debug_assert!(slot.is_none(), "duplicate insert for origin {origin}");
-        self.msgs_len += 1;
-        self.msg_bytes += payload.len();
+        rs.msgs_len += 1;
+        rs.msg_bytes += payload.len();
         *slot = Some(payload);
     }
 
-    fn dispatch(&mut self, from: ServerId, msg: Message, out: &mut Vec<Action>) {
+    /// Route one received message to its round: stale rounds are dropped
+    /// (the sender has everything it needs from us or has tagged us
+    /// failed — §3), in-window rounds are opened on demand and
+    /// dispatched to, and rounds beyond the window buffer in `future`.
+    fn handle_receive(&mut self, from: ServerId, msg: Message, out: &mut Vec<Action>) {
+        let r = msg.round();
+        if r < self.round {
+            return;
+        }
+        if r >= self.round + self.window as Round {
+            match self.future.get_mut(&r) {
+                Some(queue) => queue.push_back((from, msg)),
+                None => {
+                    let mut queue = self.future_pool.pop().unwrap_or_default();
+                    queue.push_back((from, msg));
+                    self.future.insert(r, queue);
+                }
+            }
+            return;
+        }
+        // Open intermediate rounds up to r. Opening never delivers (a
+        // newly opened round is never the frontier here), so indices
+        // stay stable.
+        while self.round + (self.rounds.len() as Round) <= r {
+            self.open_next_round(out);
+        }
+        let idx = (r - self.round) as usize;
+        self.dispatch(from, msg, idx, out);
+    }
+
+    fn dispatch(&mut self, from: ServerId, msg: Message, idx: usize, out: &mut Vec<Action>) {
         match msg {
             Message::Bcast { origin, payload, .. } => {
                 // §3.3.2: after suspecting a predecessor, ignore its
                 // messages (except failure notifications) for the round.
-                if self.suspected_preds.contains(from) {
+                if self.rounds[idx].suspected_preds.contains(from) {
                     return;
                 }
-                self.handle_bcast(origin, payload, out);
+                self.handle_bcast(idx, origin, payload, out);
             }
-            Message::Fail { failed, detector, .. } => self.handle_fail(failed, detector, out),
-            Message::Fwd { origin, .. } => self.handle_fwd(origin, out),
-            Message::Bwd { origin, .. } => self.handle_bwd(origin, out),
+            Message::Fail { failed, detector, .. } => {
+                self.apply_fail_from(idx, failed, detector, out)
+            }
+            Message::Fwd { origin, .. } => self.handle_fwd(idx, origin, out),
+            Message::Bwd { origin, .. } => self.handle_bwd(idx, origin, out),
         }
     }
 
-    /// Algorithm 1 lines 14–20.
-    fn handle_bcast(&mut self, origin: ServerId, payload: Bytes, out: &mut Vec<Action>) {
-        if !self.alive[origin as usize] || self.msgs[origin as usize].is_some() {
+    /// Algorithm 1 lines 14–20, for open round `idx`.
+    fn handle_bcast(
+        &mut self,
+        idx: usize,
+        origin: ServerId,
+        payload: Bytes,
+        out: &mut Vec<Action>,
+    ) {
+        if !self.alive[origin as usize] || self.rounds[idx].msgs[origin as usize].is_some() {
             return; // stale origin or duplicate — already forwarded once
         }
-        if self.phase == Phase::Deciding {
-            return; // ◇P: message set already decided (§3.3.2)
+        if self.rounds[idx].phase != Phase::Gathering {
+            // ◇P Deciding: message set already decided (§3.3.2).
+            // Ready: set frozen awaiting the frontier (same stale-drop
+            // the sequential protocol applies after delivery).
+            return;
         }
-        // Line 15: react with our own (empty) message if we have not
-        // broadcast yet; the application can pre-empt this by calling
-        // ABroadcast first.
-        if !self.own_sent {
-            self.a_broadcast(Bytes::new(), out);
+        // Line 15: react with our own (empty) message if this round has
+        // not broadcast yet; the application can pre-empt this by
+        // submitting first (queued payloads were already consumed when
+        // the round opened, so the empty reaction is the true fallback).
+        if !self.rounds[idx].own_sent {
+            self.broadcast_into(idx, Bytes::new(), out);
         }
-        self.insert_msg(origin, payload.clone());
+        self.insert_msg(idx, origin, payload.clone());
         // Lines 17–18: continue dissemination (only this message is new;
         // everything else was forwarded on first receipt).
-        let msg = Message::Bcast { round: self.round, origin, payload };
+        let round = self.round + idx as Round;
+        let msg = Message::Bcast { round, origin, payload };
         self.send_to_successors(&msg, out);
         // Line 19: stop tracking m_origin.
-        if self.tracking_active.remove(origin) {
-            self.tracking[origin as usize].clear();
+        if self.rounds[idx].tracking_active.remove(origin) {
+            self.rounds[idx].tracking[origin as usize].clear();
         }
-        self.check_termination(out);
+        self.check_termination(idx, out);
     }
 
-    /// Algorithm 1 lines 21–41.
-    fn handle_fail(&mut self, failed: ServerId, detector: ServerId, out: &mut Vec<Action>) {
-        if !self.alive[failed as usize] || self.fails.contains(failed, detector) {
-            return; // stale or duplicate — R-broadcast dedup
+    /// Algorithm 1 lines 21–41, windowed: a notification for round
+    /// `start_idx` applies to that round and every open round after it
+    /// (the failure is permanent; each round floods it under its own
+    /// tag with per-round dedup). Stops early if a delivery advanced the
+    /// frontier — the advance itself re-propagates still-relevant
+    /// notifications into the remaining rounds.
+    fn apply_fail_from(
+        &mut self,
+        start_idx: usize,
+        failed: ServerId,
+        detector: ServerId,
+        out: &mut Vec<Action>,
+    ) {
+        if !self.alive[failed as usize] {
+            return; // stale — the server is already out of the overlay
+        }
+        let frontier = self.round;
+        let mut idx = start_idx;
+        while idx < self.rounds.len() {
+            self.fail_in_round(idx, failed, detector, out);
+            if self.round != frontier || !self.alive[failed as usize] {
+                // A delivery advanced the window (carry-over took care
+                // of the remaining rounds) or tagged `failed` for good.
+                return;
+            }
+            idx += 1;
+        }
+    }
+
+    /// Process one failure notification within open round `idx`
+    /// (R-broadcast dedup, dissemination-first, tracking update).
+    fn fail_in_round(
+        &mut self,
+        idx: usize,
+        failed: ServerId,
+        detector: ServerId,
+        out: &mut Vec<Action>,
+    ) {
+        if self.rounds[idx].fails.contains(failed, detector) {
+            return; // duplicate — R-broadcast dedup
         }
         // Line 22: disseminate first (R-broadcast).
-        let msg = Message::Fail { round: self.round, failed, detector };
+        let round = self.round + idx as Round;
+        let msg = Message::Fail { round, failed, detector };
         self.send_to_successors(&msg, out);
         // Line 23: record.
-        self.fails.insert(failed, detector);
-        self.known_failed.insert(failed);
+        self.rounds[idx].fails.insert(failed, detector);
+        self.rounds[idx].known_failed.insert(failed);
         // Lines 24–40: update every tracking digraph that contains
-        // `failed`.
-        self.apply_fail_to_tracking(failed, detector);
-        self.check_termination(out);
+        // `failed`. A Ready round's digraphs are already settled and
+        // cleared; it only records and relays.
+        if self.rounds[idx].phase != Phase::Ready {
+            self.apply_fail_to_tracking(idx, failed, detector);
+        }
+        self.check_termination(idx, out);
     }
 
-    fn apply_fail_to_tracking(&mut self, failed: ServerId, detector: ServerId) {
-        // Split borrows: the digraphs vs the context fields.
+    fn apply_fail_to_tracking(&mut self, idx: usize, failed: ServerId, detector: ServerId) {
+        // Split borrows: the round's digraphs vs its context fields and
+        // the shared successor view.
+        let rs = &mut self.rounds[idx];
         let ctx = RoundCtx {
             succ_view: &self.succ_view,
-            fails: &self.fails,
-            known_failed: &self.known_failed,
+            fails: &rs.fails,
+            known_failed: &rs.known_failed,
         };
         let mut peak = self.peak_tracking;
-        for p in 0..self.tracking.len() {
-            if !self.tracking_active.contains(p as ServerId) {
+        for p in 0..rs.tracking.len() {
+            if !rs.tracking_active.contains(p as ServerId) {
                 continue;
             }
-            let g = &mut self.tracking[p];
+            let g = &mut rs.tracking[p];
             g.on_failure(failed, detector, &ctx);
             peak = peak.max(g.peak_vertices());
             if g.is_empty() {
-                self.tracking_active.remove(p as ServerId);
+                rs.tracking_active.remove(p as ServerId);
             }
         }
         self.peak_tracking = peak;
     }
 
     /// §3.3.2: a server that decided its set floods FWD over `G`.
-    fn handle_fwd(&mut self, origin: ServerId, out: &mut Vec<Action>) {
-        if self.cfg.fd_mode != FdMode::EventuallyPerfect {
+    fn handle_fwd(&mut self, idx: usize, origin: ServerId, out: &mut Vec<Action>) {
+        if self.cfg.fd_mode != FdMode::EventuallyPerfect || self.rounds[idx].phase == Phase::Ready {
             return;
         }
-        if self.fwd_seen.insert(origin) {
-            let msg = Message::Fwd { round: self.round, origin };
+        if self.rounds[idx].fwd_seen.insert(origin) {
+            let msg = Message::Fwd { round: self.round + idx as Round, origin };
             self.send_to_successors(&msg, out);
-            self.check_decision(out);
+            self.check_decision(idx, out);
         }
     }
 
     /// §3.3.2: BWD floods over the transpose of `G`.
-    fn handle_bwd(&mut self, origin: ServerId, out: &mut Vec<Action>) {
-        if self.cfg.fd_mode != FdMode::EventuallyPerfect {
+    fn handle_bwd(&mut self, idx: usize, origin: ServerId, out: &mut Vec<Action>) {
+        if self.cfg.fd_mode != FdMode::EventuallyPerfect || self.rounds[idx].phase == Phase::Ready {
             return;
         }
-        if self.bwd_seen.insert(origin) {
-            let msg = Message::Bwd { round: self.round, origin };
+        if self.rounds[idx].bwd_seen.insert(origin) {
+            let msg = Message::Bwd { round: self.round + idx as Round, origin };
             self.send_to_predecessors(&msg, out);
-            self.check_decision(out);
+            self.check_decision(idx, out);
         }
     }
 
-    /// Algorithm 1 lines 5–13 (plus the ◇P decision hand-off).
-    fn check_termination(&mut self, out: &mut Vec<Action>) {
-        if self.phase != Phase::Gathering || !self.tracking_active.is_empty() {
+    /// Algorithm 1 lines 5–13 (plus the ◇P decision hand-off), for open
+    /// round `idx`. Only the frontier delivers; a later round that
+    /// terminates freezes as `Ready` until the window slides to it.
+    fn check_termination(&mut self, idx: usize, out: &mut Vec<Action>) {
+        let rs = &self.rounds[idx];
+        if rs.phase != Phase::Gathering || !rs.tracking_active.is_empty() {
             return;
         }
         // Validity guard: our own message must be part of the set. The
         // check is implicit in Algorithm 1 (M_i always contains m_i by
         // the time every other digraph empties) but explicit here because
         // the application drives A-broadcast.
-        if !self.own_sent {
+        if !rs.own_sent {
             return;
         }
         match self.cfg.fd_mode {
-            FdMode::Perfect => self.deliver_and_advance(out),
+            FdMode::Perfect => {
+                if idx == 0 {
+                    self.deliver_and_advance(out);
+                } else {
+                    self.rounds[idx].phase = Phase::Ready;
+                }
+            }
             FdMode::EventuallyPerfect => {
-                self.phase = Phase::Deciding;
+                self.rounds[idx].phase = Phase::Deciding;
                 // R-broadcast ⟨FWD, p_i⟩ over G and ⟨BWD, p_i⟩ over G^T.
-                self.fwd_seen.insert(self.id);
-                self.bwd_seen.insert(self.id);
-                let fwd = Message::Fwd { round: self.round, origin: self.id };
+                self.rounds[idx].fwd_seen.insert(self.id);
+                self.rounds[idx].bwd_seen.insert(self.id);
+                let round = self.round + idx as Round;
+                let fwd = Message::Fwd { round, origin: self.id };
                 self.send_to_successors(&fwd, out);
-                let bwd = Message::Bwd { round: self.round, origin: self.id };
+                let bwd = Message::Bwd { round, origin: self.id };
                 self.send_to_predecessors(&bwd, out);
-                self.check_decision(out);
+                self.check_decision(idx, out);
             }
         }
     }
@@ -595,48 +840,62 @@ impl Server {
     /// §3.3.2: deliver once ⌊n/2⌋ *other* servers are known to share our
     /// set in both directions (FWD: theirs ⊆ ours; BWD: ours ⊆ theirs) —
     /// a strict majority including ourselves.
-    fn check_decision(&mut self, out: &mut Vec<Action>) {
-        if self.phase != Phase::Deciding {
+    fn check_decision(&mut self, idx: usize, out: &mut Vec<Action>) {
+        let rs = &self.rounds[idx];
+        if rs.phase != Phase::Deciding {
             return;
         }
         let n = self.alive_ids.len();
         // In the Deciding phase both sets contain `self` (inserted at the
         // phase hand-off), so the word-wise intersection overcounts the
         // "other servers" tally by exactly one.
-        let both = self.fwd_seen.intersection_len(&self.bwd_seen) - 1;
+        let both = rs.fwd_seen.intersection_len(&rs.bwd_seen) - 1;
         if both >= n / 2 {
-            self.deliver_and_advance(out);
+            if idx == 0 {
+                self.deliver_and_advance(out);
+            } else {
+                self.rounds[idx].phase = Phase::Ready;
+            }
         }
     }
 
+    /// Deliver the frontier round and slide the window: tag servers
+    /// whose messages were missing, carry still-relevant notifications
+    /// forward, scrub tagged servers from every open round, re-check
+    /// terminations (cascading deliveries of `Ready` successors), refill
+    /// the window from queued payloads, and replay buffered events.
     fn deliver_and_advance(&mut self, out: &mut Vec<Action>) {
+        let mut rs = self.rounds.pop_front().expect("frontier round is always open");
         // Deliver sort(M_i): ascending-origin scan of the dense slots,
         // *moving* each payload out instead of cloning it (the round
-        // state is reset below anyway). Lines 9–11 fold into the same
+        // state is recycled below anyway). Lines 9–11 fold into the same
         // sweep: an alive server with no message is tagged failed.
-        let mut messages: Vec<(ServerId, Bytes)> = Vec::with_capacity(self.msgs_len);
+        let mut tagged = std::mem::take(&mut self.tagged_scratch);
+        tagged.clear();
+        let mut messages: Vec<(ServerId, Bytes)> = Vec::with_capacity(rs.msgs_len);
         for p in 0..self.cfg.n() {
-            match self.msgs[p].take() {
+            match rs.msgs[p].take() {
                 Some(payload) => messages.push((p as ServerId, payload)),
                 None => {
                     if self.alive[p] {
                         self.alive[p] = false;
+                        tagged.push(p as ServerId);
                     }
                 }
             }
         }
-        self.msgs_len = 0;
-        self.msg_bytes = 0;
+        rs.msgs_len = 0;
+        rs.msg_bytes = 0;
         out.push(Action::Deliver { round: self.round, messages });
         self.rounds_delivered += 1;
 
         // Lines 12–13: keep notifications about still-alive servers (they
-        // failed *after* A-broadcasting; the new round must know).
+        // failed *after* A-broadcasting; the following rounds must know).
         let mut carried = std::mem::take(&mut self.carried_scratch);
         carried.clear();
-        carried.extend(self.fails.iter().filter(|&(p, _)| self.alive[p as usize]));
+        carried.extend(rs.fails.iter().filter(|&(p, _)| self.alive[p as usize]));
 
-        // Enter the next round under the shrunken overlay view.
+        // Slide the window under the shrunken overlay view.
         self.round += 1;
         rebuild_views(
             &self.cfg,
@@ -646,61 +905,183 @@ impl Server {
             &mut self.pred_view,
             &mut self.alive_ids,
         );
-        self.reset_round_state();
+        self.recycle_round(rs);
 
-        // Re-derive the ignore-rule for predecessors we ourselves
-        // suspected, then replay the carried notifications: batch-insert
-        // first so expansions see the full refutation set, then update
-        // tracking and resend under the new round's tag.
-        for &(p, det) in carried.iter() {
-            if det == self.id {
-                self.suspected_preds.insert(p);
+        // Scrub servers tagged by this delivery from every still-open
+        // round: drop their tracking digraphs and discard any
+        // already-received later-round message. Every correct server
+        // delivers rounds in order and tags the same set (a function of
+        // the agreed round), so every correct server scrubs identically
+        // before delivering any later round — which is what keeps later
+        // sets uniform even though the scrubbed messages reached only
+        // some servers before the tagging.
+        if !tagged.is_empty() {
+            for open in self.rounds.iter_mut() {
+                for &p in tagged.iter() {
+                    if open.tracking_active.remove(p) {
+                        open.tracking[p as usize].clear();
+                    }
+                    if let Some(b) = open.msgs[p as usize].take() {
+                        open.msgs_len -= 1;
+                        open.msg_bytes -= b.len();
+                    }
+                }
             }
-            self.fails.insert(p, det);
-            self.known_failed.insert(p);
         }
-        for &(p, det) in carried.iter() {
-            let msg = Message::Fail { round: self.round, failed: p, detector: det };
+        self.tagged_scratch = tagged;
+
+        if self.rounds.is_empty() {
+            // Sequential case (window exhausted): open the next frontier
+            // seeded with the carried notifications and the next queued
+            // payload — exactly lines 9–13 plus the batching pop.
+            self.carried_scratch = carried;
+            self.open_next_round(out);
+        } else {
+            // Pipelined case: the following rounds are already open and
+            // were seeded when opened / fed by the forward-application
+            // rule, so replaying the carry is normally pure dedup — but
+            // it is what guarantees no still-relevant notification is
+            // lost when a notification raced the delivery.
+            for idx in 0..self.rounds.len() {
+                self.seed_round_notifications(idx, &carried, out);
+            }
+            self.carried_scratch = carried;
+        }
+
+        // The scrub / carry may have settled open rounds; re-check them
+        // in round order, delivering the new frontier if it is (or just
+        // became) complete. A nested advance re-enters this same
+        // sequence, so stop as soon as the frontier moves.
+        self.settle_open_rounds(out);
+
+        // Refill the window from queued payloads (each open consumes
+        // one). No-op at window 1: the open above already popped.
+        while !self.pending_payloads.is_empty() && self.rounds.len() < self.window {
+            self.open_next_round(out);
+        }
+
+        // Replay any buffered events that now fall inside the window.
+        self.drain_future(out);
+    }
+
+    /// Termination sweep over the open rounds after the window slid:
+    /// deliver a `Ready` (or now-complete) frontier, mark later
+    /// completed rounds `Ready`. Aborts when a nested advance takes
+    /// over.
+    fn settle_open_rounds(&mut self, out: &mut Vec<Action>) {
+        let frontier = self.round;
+        let mut idx = 0;
+        while idx < self.rounds.len() && self.round == frontier {
+            if idx == 0 && self.rounds[0].phase == Phase::Ready {
+                self.deliver_and_advance(out);
+                return;
+            }
+            self.check_termination(idx, out);
+            idx += 1;
+        }
+    }
+
+    /// Replay `carried` (notifications about still-alive servers) into
+    /// open round `idx` — Algorithm 1 lines 12–13 generalised to the
+    /// window. Batch-insert first so tracking expansions see the full
+    /// refutation set, then flood each *newly* recorded pair under the
+    /// round's own tag and update its tracking (a `Ready` round's
+    /// digraphs are already settled and cleared). Re-seeding an
+    /// already-open round is pure dedup; the same helper seeds fresh
+    /// rounds in [`Server::open_next_round`]. No termination checks
+    /// here — the callers sweep those afterwards, so indices stay
+    /// stable.
+    fn seed_round_notifications(
+        &mut self,
+        idx: usize,
+        carried: &[(ServerId, ServerId)],
+        out: &mut Vec<Action>,
+    ) {
+        let round = self.round + idx as Round;
+        let mut newly = std::mem::take(&mut self.seed_scratch);
+        newly.clear();
+        for &(p, det) in carried {
+            if det == self.id {
+                self.rounds[idx].suspected_preds.insert(p);
+            }
+            if self.rounds[idx].fails.insert(p, det) {
+                newly.push((p, det));
+            }
+            self.rounds[idx].known_failed.insert(p);
+        }
+        for &(p, det) in newly.iter() {
+            let msg = Message::Fail { round, failed: p, detector: det };
             self.send_to_successors(&msg, out);
-            self.apply_fail_to_tracking(p, det);
+            if self.rounds[idx].phase != Phase::Ready {
+                self.apply_fail_to_tracking(idx, p, det);
+            }
         }
+        self.seed_scratch = newly;
+    }
+
+    /// Open the next round of the window (round `round + rounds.len()`):
+    /// arm a pooled round state under the current view, seed it with the
+    /// youngest round's still-relevant failure notifications (lines
+    /// 12–13 generalised — re-sent under the new round's tag), and give
+    /// it the next queued application payload if one is waiting.
+    ///
+    /// When called with no open rounds (the frontier advance), the carry
+    /// source is `carried_scratch`, pre-filled from the just-delivered
+    /// round.
+    fn open_next_round(&mut self, out: &mut Vec<Action>) {
+        let n = self.cfg.n();
+        let round = self.round + self.rounds.len() as Round;
+        let mut carried = std::mem::take(&mut self.carried_scratch);
+        if let Some(prev) = self.rounds.back() {
+            carried.clear();
+            carried.extend(prev.fails.iter().filter(|&(p, _)| self.alive[p as usize]));
+        }
+        let mut rs = self.round_pool.pop().unwrap_or_else(|| RoundState::new(n));
+        rs.reset(n, &self.alive, self.id);
+        self.rounds.push_back(rs);
+        let idx = self.rounds.len() - 1;
+        debug_assert_eq!(self.round + idx as Round, round);
+        self.seed_round_notifications(idx, &carried, out);
         self.carried_scratch = carried;
         // The carried notifications alone may already settle the round's
         // tracking state for long-dead senders, but delivery still waits
         // for our own A-broadcast (the application drives it).
 
-        // A queued application payload opens the new round *before* any
-        // buffered peer messages replay, so it cannot be displaced by the
-        // line-15 empty reaction. (May recurse into another advance when
-        // everything else already settled.)
+        // A queued application payload opens the round *before* any
+        // buffered peer messages replay, so it cannot be displaced by
+        // the line-15 empty reaction. (May recurse into an advance when
+        // everything else already settled and this is the frontier.)
         if let Some(payload) = self.pending_payloads.pop_front() {
-            self.a_broadcast(payload, out);
+            self.broadcast_into(idx, payload, out);
         }
-
-        // Drain any buffered events that now belong to the current round.
-        self.drain_future(out);
     }
 
+    /// Replay buffered events that fall inside the current window,
+    /// oldest round first. Dispatching can advance the frontier
+    /// (nested drains run then), open rounds, or re-buffer nothing —
+    /// per-message stale checks make the loop re-entrant.
     fn drain_future(&mut self, out: &mut Vec<Action>) {
-        // Delivering inside the drain can advance the round again, so
-        // loop until no buffered events remain for the current round.
         loop {
-            let Some(mut queue) = self.future.remove(&self.round) else { return };
-            let round_before = self.round;
-            while let Some((from, msg)) = queue.pop_front() {
-                self.dispatch(from, msg, out);
-                if self.round != round_before {
-                    // Advanced mid-drain; remaining messages are stale for
-                    // the new round only if tagged older — they are all
-                    // tagged `round_before`, so drop them.
+            // Discard queues for rounds the window already passed.
+            while let Some((&r, _)) = self.future.iter().next() {
+                if r >= self.round {
                     break;
                 }
+                let queue = self.future.remove(&r).expect("keyed");
+                self.recycle_queue(queue);
             }
-            queue.clear();
-            self.future_pool.push(queue);
-            if self.round == round_before {
+            let Some((&r, _)) = self.future.iter().next() else { return };
+            if r >= self.round + self.window as Round {
                 return;
             }
+            let mut queue = self.future.remove(&r).expect("keyed");
+            while let Some((from, msg)) = queue.pop_front() {
+                // Full routing: the frontier may advance mid-queue, in
+                // which case the remaining messages (all tagged `r`)
+                // drop as stale — matching the sequential drain.
+                self.handle_receive(from, msg, out);
+            }
+            self.recycle_queue(queue);
         }
     }
 }
@@ -1070,5 +1451,239 @@ mod tests {
         assert_eq!(s0.round(), 1);
         assert_eq!(s0.alive_members(), &[0, 1][..]);
         assert_eq!(s0.monitored_predecessors(), &[1][..]);
+    }
+
+    // ---- round-window (pipelining) tests --------------------------------
+
+    fn windowed(cfg: Config, w: usize, id: ServerId) -> Server {
+        Server::new(cfg.with_round_window(w), id)
+    }
+
+    #[test]
+    fn submissions_open_rounds_up_to_the_window() {
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s = windowed(cfg, 3, 0);
+        let mut acts = Vec::new();
+        for k in 0..5u8 {
+            s.handle_into(Event::ABroadcast(payload(k)), &mut acts);
+        }
+        // Three rounds open (window), two payloads queued beyond it.
+        assert_eq!(s.open_rounds(), 3);
+        assert_eq!(s.queued_payloads(), 2);
+        assert_eq!(s.next_unsubmitted_round(), 5);
+        // One BCAST per round went out immediately, tagged 0, 1, 2.
+        let mut bcast_rounds: Vec<Round> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { msg: Message::Bcast { round, origin: 0, .. }, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        bcast_rounds.dedup();
+        assert_eq!(bcast_rounds, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn windowed_rounds_progress_concurrently_and_deliver_in_order() {
+        // 2-server complete digraph, window 3: peer messages for rounds
+        // 0..3 can be processed before any delivery, and deliveries come
+        // out strictly in round order.
+        let cfg = Config::new(Arc::new(complete_digraph(2)), 0);
+        let mut s = windowed(cfg, 3, 0);
+        let mut acts = Vec::new();
+        // Peer completes rounds 1 and 2 first — they become Ready.
+        for r in [1u64, 2] {
+            s.handle_into(
+                Event::Receive {
+                    from: 1,
+                    msg: Message::Bcast { round: r, origin: 1, payload: payload(r as u8) },
+                },
+                &mut acts,
+            );
+        }
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Deliver { .. })),
+            "no delivery ahead of the frontier: {acts:?}"
+        );
+        assert_eq!(s.round(), 0, "frontier unmoved");
+        assert_eq!(s.open_rounds(), 3);
+        // Round 0 completes last: all three deliver, in order.
+        acts.clear();
+        s.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 0, origin: 1, payload: payload(0) },
+            },
+            &mut acts,
+        );
+        let delivered: Vec<Round> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![0, 1, 2], "in-order cascade: {acts:?}");
+        assert_eq!(s.round(), 3);
+    }
+
+    #[test]
+    fn ready_round_freezes_its_message_set() {
+        // Window 2 on a 3-clique: round 1 terminates (via notifications
+        // about a crashed server) while round 0 is still gathering; a
+        // late BCAST for the frozen round must be dropped, exactly like
+        // a post-delivery straggler.
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s = windowed(cfg, 2, 0);
+        let mut acts = Vec::new();
+        // Rounds 0 and 1 both carry our payloads.
+        s.handle_into(Event::ABroadcast(payload(0)), &mut acts);
+        s.handle_into(Event::ABroadcast(payload(1)), &mut acts);
+        // Round 1: peer 1's message arrives; peer 2 is reported failed
+        // by peer 1 and by us — round 1 terminates ahead of round 0.
+        s.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 1, origin: 1, payload: payload(11) },
+            },
+            &mut acts,
+        );
+        s.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+        acts.clear();
+        s.handle_into(
+            Event::Receive { from: 1, msg: Message::Fail { round: 1, failed: 2, detector: 1 } },
+            &mut acts,
+        );
+        assert!(
+            !acts.iter().any(|a| matches!(a, Action::Deliver { .. })),
+            "round 1 must wait for the frontier"
+        );
+        // Round 1 is now frozen: server 2's late round-1 BCAST is dropped.
+        let late = Message::Bcast { round: 1, origin: 2, payload: payload(22) };
+        assert!(s.handle(Event::Receive { from: 2, msg: late }).is_empty());
+        // Round 0 completes (1's message arrives, and peer 1's
+        // notification flood for its round 0 lands): both rounds deliver
+        // in order, round 1 without m2.
+        acts.clear();
+        s.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 0, origin: 1, payload: payload(10) },
+            },
+            &mut acts,
+        );
+        s.handle_into(
+            Event::Receive { from: 1, msg: Message::Fail { round: 0, failed: 2, detector: 1 } },
+            &mut acts,
+        );
+        let delivered: Vec<(Round, Vec<ServerId>)> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { round, messages } => {
+                    Some((*round, messages.iter().map(|&(o, _)| o).collect()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![(0, vec![0, 1]), (1, vec![0, 1])]);
+        assert!(!s.is_alive(2));
+    }
+
+    #[test]
+    fn tagged_server_scrubbed_from_open_rounds() {
+        // Window 2 on a 3-clique: server 2's round-1 message is received
+        // while round 0 is open; round 0 then agrees *without* m2 and
+        // tags server 2 — the already-buffered round-1 message must be
+        // scrubbed so round 1 delivers without it.
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s = windowed(cfg, 2, 0);
+        let mut acts = Vec::new();
+        s.handle_into(Event::ABroadcast(payload(0)), &mut acts);
+        s.handle_into(Event::ABroadcast(payload(1)), &mut acts);
+        // Server 2's round-1 message arrives early (round 1 is open).
+        s.handle_into(
+            Event::Receive {
+                from: 2,
+                msg: Message::Bcast { round: 1, origin: 2, payload: payload(21) },
+            },
+            &mut acts,
+        );
+        // Round 0: peer 1 delivers its message; server 2 never speaks in
+        // round 0 and is reported failed.
+        s.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 0, origin: 1, payload: payload(10) },
+            },
+            &mut acts,
+        );
+        s.handle_into(Event::Suspect { suspect: 2 }, &mut acts);
+        acts.clear();
+        s.handle_into(
+            Event::Receive { from: 1, msg: Message::Fail { round: 0, failed: 2, detector: 1 } },
+            &mut acts,
+        );
+        let delivered: Vec<(Round, Vec<ServerId>)> = acts
+            .iter()
+            .filter_map(|a| match a {
+                Action::Deliver { round, messages } => {
+                    Some((*round, messages.iter().map(|&(o, _)| o).collect()))
+                }
+                _ => None,
+            })
+            .collect();
+        // Round 0 excludes m2 and tags server 2; the scrub drops its
+        // round-1 message, and round 1 (peer 1's slot still open) waits.
+        assert_eq!(delivered, vec![(0, vec![0, 1])]);
+        assert!(!s.is_alive(2));
+        acts.clear();
+        s.handle_into(
+            Event::Receive {
+                from: 1,
+                msg: Message::Bcast { round: 1, origin: 1, payload: payload(11) },
+            },
+            &mut acts,
+        );
+        let round1 = acts
+            .iter()
+            .find_map(|a| match a {
+                Action::Deliver { round: 1, messages } => {
+                    Some(messages.iter().map(|&(o, _)| o).collect::<Vec<_>>())
+                }
+                _ => None,
+            })
+            .expect("round 1 delivers");
+        assert_eq!(round1, vec![0, 1], "scrubbed m2 must not resurface");
+    }
+
+    #[test]
+    fn window_one_matches_sequential_buffering() {
+        // At window 1 the windowed machine must behave exactly like the
+        // sequential one: future-round messages buffer, submissions
+        // beyond the open round queue.
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s = Server::new(cfg, 0);
+        assert_eq!(s.round_window(), 1);
+        s.handle(Event::ABroadcast(payload(0)));
+        s.handle(Event::ABroadcast(payload(1)));
+        assert_eq!(s.open_rounds(), 1);
+        assert_eq!(s.queued_payloads(), 1);
+        let fut = Message::Bcast { round: 1, origin: 1, payload: payload(11) };
+        assert!(s.handle(Event::Receive { from: 1, msg: fut }).is_empty());
+    }
+
+    #[test]
+    fn set_round_window_takes_effect_for_new_submissions() {
+        let cfg = Config::new(Arc::new(complete_digraph(3)), 1);
+        let mut s = Server::new(cfg, 0);
+        s.handle(Event::ABroadcast(payload(0)));
+        s.handle(Event::ABroadcast(payload(1)));
+        assert_eq!(s.open_rounds(), 1);
+        assert_eq!(s.queued_payloads(), 1);
+        s.set_round_window(4);
+        // The queued payload stays queued until the next slide, but new
+        // submissions can open rounds now.
+        s.handle(Event::ABroadcast(payload(2)));
+        assert_eq!(s.open_rounds(), 2, "window growth admits a new round");
     }
 }

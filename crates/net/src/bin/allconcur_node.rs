@@ -92,6 +92,7 @@ fn main() {
         graph: Arc::new(graph),
         resilience: k.saturating_sub(1),
         fd_mode: FdMode::Perfect,
+        round_window: 1,
     };
 
     let listener = TcpListener::bind(tcp_addrs[id as usize]).unwrap_or_else(|e| {

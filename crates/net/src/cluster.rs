@@ -29,6 +29,7 @@ impl LocalCluster {
             graph: Arc::new(graph),
             resilience: k.saturating_sub(1),
             fd_mode: FdMode::Perfect,
+            round_window: opts.round_window.max(1),
         };
 
         // Bind every socket before starting any runtime, so successor
@@ -102,6 +103,13 @@ impl LocalCluster {
     pub fn suspect(&self, at: ServerId, suspected: ServerId) {
         if let Some(node) = &self.nodes[at as usize] {
             node.inject_suspicion(suspected);
+        }
+    }
+
+    /// Adjust every running server's round-pipelining window.
+    pub fn set_round_window(&self, window: usize) {
+        for node in self.nodes.iter().flatten() {
+            node.set_round_window(window);
         }
     }
 

@@ -52,6 +52,97 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Message> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
+/// Buffered frame reader for the runtime's per-connection reader
+/// threads.
+///
+/// [`read_frame`] costs two `read` syscalls (length, body) per message;
+/// under pipelined rounds a predecessor's link carries dense bursts of
+/// small frames, so this reader pulls whole bursts into one buffer with
+/// a single syscall and parses frames out of it. It is also safe under
+/// read *timeouts*: a `WouldBlock`/`TimedOut` mid-frame keeps the
+/// partial bytes buffered and resumes cleanly on the next call —
+/// `read_frame` + `read_exact` would desynchronise the stream instead.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader::new()
+    }
+}
+
+impl FrameReader {
+    /// A reader with the default 64 KiB burst buffer.
+    pub fn new() -> FrameReader {
+        FrameReader { buf: vec![0u8; 64 * 1024], start: 0, end: 0 }
+    }
+
+    /// Bytes buffered but not yet parsed.
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Read the next frame from `r`. `Ok(Some(msg))` on a complete
+    /// frame, `Ok(None)` when the underlying read timed out or would
+    /// block (call again later — partial frames stay buffered), `Err`
+    /// on EOF, I/O failure, or a corrupt frame.
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Message>> {
+        loop {
+            if self.buffered() >= 4 {
+                let len_buf: [u8; 4] =
+                    self.buf[self.start..self.start + 4].try_into().expect("4 bytes");
+                let len = u32::from_le_bytes(len_buf) as usize;
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+                }
+                if self.buffered() >= 4 + len {
+                    let body = &self.buf[self.start + 4..self.start + 4 + len];
+                    let mut bytes = Bytes::copy_from_slice(body);
+                    self.start += 4 + len;
+                    let msg = Message::decode(&mut bytes)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    return Ok(Some(msg));
+                }
+                // Incomplete frame: make sure it can ever fit.
+                if 4 + len > self.buf.len() {
+                    self.compact();
+                    self.buf.resize(4 + len, 0);
+                }
+            }
+            if self.end == self.buf.len() {
+                self.compact();
+            }
+            match r.read(&mut self.buf[self.end..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))
+                }
+                Ok(k) => self.end += k,
+                Err(ref e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Slide the unparsed tail to the front of the buffer.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
 /// Handshake sent by the connecting (predecessor) side.
 pub fn write_handshake<W: Write>(w: &mut W, id: ServerId) -> io::Result<()> {
     w.write_all(&id.to_le_bytes())
@@ -114,6 +205,76 @@ mod tests {
         wire.extend_from_slice(&(u32::MAX).to_le_bytes());
         wire.extend_from_slice(&[0u8; 16]);
         assert!(read_frame(&mut Cursor::new(wire)).is_err());
+    }
+
+    /// A reader that hands out bytes in dribbles and injects timeouts,
+    /// for the buffered reader's resume-mid-frame path.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        timeout_every: usize,
+        reads: usize,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.reads += 1;
+            if self.timeout_every > 0 && self.reads.is_multiple_of(self.timeout_every) {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dribble timeout"));
+            }
+            let k = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            buf[..k].copy_from_slice(&self.data[self.pos..self.pos + k]);
+            self.pos += k;
+            Ok(k)
+        }
+    }
+
+    #[test]
+    fn frame_reader_parses_bursts_and_survives_midframe_timeouts() {
+        let msgs: Vec<Message> = (0..50)
+            .map(|i| Message::Bcast {
+                round: i,
+                origin: (i % 5) as u32,
+                payload: Bytes::from(vec![i as u8; (i as usize * 7) % 300]),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, m).unwrap();
+        }
+        // 3-byte chunks with a timeout every 4th read: every frame is
+        // split mid-length or mid-body many times over.
+        let mut src = Dribble { data: wire, pos: 0, chunk: 3, timeout_every: 4, reads: 0 };
+        let mut reader = FrameReader::new();
+        let mut out = Vec::new();
+        while out.len() < msgs.len() {
+            match reader.read_frame(&mut src).unwrap() {
+                Some(m) => out.push(m),
+                None => continue, // timeout: partial frame stays buffered
+            }
+        }
+        assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn frame_reader_grows_for_oversized_payloads() {
+        let big = Message::Bcast { round: 1, origin: 0, payload: Bytes::from(vec![3u8; 200_000]) };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &big).unwrap();
+        let mut cursor = Cursor::new(wire);
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.read_frame(&mut cursor).unwrap(), Some(big));
+    }
+
+    #[test]
+    fn frame_reader_reports_eof_and_corrupt_lengths() {
+        let mut reader = FrameReader::new();
+        let mut empty = Cursor::new(Vec::new());
+        assert!(reader.read_frame(&mut empty).is_err(), "EOF is an error");
+        let mut corrupt = Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        let mut reader = FrameReader::new();
+        assert!(reader.read_frame(&mut corrupt).is_err(), "oversized length rejected");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! predecessors.
 
 use crate::codec::{
-    encode_frame, read_frame, read_handshake, write_encoded_frame, write_handshake,
+    encode_frame, read_handshake, write_encoded_frame, write_handshake, FrameReader,
 };
 use crate::heartbeat::{self, FdParams, HeartbeatTable};
 use allconcur_core::config::Config;
@@ -44,6 +44,7 @@ enum NodeInput {
     Net { from: ServerId, msg: Message },
     Broadcast(Bytes),
     Suspect(ServerId),
+    SetWindow(usize),
     Shutdown,
 }
 
@@ -72,16 +73,20 @@ pub struct RuntimeOptions {
     /// submission falls back to the empty broadcast after the grace, so
     /// liveness is preserved.
     ///
-    /// The gate covers BCASTs arriving for an open round. A BCAST for a
-    /// *future* round that arrives mid-round buffers inside the state
-    /// machine and replays on advance, where — if the application has
-    /// neither submitted nor queued the next payload by then — the
-    /// line-15 empty reaction still applies. That residual race is
-    /// inherent to the protocol (one message per server per round,
-    /// started by whoever speaks first); submit pipelined payloads ahead
-    /// of time (they queue in the server and win over the empty
-    /// reaction) to avoid it entirely.
+    /// The gate is **round-aware**: a `BCAST` is held back only while
+    /// its round is genuinely unsubmitted — at or past
+    /// [`allconcur_core::server::Server::next_unsubmitted_round`], i.e.
+    /// the application has neither broadcast nor queued a payload
+    /// covering it. Rounds the application already submitted ahead for
+    /// (pipelined submissions under a `round_window > 1`) flow through
+    /// undelayed, so the grace costs pipelined workloads nothing.
     pub app_grace: Duration,
+    /// Round-pipelining window `W` (default 1 — sequential rounds): how
+    /// many consecutive rounds each server keeps in flight. Larger
+    /// windows let dissemination of round `r + 1` proceed while round
+    /// `r` completes, amortising the network round-trip — rounds/sec
+    /// scales with `W` until CPU-bound (see the `tcp_rounds` bench).
+    pub round_window: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -92,6 +97,7 @@ impl Default for RuntimeOptions {
             connect_attempts: 100,
             connect_backoff: Duration::from_millis(10),
             app_grace: Duration::from_millis(400),
+            round_window: 1,
         }
     }
 }
@@ -234,6 +240,12 @@ impl NodeRuntime {
         let _ = self.input_tx.send(NodeInput::Suspect(suspect));
     }
 
+    /// Adjust the round-pipelining window at runtime (applied by the
+    /// protocol thread before its next input).
+    pub fn set_round_window(&self, window: usize) {
+        let _ = self.input_tx.send(NodeInput::SetWindow(window));
+    }
+
     /// Stop all threads and close sockets. Used both for graceful
     /// shutdown and to emulate a crash (peers detect via disconnect/FD).
     pub fn shutdown(self) {
@@ -302,16 +314,18 @@ fn spawn_reader(
                     Err(_) => return,
                 }
             };
+            // Buffered frame parsing: one `read` syscall pulls a whole
+            // burst of pipelined frames, and a read timeout mid-frame
+            // resumes cleanly instead of desynchronising the stream.
+            let mut frames = FrameReader::new();
             while !stop.load(Ordering::Relaxed) {
-                match read_frame(&mut stream) {
-                    Ok(msg) => {
+                match frames.read_frame(&mut stream) {
+                    Ok(Some(msg)) => {
                         if tx.send(NodeInput::Net { from, msg }).is_err() {
                             return;
                         }
                     }
-                    Err(ref e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Ok(None) => {} // read timeout: poll the stop flag
                     Err(_) => {
                         // EOF or reset: the predecessor is gone.
                         if suspect_on_disconnect && !stop.load(Ordering::Relaxed) {
@@ -336,9 +350,9 @@ struct ProtocolState {
     /// `d` successors and a burst of forwarded messages this collapses
     /// many small `flush` syscalls into one per writer per batch.
     dirty: Vec<ServerId>,
-    /// Peer messages held back while the current round awaits the
-    /// application's submission (see [`RuntimeOptions::app_grace`]).
-    /// Kept in arrival order so link-FIFO is preserved.
+    /// Peer `BCAST`s held back while their round awaits the
+    /// application's submission (see [`RuntimeOptions::app_grace`]),
+    /// in arrival order.
     deferred: std::collections::VecDeque<(ServerId, Message)>,
     /// When the gate opened; deferred messages are force-released past
     /// this instant.
@@ -409,6 +423,15 @@ impl ProtocolState {
         }
     }
 
+    /// Whether `msg` must wait for the application: a `BCAST` belonging
+    /// to a round the application has neither broadcast in nor queued a
+    /// payload for. Round-aware, so pipelined submissions ahead of the
+    /// delivery frontier are never delayed; only genuinely-unsubmitted
+    /// rounds sit out the grace.
+    fn gated(&self, msg: &Message) -> bool {
+        matches!(msg, Message::Bcast { .. }) && msg.round() >= self.server.next_unsubmitted_round()
+    }
+
     /// Feed one multiplexed input. Returns `false` when the loop should
     /// exit (shutdown, or the application side hung up). `None` means
     /// the deferred-release grace expired.
@@ -421,13 +444,15 @@ impl ProtocolState {
             }
             Some(NodeInput::Net { from, msg }) => {
                 // Defer a BCAST for a round the application has not
-                // submitted to yet — and, to preserve link-FIFO, any
-                // message arriving behind a deferred one *from the same
-                // sender*. Messages on other links (e.g. a FAIL
-                // notification) flow through undelayed.
-                if self.deferred.iter().any(|&(f, _)| f == from)
-                    || (matches!(msg, Message::Bcast { .. }) && !self.server.has_broadcast())
-                {
+                // submitted to yet — and, to preserve **per-link FIFO**,
+                // any message arriving behind a deferred one *from the
+                // same sender*: the tracking digraphs' edge refutation
+                // assumes a notifier's relayed `BCAST` is processed
+                // before its `FAIL` on every link (see
+                // `allconcur_core::tracking`), so a `FAIL` must never
+                // overtake a gated `BCAST` it arrived behind. Messages
+                // on *other* links flow through undelayed.
+                if self.deferred.iter().any(|&(f, _)| f == from) || self.gated(&msg) {
                     if self.gate_deadline.is_none() {
                         self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
                     }
@@ -444,35 +469,52 @@ impl ProtocolState {
                 // suspicion for an already-removed server is a no-op.
                 self.process(Event::Suspect { suspect: s })
             }
+            Some(NodeInput::SetWindow(w)) => {
+                self.server.set_round_window(w);
+                true
+            }
             Some(NodeInput::Shutdown) => return false,
         };
         ok && self.release_deferred(false)
     }
 
-    /// Process deferred peer messages until one has to wait for the
-    /// application again (a `BCAST` for a round we have not opened).
-    /// `force` releases the head unconditionally — the grace expired, so
-    /// the state machine answers with an empty broadcast (Algorithm 1
-    /// line 15) rather than stalling the cluster.
+    /// Process every deferred peer message that may be released: one
+    /// that is no longer gated (the application submitted its round, or
+    /// the window slid past it) *and* has no earlier deferred message
+    /// from the same sender — releases preserve per-link FIFO, the
+    /// ordering the tracking digraphs' refutation logic depends on.
+    /// `force` releases the oldest still-gated message unconditionally —
+    /// the grace expired, so the state machine answers with an empty
+    /// broadcast (Algorithm 1 line 15) rather than stalling the cluster.
     fn release_deferred(&mut self, mut force: bool) -> bool {
-        loop {
-            let Some((_, msg)) = self.deferred.front() else {
-                self.gate_deadline = None;
-                return true;
-            };
-            let gated = matches!(msg, Message::Bcast { .. }) && !self.server.has_broadcast();
-            if gated && !force {
-                if self.gate_deadline.is_none() {
-                    self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
-                }
-                return true;
+        let mut i = 0;
+        while i < self.deferred.len() {
+            let from = self.deferred[i].0;
+            // Per-link FIFO: an earlier deferred message from the same
+            // sender must go first. (The head, i == 0, is never blocked.)
+            if self.deferred.iter().take(i).any(|&(f, _)| f == from) {
+                i += 1;
+                continue;
             }
-            force = false;
-            let (from, msg) = self.deferred.pop_front().expect("peeked");
-            if !self.process(Event::Receive { from, msg }) {
-                return false;
+            if force || !self.gated(&self.deferred[i].1) {
+                force = false; // the grace force-releases exactly one
+                let (from, msg) = self.deferred.remove(i).expect("index in bounds");
+                if !self.process(Event::Receive { from, msg }) {
+                    return false;
+                }
+                // Processing can open rounds / advance the frontier and
+                // ungate earlier-queued messages: re-scan from the front.
+                i = 0;
+            } else {
+                i += 1;
             }
         }
+        if self.deferred.is_empty() {
+            self.gate_deadline = None;
+        } else if self.gate_deadline.is_none() {
+            self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
+        }
+        true
     }
 }
 

@@ -150,16 +150,17 @@ pub struct Service<S: StateMachine> {
     /// delivery of a round decodes it once
     /// (`Replica::decode_round`), every later replica applies the
     /// cached commands (`Replica::apply_decoded`) instead of
-    /// re-decoding the same agreed bytes n times. Bounded; a replica
-    /// straggling past the window re-decodes — correctness is
-    /// unaffected (codecs are deterministic).
+    /// re-decoding the same agreed bytes n times. Bounded by
+    /// [`Service::decoded_cache_rounds`]; a replica straggling past the
+    /// window re-decodes — correctness is unaffected (codecs are
+    /// deterministic).
     decoded: BTreeMap<Round, Vec<(ServerId, S::Command)>>,
 }
 
-/// Rounds of decoded commands kept in [`Service`]'s share cache. Needs
-/// to cover the pipeline depth plus replica skew within a round; beyond
-/// that a straggler simply re-decodes.
-const DECODED_CACHE_ROUNDS: usize = 16;
+/// Minimum rounds of decoded commands kept in [`Service`]'s share cache;
+/// the effective bound scales with the pipeline depth (see
+/// [`Service::decoded_cache_rounds`]).
+const DECODED_CACHE_MIN_ROUNDS: usize = 16;
 
 impl<S: StateMachine> Service<S> {
     /// Start a replicated `initial` state on `cluster`: every server's
@@ -190,8 +191,40 @@ impl<S: StateMachine> Service<S> {
     /// Allow up to `depth` rounds in flight before further submissions
     /// queue (default 1). Deeper pipelines trade per-command latency for
     /// throughput — Fig. 8's rate/latency trade-off.
+    ///
+    /// The depth maps straight onto the transport's round-pipelining
+    /// window: the deployment actually runs `depth` agreement rounds
+    /// concurrently, instead of the service merely queueing ahead of
+    /// one-round-at-a-time agreement. (Best-effort on the transport —
+    /// a shut-down cluster keeps the service-side depth only.)
     pub fn set_pipeline(&mut self, depth: usize) {
         self.pipeline = depth.max(1) as u64;
+        let _ = self.cluster.set_round_window(depth.max(1));
+    }
+
+    /// Rounds of decoded commands worth caching: the pipeline depth
+    /// (every in-flight round can have deliveries outstanding) plus the
+    /// same again for replica skew within rounds, floored at
+    /// [`DECODED_CACHE_MIN_ROUNDS`]. Deep windows on TCP genuinely keep
+    /// `depth` rounds of deliveries in flight, so a fixed constant would
+    /// silently degrade to per-replica re-decoding.
+    fn decoded_cache_rounds(&self) -> usize {
+        DECODED_CACHE_MIN_ROUNDS.max(2 * self.pipeline as usize)
+    }
+
+    /// Rounds currently in flight: flushed to the transport but not yet
+    /// harvested. Submissions keep flowing while this is below the
+    /// pipeline depth.
+    pub fn in_flight_rounds(&self) -> u64 {
+        self.flushed - self.harvested
+    }
+
+    /// Flush queued commands into the next round now, if the pipeline
+    /// window allows — the explicit form of the flush [`Service::pump`]
+    /// performs, for callers that interleave submission batches with
+    /// round boundaries themselves (benchmarks, load generators).
+    pub fn flush(&mut self) -> Result<(), ServiceError> {
+        self.flush_if_ready()
     }
 
     /// Number of configured servers.
@@ -573,7 +606,7 @@ impl<S: StateMachine> Service<S> {
             let commands =
                 self.replicas[at as usize].decode_round(round, &delivery.messages, true)?;
             self.decoded.insert(round, commands);
-            while self.decoded.len() > DECODED_CACHE_ROUNDS {
+            while self.decoded.len() > self.decoded_cache_rounds() {
                 self.decoded.pop_first();
             }
         }

@@ -152,6 +152,7 @@ pub struct SimClusterBuilder {
     failure_plan: FailurePlan,
     round_deadline: SimTime,
     track_space: bool,
+    round_window: usize,
 }
 
 impl SimClusterBuilder {
@@ -205,12 +206,23 @@ impl SimClusterBuilder {
         self
     }
 
+    /// Round-pipelining window `W` (default 1 — sequential rounds): how
+    /// many consecutive rounds each server keeps in flight concurrently.
+    pub fn round_window(mut self, window: usize) -> Self {
+        self.round_window = window.max(1);
+        self
+    }
+
     /// Construct the cluster.
     pub fn build(self) -> SimCluster {
         let n = self.graph.order();
         let k = allconcur_graph::connectivity::vertex_connectivity(&self.graph);
-        let cfg =
-            Config { graph: self.graph, resilience: k.saturating_sub(1), fd_mode: self.fd_mode };
+        let cfg = Config {
+            graph: self.graph,
+            resilience: k.saturating_sub(1),
+            fd_mode: self.fd_mode,
+            round_window: self.round_window,
+        };
         let servers: Vec<Server> =
             (0..n as ServerId).map(|i| Server::new(cfg.clone(), i)).collect();
         let mut cluster = SimCluster {
@@ -308,6 +320,7 @@ impl SimCluster {
             failure_plan: FailurePlan::none(),
             round_deadline: SimTime::from_secs(600),
             track_space: false,
+            round_window: 1,
         }
     }
 
@@ -334,6 +347,14 @@ impl SimCluster {
     /// Immutable view of a protocol state machine (Table 2 inspection).
     pub fn server(&self, id: ServerId) -> &Server {
         &self.servers[id as usize]
+    }
+
+    /// Adjust every server's round-pipelining window at runtime (takes
+    /// effect deterministically, before the next scheduled event).
+    pub fn set_round_window(&mut self, window: usize) {
+        for server in &mut self.servers {
+            server.set_round_window(window);
+        }
     }
 
     /// Total messages placed on the wire so far.

@@ -134,7 +134,12 @@ impl Harness {
 ///   notifications and the shrunken overlay view).
 fn run_scripted_scenario() -> (u64, Vec<Vec<(ServerId, Bytes)>>) {
     let graph = Arc::new(gs_digraph(8, 3).unwrap());
-    let cfg = Config { graph: graph.clone(), resilience: 2, fd_mode: FdMode::EventuallyPerfect };
+    let cfg = Config {
+        graph: graph.clone(),
+        resilience: 2,
+        fd_mode: FdMode::EventuallyPerfect,
+        round_window: 1,
+    };
     let n = 8usize;
     let victim: ServerId = 5;
 
