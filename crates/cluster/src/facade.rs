@@ -19,7 +19,7 @@
 use crate::error::ClusterError;
 use crate::sim::{SimOptions, SimTransport};
 use crate::tcp::TcpTransport;
-use crate::transport::Transport;
+use crate::transport::{FaultCommand, Transport};
 use allconcur_core::delivery::Delivery;
 use allconcur_core::ServerId;
 use allconcur_graph::Digraph;
@@ -391,6 +391,15 @@ impl Cluster {
     /// Inject a (possibly false) suspicion at `at` against `suspected`.
     pub fn suspect(&mut self, at: ServerId, suspected: ServerId) -> Result<(), ClusterError> {
         self.transport.suspect(at, suspected)
+    }
+
+    /// Inject a link-level fault (partition, loss, delay spike, reorder
+    /// burst) or heal/clear one — the nemesis control surface. The sim
+    /// backend supports every [`FaultCommand`]; TCP supports per-link
+    /// send-drop and the blanket clears, and reports the rest as
+    /// [`ClusterError::Unsupported`].
+    pub fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError> {
+        self.transport.inject_fault(fault)
     }
 
     /// Set the round-pipelining window `W` (clamped to ≥ 1): how many

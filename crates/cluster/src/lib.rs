@@ -36,7 +36,7 @@ pub use error::ClusterError;
 pub use facade::{Cluster, Deliveries, SubmitHandle};
 pub use sim::{SimOptions, SimTransport};
 pub use tcp::TcpTransport;
-pub use transport::Transport;
+pub use transport::{FaultCommand, Transport};
 
 #[cfg(test)]
 mod tests {

@@ -9,11 +9,12 @@
 //! (the paper's request-batching flow, §5).
 
 use crate::error::ClusterError;
-use crate::transport::Transport;
+use crate::transport::{FaultCommand, Transport};
 use allconcur_core::config::FdMode;
 use allconcur_core::delivery::Delivery;
 use allconcur_core::ServerId;
 use allconcur_graph::Digraph;
+use allconcur_sim::fault::FaultCmd;
 use allconcur_sim::harness::SimCluster;
 use allconcur_sim::network::NetworkModel;
 use allconcur_sim::time::SimTime;
@@ -155,7 +156,12 @@ impl Transport for SimTransport {
                 // out but no delivery is waiting for messages that can
                 // never arrive — the deployment lost liveness (e.g. more
                 // than k(G)−1 crashes disconnected the overlay). Plain
-                // idleness (no open rounds) is an ordinary timeout.
+                // idleness (no open rounds) is an ordinary timeout, and
+                // so is a deployment whose messages sit parked behind a
+                // partition: those arrive at the heal, not never.
+                if self.cluster.faults_holding() {
+                    return Ok(None);
+                }
                 let missing: Vec<ServerId> = (0..self.cluster.n() as ServerId)
                     .filter(|&id| {
                         !self.cluster.is_crashed(id) && self.cluster.server(id).has_broadcast()
@@ -189,6 +195,45 @@ impl Transport for SimTransport {
         self.check_id(at)?;
         self.check_id(suspected)?;
         self.cluster.schedule_suspicion(self.cluster.clock(), at, suspected);
+        Ok(())
+    }
+
+    fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError> {
+        if self.down {
+            return Err(ClusterError::ShutDown);
+        }
+        let cmd = match fault {
+            FaultCommand::Partition { groups } => {
+                for &id in groups.iter().flatten() {
+                    self.check_id(id)?;
+                }
+                FaultCmd::Partition { groups: groups.clone() }
+            }
+            FaultCommand::Isolate { from, to } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                FaultCmd::Isolate { from: *from, to: *to }
+            }
+            FaultCommand::HealPartitions => FaultCmd::HealPartitions,
+            FaultCommand::Drop { from, to, ppm } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                FaultCmd::Drop { from: *from, to: *to, ppm: *ppm }
+            }
+            FaultCommand::Delay { from, to, extra } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                let extra = SimTime::from_ns(extra.as_nanos().min(u64::MAX as u128) as u64);
+                FaultCmd::Delay { from: *from, to: *to, extra }
+            }
+            FaultCommand::Reorder { from, to, burst } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                FaultCmd::Reorder { from: *from, to: *to, burst: *burst }
+            }
+            FaultCommand::ClearLinkFaults => FaultCmd::Clear,
+        };
+        self.cluster.inject_fault(&cmd);
         Ok(())
     }
 

@@ -8,7 +8,7 @@
 //! channels.
 
 use crate::error::ClusterError;
-use crate::transport::Transport;
+use crate::transport::{FaultCommand, Transport};
 use allconcur_core::delivery::Delivery;
 use allconcur_core::ServerId;
 use allconcur_graph::Digraph;
@@ -38,6 +38,10 @@ pub struct TcpTransport {
     /// tears the node down — matching the simulator, where a victim's
     /// pre-crash deliveries stay observable.
     parked: std::collections::VecDeque<(ServerId, Delivery)>,
+    /// Links with an active send-drop fault, so `ClearLinkFaults` can
+    /// reset exactly the rates it set. Cleared on reconfigure (fresh
+    /// runtimes start fault-free).
+    lossy_links: std::collections::BTreeSet<(ServerId, ServerId)>,
 }
 
 impl TcpTransport {
@@ -50,6 +54,7 @@ impl TcpTransport {
             opts,
             cursor: 0,
             parked: std::collections::VecDeque::new(),
+            lossy_links: std::collections::BTreeSet::new(),
         })
     }
 
@@ -152,6 +157,50 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
+    fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError> {
+        match fault {
+            FaultCommand::Drop { from, to, ppm } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                // Clamp to 100%, matching the sim backend's contract.
+                let ppm = (*ppm).min(allconcur_sim::fault::PPM);
+                self.live_cluster()?.set_link_drop(*from, *to, ppm);
+                if ppm == 0 {
+                    self.lossy_links.remove(&(*from, *to));
+                } else {
+                    self.lossy_links.insert((*from, *to));
+                }
+                Ok(())
+            }
+            FaultCommand::ClearLinkFaults => {
+                let cluster = self.live_cluster()?;
+                for &(from, to) in &self.lossy_links {
+                    cluster.set_link_drop(from, to, 0);
+                }
+                self.lossy_links.clear();
+                Ok(())
+            }
+            // Nothing to heal: TCP cannot partition, so blanket scenario
+            // teardown heals harmlessly.
+            FaultCommand::HealPartitions => {
+                self.live_cluster()?;
+                Ok(())
+            }
+            FaultCommand::Partition { .. } => {
+                Err(ClusterError::Unsupported("partitions on the TCP transport"))
+            }
+            FaultCommand::Isolate { .. } => {
+                Err(ClusterError::Unsupported("link isolation on the TCP transport"))
+            }
+            FaultCommand::Delay { .. } => {
+                Err(ClusterError::Unsupported("delay spikes on the TCP transport"))
+            }
+            FaultCommand::Reorder { .. } => {
+                Err(ClusterError::Unsupported("reorder bursts on the TCP transport"))
+            }
+        }
+    }
+
     fn set_round_window(&mut self, window: usize) -> Result<(), ClusterError> {
         // Remembered in the options so reconfiguration keeps the window.
         self.opts.round_window = window.max(1);
@@ -166,6 +215,9 @@ impl Transport for TcpTransport {
         // carrying them across would replay old server ids and round
         // numbers into the new one (and diverge from the sim backend).
         self.parked.clear();
+        // Fresh runtimes start fault-free; old link ids are meaningless
+        // under the renumbered overlay.
+        self.lossy_links.clear();
         let fresh = LocalCluster::spawn(graph, self.opts)?;
         self.n = fresh.n();
         self.cluster = Some(fresh);

@@ -18,6 +18,77 @@ use bytes::Bytes;
 use std::any::Any;
 use std::time::Duration;
 
+/// A runtime fault-injection command — the nemesis surface of the
+/// facade.
+///
+/// The simulated backend supports every command; the TCP backend
+/// supports per-link send-drop ([`FaultCommand::Drop`], applied in the
+/// runtime's writer path) and the blanket clears, and reports the rest
+/// as [`ClusterError::Unsupported`]. Crashes and restarts are not fault
+/// commands: crash through [`crate::Cluster::crash`], restart/rejoin
+/// through the reconfiguration path (snapshot catch-up in the `Service`
+/// layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCommand {
+    /// Symmetric partition: block both directions of every link between
+    /// servers of *different* groups. Blocked links hold messages and
+    /// release them, per-link FIFO, at [`FaultCommand::HealPartitions`]
+    /// — a partition delays, it does not destroy (sim only).
+    Partition {
+        /// The connectivity groups (list every member for a tight
+        /// partition; unlisted servers are unaffected).
+        groups: Vec<Vec<ServerId>>,
+    },
+    /// Asymmetric partition: block the single directed link `from → to`
+    /// (sim only).
+    Isolate {
+        /// Sending side of the blocked link.
+        from: ServerId,
+        /// Receiving side of the blocked link.
+        to: ServerId,
+    },
+    /// Unblock every blocked link and release held messages. A no-op on
+    /// backends that cannot partition, so scenario teardown can heal
+    /// unconditionally.
+    HealPartitions,
+    /// Drop each message on `from → to` independently with probability
+    /// `ppm / 1e6`; `ppm = 0` clears the fault. Supported by both
+    /// backends — loss is genuinely loss (no retransmission in the
+    /// protocol); survivability comes from the overlay's redundant
+    /// dissemination paths.
+    Drop {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Drop probability in parts-per-million (≤ 1 000 000).
+        ppm: u32,
+    },
+    /// Add `extra` latency to every message on `from → to` — a delay
+    /// spike (sim only).
+    Delay {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Additional per-message latency.
+        extra: Duration,
+    },
+    /// Hold the next `burst` messages on `from → to` and release them
+    /// in reverse order (sim only).
+    Reorder {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Messages to collect before the reversed release.
+        burst: usize,
+    },
+    /// Remove every link fault and release everything held. Supported by
+    /// both backends (on TCP it clears the send-drop table).
+    ClearLinkFaults,
+}
+
 /// A backend able to run an AllConcur deployment.
 ///
 /// Implementations must preserve the protocol's per-server delivery
@@ -57,6 +128,11 @@ pub trait Transport {
     /// Inject a (possibly false) failure suspicion at server `at`
     /// against `suspected`, as if `at`'s local FD had raised it.
     fn suspect(&mut self, at: ServerId, suspected: ServerId) -> Result<(), ClusterError>;
+
+    /// Inject a link-level fault (partition, loss, delay, reorder) or
+    /// heal/clear one. Unsupported commands return
+    /// [`ClusterError::Unsupported`] and leave the deployment untouched.
+    fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError>;
 
     /// Set every server's round-pipelining window: how many consecutive
     /// rounds may be in flight concurrently (clamped to ≥ 1; 1 =

@@ -1,0 +1,287 @@
+//! Regression: failure notifications arriving for rounds frozen in the
+//! `Ready` phase (terminated ahead of the delivery frontier, window > 1)
+//! must record, re-flood, and leave the frozen message set untouched —
+//! and the frontier delivery's tagging must scrub the tagged server from
+//! *every* still-open round, including `Ready` ones holding an
+//! already-received message of the tagged server.
+//!
+//! Scripted single-server schedule (window 4, 5-server clique, victim 4):
+//! rounds 1–3 terminate early via failure-notification refutation while
+//! round 0 is still gathering, then late FAILs probe the frozen rounds,
+//! then round 0 completes and the cascade delivers everything.
+
+use allconcur_core::config::Config;
+use allconcur_core::message::Message;
+use allconcur_core::server::{Action, Event, Server};
+use allconcur_graph::standard::complete_digraph;
+use bytes::Bytes;
+use std::sync::Arc;
+
+const N: usize = 5;
+const VICTIM: u32 = 4;
+
+fn windowed_server() -> Server {
+    let cfg = Config::new(Arc::new(complete_digraph(N)), N - 2).with_round_window(4);
+    Server::new(cfg, 0)
+}
+
+fn bcast(round: u64, origin: u32, tag: &str) -> Message {
+    Message::Bcast {
+        round,
+        origin,
+        payload: Bytes::from(format!("r{round}-m{origin}-{tag}").into_bytes()),
+    }
+}
+
+fn deliveries(actions: &[Action]) -> Vec<(u64, Vec<u32>)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Deliver { round, messages } => {
+                Some((*round, messages.iter().map(|&(o, _)| o).collect()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn fail_sends(actions: &[Action]) -> Vec<(u64, u32, u32)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send { msg: Message::Fail { round, failed, detector }, .. } => {
+                Some((*round, *failed, *detector))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Drive the server to the probe state: rounds 0–3 open, own payloads
+/// broadcast, rounds 1–3 frozen in `Ready` (terminated without the
+/// victim via refutation), round 0 still gathering. When
+/// `victim_round3_msg` is set, round 3 additionally received the
+/// victim's message *before* the refutation — so its frozen set holds a
+/// message the frontier delivery will later tag away.
+fn setup_ready_rounds(victim_round3_msg: bool) -> Server {
+    let mut s = windowed_server();
+    let mut acts = Vec::new();
+    for r in 0..4u64 {
+        s.handle_into(Event::ABroadcast(Bytes::from(format!("own-r{r}").into_bytes())), &mut acts);
+    }
+    assert_eq!(s.open_rounds(), 4, "window 4 opens four rounds");
+
+    if victim_round3_msg {
+        acts.clear();
+        s.handle_into(Event::Receive { from: VICTIM, msg: bcast(3, VICTIM, "late") }, &mut acts);
+    }
+
+    // Rounds 1–3: everyone else's messages arrive; the victim's do not.
+    for r in 1..4u64 {
+        for origin in 1..4u32 {
+            acts.clear();
+            s.handle_into(Event::Receive { from: origin, msg: bcast(r, origin, "x") }, &mut acts);
+        }
+    }
+    // Local suspicion covers (victim, 0) in every open round; the peers'
+    // notifications arrive tagged round 1 and propagate forward to every
+    // later open round — that completes the refutation for rounds 1–3
+    // ((4,q) for all successors q), so they terminate without the victim
+    // and freeze as Ready behind the still-gathering frontier.
+    acts.clear();
+    s.handle_into(Event::Suspect { suspect: VICTIM }, &mut acts);
+    for detector in 1..4u32 {
+        acts.clear();
+        s.handle_into(
+            Event::Receive {
+                from: detector,
+                msg: Message::Fail { round: 1, failed: VICTIM, detector },
+            },
+            &mut acts,
+        );
+        assert!(deliveries(&acts).is_empty(), "nothing may deliver ahead of the frontier");
+    }
+    assert_eq!(s.round(), 0, "frontier must not move");
+    assert_eq!(s.open_rounds(), 4);
+    s
+}
+
+/// Complete round 0 (messages + the round-0-tagged refutation) and
+/// return the delivery cascade.
+fn complete_frontier(s: &mut Server) -> Vec<(u64, Vec<u32>)> {
+    let mut cascade = Vec::new();
+    let mut acts = Vec::new();
+    for origin in 1..4u32 {
+        acts.clear();
+        s.handle_into(Event::Receive { from: origin, msg: bcast(0, origin, "x") }, &mut acts);
+        cascade.extend(deliveries(&acts));
+    }
+    for detector in 1..4u32 {
+        acts.clear();
+        s.handle_into(
+            Event::Receive {
+                from: detector,
+                msg: Message::Fail { round: 0, failed: VICTIM, detector },
+            },
+            &mut acts,
+        );
+        cascade.extend(deliveries(&acts));
+    }
+    cascade
+}
+
+#[test]
+fn late_fail_for_ready_round_records_refloods_and_freezes_the_set() {
+    let mut s = setup_ready_rounds(false);
+
+    // The probe: a notification about a still-alive server arrives
+    // tagged for round 2 — a round frozen in Ready. It must be recorded
+    // and re-flooded under round 2's tag *and* forward-propagated to
+    // round 3 (also Ready), without delivering, panicking, or touching
+    // the frozen sets.
+    let probe = Message::Fail { round: 2, failed: 3, detector: 1 };
+    let acts = s.handle(Event::Receive { from: 1, msg: probe });
+    assert!(deliveries(&acts).is_empty(), "a Ready round must stay frozen");
+    let floods = fail_sends(&acts);
+    let d = N - 1; // complete digraph: d successors per flood
+    assert_eq!(
+        floods.iter().filter(|&&(r, f, det)| r == 2 && f == 3 && det == 1).count(),
+        d,
+        "the Ready round re-floods the notification under its own tag"
+    );
+    assert_eq!(
+        floods.iter().filter(|&&(r, f, det)| r == 3 && f == 3 && det == 1).count(),
+        d,
+        "forward propagation reaches the later Ready round"
+    );
+    // A duplicate of the same pair is deduplicated per round — no
+    // re-flood, no state change.
+    let dup = Message::Fail { round: 2, failed: 3, detector: 1 };
+    let acts = s.handle(Event::Receive { from: 2, msg: dup });
+    assert!(fail_sends(&acts).is_empty(), "R-broadcast dedup in the Ready round");
+    assert!(deliveries(&acts).is_empty());
+
+    // Round 0 completes: the cascade must deliver all four rounds in
+    // order, excluding the victim everywhere, and server 3 — the target
+    // of the late notification — must keep its slot in every set (its
+    // messages were already frozen in).
+    let cascade = complete_frontier(&mut s);
+    assert_eq!(
+        cascade,
+        vec![
+            (0, vec![0, 1, 2, 3]),
+            (1, vec![0, 1, 2, 3]),
+            (2, vec![0, 1, 2, 3]),
+            (3, vec![0, 1, 2, 3]),
+        ],
+        "in-order cascade, victim tagged out, late-suspected server retained"
+    );
+    assert_eq!(s.round(), 4);
+    assert!(!s.is_alive(VICTIM), "victim tagged at the frontier delivery");
+    assert!(s.is_alive(3), "an alive server with its message delivered is never tagged");
+}
+
+#[test]
+fn frontier_tagging_scrubs_received_message_from_ready_round() {
+    // Round 3's frozen set contains the victim's message (received
+    // before any suspicion); rounds 1–2 terminated without it. The
+    // frontier delivery tags the victim (missing from round 0's agreed
+    // set), so the scrub must *discard* the victim's round-3 message —
+    // every correct server delivers rounds in order and scrubs
+    // identically, which is what keeps round-3 sets uniform even though
+    // the message reached only some servers.
+    let mut s = setup_ready_rounds(true);
+    let cascade = complete_frontier(&mut s);
+    assert_eq!(
+        cascade,
+        vec![
+            (0, vec![0, 1, 2, 3]),
+            (1, vec![0, 1, 2, 3]),
+            (2, vec![0, 1, 2, 3]),
+            (3, vec![0, 1, 2, 3]),
+        ],
+        "the victim's already-received round-3 message is scrubbed, not delivered"
+    );
+    assert!(!s.is_alive(VICTIM));
+    assert_eq!(s.round(), 4);
+}
+
+#[test]
+fn late_fail_keeps_windowed_cluster_consistent_end_to_end() {
+    // Cross-server corroboration of the single-server script: five
+    // directly-driven servers, window 4, per-link FIFO network pump.
+    // The victim broadcasts round 0 and dies; every survivor suspects
+    // it before the broadcast arrives (so the §3.3.2 rule ignores it);
+    // the refutations flow through all four pipelined rounds and every
+    // survivor must deliver four identical victim-free rounds.
+    let cfg = Config::new(Arc::new(complete_digraph(N)), N - 2).with_round_window(4);
+    let mut servers: Vec<Server> = (0..N as u32).map(|i| Server::new(cfg.clone(), i)).collect();
+    let mut links: std::collections::VecDeque<(u32, u32, Message)> = Default::default();
+    let mut delivered: Vec<Vec<(u64, Vec<u32>)>> = vec![Vec::new(); N];
+    let drive = |servers: &mut Vec<Server>,
+                 links: &mut std::collections::VecDeque<(u32, u32, Message)>,
+                 delivered: &mut Vec<Vec<(u64, Vec<u32>)>>,
+                 id: u32,
+                 ev: Event| {
+        let dead = id == VICTIM;
+        for action in servers[id as usize].handle(ev) {
+            match action {
+                // The victim dies right after round 0: its later sends
+                // never leave (fail-stop).
+                Action::Send { to, msg } => {
+                    if !(dead && msg.round() > 0) {
+                        links.push_back((id, to, msg));
+                    }
+                }
+                Action::Deliver { round, messages } => {
+                    delivered[id as usize].push((round, messages.iter().map(|&(o, _)| o).collect()))
+                }
+            }
+        }
+    };
+
+    // Everyone submits four rounds of payloads; the victim only round 0.
+    for id in 0..N as u32 {
+        let rounds = if id == VICTIM { 1 } else { 4 };
+        for r in 0..rounds {
+            drive(
+                &mut servers,
+                &mut links,
+                &mut delivered,
+                id,
+                Event::ABroadcast(Bytes::from(format!("s{id}-r{r}").into_bytes())),
+            );
+        }
+    }
+    // Every survivor's FD suspects the victim.
+    for id in 0..N as u32 {
+        if id != VICTIM {
+            drive(&mut servers, &mut links, &mut delivered, id, Event::Suspect { suspect: VICTIM });
+        }
+    }
+    // Pump the network to quiescence (FIFO order; the victim receives
+    // nothing — it is dead).
+    while let Some((from, to, msg)) = links.pop_front() {
+        if to != VICTIM {
+            drive(&mut servers, &mut links, &mut delivered, to, Event::Receive { from, msg });
+        }
+    }
+
+    let reference = &delivered[0];
+    assert_eq!(reference.len(), 4, "all four pipelined rounds deliver");
+    for (r, entry) in reference.iter().enumerate() {
+        // Every survivor suspected the victim before its round-0 BCAST
+        // arrived, so the §3.3.2 suspected-predecessor rule drops it and
+        // the victim is excluded uniformly from round 0 onward.
+        assert_eq!(entry, &(r as u64, vec![0, 1, 2, 3]), "victim excluded from round {r}");
+    }
+    for id in 1..N as u32 {
+        if id == VICTIM {
+            continue;
+        }
+        assert_eq!(
+            &delivered[id as usize], reference,
+            "server {id} diverged from server 0 under the windowed crash schedule"
+        );
+    }
+}

@@ -1,0 +1,365 @@
+//! The always-on atomic-broadcast property checker.
+//!
+//! Consumes the per-server A-delivery streams a scenario recorded (one
+//! configuration epoch at a time — reconfiguration restarts rounds at
+//! zero) plus the executor's knowledge of what was submitted and what
+//! resolved, and asserts the four properties of §2.1–2.2:
+//!
+//! * **Validity** — every command whose typed response resolved appears
+//!   in the agreed history (a correct server's A-broadcast message is
+//!   A-delivered);
+//! * **Uniform agreement** — every server's stream (including servers
+//!   that crashed mid-epoch) is a prefix of the longest stream: if *any*
+//!   server delivers a round, every server that delivers it delivers the
+//!   same message set;
+//! * **Integrity** — each command is delivered at most once, and only
+//!   commands actually submitted are ever delivered;
+//! * **Total order** — the prefix relation above, round by round: all
+//!   streams are byte-identical up to their length, with contiguous
+//!   round numbers from zero.
+//!
+//! Plus the RSM-level corollary: after a scenario settles, every live
+//! replica's snapshot must be byte-identical
+//! ([`PropertyChecker::check_snapshots`]).
+
+use allconcur_core::batch::iter_batch;
+use allconcur_core::delivery::Delivery;
+use allconcur_core::replica::{Codec, KvCodec, KvCommand};
+use allconcur_core::ServerId;
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything a scenario records about one configuration epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochRecord {
+    /// Epoch index (0 before the first reconfiguration).
+    pub epoch: u64,
+    /// Per-server A-delivery streams, in per-server delivery order.
+    pub streams: BTreeMap<ServerId, Vec<Delivery>>,
+    /// Unique id of every command submitted this epoch → its origin.
+    pub submitted: BTreeMap<u64, ServerId>,
+    /// Unique ids whose typed responses resolved (these *must* be in the
+    /// agreed history; ids that failed typed — origin down, command
+    /// lost, reconfigured — are accounted for, not silently dropped).
+    pub resolved: BTreeSet<u64>,
+}
+
+impl EpochRecord {
+    /// An empty record for `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        EpochRecord { epoch, ..Self::default() }
+    }
+}
+
+/// A property violation found by [`PropertyChecker`]. Each variant names
+/// the broken property and enough context to localise the divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropertyViolation {
+    /// Total order / uniform agreement: `server`'s `index`-th delivery
+    /// differs from the reference stream's.
+    OrderDivergence {
+        /// Epoch of the divergence.
+        epoch: u64,
+        /// The diverging server.
+        server: ServerId,
+        /// Position in the server's stream.
+        index: usize,
+    },
+    /// A server's stream skips or repeats a round number.
+    RoundGap {
+        /// Epoch of the gap.
+        epoch: u64,
+        /// The server with the gap.
+        server: ServerId,
+        /// The round number found where `index` was expected.
+        round: u64,
+    },
+    /// Integrity: a command id was delivered twice.
+    DuplicateDelivery {
+        /// Epoch of the duplicate.
+        epoch: u64,
+        /// The duplicated command id.
+        uid: u64,
+    },
+    /// Integrity: the agreed history carries a payload never submitted
+    /// (or undecodable as a workload command).
+    ForeignDelivery {
+        /// Epoch of the foreign payload.
+        epoch: u64,
+        /// The origin slot it was delivered under.
+        origin: ServerId,
+    },
+    /// Validity: a command with a resolved typed response is missing
+    /// from the agreed history.
+    ResolvedNotDelivered {
+        /// Epoch of the loss.
+        epoch: u64,
+        /// The missing command id.
+        uid: u64,
+        /// The origin it was submitted through.
+        origin: ServerId,
+    },
+    /// RSM convergence: two live replicas settled on different states.
+    SnapshotDivergence {
+        /// One of the diverging servers.
+        a: ServerId,
+        /// The other diverging server.
+        b: ServerId,
+    },
+}
+
+impl std::fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PropertyViolation::OrderDivergence { epoch, server, index } => write!(
+                f,
+                "total order violated in epoch {epoch}: server {server}'s delivery #{index} \
+                 differs from the reference stream"
+            ),
+            PropertyViolation::RoundGap { epoch, server, round } => write!(
+                f,
+                "round sequence broken in epoch {epoch}: server {server} delivered round {round} \
+                 out of order"
+            ),
+            PropertyViolation::DuplicateDelivery { epoch, uid } => {
+                write!(f, "integrity violated in epoch {epoch}: command {uid:#x} delivered twice")
+            }
+            PropertyViolation::ForeignDelivery { epoch, origin } => write!(
+                f,
+                "integrity violated in epoch {epoch}: never-submitted payload delivered under \
+                 origin {origin}"
+            ),
+            PropertyViolation::ResolvedNotDelivered { epoch, uid, origin } => write!(
+                f,
+                "validity violated in epoch {epoch}: command {uid:#x} (origin {origin}) resolved \
+                 but is absent from the agreed history"
+            ),
+            PropertyViolation::SnapshotDivergence { a, b } => {
+                write!(f, "replica snapshots diverged between servers {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropertyViolation {}
+
+/// Encode `uid` as the workload command the scenario executor submits.
+/// The checker inverts this mapping when auditing agreed payloads.
+pub fn uid_command(uid: u64) -> KvCommand {
+    KvCommand::Put {
+        key: Bytes::copy_from_slice(&uid.to_le_bytes()),
+        value: Bytes::from_static(b"nemesis"),
+    }
+}
+
+/// Recover the command id from one agreed batch item, if it is a
+/// well-formed workload command.
+fn uid_of(item: &Bytes) -> Option<u64> {
+    match KvCodec.decode(item).ok()? {
+        KvCommand::Put { key, .. } if key.len() == 8 => {
+            Some(u64::from_le_bytes(key.as_ref().try_into().expect("8 bytes")))
+        }
+        _ => None,
+    }
+}
+
+/// The atomic-broadcast property checker.
+pub struct PropertyChecker;
+
+impl PropertyChecker {
+    /// Check all four atomic-broadcast properties over one epoch's
+    /// recorded streams. Returns the first violation found.
+    pub fn check_epoch(record: &EpochRecord) -> Result<(), PropertyViolation> {
+        let epoch = record.epoch;
+        // Reference stream: the longest one. Uniform agreement + total
+        // order reduce to "every stream is a prefix of the reference".
+        let (ref_server, reference): (ServerId, &[Delivery]) = record
+            .streams
+            .iter()
+            .max_by_key(|(_, s)| s.len())
+            .map(|(&id, s)| (id, s.as_slice()))
+            .unwrap_or((0, &[]));
+        for (i, d) in reference.iter().enumerate() {
+            if d.round != i as u64 {
+                return Err(PropertyViolation::RoundGap {
+                    epoch,
+                    server: ref_server,
+                    round: d.round,
+                });
+            }
+        }
+        for (&server, stream) in &record.streams {
+            for (index, d) in stream.iter().enumerate() {
+                // Prefix equality subsumes per-stream round contiguity:
+                // a matching entry equals reference[index], whose round
+                // was just verified to be `index`.
+                match reference.get(index) {
+                    Some(r) if r == d => {}
+                    // Longer than the reference is impossible (the
+                    // reference is the longest stream) — treat any
+                    // mismatch as divergence at `index`.
+                    _ => return Err(PropertyViolation::OrderDivergence { epoch, server, index }),
+                }
+            }
+        }
+        // Integrity over the reference (every other stream is a prefix
+        // of it): each delivered command decodes to a submitted id, once.
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
+        for delivery in reference {
+            for (origin, payload) in &delivery.messages {
+                for item in iter_batch(payload.clone()) {
+                    let Ok(item) = item else {
+                        return Err(PropertyViolation::ForeignDelivery { epoch, origin: *origin });
+                    };
+                    let Some(uid) = uid_of(&item) else {
+                        return Err(PropertyViolation::ForeignDelivery { epoch, origin: *origin });
+                    };
+                    if !record.submitted.contains_key(&uid) {
+                        return Err(PropertyViolation::ForeignDelivery { epoch, origin: *origin });
+                    }
+                    if !seen.insert(uid) {
+                        return Err(PropertyViolation::DuplicateDelivery { epoch, uid });
+                    }
+                }
+            }
+        }
+        // Validity: everything that resolved is in the agreed history.
+        for &uid in &record.resolved {
+            if !seen.contains(&uid) {
+                let origin = record.submitted.get(&uid).copied().unwrap_or(0);
+                return Err(PropertyViolation::ResolvedNotDelivered { epoch, uid, origin });
+            }
+        }
+        Ok(())
+    }
+
+    /// RSM snapshot convergence: every live replica's settled snapshot
+    /// must be byte-identical.
+    pub fn check_snapshots(snapshots: &[(ServerId, Bytes)]) -> Result<(), PropertyViolation> {
+        if let Some(((a, first), rest)) = snapshots.split_first() {
+            for (b, snap) in rest {
+                if snap != first {
+                    return Err(PropertyViolation::SnapshotDivergence { a: *a, b: *b });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use allconcur_core::batch::Batcher;
+
+    fn payload_of(uids: &[u64]) -> Bytes {
+        let mut b = Batcher::new();
+        for &uid in uids {
+            b.push(KvCodec.encode(&uid_command(uid)));
+        }
+        b.take_batch()
+    }
+
+    fn delivery(round: u64, per_origin: &[(ServerId, &[u64])]) -> Delivery {
+        Delivery {
+            round,
+            messages: per_origin.iter().map(|&(o, uids)| (o, payload_of(uids))).collect(),
+        }
+    }
+
+    fn healthy_record() -> EpochRecord {
+        let mut rec = EpochRecord::new(0);
+        let d0 = delivery(0, &[(0, &[1]), (1, &[2])]);
+        let d1 = delivery(1, &[(0, &[3]), (1, &[])]);
+        rec.streams.insert(0, vec![d0.clone(), d1.clone()]);
+        rec.streams.insert(1, vec![d0, d1]);
+        for (uid, origin) in [(1u64, 0u32), (2, 1), (3, 0)] {
+            rec.submitted.insert(uid, origin);
+            rec.resolved.insert(uid);
+        }
+        rec
+    }
+
+    #[test]
+    fn healthy_epoch_passes() {
+        PropertyChecker::check_epoch(&healthy_record()).unwrap();
+    }
+
+    #[test]
+    fn crashed_server_prefix_passes() {
+        let mut rec = healthy_record();
+        rec.streams.get_mut(&1).unwrap().truncate(1);
+        PropertyChecker::check_epoch(&rec).unwrap();
+    }
+
+    #[test]
+    fn order_divergence_detected() {
+        let mut rec = healthy_record();
+        rec.streams.get_mut(&1).unwrap()[1] = delivery(1, &[(0, &[3]), (1, &[2])]);
+        // Divergence between two equal-length streams: either side may
+        // be reported, the position must be exact.
+        match PropertyChecker::check_epoch(&rec) {
+            Err(PropertyViolation::OrderDivergence { index: 1, .. }) => {}
+            other => panic!("expected OrderDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_delivery_detected() {
+        let mut rec = healthy_record();
+        let dup = delivery(1, &[(0, &[1]), (1, &[])]);
+        for s in rec.streams.values_mut() {
+            s[1] = dup.clone();
+        }
+        match PropertyChecker::check_epoch(&rec) {
+            Err(PropertyViolation::DuplicateDelivery { uid: 1, .. }) => {}
+            other => panic!("expected DuplicateDelivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn foreign_delivery_detected() {
+        let mut rec = healthy_record();
+        let foreign = delivery(1, &[(0, &[99]), (1, &[])]);
+        for s in rec.streams.values_mut() {
+            s[1] = foreign.clone();
+        }
+        match PropertyChecker::check_epoch(&rec) {
+            Err(PropertyViolation::ForeignDelivery { origin: 0, .. }) => {}
+            other => panic!("expected ForeignDelivery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validity_loss_detected() {
+        let mut rec = healthy_record();
+        rec.submitted.insert(7, 1);
+        rec.resolved.insert(7);
+        match PropertyChecker::check_epoch(&rec) {
+            Err(PropertyViolation::ResolvedNotDelivered { uid: 7, origin: 1, .. }) => {}
+            other => panic!("expected ResolvedNotDelivered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_gap_detected() {
+        let mut rec = healthy_record();
+        for s in rec.streams.values_mut() {
+            s[1].round = 5;
+        }
+        match PropertyChecker::check_epoch(&rec) {
+            Err(PropertyViolation::RoundGap { round: 5, .. }) => {}
+            other => panic!("expected RoundGap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_divergence_detected() {
+        let same = Bytes::from_static(b"state");
+        PropertyChecker::check_snapshots(&[(0, same.clone()), (1, same.clone())]).unwrap();
+        match PropertyChecker::check_snapshots(&[(0, same), (2, Bytes::from_static(b"other"))]) {
+            Err(PropertyViolation::SnapshotDivergence { a: 0, b: 2 }) => {}
+            other => panic!("expected SnapshotDivergence, got {other:?}"),
+        }
+    }
+}

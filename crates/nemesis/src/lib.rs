@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # allconcur-nemesis — deterministic fault injection + property checking
+//!
+//! AllConcur's guarantees hinge on the failure detector and on the
+//! overlay's `f < k(G)` vertex connectivity (§2, §5 of the paper); the
+//! regimes where the tracking digraphs and the FD actually earn their
+//! keep are the *adversarial* ones — partitions, message loss, delay
+//! spikes, crash-restart churn. This crate makes those regimes
+//! repeatable:
+//!
+//! * [`NemesisPlan`] — a timed schedule of fault actions (link faults
+//!   via the facade's `inject_fault`, crashes, restarts-with-rejoin, FD
+//!   suspicions), keyed by workload tick so the same plan drives the
+//!   simulated and TCP backends;
+//! * [`PropertyChecker`] — consumes every server's recorded A-delivery
+//!   stream and asserts the four atomic-broadcast properties (validity,
+//!   uniform agreement, integrity, total order) plus RSM snapshot
+//!   convergence, after **every** scenario;
+//! * [`Scenario`] — seeded composition of topology × round window ×
+//!   plan: `Scenario::generate(seed)` is fully deterministic, so any CI
+//!   failure replays byte-for-byte from its printed seed.
+//!
+//! ```
+//! use allconcur_nemesis::Scenario;
+//!
+//! let scenario = Scenario::generate(7);
+//! let report = scenario.run_sim().unwrap_or_else(|e| panic!("{scenario} failed: {e}"));
+//! assert!(report.rounds > 0);
+//! ```
+
+pub mod checker;
+pub mod plan;
+pub mod scenario;
+
+pub use checker::{uid_command, EpochRecord, PropertyChecker, PropertyViolation};
+pub use plan::{NemesisAction, NemesisPlan};
+pub use scenario::{FaultClass, Scenario, ScenarioError, ScenarioReport};

@@ -1,0 +1,450 @@
+//! Seeded scenario generation and execution.
+//!
+//! A [`Scenario`] composes **topology × round window × nemesis plan**
+//! deterministically from one `u64` seed: `Scenario::generate(seed)`
+//! always yields the same overlay, the same fault schedule, and (on the
+//! simulated backend) the same execution byte-for-byte — a CI failure
+//! replays exactly from its printed seed.
+//!
+//! Execution drives a typed `Service<KvStore>` over the [`Cluster`]
+//! facade: every tick submits one uniquely-keyed command through each
+//! live server, applies the tick's scheduled nemesis actions, and pumps
+//! the deployment. At every epoch boundary (each restart/rejoin, and the
+//! end of the run) the executor settles outstanding work and hands the
+//! recorded delivery streams to the [`PropertyChecker`] — the four
+//! atomic-broadcast properties plus RSM snapshot convergence are
+//! asserted after *every* scenario, not only the ones that look
+//! suspicious.
+
+use crate::checker::{uid_command, EpochRecord, PropertyChecker, PropertyViolation};
+use crate::plan::{NemesisAction, NemesisPlan};
+use allconcur_cluster::{Cluster, FaultCommand, SimOptions};
+use allconcur_core::config::FdMode;
+use allconcur_core::membership::plan_reconfiguration;
+use allconcur_core::replica::{KvResponse, KvStore};
+use allconcur_core::ServerId;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_graph::standard::complete_digraph;
+use allconcur_graph::{Digraph, ReliabilityModel};
+use allconcur_rsm::{CommandHandle, Service, ServiceError};
+use allconcur_sim::network::{Jitter, NetworkModel};
+use allconcur_sim::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Budget for the settle-everything barrier at epoch boundaries.
+const SYNC_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// The five generated fault families, spanning the adversarial regimes
+/// of the companion formal-spec paper's schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Symmetric two-group partition, healed mid-run.
+    PartitionHeal,
+    /// Fail-stop crash, then rejoin via snapshot catch-up.
+    CrashRestart,
+    /// Probabilistic loss on a couple of overlay links.
+    MessageLoss,
+    /// Per-link latency spikes.
+    DelaySpike,
+    /// Repeated crash + rejoin cycles.
+    Churn,
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            FaultClass::PartitionHeal => "partition+heal",
+            FaultClass::CrashRestart => "crash-restart",
+            FaultClass::MessageLoss => "message-loss",
+            FaultClass::DelaySpike => "delay-spike",
+            FaultClass::Churn => "churn",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fully specified nemesis scenario. Construct with
+/// [`Scenario::generate`] (seeded) or assemble the fields by hand for a
+/// scripted schedule.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generation seed (echoed in failure reports for replay).
+    pub seed: u64,
+    /// Deployment size.
+    pub n: usize,
+    /// Round-pipelining window / service pipeline depth.
+    pub window: usize,
+    /// Workload length: one command per live server per tick.
+    pub ticks: u64,
+    /// The fault family this scenario exercises.
+    pub class: FaultClass,
+    /// The timed fault schedule.
+    pub plan: NemesisPlan,
+    /// How long each tick drives the deployment before the next batch of
+    /// submissions (simulated time on the sim backend, wall time on
+    /// TCP).
+    pub tick_budget: Duration,
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario seed={} class={} n={} window={} ticks={}",
+            self.seed, self.class, self.n, self.window, self.ticks
+        )
+    }
+}
+
+/// Outcome counters of a completed (and property-checked) scenario.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Configuration epochs executed (1 + number of restarts).
+    pub epochs: u64,
+    /// Agreement rounds delivered, summed over epochs (reference-stream
+    /// length).
+    pub rounds: u64,
+    /// Commands whose typed responses resolved.
+    pub resolved: u64,
+    /// Commands that failed typed (origin down, command lost to a crash,
+    /// outstanding across a reconfiguration) — accounted, not silent.
+    pub failed: u64,
+    /// Messages destroyed by probabilistic link loss (simulated backend
+    /// only; 0 on TCP, whose drops happen inside the runtimes).
+    pub dropped: u64,
+}
+
+/// Why a scenario failed. Every variant is replayable from the
+/// scenario's seed.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// Driving the service failed (stall, transport error, timeout).
+    Service(ServiceError),
+    /// An atomic-broadcast property (or snapshot convergence) was
+    /// violated.
+    Property(PropertyViolation),
+    /// A command neither resolved nor failed typed after the final
+    /// settle — a silent loss.
+    Unresolved {
+        /// The origin the command was submitted through.
+        origin: ServerId,
+        /// Its per-origin sequence number.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Service(e) => write!(f, "scenario execution failed: {e}"),
+            ScenarioError::Property(v) => write!(f, "property violation: {v}"),
+            ScenarioError::Unresolved { origin, seq } => write!(
+                f,
+                "command {seq} via server {origin} neither resolved nor failed typed \
+                 (silent loss)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ServiceError> for ScenarioError {
+    fn from(e: ServiceError) -> Self {
+        ScenarioError::Service(e)
+    }
+}
+
+impl From<PropertyViolation> for ScenarioError {
+    fn from(v: PropertyViolation) -> Self {
+        ScenarioError::Property(v)
+    }
+}
+
+impl Scenario {
+    /// Deterministically compose a scenario from `seed`: the fault class
+    /// cycles with `seed % 5` and the round window with `(seed / 5) % 3`
+    /// over {1, 4, 8}, so any 15 consecutive seeds cover the full
+    /// class × window matrix; size, victims, links, rates, and timings
+    /// derive from the seeded RNG.
+    pub fn generate(seed: u64) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let class = match seed % 5 {
+            0 => FaultClass::PartitionHeal,
+            1 => FaultClass::CrashRestart,
+            2 => FaultClass::MessageLoss,
+            3 => FaultClass::DelaySpike,
+            _ => FaultClass::Churn,
+        };
+        let window = [1usize, 4, 8][(seed as usize / 5) % 3];
+        let n = rng.gen_range(6..=10);
+        let overlay = overlay_for(n);
+        let mut ticks = 10u64;
+        let plan = match class {
+            FaultClass::PartitionHeal => {
+                let split = rng.gen_range(1..n);
+                let groups = vec![
+                    (0..split as ServerId).collect::<Vec<_>>(),
+                    (split as ServerId..n as ServerId).collect::<Vec<_>>(),
+                ];
+                let cut: u64 = rng.gen_range(2..=3);
+                let heal = cut + rng.gen_range(2u64..=4);
+                NemesisPlan::new()
+                    .at(cut, NemesisAction::Fault(FaultCommand::Partition { groups }))
+                    .at(heal, NemesisAction::Fault(FaultCommand::HealPartitions))
+            }
+            FaultClass::CrashRestart => {
+                let victim = rng.gen_range(0..n as ServerId);
+                NemesisPlan::new()
+                    .at(2, NemesisAction::Crash { server: victim })
+                    .at(6, NemesisAction::Restart { joiners: 1 })
+            }
+            FaultClass::MessageLoss => {
+                let edges: Vec<(ServerId, ServerId)> = overlay.edges().collect();
+                let mut plan = NemesisPlan::new();
+                for _ in 0..2 {
+                    let (from, to) = edges[rng.gen_range(0..edges.len())];
+                    let ppm = rng.gen_range(100_000..=400_000);
+                    plan = plan.at(1, NemesisAction::Fault(FaultCommand::Drop { from, to, ppm }));
+                }
+                plan.at(8, NemesisAction::Fault(FaultCommand::ClearLinkFaults))
+            }
+            FaultClass::DelaySpike => {
+                let edges: Vec<(ServerId, ServerId)> = overlay.edges().collect();
+                let mut plan = NemesisPlan::new();
+                for _ in 0..2 {
+                    let (from, to) = edges[rng.gen_range(0..edges.len())];
+                    let extra = Duration::from_micros(rng.gen_range(200..=2_000));
+                    plan =
+                        plan.at(1, NemesisAction::Fault(FaultCommand::Delay { from, to, extra }));
+                }
+                plan.at(7, NemesisAction::Fault(FaultCommand::ClearLinkFaults))
+            }
+            FaultClass::Churn => {
+                ticks = 14;
+                let v1 = rng.gen_range(0..n as ServerId);
+                let v2 = rng.gen_range(0..n as ServerId);
+                NemesisPlan::new()
+                    .at(2, NemesisAction::Crash { server: v1 })
+                    .at(5, NemesisAction::Restart { joiners: 1 })
+                    .at(8, NemesisAction::Crash { server: v2 })
+                    .at(11, NemesisAction::Restart { joiners: 1 })
+            }
+        };
+        Scenario { seed, n, window, ticks, class, plan, tick_budget: Duration::from_millis(3) }
+    }
+
+    /// Override the per-tick driving budget (useful on TCP, where the
+    /// budget is wall-clock and loopback rounds take longer than the
+    /// simulator's default).
+    pub fn with_tick_budget(mut self, budget: Duration) -> Scenario {
+        self.tick_budget = budget;
+        self
+    }
+
+    /// The initial overlay for this scenario's size.
+    pub fn overlay(&self) -> Digraph {
+        overlay_for(self.n)
+    }
+
+    /// Run on the discrete-event simulator (fully deterministic: same
+    /// seed, same execution, byte-for-byte).
+    pub fn run_sim(&self) -> Result<ScenarioReport, ScenarioError> {
+        let opts = SimOptions {
+            network: NetworkModel::tcp_cluster().with_jitter(Jitter::Uniform { max_ns: 2_000 }),
+            fd_delay: SimTime::from_us(200),
+            seed: self.seed,
+            ..SimOptions::default()
+        };
+        self.run_on(Cluster::sim_with(self.overlay(), opts))
+    }
+
+    /// Run over an already-constructed cluster (any backend). The
+    /// cluster must be deployed on [`Scenario::overlay`]. On TCP, plans
+    /// containing sim-only fault commands (partition, delay, reorder)
+    /// fail with [`ClusterError::Unsupported`] wrapped in
+    /// [`ScenarioError::Service`] — generate a supported class
+    /// ([`FaultClass::CrashRestart`], [`FaultClass::MessageLoss`],
+    /// [`FaultClass::Churn`]) for TCP runs.
+    ///
+    /// [`ClusterError::Unsupported`]: allconcur_cluster::ClusterError::Unsupported
+    pub fn run_on(&self, cluster: Cluster) -> Result<ScenarioReport, ScenarioError> {
+        let mut service = Service::new(cluster, &KvStore::default())?;
+        service.set_pipeline(self.window);
+        service.record_deliveries(true);
+        let mut report = ScenarioReport::default();
+        let mut record = EpochRecord::new(0);
+        let mut pending: Vec<(ServerId, CommandHandle<KvResponse>, u64)> = Vec::new();
+        let mut next_uid: u64 = 1;
+        let total_ticks = self.ticks.max(self.plan.last_tick());
+        for tick in 0..=total_ticks {
+            let actions: Vec<NemesisAction> = self.plan.actions_at(tick).cloned().collect();
+            for action in actions {
+                self.apply(&action, &mut service, &mut record, &mut pending, &mut report)?;
+            }
+            if tick < self.ticks {
+                for origin in service.live_servers() {
+                    let uid = next_uid;
+                    match service.submit(origin, &uid_command(uid)) {
+                        Ok(handle) => {
+                            next_uid += 1;
+                            record.submitted.insert(uid, origin);
+                            pending.push((origin, handle, uid));
+                        }
+                        // Raced a crash between live_servers() and here.
+                        Err(ServiceError::OriginDown(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            // One bounded driving step, then drain whatever is ready.
+            service.pump(self.tick_budget)?;
+            while service.pump(Duration::ZERO)? {}
+        }
+        self.close_epoch(&mut service, &mut record, &mut pending, &mut report)?;
+        if let Some(sim) = service.cluster_mut().sim_transport_mut() {
+            report.dropped = sim.cluster().dropped_messages();
+        }
+        Ok(report)
+    }
+
+    fn apply(
+        &self,
+        action: &NemesisAction,
+        service: &mut Service<KvStore>,
+        record: &mut EpochRecord,
+        pending: &mut Vec<(ServerId, CommandHandle<KvResponse>, u64)>,
+        report: &mut ScenarioReport,
+    ) -> Result<(), ScenarioError> {
+        match action {
+            NemesisAction::Fault(cmd) => {
+                service.cluster_mut().inject_fault(cmd).map_err(ServiceError::Cluster)?;
+            }
+            NemesisAction::Crash { server } => {
+                if service.live_servers().contains(server) {
+                    service.crash(*server)?;
+                }
+            }
+            NemesisAction::Suspect { at, suspect } => {
+                service.suspect(*at, *suspect)?;
+            }
+            NemesisAction::Restart { joiners } => {
+                // Epoch boundary: settle and property-check the old
+                // configuration, then rejoin through the agreed
+                // reconfiguration — the surviving replicas' snapshot
+                // seeds every member of the new overlay, so the
+                // restarted capacity catches up without history replay.
+                self.close_epoch(service, record, pending, report)?;
+                let survivors = service.live_servers();
+                let plan = plan_reconfiguration(
+                    &survivors,
+                    &[],
+                    *joiners,
+                    &ReliabilityModel::paper_default(),
+                    6.0,
+                    FdMode::Perfect,
+                );
+                let graph = (*plan.config.graph).clone();
+                service.reconfigure(graph, SYNC_TIMEOUT)?;
+                *record = EpochRecord::new(record.epoch + 1);
+            }
+        }
+        Ok(())
+    }
+
+    /// Settle the current configuration and assert every property on it:
+    /// heal and clear link faults, sync to quiescence, account every
+    /// outstanding command (resolved or typed failure — never silence),
+    /// then run the checker over the recorded streams and the live
+    /// replicas' snapshots.
+    fn close_epoch(
+        &self,
+        service: &mut Service<KvStore>,
+        record: &mut EpochRecord,
+        pending: &mut Vec<(ServerId, CommandHandle<KvResponse>, u64)>,
+        report: &mut ScenarioReport,
+    ) -> Result<(), ScenarioError> {
+        let cluster = service.cluster_mut();
+        cluster.inject_fault(&FaultCommand::HealPartitions).map_err(ServiceError::Cluster)?;
+        cluster.inject_fault(&FaultCommand::ClearLinkFaults).map_err(ServiceError::Cluster)?;
+        service.sync(SYNC_TIMEOUT)?;
+        for (origin, handle, uid) in pending.drain(..) {
+            match service.try_response(&handle) {
+                Ok(Some(_)) => {
+                    record.resolved.insert(uid);
+                    report.resolved += 1;
+                }
+                Ok(None) => return Err(ScenarioError::Unresolved { origin, seq: handle.seq() }),
+                Err(
+                    ServiceError::OriginDown(_)
+                    | ServiceError::CommandLost { .. }
+                    | ServiceError::Reconfigured,
+                ) => report.failed += 1,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for (at, delivery) in service.take_delivery_log() {
+            record.streams.entry(at).or_default().push(delivery);
+        }
+        report.rounds += record.streams.values().map(|s| s.len() as u64).max().unwrap_or(0);
+        PropertyChecker::check_epoch(record)?;
+        let mut snapshots = Vec::new();
+        for id in service.live_servers() {
+            snapshots.push((id, service.replica(id)?.snapshot()));
+        }
+        PropertyChecker::check_snapshots(&snapshots)?;
+        report.epochs += 1;
+        Ok(())
+    }
+}
+
+/// GS(n, 3) when valid, complete digraph below the GS threshold.
+fn overlay_for(n: usize) -> Digraph {
+    if n >= 6 {
+        if let Ok(g) = gs_digraph(n, 3) {
+            return g;
+        }
+    }
+    complete_digraph(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..15 {
+            let a = Scenario::generate(seed);
+            let b = Scenario::generate(seed);
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.window, b.window);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.plan, b.plan);
+        }
+    }
+
+    #[test]
+    fn fifteen_consecutive_seeds_span_the_matrix() {
+        use std::collections::BTreeSet;
+        let combos: BTreeSet<(String, usize)> = (0..15)
+            .map(|s| {
+                let sc = Scenario::generate(s);
+                (sc.class.to_string(), sc.window)
+            })
+            .collect();
+        assert_eq!(combos.len(), 15, "5 classes × 3 windows all distinct");
+    }
+
+    #[test]
+    fn one_scenario_runs_green_per_class() {
+        for seed in 0..5 {
+            let scenario = Scenario::generate(seed);
+            let report = scenario.run_sim().unwrap_or_else(|e| panic!("{scenario} failed: {e}"));
+            assert!(report.rounds > 0, "{scenario} delivered nothing");
+            assert!(report.resolved > 0, "{scenario} resolved nothing");
+        }
+    }
+}

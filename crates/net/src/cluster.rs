@@ -113,6 +113,16 @@ impl LocalCluster {
         }
     }
 
+    /// Drop protocol frames on the directed link `from → to` with
+    /// probability `ppm / 1e6` (`0` clears the fault). The drop happens
+    /// in `from`'s writer path; heartbeats and the TCP connection are
+    /// unaffected — this injects message loss, not a disconnect.
+    pub fn set_link_drop(&self, from: ServerId, to: ServerId, ppm: u32) {
+        if let Some(node) = &self.nodes[from as usize] {
+            node.set_link_drop(to, ppm);
+        }
+    }
+
     /// Emulate a fail-stop crash of `id`: all its threads stop, sockets
     /// close, heartbeats cease. Peers detect via disconnect/FD.
     pub fn kill(&mut self, id: ServerId) {

@@ -45,8 +45,13 @@ enum NodeInput {
     Broadcast(Bytes),
     Suspect(ServerId),
     SetWindow(usize),
+    SetLinkDrop { to: ServerId, ppm: u32 },
     Shutdown,
 }
+
+/// Drop rates are parts-per-million, matching the simulator's fault
+/// layer.
+const DROP_PPM_SCALE: u64 = 1_000_000;
 
 /// Runtime tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -246,6 +251,17 @@ impl NodeRuntime {
         let _ = self.input_tx.send(NodeInput::SetWindow(window));
     }
 
+    /// Drop outgoing protocol frames to successor `to` with probability
+    /// `ppm / 1e6` (`0` clears the fault). The drop happens in the
+    /// protocol thread's writer path — the frame is simply never
+    /// written — so the TCP connection stays up and UDP heartbeats keep
+    /// flowing: this injects *message loss*, not a disconnect, and the
+    /// deployment survives it through the overlay's redundant
+    /// dissemination paths.
+    pub fn set_link_drop(&self, to: ServerId, ppm: u32) {
+        let _ = self.input_tx.send(NodeInput::SetLinkDrop { to, ppm });
+    }
+
     /// Stop all threads and close sockets. Used both for graceful
     /// shutdown and to emulate a crash (peers detect via disconnect/FD).
     pub fn shutdown(self) {
@@ -358,6 +374,12 @@ struct ProtocolState {
     /// this instant.
     gate_deadline: Option<std::time::Instant>,
     app_grace: Duration,
+    /// Per-successor send-drop rates (parts-per-million) — the writer
+    /// path of the nemesis fault surface. Empty in healthy operation.
+    drop_ppm: HashMap<ServerId, u32>,
+    /// xorshift64* state for drop sampling: deterministic per node,
+    /// cheap, and independent of the `rand` crate.
+    drop_rng: u64,
 }
 
 impl ProtocolState {
@@ -384,6 +406,19 @@ impl ProtocolState {
         for action in self.actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
+                    // Injected send-loss (field-precise so the actions
+                    // drain above stays borrowable): the frame never
+                    // leaves the writer path.
+                    if let Some(&ppm) = self.drop_ppm.get(&to) {
+                        let mut x = self.drop_rng;
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        self.drop_rng = x;
+                        if x.wrapping_mul(0x2545_f491_4f6c_dd1d) % DROP_PPM_SCALE < ppm as u64 {
+                            continue;
+                        }
+                    }
                     let Some(w) = self.writers.get_mut(&to) else { continue };
                     let cached = match &frame {
                         Some((m, f)) if same_message(m, &msg) => f.clone(),
@@ -473,6 +508,14 @@ impl ProtocolState {
                 self.server.set_round_window(w);
                 true
             }
+            Some(NodeInput::SetLinkDrop { to, ppm }) => {
+                if ppm == 0 {
+                    self.drop_ppm.remove(&to);
+                } else {
+                    self.drop_ppm.insert(to, ppm);
+                }
+                true
+            }
             Some(NodeInput::Shutdown) => return false,
         };
         ok && self.release_deferred(false)
@@ -536,6 +579,8 @@ fn protocol_loop(
         deferred: std::collections::VecDeque::new(),
         gate_deadline: None,
         app_grace,
+        drop_ppm: HashMap::new(),
+        drop_rng: 0x9e37_79b9_7f4a_7c15 ^ (id as u64 + 1),
     };
     loop {
         // While peer messages are gated, wake up at the deadline to

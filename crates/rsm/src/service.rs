@@ -155,6 +155,11 @@ pub struct Service<S: StateMachine> {
     /// window re-decodes — correctness is unaffected (codecs are
     /// deterministic).
     decoded: BTreeMap<Round, Vec<(ServerId, S::Command)>>,
+    /// When enabled ([`Service::record_deliveries`]), every delivery
+    /// ingested is appended here in ingestion order — the raw per-server
+    /// A-delivery streams an external property checker (the nemesis
+    /// harness) verifies the atomic-broadcast properties against.
+    delivery_log: Option<Vec<(ServerId, Delivery)>>,
 }
 
 /// Minimum rounds of decoded commands kept in [`Service`]'s share cache;
@@ -185,7 +190,28 @@ impl<S: StateMachine> Service<S> {
             resolved: (0..n).map(|_| VecDeque::new()).collect(),
             failed: BTreeMap::new(),
             decoded: BTreeMap::new(),
+            delivery_log: None,
         })
+    }
+
+    /// Record every ingested delivery for external inspection (off by
+    /// default — recording clones each delivery's refcounted payload
+    /// list). The log survives [`Service::reconfigure`]; a consumer
+    /// tracking configuration epochs should [`Service::take_delivery_log`]
+    /// before reconfiguring, since rounds restart at zero afterwards.
+    pub fn record_deliveries(&mut self, on: bool) {
+        match (on, self.delivery_log.is_some()) {
+            (true, false) => self.delivery_log = Some(Vec::new()),
+            (false, true) => self.delivery_log = None,
+            _ => {}
+        }
+    }
+
+    /// Drain the recorded `(server, delivery)` stream (ingestion order;
+    /// per-server subsequences are exactly each server's A-delivery
+    /// order). Empty unless [`Service::record_deliveries`] is enabled.
+    pub fn take_delivery_log(&mut self) -> Vec<(ServerId, Delivery)> {
+        self.delivery_log.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Allow up to `depth` rounds in flight before further submissions
@@ -600,6 +626,9 @@ impl<S: StateMachine> Service<S> {
     /// the decoded commands shared across all replicas; only the
     /// harvesting replica collects typed responses.
     fn ingest(&mut self, at: ServerId, delivery: Delivery) -> Result<(), ServiceError> {
+        if let Some(log) = &mut self.delivery_log {
+            log.push((at, delivery.clone()));
+        }
         let round = delivery.round;
         let harvest = round == self.harvested;
         if !self.decoded.contains_key(&round) {

@@ -46,6 +46,12 @@ pub enum SimEvent {
         /// The suspected predecessor.
         suspect: ServerId,
     },
+    /// Apply a link-fault command (partition, heal, drop, delay,
+    /// reorder — see [`crate::fault`]) at a scripted instant.
+    Fault {
+        /// The fault command.
+        cmd: crate::fault::FaultCmd,
+    },
 }
 
 /// Heap entry: the ordering key plus a slab slot holding the payload.

@@ -79,6 +79,15 @@ impl FailurePlan {
         plan
     }
 
+    /// [`FailurePlan::exponential`] driven by a self-contained seed —
+    /// the reproducibility contract the nemesis harness relies on: a
+    /// failing run logs the seed, and replaying with the same seed
+    /// rebuilds the byte-identical plan (no ambient RNG state involved).
+    pub fn exponential_seeded(n: usize, mttf: SimTime, horizon: SimTime, seed: u64) -> Self {
+        use rand::SeedableRng;
+        Self::exponential(n, mttf, horizon, &mut rand::rngs::StdRng::seed_from_u64(seed))
+    }
+
     /// The scripted events.
     pub fn events(&self) -> &[FailureEvent] {
         &self.events
@@ -122,6 +131,25 @@ mod tests {
                 _ => panic!("unexpected event type"),
             }
         }
+    }
+
+    #[test]
+    fn exponential_seeded_replays_from_logged_seed() {
+        let logged_seed = 0xfeed_beef;
+        let a = FailurePlan::exponential_seeded(
+            64,
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            logged_seed,
+        );
+        let b = FailurePlan::exponential_seeded(
+            64,
+            SimTime::from_secs(5),
+            SimTime::from_secs(1),
+            logged_seed,
+        );
+        assert_eq!(a.events(), b.events());
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Per-link fault state — the nemesis side of the simulator.
+//!
+//! The base network model ([`crate::network`]) covers the *healthy*
+//! regimes of §4: latency, overhead, bandwidth, jitter. This module adds
+//! the adversarial ones: partitions (symmetric via [`FaultCmd::Partition`]
+//! or asymmetric via [`FaultCmd::Isolate`]), probabilistic message loss,
+//! per-link delay spikes, and reorder bursts. Each directed link
+//! `(from, to)` carries its own [`LinkState`]; the harness routes every
+//! transmission through [`LinkFaults::route`] before scheduling its
+//! arrival.
+//!
+//! Two semantics matter for protocol fidelity:
+//!
+//! * **Partitions delay, they do not destroy.** AllConcur assumes
+//!   reliable channels between correct servers (§2); a real partition
+//!   shorter than the connection lifetime manifests as TCP retransmission
+//!   delay, not loss. A blocked link therefore *holds* messages and
+//!   releases them, per-link FIFO, when the partition heals.
+//! * **Probabilistic drop genuinely loses messages.** There is no
+//!   retransmission in the protocol itself; survivability comes from the
+//!   overlay's redundant dissemination paths (every message traverses
+//!   every edge), which is exactly the claim the loss scenarios test.
+//!
+//! Everything is deterministic for a fixed seed: drop decisions consume
+//! the harness RNG only on links with a nonzero drop rate, so runs
+//! without faults are bit-identical to the pre-nemesis simulator.
+
+use crate::time::SimTime;
+use allconcur_core::message::Message;
+use allconcur_core::ServerId;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Drop rates are expressed in parts-per-million so fault commands stay
+/// `Eq`/hashable and replayable byte-for-byte from logged seeds.
+pub const PPM: u32 = 1_000_000;
+
+/// A runtime fault-injection command, applicable immediately or
+/// schedulable at a simulated instant ([`crate::event::SimEvent::Fault`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCmd {
+    /// Symmetric partition: block both directions of every link between
+    /// servers of *different* groups. Servers absent from every group
+    /// are unaffected (list every member for a tight partition).
+    Partition {
+        /// The connectivity groups.
+        groups: Vec<Vec<ServerId>>,
+    },
+    /// Asymmetric partition: block the single directed link `from → to`.
+    Isolate {
+        /// Sending side of the blocked link.
+        from: ServerId,
+        /// Receiving side of the blocked link.
+        to: ServerId,
+    },
+    /// Unblock every blocked link and release the messages they held
+    /// (per-link FIFO). Leaves drop/delay/reorder state in place.
+    HealPartitions,
+    /// Drop each message on `from → to` independently with probability
+    /// `ppm / 1e6`. `ppm = 0` clears the fault.
+    Drop {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Drop probability in parts-per-million (clamped to ≤ 1e6).
+        ppm: u32,
+    },
+    /// Add `extra` wire latency to every message on `from → to` — a
+    /// delay spike. `extra = 0` clears the fault.
+    Delay {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Additional latency.
+        extra: SimTime,
+    },
+    /// Hold the next `burst` messages on `from → to` and release them in
+    /// reverse order (oldest last) once the burst fills; a partial burst
+    /// releases when the simulation would otherwise go idle.
+    Reorder {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Messages to collect before the reversed release.
+        burst: usize,
+    },
+    /// Remove every link fault (blocks, drops, delays, reorders) and
+    /// release everything held.
+    Clear,
+}
+
+/// One in-flight message parked inside the fault layer (a blocked link's
+/// hold queue or a reorder burst).
+#[derive(Debug, Clone)]
+pub struct HeldMessage {
+    /// Receiving server.
+    pub to: ServerId,
+    /// Direct overlay sender.
+    pub from: ServerId,
+    /// NIC departure instant (crash-cancellation checks still apply on
+    /// release).
+    pub depart: SimTime,
+    /// Arrival instant the message would have had on a healthy link.
+    pub arrival: SimTime,
+    /// The protocol message.
+    pub msg: Message,
+}
+
+/// Fault state of one directed link.
+#[derive(Debug, Clone, Default)]
+struct LinkState {
+    /// Partitioned: messages are held until healed.
+    blocked: bool,
+    /// Per-message drop probability in parts-per-million.
+    drop_ppm: u32,
+    /// Delay spike added to each message's arrival.
+    extra_delay: SimTime,
+    /// Messages left to collect in the current reorder burst.
+    reorder_left: usize,
+    /// Held messages: the hold queue while blocked, or the accumulating
+    /// reorder burst. (A link is never both — `blocked` wins.)
+    held: Vec<HeldMessage>,
+}
+
+impl LinkState {
+    /// Whether the state carries no fault and no parked messages (and
+    /// can be dropped from the sparse table).
+    fn is_clear(&self) -> bool {
+        !self.blocked
+            && self.drop_ppm == 0
+            && self.extra_delay == SimTime::ZERO
+            && self.reorder_left == 0
+            && self.held.is_empty()
+    }
+}
+
+/// The sparse per-link fault table of one simulated deployment.
+#[derive(Debug, Default)]
+pub struct LinkFaults {
+    links: BTreeMap<(ServerId, ServerId), LinkState>,
+    /// Messages destroyed by probabilistic drop since construction.
+    dropped: u64,
+    /// Messages currently parked (blocked links + reorder bursts).
+    parked: usize,
+}
+
+impl LinkFaults {
+    /// An empty table (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no fault is configured and nothing is parked — the
+    /// transmit fast path skips the table entirely.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Messages destroyed by probabilistic drop so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Whether any link is blocked or holding messages — a drained event
+    /// queue in this state means "waiting for a heal", not a protocol
+    /// stall.
+    pub fn holding(&self) -> bool {
+        self.parked > 0 || self.links.values().any(|l| l.blocked)
+    }
+
+    fn entry(&mut self, from: ServerId, to: ServerId) -> &mut LinkState {
+        self.links.entry((from, to)).or_default()
+    }
+
+    /// Drop the entry again if the command left it fault-free.
+    fn prune(&mut self, from: ServerId, to: ServerId) {
+        if self.links.get(&(from, to)).is_some_and(LinkState::is_clear) {
+            self.links.remove(&(from, to));
+        }
+    }
+
+    /// Apply one command, appending any released messages to `released`
+    /// for the caller to schedule at `max(arrival, now)` in the given
+    /// order. Healed partition holds keep their original arrivals
+    /// (per-link FIFO, links in ascending id order — deterministic);
+    /// released reorder bursts come out reversed with arrivals collapsed
+    /// to the burst's latest, so the reversal survives the time-ordered
+    /// event queue.
+    pub fn apply(&mut self, cmd: &FaultCmd, released: &mut Vec<HeldMessage>) {
+        match cmd {
+            FaultCmd::Partition { groups } => {
+                for (gi, ga) in groups.iter().enumerate() {
+                    for gb in groups.iter().skip(gi + 1) {
+                        for &a in ga {
+                            for &b in gb {
+                                self.entry(a, b).blocked = true;
+                                self.entry(b, a).blocked = true;
+                            }
+                        }
+                    }
+                }
+            }
+            FaultCmd::Isolate { from, to } => {
+                self.entry(*from, *to).blocked = true;
+            }
+            FaultCmd::HealPartitions => {
+                for link in self.links.values_mut() {
+                    if link.blocked {
+                        link.blocked = false;
+                        self.parked -= link.held.len();
+                        released.append(&mut link.held);
+                    }
+                }
+                self.links.retain(|_, l| !l.is_clear());
+            }
+            FaultCmd::Drop { from, to, ppm } => {
+                self.entry(*from, *to).drop_ppm = (*ppm).min(PPM);
+                self.prune(*from, *to);
+            }
+            FaultCmd::Delay { from, to, extra } => {
+                self.entry(*from, *to).extra_delay = *extra;
+                self.prune(*from, *to);
+            }
+            FaultCmd::Reorder { from, to, burst } => {
+                let link = self.links.entry((*from, *to)).or_default();
+                // Restarting a burst releases a previous partial one
+                // (reversed, as promised).
+                if !link.blocked && !link.held.is_empty() {
+                    let count = link.held.len();
+                    release_reversed(&mut link.held, released);
+                    self.parked -= count;
+                }
+                self.links.entry((*from, *to)).or_default().reorder_left = *burst;
+                self.prune(*from, *to);
+            }
+            FaultCmd::Clear => {
+                for link in self.links.values_mut() {
+                    self.parked -= link.held.len();
+                    if link.blocked {
+                        // Partition hold queue: FIFO restoration.
+                        released.append(&mut link.held);
+                    } else {
+                        // Reorder burst: reversed release, as promised.
+                        release_reversed(&mut link.held, released);
+                    }
+                }
+                self.links.clear();
+            }
+        }
+    }
+
+    /// Route one transmission. Returns the messages to schedule now, in
+    /// order (usually just `m`; a filled reorder burst releases the whole
+    /// burst reversed; a held or dropped message releases nothing).
+    pub fn route<R: Rng>(&mut self, m: HeldMessage, rng: &mut R, out: &mut Vec<HeldMessage>) {
+        let key = (m.from, m.to);
+        let Some(link) = self.links.get_mut(&key) else {
+            out.push(m);
+            return;
+        };
+        if link.blocked {
+            link.held.push(m);
+            self.parked += 1;
+            return;
+        }
+        if link.drop_ppm > 0 && rng.gen_range(0..PPM) < link.drop_ppm {
+            self.dropped += 1;
+            return;
+        }
+        let mut m = m;
+        m.arrival += link.extra_delay;
+        if link.reorder_left > 0 {
+            link.reorder_left -= 1;
+            link.held.push(m);
+            self.parked += 1;
+            if link.reorder_left == 0 {
+                let count = link.held.len();
+                release_reversed(&mut link.held, out);
+                self.parked -= count;
+                self.prune(key.0, key.1);
+            }
+            return;
+        }
+        out.push(m);
+    }
+
+    /// Release every partial reorder burst (reversed). Called when the
+    /// event queue drains, so a burst that never fills cannot strand its
+    /// messages. Returns whether anything was released.
+    pub fn flush_reorder_partials(&mut self, released: &mut Vec<HeldMessage>) -> bool {
+        let before = released.len();
+        for link in self.links.values_mut() {
+            if !link.blocked && !link.held.is_empty() {
+                self.parked -= link.held.len();
+                link.reorder_left = 0;
+                release_reversed(&mut link.held, released);
+            }
+        }
+        self.links.retain(|_, l| !l.is_clear());
+        released.len() > before
+    }
+}
+
+/// Drain a reorder buffer into `out` in reverse send order, collapsing
+/// every arrival to the group's latest. The collapse is what makes the
+/// reversal real: the event queue is time-ordered, so messages released
+/// with their original distinct arrivals would simply re-sort back into
+/// FIFO order.
+fn release_reversed(held: &mut Vec<HeldMessage>, out: &mut Vec<HeldMessage>) {
+    let Some(release) = held.iter().map(|h| h.arrival).max() else {
+        return;
+    };
+    held.reverse();
+    for mut h in held.drain(..) {
+        h.arrival = release;
+        out.push(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn msg(from: ServerId, to: ServerId, arrival_ns: u64) -> HeldMessage {
+        HeldMessage {
+            to,
+            from,
+            depart: SimTime::from_ns(arrival_ns.saturating_sub(10)),
+            arrival: SimTime::from_ns(arrival_ns),
+            msg: Message::Bcast { round: 0, origin: from, payload: Bytes::new() },
+        }
+    }
+
+    #[test]
+    fn clear_table_passes_through() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.route(msg(0, 1, 100), &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn partition_holds_and_heal_releases_fifo() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Partition { groups: vec![vec![0, 1], vec![2, 3]] }, &mut out);
+        assert!(out.is_empty());
+        // Cross-group held, both directions; intra-group flows.
+        faults.route(msg(0, 2, 100), &mut rng, &mut out);
+        faults.route(msg(2, 0, 110), &mut rng, &mut out);
+        faults.route(msg(0, 2, 120), &mut rng, &mut out);
+        assert!(out.is_empty());
+        faults.route(msg(0, 1, 130), &mut rng, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(faults.holding());
+        out.clear();
+        faults.apply(&FaultCmd::HealPartitions, &mut out);
+        // Per-link FIFO: link (0,2)'s two messages in send order.
+        let arrivals: Vec<u64> =
+            out.iter().filter(|h| h.from == 0 && h.to == 2).map(|h| h.arrival.as_ns()).collect();
+        assert_eq!(arrivals, vec![100, 120]);
+        assert_eq!(out.len(), 3);
+        assert!(faults.is_empty(), "healed table prunes to empty");
+    }
+
+    #[test]
+    fn isolate_blocks_one_direction_only() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Isolate { from: 3, to: 4 }, &mut out);
+        faults.route(msg(3, 4, 50), &mut rng, &mut out);
+        assert!(out.is_empty());
+        faults.route(msg(4, 3, 60), &mut rng, &mut out);
+        assert_eq!(out.len(), 1, "reverse direction unaffected");
+    }
+
+    #[test]
+    fn drop_is_probabilistic_and_counted() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Drop { from: 0, to: 1, ppm: PPM / 2 }, &mut out);
+        for i in 0..1000 {
+            faults.route(msg(0, 1, i), &mut rng, &mut out);
+        }
+        let delivered = out.len() as u64;
+        assert_eq!(delivered + faults.dropped(), 1000);
+        assert!(faults.dropped() > 300 && faults.dropped() < 700, "{}", faults.dropped());
+        // ppm = 0 clears the fault.
+        faults.apply(&FaultCmd::Drop { from: 0, to: 1, ppm: 0 }, &mut out);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn delay_spike_shifts_arrival() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Delay { from: 1, to: 2, extra: SimTime::from_us(5) }, &mut out);
+        faults.route(msg(1, 2, 1_000), &mut rng, &mut out);
+        assert_eq!(out[0].arrival, SimTime::from_ns(1_000) + SimTime::from_us(5));
+    }
+
+    #[test]
+    fn reorder_burst_releases_reversed_at_latest_arrival() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Reorder { from: 0, to: 1, burst: 3 }, &mut out);
+        faults.route(msg(0, 1, 100), &mut rng, &mut out);
+        faults.route(msg(0, 1, 200), &mut rng, &mut out);
+        assert!(out.is_empty());
+        faults.route(msg(0, 1, 300), &mut rng, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|h| h.arrival.as_ns() == 300), "released together");
+        let departs: Vec<u64> = out.iter().map(|h| h.depart.as_ns()).collect();
+        assert_eq!(departs, vec![290, 190, 90], "reversed send order");
+        assert!(faults.is_empty(), "one-shot burst prunes its entry");
+    }
+
+    #[test]
+    fn partial_reorder_burst_flushes_on_demand() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Reorder { from: 0, to: 1, burst: 5 }, &mut out);
+        faults.route(msg(0, 1, 100), &mut rng, &mut out);
+        faults.route(msg(0, 1, 200), &mut rng, &mut out);
+        assert!(out.is_empty());
+        assert!(faults.flush_reorder_partials(&mut out));
+        assert_eq!(out.len(), 2);
+        let departs: Vec<u64> = out.iter().map(|h| h.depart.as_ns()).collect();
+        assert_eq!(departs, vec![190, 90], "partial burst still releases reversed");
+        assert!(
+            out.iter().all(|h| h.arrival.as_ns() == 200),
+            "arrivals collapse to the latest, or the queue re-sorts the reversal away"
+        );
+        assert!(!faults.flush_reorder_partials(&mut out), "idempotent");
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn clear_releases_everything() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Isolate { from: 0, to: 1 }, &mut out);
+        faults.apply(&FaultCmd::Reorder { from: 2, to: 3, burst: 4 }, &mut out);
+        faults.apply(&FaultCmd::Delay { from: 4, to: 5, extra: SimTime::from_us(1) }, &mut out);
+        faults.route(msg(0, 1, 100), &mut rng, &mut out);
+        faults.route(msg(2, 3, 100), &mut rng, &mut out);
+        assert!(out.is_empty());
+        faults.apply(&FaultCmd::Clear, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(faults.is_empty());
+        assert!(!faults.holding());
+    }
+}

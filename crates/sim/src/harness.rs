@@ -13,6 +13,7 @@
 
 use crate::event::{EventQueue, SimEvent};
 use crate::failure::{FailureEvent, FailurePlan};
+use crate::fault::{FaultCmd, HeldMessage, LinkFaults};
 use crate::network::{NetworkModel, NicState};
 use crate::time::SimTime;
 use allconcur_core::config::{Config, FdMode};
@@ -250,6 +251,8 @@ impl SimClusterBuilder {
             waiting_count: 0,
             delivery_log: std::collections::VecDeque::new(),
             action_scratch: Vec::new(),
+            faults: LinkFaults::new(),
+            release_scratch: Vec::new(),
         };
         for ev in self.failure_plan.events().to_vec() {
             match ev {
@@ -305,6 +308,11 @@ pub struct SimCluster {
     /// Reused action buffer for [`SimCluster::feed`]: one event loop,
     /// zero per-event vector allocations.
     action_scratch: Vec<Action>,
+    /// Per-link fault table (partitions, drops, delay spikes, reorder
+    /// bursts); every transmission routes through it.
+    faults: LinkFaults,
+    /// Reused buffer for messages the fault layer releases.
+    release_scratch: Vec<HeldMessage>,
 }
 
 impl SimCluster {
@@ -383,6 +391,69 @@ impl SimCluster {
         self.queue.schedule(when, SimEvent::Crash { id: server });
     }
 
+    /// Apply a link-fault command right now (at the current clock).
+    /// Heals release held messages at the current instant, preserving
+    /// per-link FIFO.
+    pub fn inject_fault(&mut self, cmd: &FaultCmd) {
+        let now = self.clock;
+        self.apply_fault_at(cmd, now);
+    }
+
+    /// Apply a link-fault command at `when` (absolute simulated time).
+    pub fn schedule_fault(&mut self, when: SimTime, cmd: FaultCmd) {
+        self.queue.schedule(when, SimEvent::Fault { cmd });
+    }
+
+    /// Messages destroyed by probabilistic link drops so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.faults.dropped()
+    }
+
+    /// Whether any link is partitioned or holding messages. While true,
+    /// a drained event queue means "waiting for a heal", not a protocol
+    /// stall — the facade's liveness diagnosis keys off this.
+    pub fn faults_holding(&self) -> bool {
+        self.faults.holding()
+    }
+
+    /// Whether any per-link fault is currently configured.
+    pub fn link_faults_active(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    fn apply_fault_at(&mut self, cmd: &FaultCmd, now: SimTime) {
+        let mut released = std::mem::take(&mut self.release_scratch);
+        released.clear();
+        self.faults.apply(cmd, &mut released);
+        self.schedule_released(now, &mut released);
+        self.release_scratch = released;
+    }
+
+    /// Release partial reorder bursts when the event queue drains, so a
+    /// burst that never fills cannot strand its messages. Returns
+    /// whether new events were scheduled.
+    fn flush_stranded(&mut self) -> bool {
+        let mut released = std::mem::take(&mut self.release_scratch);
+        released.clear();
+        let any = self.faults.flush_reorder_partials(&mut released);
+        let now = self.clock;
+        self.schedule_released(now, &mut released);
+        self.release_scratch = released;
+        any
+    }
+
+    /// Schedule messages the fault layer released, each at
+    /// `max(arrival, now)` (insertion order breaks same-instant ties, so
+    /// the layer's release order is preserved).
+    fn schedule_released(&mut self, now: SimTime, released: &mut Vec<HeldMessage>) {
+        for h in released.drain(..) {
+            self.queue.schedule(
+                h.arrival.max(now),
+                SimEvent::Deliver { to: h.to, from: h.from, depart: h.depart, msg: h.msg },
+            );
+        }
+    }
+
     /// Run one agreement round: every live server A-broadcasts its entry
     /// from `payloads` (indexed by server id) at the current clock, and
     /// the simulation runs until every server that is still live has
@@ -443,6 +514,9 @@ impl SimCluster {
                 break Ok(());
             }
             let Some((t, ev)) = self.queue.pop() else {
+                if self.flush_stranded() {
+                    continue;
+                }
                 let missing =
                     (0..self.n() as ServerId).filter(|&s| self.waiting[s as usize]).collect();
                 break Err(SimError::Stalled { missing, round });
@@ -460,7 +534,13 @@ impl SimCluster {
     /// Drain every pending event (e.g. to let carried-over failure
     /// notifications settle between rounds). Stops at `deadline`.
     pub fn settle(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                if self.flush_stranded() {
+                    continue;
+                }
+                return;
+            };
             if t > deadline {
                 return;
             }
@@ -504,6 +584,9 @@ impl SimCluster {
                 return Ok(Some(next));
             }
             let Some(t) = self.queue.peek_time() else {
+                if self.flush_stranded() {
+                    continue;
+                }
                 return Ok(None);
             };
             if t > deadline {
@@ -539,6 +622,7 @@ impl SimCluster {
                     self.feed(at, Event::Suspect { suspect }, t);
                 }
             }
+            SimEvent::Fault { cmd } => self.apply_fault_at(&cmd, t),
         }
     }
 
@@ -610,7 +694,22 @@ impl SimCluster {
         self.traffic.record(&msg);
         let jitter = self.model.jitter.sample(&mut self.rng);
         let arrival = depart + self.model.latency + jitter;
-        self.queue.schedule(arrival, SimEvent::Deliver { to, from, depart, msg });
+        if self.faults.is_empty() {
+            self.queue.schedule(arrival, SimEvent::Deliver { to, from, depart, msg });
+        } else {
+            // Route through the per-link fault table: the message may be
+            // held (partition / reorder burst), dropped, delayed, or
+            // released together with a completed burst.
+            let mut released = std::mem::take(&mut self.release_scratch);
+            released.clear();
+            self.faults.route(
+                HeldMessage { to, from, depart, arrival, msg },
+                &mut self.rng,
+                &mut released,
+            );
+            self.schedule_released(now, &mut released);
+            self.release_scratch = released;
+        }
 
         // §2.3-style partial-broadcast crash: the k-th departure is the
         // server's last act.
@@ -795,6 +894,93 @@ mod tests {
         let tcp = latency(NetworkModel::tcp_cluster());
         // Fig 6: TCP ≈ 3× slower than IBV at small scale.
         assert!(tcp.as_ns() > 2 * ibv.as_ns(), "tcp {tcp} vs ibv {ibv}");
+    }
+
+    #[test]
+    fn partition_delays_but_round_completes_after_heal() {
+        // Partition {0..3} | {4..7} mid-deployment, schedule the heal,
+        // and run a round: the round must complete (held messages release
+        // at the heal), and completion must not predate the heal.
+        let mut cluster = SimCluster::builder(gs_digraph(8, 3).unwrap()).build();
+        let heal_at = SimTime::from_ms(5);
+        cluster.inject_fault(&FaultCmd::Partition {
+            groups: vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]],
+        });
+        cluster.schedule_fault(heal_at, FaultCmd::HealPartitions);
+        let out = cluster.run_round(&payloads(8, 64)).unwrap();
+        assert_eq!(out.delivered.len(), 8);
+        let reference = &out.delivered[&0];
+        for msgs in out.delivered.values() {
+            assert_eq!(msgs, reference, "agreement across the healed partition");
+        }
+        assert!(out.end() >= heal_at, "cross-partition agreement cannot predate the heal");
+        assert_eq!(cluster.dropped_messages(), 0, "partitions delay, they never drop");
+    }
+
+    #[test]
+    fn lossy_link_survived_by_redundant_paths() {
+        // Total loss on one overlay edge: every message still reaches the
+        // victim through its other predecessors (the flooding redundancy
+        // the paper's §2.1.1 reliability argument rests on).
+        let graph = gs_digraph(8, 3).unwrap();
+        let (from, to) = {
+            let succs = graph.successors(0);
+            (0u32, succs[0])
+        };
+        let mut cluster = SimCluster::builder(graph).seed(3).build();
+        cluster.inject_fault(&FaultCmd::Drop { from, to, ppm: crate::fault::PPM });
+        let out = cluster.run_round(&payloads(8, 32)).unwrap();
+        assert_eq!(out.delivered.len(), 8);
+        let reference = &out.delivered[&0];
+        for msgs in out.delivered.values() {
+            assert_eq!(msgs, reference, "agreement despite a fully lossy link");
+        }
+        assert!(cluster.dropped_messages() > 0, "the lossy link actually dropped traffic");
+    }
+
+    #[test]
+    fn delay_spike_slows_agreement() {
+        let base = {
+            let mut c = SimCluster::builder(gs_digraph(8, 3).unwrap()).build();
+            c.run_round(&payloads(8, 64)).unwrap().agreement_latency()
+        };
+        let mut c = SimCluster::builder(gs_digraph(8, 3).unwrap()).build();
+        for to in c.cfg.graph.successors(0).to_vec() {
+            c.inject_fault(&FaultCmd::Delay { from: 0, to, extra: SimTime::from_ms(1) });
+        }
+        let spiked = c.run_round(&payloads(8, 64)).unwrap().agreement_latency();
+        assert!(spiked > base + SimTime::from_us(500), "spiked {spiked} vs base {base}");
+    }
+
+    #[test]
+    fn reorder_burst_preserves_agreement() {
+        let graph = gs_digraph(8, 3).unwrap();
+        let to = graph.successors(2)[1];
+        let mut cluster = SimCluster::builder(graph).build();
+        cluster.inject_fault(&FaultCmd::Reorder { from: 2, to, burst: 6 });
+        let out = cluster.run_round(&payloads(8, 16)).unwrap();
+        assert_eq!(out.delivered.len(), 8);
+        let reference = &out.delivered[&0];
+        for msgs in out.delivered.values() {
+            assert_eq!(msgs, reference, "agreement under per-link reordering");
+        }
+    }
+
+    #[test]
+    fn fault_free_runs_are_byte_identical_to_pre_nemesis() {
+        // The fault table's fast path must not perturb the RNG stream or
+        // event ordering: two clusters, one with a fault injected and
+        // cleared *before* any traffic, must produce identical rounds.
+        let run = |prime: bool| {
+            let mut c = SimCluster::builder(gs_digraph(8, 3).unwrap()).seed(11).build();
+            if prime {
+                c.inject_fault(&FaultCmd::Isolate { from: 0, to: 1 });
+                c.inject_fault(&FaultCmd::Clear);
+            }
+            let out = c.run_round(&payloads(8, 64)).unwrap();
+            (out.agreement_latency(), out.messages_sent, out.bytes_sent)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

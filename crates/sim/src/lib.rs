@@ -21,18 +21,24 @@
 //!   in-flight messages still arrive, unsent ones never depart;
 //! * **failure detection** — successors of a crashed server raise
 //!   suspicions after a configurable detection delay (`Δ_to`), optionally
-//!   jittered; false suspicions can be injected for `◇P` testing.
+//!   jittered; false suspicions can be injected for `◇P` testing;
+//! * **link faults** ([`fault`]) — symmetric/asymmetric partitions
+//!   (hold-until-heal), probabilistic message loss, per-link delay
+//!   spikes, and reorder bursts, injectable at runtime or scheduled at
+//!   simulated instants (the nemesis substrate).
 //!
 //! Entry point: [`harness::SimCluster`].
 
 pub mod event;
 pub mod failure;
+pub mod fault;
 pub mod harness;
 pub mod logp;
 pub mod network;
 pub mod stats;
 pub mod time;
 
+pub use fault::FaultCmd;
 pub use harness::{RoundOutcome, SimCluster, SimClusterBuilder};
 pub use network::NetworkModel;
 pub use time::SimTime;

@@ -18,6 +18,9 @@
 //! * [`rsm`] — the typed [`rsm::Service`] layer: replicated state
 //!   machines with typed commands/responses, snapshot catch-up, and
 //!   linearizable reads (§1's coordination services);
+//! * [`nemesis`] — deterministic fault-injection scenarios (partitions,
+//!   loss, delay spikes, crash-restart churn) with an always-on
+//!   atomic-broadcast property checker, replayable from a single seed;
 //! * [`baselines`] — leader-based atomic broadcast (Libpaxos stand-in) and
 //!   unreliable allgather (§4.5, §5).
 //!
@@ -74,6 +77,7 @@ pub use allconcur_baselines as baselines;
 pub use allconcur_cluster as cluster;
 pub use allconcur_core as core;
 pub use allconcur_graph as graph;
+pub use allconcur_nemesis as nemesis;
 pub use allconcur_net as net;
 pub use allconcur_rsm as rsm;
 pub use allconcur_sim as sim;
@@ -81,8 +85,8 @@ pub use allconcur_sim as sim;
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
     pub use allconcur_cluster::{
-        Cluster, ClusterError, Delivery, SimOptions, SimTransport, SubmitHandle, TcpTransport,
-        Transport,
+        Cluster, ClusterError, Delivery, FaultCommand, SimOptions, SimTransport, SubmitHandle,
+        TcpTransport, Transport,
     };
     pub use allconcur_core::{
         config::Config,
@@ -95,6 +99,9 @@ pub mod prelude {
     };
     pub use allconcur_graph::{
         binomial::binomial_graph, gs::gs_digraph, Digraph, ReliabilityModel,
+    };
+    pub use allconcur_nemesis::{
+        NemesisAction, NemesisPlan, PropertyChecker, Scenario, ScenarioReport,
     };
     pub use allconcur_rsm::{CommandHandle, Service, ServiceError};
     pub use allconcur_sim::{

@@ -8,6 +8,16 @@
 //! cases are generated from a deterministic per-case seed and **failing
 //! inputs are not shrunk** — the failure message reports the exact
 //! inputs instead.
+//!
+//! Two pieces of the real crate's workflow *are* supported:
+//!
+//! * the `PROPTEST_CASES` environment variable overrides the configured
+//!   case count (CI runs extended sweeps without code changes);
+//! * failing case seeds persist to `proptest-regressions/<file>.txt`
+//!   next to the crate's manifest (`cc <test_name> <seed>` lines) and
+//!   replay *first* on subsequent runs — commit the file and a shrunk
+//!   failure keeps regressing until fixed, exactly like upstream's
+//!   regression files.
 
 pub mod test_runner {
     //! Case generation and the test-loop configuration.
@@ -32,6 +42,89 @@ pub mod test_runner {
         /// Next raw 64 bits.
         pub fn next_u64(&mut self) -> u64 {
             self.0.next_u64()
+        }
+    }
+
+    /// The effective case count: the `PROPTEST_CASES` environment
+    /// variable when set and parseable, else the configured default —
+    /// matching the real crate's env handling.
+    pub fn env_cases(default_cases: u32) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default_cases)
+    }
+
+    /// Persisted failing case seeds for one test, stored as
+    /// `cc <test_name> <seed>` lines in
+    /// `<manifest>/proptest-regressions/<source file stem>.txt` — the
+    /// offline analogue of upstream proptest's regression files.
+    /// Committed files make a found failure replay first on every
+    /// subsequent run until fixed.
+    pub struct Regressions {
+        path: std::path::PathBuf,
+        name: &'static str,
+        seeds: Vec<u64>,
+    }
+
+    impl Regressions {
+        /// Load the seeds recorded for `name` (none if no file exists).
+        pub fn load(manifest_dir: &str, source_file: &str, name: &'static str) -> Regressions {
+            let stem = std::path::Path::new(source_file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("tests");
+            let path = std::path::Path::new(manifest_dir)
+                .join("proptest-regressions")
+                .join(format!("{stem}.txt"));
+            let mut seeds = Vec::new();
+            if let Ok(contents) = std::fs::read_to_string(&path) {
+                for line in contents.lines() {
+                    let mut parts = line.split_whitespace();
+                    if parts.next() != Some("cc") {
+                        continue; // comment or blank
+                    }
+                    if let (Some(n), Some(seed)) = (parts.next(), parts.next()) {
+                        if n == name {
+                            if let Ok(seed) = seed.parse() {
+                                seeds.push(seed);
+                            }
+                        }
+                    }
+                }
+            }
+            Regressions { path, name, seeds }
+        }
+
+        /// Seeds recorded for this test, oldest first.
+        pub fn seeds(&self) -> &[u64] {
+            &self.seeds
+        }
+
+        /// Append a newly failing seed (idempotent). Returns whether the
+        /// file now holds it — persistence failures are swallowed so a
+        /// read-only checkout still reports the test failure itself.
+        pub fn record(&self, seed: u64) -> bool {
+            use std::io::Write;
+            if self.seeds.contains(&seed) {
+                return true;
+            }
+            if let Some(dir) = self.path.parent() {
+                if std::fs::create_dir_all(dir).is_err() {
+                    return false;
+                }
+            }
+            let header = !self.path.exists();
+            let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)
+            else {
+                return false;
+            };
+            if header {
+                let _ = writeln!(
+                    f,
+                    "# Seeds for failure cases proptest found for this source file.\n\
+                     # Each line is `cc <test_name> <case seed>`; recorded failures\n\
+                     # replay first on every run. Commit this file so they persist."
+                );
+            }
+            writeln!(f, "cc {} {}", self.name, seed).is_ok()
         }
     }
 
@@ -390,12 +483,34 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::env_cases(config.cases);
+                let regressions = $crate::test_runner::Regressions::load(
+                    env!("CARGO_MANIFEST_DIR"), file!(), stringify!($name));
+                // Persisted failing seeds replay first, *in addition to*
+                // the configured case budget (matching upstream); fresh
+                // generation then skips the already-replayed seeds so a
+                // committed regression never shrinks new-input coverage.
+                let recorded: ::std::vec::Vec<u64> = regressions.seeds().to_vec();
+                let mut replay: ::std::vec::Vec<u64> = recorded.clone();
                 let mut passed: u32 = 0;
                 let mut rejected: u32 = 0;
-                let mut case_seed: u64 = 0;
-                while passed < config.cases {
+                let mut next_seed: u64 = 0;
+                loop {
+                    let (case_seed, is_replay) = match replay.pop() {
+                        ::core::option::Option::Some(seed) => (seed, true),
+                        ::core::option::Option::None => {
+                            if passed >= cases {
+                                break;
+                            }
+                            while recorded.contains(&next_seed) {
+                                next_seed += 1;
+                            }
+                            let seed = next_seed;
+                            next_seed += 1;
+                            (seed, false)
+                        }
+                    };
                     let mut rng = $crate::test_runner::TestRng::deterministic(case_seed);
-                    case_seed += 1;
                     $(
                         let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
                     )+
@@ -406,7 +521,13 @@ macro_rules! proptest {
                         ::core::result::Result::Ok(())
                     })();
                     match outcome {
-                        ::core::result::Result::Ok(()) => passed += 1,
+                        // Replayed regressions run on top of the budget;
+                        // only fresh cases consume it.
+                        ::core::result::Result::Ok(()) => {
+                            if !is_replay {
+                                passed += 1;
+                            }
+                        }
                         ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(why)) => {
                             rejected += 1;
                             if rejected > config.max_global_rejects {
@@ -417,9 +538,12 @@ macro_rules! proptest {
                             }
                         }
                         ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            let persisted = regressions.record(case_seed);
                             panic!(
-                                "proptest `{}` failed after {} passing case(s): {}\n  inputs: {}",
-                                stringify!($name), passed, msg, inputs
+                                "proptest `{}` failed after {} passing case(s) (case seed {}{}): {}\n  inputs: {}",
+                                stringify!($name), passed, case_seed,
+                                if persisted { ", persisted to proptest-regressions/" } else { "" },
+                                msg, inputs
                             );
                         }
                     }
@@ -432,6 +556,38 @@ macro_rules! proptest {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+
+    #[test]
+    fn regressions_persist_and_replay() {
+        let dir = std::env::temp_dir().join(format!("proptest-regress-{}", std::process::id()));
+        let dir_s = dir.to_str().unwrap();
+        let r = crate::test_runner::Regressions::load(dir_s, "tests/foo.rs", "my_test");
+        assert!(r.seeds().is_empty());
+        assert!(r.record(42));
+        assert!(r.record(7));
+        let replayed = crate::test_runner::Regressions::load(dir_s, "tests/foo.rs", "my_test");
+        assert_eq!(replayed.seeds(), &[42, 7]);
+        assert!(replayed.record(7), "a seed already on file is not appended again");
+        let reloaded = crate::test_runner::Regressions::load(dir_s, "tests/foo.rs", "my_test");
+        assert_eq!(reloaded.seeds(), &[42, 7]);
+        let other = crate::test_runner::Regressions::load(dir_s, "tests/foo.rs", "other_test");
+        assert!(other.seeds().is_empty(), "seeds are per test name");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn env_cases_prefers_the_environment() {
+        // Note: reads the real environment — harness runs set
+        // PROPTEST_CASES globally, so only assert the fallback when the
+        // variable is absent.
+        match std::env::var("PROPTEST_CASES") {
+            Err(_) => assert_eq!(crate::test_runner::env_cases(17), 17),
+            Ok(v) => {
+                let parsed: u32 = v.parse().unwrap();
+                assert_eq!(crate::test_runner::env_cases(17), parsed);
+            }
+        }
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
