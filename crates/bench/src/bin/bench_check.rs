@@ -23,9 +23,12 @@ use allconcur_bench::output::arg_value;
 type Entry = (Vec<(String, String)>, Option<f64>);
 
 /// Parse every `{...}` series object in the file into field lists,
-/// extracting `metric` when present.
+/// extracting `metric` when present. A missing or unreadable file is an
+/// empty series — the caller warns about it loudly rather than
+/// panicking, so "the bench never ran" surfaces in the job summary
+/// instead of an opaque process abort.
 fn parse_series(path: &str, metric: &str) -> Vec<Entry> {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
     let mut out = Vec::new();
     for line in text.lines() {
         let Some(open) = line.find('{') else { continue };
@@ -74,7 +77,19 @@ fn main() {
         println!("::warning::{baseline_path}: no series entries found");
         return;
     }
-    if baseline.len() != fresh.len() {
+    let mut warnings = 0usize;
+    // A committed baseline with no fresh measurement means the bench
+    // never ran (or emitted nothing) — the comparison below would
+    // silently check zero entries and report green. Fail loudly.
+    if fresh.iter().filter(|(_, value)| value.is_some()).count() == 0 {
+        warnings += 1;
+        println!(
+            "::warning::{fresh_path}: baseline {baseline_path} has {} series but no fresh \
+             `{metric}` measurement was produced — the bench did not run or emitted nothing",
+            baseline.len()
+        );
+    } else if baseline.len() != fresh.len() {
+        warnings += 1;
         println!(
             "::warning::{fresh_path}: series length {} differs from baseline {} — bench shape changed?",
             fresh.len(),
@@ -112,7 +127,7 @@ fn main() {
             verdict.to_string(),
         ));
     }
-    if regressions == 0 {
+    if regressions == 0 && !rows.is_empty() {
         println!("{metric}: no regressions beyond {:.0}% vs {baseline_path}", threshold * 100.0);
     }
 
@@ -129,7 +144,10 @@ fn main() {
     for (ctx, base, new, ratio, verdict) in &rows {
         md.push_str(&format!("| {ctx} | {base} | {new} | {ratio} | {verdict} |\n"));
     }
-    md.push('\n');
+    if rows.is_empty() {
+        md.push_str("| *(no fresh measurement — bench did not run)* | — | — | — | MISSING |\n");
+    }
+    md.push_str(&format!("\n**warnings: {}**\n\n", warnings + regressions));
     println!("\n{md}");
     if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
         use std::io::Write;

@@ -1,0 +1,174 @@
+//! WAL append throughput and latency under group commit: how many
+//! agreed commands per second one server's write-ahead log sustains —
+//! frame encode, CRC, segment append, fsync policy — as a function of
+//! the group-commit window `fsync_every_n_rounds` ∈ {1, 8, 64, off}.
+//!
+//! ```text
+//! cargo run --release -p allconcur-bench --bin wal_throughput \
+//!     [--csv] [--json PATH] [--rounds R] [--dir PATH]
+//! ```
+//!
+//! Appends run against a real [`FileDisk`] (temp directory by default;
+//! `--dir` overrides), so the fsync cost is the host's actual
+//! `fdatasync`, not the in-memory model. Group commit happens *inside*
+//! `Wal::append` — every `fsync_every_n` appends one call pays the
+//! sync — so the per-append latency distribution is bimodal and the p99
+//! captures the sync spike while the p50 captures the buffered path.
+//! `off` (0) never syncs during the run: the upper bound where
+//! durability rides entirely on the OS page cache.
+//!
+//! Besides the table, the run emits machine-readable `BENCH_wal.json`
+//! (override with `--json PATH`) so the durability hot path's
+//! trajectory is recorded PR over PR.
+
+use allconcur_bench::output::{arg_value, has_flag, Table};
+use allconcur_core::delivery::Delivery;
+use allconcur_durability::{DurabilityConfig, FileDisk, Wal};
+use bytes::Bytes;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Origins per agreed round (one 64-byte command each) — the round
+/// shape of an 8-server deployment at batch 1.
+const ORIGINS: u32 = 8;
+const PAYLOAD_BYTES: usize = 64;
+/// Unmeasured appends before the clock starts (file growth, allocator,
+/// page-cache warm-up).
+const WARMUP_ROUNDS: u64 = 64;
+
+struct Point {
+    fsync_every: u64,
+    commands: u64,
+    wall_ms: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+impl Point {
+    fn cmds_per_sec(&self) -> f64 {
+        self.commands as f64 / (self.wall_ms / 1e3)
+    }
+
+    /// `off` renders the disabled count trigger honestly in tables.
+    fn label(&self) -> String {
+        if self.fsync_every == 0 {
+            "off".into()
+        } else {
+            self.fsync_every.to_string()
+        }
+    }
+}
+
+fn round_delivery(round: u64, payload: &Bytes) -> Delivery {
+    Delivery { round, messages: (0..ORIGINS).map(|o| (o, payload.clone())).collect() }
+}
+
+/// Append `rounds` measured rounds at one group-commit setting and
+/// collect the wall clock plus the per-append latency distribution.
+fn run_point(fsync_every: u64, rounds: u64, root: &Path) -> Point {
+    let dir = root.join(format!("fsync-{fsync_every}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk = FileDisk::open(&dir).expect("open bench dir");
+    let cfg = DurabilityConfig {
+        fsync_every_n_rounds: fsync_every,
+        fsync_interval: None,
+        ..DurabilityConfig::default()
+    };
+    let mut wal = Wal::create(Box::new(disk), cfg, b"wal-bench-initial").expect("create WAL");
+    let payload = Bytes::from(vec![0xABu8; PAYLOAD_BYTES]);
+
+    for round in 0..WARMUP_ROUNDS {
+        wal.append(&round_delivery(round, &payload)).expect("warm-up append");
+    }
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(rounds as usize);
+    let wall_start = Instant::now();
+    for round in WARMUP_ROUNDS..WARMUP_ROUNDS + rounds {
+        let append_start = Instant::now();
+        wal.append(&round_delivery(round, &payload)).expect("append");
+        latencies.push(append_start.elapsed());
+    }
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    // Settle the tail outside the timed window, then drop the files.
+    wal.sync().expect("final sync");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies.sort_unstable();
+    let pct = |p: usize| -> f64 {
+        let idx = ((latencies.len() * p) / 100).min(latencies.len() - 1);
+        latencies[idx].as_secs_f64() * 1e6
+    };
+    Point {
+        fsync_every,
+        commands: rounds * ORIGINS as u64,
+        wall_ms,
+        p50_us: pct(50),
+        p99_us: pct(99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let csv = has_flag("--csv");
+    let rounds: u64 = arg_value("--rounds").and_then(|v| v.parse().ok()).unwrap_or(2048).max(1);
+    let root = arg_value("--dir")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("allconcur-wal-bench"));
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_wal.json".to_string());
+
+    // 0 = count trigger off: no fsync inside the measured window.
+    let points: Vec<Point> =
+        [1u64, 8, 64, 0].iter().map(|&f| run_point(f, rounds, &root)).collect();
+
+    let mut table = Table::new(vec![
+        "fsync_every",
+        "commands",
+        "wall_ms",
+        "cmds_per_sec",
+        "append_p50_us",
+        "append_p99_us",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.label(),
+            p.commands.to_string(),
+            format!("{:.1}", p.wall_ms),
+            format!("{:.0}", p.cmds_per_sec()),
+            format!("{:.1}", p.p50_us),
+            format!("{:.1}", p.p99_us),
+        ]);
+    }
+    println!(
+        "WAL append throughput — FileDisk group commit, {ORIGINS} origins × {PAYLOAD_BYTES} B \
+         per round, {rounds} measured rounds\n"
+    );
+    print!("{}", if csv { table.render_csv() } else { table.render() });
+
+    // Hand-rolled JSON (no serde in the build environment).
+    let series: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"fsync_every\": {}, \"commands\": {}, \"wall_ms\": {:.1}, \
+                 \"cmds_per_sec\": {:.0}, \"append_p50_us\": {:.1}, \"append_p99_us\": {:.1}}}",
+                p.fsync_every,
+                p.commands,
+                p.wall_ms,
+                p.cmds_per_sec(),
+                p.p50_us,
+                p.p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"wal_throughput\",\n  \"disk\": \"file\",\n  \"origins\": {ORIGINS},\n  \
+         \"payload_bytes\": {PAYLOAD_BYTES},\n  \"rounds\": {rounds},\n  \"series\": [\n{}\n  ]\n}}\n",
+        series.join(",\n")
+    );
+    std::fs::write(&json_path, json).expect("write BENCH json");
+    println!("\nwrote {json_path}");
+}

@@ -394,10 +394,24 @@ impl Cluster {
     }
 
     /// Inject a link-level fault (partition, loss, delay spike, reorder
-    /// burst) or heal/clear one — the nemesis control surface. The sim
-    /// backend supports every [`FaultCommand`]; TCP supports per-link
-    /// send-drop and the blanket clears, and reports the rest as
-    /// [`ClusterError::Unsupported`].
+    /// burst) or heal/clear one — the nemesis control surface.
+    ///
+    /// Support depends on the backend:
+    ///
+    /// | [`FaultCommand`]   | sim | tcp |
+    /// |--------------------|-----|-----|
+    /// | `Partition`        | yes | `Unsupported` |
+    /// | `Isolate`          | yes | `Unsupported` |
+    /// | `HealPartitions`   | yes | yes (no-op)   |
+    /// | `Drop`             | yes | yes           |
+    /// | `Delay`            | yes | `Unsupported` |
+    /// | `Reorder`          | yes | `Unsupported` |
+    /// | `ClearLinkFaults`  | yes | yes           |
+    ///
+    /// Unsupported commands return [`ClusterError::Unsupported`] and
+    /// leave the deployment untouched, so callers can probe rather than
+    /// special-case backends. See [`Transport::inject_fault`] for why the
+    /// TCP column is sparse.
     pub fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError> {
         self.transport.inject_fault(fault)
     }

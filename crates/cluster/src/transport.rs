@@ -132,6 +132,26 @@ pub trait Transport {
     /// Inject a link-level fault (partition, loss, delay, reorder) or
     /// heal/clear one. Unsupported commands return
     /// [`ClusterError::Unsupported`] and leave the deployment untouched.
+    ///
+    /// Backend support matrix:
+    ///
+    /// | [`FaultCommand`]   | sim | tcp |
+    /// |--------------------|-----|-----|
+    /// | `Partition`        | yes | `Unsupported` |
+    /// | `Isolate`          | yes | `Unsupported` |
+    /// | `HealPartitions`   | yes | yes (no-op)   |
+    /// | `Drop`             | yes | yes           |
+    /// | `Delay`            | yes | `Unsupported` |
+    /// | `Reorder`          | yes | `Unsupported` |
+    /// | `ClearLinkFaults`  | yes | yes           |
+    ///
+    /// The sim backend owns virtual time and every queued message, so it
+    /// implements the full vocabulary. TCP can only decide per send
+    /// whether to hand a frame to the kernel — probabilistic `Drop` and
+    /// the blanket clears (`HealPartitions` heals nothing but succeeds,
+    /// so scenario teardown works unchanged on both backends). Anything
+    /// that would require holding or re-timing in-flight kernel buffers
+    /// reports `Unsupported` rather than pretending.
     fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError>;
 
     /// Set every server's round-pipelining window: how many consecutive

@@ -40,7 +40,9 @@
 //!   departures (§3 "dynamic membership");
 //! * [`fd`] — failure-detector accuracy model (§3.2);
 //! * [`batch`] — request batching into round payloads (§5's batching
-//!   factor).
+//!   factor);
+//! * [`wire`] — stable checksummed framing for durable round records
+//!   and chunked state transfer (the `allconcur-durability` substrate).
 
 pub mod batch;
 pub mod bitset;
@@ -52,6 +54,7 @@ pub mod message;
 pub mod replica;
 pub mod server;
 pub mod tracking;
+pub mod wire;
 
 /// Stable identifier of a server: its vertex index in the overlay digraph.
 pub type ServerId = u32;

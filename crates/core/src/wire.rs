@@ -1,0 +1,247 @@
+//! Stable on-disk / on-stream framing: checksummed length-prefixed
+//! frames and the durable encoding of [`Delivery`].
+//!
+//! The WAL (`allconcur-durability`) and the chunked catch-up protocol
+//! both persist agreed rounds; their byte layout is part of the
+//! replicated history and must stay stable across toolchains, so — like
+//! the message codec in [`crate::message`] — it is hand-rolled here
+//! rather than derived.
+//!
+//! One frame on disk or in a catch-up chunk is
+//!
+//! ```text
+//!   [len: u32 le] [crc32(payload): u32 le] [payload: len bytes]
+//! ```
+//!
+//! and a scan over a byte buffer classifies the tail precisely:
+//! a frame whose bytes run out is [`FrameError::Truncated`] (a torn
+//! write — expected after a crash, recovery keeps the prefix), a frame
+//! whose checksum fails is [`FrameError::Corrupt`] (bit rot or a torn
+//! write that landed inside the payload — same recovery action).
+
+use crate::delivery::Delivery;
+use crate::{Round, ServerId};
+use bytes::{BufMut, Bytes};
+
+/// Bytes of frame header (length + checksum).
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the classic
+/// table-driven byte-at-a-time implementation.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: [u32; 256] = build_crc_table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Why a frame could not be read from a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends mid-header or mid-payload — a torn tail write.
+    /// Recovery keeps everything before this frame.
+    Truncated,
+    /// The payload's checksum does not match its header — corruption
+    /// (or a torn write overlapping an older frame's bytes). Recovery
+    /// keeps everything before this frame.
+    Corrupt,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated (torn tail write)"),
+            FrameError::Corrupt => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Append one checksummed frame carrying `payload` to `buf`.
+pub fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    buf.reserve(FRAME_HEADER_BYTES + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u32_le(crc32(payload));
+    buf.put_slice(payload);
+}
+
+/// Read the frame starting at `buf[offset..]`. Returns the payload
+/// slice and the offset just past the frame.
+pub fn read_frame(buf: &[u8], offset: usize) -> Result<(&[u8], usize), FrameError> {
+    let rest = &buf[offset.min(buf.len())..];
+    if rest.len() < FRAME_HEADER_BYTES {
+        return Err(FrameError::Truncated);
+    }
+    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    let sum = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    if rest.len() - FRAME_HEADER_BYTES < len {
+        return Err(FrameError::Truncated);
+    }
+    let payload = &rest[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len];
+    if crc32(payload) != sum {
+        return Err(FrameError::Corrupt);
+    }
+    Ok((payload, offset + FRAME_HEADER_BYTES + len))
+}
+
+/// Scan every valid frame in `buf` from the front: the payload slices of
+/// the longest checksummed prefix, plus what (if anything) ended the
+/// scan and the byte offset of the first invalid frame.
+pub fn scan_frames(buf: &[u8]) -> (Vec<&[u8]>, Option<(FrameError, usize)>) {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    while offset < buf.len() {
+        match read_frame(buf, offset) {
+            Ok((payload, next)) => {
+                frames.push(payload);
+                offset = next;
+            }
+            Err(e) => return (frames, Some((e, offset))),
+        }
+    }
+    (frames, None)
+}
+
+/// Append the durable encoding of one agreed round to `buf`:
+/// `round: u64 le`, `count: u32 le`, then per message `origin: u32 le`,
+/// `len: u32 le`, payload bytes — origin order exactly as delivered (the
+/// deterministic order every correct server agrees on).
+pub fn encode_delivery(delivery: &Delivery, buf: &mut Vec<u8>) {
+    buf.put_u64_le(delivery.round);
+    buf.put_u32_le(delivery.messages.len() as u32);
+    for (origin, payload) in &delivery.messages {
+        buf.put_u32_le(*origin);
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(payload);
+    }
+}
+
+/// Decode one [`encode_delivery`] record. The input must be exactly one
+/// record (frames carry one delivery each).
+pub fn decode_delivery(bytes: &[u8]) -> Result<Delivery, FrameError> {
+    let mut buf = bytes;
+    let round = take_u64(&mut buf)?;
+    let count = take_u32(&mut buf)? as usize;
+    let mut messages = Vec::with_capacity(count);
+    for _ in 0..count {
+        let origin: ServerId = take_u32(&mut buf)?;
+        let len = take_u32(&mut buf)? as usize;
+        if buf.len() < len {
+            return Err(FrameError::Truncated);
+        }
+        messages.push((origin, Bytes::copy_from_slice(&buf[..len])));
+        buf = &buf[len..];
+    }
+    if !buf.is_empty() {
+        return Err(FrameError::Corrupt);
+    }
+    Ok(Delivery { round: round as Round, messages })
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, FrameError> {
+    if buf.len() < 4 {
+        return Err(FrameError::Truncated);
+    }
+    let v = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, FrameError> {
+    if buf.len() < 8 {
+        return Err(FrameError::Truncated);
+    }
+    let v = u64::from_le_bytes([buf[0], buf[1], buf[2], buf[3], buf[4], buf[5], buf[6], buf[7]]);
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"alpha");
+        put_frame(&mut buf, b"");
+        put_frame(&mut buf, b"gamma-delta");
+        let (frames, end) = scan_frames(&buf);
+        assert_eq!(frames, vec![&b"alpha"[..], &b""[..], &b"gamma-delta"[..]]);
+        assert_eq!(end, None);
+    }
+
+    #[test]
+    fn torn_tail_detected_at_every_truncation() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"first");
+        let keep = buf.len();
+        put_frame(&mut buf, b"second-frame");
+        // Every strict prefix of the last frame yields exactly the first
+        // frame plus a tail classification — never a bogus frame.
+        for cut in keep..buf.len() {
+            let (frames, end) = scan_frames(&buf[..cut]);
+            assert_eq!(frames, vec![&b"first"[..]], "cut at {cut}");
+            assert!(end.is_some(), "cut at {cut} must flag the tail");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, b"first");
+        put_frame(&mut buf, b"second");
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let (frames, end) = scan_frames(&buf);
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(end, Some((FrameError::Corrupt, _))));
+    }
+
+    #[test]
+    fn delivery_round_trips() {
+        let d = Delivery {
+            round: 42,
+            messages: vec![
+                (0, Bytes::from_static(b"a")),
+                (3, Bytes::new()),
+                (7, Bytes::from_static(b"payload")),
+            ],
+        };
+        let mut buf = Vec::new();
+        encode_delivery(&d, &mut buf);
+        assert_eq!(decode_delivery(&buf).unwrap(), d);
+        // Truncations and trailing garbage are rejected, not mis-read.
+        assert!(decode_delivery(&buf[..buf.len() - 1]).is_err());
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(decode_delivery(&long).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Durability tuning knobs.
+
+use std::time::Duration;
+
+/// Group-commit and layout policy for one server's write-ahead log.
+///
+/// Group commit trades the durable-acknowledgment lag of a command for
+/// fsync amortisation: the WAL appends every agreed round immediately
+/// but only forces the disk every [`fsync_every_n_rounds`] rounds (or
+/// when [`fsync_interval`] has elapsed since the last forced sync,
+/// whichever comes first). A crash loses at most the unsynced tail —
+/// and the `Service` layer withholds typed responses until the round is
+/// durable on at least one server, so *acknowledged* commands are never
+/// in that tail.
+///
+/// [`fsync_every_n_rounds`]: DurabilityConfig::fsync_every_n_rounds
+/// [`fsync_interval`]: DurabilityConfig::fsync_interval
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Force an fsync after this many appended rounds (group commit).
+    /// `1` syncs every round (durable ack per round, slowest); `0`
+    /// disables count-based syncing entirely — only
+    /// [`DurabilityConfig::fsync_interval`], idle flushes, and epoch
+    /// boundaries force the disk.
+    pub fsync_every_n_rounds: u64,
+    /// Upper bound on how long appended rounds may stay unsynced, as
+    /// wall-clock time since the last forced sync. `None` disables the
+    /// time-based trigger — deterministic runs (the nemesis executor)
+    /// use count-based group commit only, so the set of durable rounds
+    /// at a crash point is a pure function of the schedule.
+    pub fsync_interval: Option<Duration>,
+    /// Rotate to a fresh log segment once the active one exceeds this
+    /// many bytes. Bounds the blast radius of a torn tail and the unit
+    /// of post-snapshot truncation.
+    pub segment_bytes: usize,
+    /// Write a durable snapshot and truncate fully-covered segments
+    /// every this many appended rounds (`0` = only at epoch
+    /// boundaries). Checkpoints bound both log length and the size of a
+    /// catch-up transfer: a lagging server streams `snapshot at R +
+    /// log suffix (R, tip]`, never the whole history.
+    pub checkpoint_every_rounds: u64,
+    /// Bound on one chunk of an incremental catch-up transfer (snapshot
+    /// bytes and log-suffix bytes are both split at this granularity).
+    pub catchup_chunk_bytes: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            fsync_every_n_rounds: 8,
+            fsync_interval: Some(Duration::from_millis(5)),
+            segment_bytes: 1 << 20,
+            checkpoint_every_rounds: 1024,
+            catchup_chunk_bytes: 64 << 10,
+        }
+    }
+}
+
+impl DurabilityConfig {
+    /// A fully deterministic profile for simulated runs: count-based
+    /// group commit only (no wall-clock trigger), so which rounds are
+    /// durable at any crash point replays exactly.
+    pub fn deterministic(fsync_every_n_rounds: u64) -> Self {
+        DurabilityConfig {
+            fsync_every_n_rounds,
+            fsync_interval: None,
+            ..DurabilityConfig::default()
+        }
+    }
+}

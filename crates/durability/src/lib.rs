@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! # allconcur-durability — write-ahead log, crash recovery, catch-up
+//!
+//! AllConcur agrees on a totally ordered stream of rounds; this crate
+//! makes that stream survive power loss. Each server owns a
+//! [`wal::Wal`] over a [`disk::VirtualDisk`]:
+//!
+//! * **Logging** — every agreed round is appended as a checksummed,
+//!   length-prefixed frame *before* it is A-delivered to the state
+//!   machine, with fsync-batched group commit
+//!   ([`config::DurabilityConfig`]), segment rotation, and truncation
+//!   after snapshots.
+//! * **Recovery** — [`wal::Wal::recover`] rebuilds a server from its
+//!   newest durable snapshot plus the longest checksummed contiguous
+//!   log suffix, classifying and trimming torn tail writes.
+//! * **Catch-up** — [`catchup::CatchupSource`] / [`catchup::CatchupSink`]
+//!   stream `snapshot-at-R + suffix (R, tip]` in bounded chunks, so a
+//!   rejoining or lagging server transfers only what its own log does
+//!   not cover.
+//!
+//! The disk layer is virtualised: [`disk::MemDisk`] keeps simulated
+//! runs deterministic and lets the nemesis harness inject byte-exact
+//! torn writes and disk-slow fsync spikes; [`disk::FileDisk`] backs
+//! real deployments with ordinary files. The `Service` layer in
+//! `allconcur-rsm` composes these into durable acknowledgment: a
+//! command's typed response is withheld until its round is fsynced on
+//! at least one server.
+
+pub mod catchup;
+pub mod config;
+pub mod disk;
+pub mod wal;
+
+pub use catchup::{CatchupPayload, CatchupSink, CatchupSource};
+pub use config::DurabilityConfig;
+pub use disk::{DurabilityStore, FileDisk, MemDisk, VirtualDisk};
+pub use wal::{Recovered, TornTail, Wal};

@@ -24,7 +24,7 @@
 
 use allconcur_core::batch::iter_batch;
 use allconcur_core::delivery::Delivery;
-use allconcur_core::replica::{Codec, KvCodec, KvCommand};
+use allconcur_core::replica::{Codec, KvCodec, KvCommand, KvStore};
 use allconcur_core::ServerId;
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet};
@@ -106,6 +106,13 @@ pub enum PropertyViolation {
         /// The other diverging server.
         b: ServerId,
     },
+    /// Durability: a command whose typed response was durably
+    /// acknowledged before a whole-cluster crash is absent from the
+    /// recovered state.
+    AcknowledgedLost {
+        /// The lost command id.
+        uid: u64,
+    },
 }
 
 impl std::fmt::Display for PropertyViolation {
@@ -137,6 +144,11 @@ impl std::fmt::Display for PropertyViolation {
             PropertyViolation::SnapshotDivergence { a, b } => {
                 write!(f, "replica snapshots diverged between servers {a} and {b}")
             }
+            PropertyViolation::AcknowledgedLost { uid } => write!(
+                f,
+                "durability violated: command {uid:#x} was acknowledged before the crash but is \
+                 missing from the recovered state"
+            ),
         }
     }
 }
@@ -228,6 +240,22 @@ impl PropertyChecker {
             if !seen.contains(&uid) {
                 let origin = record.submitted.get(&uid).copied().unwrap_or(0);
                 return Err(PropertyViolation::ResolvedNotDelivered { epoch, uid, origin });
+            }
+        }
+        Ok(())
+    }
+
+    /// The no-lost-acknowledged-command property: after a whole-cluster
+    /// crash and recovery, every command id whose typed response was
+    /// durably acknowledged before the crash must still be present in
+    /// the recovered state (keyed as [`uid_command`] writes it).
+    pub fn check_recovered_acks(
+        acked: &BTreeSet<u64>,
+        state: &KvStore,
+    ) -> Result<(), PropertyViolation> {
+        for &uid in acked {
+            if state.get_local(&uid.to_le_bytes()).is_none() {
+                return Err(PropertyViolation::AcknowledgedLost { uid });
             }
         }
         Ok(())
@@ -350,6 +378,20 @@ mod tests {
         match PropertyChecker::check_epoch(&rec) {
             Err(PropertyViolation::RoundGap { round: 5, .. }) => {}
             other => panic!("expected RoundGap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acknowledged_loss_detected() {
+        use allconcur_core::replica::StateMachine;
+        let mut kv = KvStore::default();
+        kv.apply(0, uid_command(1));
+        let acked: BTreeSet<u64> = [1].into();
+        PropertyChecker::check_recovered_acks(&acked, &kv).unwrap();
+        let acked: BTreeSet<u64> = [1, 2].into();
+        match PropertyChecker::check_recovered_acks(&acked, &kv) {
+            Err(PropertyViolation::AcknowledgedLost { uid: 2 }) => {}
+            other => panic!("expected AcknowledgedLost, got {other:?}"),
         }
     }
 

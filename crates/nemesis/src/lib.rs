@@ -18,7 +18,13 @@
 //!   convergence, after **every** scenario;
 //! * [`Scenario`] — seeded composition of topology × round window ×
 //!   plan: `Scenario::generate(seed)` is fully deterministic, so any CI
-//!   failure replays byte-for-byte from its printed seed.
+//!   failure replays byte-for-byte from its printed seed;
+//! * durability nemesis — [`Scenario::generate_durability`] schedules
+//!   whole-cluster power losses with byte-exact torn tail writes and
+//!   disk-slow fsync spikes against WAL-backed deployments, recovers
+//!   them from the logs alone, and asserts the
+//!   no-lost-acknowledged-command property
+//!   ([`PropertyViolation::AcknowledgedLost`]) after every recovery.
 //!
 //! ```
 //! use allconcur_nemesis::Scenario;

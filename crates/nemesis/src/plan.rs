@@ -39,6 +39,31 @@ pub enum NemesisAction {
         /// The suspected server.
         suspect: ServerId,
     },
+    /// Power-fail the **whole deployment** at once, then recover it from
+    /// its write-ahead logs alone. Requires a durability-enabled
+    /// scenario ([`crate::Scenario::generate_durability`]) and a
+    /// rebuildable backend (`run_sim`); the executor accounts every
+    /// outstanding command at the crash instant (durably acknowledged →
+    /// resolved, anything else → a typed loss), injects the scheduled
+    /// torn writes, crashes every virtual disk (unsynced bytes vanish),
+    /// and rebuilds the service with `Service::recover`.
+    KillAllAndRecover {
+        /// Torn-write injection: for each `(server, keep)`, every WAL
+        /// segment with unsynced bytes on that server's disk keeps only
+        /// `keep % unsynced_len` bytes of its unsynced tail — a
+        /// byte-exact partial write for recovery to trim.
+        torn: Vec<(ServerId, u64)>,
+    },
+    /// Toggle a disk-slow fault on `server`: while on, its fsyncs stall
+    /// (`sync` completes nothing), so the server's durable watermark
+    /// freezes while appends continue — group commit must ride the
+    /// other servers' disks.
+    DiskSlow {
+        /// The server whose disk stalls.
+        server: ServerId,
+        /// `true` to stall fsyncs, `false` to restore them.
+        on: bool,
+    },
 }
 
 /// A schedule of nemesis actions keyed by workload tick (applied before

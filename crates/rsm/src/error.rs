@@ -42,6 +42,11 @@ pub enum ServiceError {
         /// The budget that elapsed.
         waited: Duration,
     },
+    /// The durability layer failed: a write-ahead-log append, sync,
+    /// checkpoint, recovery scan, or catch-up transfer reported an
+    /// error. Agreement itself is unaffected, but durable
+    /// acknowledgments cannot be given.
+    Durability(std::io::Error),
 }
 
 /// How an unresolved command failed — the lightweight, copyable record
@@ -78,6 +83,7 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "command outstanding across a reconfiguration")
             }
             ServiceError::Timeout { waited } => write!(f, "no response within {waited:?}"),
+            ServiceError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -87,6 +93,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Rsm(e) => Some(e),
             ServiceError::Cluster(e) => Some(e),
+            ServiceError::Durability(e) => Some(e),
             _ => None,
         }
     }

@@ -60,5 +60,6 @@ pub use allconcur_cluster::Cluster;
 pub use allconcur_core::replica::{
     Codec, DecodeError, KvCodec, KvCommand, KvResponse, KvStore, Replica, RsmError, StateMachine,
 };
+pub use allconcur_durability::{DurabilityConfig, DurabilityStore};
 pub use error::ServiceError;
-pub use service::{CommandHandle, Service};
+pub use service::{CommandHandle, RecoveryReport, Service};

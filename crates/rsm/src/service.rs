@@ -24,9 +24,13 @@ use allconcur_cluster::{Cluster, ClusterError};
 use allconcur_core::delivery::Delivery;
 use allconcur_core::replica::{Codec, Replica, StateMachine};
 use allconcur_core::{Round, ServerId};
+use allconcur_durability::{
+    CatchupSink, CatchupSource, DurabilityConfig, DurabilityStore, TornTail, VirtualDisk, Wal,
+};
 use allconcur_graph::Digraph;
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
+use std::io;
 use std::marker::PhantomData;
 use std::time::{Duration, Instant};
 
@@ -57,6 +61,64 @@ impl PendingBatch {
         self.buf.clear();
         (payload, std::mem::take(&mut self.seqs))
     }
+}
+
+/// The durable-acknowledgment engine of a [`Service`]: one write-ahead
+/// log per server plus the harvested responses withheld until their
+/// round can no longer be lost to a whole-cluster power failure.
+///
+/// A round is *durably acknowledged* once it is below the fsync
+/// watermark of **at least one** server's WAL: uniform agreement makes
+/// every server's durable log a prefix of the one agreed history, and
+/// [`Service::recover`] rebuilds from the longest durable prefix across
+/// all disks — so one durable copy is enough for the acknowledgment to
+/// survive even a kill-everyone crash.
+struct Durability<R> {
+    cfg: DurabilityConfig,
+    /// Configuration epoch: bumped at every recovery/reconfiguration,
+    /// tagged into every WAL frame (rounds restart at zero per epoch).
+    epoch: u64,
+    /// One WAL per server, indexed by [`ServerId`].
+    wals: Vec<Wal>,
+    /// Harvested typed responses awaiting durability, per round in
+    /// round order.
+    pending: VecDeque<WithheldRound<R>>,
+}
+
+/// One round's harvested responses withheld until the round is durable:
+/// `(round, [(origin, seq, response)])`.
+type WithheldRound<R> = (Round, Vec<(ServerId, u64, R)>);
+
+impl<R> Durability<R> {
+    /// Highest round durable on at least one server.
+    fn durable_tip(&self) -> Round {
+        self.wals.iter().map(Wal::durable_rounds).max().unwrap_or(0)
+    }
+}
+
+/// What [`Service::recover`] reconstructed and how — returned alongside
+/// the recovered service so operators (and the nemesis harness) can
+/// verify the crash was absorbed as designed.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// The fresh configuration epoch the recovered deployment runs in.
+    pub epoch: u64,
+    /// Agreed rounds reconstructed from the most advanced durable log.
+    pub recovered_rounds: Round,
+    /// Torn tail writes found (and trimmed) per server.
+    pub torn: Vec<(ServerId, TornTail)>,
+    /// Servers whose own log already reached the reference snapshot, so
+    /// they caught up from log frames alone — no state copy.
+    pub frames_only: Vec<ServerId>,
+    /// Servers that needed the reference snapshot streamed (their log
+    /// did not cover it: older epoch, torn too far back, or fresh disk).
+    pub snapshot_catchup: Vec<ServerId>,
+    /// Total bounded chunks streamed across all catch-up transfers.
+    pub catchup_chunks: usize,
+}
+
+fn dur_err(e: io::Error) -> ServiceError {
+    ServiceError::Durability(e)
 }
 
 /// `Instant::now() + timeout` that survives `Duration::MAX`.
@@ -160,6 +222,11 @@ pub struct Service<S: StateMachine> {
     /// A-delivery streams an external property checker (the nemesis
     /// harness) verifies the atomic-broadcast properties against.
     delivery_log: Option<Vec<(ServerId, Delivery)>>,
+    /// Durable acknowledgment, when constructed with
+    /// [`Service::with_durability`] / [`Service::recover`]: per-server
+    /// WALs plus responses withheld until their round is fsynced
+    /// somewhere. `None` keeps the original memory-only semantics.
+    durability: Option<Durability<S::Response>>,
 }
 
 /// Minimum rounds of decoded commands kept in [`Service`]'s share cache;
@@ -191,7 +258,177 @@ impl<S: StateMachine> Service<S> {
             failed: BTreeMap::new(),
             decoded: BTreeMap::new(),
             delivery_log: None,
+            durability: None,
         })
+    }
+
+    /// Start a replicated `initial` state with durable acknowledgment:
+    /// one write-ahead log per server on the matching disk of `store`,
+    /// group-committed per `cfg`. Every agreed round is logged *before*
+    /// it is applied, and a command's typed response is withheld until
+    /// its round is fsynced on at least one server — after which it
+    /// survives even a whole-cluster power failure (see
+    /// [`Service::recover`]).
+    pub fn with_durability(
+        cluster: Cluster,
+        initial: &S,
+        store: DurabilityStore,
+        cfg: DurabilityConfig,
+    ) -> Result<Self, ServiceError> {
+        let n = cluster.n();
+        if store.len() != n {
+            return Err(dur_err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("store has {} disks for {n} servers", store.len()),
+            )));
+        }
+        let mut service = Service::new(cluster, initial)?;
+        let snap = initial.snapshot();
+        let mut wals = Vec::with_capacity(n);
+        for disk in store.into_disks() {
+            wals.push(Wal::create(disk, cfg.clone(), &snap).map_err(dur_err)?);
+        }
+        service.durability = Some(Durability { cfg, epoch: 0, wals, pending: VecDeque::new() });
+        Ok(service)
+    }
+
+    /// Rebuild a deployment from its per-server disks after a crash —
+    /// even of every server at once.
+    ///
+    /// Each disk is recovered independently ([`Wal::recover`]): newest
+    /// valid snapshot plus the longest checksummed contiguous log
+    /// suffix, torn tail writes trimmed. The server with the highest
+    /// epoch and most durable rounds defines the authoritative history
+    /// (uniform agreement makes every durable log a prefix of it); all
+    /// other servers catch up **incrementally** — a server whose own
+    /// log reaches the reference snapshot point streams only the log
+    /// frames it lacks, everyone else streams `snapshot + suffix` — in
+    /// bounded chunks ([`DurabilityConfig::catchup_chunk_bytes`]).
+    /// Finally every WAL starts a fresh epoch at the settled state, and
+    /// the returned service agrees rounds from zero again.
+    ///
+    /// `initial` is only consulted for never-initialised disks (a
+    /// first-boot recovery); `cluster` must be a freshly built
+    /// deployment of the same `n` as `store`.
+    pub fn recover(
+        cluster: Cluster,
+        initial: &S,
+        store: DurabilityStore,
+        cfg: DurabilityConfig,
+    ) -> Result<(Self, RecoveryReport), ServiceError> {
+        let n = cluster.n();
+        if store.len() != n {
+            return Err(dur_err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("store has {} disks for {n} servers", store.len()),
+            )));
+        }
+        let mut wals = Vec::with_capacity(n);
+        let mut recs = Vec::with_capacity(n);
+        for disk in store.into_disks() {
+            let (wal, rec) = Wal::recover(disk, cfg.clone()).map_err(dur_err)?;
+            wals.push(wal);
+            recs.push(rec);
+        }
+        let mut report = RecoveryReport::default();
+        for (s, rec) in recs.iter().enumerate() {
+            if let Some(torn) = rec.torn.clone() {
+                report.torn.push((s as ServerId, torn));
+            }
+        }
+
+        // The authoritative durable history: highest epoch, then most
+        // durable rounds. Every other durable log is a prefix of it.
+        let top_epoch = recs.iter().map(|r| r.epoch).max().unwrap_or(0);
+        let reference = (0..n)
+            .filter(|&s| recs[s].epoch == top_epoch)
+            .max_by_key(|&s| recs[s].tip())
+            .expect("n >= 1");
+        let base = recs[reference].snapshot_covers;
+        let tip = recs[reference].tip();
+        report.recovered_rounds = tip;
+        let initial_snap = initial.snapshot();
+        let reference_snapshot: &[u8] = match &recs[reference].snapshot {
+            Some(bytes) => bytes,
+            None => &initial_snap, // never-initialised disks: first boot
+        };
+
+        // Rebuild every server's state at `tip` via the chunked
+        // catch-up protocol, transferring only what its own log does
+        // not cover.
+        let mut states: Vec<Bytes> = Vec::with_capacity(n);
+        for s in 0..n {
+            let own_tip = recs[s].tip();
+            let frames_only = s == reference
+                || (recs[s].epoch == top_epoch && recs[s].snapshot.is_some() && own_tip >= base);
+            let (snap, from, suffix): (Option<&[u8]>, Round, &[Delivery]) = if frames_only {
+                // The server's own log reaches the reference snapshot
+                // point: stream just the rounds past its tip.
+                (None, own_tip, &recs[reference].suffix[(own_tip - base) as usize..])
+            } else {
+                report.snapshot_catchup.push(s as ServerId);
+                (Some(reference_snapshot), base, &recs[reference].suffix[..])
+            };
+            if frames_only && s != reference {
+                report.frames_only.push(s as ServerId);
+            }
+            let mut sink = CatchupSink::new();
+            for chunk in CatchupSource::new(snap, from, suffix, cfg.catchup_chunk_bytes) {
+                report.catchup_chunks += 1;
+                sink.accept(&chunk).map_err(dur_err)?;
+            }
+            let payload = sink.finish().map_err(dur_err)?;
+
+            let mut replica: Replica<S> = if frames_only {
+                // Start from the server's own durable state...
+                let own_snapshot: &[u8] = match &recs[s].snapshot {
+                    Some(bytes) => bytes,
+                    None => &initial_snap,
+                };
+                let mut replica = Replica::from_snapshot(own_snapshot)?;
+                for delivery in &recs[s].suffix {
+                    replica.apply_round(delivery.round, &delivery.messages, true)?;
+                }
+                replica
+            } else {
+                let snapshot = payload.snapshot.as_deref().unwrap_or(&initial_snap);
+                Replica::from_snapshot(snapshot)?
+            };
+            // ...then replay the streamed suffix on top.
+            for delivery in &payload.suffix {
+                replica.apply_round(delivery.round, &delivery.messages, true)?;
+            }
+            states.push(replica.snapshot());
+        }
+
+        // Settle the disks: fresh epoch, fresh snapshot, logs truncated.
+        let new_epoch = top_epoch + 1;
+        report.epoch = new_epoch;
+        for (s, wal) in wals.iter_mut().enumerate() {
+            wal.begin_epoch(new_epoch, &states[s]).map_err(dur_err)?;
+        }
+
+        let replicas = states
+            .iter()
+            .map(|snap| Replica::from_snapshot(snap))
+            .collect::<Result<Vec<_>, _>>()?;
+        let service = Service {
+            cluster,
+            codec: S::Codec::default(),
+            replicas,
+            queues: (0..n).map(|_| PendingBatch::default()).collect(),
+            flights: vec![VecDeque::new(); n],
+            next_seq: vec![0; n],
+            flushed: 0,
+            harvested: 0,
+            pipeline: 1,
+            resolved: (0..n).map(|_| VecDeque::new()).collect(),
+            failed: BTreeMap::new(),
+            decoded: BTreeMap::new(),
+            delivery_log: None,
+            durability: Some(Durability { cfg, epoch: new_epoch, wals, pending: VecDeque::new() }),
+        };
+        Ok((service, report))
     }
 
     /// Record every ingested delivery for external inspection (off by
@@ -370,6 +607,17 @@ impl<S: StateMachine> Service<S> {
             if let Some(reason) = self.failed.remove(&key) {
                 return Err(reason.into());
             }
+            // Commit wait: the response is harvested but withheld for
+            // durability — force the group commit early rather than
+            // stall a blocked client behind the fsync batching window.
+            if self.durable_ack_withheld(handle.origin, handle.seq) {
+                self.flush_durability()?;
+                if let Some(response) = self.take_resolved(handle.origin, handle.seq) {
+                    return Ok(response);
+                }
+                // Not released (disk-slow fault everywhere): fall
+                // through and keep pumping until the budget runs out.
+            }
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(ServiceError::Timeout { waited: timeout });
@@ -437,6 +685,12 @@ impl<S: StateMachine> Service<S> {
         loop {
             self.fail_dead_queued();
             self.flush_if_ready()?;
+            // A barrier settles durability too: force the group commit
+            // so withheld acknowledgments release (no-op when every
+            // pending round is already durable somewhere).
+            if self.durability.as_ref().is_some_and(|d| !d.pending.is_empty()) {
+                self.flush_durability()?;
+            }
             if self.is_quiescent() {
                 return Ok(());
             }
@@ -484,8 +738,48 @@ impl<S: StateMachine> Service<S> {
         let snap = self.replicas[source as usize].snapshot();
         self.cluster.reconfigure(graph)?;
         let n = self.cluster.n();
-        self.replicas =
-            (0..n).map(|_| Replica::from_snapshot(&snap)).collect::<Result<Vec<_>, _>>()?;
+        if let Some(d) = &self.durability {
+            if d.wals.len() != n {
+                return Err(dur_err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!(
+                        "reconfiguring {} durable servers to {n}: provision disks and recover \
+                         instead (membership size changes need one disk per server)",
+                        d.wals.len()
+                    ),
+                )));
+            }
+            // Rejoining servers receive the settled state through the
+            // chunked catch-up protocol — bounded chunks, one sink per
+            // server — instead of one whole-snapshot hand-off.
+            let chunk_bytes = d.cfg.catchup_chunk_bytes;
+            let chunks: Vec<Vec<u8>> =
+                CatchupSource::new(Some(&snap), self.harvested, &[], chunk_bytes).collect();
+            let mut replicas = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut sink = CatchupSink::new();
+                for chunk in &chunks {
+                    sink.accept(chunk).map_err(dur_err)?;
+                }
+                let payload = sink.finish().map_err(dur_err)?;
+                let state = payload.snapshot.unwrap_or_default();
+                replicas.push(Replica::from_snapshot(&state)?);
+            }
+            self.replicas = replicas;
+        } else {
+            self.replicas =
+                (0..n).map(|_| Replica::from_snapshot(&snap)).collect::<Result<Vec<_>, _>>()?;
+        }
+        // Settle every WAL at the new configuration: fresh epoch, fresh
+        // snapshot of the agreed state, old segments truncated. Rounds
+        // restart at zero on disk exactly as they do in flight.
+        if let Some(d) = self.durability.as_mut() {
+            let new_epoch = d.epoch + 1;
+            for wal in &mut d.wals {
+                wal.begin_epoch(new_epoch, &snap).map_err(dur_err)?;
+            }
+            d.epoch = new_epoch;
+        }
         // Defensive: anything still unflushed or in flight (sync can
         // only leave residue behind a dead origin) fails typed.
         for origin in 0..self.queues.len() {
@@ -537,6 +831,66 @@ impl<S: StateMachine> Service<S> {
     pub fn shutdown(self) -> Result<(), ServiceError> {
         self.cluster.shutdown()?;
         Ok(())
+    }
+
+    // ---- durability surface -----------------------------------------------
+
+    /// The active durability policy, when durable acknowledgment is on.
+    pub fn durability_config(&self) -> Option<&DurabilityConfig> {
+        self.durability.as_ref().map(|d| &d.cfg)
+    }
+
+    /// Current configuration epoch of the durable logs (bumped at every
+    /// recovery and reconfiguration), when durability is on.
+    pub fn durability_epoch(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.epoch)
+    }
+
+    /// Highest round durable on at least one server — the point a
+    /// whole-cluster crash cannot roll acknowledgments behind. `None`
+    /// without durability.
+    pub fn durable_rounds(&self) -> Option<Round> {
+        self.durability.as_ref().map(Durability::durable_tip)
+    }
+
+    /// Server `id`'s write-ahead log, when durability is on.
+    pub fn wal(&self, id: ServerId) -> Option<&Wal> {
+        self.durability.as_ref().and_then(|d| d.wals.get(id as usize))
+    }
+
+    /// Server `id`'s disk, for fault injection and inspection (e.g.
+    /// downcasting to [`allconcur_durability::MemDisk`] to inject a
+    /// torn write or a disk-slow fsync spike).
+    pub fn wal_disk_mut(&mut self, id: ServerId) -> Option<&mut dyn VirtualDisk> {
+        self.durability.as_mut().and_then(|d| d.wals.get_mut(id as usize)).map(Wal::disk_mut)
+    }
+
+    /// Force the group commit now on every server whose WAL has
+    /// unsynced rounds, then release any acknowledgments that became
+    /// durable. No-op without durability; under a disk-slow fault the
+    /// affected server's watermark simply does not advance.
+    pub fn flush_durability(&mut self) -> Result<(), ServiceError> {
+        if let Some(d) = self.durability.as_mut() {
+            for wal in &mut d.wals {
+                if wal.unsynced_rounds() > 0 {
+                    wal.sync().map_err(dur_err)?;
+                }
+            }
+        }
+        self.release_durable();
+        Ok(())
+    }
+
+    /// Tear the deployment down but keep the disks: what a crash leaves
+    /// behind, handed back for [`Service::recover`]. Returns `None` if
+    /// the service ran without durability. No final fsync is forced —
+    /// unsynced tail rounds are genuinely at the disk model's mercy,
+    /// exactly as in a real power loss.
+    pub fn shutdown_into_store(self) -> Result<Option<DurabilityStore>, ServiceError> {
+        self.cluster.shutdown()?;
+        Ok(self
+            .durability
+            .map(|d| DurabilityStore::from_disks(d.wals.into_iter().map(Wal::into_disk).collect())))
     }
 
     // ---- engine internals -------------------------------------------------
@@ -629,6 +983,12 @@ impl<S: StateMachine> Service<S> {
         if let Some(log) = &mut self.delivery_log {
             log.push((at, delivery.clone()));
         }
+        // Durable A-delivery: the agreed round hits this server's WAL
+        // *before* its replica applies it, so any state a crash
+        // preserves is covered by the log (never the other way around).
+        if let Some(d) = self.durability.as_mut() {
+            d.wals[at as usize].append(&delivery).map_err(dur_err)?;
+        }
         let round = delivery.round;
         let harvest = round == self.harvested;
         if !self.decoded.contains_key(&round) {
@@ -645,7 +1005,9 @@ impl<S: StateMachine> Service<S> {
             // again just for this replica.
             None => self.replicas[at as usize].apply_round(round, &delivery.messages, true)?,
         };
+        self.maybe_checkpoint(at)?;
         if !harvest {
+            self.release_durable();
             return Ok(()); // a later replica catching up on a harvested round
         }
         self.harvested += 1;
@@ -653,6 +1015,7 @@ impl<S: StateMachine> Service<S> {
         // delivery is origin-ascending and batches unpack in push
         // order), so a single linear walk correlates them against the
         // per-origin flights — no intermediate grouping map.
+        let mut round_acks: Vec<(ServerId, u64, S::Response)> = Vec::new();
         let mut outputs = outputs.into_iter().peekable();
         for origin in 0..self.flights.len() as ServerId {
             let this_round =
@@ -674,7 +1037,7 @@ impl<S: StateMachine> Service<S> {
                 // Sequences are monotone per origin, so this stays the
                 // ascending order `take_resolved`'s binary search needs.
                 for (seq, response) in seqs.into_iter().zip(responses) {
-                    self.resolved[origin as usize].push_back((seq, response));
+                    round_acks.push((origin, seq, response));
                 }
             } else {
                 // The round was agreed without (or with a displaced
@@ -685,6 +1048,55 @@ impl<S: StateMachine> Service<S> {
                     self.failed.insert((origin, seq), FailReason::CommandLost { origin, seq });
                 }
             }
+        }
+        // Acknowledgment: immediate without durability; with it, typed
+        // responses wait for their round's group commit somewhere.
+        // (Failures above stay immediate — they are not acknowledgments
+        // and carry no durability promise.)
+        match self.durability.as_mut() {
+            Some(d) if !round_acks.is_empty() => d.pending.push_back((round, round_acks)),
+            _ => {
+                for (origin, seq, response) in round_acks {
+                    self.resolved[origin as usize].push_back((seq, response));
+                }
+            }
+        }
+        self.release_durable();
+        Ok(())
+    }
+
+    /// Move every withheld acknowledgment whose round is durable on at
+    /// least one server into the redeemable responses.
+    fn release_durable(&mut self) {
+        let Some(d) = self.durability.as_mut() else { return };
+        let durable = d.durable_tip();
+        while d.pending.front().is_some_and(|&(round, _)| round < durable) {
+            let (_, acks) = d.pending.pop_front().expect("front checked");
+            for (origin, seq, response) in acks {
+                self.resolved[origin as usize].push_back((seq, response));
+            }
+        }
+    }
+
+    /// Whether `(origin, seq)`'s response is harvested but withheld
+    /// pending durability.
+    fn durable_ack_withheld(&self, origin: ServerId, seq: u64) -> bool {
+        self.durability.as_ref().is_some_and(|d| {
+            d.pending.iter().any(|(_, acks)| acks.iter().any(|&(o, s, _)| o == origin && s == seq))
+        })
+    }
+
+    /// Checkpoint server `at`'s WAL if it accumulated
+    /// [`DurabilityConfig::checkpoint_every_rounds`] since the last
+    /// snapshot: durable snapshot of the replica's state, fully-covered
+    /// segments truncated. Abandoned harmlessly under a disk-slow fault.
+    fn maybe_checkpoint(&mut self, at: ServerId) -> Result<(), ServiceError> {
+        let Some(d) = self.durability.as_mut() else { return Ok(()) };
+        let wal = &mut d.wals[at as usize];
+        let every = wal.config().checkpoint_every_rounds;
+        if every > 0 && wal.appended_rounds() - wal.snapshot_covers() >= every {
+            let snap = self.replicas[at as usize].snapshot();
+            wal.checkpoint(&snap).map_err(dur_err)?;
         }
         Ok(())
     }
@@ -697,6 +1109,7 @@ impl<S: StateMachine> Service<S> {
         let replicas_current = (0..self.cluster.n() as ServerId)
             .filter(|&id| self.cluster.is_live(id))
             .all(|id| self.replicas[id as usize].last_round() == expected_last);
-        queues_empty && flights_empty && replicas_current
+        let acks_released = self.durability.as_ref().is_none_or(|d| d.pending.is_empty());
+        queues_empty && flights_empty && replicas_current && acks_released
     }
 }

@@ -18,6 +18,12 @@
 //! * [`rsm`] — the typed [`rsm::Service`] layer: replicated state
 //!   machines with typed commands/responses, snapshot catch-up, and
 //!   linearizable reads (§1's coordination services);
+//! * [`durability`] — per-server write-ahead log with group commit,
+//!   crash recovery from disk (whole-cluster power loss included), and
+//!   chunked incremental catch-up; enable it with
+//!   [`rsm::Service::with_durability`] and a `DurabilityConfig` — typed
+//!   responses then become *durable* acknowledgments, withheld until
+//!   the command's round is fsynced on at least one server;
 //! * [`nemesis`] — deterministic fault-injection scenarios (partitions,
 //!   loss, delay spikes, crash-restart churn) with an always-on
 //!   atomic-broadcast property checker, replayable from a single seed;
@@ -76,6 +82,7 @@
 pub use allconcur_baselines as baselines;
 pub use allconcur_cluster as cluster;
 pub use allconcur_core as core;
+pub use allconcur_durability as durability;
 pub use allconcur_graph as graph;
 pub use allconcur_nemesis as nemesis;
 pub use allconcur_net as net;
@@ -97,13 +104,16 @@ pub mod prelude {
         server::{Action, Event, Server},
         ServerId,
     };
+    pub use allconcur_durability::{
+        DurabilityConfig, DurabilityStore, FileDisk, MemDisk, VirtualDisk, Wal,
+    };
     pub use allconcur_graph::{
         binomial::binomial_graph, gs::gs_digraph, Digraph, ReliabilityModel,
     };
     pub use allconcur_nemesis::{
         NemesisAction, NemesisPlan, PropertyChecker, Scenario, ScenarioReport,
     };
-    pub use allconcur_rsm::{CommandHandle, Service, ServiceError};
+    pub use allconcur_rsm::{CommandHandle, RecoveryReport, Service, ServiceError};
     pub use allconcur_sim::{
         harness::{RoundOutcome, SimCluster},
         network::NetworkModel,

@@ -101,6 +101,7 @@ fn scripted_partition_with_pipelined_rounds() {
         class: FaultClass::PartitionHeal,
         plan,
         tick_budget: Duration::from_millis(3),
+        durability: None,
     };
     let report = scenario.run_sim().unwrap_or_else(|e| panic!("scripted partition: {e}"));
     assert_eq!(report.resolved, 12 * 8, "every command resolved across the partition");
@@ -126,6 +127,7 @@ fn scripted_loss_and_reorder_combination() {
         class: FaultClass::MessageLoss,
         plan,
         tick_budget: Duration::from_millis(3),
+        durability: None,
     };
     let report = scenario.run_sim().unwrap_or_else(|e| panic!("loss+reorder: {e}"));
     assert!(report.dropped > 0, "the lossy link saw no traffic");
