@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-cluster — one submit/deliver API over every transport
 //!

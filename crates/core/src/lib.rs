@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-core — the AllConcur protocol (Algorithm 1)
 //!

@@ -508,6 +508,7 @@ impl Server {
     }
 
     /// Feed one event; actions are appended to `out`.
+    // lint:hot_path — every protocol event funnels through here
     pub fn handle_into(&mut self, event: Event, out: &mut Vec<Action>) {
         match event {
             Event::ABroadcast(payload) => self.submit_payload(payload, out),
@@ -864,6 +865,8 @@ impl Server {
     /// forward, scrub tagged servers from every open round, re-check
     /// terminations (cascading deliveries of `Ready` successors), refill
     /// the window from queued payloads, and replay buffered events.
+    // lint:hot_path — the round advance; the one sanctioned allocation is
+    // the pre-sized delivery Vec (see the core_rounds allocator budget)
     fn deliver_and_advance(&mut self, out: &mut Vec<Action>) {
         let mut rs = self.rounds.pop_front().expect("frontier round is always open");
         // Deliver sort(M_i): ascending-origin scan of the dense slots,

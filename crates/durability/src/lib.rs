@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-durability — write-ahead log, crash recovery, catch-up
 //!

@@ -197,18 +197,17 @@ pub fn fault_diameter_bound(g: &Digraph, f: usize) -> Option<(usize, usize)> {
 /// Verify a set of paths is internally vertex-disjoint (shared endpoints
 /// allowed). Exposed for tests and for the simulator's sanity checks.
 pub fn are_vertex_disjoint(paths: &[Vec<NodeId>]) -> bool {
-    let mut seen = std::collections::HashSet::new();
+    // Collect interior vertices and sort: a duplicate shows up as two
+    // equal neighbours. Deterministic, unlike a hash-set membership probe.
+    let mut seen: Vec<NodeId> = Vec::new();
     for p in paths {
         if p.len() < 2 {
             return false;
         }
-        for &v in &p[1..p.len() - 1] {
-            if !seen.insert(v) {
-                return false;
-            }
-        }
+        seen.extend_from_slice(&p[1..p.len() - 1]);
     }
-    true
+    seen.sort_unstable();
+    seen.windows(2).all(|w| w[0] != w[1])
 }
 
 #[cfg(test)]

@@ -93,17 +93,20 @@ pub fn gs_digraph(n: usize, d: usize) -> Result<Digraph, GraphError> {
     // Removed-edge set: M_i = {(x_{i+p}, y_{i+q}) : q = (i+p) mod (d−t+1),
     // 0 ≤ p ≤ d−t}. Collect into a lookup before copying E'.
     let span = d - t + 1; // |X_i| = |Y_i|
-    let mut removed = std::collections::HashSet::new();
+                          // Sorted Vec + binary search: only membership is needed, and a
+                          // hash set's iteration order must never be able to leak anywhere.
+    let mut removed: Vec<(NodeId, NodeId)> = Vec::with_capacity(t * span);
     for i in 0..t {
         for p in 0..span {
             let q = (i + p) % span;
-            removed.insert((xs[i + p], ys[i + q]));
+            removed.push((xs[i + p], ys[i + q]));
         }
     }
+    removed.sort_unstable();
 
     // E' minus the removed matchings.
     for (u_, v_) in line.edges() {
-        if !removed.contains(&(u_, v_)) {
+        if removed.binary_search(&(u_, v_)).is_err() {
             b.add_edge(u_, v_);
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-graph — digraph substrate for AllConcur
 //!

@@ -195,11 +195,14 @@ pub fn strongly_connected_components(g: &Digraph) -> Vec<u32> {
 /// Size of the largest strongly connected component.
 pub fn largest_scc_size(g: &Digraph) -> usize {
     let comp = strongly_connected_components(g);
-    let mut counts = std::collections::HashMap::new();
+    // Component ids are dense (0..#components), so a Vec of counts
+    // tallies them without hash-order dependence.
+    let ncomp = comp.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+    let mut counts = vec![0usize; ncomp];
     for c in comp {
-        *counts.entry(c).or_insert(0usize) += 1;
+        counts[c as usize] += 1;
     }
-    counts.values().copied().max().unwrap_or(0)
+    counts.into_iter().max().unwrap_or(0)
 }
 
 #[cfg(test)]

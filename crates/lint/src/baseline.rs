@@ -1,0 +1,105 @@
+//! The committed baseline of grandfathered violations.
+//!
+//! Format: one tab-separated entry per line —
+//! `rule<TAB>path<TAB>justification<TAB>snippet` — where `snippet` is
+//! the trimmed source line of the violation. Matching is by
+//! `(rule, path, snippet)` multiset, so entries survive line drift but
+//! die loudly when the offending line is edited or removed (a stale
+//! entry fails `--deny-new`, forcing the baseline to shrink honestly).
+//! `#`-prefixed lines and blank lines are comments.
+
+use crate::rules::Violation;
+
+/// One grandfathered entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Why this violation is tolerated.
+    pub justification: String,
+    /// Trimmed source line it matches.
+    pub snippet: String,
+}
+
+/// Parse baseline text. Returns `Err` with a line number on malformed
+/// entries so a corrupted baseline cannot silently allow everything.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, '\t');
+        let (rule, path, justification, snippet) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(p), Some(j), Some(s)) => (r, p, j, s),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected rule<TAB>path<TAB>justification<TAB>snippet",
+                        i + 1
+                    ))
+                }
+            };
+        if justification.trim().is_empty() {
+            return Err(format!("baseline line {}: empty justification", i + 1));
+        }
+        entries.push(Entry {
+            rule: rule.trim().to_string(),
+            path: path.trim().to_string(),
+            justification: justification.trim().to_string(),
+            snippet: snippet.trim().to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Render entries back to baseline text.
+pub fn render(entries: &[Entry]) -> String {
+    let mut out = String::from(
+        "# allconcur-lint baseline — grandfathered violations.\n\
+         # rule<TAB>path<TAB>justification<TAB>snippet (trimmed source line).\n\
+         # Entries must match a live violation exactly; stale entries fail --deny-new.\n",
+    );
+    for e in entries {
+        out.push_str(&format!("{}\t{}\t{}\t{}\n", e.rule, e.path, e.justification, e.snippet));
+    }
+    out
+}
+
+/// Result of diffing live violations against the baseline.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// Violations not covered by any baseline entry (new debt).
+    pub new: Vec<Violation>,
+    /// Violations matched by the baseline (tolerated debt).
+    pub grandfathered: Vec<(Violation, Entry)>,
+    /// Baseline entries that matched nothing (stale — the code moved on
+    /// but the baseline didn't shrink).
+    pub stale: Vec<Entry>,
+}
+
+/// Multiset-match `violations` against `baseline`.
+pub fn diff(violations: Vec<Violation>, baseline: &[Entry]) -> Diff {
+    let mut d = Diff::default();
+    let mut unused: Vec<Option<&Entry>> = baseline.iter().map(Some).collect();
+    for v in violations {
+        let slot = unused.iter_mut().find(|slot| {
+            slot.as_ref()
+                .is_some_and(|e| e.rule == v.rule && e.path == v.path && e.snippet == v.snippet)
+        });
+        match slot {
+            Some(slot) => {
+                let e = slot.take().cloned();
+                if let Some(e) = e {
+                    d.grandfathered.push((v, e));
+                }
+            }
+            None => d.new.push(v),
+        }
+    }
+    d.stale = unused.into_iter().flatten().cloned().collect();
+    d
+}

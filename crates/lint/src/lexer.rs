@@ -1,0 +1,472 @@
+//! A hand-rolled Rust lexer, sufficient for invariant linting.
+//!
+//! There is no crates.io access in this build environment, so no `syn`:
+//! the lexer below tokenises Rust source into identifiers and
+//! punctuation while *correctly skipping* the places where forbidden
+//! names may legally appear — string literals (including raw and byte
+//! strings), char literals (disambiguated from lifetimes), line and
+//! nested block comments — and records the lint control comments
+//! (`// lint:allow(<rule>): <justification>` and `// lint:hot_path`)
+//! it encounters along the way.
+//!
+//! A second pass over the token stream marks `#[cfg(test)]` / `#[test]`
+//! items so rules can exempt test code, and resolves each
+//! `lint:hot_path` marker to the body of the `fn` it precedes.
+
+/// One lexical token: an identifier or a single punctuation character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `{`, `!`, ...).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+}
+
+/// An inline `// lint:allow(<rule>): <justification>` marker.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Line the comment appears on.
+    pub line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification text after the closing `):`, trimmed.
+    pub justification: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream with comments/strings/chars removed.
+    pub tokens: Vec<Token>,
+    /// All `lint:allow` markers found in comments.
+    pub allows: Vec<Allow>,
+    /// Lines of `lint:hot_path` markers found in comments.
+    pub hot_markers: Vec<u32>,
+    /// Per-token flag: true when the token sits inside a
+    /// `#[cfg(test)]` / `#[test]` item (attribute included).
+    pub in_test: Vec<bool>,
+    /// Inclusive line ranges of `fn` bodies marked `lint:hot_path`,
+    /// paired with the function name.
+    pub hot_regions: Vec<(String, u32, u32)>,
+}
+
+/// Lex `src` and run the region passes.
+pub fn lex(src: &str) -> Lexed {
+    let mut lx = lex_tokens(src);
+    lx.in_test = mark_test_regions(&lx.tokens);
+    lx.hot_regions = resolve_hot_regions(&lx.tokens, &lx.hot_markers);
+    lx
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn lex_tokens(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            let text: String = b[start..j].iter().collect();
+            parse_marker(&text, line, &mut out);
+            i = j;
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            // Nested block comment.
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    bump_line!(b[j]);
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // String literals (plain). Raw/byte strings are reached through
+        // the identifier path below (`r"`, `r#"`, `b"`, `br#"` ...).
+        if c == '"' {
+            i = skip_string(&b, i, &mut line);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            i = skip_char_or_lifetime(&b, i, &mut line);
+            continue;
+        }
+        // Numbers: consumed and dropped (rules never match them).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            loop {
+                while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                // Float part like `1.5`, but not a range like `0..n`.
+                if j < n && b[j] == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                    continue;
+                }
+                break;
+            }
+            i = j;
+            continue;
+        }
+        // Identifiers, raw identifiers, and raw/byte string prefixes.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            let word: String = b[i..j].iter().collect();
+            // `r"..."`, `b"..."`, `br"..."`, `rb` doesn't exist.
+            if (word == "r" || word == "b" || word == "br") && j < n && b[j] == '"' {
+                i = skip_string(&b, j, &mut line);
+                continue;
+            }
+            if (word == "r" || word == "br") && j < n && b[j] == '#' {
+                // Count the hashes; a quote after them means raw string,
+                // otherwise it's a raw identifier (`r#type`).
+                let mut k = j;
+                while k < n && b[k] == '#' {
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    i = skip_raw_string(&b, k, k - j, &mut line);
+                    continue;
+                }
+                // Raw identifier: consume it as a plain ident.
+                let mut m = k;
+                while m < n && is_ident_continue(b[m]) {
+                    m += 1;
+                }
+                let raw: String = b[k..m].iter().collect();
+                out.tokens.push(Token { tok: Tok::Ident(raw), line });
+                i = m;
+                continue;
+            }
+            // Byte char literal `b'x'`.
+            if word == "b" && j < n && b[j] == '\'' {
+                i = skip_char_or_lifetime(&b, j, &mut line);
+                continue;
+            }
+            out.tokens.push(Token { tok: Tok::Ident(word), line });
+            i = j;
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.tokens.push(Token { tok: Tok::Punct(c), line });
+        i += 1;
+    }
+    out
+}
+
+/// Skip a `"..."` literal starting at the opening quote; returns the
+/// index one past the closing quote.
+fn skip_string(b: &[char], open: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = open + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Skip a raw string whose opening quote is at `open` with `hashes`
+/// leading `#`s; returns the index one past the final `#`.
+fn skip_raw_string(b: &[char], open: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = open + 1;
+    while j < n {
+        if b[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        if b[j] == '\n' {
+            *line += 1;
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Skip a char literal, or recognise a lifetime (which has no closing
+/// quote). `open` indexes the `'`.
+fn skip_char_or_lifetime(b: &[char], open: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    if open + 1 >= n {
+        return n;
+    }
+    let c1 = b[open + 1];
+    if c1 == '\\' {
+        // Escaped char: `'\n'`, `'\u{1F600}'`, `'\''` ...
+        let mut j = open + 2;
+        if j < n && b[j] == 'u' {
+            j += 1;
+            if j < n && b[j] == '{' {
+                while j < n && b[j] != '}' {
+                    j += 1;
+                }
+                j += 1;
+            }
+        } else {
+            // One escaped character (covers \', \\, \n, \x41 partially —
+            // for \x the two hex digits fall through to the quote scan).
+            j += 1;
+            while j < n && b[j] != '\'' {
+                j += 1;
+            }
+        }
+        while j < n && b[j] != '\'' {
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    if is_ident_start(c1) {
+        // `'a'` is a char literal; `'a` followed by anything else is a
+        // lifetime and has no closing quote.
+        if open + 2 < n && b[open + 2] == '\'' {
+            return open + 3;
+        }
+        let mut j = open + 1;
+        while j < n && is_ident_continue(b[j]) {
+            j += 1;
+        }
+        return j;
+    }
+    if c1 == '\n' {
+        *line += 1;
+    }
+    // Punctuation char literal like `'('`.
+    if open + 2 < n && b[open + 2] == '\'' {
+        return open + 3;
+    }
+    open + 2
+}
+
+/// Parse a lint control comment out of line-comment text.
+fn parse_marker(text: &str, line: u32, out: &mut Lexed) {
+    // Strip doc-comment leaders (`/`, `!`) and whitespace.
+    let t = text.trim_start_matches(['/', '!']).trim();
+    if let Some(rest) = t.strip_prefix("lint:allow(") {
+        let Some(close) = rest.find(')') else { return };
+        let rule = rest[..close].trim().to_string();
+        let after = rest[close + 1..].trim();
+        let justification = after.strip_prefix(':').unwrap_or("").trim().to_string();
+        out.allows.push(Allow { line, rule, justification });
+    } else if t.starts_with("lint:hot_path") {
+        out.hot_markers.push(line);
+    }
+}
+
+/// Find the index of the `}` matching the `{` at `open_idx`.
+fn matching_brace(tokens: &[Token], open_idx: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Mark every token covered by a `#[test]` / `#[cfg(test)]` item.
+///
+/// An attribute is test-marking when its tokens contain the identifier
+/// `test` but not `not` (so `#[cfg(not(test))]` stays in scope). The
+/// marked region spans the attribute, any further attributes, and the
+/// following item up to its closing `}` (or `;` for brace-less items).
+fn mark_test_regions(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if tokens[i].is_punct('#') && i + 1 < n && tokens[i + 1].is_punct('[') {
+            // Find the matching `]` of the attribute.
+            let mut depth = 0i64;
+            let mut close = None;
+            for (k, t) in tokens.iter().enumerate().skip(i + 1) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(k);
+                        break;
+                    }
+                }
+            }
+            let Some(close) = close else {
+                i += 1;
+                continue;
+            };
+            let body = &tokens[i + 2..close];
+            let has_test = body.iter().any(|t| t.is_ident("test"));
+            let has_not = body.iter().any(|t| t.is_ident("not"));
+            if has_test && !has_not {
+                // Skip over any further attributes.
+                let mut j = close + 1;
+                while j + 1 < n && tokens[j].is_punct('#') && tokens[j + 1].is_punct('[') {
+                    let mut d = 0i64;
+                    let mut k = j + 1;
+                    while k < n {
+                        if tokens[k].is_punct('[') {
+                            d += 1;
+                        } else if tokens[k].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                }
+                // The item ends at the matching `}` of its first body
+                // brace, or at a top-level `;` (e.g. `#[cfg(test)] use ...`).
+                let mut end = n - 1;
+                let mut k = j;
+                while k < n {
+                    if tokens[k].is_punct('{') {
+                        end = matching_brace(tokens, k).unwrap_or(n - 1);
+                        break;
+                    }
+                    if tokens[k].is_punct(';') {
+                        end = k;
+                        break;
+                    }
+                    k += 1;
+                }
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Resolve each `lint:hot_path` marker line to the body line range of
+/// the next `fn` item at or below it.
+fn resolve_hot_regions(tokens: &[Token], markers: &[u32]) -> Vec<(String, u32, u32)> {
+    let mut regions = Vec::new();
+    for &mline in markers {
+        // First `fn` token at a line >= the marker line.
+        let Some(fn_idx) = tokens.iter().position(|t| t.is_ident("fn") && t.line >= mline) else {
+            continue;
+        };
+        let name = tokens.get(fn_idx + 1).and_then(|t| t.ident()).unwrap_or("<anon>").to_string();
+        // The body `{` is the first brace after the signature, at zero
+        // paren/bracket depth (generics in this workspace never nest
+        // braces before the body).
+        let mut depth = 0i64;
+        let mut open = None;
+        for (k, t) in tokens.iter().enumerate().skip(fn_idx) {
+            match t.tok {
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct('{') if depth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                Tok::Punct(';') if depth == 0 => break, // trait fn without body
+                _ => {}
+            }
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = matching_brace(tokens, open) else {
+            continue;
+        };
+        regions.push((name, tokens[open].line, tokens[close].line));
+    }
+    regions
+}

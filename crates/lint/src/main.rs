@@ -1,0 +1,109 @@
+//! CLI for `allconcur-lint`.
+//!
+//! ```text
+//! cargo run -p allconcur-lint                  # report, exit 0
+//! cargo run -p allconcur-lint -- --deny-new    # exit 1 on new/stale debt
+//! cargo run -p allconcur-lint -- --write-baseline  # grandfather current debt
+//! ```
+
+#![forbid(unsafe_code)]
+
+use allconcur_lint::{baseline, find_root, report, run_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: allconcur-lint [--root <dir>] [--baseline <file>] \
+                     [--deny-new] [--write-baseline]";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut deny_new = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--deny-new" => deny_new = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))) {
+        Some(r) => r,
+        None => {
+            eprintln!("allconcur-lint: could not locate the workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let scan = match run_workspace(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("allconcur-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        let entries: Vec<baseline::Entry> = scan
+            .violations
+            .iter()
+            .map(|v| baseline::Entry {
+                rule: v.rule.to_string(),
+                path: v.path.clone(),
+                justification: "TODO: justify or fix".to_string(),
+                snippet: v.snippet.clone(),
+            })
+            .collect();
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&entries)) {
+            eprintln!("allconcur-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "allconcur-lint: wrote {} entries to {} — replace every \
+             `TODO: justify or fix` before committing",
+            entries.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let entries = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("allconcur-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(), // no baseline file: everything is new
+    };
+
+    let diff = baseline::diff(scan.violations, &entries);
+    report::print(&diff, scan.suppressed, scan.files);
+    report::github_summary(&diff, scan.suppressed);
+
+    if deny_new && (!diff.new.is_empty() || !diff.stale.is_empty()) {
+        eprintln!(
+            "allconcur-lint: {} new violation(s), {} stale baseline entr(ies) — failing \
+             (--deny-new). Fix the code, add `// lint:allow(<rule>): <why>`, or update \
+             the baseline.",
+            diff.new.len(),
+            diff.stale.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,134 @@
+//! Human and CI-facing reporting: a violations-by-rule-by-crate table
+//! (same shape as `bench_check`'s regression summary) plus an optional
+//! `GITHUB_STEP_SUMMARY` markdown appendix.
+
+use crate::baseline::Diff;
+use crate::rules::{Violation, ALL_RULES};
+use std::io::Write as _;
+
+fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/").and_then(|rest| rest.split('/').next()).unwrap_or("allconcur")
+}
+
+/// Collect the distinct crates appearing in a violation list, sorted.
+fn crates_in<'v>(vs: impl Iterator<Item = &'v Violation>) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for v in vs {
+        let c = crate_of(&v.path).to_string();
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Render the rule × crate count table. `label` names what is being
+/// counted (e.g. "new" or "grandfathered").
+pub fn table(vs: &[Violation], label: &str) -> String {
+    if vs.is_empty() {
+        return format!("  ({label}: none)\n");
+    }
+    let crates = crates_in(vs.iter());
+    let mut out = String::new();
+    out.push_str(&format!("  {label} violations by rule × crate:\n"));
+    out.push_str(&format!("  {:<14}", "rule"));
+    for c in &crates {
+        out.push_str(&format!(" {c:>12}"));
+    }
+    out.push('\n');
+    for rule in ALL_RULES {
+        let row: Vec<usize> = crates
+            .iter()
+            .map(|c| vs.iter().filter(|v| v.rule == *rule && crate_of(&v.path) == c).count())
+            .collect();
+        if row.iter().sum::<usize>() == 0 {
+            continue;
+        }
+        out.push_str(&format!("  {rule:<14}"));
+        for n in row {
+            out.push_str(&format!(" {n:>12}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Print the full report for a diff to stdout.
+pub fn print(diff: &Diff, suppressed: usize, files_scanned: usize) {
+    println!("allconcur-lint: scanned {files_scanned} files");
+    println!(
+        "  {} new, {} grandfathered (baseline), {} suppressed inline, {} stale baseline entries",
+        diff.new.len(),
+        diff.grandfathered.len(),
+        suppressed,
+        diff.stale.len()
+    );
+    let gf: Vec<Violation> = diff.grandfathered.iter().map(|(v, _)| v.clone()).collect();
+    print!("{}", table(&gf, "grandfathered"));
+    print!("{}", table(&diff.new, "NEW"));
+    for v in &diff.new {
+        println!("  NEW [{}] {}:{}: {}", v.rule, v.path, v.line, v.message);
+        println!("      > {}", v.snippet);
+    }
+    for e in &diff.stale {
+        println!(
+            "  STALE baseline entry [{}] {} — no longer matches any violation; \
+             remove it (or re-run with --write-baseline): `{}`",
+            e.rule, e.path, e.snippet
+        );
+    }
+}
+
+/// Append a markdown summary to `$GITHUB_STEP_SUMMARY` when set.
+pub fn github_summary(diff: &Diff, suppressed: usize) {
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let Ok(mut fh) = std::fs::OpenOptions::new().append(true).create(true).open(path) else {
+        return;
+    };
+    let mut md = String::from("### allconcur-lint\n\n");
+    md.push_str(&format!(
+        "| new | grandfathered | suppressed inline | stale baseline |\n\
+         |---|---|---|---|\n| {} | {} | {} | {} |\n\n",
+        diff.new.len(),
+        diff.grandfathered.len(),
+        suppressed,
+        diff.stale.len()
+    ));
+    let all: Vec<Violation> =
+        diff.new.iter().cloned().chain(diff.grandfathered.iter().map(|(v, _)| v.clone())).collect();
+    if !all.is_empty() {
+        let crates = crates_in(all.iter());
+        md.push_str("| rule |");
+        for c in &crates {
+            md.push_str(&format!(" {c} |"));
+        }
+        md.push_str("\n|---|");
+        md.push_str(&"---|".repeat(crates.len()));
+        md.push('\n');
+        for rule in ALL_RULES {
+            let row: Vec<usize> = crates
+                .iter()
+                .map(|c| all.iter().filter(|v| v.rule == *rule && crate_of(&v.path) == c).count())
+                .collect();
+            if row.iter().sum::<usize>() == 0 {
+                continue;
+            }
+            md.push_str(&format!("| {rule} |"));
+            for n in row {
+                md.push_str(&format!(" {n} |"));
+            }
+            md.push('\n');
+        }
+        md.push('\n');
+    }
+    for v in &diff.new {
+        md.push_str(&format!("- **NEW** `{}` {}:{} — {}\n", v.rule, v.path, v.line, v.message));
+    }
+    for e in &diff.stale {
+        md.push_str(&format!("- **STALE** `{}` {} — `{}`\n", e.rule, e.path, e.snippet));
+    }
+    let _ = fh.write_all(md.as_bytes());
+}

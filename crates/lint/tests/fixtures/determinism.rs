@@ -1,0 +1,48 @@
+// Fixture: determinism rule. Scanned by lint_rules.rs with the
+// synthetic path crates/sim/src/fixture.rs — never compiled.
+use std::collections::HashMap; // violation 1
+use std::time::Instant;
+
+pub fn wall_clock() -> Instant {
+    Instant::now() // violation 2
+}
+
+pub fn seeded() -> u64 {
+    let rng = thread_rng(); // violation 3
+    rng
+}
+
+// A string or comment mentioning HashMap or Instant::now() must not
+// trip the lexer:
+pub fn strings_are_skipped() -> &'static str {
+    "HashMap::new() and Instant::now() and SystemTime inside a string"
+}
+
+pub fn raw_strings_too() -> &'static str {
+    r#"SystemTime "quoted" inside a raw string"#
+}
+
+pub fn char_literals(c: char) -> bool {
+    // 'H' is a char literal, not a lifetime; HashMap in this comment
+    // is also fine.
+    c == 'H' || c == '\n' || c == '\''
+}
+
+// lint:allow(determinism): fixture — justified suppression is honoured
+pub fn suppressed() -> SystemTime {
+    unreachable_marker()
+}
+
+// lint:allow(determinism)
+pub fn unjustified_allow_is_flagged() {} // the allow above adds a `suppression` violation
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet; // exempt: test module
+
+    #[test]
+    fn test_code_may_use_hash_sets() {
+        let mut s = HashSet::new();
+        s.insert(1);
+    }
+}

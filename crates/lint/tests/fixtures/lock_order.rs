@@ -1,0 +1,31 @@
+// Fixture: lock_order rule. Scanned with path crates/net/src/fixture.rs.
+use parking_lot::Mutex;
+
+pub struct Shared {
+    table: Mutex<Vec<u32>>,
+    stats: Mutex<u64>,
+}
+
+impl Shared {
+    // table -> stats ...
+    pub fn forward(&self) {
+        let t = self.table.lock();
+        let s = self.stats.lock();
+        drop((t, s));
+    }
+
+    // ... and stats -> table: a cycle.
+    pub fn backward(&self) {
+        let s = self.stats.lock();
+        let t = self.table.lock();
+        drop((s, t));
+    }
+
+    // Same lock twice in one fn: parking_lot is not reentrant.
+    pub fn double(&self) {
+        let a = self.stats.lock();
+        drop(a);
+        let b = self.stats.lock();
+        drop(b);
+    }
+}

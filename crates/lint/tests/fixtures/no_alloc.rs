@@ -1,0 +1,23 @@
+// Fixture: no_alloc rule. Scanned with path crates/core/src/fixture.rs.
+
+// lint:hot_path — fixture hot function
+pub fn hot(input: &[u8]) -> Vec<u8> {
+    let a: Vec<u8> = Vec::new(); // violation 1
+    let b = input.to_vec(); // violation 2
+    let c = b.clone(); // violation 3
+    let d = format!("{}", c.len()); // violation 4
+    let e = Box::new(d); // violation 5
+    let f = vec![1u8]; // violation 6
+    // Pre-sized buffers are the sanctioned pattern:
+    let mut ok = Vec::with_capacity(input.len());
+    ok.extend_from_slice(input);
+    drop((a, e, f));
+    ok
+}
+
+// Unmarked functions may allocate freely.
+pub fn cold(input: &[u8]) -> Vec<u8> {
+    let mut v = Vec::new();
+    v.extend(input.iter().cloned());
+    v.clone()
+}

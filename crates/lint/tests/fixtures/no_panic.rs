@@ -1,0 +1,52 @@
+// Fixture: no_panic rule. Scanned with path crates/core/src/fixture.rs.
+
+pub fn unwraps(v: Option<u32>) -> u32 {
+    v.unwrap() // violation 1
+}
+
+pub fn expects(v: Option<u32>) -> u32 {
+    v.expect("boom") // violation 2
+}
+
+pub fn panics() {
+    panic!("down goes the node"); // violation 3
+}
+
+pub fn unreachable_macro() {
+    unreachable!(); // violation 4
+}
+
+// `unwrap_or` family must not match:
+pub fn unwrap_or_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) + v.unwrap_or_else(|| 1) + v.unwrap_or_default()
+}
+
+// Doc comments and strings must not match:
+/// Call `.unwrap()` at your peril; panic! is also spelled here.
+pub fn docs_are_skipped() -> &'static str {
+    "contains .unwrap() and panic! in a string"
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // lint:allow(no_panic): fixture — invariant provably holds
+    v.unwrap()
+}
+
+pub fn trailing_suppression(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(no_panic): fixture — trailing form
+}
+
+#[test]
+fn test_fns_may_unwrap() {
+    let v: Option<u32> = Some(3);
+    assert_eq!(v.unwrap(), 3);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_modules_may_panic() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}

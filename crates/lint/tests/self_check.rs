@@ -1,0 +1,60 @@
+//! The lint run against the *real* workspace, in-process: the same
+//! check CI's `--deny-new` job performs, so `cargo test` alone catches
+//! new debt — and a baseline that drifted from the tree fails loudly
+//! here rather than silently granting amnesty.
+
+use allconcur_lint::{baseline, run_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_and_baseline_matches_fresh_run() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let scan = run_workspace(&root).expect("scan workspace");
+    assert!(scan.files > 50, "scan must cover the workspace, saw {} files", scan.files);
+
+    let text = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("committed lint-baseline.txt");
+    let entries = baseline::parse(&text).expect("parse committed baseline");
+    let diff = baseline::diff(scan.violations, &entries);
+
+    assert!(
+        diff.new.is_empty(),
+        "new lint violations (fix, suppress with justification, or baseline):\n{:#?}",
+        diff.new
+    );
+    assert!(
+        diff.stale.is_empty(),
+        "stale baseline entries (the code moved on — shrink the baseline):\n{:#?}",
+        diff.stale
+    );
+    // Every grandfathered entry carries a real justification, not the
+    // --write-baseline placeholder.
+    for (_, e) in &diff.grandfathered {
+        assert!(
+            !e.justification.starts_with("TODO"),
+            "baseline entry for {} still has a placeholder justification",
+            e.path
+        );
+    }
+}
+
+#[test]
+fn hot_path_markers_cover_the_protocol_hot_functions() {
+    // The ISSUE-mandated floor: the event dispatcher, the round
+    // advance, and the RSM pump must stay marked. (Deleting a marker
+    // silently removes no_alloc coverage, so pin them here.)
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for (file, fn_name) in [
+        ("crates/core/src/server.rs", "handle_into"),
+        ("crates/core/src/server.rs", "deliver_and_advance"),
+        ("crates/rsm/src/service.rs", "pump"),
+        ("crates/rsm/src/service.rs", "flush_if_ready"),
+    ] {
+        let src = std::fs::read_to_string(root.join(file)).expect(file);
+        let lexed = allconcur_lint::lexer::lex(&src);
+        assert!(
+            lexed.hot_regions.iter().any(|(name, _, _)| name == fn_name),
+            "{file}: fn {fn_name} must carry a `// lint:hot_path` marker"
+        );
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-nemesis — deterministic fault injection + property checking
 //!

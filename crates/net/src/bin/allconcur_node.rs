@@ -66,9 +66,12 @@ fn main() {
             eprintln!("{cluster_file}:{}: expected `id tcp udp`", lineno + 1);
             std::process::exit(1);
         }
+        // lint:allow(no_panic): operator CLI startup — malformed cluster files abort loudly before any protocol thread exists
         let idx: usize = parts[0].parse().expect("numeric server id");
         assert_eq!(idx, tcp_addrs.len(), "server ids must be dense and ordered");
+        // lint:allow(no_panic): operator CLI startup — malformed cluster files abort loudly before any protocol thread exists
         tcp_addrs.push(parts[1].parse().expect("tcp socket address"));
+        // lint:allow(no_panic): operator CLI startup — malformed cluster files abort loudly before any protocol thread exists
         udp_addrs.push(parts[2].parse().expect("udp socket address"));
     }
     let n = tcp_addrs.len();
@@ -99,6 +102,7 @@ fn main() {
         eprintln!("bind {}: {e}", tcp_addrs[id as usize]);
         std::process::exit(1);
     });
+    // lint:allow(no_panic): operator CLI startup — an unbindable FD socket is a deployment error worth aborting on
     let udp = UdpSocket::bind(udp_addrs[id as usize]).expect("bind UDP");
     let opts = RuntimeOptions {
         fd: FdParams {

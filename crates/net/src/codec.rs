@@ -93,8 +93,10 @@ impl FrameReader {
     pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Message>> {
         loop {
             if self.buffered() >= 4 {
-                let len_buf: [u8; 4] =
-                    self.buf[self.start..self.start + 4].try_into().expect("4 bytes");
+                // Infallible 4-byte header read: `buffered() >= 4`
+                // guarantees the indices, no fallible conversion needed.
+                let s = self.start;
+                let len_buf = [self.buf[s], self.buf[s + 1], self.buf[s + 2], self.buf[s + 3]];
                 let len = u32::from_le_bytes(len_buf) as usize;
                 if len > MAX_FRAME {
                     return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));

@@ -98,29 +98,27 @@ impl HeartbeatTable {
 }
 
 /// Heartbeat sender: periodically fires one datagram per successor until
-/// stopped. Returns the join handle.
+/// stopped. Returns the join handle, or the spawn error (thread
+/// exhaustion) for the caller to surface as a startup failure.
 pub fn spawn_sender(
     socket: UdpSocket,
     id: ServerId,
     successors: Vec<SocketAddr>,
     params: FdParams,
     stop: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("ac-hb-send-{id}"))
-        .spawn(move || {
-            let mut buf = [0u8; 8];
-            buf[..4].copy_from_slice(&MAGIC);
-            buf[4..].copy_from_slice(&id.to_le_bytes());
-            while !stop.load(Ordering::Relaxed) {
-                for addr in &successors {
-                    // Best-effort: heartbeats are unreliable by design.
-                    let _ = socket.send_to(&buf, addr);
-                }
-                std::thread::sleep(params.heartbeat_period);
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new().name(format!("ac-hb-send-{id}")).spawn(move || {
+        let mut buf = [0u8; 8];
+        buf[..4].copy_from_slice(&MAGIC);
+        buf[4..].copy_from_slice(&id.to_le_bytes());
+        while !stop.load(Ordering::Relaxed) {
+            for addr in &successors {
+                // Best-effort: heartbeats are unreliable by design.
+                let _ = socket.send_to(&buf, addr);
             }
-        })
-        .expect("spawn heartbeat sender")
+            std::thread::sleep(params.heartbeat_period);
+        }
+    })
 }
 
 /// Heartbeat receiver: records arrivals into the table until stopped.
@@ -129,27 +127,24 @@ pub fn spawn_receiver(
     id: ServerId,
     table: Arc<HeartbeatTable>,
     stop: Arc<AtomicBool>,
-) -> std::thread::JoinHandle<()> {
-    socket.set_read_timeout(Some(Duration::from_millis(20))).expect("set UDP read timeout");
-    std::thread::Builder::new()
-        .name(format!("ac-hb-recv-{id}"))
-        .spawn(move || {
-            let mut buf = [0u8; 16];
-            while !stop.load(Ordering::Relaxed) {
-                match socket.recv_from(&mut buf) {
-                    Ok((8, _)) if buf[..4] == MAGIC => {
-                        let from = ServerId::from_le_bytes(buf[4..8].try_into().expect("sized"));
-                        table.record(from);
-                    }
-                    Ok(_) => {} // malformed datagram: drop
-                    Err(ref e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => break, // socket closed
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+    std::thread::Builder::new().name(format!("ac-hb-recv-{id}")).spawn(move || {
+        let mut buf = [0u8; 16];
+        while !stop.load(Ordering::Relaxed) {
+            match socket.recv_from(&mut buf) {
+                Ok((8, _)) if buf[..4] == MAGIC => {
+                    let from = ServerId::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+                    table.record(from);
                 }
+                Ok(_) => {} // malformed datagram: drop
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break, // socket closed
             }
-        })
-        .expect("spawn heartbeat receiver")
+        }
+    })
 }
 
 /// Monitor: polls the table and reports expirations through `on_suspect`
@@ -160,21 +155,18 @@ pub fn spawn_monitor<F>(
     params: FdParams,
     stop: Arc<AtomicBool>,
     on_suspect: F,
-) -> std::thread::JoinHandle<()>
+) -> std::io::Result<std::thread::JoinHandle<()>>
 where
     F: Fn(ServerId) + Send + 'static,
 {
-    std::thread::Builder::new()
-        .name(format!("ac-fd-{id}"))
-        .spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
-                for suspect in table.expired(params.timeout) {
-                    on_suspect(suspect);
-                }
-                std::thread::sleep(params.heartbeat_period / 2);
+    std::thread::Builder::new().name(format!("ac-fd-{id}")).spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            for suspect in table.expired(params.timeout) {
+                on_suspect(suspect);
             }
-        })
-        .expect("spawn FD monitor")
+            std::thread::sleep(params.heartbeat_period / 2);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -222,18 +214,19 @@ mod tests {
         };
 
         let stop_send = Arc::new(AtomicBool::new(false));
-        let sender = spawn_sender(sock0, 0, vec![addr1], params, stop_send.clone());
+        let sender = spawn_sender(sock0, 0, vec![addr1], params, stop_send.clone()).unwrap();
 
         let table = HeartbeatTable::new(&[0]);
         let stop_recv = Arc::new(AtomicBool::new(false));
-        let receiver = spawn_receiver(sock1, 1, table.clone(), stop_recv.clone());
+        let receiver = spawn_receiver(sock1, 1, table.clone(), stop_recv.clone()).unwrap();
 
         let suspected = Arc::new(Mutex::new(Vec::new()));
         let suspected2 = suspected.clone();
         let stop_mon = Arc::new(AtomicBool::new(false));
         let monitor = spawn_monitor(1, table, params, stop_mon.clone(), move |s| {
             suspected2.lock().push(s);
-        });
+        })
+        .unwrap();
 
         // Healthy phase: no suspicion.
         std::thread::sleep(Duration::from_millis(120));

@@ -140,6 +140,16 @@ impl NodeRuntime {
 
         // --- accept + reader threads -------------------------------------
         listener.set_nonblocking(true)?;
+        // On a startup failure after the first thread is running, raise
+        // the stop flag so already-spawned threads wind down instead of
+        // leaking — the caller gets the io::Error, not a panic.
+        let stop_on_err = {
+            let stop = stop.clone();
+            move |e: std::io::Error| {
+                stop.store(true, Ordering::Relaxed);
+                e
+            }
+        };
         {
             let stop = stop.clone();
             let input_tx = input_tx.clone();
@@ -155,13 +165,15 @@ impl NodeRuntime {
                                     stream.set_nonblocking(false).ok();
                                     let tx = input_tx.clone();
                                     let stop2 = stop.clone();
-                                    readers.push(spawn_reader(
-                                        id,
-                                        stream,
-                                        tx,
-                                        stop2,
-                                        suspect_on_disconnect,
-                                    ));
+                                    // A failed reader spawn (thread
+                                    // exhaustion) drops the stream; the
+                                    // peer sees a disconnect and its FD
+                                    // takes over — never a panic here.
+                                    if let Ok(r) =
+                                        spawn_reader(id, stream, tx, stop2, suspect_on_disconnect)
+                                    {
+                                        readers.push(r);
+                                    }
                                 }
                                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                                     std::thread::sleep(Duration::from_millis(2));
@@ -173,7 +185,7 @@ impl NodeRuntime {
                             let _ = r.join();
                         }
                     })
-                    .expect("spawn accept thread"),
+                    .map_err(&stop_on_err)?,
             );
         }
 
@@ -199,7 +211,7 @@ impl NodeRuntime {
                     .spawn(move || {
                         protocol_loop(id, cfg, writers, input_rx, delivery_tx, stop, app_grace);
                     })
-                    .expect("spawn protocol thread"),
+                    .map_err(&stop_on_err)?,
             );
         }
 
@@ -207,13 +219,22 @@ impl NodeRuntime {
         let hb_table = HeartbeatTable::new(&predecessors);
         let succ_udp: Vec<SocketAddr> = successors.iter().map(|&s| udp_addrs[s as usize]).collect();
         let hb_send_sock = udp.try_clone()?;
-        threads.push(heartbeat::spawn_sender(hb_send_sock, id, succ_udp, opts.fd, stop.clone()));
-        threads.push(heartbeat::spawn_receiver(udp, id, hb_table.clone(), stop.clone()));
+        threads.push(
+            heartbeat::spawn_sender(hb_send_sock, id, succ_udp, opts.fd, stop.clone())
+                .map_err(&stop_on_err)?,
+        );
+        threads.push(
+            heartbeat::spawn_receiver(udp, id, hb_table.clone(), stop.clone())
+                .map_err(&stop_on_err)?,
+        );
         {
             let tx = input_tx.clone();
-            threads.push(heartbeat::spawn_monitor(id, hb_table, opts.fd, stop.clone(), move |s| {
-                let _ = tx.send(NodeInput::Suspect(s));
-            }));
+            threads.push(
+                heartbeat::spawn_monitor(id, hb_table, opts.fd, stop.clone(), move |s| {
+                    let _ = tx.send(NodeInput::Suspect(s));
+                })
+                .map_err(&stop_on_err)?,
+            );
         }
 
         Ok(NodeRuntime { id, input_tx, delivery_rx, stop, threads })
@@ -302,7 +323,9 @@ fn connect_with_retry(
             }
         }
     }
-    Err(last_err.expect("at least one attempt"))
+    // `attempts.max(1)` guarantees at least one iteration recorded an
+    // error, but the fallback keeps this typed rather than panicking.
+    Err(last_err.unwrap_or_else(|| std::io::Error::other("connect retry loop made no attempts")))
 }
 
 fn spawn_reader(
@@ -311,48 +334,45 @@ fn spawn_reader(
     tx: Sender<NodeInput>,
     stop: Arc<AtomicBool>,
     suspect_on_disconnect: bool,
-) -> std::thread::JoinHandle<()> {
-    std::thread::Builder::new()
-        .name(format!("ac-read-{id}"))
-        .spawn(move || {
-            stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
-            let from = loop {
-                match read_handshake(&mut stream) {
-                    Ok(f) => break f,
-                    Err(ref e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
-                        }
-                    }
-                    Err(_) => return,
-                }
-            };
-            // Buffered frame parsing: one `read` syscall pulls a whole
-            // burst of pipelined frames, and a read timeout mid-frame
-            // resumes cleanly instead of desynchronising the stream.
-            let mut frames = FrameReader::new();
-            while !stop.load(Ordering::Relaxed) {
-                match frames.read_frame(&mut stream) {
-                    Ok(Some(msg)) => {
-                        if tx.send(NodeInput::Net { from, msg }).is_err() {
-                            return;
-                        }
-                    }
-                    Ok(None) => {} // read timeout: poll the stop flag
-                    Err(_) => {
-                        // EOF or reset: the predecessor is gone.
-                        if suspect_on_disconnect && !stop.load(Ordering::Relaxed) {
-                            let _ = tx.send(NodeInput::Suspect(from));
-                        }
+) -> std::io::Result<std::thread::JoinHandle<()>> {
+    std::thread::Builder::new().name(format!("ac-read-{id}")).spawn(move || {
+        stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
+        let from = loop {
+            match read_handshake(&mut stream) {
+                Ok(f) => break f,
+                Err(ref e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::Relaxed) {
                         return;
                     }
                 }
+                Err(_) => return,
             }
-        })
-        .expect("spawn reader thread")
+        };
+        // Buffered frame parsing: one `read` syscall pulls a whole
+        // burst of pipelined frames, and a read timeout mid-frame
+        // resumes cleanly instead of desynchronising the stream.
+        let mut frames = FrameReader::new();
+        while !stop.load(Ordering::Relaxed) {
+            match frames.read_frame(&mut stream) {
+                Ok(Some(msg)) => {
+                    if tx.send(NodeInput::Net { from, msg }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {} // read timeout: poll the stop flag
+                Err(_) => {
+                    // EOF or reset: the predecessor is gone.
+                    if suspect_on_disconnect && !stop.load(Ordering::Relaxed) {
+                        let _ = tx.send(NodeInput::Suspect(from));
+                    }
+                    return;
+                }
+            }
+        }
+    })
 }
 
 /// Mutable state of one server's protocol thread.
@@ -541,7 +561,7 @@ impl ProtocolState {
             }
             if force || !self.gated(&self.deferred[i].1) {
                 force = false; // the grace force-releases exactly one
-                let (from, msg) = self.deferred.remove(i).expect("index in bounds");
+                let Some((from, msg)) = self.deferred.remove(i) else { break };
                 if !self.process(Event::Receive { from, msg }) {
                     return false;
                 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![deny(deprecated)]
 //! # allconcur-rsm — typed replicated state machines over AllConcur

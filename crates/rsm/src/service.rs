@@ -121,10 +121,46 @@ fn dur_err(e: io::Error) -> ServiceError {
     ServiceError::Durability(e)
 }
 
-/// `Instant::now() + timeout` that survives `Duration::MAX`.
-fn saturating_deadline(timeout: Duration) -> Instant {
-    let now = Instant::now();
-    now.checked_add(timeout).unwrap_or_else(|| now + Duration::from_secs(60 * 60 * 24 * 365))
+/// A wait budget that only touches the wall clock on wall-clock
+/// backends.
+///
+/// On the sim backend every `pump` is event-driven: the transport
+/// advances virtual time and returns `false` the moment its event
+/// queue drains, so `wait`/`sync` loops terminate without ever reading
+/// `Instant::now()`. Keeping the wall clock out of sim runs means a
+/// seeded replay (nemesis, golden transcripts) can never be perturbed
+/// by host scheduling — the timeout argument still bounds each pump's
+/// virtual-time budget, and a zero timeout still times out immediately.
+enum Deadline {
+    /// TCP and other wall-clock backends: a real deadline.
+    Wall(Instant),
+    /// Sim backend: no wall deadline; each iteration re-offers the full
+    /// timeout as the virtual-time pump budget.
+    Virtual(Duration),
+}
+
+impl Deadline {
+    /// Budget for a backend: virtual for sim, wall otherwise.
+    fn start(backend: &str, timeout: Duration) -> Self {
+        if backend == "sim" {
+            Deadline::Virtual(timeout)
+        } else {
+            // `Instant::now() + timeout`, surviving `Duration::MAX`.
+            let now = Instant::now();
+            Deadline::Wall(
+                now.checked_add(timeout)
+                    .unwrap_or_else(|| now + Duration::from_secs(60 * 60 * 24 * 365)),
+            )
+        }
+    }
+
+    /// Time left to offer the next pump; `zero` means give up now.
+    fn remaining(&self) -> Duration {
+        match self {
+            Deadline::Wall(at) => at.saturating_duration_since(Instant::now()),
+            Deadline::Virtual(timeout) => *timeout,
+        }
+    }
 }
 
 /// Receipt for one [`Service::submit`] call, resolving to the typed
@@ -599,7 +635,7 @@ impl<S: StateMachine> Service<S> {
         if let Some(response) = self.take_resolved(handle.origin, handle.seq) {
             return Ok(response);
         }
-        let deadline = saturating_deadline(timeout);
+        let deadline = Deadline::start(self.cluster.backend(), timeout);
         loop {
             if let Some(response) = self.take_resolved(handle.origin, handle.seq) {
                 return Ok(response);
@@ -618,7 +654,7 @@ impl<S: StateMachine> Service<S> {
                 // Not released (disk-slow fault everywhere): fall
                 // through and keep pumping until the budget runs out.
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.remaining();
             if remaining.is_zero() {
                 return Err(ServiceError::Timeout { waited: timeout });
             }
@@ -663,6 +699,7 @@ impl<S: StateMachine> Service<S> {
     /// One engine step: flush queued commands into a round if the
     /// pipeline window allows, then wait up to `timeout` for the next
     /// delivery and apply it. Returns whether a delivery was applied.
+    // lint:hot_path — the RSM engine step, called once per delivery
     pub fn pump(&mut self, timeout: Duration) -> Result<bool, ServiceError> {
         self.fail_dead_queued();
         self.flush_if_ready()?;
@@ -681,7 +718,7 @@ impl<S: StateMachine> Service<S> {
     /// flushed rounds. The barrier to call before comparing replicas or
     /// reconfiguring.
     pub fn sync(&mut self, timeout: Duration) -> Result<(), ServiceError> {
-        let deadline = saturating_deadline(timeout);
+        let deadline = Deadline::start(self.cluster.backend(), timeout);
         loop {
             self.fail_dead_queued();
             self.flush_if_ready()?;
@@ -694,7 +731,7 @@ impl<S: StateMachine> Service<S> {
             if self.is_quiescent() {
                 return Ok(());
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = deadline.remaining();
             if remaining.is_zero() {
                 return Err(ServiceError::Timeout { waited: timeout });
             }
@@ -924,6 +961,7 @@ impl<S: StateMachine> Service<S> {
     /// Open the next round if any commands are queued and the pipeline
     /// window allows: one payload per live origin (empty for origins
     /// with nothing pending — every server participates in every round).
+    // lint:hot_path — runs on every pump; idle calls must not allocate
     fn flush_if_ready(&mut self) -> Result<(), ServiceError> {
         if self.flushed - self.harvested >= self.pipeline {
             return Ok(());
@@ -1023,15 +1061,15 @@ impl<S: StateMachine> Service<S> {
             if !this_round {
                 // No flight for this origin in this round: skip (and
                 // drop) any stray responses attributed to it.
-                while outputs.peek().is_some_and(|&(o, _)| o == origin) {
-                    outputs.next();
-                }
+                while outputs.next_if(|&(o, _)| o == origin).is_some() {}
                 continue;
             }
-            let (_, seqs) = self.flights[origin as usize].pop_front().expect("front checked");
+            let Some((_, seqs)) = self.flights[origin as usize].pop_front() else {
+                continue; // front checked above; unreachable
+            };
             let mut responses: Vec<S::Response> = Vec::with_capacity(seqs.len());
-            while outputs.peek().is_some_and(|&(o, _)| o == origin) {
-                responses.push(outputs.next().expect("peeked").1);
+            while let Some((_, response)) = outputs.next_if(|&(o, _)| o == origin) {
+                responses.push(response);
             }
             if responses.len() == seqs.len() {
                 // Sequences are monotone per origin, so this stays the
@@ -1070,8 +1108,12 @@ impl<S: StateMachine> Service<S> {
     fn release_durable(&mut self) {
         let Some(d) = self.durability.as_mut() else { return };
         let durable = d.durable_tip();
-        while d.pending.front().is_some_and(|&(round, _)| round < durable) {
-            let (_, acks) = d.pending.pop_front().expect("front checked");
+        loop {
+            match d.pending.front() {
+                Some(&(round, _)) if round < durable => {}
+                _ => break,
+            }
+            let Some((_, acks)) = d.pending.pop_front() else { break };
             for (origin, seq, response) in acks {
                 self.resolved[origin as usize].push_back((seq, response));
             }

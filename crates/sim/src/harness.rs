@@ -544,7 +544,7 @@ impl SimCluster {
             if t > deadline {
                 return;
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
+            let Some((t, ev)) = self.queue.pop() else { return };
             self.clock = self.clock.max(t);
             self.process(t, ev);
         }
@@ -592,7 +592,7 @@ impl SimCluster {
             if t > deadline {
                 return Err(SimError::DeadlineExceeded { deadline });
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
+            let Some((t, ev)) = self.queue.pop() else { return Ok(None) };
             self.clock = self.clock.max(t);
             self.process(t, ev);
         }

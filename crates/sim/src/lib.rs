@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-sim — discrete-event LogP simulator for AllConcur
 //!
