@@ -33,6 +33,16 @@ pub enum ClusterError {
         /// The budget that elapsed.
         waited: Duration,
     },
+    /// The deployment is saturated and shed the operation instead of
+    /// queueing it unboundedly: the submit path's admission control
+    /// (round window + WAL group-commit backlog) or the transport's
+    /// bounded input queue refused the payload. The operation had **no
+    /// effect** — retry after `retry_after` (graceful degradation,
+    /// never OOM).
+    Busy {
+        /// Suggested pause before retrying.
+        retry_after: Duration,
+    },
     /// Transport-level I/O failure (TCP backend).
     Io(std::io::Error),
     /// The cluster was already shut down.
@@ -54,6 +64,9 @@ impl std::fmt::Display for ClusterError {
             },
             ClusterError::Timeout { waited } => {
                 write!(f, "no delivery within {waited:?}")
+            }
+            ClusterError::Busy { retry_after } => {
+                write!(f, "cluster saturated; retry after {retry_after:?}")
             }
             ClusterError::Io(e) => write!(f, "transport I/O error: {e}"),
             ClusterError::ShutDown => write!(f, "cluster already shut down"),

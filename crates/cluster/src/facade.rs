@@ -193,6 +193,11 @@ impl Cluster {
 
     /// Submit `payload` as `origin`'s message for its next open round.
     ///
+    /// Under saturation the transport may shed the submission with
+    /// [`ClusterError::Busy`] instead of queueing it unboundedly; the
+    /// payload had no effect and can be retried after the suggested
+    /// pause.
+    ///
     /// Submissions queue: each server carries one payload per round, and
     /// extras ride in later rounds (the paper's request batching, §5).
     pub fn submit(
@@ -394,7 +399,8 @@ impl Cluster {
     }
 
     /// Inject a link-level fault (partition, loss, delay spike, reorder
-    /// burst) or heal/clear one — the nemesis control surface.
+    /// burst, link down/flap) or heal/clear one — the nemesis control
+    /// surface.
     ///
     /// Support depends on the backend:
     ///
@@ -406,6 +412,9 @@ impl Cluster {
     /// | `Drop`             | yes | yes           |
     /// | `Delay`            | yes | `Unsupported` |
     /// | `Reorder`          | yes | `Unsupported` |
+    /// | `LinkDown`         | yes | yes           |
+    /// | `LinkFlap`         | yes | yes           |
+    /// | `LinkUp`           | yes | yes           |
     /// | `ClearLinkFaults`  | yes | yes           |
     ///
     /// Unsupported commands return [`ClusterError::Unsupported`] and

@@ -231,6 +231,30 @@ impl Transport for SimTransport {
                 self.check_id(*to)?;
                 FaultCmd::Reorder { from: *from, to: *to, burst: *burst }
             }
+            // Link lifecycle: in the simulator a downed link is a held
+            // (never lossy) directed block, exactly an `Isolate`; the
+            // heal releases the hold FIFO. A flap is the pair, with the
+            // heal scheduled `down_for` of simulated time ahead.
+            FaultCommand::LinkDown { from, to } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                FaultCmd::Isolate { from: *from, to: *to }
+            }
+            FaultCommand::LinkUp { from, to } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                FaultCmd::HealLink { from: *from, to: *to }
+            }
+            FaultCommand::LinkFlap { from, to, down_for } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                let down_ns = SimTime::from_ns(down_for.as_nanos().min(u64::MAX as u128) as u64);
+                self.cluster.schedule_fault(
+                    self.cluster.clock() + down_ns,
+                    FaultCmd::HealLink { from: *from, to: *to },
+                );
+                FaultCmd::Isolate { from: *from, to: *to }
+            }
             FaultCommand::ClearLinkFaults => FaultCmd::Clear,
         };
         self.cluster.inject_fault(&cmd);

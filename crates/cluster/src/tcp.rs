@@ -23,6 +23,13 @@ use std::time::{Duration, Instant};
 const POLL_MIN: Duration = Duration::from_micros(50);
 const POLL_MAX: Duration = Duration::from_millis(2);
 
+/// Suggested retry pause reported with [`ClusterError::Busy`] when a
+/// node's bounded input queue sheds a submission. One millisecond is a
+/// few round-trips of loopback protocol work — long enough for the
+/// protocol thread to drain real backlog, short enough that a
+/// closed-loop client barely notices.
+const SUBMIT_RETRY_AFTER: Duration = Duration::from_millis(1);
+
 /// The TCP backend of the `Cluster` facade.
 pub struct TcpTransport {
     cluster: Option<LocalCluster>,
@@ -42,6 +49,10 @@ pub struct TcpTransport {
     /// reset exactly the rates it set. Cleared on reconfigure (fresh
     /// runtimes start fault-free).
     lossy_links: std::collections::BTreeSet<(ServerId, ServerId)>,
+    /// Links held down by [`FaultCommand::LinkDown`], so
+    /// `ClearLinkFaults` can heal exactly the links it severed. Flaps
+    /// are not tracked — they heal themselves. Cleared on reconfigure.
+    downed_links: std::collections::BTreeSet<(ServerId, ServerId)>,
 }
 
 impl TcpTransport {
@@ -55,6 +66,7 @@ impl TcpTransport {
             cursor: 0,
             parked: std::collections::VecDeque::new(),
             lossy_links: std::collections::BTreeSet::new(),
+            downed_links: std::collections::BTreeSet::new(),
         })
     }
 
@@ -94,7 +106,11 @@ impl Transport for TcpTransport {
         if !cluster.is_running(origin) {
             return Err(ClusterError::ServerDown(origin));
         }
-        cluster.broadcast(origin, payload);
+        if !cluster.broadcast(origin, payload) {
+            // The node's bounded input queue stayed full past its
+            // patience window: the submission was shed with no effect.
+            return Err(ClusterError::Busy { retry_after: SUBMIT_RETRY_AFTER });
+        }
         Ok(())
     }
 
@@ -172,12 +188,36 @@ impl Transport for TcpTransport {
                 }
                 Ok(())
             }
+            FaultCommand::LinkDown { from, to } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                self.live_cluster()?.link_down(*from, *to);
+                self.downed_links.insert((*from, *to));
+                Ok(())
+            }
+            FaultCommand::LinkFlap { from, to, down_for } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                self.live_cluster()?.link_flap(*from, *to, *down_for);
+                Ok(())
+            }
+            FaultCommand::LinkUp { from, to } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                self.live_cluster()?.link_up(*from, *to);
+                self.downed_links.remove(&(*from, *to));
+                Ok(())
+            }
             FaultCommand::ClearLinkFaults => {
                 let cluster = self.live_cluster()?;
                 for &(from, to) in &self.lossy_links {
                     cluster.set_link_drop(from, to, 0);
                 }
+                for &(from, to) in &self.downed_links {
+                    cluster.link_up(from, to);
+                }
                 self.lossy_links.clear();
+                self.downed_links.clear();
                 Ok(())
             }
             // Nothing to heal: TCP cannot partition, so blanket scenario
@@ -218,6 +258,7 @@ impl Transport for TcpTransport {
         // Fresh runtimes start fault-free; old link ids are meaningless
         // under the renumbered overlay.
         self.lossy_links.clear();
+        self.downed_links.clear();
         let fresh = LocalCluster::spawn(graph, self.opts)?;
         self.n = fresh.n();
         self.cluster = Some(fresh);

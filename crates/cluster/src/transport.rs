@@ -84,8 +84,41 @@ pub enum FaultCommand {
         /// Messages to collect before the reversed release.
         burst: usize,
     },
+    /// Sever the directed link `from → to` and hold it down until
+    /// [`FaultCommand::LinkUp`]. On TCP the sender's writer closes (a
+    /// flush first makes an under-grace outage lossless) and outbound
+    /// frames buffer in the bounded Degraded queue; on sim the link
+    /// blocks and holds messages like an [`FaultCommand::Isolate`].
+    LinkDown {
+        /// Sending side of the severed link.
+        from: ServerId,
+        /// Receiving side of the severed link.
+        to: ServerId,
+    },
+    /// Sever `from → to` for `down_for`, then auto-heal: the transient
+    /// link-flap fault of the resilience layer. An outage shorter than
+    /// the TCP runtime's `link_grace` heals with zero membership
+    /// removals and zero protocol-visible loss (the Degraded queue
+    /// replays on reconnect).
+    LinkFlap {
+        /// Sending side of the flapped link.
+        from: ServerId,
+        /// Receiving side of the flapped link.
+        to: ServerId,
+        /// Outage duration before the auto-heal.
+        down_for: Duration,
+    },
+    /// Heal a link severed by [`FaultCommand::LinkDown`] (or an
+    /// in-progress flap) and release/replay everything held on it.
+    LinkUp {
+        /// Sending side of the healed link.
+        from: ServerId,
+        /// Receiving side of the healed link.
+        to: ServerId,
+    },
     /// Remove every link fault and release everything held. Supported by
-    /// both backends (on TCP it clears the send-drop table).
+    /// both backends (on TCP it clears the send-drop table and heals
+    /// held-down links).
     ClearLinkFaults,
 }
 
@@ -143,15 +176,21 @@ pub trait Transport {
     /// | `Drop`             | yes | yes           |
     /// | `Delay`            | yes | `Unsupported` |
     /// | `Reorder`          | yes | `Unsupported` |
+    /// | `LinkDown`         | yes | yes           |
+    /// | `LinkFlap`         | yes | yes           |
+    /// | `LinkUp`           | yes | yes           |
     /// | `ClearLinkFaults`  | yes | yes           |
     ///
     /// The sim backend owns virtual time and every queued message, so it
     /// implements the full vocabulary. TCP can only decide per send
-    /// whether to hand a frame to the kernel — probabilistic `Drop` and
-    /// the blanket clears (`HealPartitions` heals nothing but succeeds,
-    /// so scenario teardown works unchanged on both backends). Anything
-    /// that would require holding or re-timing in-flight kernel buffers
-    /// reports `Unsupported` rather than pretending.
+    /// whether to hand a frame to the kernel — probabilistic `Drop`,
+    /// the link-lifecycle commands (`LinkDown` / `LinkFlap` / `LinkUp`,
+    /// applied in the runtime's per-link state machine), and the
+    /// blanket clears (`HealPartitions` heals no partitions but
+    /// succeeds, so scenario teardown works unchanged on both
+    /// backends). Anything that would require holding or re-timing
+    /// in-flight kernel buffers reports `Unsupported` rather than
+    /// pretending.
     fn inject_fault(&mut self, fault: &FaultCommand) -> Result<(), ClusterError>;
 
     /// Set every server's round-pipelining window: how many consecutive

@@ -25,6 +25,12 @@
 //!   `parking_lot` locks are not reentrant). Guard drops are invisible
 //!   lexically, so this over-approximates; suppress with justification
 //!   where a drop provably breaks the order.
+//! * `bounded_queues` — forbids unbounded channel construction
+//!   (`unbounded(`, `unbounded::<`, `mpsc::channel`) in the transport
+//!   crates: every queue between peers must have a capacity and a shed
+//!   or backpressure story, or an open-loop producer turns into
+//!   unbounded memory growth. Queues whose depth is provably bounded
+//!   elsewhere are suppressed with a justification.
 //! * `forbid_unsafe` — asserts `#![forbid(unsafe_code)]` stays present
 //!   at the crate roots that carry it.
 //! * `suppression` — meta-rule: every `lint:allow` must carry a
@@ -38,13 +44,22 @@ pub const DETERMINISM_CRATES: &[&str] = &["graph", "core", "sim", "nemesis"];
 pub const NO_PANIC_CRATES: &[&str] = &["core", "cluster", "rsm", "net"];
 /// Crates scanned by the `lock_order` rule.
 pub const LOCK_ORDER_CRATES: &[&str] = &["net", "cluster"];
+/// Crates scanned by the `bounded_queues` rule.
+pub const BOUNDED_QUEUE_CRATES: &[&str] = &["net", "cluster"];
 /// Crates whose roots must carry `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_CRATES: &[&str] =
     &["graph", "core", "sim", "cluster", "rsm", "durability", "nemesis"];
 
 /// All rule names, for CLI validation and report ordering.
-pub const ALL_RULES: &[&str] =
-    &["determinism", "no_panic", "no_alloc", "lock_order", "forbid_unsafe", "suppression"];
+pub const ALL_RULES: &[&str] = &[
+    "determinism",
+    "no_panic",
+    "no_alloc",
+    "bounded_queues",
+    "lock_order",
+    "forbid_unsafe",
+    "suppression",
+];
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,6 +211,33 @@ pub fn scan_file(f: &SourceFile<'_>) -> Vec<Violation> {
                         ));
                     }
                 }
+            }
+        }
+    }
+
+    if BOUNDED_QUEUE_CRATES.contains(&f.crate_name) {
+        for i in 0..toks.len() {
+            if !live(i) {
+                continue;
+            }
+            let line = toks[i].line;
+            // `unbounded(` and `unbounded::<` catch both the plain call
+            // and the turbofish form; `mpsc::channel` catches std's
+            // unbounded constructor (std's bounded one is sync_channel).
+            let hit = seq_at(toks, i, &[id("unbounded"), p('(')])
+                || seq_at(toks, i, &[id("unbounded"), p(':'), p(':'), p('<')])
+                || seq_at(toks, i, &[id("mpsc"), p(':'), p(':'), id("channel")]);
+            if hit {
+                out.push(
+                    f.violation(
+                        "bounded_queues",
+                        line,
+                        "unbounded channel in transport code; give the queue a capacity with a \
+                     shed/backpressure story (watermarks + typed Busy), or justify why its \
+                     depth is bounded elsewhere"
+                            .into(),
+                    ),
+                );
             }
         }
     }

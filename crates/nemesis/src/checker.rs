@@ -113,6 +113,22 @@ pub enum PropertyViolation {
         /// The lost command id.
         uid: u64,
     },
+    /// Resilience: a transient link fault whose outage stayed within the
+    /// transport's grace budget still cost a server its membership — the
+    /// reconnect-with-backoff layer failed to absorb the flap.
+    MembershipRemovedUnderGrace {
+        /// The server removed from the live set.
+        server: ServerId,
+    },
+    /// Backpressure: the service shed submissions internally without
+    /// reporting every one of them typed to its caller — the counters
+    /// disagree, so some refusals were silent.
+    SilentShed {
+        /// Sheds counted inside the service.
+        internal: u64,
+        /// Typed `Busy` refusals the caller observed.
+        observed: u64,
+    },
 }
 
 impl std::fmt::Display for PropertyViolation {
@@ -148,6 +164,16 @@ impl std::fmt::Display for PropertyViolation {
                 f,
                 "durability violated: command {uid:#x} was acknowledged before the crash but is \
                  missing from the recovered state"
+            ),
+            PropertyViolation::MembershipRemovedUnderGrace { server } => write!(
+                f,
+                "resilience violated: server {server} lost its membership to a link fault that \
+                 stayed within the transport's grace budget"
+            ),
+            PropertyViolation::SilentShed { internal, observed } => write!(
+                f,
+                "backpressure violated: {internal} submissions shed internally but only \
+                 {observed} typed Busy refusals reached the caller"
             ),
         }
     }
@@ -257,6 +283,29 @@ impl PropertyChecker {
             if state.get_local(&uid.to_le_bytes()).is_none() {
                 return Err(PropertyViolation::AcknowledgedLost { uid });
             }
+        }
+        Ok(())
+    }
+
+    /// The no-removal-under-grace property: after a scenario whose link
+    /// outages all stayed within the transport's grace budget, every
+    /// configured server must still be in the live set — flaps heal
+    /// through reconnection, they never escalate to FD removal.
+    pub fn check_full_membership(n: usize, live: &[ServerId]) -> Result<(), PropertyViolation> {
+        for id in 0..n as ServerId {
+            if !live.contains(&id) {
+                return Err(PropertyViolation::MembershipRemovedUnderGrace { server: id });
+            }
+        }
+        Ok(())
+    }
+
+    /// The no-silent-shed property: every submission the service shed
+    /// internally must have surfaced as a typed `Busy` to its caller —
+    /// the two counters agree, or refusals went silent.
+    pub fn check_shed_accounting(internal: u64, observed: u64) -> Result<(), PropertyViolation> {
+        if internal != observed {
+            return Err(PropertyViolation::SilentShed { internal, observed });
         }
         Ok(())
     }
@@ -392,6 +441,24 @@ mod tests {
         match PropertyChecker::check_recovered_acks(&acked, &kv) {
             Err(PropertyViolation::AcknowledgedLost { uid: 2 }) => {}
             other => panic!("expected AcknowledgedLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_removal_detected() {
+        PropertyChecker::check_full_membership(3, &[0, 1, 2]).unwrap();
+        match PropertyChecker::check_full_membership(3, &[0, 2]) {
+            Err(PropertyViolation::MembershipRemovedUnderGrace { server: 1 }) => {}
+            other => panic!("expected MembershipRemovedUnderGrace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_shed_detected() {
+        PropertyChecker::check_shed_accounting(5, 5).unwrap();
+        match PropertyChecker::check_shed_accounting(5, 3) {
+            Err(PropertyViolation::SilentShed { internal: 5, observed: 3 }) => {}
+            other => panic!("expected SilentShed, got {other:?}"),
         }
     }
 

@@ -25,7 +25,12 @@
 //!   disk-slow fsync spikes against WAL-backed deployments, recovers
 //!   them from the logs alone, and asserts the
 //!   no-lost-acknowledged-command property
-//!   ([`PropertyViolation::AcknowledgedLost`]) after every recovery.
+//!   ([`PropertyViolation::AcknowledgedLost`]) after every recovery;
+//! * resilience nemesis — [`Scenario::generate_resilience`] schedules
+//!   transient link flaps that must heal with zero membership removals
+//!   ([`PropertyViolation::MembershipRemovedUnderGrace`]) and open-loop
+//!   overload bursts whose every internal shed must surface as a typed
+//!   `Busy` ([`PropertyViolation::SilentShed`]).
 //!
 //! ```
 //! use allconcur_nemesis::Scenario;

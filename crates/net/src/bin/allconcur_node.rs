@@ -139,7 +139,9 @@ fn main() {
         });
         for line in stdin.lock().lines() {
             let Ok(line) = line else { break };
-            node.broadcast(Bytes::from(line.into_bytes()));
+            if !node.broadcast(Bytes::from(line.into_bytes())) {
+                eprintln!("allconcur-node {id}: busy — input shed, retry the line");
+            }
         }
         // EOF: keep participating reactively (empty messages) forever.
         eprintln!("allconcur-node {id}: stdin closed; serving reactively");

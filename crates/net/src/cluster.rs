@@ -5,6 +5,7 @@
 //! This is the harness behind the TCP integration tests, the
 //! `quickstart` example, and the TCP rows of the benchmark tables.
 
+use crate::link::LinkStatsSnapshot;
 use crate::runtime::{Delivery, NodeRuntime, RuntimeOptions};
 use allconcur_core::config::{Config, FdMode};
 use allconcur_core::ServerId;
@@ -77,9 +78,14 @@ impl LocalCluster {
     }
 
     /// Submit `payload` as server `id`'s message for its current round.
-    pub fn broadcast(&self, id: ServerId, payload: Bytes) {
-        if let Some(node) = &self.nodes[id as usize] {
-            node.broadcast(payload);
+    /// Returns `false` when the server is dead or its protocol input
+    /// queue is saturated (backpressure) — the payload was not
+    /// accepted.
+    #[must_use = "a false return means the payload was shed, not submitted"]
+    pub fn broadcast(&self, id: ServerId, payload: Bytes) -> bool {
+        match &self.nodes[id as usize] {
+            Some(node) => node.broadcast(payload),
+            None => false,
         }
     }
 
@@ -123,6 +129,36 @@ impl LocalCluster {
         }
     }
 
+    /// Fault injection: sever the directed link `from → to` and hold it
+    /// down until [`LocalCluster::link_up`]. Outbound frames buffer in
+    /// `from`'s bounded Degraded queue for replay on heal.
+    pub fn link_down(&self, from: ServerId, to: ServerId) {
+        if let Some(node) = &self.nodes[from as usize] {
+            node.link_down(to);
+        }
+    }
+
+    /// Fault injection: sever `from → to` for `down_for`, then
+    /// auto-heal and reconnect.
+    pub fn link_flap(&self, from: ServerId, to: ServerId, down_for: Duration) {
+        if let Some(node) = &self.nodes[from as usize] {
+            node.link_flap(to, down_for);
+        }
+    }
+
+    /// Fault injection: heal a link held down by
+    /// [`LocalCluster::link_down`] / [`LocalCluster::link_flap`].
+    pub fn link_up(&self, from: ServerId, to: ServerId) {
+        if let Some(node) = &self.nodes[from as usize] {
+            node.link_up(to);
+        }
+    }
+
+    /// Resilience counters of server `id` (zeros for a dead server).
+    pub fn link_stats(&self, id: ServerId) -> LinkStatsSnapshot {
+        self.nodes[id as usize].as_ref().map(|n| n.link_stats()).unwrap_or_default()
+    }
+
     /// Emulate a fail-stop crash of `id`: all its threads stop, sockets
     /// close, heartbeats cease. Peers detect via disconnect/FD.
     pub fn kill(&mut self, id: ServerId) {
@@ -158,7 +194,7 @@ impl LocalCluster {
     pub fn run_round(&self, payloads: &[Bytes], timeout: Duration) -> Vec<Option<Delivery>> {
         assert_eq!(payloads.len(), self.n());
         for (i, p) in payloads.iter().enumerate() {
-            self.broadcast(i as ServerId, p.clone());
+            let _ = self.broadcast(i as ServerId, p.clone());
         }
         (0..self.n() as ServerId).map(|i| self.recv_delivery(i, timeout)).collect()
     }
@@ -235,7 +271,7 @@ mod tests {
         let mut ps = payloads(8);
         ps[6] = Bytes::new();
         for (i, p) in ps.iter().enumerate() {
-            cluster.broadcast(i as ServerId, p.clone());
+            let _ = cluster.broadcast(i as ServerId, p.clone());
         }
         let mut reference: Option<Vec<(ServerId, Bytes)>> = None;
         for i in 0..8u32 {

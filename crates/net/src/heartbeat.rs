@@ -41,7 +41,8 @@ impl FdParams {
     /// are routine and a tight `Δ_to` produces spurious suspicions of
     /// live servers. Loopback crash detection does not pay for the lax
     /// timeout because a dead peer's closed socket triggers the
-    /// disconnect-based suspicion path immediately.
+    /// disconnect-based suspicion path after one `link_grace` (well
+    /// under this `Δ_to` — see `RuntimeOptions::link_grace`).
     pub fn fast() -> Self {
         FdParams {
             heartbeat_period: Duration::from_millis(10),
@@ -147,12 +148,18 @@ pub fn spawn_receiver(
     })
 }
 
-/// Monitor: polls the table and reports expirations through `on_suspect`
-/// until stopped.
+/// Monitor: polls the table every `poll` and reports expirations
+/// through `on_suspect` until stopped.
+///
+/// The suspicion timeout is read from `timeout` on every poll — the
+/// runtime shares the same [`AdaptiveTimeout`] with its link-healing
+/// path, so every flap that heals under grace grows `Δ_to` (the §3.3.2
+/// ◇P recipe) and the monitor's next decision uses the grown value.
 pub fn spawn_monitor<F>(
     id: ServerId,
     table: Arc<HeartbeatTable>,
-    params: FdParams,
+    poll: Duration,
+    timeout: Arc<AdaptiveTimeout>,
     stop: Arc<AtomicBool>,
     on_suspect: F,
 ) -> std::io::Result<std::thread::JoinHandle<()>>
@@ -161,10 +168,10 @@ where
 {
     std::thread::Builder::new().name(format!("ac-fd-{id}")).spawn(move || {
         while !stop.load(Ordering::Relaxed) {
-            for suspect in table.expired(params.timeout) {
+            for suspect in table.expired(timeout.current()) {
                 on_suspect(suspect);
             }
-            std::thread::sleep(params.heartbeat_period / 2);
+            std::thread::sleep(poll);
         }
     })
 }
@@ -223,9 +230,17 @@ mod tests {
         let suspected = Arc::new(Mutex::new(Vec::new()));
         let suspected2 = suspected.clone();
         let stop_mon = Arc::new(AtomicBool::new(false));
-        let monitor = spawn_monitor(1, table, params, stop_mon.clone(), move |s| {
-            suspected2.lock().push(s);
-        })
+        let adaptive = Arc::new(AdaptiveTimeout::new(params.timeout, params.timeout));
+        let monitor = spawn_monitor(
+            1,
+            table,
+            params.heartbeat_period / 2,
+            adaptive,
+            stop_mon.clone(),
+            move |s| {
+                suspected2.lock().push(s);
+            },
+        )
         .unwrap();
 
         // Healthy phase: no suspicion.

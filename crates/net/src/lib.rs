@@ -13,17 +13,23 @@
 //!   threads, a protocol thread owning the state machine, buffered
 //!   writers to overlay successors;
 //! * [`heartbeat`] — UDP heartbeats and the timeout-based failure
-//!   detector (`Δ_hb` / `Δ_to`, §3.2); connection loss can optionally be
-//!   treated as an immediate suspicion to accelerate detection;
+//!   detector (`Δ_hb` / `Δ_to`, §3.2) with the §3.3.2 adaptive timeout;
+//!   connection loss escalates to a suspicion only after the link-grace
+//!   budget expires without a reconnect;
+//! * [`link`] — per-link resilience primitives: capped-backoff-with-
+//!   jitter reconnect policy, bounded watermarked frame queues, and the
+//!   resilience counters;
 //! * [`cluster`] — [`cluster::LocalCluster`]: spin up a full deployment
 //!   on loopback for tests, examples, and benches.
 //!
 //! The integration tests in `tests/` run multi-server agreement,
-//! including crash-failure runs, over real TCP on 127.0.0.1.
+//! including crash-failure and link-flap runs, over real TCP on
+//! 127.0.0.1.
 
 pub mod cluster;
 pub mod codec;
 pub mod heartbeat;
+pub mod link;
 pub mod runtime;
 
 pub use cluster::LocalCluster;

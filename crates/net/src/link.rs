@@ -1,0 +1,400 @@
+//! Per-link transport resilience primitives.
+//!
+//! AllConcur's failure model (§3, §4.2.2) distinguishes *process*
+//! failures — the ◇P detector's job — from *transient link* faults,
+//! which should be healed below the protocol so they never surface as
+//! suspicions. This module holds the pieces the TCP runtime composes
+//! into its per-link state machine (Connected → Degraded → Down):
+//!
+//! * [`BackoffPolicy`] — capped exponential backoff with deterministic
+//!   seeded jitter, shared by initial connects and reconnects;
+//! * [`ConnectError`] — typed connect failure carrying the attempt
+//!   count;
+//! * [`FrameQueue`] — the bounded per-link outbound buffer with
+//!   high/low watermark hysteresis that keeps Degraded memory-safe;
+//! * [`LinkStats`] — atomic counters read by tests, the nemesis
+//!   harness, and CI failure dumps.
+//!
+//! See `DESIGN.md` § "Transport resilience & admission control" for the
+//! state-machine diagram and parameter rationale.
+
+use bytes::Bytes;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// xorshift64* step — the same tiny generator the runtime's drop
+/// sampler uses, so resilience code adds no dependency on `rand`.
+fn xorshift_star(mut x: u64) -> u64 {
+    if x == 0 {
+        x = 0x9e37_79b9_7f4a_7c15;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Capped exponential backoff with deterministic seeded jitter.
+///
+/// Attempt `k` (0-based) waits `min(base · 2ᵏ, cap)` plus a jitter in
+/// `[0, delay/2]` drawn from an xorshift64* stream keyed by
+/// `(seed, k)`. The jitter is a pure function of the seed and attempt
+/// number — scripted tests replay byte-for-byte — yet seeds differ per
+/// link, so a cluster-wide outage does not produce synchronized
+/// reconnect stampedes.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffPolicy {
+    /// First-attempt delay (the exponential base).
+    pub base: Duration,
+    /// Upper bound on the exponential component; with jitter the total
+    /// delay never exceeds `1.5 × cap`.
+    pub cap: Duration,
+    /// Jitter stream seed. Key it per link (e.g. `id ⊕ peer`) so links
+    /// de-phase.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// Policy with the given base/cap and jitter seed.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> BackoffPolicy {
+        BackoffPolicy { base, cap, seed }
+    }
+
+    /// Delay before retry attempt `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let mult = 1u64 << attempt.min(16);
+        let base = u64::try_from(self.base.as_nanos()).unwrap_or(u64::MAX);
+        let cap = u64::try_from(self.cap.as_nanos()).unwrap_or(u64::MAX);
+        let exp = base.saturating_mul(mult).min(cap);
+        let jitter = xorshift_star(self.seed ^ u64::from(attempt).wrapping_add(1)) % (exp / 2 + 1);
+        Duration::from_nanos(exp.saturating_add(jitter))
+    }
+}
+
+/// Typed connect failure: how many attempts were made and the last
+/// underlying I/O error. Convertible back to [`std::io::Error`] (same
+/// kind, this as the source) for callers that only speak `io::Result`.
+#[derive(Debug)]
+pub struct ConnectError {
+    /// Number of connection attempts made before giving up.
+    pub attempts: u32,
+    /// The error from the final attempt.
+    pub last: std::io::Error,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "connect failed after {} attempts: {}", self.attempts, self.last)
+    }
+}
+
+impl std::error::Error for ConnectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.last)
+    }
+}
+
+impl From<ConnectError> for std::io::Error {
+    fn from(e: ConnectError) -> std::io::Error {
+        std::io::Error::new(e.last.kind(), e)
+    }
+}
+
+/// Connect to `addr`, retrying under `policy` for up to `attempts`
+/// attempts (clamped to ≥ 1). Used both for the runtime's initial
+/// successor connections and — via the same policy — its Degraded-link
+/// reconnects, so the two paths share one backoff behaviour.
+///
+/// On exhaustion returns a [`ConnectError`] carrying the attempt count
+/// and the last underlying error.
+pub fn connect_with_retry(
+    addr: std::net::SocketAddr,
+    attempts: u32,
+    policy: &BackoffPolicy,
+) -> Result<std::net::TcpStream, ConnectError> {
+    let attempts = attempts.max(1);
+    let mut last: Option<std::io::Error> = None;
+    for k in 0..attempts {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = Some(e),
+        }
+        if k + 1 < attempts {
+            std::thread::sleep(policy.delay(k));
+        }
+    }
+    Err(ConnectError {
+        attempts,
+        last: last.unwrap_or_else(|| std::io::Error::other("connect made no attempts")),
+    })
+}
+
+/// Bounded per-link outbound frame buffer with high/low watermark
+/// hysteresis.
+///
+/// While a link is Degraded, outbound frames queue here for replay on
+/// reconnect. Crossing the *high* watermark enters saturation: new
+/// frames are shed (counted, never stored) until the queue drains below
+/// the *low* watermark — hysteresis, so a queue hovering at the
+/// boundary does not flap between accepting and shedding. Shedding a
+/// protocol frame is equivalent to a transient message-loss fault,
+/// which the overlay's vertex-connectivity already tolerates; the point
+/// is that Degraded links hold **bounded** memory no matter how long
+/// the outage lasts.
+#[derive(Debug)]
+pub struct FrameQueue {
+    frames: VecDeque<Bytes>,
+    high: usize,
+    low: usize,
+    saturated: bool,
+    shed: u64,
+}
+
+impl FrameQueue {
+    /// Queue with the given watermarks. `high` is clamped to ≥ 1 and
+    /// `low` to below `high`, so the hysteresis band always exists.
+    pub fn new(high: usize, low: usize) -> FrameQueue {
+        let high = high.max(1);
+        FrameQueue {
+            frames: VecDeque::new(),
+            high,
+            low: low.min(high - 1),
+            saturated: false,
+            shed: 0,
+        }
+    }
+
+    /// Enqueue a frame for replay. Returns `false` (and counts a shed)
+    /// when the queue is saturated.
+    pub fn push(&mut self, frame: Bytes) -> bool {
+        if self.saturated || self.frames.len() >= self.high {
+            self.saturated = true;
+            self.shed += 1;
+            return false;
+        }
+        self.frames.push_back(frame);
+        true
+    }
+
+    /// Return a frame to the front of the queue, bypassing the
+    /// watermarks — the replay path puts back the one frame a dying
+    /// reconnect failed to write, so occupancy exceeds `high` by at
+    /// most one.
+    pub fn push_front(&mut self, frame: Bytes) {
+        self.frames.push_front(frame);
+    }
+
+    /// Dequeue the oldest frame. Dropping below the low watermark exits
+    /// saturation.
+    pub fn pop(&mut self) -> Option<Bytes> {
+        let f = self.frames.pop_front();
+        if self.saturated && self.frames.len() <= self.low {
+            self.saturated = false;
+        }
+        f
+    }
+
+    /// Frames currently buffered.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the queue holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Whether the queue is shedding (above high, not yet drained below
+    /// low).
+    pub fn is_saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Frames shed since creation.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+/// Atomic resilience counters for one runtime, shared between the
+/// protocol thread (writes) and observers (tests, nemesis reports, CI
+/// failure dumps).
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    degraded: AtomicU64,
+    reconnects: AtomicU64,
+    replayed_frames: AtomicU64,
+    grace_expired: AtomicU64,
+    shed_frames: AtomicU64,
+    reader_disconnects: AtomicU64,
+    healed: AtomicU64,
+    suspicions: AtomicU64,
+}
+
+impl LinkStats {
+    /// A writer link entered Degraded.
+    pub fn on_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A Degraded writer link reconnected.
+    pub fn on_reconnect(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` buffered frames were replayed after a reconnect.
+    pub fn on_replayed(&self, n: u64) {
+        self.replayed_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A Degraded link exhausted its grace budget (→ Down).
+    pub fn on_grace_expired(&self) {
+        self.grace_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` outbound frames were shed by watermark saturation or a Down
+    /// link.
+    pub fn on_shed(&self, n: u64) {
+        self.shed_frames.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// An inbound (reader) connection dropped.
+    pub fn on_reader_disconnect(&self) {
+        self.reader_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A predecessor reconnected while its disconnect grace was still
+    /// pending — the flap healed without a suspicion.
+    pub fn on_healed(&self) {
+        self.healed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A disconnect grace expired and escalated to a suspicion.
+    pub fn on_suspicion(&self) {
+        self.suspicions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy (individual counters are
+    /// each read atomically).
+    pub fn snapshot(&self) -> LinkStatsSnapshot {
+        LinkStatsSnapshot {
+            degraded: self.degraded.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            replayed_frames: self.replayed_frames.load(Ordering::Relaxed),
+            grace_expired: self.grace_expired.load(Ordering::Relaxed),
+            shed_frames: self.shed_frames.load(Ordering::Relaxed),
+            reader_disconnects: self.reader_disconnects.load(Ordering::Relaxed),
+            healed: self.healed.load(Ordering::Relaxed),
+            suspicions: self.suspicions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`LinkStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStatsSnapshot {
+    /// Times any writer link entered Degraded.
+    pub degraded: u64,
+    /// Successful writer reconnections.
+    pub reconnects: u64,
+    /// Frames replayed from Degraded queues after reconnects.
+    pub replayed_frames: u64,
+    /// Writer links whose grace budget expired (→ Down).
+    pub grace_expired: u64,
+    /// Outbound frames shed (watermark saturation or Down links).
+    pub shed_frames: u64,
+    /// Inbound (reader) connection drops observed.
+    pub reader_disconnects: u64,
+    /// Disconnect graces cancelled by a predecessor reconnecting.
+    pub healed: u64,
+    /// Disconnect graces that expired into suspicions.
+    pub suspicions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = BackoffPolicy::new(Duration::from_millis(5), Duration::from_millis(80), 42);
+        let q = BackoffPolicy::new(Duration::from_millis(5), Duration::from_millis(80), 42);
+        for k in 0..30 {
+            assert_eq!(p.delay(k), q.delay(k), "same seed+attempt must replay");
+            assert!(p.delay(k) <= Duration::from_millis(120), "cap × 1.5 bound at attempt {k}");
+        }
+        // Exponential growth below the cap: attempt 3's floor is 8× base.
+        assert!(p.delay(3) >= Duration::from_millis(40));
+        // Different seeds de-phase.
+        let r = BackoffPolicy::new(Duration::from_millis(5), Duration::from_millis(80), 43);
+        assert!((0..8).any(|k| r.delay(k) != p.delay(k)), "jitter must depend on the seed");
+    }
+
+    #[test]
+    fn backoff_huge_attempt_does_not_overflow() {
+        let p = BackoffPolicy::new(Duration::from_secs(1), Duration::from_secs(2), 7);
+        assert!(p.delay(u32::MAX) <= Duration::from_secs(3));
+    }
+
+    #[test]
+    fn frame_queue_watermark_hysteresis() {
+        let mut q = FrameQueue::new(4, 2);
+        for i in 0..4u8 {
+            assert!(q.push(Bytes::from(vec![i])), "below high watermark");
+        }
+        // At the high watermark: saturation begins, frames shed.
+        assert!(!q.push(Bytes::from_static(b"x")));
+        assert!(q.is_saturated());
+        assert_eq!(q.shed(), 1);
+        // Draining to 3 (> low) keeps shedding — hysteresis.
+        assert!(q.pop().is_some());
+        assert!(q.is_saturated());
+        assert!(!q.push(Bytes::from_static(b"y")));
+        assert_eq!(q.shed(), 2);
+        // Draining to the low watermark reopens the queue.
+        assert!(q.pop().is_some());
+        assert!(!q.is_saturated());
+        assert!(q.push(Bytes::from_static(b"z")));
+        // FIFO order preserved across the episode.
+        assert_eq!(q.pop(), Some(Bytes::from(vec![2u8])));
+    }
+
+    #[test]
+    fn frame_queue_degenerate_watermarks_clamped() {
+        let mut q = FrameQueue::new(0, 9); // high→1, low→0
+        assert!(q.push(Bytes::from_static(b"a")));
+        assert!(!q.push(Bytes::from_static(b"b")));
+        assert!(q.pop().is_some());
+        assert!(q.push(Bytes::from_static(b"c")));
+    }
+
+    #[test]
+    fn connect_error_converts_to_io() {
+        let e = ConnectError {
+            attempts: 7,
+            last: std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "nope"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("7 attempts"), "{msg}");
+        let io: std::io::Error = e.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let s = LinkStats::default();
+        s.on_degraded();
+        s.on_reconnect();
+        s.on_replayed(3);
+        s.on_shed(2);
+        s.on_healed();
+        let snap = s.snapshot();
+        assert_eq!(snap.degraded, 1);
+        assert_eq!(snap.replayed_frames, 3);
+        assert_eq!(snap.shed_frames, 2);
+        assert_eq!(snap.healed, 1);
+        assert_eq!(snap.suspicions, 0);
+    }
+}

@@ -6,32 +6,63 @@
 //! * **accept** — accepts connections from overlay predecessors; each
 //!   accepted connection gets a **reader** thread that decodes frames and
 //!   forwards them to the protocol thread;
-//! * **protocol** — owns the [`Server`] state machine and the buffered
-//!   writers to overlay successors; the single consumer of the input
-//!   channel, so the state machine needs no locking at all;
+//! * **protocol** — owns the [`Server`] state machine and the per-link
+//!   outbound state to overlay successors; the single consumer of the
+//!   input channel, so the state machine needs no locking at all;
+//! * **reconnector** (transient) — one short-lived thread per Degraded
+//!   outbound link, retrying the connection under
+//!   [`crate::link::BackoffPolicy`] and handing the fresh stream back to
+//!   the protocol thread;
 //! * **heartbeat sender / receiver / FD monitor** — see
 //!   [`crate::heartbeat`].
 //!
 //! Message flow direction matches the overlay: a server *connects out* to
 //! its successors (it sends to them) and *accepts in* from its
 //! predecessors.
+//!
+//! # Link resilience
+//!
+//! Transient link faults are healed below the protocol (they are not
+//! process failures — §3, §4.2.2). Each outbound link runs a small state
+//! machine:
+//!
+//! ```text
+//!            write/flush error, LinkDown, LinkFlap
+//!   Connected ────────────────────────────────────▶ Degraded
+//!       ▲                                            │   │
+//!       │  reconnect (replay buffered tail in order) │   │ link_grace
+//!       └────────────────────────────────────────────┘   │ exhausted
+//!                                                        ▼
+//!                                                      Down
+//! ```
+//!
+//! While Degraded, outbound frames buffer in a bounded
+//! [`crate::link::FrameQueue`] (high/low watermark hysteresis; frames
+//! above the high watermark are shed and counted, never stored).
+//! Inbound (reader) disconnects get the same grace: suspicion is
+//! deferred `link_grace`, and a predecessor reconnecting under the
+//! budget cancels it and feeds [`crate::heartbeat::AdaptiveTimeout::
+//! report_false_suspicion`] so the FD's timeout adapts — an
+//! under-budget link flap causes zero membership removals. Only an
+//! outage exceeding the budget escalates to the ◇P suspicion path.
 
 use crate::codec::{
     encode_frame, read_handshake, write_encoded_frame, write_handshake, FrameReader,
 };
-use crate::heartbeat::{self, FdParams, HeartbeatTable};
+use crate::heartbeat::{self, AdaptiveTimeout, FdParams, HeartbeatTable};
+use crate::link::{connect_with_retry, BackoffPolicy, FrameQueue, LinkStats, LinkStatsSnapshot};
 use allconcur_core::config::Config;
 use allconcur_core::message::Message;
 use allconcur_core::server::{Action, Event, Server};
 use allconcur_core::ServerId;
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::io::{BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One completed round, as seen by the application.
 ///
@@ -41,11 +72,48 @@ pub use allconcur_core::delivery::Delivery;
 
 /// Inputs multiplexed into the protocol thread.
 enum NodeInput {
-    Net { from: ServerId, msg: Message },
+    Net {
+        from: ServerId,
+        msg: Message,
+    },
     Broadcast(Bytes),
     Suspect(ServerId),
     SetWindow(usize),
-    SetLinkDrop { to: ServerId, ppm: u32 },
+    SetLinkDrop {
+        to: ServerId,
+        ppm: u32,
+    },
+    /// A reconnector re-established the outbound link to `to`; `gen`
+    /// stamps the Degraded episode it belongs to (stale ones are
+    /// discarded).
+    WriterUp {
+        to: ServerId,
+        gen: u64,
+        stream: TcpStream,
+    },
+    /// A predecessor's inbound connection completed its handshake.
+    ReaderUp {
+        from: ServerId,
+    },
+    /// A predecessor's inbound connection dropped (EOF/reset).
+    ReaderGone {
+        from: ServerId,
+    },
+    /// Fault injection: hold the outbound link to `to` down until
+    /// healed by [`NodeInput::LinkUp`].
+    LinkDown {
+        to: ServerId,
+    },
+    /// Fault injection: hold the outbound link down for `down_for`,
+    /// then auto-heal.
+    LinkFlap {
+        to: ServerId,
+        down_for: Duration,
+    },
+    /// Fault injection: heal a held-down link.
+    LinkUp {
+        to: ServerId,
+    },
     Shutdown,
 }
 
@@ -58,14 +126,35 @@ const DROP_PPM_SCALE: u64 = 1_000_000;
 pub struct RuntimeOptions {
     /// FD timing.
     pub fd: FdParams,
-    /// Treat a predecessor's TCP disconnect as an immediate suspicion
-    /// (faster than waiting `Δ_to`; sound under fail-stop because healthy
-    /// overlay connections are never closed).
+    /// Escalate a predecessor's TCP disconnect into a suspicion once
+    /// the `link_grace` budget expires without a reconnect (sound under
+    /// fail-stop because healthy overlay connections are never closed
+    /// for long; much faster than waiting `Δ_to` for genuinely dead
+    /// peers).
     pub suspect_on_disconnect: bool,
     /// Retry budget while establishing successor connections.
     pub connect_attempts: u32,
-    /// Delay between connection attempts.
+    /// Base delay of the capped-exponential connect/reconnect backoff
+    /// (see [`BackoffPolicy`]).
     pub connect_backoff: Duration,
+    /// Cap on the exponential backoff component.
+    pub connect_backoff_cap: Duration,
+    /// How long a disconnected link (either direction) may stay in its
+    /// grace period before escalating: a Degraded writer drops to Down
+    /// and a reader disconnect becomes a suspicion. Under-budget flaps
+    /// heal with zero protocol impact.
+    pub link_grace: Duration,
+    /// High watermark of each Degraded link's bounded frame queue:
+    /// above it, new frames are shed (counted) instead of buffered.
+    pub link_queue_high: usize,
+    /// Low watermark: a saturated queue resumes accepting only after
+    /// draining below this (hysteresis).
+    pub link_queue_low: usize,
+    /// Capacity of the protocol thread's input channel. Readers block
+    /// when it fills (TCP backpressure propagates to senders);
+    /// [`NodeRuntime::broadcast`] fails fast instead, surfacing
+    /// saturation to the application as a typed `Busy` upstream.
+    pub input_queue_depth: usize,
     /// How long the protocol thread holds back peers' `BCAST`s for a
     /// round the application has not submitted a payload for yet.
     ///
@@ -101,6 +190,11 @@ impl Default for RuntimeOptions {
             suspect_on_disconnect: true,
             connect_attempts: 100,
             connect_backoff: Duration::from_millis(10),
+            connect_backoff_cap: Duration::from_millis(160),
+            link_grace: Duration::from_millis(400),
+            link_queue_high: 1024,
+            link_queue_low: 256,
+            input_queue_depth: 4096,
             app_grace: Duration::from_millis(400),
             round_window: 1,
         }
@@ -113,6 +207,7 @@ pub struct NodeRuntime {
     input_tx: Sender<NodeInput>,
     delivery_rx: Receiver<Delivery>,
     stop: Arc<AtomicBool>,
+    stats: Arc<LinkStats>,
     threads: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -130,8 +225,12 @@ impl NodeRuntime {
         opts: RuntimeOptions,
     ) -> std::io::Result<NodeRuntime> {
         let stop = Arc::new(AtomicBool::new(false));
-        let (input_tx, input_rx) = unbounded::<NodeInput>();
+        let (input_tx, input_rx) = bounded::<NodeInput>(opts.input_queue_depth.max(8));
+        // Deliveries are consumed by the application at its own pace and
+        // must never stall the protocol thread mid-round.
+        // lint:allow(bounded_queues): delivery backlog is bounded upstream by rsm admission control; blocking the protocol thread on a slow application consumer would deadlock rounds cluster-wide
         let (delivery_tx, delivery_rx) = unbounded::<Delivery>();
+        let stats = Arc::new(LinkStats::default());
         let mut threads = Vec::new();
 
         let graph = cfg.graph.clone();
@@ -153,7 +252,6 @@ impl NodeRuntime {
         {
             let stop = stop.clone();
             let input_tx = input_tx.clone();
-            let suspect_on_disconnect = opts.suspect_on_disconnect;
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("ac-accept-{id}"))
@@ -169,9 +267,7 @@ impl NodeRuntime {
                                     // exhaustion) drops the stream; the
                                     // peer sees a disconnect and its FD
                                     // takes over — never a panic here.
-                                    if let Ok(r) =
-                                        spawn_reader(id, stream, tx, stop2, suspect_on_disconnect)
-                                    {
+                                    if let Ok(r) = spawn_reader(id, stream, tx, stop2) {
                                         readers.push(r);
                                     }
                                 }
@@ -190,32 +286,75 @@ impl NodeRuntime {
         }
 
         // --- outgoing connections to successors ---------------------------
-        let mut writers: HashMap<ServerId, BufWriter<TcpStream>> = HashMap::new();
+        let mut links: HashMap<ServerId, OutboundLink> = HashMap::new();
         for &succ in &successors {
             let addr = tcp_addrs[succ as usize];
-            let stream = connect_with_retry(addr, opts.connect_attempts, opts.connect_backoff)?;
+            let policy = BackoffPolicy::new(
+                opts.connect_backoff,
+                opts.connect_backoff_cap,
+                link_seed(id, succ),
+            );
+            let stream = connect_with_retry(addr, opts.connect_attempts, &policy)
+                .map_err(std::io::Error::from)
+                .map_err(&stop_on_err)?;
             stream.set_nodelay(true).ok();
             let mut w = BufWriter::new(stream);
-            write_handshake(&mut w, id)?;
-            w.flush()?;
-            writers.insert(succ, w);
-        }
-
-        // --- protocol thread ----------------------------------------------
-        {
-            let stop = stop.clone();
-            let app_grace = opts.app_grace;
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("ac-proto-{id}"))
-                    .spawn(move || {
-                        protocol_loop(id, cfg, writers, input_rx, delivery_tx, stop, app_grace);
-                    })
-                    .map_err(&stop_on_err)?,
+            write_handshake(&mut w, id).map_err(&stop_on_err)?;
+            w.flush().map_err(&stop_on_err)?;
+            links.insert(
+                succ,
+                OutboundLink {
+                    state: LinkWriter::Connected(w),
+                    deadline: None,
+                    hold: None,
+                    gen: 0,
+                },
             );
         }
 
         // --- failure detector ----------------------------------------------
+        // The ◇P recipe (§3.3.2): the suspicion timeout starts at Δ_to
+        // and grows on evidence of false suspicion (a link flap healing
+        // under grace), capped so genuinely dead peers are still caught.
+        let adaptive_cap = opts.fd.timeout.checked_mul(8).unwrap_or(opts.fd.timeout);
+        let adaptive = Arc::new(AdaptiveTimeout::new(opts.fd.timeout, adaptive_cap));
+
+        // --- protocol thread ----------------------------------------------
+        {
+            let st = ProtocolState {
+                id,
+                server: Server::new(cfg, id),
+                links,
+                delivery_tx,
+                actions: Vec::new(),
+                dirty: Vec::new(),
+                deferred: std::collections::VecDeque::new(),
+                gate_deadline: None,
+                app_grace: opts.app_grace,
+                drop_ppm: HashMap::new(),
+                drop_rng: 0x9e37_79b9_7f4a_7c15 ^ (id as u64 + 1),
+                link_grace: opts.link_grace,
+                link_queue_high: opts.link_queue_high,
+                link_queue_low: opts.link_queue_low,
+                connect_backoff: opts.connect_backoff,
+                connect_backoff_cap: opts.connect_backoff_cap,
+                suspect_on_disconnect: opts.suspect_on_disconnect,
+                tcp_addrs,
+                input_tx: input_tx.clone(),
+                stop: stop.clone(),
+                stats: stats.clone(),
+                adaptive: adaptive.clone(),
+                reader_counts: HashMap::new(),
+                reader_grace: HashMap::new(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ac-proto-{id}"))
+                    .spawn(move || protocol_loop(st, input_rx))
+                    .map_err(&stop_on_err)?,
+            );
+        }
+
         let hb_table = HeartbeatTable::new(&predecessors);
         let succ_udp: Vec<SocketAddr> = successors.iter().map(|&s| udp_addrs[s as usize]).collect();
         let hb_send_sock = udp.try_clone()?;
@@ -230,14 +369,21 @@ impl NodeRuntime {
         {
             let tx = input_tx.clone();
             threads.push(
-                heartbeat::spawn_monitor(id, hb_table, opts.fd, stop.clone(), move |s| {
-                    let _ = tx.send(NodeInput::Suspect(s));
-                })
+                heartbeat::spawn_monitor(
+                    id,
+                    hb_table,
+                    opts.fd.heartbeat_period / 2,
+                    adaptive,
+                    stop.clone(),
+                    move |s| {
+                        let _ = tx.send(NodeInput::Suspect(s));
+                    },
+                )
                 .map_err(&stop_on_err)?,
             );
         }
 
-        Ok(NodeRuntime { id, input_tx, delivery_rx, stop, threads })
+        Ok(NodeRuntime { id, input_tx, delivery_rx, stop, stats, threads })
     }
 
     /// This server's id.
@@ -245,9 +391,16 @@ impl NodeRuntime {
         self.id
     }
 
-    /// Submit this round's payload for A-broadcast.
-    pub fn broadcast(&self, payload: Bytes) {
-        let _ = self.input_tx.send(NodeInput::Broadcast(payload));
+    /// Submit this round's payload for A-broadcast. Returns `false`
+    /// when the protocol input queue is saturated (end-to-end
+    /// backpressure) — the caller should back off and retry; the
+    /// payload was **not** accepted.
+    #[must_use = "a false return means the payload was shed, not submitted"]
+    pub fn broadcast(&self, payload: Bytes) -> bool {
+        // A short patience window absorbs sub-millisecond bursts without
+        // turning them into spurious Busy errors; genuine saturation
+        // (protocol thread pinned) still fails fast.
+        self.input_tx.send_timeout(NodeInput::Broadcast(payload), Duration::from_millis(5)).is_ok()
     }
 
     /// Blocking receive of the next delivery, with timeout.
@@ -283,6 +436,32 @@ impl NodeRuntime {
         let _ = self.input_tx.send(NodeInput::SetLinkDrop { to, ppm });
     }
 
+    /// Fault injection: sever the outbound link to `to` and hold it
+    /// down until [`NodeRuntime::link_up`]. Pending writes are flushed
+    /// first (TCP delivers them with the FIN), then outbound frames
+    /// buffer in the bounded Degraded queue for replay on heal.
+    pub fn link_down(&self, to: ServerId) {
+        let _ = self.input_tx.send(NodeInput::LinkDown { to });
+    }
+
+    /// Fault injection: like [`NodeRuntime::link_down`], but the link
+    /// auto-heals after `down_for`.
+    pub fn link_flap(&self, to: ServerId, down_for: Duration) {
+        let _ = self.input_tx.send(NodeInput::LinkFlap { to, down_for });
+    }
+
+    /// Fault injection: heal a link held down by
+    /// [`NodeRuntime::link_down`]/[`NodeRuntime::link_flap`] and start
+    /// reconnecting immediately.
+    pub fn link_up(&self, to: ServerId) {
+        let _ = self.input_tx.send(NodeInput::LinkUp { to });
+    }
+
+    /// Point-in-time copy of this runtime's resilience counters.
+    pub fn link_stats(&self) -> LinkStatsSnapshot {
+        self.stats.snapshot()
+    }
+
     /// Stop all threads and close sockets. Used both for graceful
     /// shutdown and to emulate a crash (peers detect via disconnect/FD).
     pub fn shutdown(self) {
@@ -308,24 +487,23 @@ impl NodeRuntime {
     }
 }
 
-fn connect_with_retry(
-    addr: SocketAddr,
-    attempts: u32,
-    backoff: Duration,
-) -> std::io::Result<TcpStream> {
-    let mut last_err = None;
-    for _ in 0..attempts.max(1) {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
-            Err(e) => {
-                last_err = Some(e);
-                std::thread::sleep(backoff);
-            }
+/// Jitter seed for the `id → to` link's backoff stream: unique per
+/// directed link so reconnect storms de-phase.
+fn link_seed(id: ServerId, to: ServerId) -> u64 {
+    (u64::from(id) << 32) ^ u64::from(to) ^ 0xA5A5_5A5A_D00D_F00D
+}
+
+/// Sleep `total` in short slices, returning early when `stop` rises.
+fn sleep_polling(total: Duration, stop: &AtomicBool) {
+    let slice = Duration::from_millis(5);
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Relaxed) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
         }
+        std::thread::sleep(left.min(slice));
     }
-    // `attempts.max(1)` guarantees at least one iteration recorded an
-    // error, but the fallback keeps this typed rather than panicking.
-    Err(last_err.unwrap_or_else(|| std::io::Error::other("connect retry loop made no attempts")))
 }
 
 fn spawn_reader(
@@ -333,7 +511,6 @@ fn spawn_reader(
     mut stream: TcpStream,
     tx: Sender<NodeInput>,
     stop: Arc<AtomicBool>,
-    suspect_on_disconnect: bool,
 ) -> std::io::Result<std::thread::JoinHandle<()>> {
     std::thread::Builder::new().name(format!("ac-read-{id}")).spawn(move || {
         stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
@@ -351,6 +528,11 @@ fn spawn_reader(
                 Err(_) => return,
             }
         };
+        // Register with the protocol thread so a reconnect under grace
+        // cancels the pending disconnect suspicion.
+        if tx.send(NodeInput::ReaderUp { from }).is_err() {
+            return;
+        }
         // Buffered frame parsing: one `read` syscall pulls a whole
         // burst of pipelined frames, and a read timeout mid-frame
         // resumes cleanly instead of desynchronising the stream.
@@ -364,9 +546,11 @@ fn spawn_reader(
                 }
                 Ok(None) => {} // read timeout: poll the stop flag
                 Err(_) => {
-                    // EOF or reset: the predecessor is gone.
-                    if suspect_on_disconnect && !stop.load(Ordering::Relaxed) {
-                        let _ = tx.send(NodeInput::Suspect(from));
+                    // EOF or reset: the predecessor's link dropped. The
+                    // protocol thread starts the disconnect grace; only
+                    // its expiry becomes a suspicion.
+                    if !stop.load(Ordering::Relaxed) {
+                        let _ = tx.send(NodeInput::ReaderGone { from });
                     }
                     return;
                 }
@@ -375,13 +559,47 @@ fn spawn_reader(
     })
 }
 
+/// Writer half of one outbound link's state machine.
+enum LinkWriter {
+    /// Healthy: frames go straight to the buffered socket writer.
+    Connected(BufWriter<TcpStream>),
+    /// Disconnected, within grace (or held by fault injection):
+    /// outbound frames buffer (bounded) for replay on reconnect.
+    Degraded(FrameQueue),
+    /// Grace exhausted: frames are shed; the FD owns the peer's fate.
+    Down,
+}
+
+/// Fault-injection hold on a link.
+enum Hold {
+    /// Held until an explicit `LinkUp`.
+    Manual,
+    /// Held until the instant passes (a flap's auto-heal).
+    Until(Instant),
+}
+
+/// One outbound link: writer state plus resilience bookkeeping.
+struct OutboundLink {
+    state: LinkWriter,
+    /// Grace deadline while Degraded and actively reconnecting (`None`
+    /// while held down by fault injection — held links heal, they do
+    /// not expire).
+    deadline: Option<Instant>,
+    /// Fault-injection hold, if any.
+    hold: Option<Hold>,
+    /// Episode counter: bumped on every state transition so a stale
+    /// reconnector's `WriterUp` from a previous episode is discarded.
+    gen: u64,
+}
+
 /// Mutable state of one server's protocol thread.
 struct ProtocolState {
+    id: ServerId,
     server: Server,
-    writers: HashMap<ServerId, BufWriter<TcpStream>>,
+    links: HashMap<ServerId, OutboundLink>,
     delivery_tx: Sender<Delivery>,
     actions: Vec<Action>,
-    /// Writers holding unflushed bytes. Flushed once per drained input
+    /// Links holding unflushed bytes. Flushed once per drained input
     /// batch ([`ProtocolState::flush_writers`]), not per frame — with
     /// `d` successors and a burst of forwarded messages this collapses
     /// many small `flush` syscalls into one per writer per batch.
@@ -392,7 +610,7 @@ struct ProtocolState {
     deferred: std::collections::VecDeque<(ServerId, Message)>,
     /// When the gate opened; deferred messages are force-released past
     /// this instant.
-    gate_deadline: Option<std::time::Instant>,
+    gate_deadline: Option<Instant>,
     app_grace: Duration,
     /// Per-successor send-drop rates (parts-per-million) — the writer
     /// path of the nemesis fault surface. Empty in healthy operation.
@@ -400,6 +618,28 @@ struct ProtocolState {
     /// xorshift64* state for drop sampling: deterministic per node,
     /// cheap, and independent of the `rand` crate.
     drop_rng: u64,
+    link_grace: Duration,
+    link_queue_high: usize,
+    link_queue_low: usize,
+    connect_backoff: Duration,
+    connect_backoff_cap: Duration,
+    suspect_on_disconnect: bool,
+    tcp_addrs: Vec<SocketAddr>,
+    /// Clone of the runtime's input sender, handed to reconnector
+    /// threads. The protocol thread itself never sends on it (that
+    /// could deadlock against its own bounded channel); the loop's
+    /// bounded `recv_timeout` keeps shutdown live regardless.
+    input_tx: Sender<NodeInput>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<LinkStats>,
+    adaptive: Arc<AdaptiveTimeout>,
+    /// Live inbound connections per predecessor. A predecessor can
+    /// briefly have two (old socket not yet reaped during a reconnect),
+    /// so suspicion bookkeeping counts rather than toggles.
+    reader_counts: HashMap<ServerId, u32>,
+    /// Predecessors whose last inbound connection dropped: suspicion
+    /// fires when the deadline passes without a reconnect.
+    reader_grace: HashMap<ServerId, Instant>,
 }
 
 impl ProtocolState {
@@ -423,12 +663,13 @@ impl ProtocolState {
         // clone one message, so a one-entry frame cache captures the
         // whole run; a miss just re-encodes.
         let mut frame: Option<(Message, bytes::Bytes)> = None;
-        for action in self.actions.drain(..) {
+        let mut actions = std::mem::take(&mut self.actions);
+        let mut hung_up = false;
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
-                    // Injected send-loss (field-precise so the actions
-                    // drain above stays borrowable): the frame never
-                    // leaves the writer path.
+                    // Injected send-loss: the frame never leaves the
+                    // writer path.
                     if let Some(&ppm) = self.drop_ppm.get(&to) {
                         let mut x = self.drop_rng;
                         x ^= x << 13;
@@ -439,7 +680,9 @@ impl ProtocolState {
                             continue;
                         }
                     }
-                    let Some(w) = self.writers.get_mut(&to) else { continue };
+                    if !self.links.contains_key(&to) {
+                        continue;
+                    }
                     let cached = match &frame {
                         Some((m, f)) if same_message(m, &msg) => f.clone(),
                         _ => match encode_frame(&msg) {
@@ -450,30 +693,357 @@ impl ProtocolState {
                             Err(_) => continue, // oversized: drop, FD handles the peer
                         },
                     };
-                    if write_encoded_frame(w, &cached).is_err() {
-                        self.writers.remove(&to); // peer gone; FD handles the rest
-                        self.dirty.retain(|&d| d != to);
+                    self.send_frame(to, cached);
+                }
+                Action::Deliver { round, messages } => {
+                    if self.delivery_tx.send(Delivery { round, messages }).is_err() {
+                        hung_up = true;
+                        break;
+                    }
+                }
+            }
+        }
+        self.actions = actions; // reuse the allocation
+        !hung_up
+    }
+
+    /// Route one encoded frame through the link's state machine.
+    fn send_frame(&mut self, to: ServerId, frame: Bytes) {
+        let mut degrade = false;
+        let mut shed = false;
+        if let Some(link) = self.links.get_mut(&to) {
+            match &mut link.state {
+                LinkWriter::Connected(w) => {
+                    if write_encoded_frame(w, &frame).is_err() {
+                        degrade = true;
                     } else if !self.dirty.contains(&to) {
                         self.dirty.push(to);
                     }
                 }
-                Action::Deliver { round, messages } => {
-                    if self.delivery_tx.send(Delivery { round, messages }).is_err() {
-                        return false;
+                LinkWriter::Degraded(q) => shed = !q.push(frame.clone()),
+                LinkWriter::Down => shed = true,
+            }
+        }
+        if degrade {
+            // The frame that hit the error replays from its first byte
+            // on the fresh connection (the peer discards the partial
+            // tail with the dead socket), so it is queued, not lost.
+            self.enter_degraded(to, Some(frame));
+        }
+        if shed {
+            self.stats.on_shed(1);
+        }
+    }
+
+    /// Transition a link into Degraded after a write/flush failure and
+    /// start reconnecting (unless fault-held).
+    fn enter_degraded(&mut self, to: ServerId, first: Option<Bytes>) {
+        let (high, low, grace) = (self.link_queue_high, self.link_queue_low, self.link_grace);
+        let mut spawn = false;
+        if let Some(link) = self.links.get_mut(&to) {
+            let mut q = FrameQueue::new(high, low);
+            if let Some(f) = first {
+                let _ = q.push(f);
+            }
+            // Dropping the old writer closes the socket; its unflushed
+            // buffer (if any) is the only loss window, equivalent to a
+            // transient Drop fault the overlay's redundancy tolerates.
+            link.state = LinkWriter::Degraded(q);
+            link.gen += 1;
+            let held = link.hold.is_some();
+            link.deadline = if held { None } else { Some(Instant::now() + grace) };
+            spawn = !held;
+        }
+        self.dirty.retain(|&d| d != to);
+        self.stats.on_degraded();
+        if spawn {
+            self.spawn_reconnector(to);
+        }
+    }
+
+    /// Detached reconnector for the current Degraded episode of `to`:
+    /// capped-exponential retries with per-link deterministic jitter,
+    /// handing the fresh stream back as `WriterUp`. Runs past the grace
+    /// deadline by one budget of slack — a late success still heals a
+    /// link the membership has not removed.
+    fn spawn_reconnector(&mut self, to: ServerId) {
+        let Some(link) = self.links.get(&to) else { return };
+        let gen = link.gen;
+        let Some(&addr) = self.tcp_addrs.get(to as usize) else { return };
+        let policy = BackoffPolicy::new(
+            self.connect_backoff,
+            self.connect_backoff_cap,
+            link_seed(self.id, to),
+        );
+        let tx = self.input_tx.clone();
+        let stop = self.stop.clone();
+        let give_up = Instant::now() + self.link_grace + self.link_grace;
+        let id = self.id;
+        let _ = std::thread::Builder::new().name(format!("ac-reconn-{id}-{to}")).spawn(move || {
+            let mut attempt = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(100)) {
+                    stream.set_nodelay(true).ok();
+                    if write_handshake(&mut (&stream), id).is_ok() {
+                        let _ = tx.send(NodeInput::WriterUp { to, gen, stream });
                     }
+                    return;
                 }
+                if Instant::now() >= give_up {
+                    return;
+                }
+                sleep_polling(policy.delay(attempt), &stop);
+                attempt = attempt.saturating_add(1);
+            }
+        });
+    }
+
+    /// A reconnector delivered a fresh stream: replay the buffered tail
+    /// in order and return to Connected.
+    fn on_writer_up(&mut self, to: ServerId, gen: u64, stream: TcpStream) {
+        let mut queue = None;
+        if let Some(link) = self.links.get_mut(&to) {
+            if link.gen != gen {
+                return; // stale episode: drop the stream
+            }
+            let prev = std::mem::replace(&mut link.state, LinkWriter::Down);
+            match prev {
+                LinkWriter::Degraded(q) => {
+                    queue = Some(q);
+                    link.gen += 1;
+                    link.deadline = None;
+                }
+                other => {
+                    link.state = other;
+                    return;
+                }
+            }
+        }
+        let Some(mut q) = queue else { return };
+        let mut w = BufWriter::new(stream);
+        let mut replayed = 0u64;
+        let mut connected = true;
+        while let Some(f) = q.pop() {
+            if write_encoded_frame(&mut w, &f).is_err() {
+                // The new connection died mid-replay: back to Degraded
+                // with the unwritten tail (including this frame) and
+                // another reconnect episode.
+                q.push_front(f);
+                connected = false;
+                break;
+            }
+            replayed += 1;
+        }
+        self.stats.on_replayed(replayed);
+        if connected {
+            if let Some(link) = self.links.get_mut(&to) {
+                link.state = LinkWriter::Connected(w);
+            }
+            self.stats.on_reconnect();
+            if !self.dirty.contains(&to) {
+                self.dirty.push(to);
+            }
+        } else {
+            let mut retry_grace = false;
+            if let Some(link) = self.links.get_mut(&to) {
+                link.state = LinkWriter::Degraded(q);
+                link.gen += 1;
+                let held = link.hold.is_some();
+                link.deadline = if held { None } else { Some(Instant::now() + self.link_grace) };
+                retry_grace = !held;
+            }
+            if retry_grace {
+                self.spawn_reconnector(to);
+            }
+        }
+    }
+
+    /// Fault injection: hold the link to `to` down. Flushes first so
+    /// everything already written rides out with the FIN — an
+    /// under-grace hold is lossless end to end.
+    fn fault_hold(&mut self, to: ServerId, hold: Hold) {
+        let (high, low) = (self.link_queue_high, self.link_queue_low);
+        if let Some(link) = self.links.get_mut(&to) {
+            match &mut link.state {
+                LinkWriter::Connected(w) => {
+                    let _ = w.flush();
+                    link.state = LinkWriter::Degraded(FrameQueue::new(high, low));
+                    link.gen += 1;
+                    self.stats.on_degraded();
+                }
+                LinkWriter::Down => {
+                    link.state = LinkWriter::Degraded(FrameQueue::new(high, low));
+                    link.gen += 1;
+                    self.stats.on_degraded();
+                }
+                LinkWriter::Degraded(_) => {} // keep the buffered tail
+            }
+            link.hold = Some(hold);
+            link.deadline = None; // held links heal, they do not expire
+        }
+        self.dirty.retain(|&d| d != to);
+    }
+
+    /// Heal a fault-held link: resume the grace clock and reconnect.
+    fn heal_link(&mut self, to: ServerId) {
+        let grace = self.link_grace;
+        let mut spawn = false;
+        if let Some(link) = self.links.get_mut(&to) {
+            if link.hold.is_none() {
+                return;
+            }
+            link.hold = None;
+            match &mut link.state {
+                LinkWriter::Degraded(_) => {
+                    link.deadline = Some(Instant::now() + grace);
+                    spawn = true;
+                }
+                LinkWriter::Down => {
+                    link.state = LinkWriter::Degraded(FrameQueue::new(
+                        self.link_queue_high,
+                        self.link_queue_low,
+                    ));
+                    link.gen += 1;
+                    link.deadline = Some(Instant::now() + grace);
+                    self.stats.on_degraded();
+                    spawn = true;
+                }
+                LinkWriter::Connected(_) => {}
+            }
+        }
+        if spawn {
+            self.spawn_reconnector(to);
+        }
+    }
+
+    /// A predecessor's inbound connection completed its handshake:
+    /// cancel any pending disconnect grace — the flap healed, which is
+    /// exactly the §3.3.2 false-suspicion evidence the adaptive FD
+    /// timeout feeds on.
+    fn on_reader_up(&mut self, from: ServerId) {
+        *self.reader_counts.entry(from).or_insert(0) += 1;
+        if self.reader_grace.remove(&from).is_some() {
+            self.stats.on_healed();
+            self.adaptive.report_false_suspicion();
+        }
+    }
+
+    /// A predecessor's inbound connection dropped: when it was the last
+    /// one, start the disconnect grace instead of suspecting
+    /// immediately. Returns `false` when the app side hung up.
+    fn on_reader_gone(&mut self, from: ServerId) -> bool {
+        self.stats.on_reader_disconnect();
+        let count = self.reader_counts.entry(from).or_insert(0);
+        *count = count.saturating_sub(1);
+        if *count > 0 {
+            return true;
+        }
+        if self.link_grace.is_zero() {
+            // Degenerate configuration: the pre-resilience immediate
+            // suspicion path.
+            if self.suspect_on_disconnect {
+                self.stats.on_suspicion();
+                return self.process(Event::Suspect { suspect: from });
+            }
+            return true;
+        }
+        self.reader_grace.entry(from).or_insert_with(|| Instant::now() + self.link_grace);
+        true
+    }
+
+    /// Earliest pending deadline across all timed state: the app-grace
+    /// gate, Degraded links' grace, reader disconnect graces, and flap
+    /// auto-heals.
+    fn next_deadline(&self) -> Option<Instant> {
+        let mut next = self.gate_deadline;
+        let mut fold = |d: Instant| {
+            next = Some(match next {
+                Some(n) if n <= d => n,
+                _ => d,
+            });
+        };
+        for link in self.links.values() {
+            if let Some(d) = link.deadline {
+                fold(d);
+            }
+            if let Some(Hold::Until(t)) = link.hold {
+                fold(t);
+            }
+        }
+        for &d in self.reader_grace.values() {
+            fold(d);
+        }
+        next
+    }
+
+    /// Fire every deadline that has passed. Returns `false` when the
+    /// app side hung up.
+    fn on_tick(&mut self) -> bool {
+        let now = Instant::now();
+        // Flap auto-heals first: a heal and an expiry racing the same
+        // tick resolve in the link's favour.
+        let heals: Vec<ServerId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| matches!(l.hold, Some(Hold::Until(t)) if t <= now))
+            .map(|(&k, _)| k)
+            .collect();
+        for to in heals {
+            self.heal_link(to);
+        }
+        // Degraded links whose grace ran out drop to Down.
+        let expired: Vec<ServerId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.deadline.is_some_and(|d| d <= now))
+            .map(|(&k, _)| k)
+            .collect();
+        for to in expired {
+            if let Some(link) = self.links.get_mut(&to) {
+                let backlog = match &link.state {
+                    LinkWriter::Degraded(q) => q.len() as u64,
+                    _ => 0,
+                };
+                link.state = LinkWriter::Down;
+                link.deadline = None;
+                link.gen += 1;
+                self.stats.on_grace_expired();
+                if backlog > 0 {
+                    self.stats.on_shed(backlog);
+                }
+            }
+        }
+        // Reader graces that ran out escalate to the ◇P suspicion path.
+        let suspects: Vec<ServerId> =
+            self.reader_grace.iter().filter(|(_, &d)| d <= now).map(|(&k, _)| k).collect();
+        for from in suspects {
+            self.reader_grace.remove(&from);
+            if self.suspect_on_disconnect {
+                self.stats.on_suspicion();
+                if !self.process(Event::Suspect { suspect: from }) {
+                    return false;
+                }
+            }
+        }
+        // App-grace gate expiry.
+        if self.gate_deadline.is_some_and(|d| d <= now) {
+            self.gate_deadline = None;
+            if !self.release_deferred(true) {
+                return false;
             }
         }
         true
     }
 
-    /// Flush every writer that buffered bytes since the last flush.
+    /// Flush every link that buffered bytes since the last flush.
     fn flush_writers(&mut self) {
         for to in std::mem::take(&mut self.dirty) {
-            if let Some(w) = self.writers.get_mut(&to) {
-                if w.flush().is_err() {
-                    self.writers.remove(&to);
-                }
+            let failed = match self.links.get_mut(&to) {
+                Some(OutboundLink { state: LinkWriter::Connected(w), .. }) => w.flush().is_err(),
+                _ => false,
+            };
+            if failed {
+                self.enter_degraded(to, None);
             }
         }
     }
@@ -488,16 +1058,10 @@ impl ProtocolState {
     }
 
     /// Feed one multiplexed input. Returns `false` when the loop should
-    /// exit (shutdown, or the application side hung up). `None` means
-    /// the deferred-release grace expired.
-    fn handle_input(&mut self, input: Option<NodeInput>) -> bool {
+    /// exit (shutdown, or the application side hung up).
+    fn handle_input(&mut self, input: NodeInput) -> bool {
         let ok = match input {
-            None => {
-                // Grace expired without an application submission.
-                self.gate_deadline = None;
-                self.release_deferred(true)
-            }
-            Some(NodeInput::Net { from, msg }) => {
+            NodeInput::Net { from, msg } => {
                 // Defer a BCAST for a round the application has not
                 // submitted to yet — and, to preserve **per-link FIFO**,
                 // any message arriving behind a deferred one *from the
@@ -509,7 +1073,7 @@ impl ProtocolState {
                 // on *other* links flow through undelayed.
                 if self.deferred.iter().any(|&(f, _)| f == from) || self.gated(&msg) {
                     if self.gate_deadline.is_none() {
-                        self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
+                        self.gate_deadline = Some(Instant::now() + self.app_grace);
                     }
                     self.deferred.push_back((from, msg));
                     true
@@ -517,18 +1081,18 @@ impl ProtocolState {
                     self.process(Event::Receive { from, msg })
                 }
             }
-            Some(NodeInput::Broadcast(payload)) => self.process(Event::ABroadcast(payload)),
-            Some(NodeInput::Suspect(s)) => {
+            NodeInput::Broadcast(payload) => self.process(Event::ABroadcast(payload)),
+            NodeInput::Suspect(s) => {
                 // The monitor and disconnect paths can both report the
                 // same suspicion; the state machine dedups via F_i, and a
                 // suspicion for an already-removed server is a no-op.
                 self.process(Event::Suspect { suspect: s })
             }
-            Some(NodeInput::SetWindow(w)) => {
+            NodeInput::SetWindow(w) => {
                 self.server.set_round_window(w);
                 true
             }
-            Some(NodeInput::SetLinkDrop { to, ppm }) => {
+            NodeInput::SetLinkDrop { to, ppm } => {
                 if ppm == 0 {
                     self.drop_ppm.remove(&to);
                 } else {
@@ -536,7 +1100,28 @@ impl ProtocolState {
                 }
                 true
             }
-            Some(NodeInput::Shutdown) => return false,
+            NodeInput::WriterUp { to, gen, stream } => {
+                self.on_writer_up(to, gen, stream);
+                true
+            }
+            NodeInput::ReaderUp { from } => {
+                self.on_reader_up(from);
+                true
+            }
+            NodeInput::ReaderGone { from } => self.on_reader_gone(from),
+            NodeInput::LinkDown { to } => {
+                self.fault_hold(to, Hold::Manual);
+                true
+            }
+            NodeInput::LinkFlap { to, down_for } => {
+                self.fault_hold(to, Hold::Until(Instant::now() + down_for));
+                true
+            }
+            NodeInput::LinkUp { to } => {
+                self.heal_link(to);
+                true
+            }
+            NodeInput::Shutdown => return false,
         };
         ok && self.release_deferred(false)
     }
@@ -575,54 +1160,36 @@ impl ProtocolState {
         if self.deferred.is_empty() {
             self.gate_deadline = None;
         } else if self.gate_deadline.is_none() {
-            self.gate_deadline = Some(std::time::Instant::now() + self.app_grace);
+            self.gate_deadline = Some(Instant::now() + self.app_grace);
         }
         true
     }
 }
 
-fn protocol_loop(
-    id: ServerId,
-    cfg: Config,
-    writers: HashMap<ServerId, BufWriter<TcpStream>>,
-    input_rx: Receiver<NodeInput>,
-    delivery_tx: Sender<Delivery>,
-    stop: Arc<AtomicBool>,
-    app_grace: Duration,
-) {
-    let mut st = ProtocolState {
-        server: Server::new(cfg, id),
-        writers,
-        delivery_tx,
-        actions: Vec::new(),
-        dirty: Vec::new(),
-        deferred: std::collections::VecDeque::new(),
-        gate_deadline: None,
-        app_grace,
-        drop_ppm: HashMap::new(),
-        drop_rng: 0x9e37_79b9_7f4a_7c15 ^ (id as u64 + 1),
-    };
+/// Upper bound on the idle wait, so the loop re-checks `stop` even when
+/// no deadline is pending (the state holds a clone of its own input
+/// sender for reconnectors, so channel disconnection alone cannot be
+/// relied on to wake it).
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+fn protocol_loop(mut st: ProtocolState, input_rx: Receiver<NodeInput>) {
     loop {
-        // While peer messages are gated, wake up at the deadline to
-        // force-release them; otherwise block on the next input.
-        let input = match st.gate_deadline {
-            Some(deadline) => {
-                let wait = deadline.saturating_duration_since(std::time::Instant::now());
-                match input_rx.recv_timeout(wait) {
-                    Ok(i) => Some(i),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            }
-            None => match input_rx.recv() {
-                Ok(i) => Some(i),
-                Err(_) => return,
-            },
+        let wait = match st.next_deadline() {
+            Some(d) => d.saturating_duration_since(Instant::now()).min(IDLE_POLL),
+            None => IDLE_POLL,
         };
-        if stop.load(Ordering::Relaxed) {
+        let input = match input_rx.recv_timeout(wait) {
+            Ok(i) => Some(i),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        if st.stop.load(Ordering::Relaxed) {
             return;
         }
-        let mut ok = st.handle_input(input);
+        let mut ok = match input {
+            Some(i) => st.handle_input(i),
+            None => st.on_tick(),
+        };
         // Drain whatever else already queued up before touching the
         // network flush: one flush per writer per *batch* of inputs,
         // not per frame. Bounded so a firehose of input cannot starve
@@ -632,11 +1199,11 @@ fn protocol_loop(
             match input_rx.try_recv() {
                 Ok(input) => {
                     drained += 1;
-                    if stop.load(Ordering::Relaxed) {
+                    if st.stop.load(Ordering::Relaxed) {
                         st.flush_writers();
                         return;
                     }
-                    ok = st.handle_input(Some(input));
+                    ok = st.handle_input(input);
                 }
                 Err(_) => break,
             }

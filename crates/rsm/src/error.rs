@@ -42,6 +42,18 @@ pub enum ServiceError {
         /// The budget that elapsed.
         waited: Duration,
     },
+    /// Admission control shed the command: the round pipeline is full,
+    /// and either the origin's submission queue or the write-ahead
+    /// log's group-commit backlog is over its configured cap (see
+    /// [`crate::AdmissionConfig`]). The command was **not** enqueued
+    /// and had no effect — back off for `retry_after` and resubmit.
+    /// Shedding at submit keeps memory bounded under open-loop
+    /// overload; the alternative (unbounded queueing) turns a transient
+    /// burst into latency collapse and an eventual OOM kill.
+    Busy {
+        /// Suggested pause before resubmitting.
+        retry_after: Duration,
+    },
     /// The durability layer failed: a write-ahead-log append, sync,
     /// checkpoint, recovery scan, or catch-up transfer reported an
     /// error. Agreement itself is unaffected, but durable
@@ -83,6 +95,9 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "command outstanding across a reconfiguration")
             }
             ServiceError::Timeout { waited } => write!(f, "no response within {waited:?}"),
+            ServiceError::Busy { retry_after } => {
+                write!(f, "service saturated; command shed, retry after {retry_after:?}")
+            }
             ServiceError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
@@ -107,6 +122,11 @@ impl From<RsmError> for ServiceError {
 
 impl From<ClusterError> for ServiceError {
     fn from(e: ClusterError) -> Self {
-        ServiceError::Cluster(e)
+        match e {
+            // Transport-level shed surfaces as the same typed signal as
+            // service-level admission control: callers handle one `Busy`.
+            ClusterError::Busy { retry_after } => ServiceError::Busy { retry_after },
+            other => ServiceError::Cluster(other),
+        }
     }
 }

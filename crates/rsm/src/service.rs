@@ -163,6 +163,44 @@ impl Deadline {
     }
 }
 
+/// Admission-control policy of a [`Service`]: when to shed a
+/// [`Service::submit`] with [`ServiceError::Busy`] instead of queueing
+/// it.
+///
+/// The service stays healthy under open-loop overload by bounding the
+/// two places submissions can pile up: the per-origin pending batch
+/// (commands encoded but not yet carried by a round) and the
+/// write-ahead log's group-commit backlog (rounds appended but not yet
+/// fsynced). A shed command has **no effect** — the client backs off
+/// [`AdmissionConfig::retry_after`] and resubmits. Shedding only
+/// engages once the round pipeline is saturated, so closed-loop
+/// clients under the knee never see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Shed once an origin's pending batch holds this many commands
+    /// while the pipeline window is full (default 8192 — roughly two
+    /// deep rounds of batched commands).
+    pub max_queued_per_origin: usize,
+    /// With durability on: shed while any server's WAL has more than
+    /// this many appended-but-unsynced rounds (default 64). A disk
+    /// that cannot keep up must slow admissions, not grow the withheld
+    /// acknowledgment queue without bound.
+    pub max_wal_backlog_rounds: u64,
+    /// Suggested client back-off reported in [`ServiceError::Busy`]
+    /// (default 1 ms).
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_queued_per_origin: 8192,
+            max_wal_backlog_rounds: 64,
+            retry_after: Duration::from_millis(1),
+        }
+    }
+}
+
 /// Receipt for one [`Service::submit`] call, resolving to the typed
 /// response of *this* command once its round delivers.
 ///
@@ -237,6 +275,11 @@ pub struct Service<S: StateMachine> {
     /// How many rounds may be in flight before [`Service::submit`]ted
     /// commands wait in the queue (≥ 1).
     pipeline: u64,
+    /// When to shed submissions with [`ServiceError::Busy`] instead of
+    /// queueing them (see [`AdmissionConfig`]).
+    admission: AdmissionConfig,
+    /// Submissions shed by admission control since construction.
+    shed: u64,
     /// Per-origin resolved responses awaiting redemption, ascending by
     /// sequence (responses resolve in per-origin submission order, so a
     /// ring buffer + binary search beats a map: redemption is usually a
@@ -290,6 +333,8 @@ impl<S: StateMachine> Service<S> {
             flushed: 0,
             harvested: 0,
             pipeline: 1,
+            admission: AdmissionConfig::default(),
+            shed: 0,
             resolved: (0..n).map(|_| VecDeque::new()).collect(),
             failed: BTreeMap::new(),
             decoded: BTreeMap::new(),
@@ -458,6 +503,8 @@ impl<S: StateMachine> Service<S> {
             flushed: 0,
             harvested: 0,
             pipeline: 1,
+            admission: AdmissionConfig::default(),
+            shed: 0,
             resolved: (0..n).map(|_| VecDeque::new()).collect(),
             failed: BTreeMap::new(),
             decoded: BTreeMap::new(),
@@ -516,6 +563,24 @@ impl<S: StateMachine> Service<S> {
     /// pipeline depth.
     pub fn in_flight_rounds(&self) -> u64 {
         self.flushed - self.harvested
+    }
+
+    /// Replace the admission-control policy (defaults:
+    /// [`AdmissionConfig::default`]).
+    pub fn set_admission(&mut self, cfg: AdmissionConfig) {
+        self.admission = cfg;
+    }
+
+    /// The active admission-control policy.
+    pub fn admission(&self) -> &AdmissionConfig {
+        &self.admission
+    }
+
+    /// Submissions shed with [`ServiceError::Busy`] since construction
+    /// — the no-silent-shed counter: every refused command is visible
+    /// here (and was reported typed to its caller).
+    pub fn shed_count(&self) -> u64 {
+        self.shed
     }
 
     /// Flush queued commands into the next round now, if the pipeline
@@ -581,6 +646,20 @@ impl<S: StateMachine> Service<S> {
         }
         if !self.cluster.is_live(origin) {
             return Err(ServiceError::OriginDown(origin));
+        }
+        // Admission control: once the round pipeline is saturated, a
+        // full pending batch or a lagging group commit sheds the
+        // command instead of queueing it unboundedly. The checks run
+        // before encoding, so a shed command touches no buffer.
+        let pipeline_full = self.in_flight_rounds() >= self.pipeline;
+        let origin_full =
+            self.queues[origin as usize].seqs.len() >= self.admission.max_queued_per_origin;
+        let wal_behind = self.durability.as_ref().is_some_and(|d| {
+            d.wals.iter().any(|w| w.unsynced_rounds() > self.admission.max_wal_backlog_rounds)
+        });
+        if (pipeline_full && origin_full) || wal_behind {
+            self.shed += 1;
+            return Err(ServiceError::Busy { retry_after: self.admission.retry_after });
         }
         // Encode straight into the origin's pending batch buffer under
         // the batch framing (u32-le length prefix, backfilled after the

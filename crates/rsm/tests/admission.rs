@@ -1,0 +1,52 @@
+//! Admission-control behaviour of the typed [`Service`] layer: shed
+//! typed, count every shed, recover admission once the backlog drains.
+
+use allconcur_cluster::Cluster;
+use allconcur_graph::gs::gs_digraph;
+use allconcur_rsm::{AdmissionConfig, KvCommand, KvStore, Service, ServiceError};
+use std::time::Duration;
+
+fn put(n: u8) -> KvCommand {
+    KvCommand::Put { key: vec![b'k', n].into(), value: vec![n].into() }
+}
+
+#[test]
+fn saturated_submit_sheds_typed_and_counts() {
+    let cluster = Cluster::sim(gs_digraph(8, 3).unwrap());
+    let mut kv = Service::new(cluster, &KvStore::default()).unwrap();
+    kv.set_admission(AdmissionConfig { max_queued_per_origin: 4, ..AdmissionConfig::default() });
+
+    // Saturate the (depth-1) pipeline: one round in flight...
+    let first = kv.submit(0, &put(0)).unwrap();
+    kv.flush().unwrap();
+    assert_eq!(kv.in_flight_rounds(), 1);
+    // ...then fill origin 0's pending batch to its cap.
+    let mut queued = Vec::new();
+    for i in 1..=4 {
+        queued.push(kv.submit(0, &put(i)).unwrap());
+    }
+
+    // The next submission through origin 0 is shed, typed, with no
+    // effect; other origins are still admitted.
+    let err = kv.submit(0, &put(5)).unwrap_err();
+    assert!(matches!(err, ServiceError::Busy { retry_after } if !retry_after.is_zero()), "{err}");
+    assert_eq!(kv.shed_count(), 1);
+    let other = kv.submit(1, &put(6)).unwrap();
+
+    // Every admitted command still resolves; the shed one never ran.
+    kv.sync(Duration::from_secs(60)).unwrap();
+    kv.wait(&first, Duration::from_secs(60)).unwrap();
+    for h in queued {
+        kv.wait(&h, Duration::from_secs(60)).unwrap();
+    }
+    kv.wait(&other, Duration::from_secs(60)).unwrap();
+    assert_eq!(kv.query_local(0).unwrap().get_local(b"k\x05"), None, "shed command had no effect");
+
+    // Backlog drained: origin 0 is admitted again, and the shed counter
+    // holds (no silent, uncounted refusals anywhere).
+    let retry = kv.submit(0, &put(5)).unwrap();
+    kv.sync(Duration::from_secs(60)).unwrap();
+    kv.wait(&retry, Duration::from_secs(60)).unwrap();
+    assert_eq!(kv.shed_count(), 1);
+    kv.shutdown().unwrap();
+}

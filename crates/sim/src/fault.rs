@@ -56,6 +56,18 @@ pub enum FaultCmd {
     /// Unblock every blocked link and release the messages they held
     /// (per-link FIFO). Leaves drop/delay/reorder state in place.
     HealPartitions,
+    /// Unblock the single directed link `from → to` and release the
+    /// messages it held (FIFO). The per-link inverse of
+    /// [`FaultCmd::Isolate`] — other blocked links stay blocked, and a
+    /// link that was never blocked heals as a no-op. Scheduled after an
+    /// `Isolate`, the pair models a transient link flap whose outage
+    /// delays but never destroys (TCP-retransmission semantics).
+    HealLink {
+        /// Sending side of the healed link.
+        from: ServerId,
+        /// Receiving side of the healed link.
+        to: ServerId,
+    },
     /// Drop each message on `from → to` independently with probability
     /// `ppm / 1e6`. `ppm = 0` clears the fault.
     Drop {
@@ -215,6 +227,16 @@ impl LinkFaults {
                     }
                 }
                 self.links.retain(|_, l| !l.is_clear());
+            }
+            FaultCmd::HealLink { from, to } => {
+                if let Some(link) = self.links.get_mut(&(*from, *to)) {
+                    if link.blocked {
+                        link.blocked = false;
+                        self.parked -= link.held.len();
+                        released.append(&mut link.held);
+                    }
+                }
+                self.prune(*from, *to);
             }
             FaultCmd::Drop { from, to, ppm } => {
                 self.entry(*from, *to).drop_ppm = (*ppm).min(PPM);
@@ -382,6 +404,32 @@ mod tests {
         assert!(out.is_empty());
         faults.route(msg(4, 3, 60), &mut rng, &mut out);
         assert_eq!(out.len(), 1, "reverse direction unaffected");
+    }
+
+    #[test]
+    fn heal_link_releases_one_link_fifo() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::Isolate { from: 0, to: 1 }, &mut out);
+        faults.apply(&FaultCmd::Isolate { from: 2, to: 3 }, &mut out);
+        faults.route(msg(0, 1, 100), &mut rng, &mut out);
+        faults.route(msg(0, 1, 120), &mut rng, &mut out);
+        faults.route(msg(2, 3, 110), &mut rng, &mut out);
+        assert!(out.is_empty());
+        faults.apply(&FaultCmd::HealLink { from: 0, to: 1 }, &mut out);
+        let arrivals: Vec<u64> = out.iter().map(|h| h.arrival.as_ns()).collect();
+        assert_eq!(arrivals, vec![100, 120], "healed link releases FIFO");
+        assert!(out.iter().all(|h| h.from == 0 && h.to == 1));
+        assert!(faults.holding(), "the other isolated link stays blocked");
+        out.clear();
+        // Re-heal and heal-of-never-blocked are no-ops.
+        faults.apply(&FaultCmd::HealLink { from: 0, to: 1 }, &mut out);
+        faults.apply(&FaultCmd::HealLink { from: 5, to: 6 }, &mut out);
+        assert!(out.is_empty());
+        faults.apply(&FaultCmd::HealLink { from: 2, to: 3 }, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(faults.is_empty(), "fully healed table prunes to empty");
     }
 
     #[test]

@@ -113,7 +113,9 @@ pub mod prelude {
     pub use allconcur_nemesis::{
         NemesisAction, NemesisPlan, PropertyChecker, Scenario, ScenarioReport,
     };
-    pub use allconcur_rsm::{CommandHandle, RecoveryReport, Service, ServiceError};
+    pub use allconcur_rsm::{
+        AdmissionConfig, CommandHandle, RecoveryReport, Service, ServiceError,
+    };
     pub use allconcur_sim::{
         harness::{RoundOutcome, SimCluster},
         network::NetworkModel,

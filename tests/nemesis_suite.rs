@@ -101,6 +101,8 @@ fn scripted_partition_with_pipelined_rounds() {
         class: FaultClass::PartitionHeal,
         plan,
         tick_budget: Duration::from_millis(3),
+        burst: 1,
+        admission: None,
         durability: None,
     };
     let report = scenario.run_sim().unwrap_or_else(|e| panic!("scripted partition: {e}"));
@@ -127,6 +129,8 @@ fn scripted_loss_and_reorder_combination() {
         class: FaultClass::MessageLoss,
         plan,
         tick_budget: Duration::from_millis(3),
+        burst: 1,
+        admission: None,
         durability: None,
     };
     let report = scenario.run_sim().unwrap_or_else(|e| panic!("loss+reorder: {e}"));

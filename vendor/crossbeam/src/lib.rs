@@ -2,21 +2,58 @@
 //!
 //! Only [`channel`] is provided, implemented over `std::sync::mpsc`. The
 //! workspace uses multi-producer/single-consumer channels exclusively, so
-//! the std primitive is a faithful substitute.
+//! the std primitives (`channel` / `sync_channel`) are a faithful
+//! substitute for both the unbounded and bounded flavours.
 
 pub mod channel {
     //! MPSC channels with the `crossbeam-channel` API surface the
-    //! workspace uses: `unbounded`, cloneable [`Sender`], and a
-    //! [`Receiver`] with blocking, timed, and non-blocking receives.
+    //! workspace uses: `unbounded` and `bounded` constructors, a
+    //! cloneable [`Sender`] with blocking, non-blocking, and timed
+    //! sends, and a [`Receiver`] with blocking, timed, and non-blocking
+    //! receives.
 
     use std::sync::{mpsc, Mutex};
-    use std::time::Duration;
+    use std::time::{Duration, Instant};
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
+    /// Error of [`Sender::try_send`], mirroring
+    /// `crossbeam_channel::TrySendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error of [`Sender::send_timeout`], mirroring
+    /// `crossbeam_channel::SendTimeoutError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed at capacity for the whole timeout.
+        Timeout(T),
+        /// The receiver is gone.
+        Disconnected(T),
+    }
+
+    enum SenderKind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderKind<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+                SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+            }
+        }
+    }
+
     /// The sending half; cheap to clone.
     pub struct Sender<T> {
-        inner: mpsc::Sender<T>,
+        inner: SenderKind<T>,
     }
 
     impl<T> Clone for Sender<T> {
@@ -26,9 +63,51 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Send a value; errors when the receiver is gone.
+        /// Send a value, blocking while a bounded channel is full;
+        /// errors when the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value)
+            match &self.inner {
+                SenderKind::Unbounded(tx) => tx.send(value),
+                SenderKind::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Non-blocking send: fails with [`TrySendError::Full`] when a
+        /// bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.inner {
+                SenderKind::Unbounded(tx) => {
+                    tx.send(value).map_err(|mpsc::SendError(v)| TrySendError::Disconnected(v))
+                }
+                SenderKind::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+            }
+        }
+
+        /// Send with a patience bound: retries a full bounded channel
+        /// until `timeout` elapses. (std's `SyncSender` has no native
+        /// timed send; short poll slices approximate it faithfully for
+        /// the millisecond-scale patience windows the workspace uses.)
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut value = value;
+            loop {
+                match self.try_send(value) {
+                    Ok(()) => return Ok(()),
+                    Err(TrySendError::Disconnected(v)) => {
+                        return Err(SendTimeoutError::Disconnected(v))
+                    }
+                    Err(TrySendError::Full(v)) => {
+                        if Instant::now() >= deadline {
+                            return Err(SendTimeoutError::Timeout(v));
+                        }
+                        value = v;
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            }
         }
     }
 
@@ -68,7 +147,15 @@ pub mod channel {
     /// An unbounded MPSC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: tx }, Receiver { inner: Mutex::new(rx) })
+        (Sender { inner: SenderKind::Unbounded(tx) }, Receiver { inner: Mutex::new(rx) })
+    }
+
+    /// A bounded MPSC channel holding at most `cap` queued values;
+    /// senders block (or fail, for the non-blocking variants) while it
+    /// is full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: SenderKind::Bounded(tx) }, Receiver { inner: Mutex::new(rx) })
     }
 
     #[cfg(test)]
@@ -83,6 +170,24 @@ pub mod channel {
             assert_eq!(rx.recv().unwrap(), 42);
             drop(tx);
             assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+        }
+
+        #[test]
+        fn bounded_backpressure_and_timed_send() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1u32).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert!(matches!(
+                tx.send_timeout(3, Duration::from_millis(5)),
+                Err(SendTimeoutError::Timeout(3))
+            ));
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            tx.send_timeout(3, Duration::from_millis(5)).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 2);
+            assert_eq!(rx.try_recv().unwrap(), 3);
+            drop(rx);
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
         }
     }
 }
