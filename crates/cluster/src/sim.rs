@@ -220,6 +220,11 @@ impl Transport for SimTransport {
                 self.check_id(*to)?;
                 FaultCmd::Drop { from: *from, to: *to, ppm: *ppm }
             }
+            FaultCommand::BitFlip { from, to, ppm } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                FaultCmd::BitFlip { from: *from, to: *to, ppm: *ppm }
+            }
             FaultCommand::Delay { from, to, extra } => {
                 self.check_id(*from)?;
                 self.check_id(*to)?;

@@ -53,6 +53,9 @@ pub struct TcpTransport {
     /// `ClearLinkFaults` can heal exactly the links it severed. Flaps
     /// are not tracked — they heal themselves. Cleared on reconfigure.
     downed_links: std::collections::BTreeSet<(ServerId, ServerId)>,
+    /// Links with an active bit-flip fault, so `ClearLinkFaults` can
+    /// reset exactly the rates it set. Cleared on reconfigure.
+    flipping_links: std::collections::BTreeSet<(ServerId, ServerId)>,
 }
 
 impl TcpTransport {
@@ -67,6 +70,7 @@ impl TcpTransport {
             parked: std::collections::VecDeque::new(),
             lossy_links: std::collections::BTreeSet::new(),
             downed_links: std::collections::BTreeSet::new(),
+            flipping_links: std::collections::BTreeSet::new(),
         })
     }
 
@@ -188,6 +192,19 @@ impl Transport for TcpTransport {
                 }
                 Ok(())
             }
+            FaultCommand::BitFlip { from, to, ppm } => {
+                self.check_id(*from)?;
+                self.check_id(*to)?;
+                // Clamp to 100%, matching the sim backend's contract.
+                let ppm = (*ppm).min(allconcur_sim::fault::PPM);
+                self.live_cluster()?.set_link_flip(*from, *to, ppm);
+                if ppm == 0 {
+                    self.flipping_links.remove(&(*from, *to));
+                } else {
+                    self.flipping_links.insert((*from, *to));
+                }
+                Ok(())
+            }
             FaultCommand::LinkDown { from, to } => {
                 self.check_id(*from)?;
                 self.check_id(*to)?;
@@ -216,8 +233,12 @@ impl Transport for TcpTransport {
                 for &(from, to) in &self.downed_links {
                     cluster.link_up(from, to);
                 }
+                for &(from, to) in &self.flipping_links {
+                    cluster.set_link_flip(from, to, 0);
+                }
                 self.lossy_links.clear();
                 self.downed_links.clear();
+                self.flipping_links.clear();
                 Ok(())
             }
             // Nothing to heal: TCP cannot partition, so blanket scenario
@@ -259,6 +280,7 @@ impl Transport for TcpTransport {
         // under the renumbered overlay.
         self.lossy_links.clear();
         self.downed_links.clear();
+        self.flipping_links.clear();
         let fresh = LocalCluster::spawn(graph, self.opts)?;
         self.n = fresh.n();
         self.cluster = Some(fresh);

@@ -64,6 +64,24 @@ pub enum FaultCommand {
         /// Drop probability in parts-per-million (≤ 1 000 000).
         ppm: u32,
     },
+    /// Flip one bit per sampled message on `from → to` with probability
+    /// `ppm / 1e6`; `ppm = 0` clears the fault. Supported by both
+    /// backends, with end-to-end integrity as the contract: a flip is
+    /// **detected, never delivered**. On TCP the sender's writer
+    /// corrupts a copy of the sampled frame (header bytes included) and
+    /// the receiver's CRC32 rejects it as a counted link fault; on sim
+    /// the typed message collapses to that post-detection outcome — it
+    /// is destroyed and counted, exactly as the CRC-discarded frame
+    /// would be. Survivability comes from the overlay's redundant
+    /// dissemination paths, as for [`FaultCommand::Drop`].
+    BitFlip {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Corruption probability in parts-per-million (≤ 1 000 000).
+        ppm: u32,
+    },
     /// Add `extra` latency to every message on `from → to` — a delay
     /// spike (sim only).
     Delay {
@@ -174,6 +192,7 @@ pub trait Transport {
     /// | `Isolate`          | yes | `Unsupported` |
     /// | `HealPartitions`   | yes | yes (no-op)   |
     /// | `Drop`             | yes | yes           |
+    /// | `BitFlip`          | yes | yes           |
     /// | `Delay`            | yes | `Unsupported` |
     /// | `Reorder`          | yes | `Unsupported` |
     /// | `LinkDown`         | yes | yes           |

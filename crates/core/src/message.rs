@@ -121,9 +121,12 @@ impl Message {
         buf.freeze()
     }
 
-    /// Encode into a length-prefixed wire frame (4-byte little-endian
-    /// length, then the message encoding) — the exact framing the TCP
-    /// transport speaks.
+    /// Encode into a checksummed wire frame — format v2, the exact
+    /// framing the TCP transport speaks: `len: u32 le`,
+    /// `crc32(body): u32 le`, then the message encoding. The layout
+    /// matches [`crate::wire::put_frame`] so wire and WAL share one
+    /// frame grammar; the CRC lets the receiver treat a flipped bit as
+    /// a *link* fault (drop + reconnect) instead of a silent desync.
     ///
     /// The returned [`Bytes`] is refcounted: a server fanning one
     /// message out to its `d` overlay successors encodes **once** and
@@ -132,9 +135,12 @@ impl Message {
     /// per-send cost before this existed).
     pub fn to_frame(&self) -> Bytes {
         let len = self.encoded_len();
-        let mut buf = BytesMut::with_capacity(4 + len);
+        let mut buf = BytesMut::with_capacity(crate::wire::FRAME_HEADER_BYTES + len);
         buf.put_u32_le(len as u32);
+        buf.put_u32_le(0); // checksum back-patched below, once the body exists
         self.encode(&mut buf);
+        let sum = crate::wire::crc32(&buf[crate::wire::FRAME_HEADER_BYTES..]);
+        buf[4..8].copy_from_slice(&sum.to_le_bytes());
         buf.freeze()
     }
 
@@ -291,14 +297,20 @@ mod tests {
     }
 
     #[test]
-    fn to_frame_is_length_prefixed_encoding() {
+    fn to_frame_is_checksummed_length_prefixed_encoding() {
         let msg = Message::Bcast { round: 3, origin: 1, payload: Bytes::from_static(b"abc") };
         let frame = msg.to_frame();
-        assert_eq!(frame.len(), 4 + msg.encoded_len());
+        assert_eq!(frame.len(), 8 + msg.encoded_len());
         let mut prefix = [0u8; 4];
         prefix.copy_from_slice(&frame[..4]);
         assert_eq!(u32::from_le_bytes(prefix) as usize, msg.encoded_len());
-        let mut body = frame.slice(4..);
+        let mut sum = [0u8; 4];
+        sum.copy_from_slice(&frame[4..8]);
+        assert_eq!(u32::from_le_bytes(sum), crate::wire::crc32(&frame[8..]));
+        // The frame is exactly what wire::read_frame accepts.
+        let (payload, end) = crate::wire::read_frame(&frame, 0).unwrap();
+        assert_eq!(end, frame.len());
+        let mut body = Bytes::copy_from_slice(payload);
         assert_eq!(Message::decode(&mut body).unwrap(), msg);
     }
 

@@ -295,6 +295,17 @@ impl<S: StateMachine> Replica<S> {
         Ok(outputs)
     }
 
+    /// Apply one command **outside** round bookkeeping — a fault-
+    /// injection surface for divergence testing. The state now reflects
+    /// history no agreed round carried, which is exactly the silent
+    /// corruption the service layer's divergence audit exists to catch.
+    /// Round tracking and counters are untouched, so subsequent agreed
+    /// rounds still apply in order (the divergence stays *silent* until
+    /// a digest cross-check exposes it). Never call this in production.
+    pub fn apply_unchecked(&mut self, origin: ServerId, command: S::Command) -> S::Response {
+        self.state.apply(origin, command)
+    }
+
     /// Local read (≤ one round stale) — no coordination.
     pub fn query(&self) -> &S {
         &self.state

@@ -26,6 +26,12 @@ use bytes::{BufMut, Bytes};
 /// Bytes of frame header (length + checksum).
 pub const FRAME_HEADER_BYTES: usize = 8;
 
+/// Maximum accepted frame payload, guarding against corrupt length
+/// prefixes on every checksummed framing path (TCP transport, WAL,
+/// catch-up chunks). Large enough for Fig. 10's biggest batch
+/// (2¹⁵ × 8 B) with room to spare.
+pub const MAX_FRAME: usize = 64 << 20;
+
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the classic
 /// table-driven byte-at-a-time implementation.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -205,8 +211,10 @@ mod tests {
         let keep = buf.len();
         put_frame(&mut buf, b"second-frame");
         // Every strict prefix of the last frame yields exactly the first
-        // frame plus a tail classification — never a bogus frame.
-        for cut in keep..buf.len() {
+        // frame plus a tail classification — never a bogus frame. (At
+        // `cut == keep` no byte of the second frame exists, so the scan
+        // is legitimately clean — start one past it.)
+        for cut in keep + 1..buf.len() {
             let (frames, end) = scan_frames(&buf[..cut]);
             assert_eq!(frames, vec![&b"first"[..]], "cut at {cut}");
             assert!(end.is_some(), "cut at {cut} must flag the tail");

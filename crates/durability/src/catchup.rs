@@ -39,6 +39,11 @@ fn invalid(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, what.to_string())
 }
 
+/// Little-endian `u64` at the front of `bytes`, when there is one.
+fn le_u64(bytes: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(0..8)?.try_into().ok()?))
+}
+
 /// Producer side: chops one catch-up transfer into bounded chunks.
 pub struct CatchupSource {
     chunks: std::vec::IntoIter<Vec<u8>>,
@@ -178,11 +183,11 @@ impl CatchupSink {
                 if payload.len() != 26 {
                     return Err(invalid("malformed catch-up Begin"));
                 }
-                self.base = u64::from_le_bytes(payload[1..9].try_into().unwrap());
-                self.tip = u64::from_le_bytes(payload[9..17].try_into().unwrap());
+                self.base = le_u64(&payload[1..9]).ok_or_else(|| invalid("short Begin field"))?;
+                self.tip = le_u64(&payload[9..17]).ok_or_else(|| invalid("short Begin field"))?;
                 self.expect_snapshot = payload[17] != 0;
                 self.snapshot_len =
-                    u64::from_le_bytes(payload[18..26].try_into().unwrap()) as usize;
+                    le_u64(&payload[18..26]).ok_or_else(|| invalid("short Begin field"))? as usize;
                 if self.tip < self.base {
                     return Err(invalid("catch-up tip below base"));
                 }

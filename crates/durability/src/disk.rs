@@ -116,6 +116,31 @@ impl MemDisk {
         }
     }
 
+    /// Bit-rot injection: flip one bit of `name` in place, in both the
+    /// live bytes *and* the durable image. Unlike [`MemDisk::tear`]
+    /// (which only shortens the unsynced tail), rot is durable damage:
+    /// it survives [`MemDisk::crash`] and sits below the durable
+    /// watermark, which is exactly what recovery must refuse to trim.
+    /// Returns `false` when the file is absent or `bit / 8` is past its
+    /// end.
+    pub fn rot(&mut self, name: &str, bit: usize) -> bool {
+        let Some(file) = self.files.get_mut(name) else { return false };
+        let byte = bit / 8;
+        if byte >= file.data.len() {
+            return false;
+        }
+        file.data[byte] ^= 1 << (bit % 8);
+        // Rot the durable image too: if the byte is beyond the durable
+        // watermark it lives only in the unsynced tail, and if a shadow
+        // holds the durable image the same byte rots there when present.
+        if let Some(shadow) = &mut file.shadow {
+            if byte < shadow.len() {
+                shadow[byte] ^= 1 << (bit % 8);
+            }
+        }
+        true
+    }
+
     /// Power loss: every file reverts to its durable image — append
     /// tails truncate to the durable watermark (as adjusted by
     /// [`MemDisk::tear`]), unsynced atomic replacements revert to their
@@ -388,6 +413,18 @@ mod tests {
         disk.write_atomic("snap", b"new-image-unsynced").unwrap();
         disk.crash();
         assert_eq!(disk.read("snap").unwrap().unwrap(), b"old-image");
+    }
+
+    #[test]
+    fn mem_disk_rot_survives_crash() {
+        let mut disk = MemDisk::new();
+        disk.append("wal", b"\x00\x00\x00\x00").unwrap();
+        disk.sync().unwrap();
+        assert!(disk.rot("wal", 16)); // bit 0 of byte 2
+        disk.crash();
+        assert_eq!(disk.read("wal").unwrap().unwrap(), b"\x00\x00\x01\x00");
+        assert!(!disk.rot("wal", 999), "out-of-range rot reports false");
+        assert!(!disk.rot("absent", 0));
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod wal;
 pub use catchup::{CatchupPayload, CatchupSink, CatchupSource};
 pub use config::DurabilityConfig;
 pub use disk::{DurabilityStore, FileDisk, MemDisk, VirtualDisk};
-pub use wal::{Recovered, TornTail, Wal};
+pub use wal::{rot_error, MidLogRot, RecoverOutcome, Recovered, ScrubReport, TornTail, Wal};

@@ -41,7 +41,7 @@ use crate::lexer::{Lexed, Tok, Token};
 /// Crates scanned by the `determinism` rule.
 pub const DETERMINISM_CRATES: &[&str] = &["graph", "core", "sim", "nemesis"];
 /// Crates scanned by the `no_panic` rule.
-pub const NO_PANIC_CRATES: &[&str] = &["core", "cluster", "rsm", "net"];
+pub const NO_PANIC_CRATES: &[&str] = &["core", "cluster", "rsm", "net", "durability"];
 /// Crates scanned by the `lock_order` rule.
 pub const LOCK_ORDER_CRATES: &[&str] = &["net", "cluster"];
 /// Crates scanned by the `bounded_queues` rule.

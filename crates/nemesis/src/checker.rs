@@ -129,6 +129,25 @@ pub enum PropertyViolation {
         /// Typed `Busy` refusals the caller observed.
         observed: u64,
     },
+    /// End-to-end integrity: injected corruption leaked past its
+    /// detection boundary. A flipped wire bit changed replica state
+    /// (the frame CRC should have discarded it), a poisoned replica was
+    /// never flagged by the divergence audit, or rotted log bytes
+    /// entered the recovered state (the recovery scrub should have
+    /// refused the log and rebuilt from peers).
+    SilentCorruption {
+        /// The server whose state absorbed the corruption (the rot or
+        /// poison victim when known).
+        server: ServerId,
+    },
+    /// End-to-end integrity: a replica the divergence audit quarantined
+    /// never completed the heal — it is still quarantined (or never
+    /// rejoined) after the run settled, so the deployment lost a
+    /// replica to corruption it was supposed to absorb.
+    QuarantineStuck {
+        /// The replica that never reconverged.
+        server: ServerId,
+    },
 }
 
 impl std::fmt::Display for PropertyViolation {
@@ -174,6 +193,16 @@ impl std::fmt::Display for PropertyViolation {
                 f,
                 "backpressure violated: {internal} submissions shed internally but only \
                  {observed} typed Busy refusals reached the caller"
+            ),
+            PropertyViolation::SilentCorruption { server } => write!(
+                f,
+                "integrity violated: injected corruption on server {server} leaked past its \
+                 detection boundary (CRC, divergence audit, or recovery scrub stayed silent)"
+            ),
+            PropertyViolation::QuarantineStuck { server } => write!(
+                f,
+                "integrity violated: server {server} was quarantined by the divergence audit \
+                 but never rejoined and reconverged"
             ),
         }
     }
@@ -306,6 +335,48 @@ impl PropertyChecker {
     pub fn check_shed_accounting(internal: u64, observed: u64) -> Result<(), PropertyViolation> {
         if internal != observed {
             return Err(PropertyViolation::SilentShed { internal, observed });
+        }
+        Ok(())
+    }
+
+    /// The quarantine-converges property: after a scenario that poisons
+    /// one replica's state outside agreement, the divergence audit must
+    /// have caught it (`divergences > 0` — anything else is silent
+    /// corruption), the quarantined replica must have healed back in
+    /// (`rejoins > 0`), and nobody may still be quarantined once the
+    /// run settles.
+    pub fn check_quarantine_converges(
+        victim: ServerId,
+        divergences: u64,
+        rejoins: u64,
+        still_quarantined: &[ServerId],
+    ) -> Result<(), PropertyViolation> {
+        if divergences == 0 {
+            return Err(PropertyViolation::SilentCorruption { server: victim });
+        }
+        if let Some(&server) = still_quarantined.first() {
+            return Err(PropertyViolation::QuarantineStuck { server });
+        }
+        if rejoins == 0 {
+            return Err(PropertyViolation::QuarantineStuck { server: victim });
+        }
+        Ok(())
+    }
+
+    /// The no-silent-rot property: every server whose write-ahead log
+    /// was rot-injected must appear in recovery's rotted report —
+    /// recovery detected the bad checksum, refused to trim acknowledged
+    /// history, and rebuilt the server from its peers. A rot-injected
+    /// server missing from the report means the corrupted bytes entered
+    /// the recovered state unnoticed.
+    pub fn check_rot_detected(
+        injected: &[ServerId],
+        rebuilt: &[ServerId],
+    ) -> Result<(), PropertyViolation> {
+        for &server in injected {
+            if !rebuilt.contains(&server) {
+                return Err(PropertyViolation::SilentCorruption { server });
+            }
         }
         Ok(())
     }
@@ -459,6 +530,33 @@ mod tests {
         match PropertyChecker::check_shed_accounting(5, 3) {
             Err(PropertyViolation::SilentShed { internal: 5, observed: 3 }) => {}
             other => panic!("expected SilentShed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_convergence_checked() {
+        PropertyChecker::check_quarantine_converges(2, 1, 1, &[]).unwrap();
+        match PropertyChecker::check_quarantine_converges(2, 0, 0, &[]) {
+            Err(PropertyViolation::SilentCorruption { server: 2 }) => {}
+            other => panic!("expected SilentCorruption, got {other:?}"),
+        }
+        match PropertyChecker::check_quarantine_converges(2, 1, 1, &[5]) {
+            Err(PropertyViolation::QuarantineStuck { server: 5 }) => {}
+            other => panic!("expected QuarantineStuck, got {other:?}"),
+        }
+        match PropertyChecker::check_quarantine_converges(2, 1, 0, &[]) {
+            Err(PropertyViolation::QuarantineStuck { server: 2 }) => {}
+            other => panic!("expected QuarantineStuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rot_detection_checked() {
+        PropertyChecker::check_rot_detected(&[3], &[3, 4]).unwrap();
+        PropertyChecker::check_rot_detected(&[], &[]).unwrap();
+        match PropertyChecker::check_rot_detected(&[3], &[4]) {
+            Err(PropertyViolation::SilentCorruption { server: 3 }) => {}
+            other => panic!("expected SilentCorruption, got {other:?}"),
         }
     }
 

@@ -30,7 +30,14 @@
 //!   transient link flaps that must heal with zero membership removals
 //!   ([`PropertyViolation::MembershipRemovedUnderGrace`]) and open-loop
 //!   overload bursts whose every internal shed must surface as a typed
-//!   `Busy` ([`PropertyViolation::SilentShed`]).
+//!   `Busy` ([`PropertyViolation::SilentShed`]);
+//! * integrity nemesis — [`Scenario::generate_integrity`] schedules wire
+//!   bit-flip storms (every flip CRC-detected, never delivered), silent
+//!   replica poison that the divergence audit must quarantine and heal
+//!   ([`PropertyViolation::QuarantineStuck`]), and durable mid-log WAL
+//!   rot that recovery must detect and rebuild from peers — any
+//!   corruption leaking past its detection boundary is
+//!   [`PropertyViolation::SilentCorruption`].
 //!
 //! ```
 //! use allconcur_nemesis::Scenario;

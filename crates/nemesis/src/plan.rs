@@ -64,6 +64,31 @@ pub enum NemesisAction {
         /// `true` to stall fsyncs, `false` to restore them.
         on: bool,
     },
+    /// Silently corrupt `server`'s replica state *outside* agreement (a
+    /// stray write no round carried — the model for bit rot in applied
+    /// state or a non-deterministic apply). The divergence audit must
+    /// catch it at the next digest cross-check, quarantine the replica
+    /// with a typed `Diverged`, and heal it back in from a peer
+    /// snapshot; [`crate::PropertyChecker::check_quarantine_converges`]
+    /// asserts the full detect → quarantine → rejoin cycle.
+    PoisonReplica {
+        /// The replica whose state is silently mutated.
+        server: ServerId,
+    },
+    /// Durably flip one bit inside `server`'s oldest write-ahead-log
+    /// segment — mid-log rot on *acknowledged* history (survives the
+    /// disk's crash semantics, unlike a torn tail). Requires a
+    /// durability-enabled scenario; only observable at the next
+    /// [`NemesisAction::KillAllAndRecover`], where recovery must refuse
+    /// to trim the rotted log and rebuild the server from its peers'
+    /// chunked catch-up instead.
+    DiskRot {
+        /// The server whose log rots.
+        server: ServerId,
+        /// Absolute bit offset into the oldest segment (the generator
+        /// keeps it inside the first frame's checksummed region).
+        bit: u64,
+    },
 }
 
 /// A schedule of nemesis actions keyed by workload tick (applied before

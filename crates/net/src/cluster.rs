@@ -129,6 +129,17 @@ impl LocalCluster {
         }
     }
 
+    /// Corrupt protocol frames on the directed link `from → to` with
+    /// probability `ppm / 1e6` (`0` clears the fault): one bit of each
+    /// sampled frame is flipped in `from`'s writer path. The receiver's
+    /// CRC check rejects the frame and the link heals through the
+    /// reader-grace/reconnect path — no corrupted payload is delivered.
+    pub fn set_link_flip(&self, from: ServerId, to: ServerId, ppm: u32) {
+        if let Some(node) = &self.nodes[from as usize] {
+            node.set_link_flip(to, ppm);
+        }
+    }
+
     /// Fault injection: sever the directed link `from → to` and hold it
     /// down until [`LocalCluster::link_up`]. Outbound frames buffer in
     /// `from`'s bounded Degraded queue for replay on heal.

@@ -1,17 +1,107 @@
-//! TCP framing: 4-byte little-endian length prefix + the message encoding
-//! from [`allconcur_core::message`], plus the connection handshake (the
-//! connecting side announces its server id so the receiver can attribute
-//! frames).
+//! TCP framing, format v2: `len: u32 le`, `crc32(body): u32 le`, then
+//! the message encoding from [`allconcur_core::message`] — the same
+//! checksummed frame grammar the WAL speaks
+//! ([`allconcur_core::wire::put_frame`]) — plus the versioned
+//! connection handshake (the connecting side announces the wire format
+//! version and its server id so the receiver can attribute frames).
+//!
+//! The CRC turns a flipped bit on the wire into a *detected* fault: the
+//! reader rejects the frame with a typed [`FrameFault`] (distinct from
+//! EOF), the runtime counts it in `LinkStats` and drops the connection,
+//! and the reader-grace/reconnect path heals the link — the corrupted
+//! payload is never delivered to the protocol.
 
-use allconcur_core::message::Message;
+use allconcur_core::message::{CodecError, Message};
+use allconcur_core::wire::crc32;
 use allconcur_core::ServerId;
 use bytes::Bytes;
 use std::io::{self, Read, Write};
 
 /// Maximum accepted frame, guarding against corrupt length prefixes.
-/// Large enough for Fig. 10's biggest batch (2¹⁵ × 8 B) with room to
-/// spare.
-pub const MAX_FRAME: usize = 64 << 20;
+/// One constant for every checksummed framing path — re-exported from
+/// [`allconcur_core::wire`] so the TCP transport and the WAL cannot
+/// drift apart.
+pub use allconcur_core::wire::MAX_FRAME;
+
+/// Wire format version spoken by this build, carried in the handshake.
+/// v1 was the unchecksummed `[len][body]` framing with a bare-id
+/// handshake; v2 adds the CRC32 header field and this versioned
+/// handshake. There is no v1 interop path — a v1 peer fails the magic
+/// check and the connection is retried until both sides run v2.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Handshake magic, so a stray (or corrupted) connection cannot be
+/// mistaken for a peer speaking an unknown older format.
+pub const HANDSHAKE_MAGIC: [u8; 2] = *b"AC";
+
+/// Why an inbound frame (or handshake) was rejected — the typed payload
+/// of an `InvalidData` [`io::Error`], distinct from `UnexpectedEof`.
+/// Classify with [`frame_fault`] / [`is_corrupt_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameFault {
+    /// The body's CRC32 does not match the header — a flipped bit on
+    /// the wire (or a desynchronised stream).
+    CrcMismatch {
+        /// Checksum the header claimed.
+        expected: u32,
+        /// Checksum the received body actually has.
+        actual: u32,
+    },
+    /// The body passed its CRC but is not a valid message encoding —
+    /// a sender-side corruption (flipped before the checksum was
+    /// computed) or a protocol bug.
+    Decode(CodecError),
+    /// The length prefix exceeds [`MAX_FRAME`] — a corrupt header.
+    Oversize {
+        /// The claimed payload length.
+        len: usize,
+    },
+    /// The connection preamble is not a v2 handshake (bad magic or an
+    /// unsupported version byte).
+    Handshake {
+        /// The 3 preamble bytes received (magic + version).
+        got: [u8; 3],
+    },
+}
+
+impl std::fmt::Display for FrameFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameFault::CrcMismatch { expected, actual } => {
+                write!(f, "frame checksum mismatch (header {expected:#010x}, body {actual:#010x})")
+            }
+            FrameFault::Decode(e) => write!(f, "frame body undecodable: {e}"),
+            FrameFault::Oversize { len } => {
+                write!(f, "oversized frame ({len} bytes > {MAX_FRAME})")
+            }
+            FrameFault::Handshake { got } => {
+                write!(f, "bad handshake preamble {got:02x?} (want magic {HANDSHAKE_MAGIC:02x?} version {WIRE_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameFault {}
+
+impl From<FrameFault> for io::Error {
+    fn from(fault: FrameFault) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, fault)
+    }
+}
+
+/// Extract the typed [`FrameFault`] from an I/O error, if it carries
+/// one. EOF and transport errors return `None`.
+pub fn frame_fault(e: &io::Error) -> Option<&FrameFault> {
+    e.get_ref().and_then(|inner| inner.downcast_ref::<FrameFault>())
+}
+
+/// Was this read error a *corrupt frame* (CRC mismatch, undecodable
+/// body, corrupt length prefix) as opposed to EOF or a transport
+/// failure? The runtime feeds these into `LinkStats::corrupt_frames`
+/// and heals the link through the reader-grace/reconnect path.
+pub fn is_corrupt_frame(e: &io::Error) -> bool {
+    frame_fault(e).is_some()
+}
 
 /// Encode one message into its wire frame, bounds-checked.
 ///
@@ -37,37 +127,50 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
     write_encoded_frame(w, &encode_frame(msg)?)
 }
 
+/// Verify and decode one complete frame body against its header CRC.
+fn decode_checked(body: &[u8], sum: u32) -> io::Result<Message> {
+    let actual = crc32(body);
+    if actual != sum {
+        return Err(FrameFault::CrcMismatch { expected: sum, actual }.into());
+    }
+    let mut bytes = Bytes::copy_from_slice(body);
+    Message::decode(&mut bytes).map_err(|e| FrameFault::Decode(e).into())
+}
+
 /// Read one framed message (blocking).
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Message> {
-    let mut len_buf = [0u8; 4];
-    r.read_exact(&mut len_buf)?;
-    let len = u32::from_le_bytes(len_buf) as usize;
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let sum = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
     if len > MAX_FRAME {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+        return Err(FrameFault::Oversize { len }.into());
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
-    let mut bytes = Bytes::from(buf);
-    Message::decode(&mut bytes)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    decode_checked(&buf, sum)
 }
 
 /// Buffered frame reader for the runtime's per-connection reader
 /// threads.
 ///
-/// [`read_frame`] costs two `read` syscalls (length, body) per message;
+/// [`read_frame`] costs two `read` syscalls (header, body) per message;
 /// under pipelined rounds a predecessor's link carries dense bursts of
 /// small frames, so this reader pulls whole bursts into one buffer with
 /// a single syscall and parses frames out of it. It is also safe under
 /// read *timeouts*: a `WouldBlock`/`TimedOut` mid-frame keeps the
 /// partial bytes buffered and resumes cleanly on the next call —
 /// `read_frame` + `read_exact` would desynchronise the stream instead.
+/// Every parsed frame is CRC-checked before its body is decoded.
 #[derive(Debug)]
 pub struct FrameReader {
     buf: Vec<u8>,
     start: usize,
     end: usize,
 }
+
+/// Wire frame header bytes: length + CRC32.
+const HEADER: usize = 8;
 
 impl Default for FrameReader {
     fn default() -> Self {
@@ -86,33 +189,34 @@ impl FrameReader {
         self.end - self.start
     }
 
-    /// Read the next frame from `r`. `Ok(Some(msg))` on a complete
-    /// frame, `Ok(None)` when the underlying read timed out or would
-    /// block (call again later — partial frames stay buffered), `Err`
-    /// on EOF, I/O failure, or a corrupt frame.
+    /// Read the next frame from `r`. `Ok(Some(msg))` on a complete,
+    /// checksum-verified frame, `Ok(None)` when the underlying read
+    /// timed out or would block (call again later — partial frames stay
+    /// buffered), `Err` on EOF, I/O failure, or a corrupt frame (the
+    /// latter carrying a typed [`FrameFault`]; see [`is_corrupt_frame`]).
     pub fn read_frame<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Message>> {
         loop {
-            if self.buffered() >= 4 {
-                // Infallible 4-byte header read: `buffered() >= 4`
+            if self.buffered() >= HEADER {
+                // Infallible 8-byte header read: `buffered() >= HEADER`
                 // guarantees the indices, no fallible conversion needed.
                 let s = self.start;
                 let len_buf = [self.buf[s], self.buf[s + 1], self.buf[s + 2], self.buf[s + 3]];
                 let len = u32::from_le_bytes(len_buf) as usize;
+                let sum_buf = [self.buf[s + 4], self.buf[s + 5], self.buf[s + 6], self.buf[s + 7]];
+                let sum = u32::from_le_bytes(sum_buf);
                 if len > MAX_FRAME {
-                    return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized frame"));
+                    return Err(FrameFault::Oversize { len }.into());
                 }
-                if self.buffered() >= 4 + len {
-                    let body = &self.buf[self.start + 4..self.start + 4 + len];
-                    let mut bytes = Bytes::copy_from_slice(body);
-                    self.start += 4 + len;
-                    let msg = Message::decode(&mut bytes)
-                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                    return Ok(Some(msg));
+                if self.buffered() >= HEADER + len {
+                    let body = &self.buf[self.start + HEADER..self.start + HEADER + len];
+                    let msg = decode_checked(body, sum);
+                    self.start += HEADER + len;
+                    return msg.map(Some);
                 }
                 // Incomplete frame: make sure it can ever fit.
-                if 4 + len > self.buf.len() {
+                if HEADER + len > self.buf.len() {
                     self.compact();
-                    self.buf.resize(4 + len, 0);
+                    self.buf.resize(HEADER + len, 0);
                 }
             }
             if self.end == self.buf.len() {
@@ -145,16 +249,27 @@ impl FrameReader {
     }
 }
 
-/// Handshake sent by the connecting (predecessor) side.
+/// Handshake sent by the connecting (predecessor) side: magic,
+/// wire-format version, then the sender's id. Versioned so a future v3
+/// can negotiate instead of desyncing against an old peer.
 pub fn write_handshake<W: Write>(w: &mut W, id: ServerId) -> io::Result<()> {
-    w.write_all(&id.to_le_bytes())
+    let mut buf = [0u8; 7];
+    buf[..2].copy_from_slice(&HANDSHAKE_MAGIC);
+    buf[2] = WIRE_VERSION;
+    buf[3..].copy_from_slice(&id.to_le_bytes());
+    w.write_all(&buf)
 }
 
-/// Handshake read by the accepting (successor) side.
+/// Handshake read by the accepting (successor) side. Rejects a bad
+/// magic or an unsupported version with a typed
+/// [`FrameFault::Handshake`].
 pub fn read_handshake<R: Read>(r: &mut R) -> io::Result<ServerId> {
-    let mut buf = [0u8; 4];
+    let mut buf = [0u8; 7];
     r.read_exact(&mut buf)?;
-    Ok(ServerId::from_le_bytes(buf))
+    if buf[..2] != HANDSHAKE_MAGIC || buf[2] != WIRE_VERSION {
+        return Err(FrameFault::Handshake { got: [buf[0], buf[1], buf[2]] }.into());
+    }
+    Ok(ServerId::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]))
 }
 
 #[cfg(test)]
@@ -202,11 +317,45 @@ mod tests {
     }
 
     #[test]
-    fn oversized_frame_rejected() {
+    fn handshake_rejects_v1_and_garbage() {
+        // A v1 peer sent a bare 4-byte id; whatever those bytes are,
+        // they cannot pass the magic check. (7 zero bytes stands in for
+        // the prefix of any v1 stream plus padding.)
+        let v1 = [0u8; 7];
+        let err = read_handshake(&mut Cursor::new(v1.to_vec())).unwrap_err();
+        assert!(matches!(frame_fault(&err), Some(FrameFault::Handshake { .. })));
+        // Right magic, wrong version.
+        let mut wrong_ver = Vec::new();
+        write_handshake(&mut wrong_ver, 3).unwrap();
+        wrong_ver[2] = 99;
+        let err = read_handshake(&mut Cursor::new(wrong_ver)).unwrap_err();
+        assert!(matches!(frame_fault(&err), Some(FrameFault::Handshake { got }) if got[2] == 99));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_with_typed_fault() {
         let mut wire = Vec::new();
         wire.extend_from_slice(&(u32::MAX).to_le_bytes());
         wire.extend_from_slice(&[0u8; 16]);
-        assert!(read_frame(&mut Cursor::new(wire)).is_err());
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(frame_fault(&err), Some(FrameFault::Oversize { .. })));
+        assert!(is_corrupt_frame(&err));
+    }
+
+    #[test]
+    fn corrupt_body_is_typed_and_distinct_from_eof() {
+        let msg = Message::Bcast { round: 4, origin: 1, payload: Bytes::from(vec![5u8; 32]) };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(frame_fault(&err), Some(FrameFault::CrcMismatch { .. })));
+        assert!(is_corrupt_frame(&err));
+        // EOF carries no FrameFault.
+        let eof = read_frame(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(eof.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(!is_corrupt_frame(&eof));
     }
 
     /// A reader that hands out bytes in dribbles and injects timeouts,
@@ -246,7 +395,7 @@ mod tests {
             write_frame(&mut wire, m).unwrap();
         }
         // 3-byte chunks with a timeout every 4th read: every frame is
-        // split mid-length or mid-body many times over.
+        // split mid-header or mid-body many times over.
         let mut src = Dribble { data: wire, pos: 0, chunk: 3, timeout_every: 4, reads: 0 };
         let mut reader = FrameReader::new();
         let mut out = Vec::new();
@@ -274,9 +423,22 @@ mod tests {
         let mut reader = FrameReader::new();
         let mut empty = Cursor::new(Vec::new());
         assert!(reader.read_frame(&mut empty).is_err(), "EOF is an error");
-        let mut corrupt = Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        let mut corrupt = Cursor::new([0xFFu8; 8].to_vec());
         let mut reader = FrameReader::new();
-        assert!(reader.read_frame(&mut corrupt).is_err(), "oversized length rejected");
+        let err = reader.read_frame(&mut corrupt).unwrap_err();
+        assert!(matches!(frame_fault(&err), Some(FrameFault::Oversize { .. })));
+    }
+
+    #[test]
+    fn frame_reader_detects_flipped_bit() {
+        let msg = Message::Bcast { round: 6, origin: 2, payload: Bytes::from(vec![1u8; 48]) };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &msg).unwrap();
+        let mid = wire.len() / 2;
+        wire[mid] ^= 0x10;
+        let mut reader = FrameReader::new();
+        let err = reader.read_frame(&mut Cursor::new(wire)).unwrap_err();
+        assert!(is_corrupt_frame(&err), "flipped bit must classify as corrupt, got {err}");
     }
 
     #[test]

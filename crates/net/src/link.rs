@@ -231,6 +231,7 @@ pub struct LinkStats {
     reader_disconnects: AtomicU64,
     healed: AtomicU64,
     suspicions: AtomicU64,
+    corrupt_frames: AtomicU64,
 }
 
 impl LinkStats {
@@ -276,6 +277,13 @@ impl LinkStats {
         self.suspicions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// An inbound frame failed its CRC (or decode) check. The
+    /// connection is dropped and healed like any other link fault; the
+    /// corrupted payload is never delivered.
+    pub fn on_corrupt_frame(&self) {
+        self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough point-in-time copy (individual counters are
     /// each read atomically).
     pub fn snapshot(&self) -> LinkStatsSnapshot {
@@ -288,6 +296,7 @@ impl LinkStats {
             reader_disconnects: self.reader_disconnects.load(Ordering::Relaxed),
             healed: self.healed.load(Ordering::Relaxed),
             suspicions: self.suspicions.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -311,6 +320,9 @@ pub struct LinkStatsSnapshot {
     pub healed: u64,
     /// Disconnect graces that expired into suspicions.
     pub suspicions: u64,
+    /// Inbound frames rejected by the CRC/decode check (each dropped
+    /// the connection, which then healed through reader grace).
+    pub corrupt_frames: u64,
 }
 
 #[cfg(test)]

@@ -47,7 +47,8 @@
 //! outage exceeding the budget escalates to the ◇P suspicion path.
 
 use crate::codec::{
-    encode_frame, read_handshake, write_encoded_frame, write_handshake, FrameReader,
+    encode_frame, is_corrupt_frame, read_handshake, write_encoded_frame, write_handshake,
+    FrameReader,
 };
 use crate::heartbeat::{self, AdaptiveTimeout, FdParams, HeartbeatTable};
 use crate::link::{connect_with_retry, BackoffPolicy, FrameQueue, LinkStats, LinkStatsSnapshot};
@@ -80,6 +81,12 @@ enum NodeInput {
     Suspect(ServerId),
     SetWindow(usize),
     SetLinkDrop {
+        to: ServerId,
+        ppm: u32,
+    },
+    /// Fault injection: flip one bit per sampled outgoing frame to `to`
+    /// (parts-per-million, like [`NodeInput::SetLinkDrop`]).
+    SetLinkFlip {
         to: ServerId,
         ppm: u32,
     },
@@ -252,6 +259,7 @@ impl NodeRuntime {
         {
             let stop = stop.clone();
             let input_tx = input_tx.clone();
+            let stats2 = stats.clone();
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("ac-accept-{id}"))
@@ -267,7 +275,9 @@ impl NodeRuntime {
                                     // exhaustion) drops the stream; the
                                     // peer sees a disconnect and its FD
                                     // takes over — never a panic here.
-                                    if let Ok(r) = spawn_reader(id, stream, tx, stop2) {
+                                    if let Ok(r) =
+                                        spawn_reader(id, stream, tx, stop2, stats2.clone())
+                                    {
                                         readers.push(r);
                                     }
                                 }
@@ -333,6 +343,8 @@ impl NodeRuntime {
                 app_grace: opts.app_grace,
                 drop_ppm: HashMap::new(),
                 drop_rng: 0x9e37_79b9_7f4a_7c15 ^ (id as u64 + 1),
+                flip_ppm: HashMap::new(),
+                flip_rng: 0x6c62_272e_07bb_0142 ^ (id as u64 + 1),
                 link_grace: opts.link_grace,
                 link_queue_high: opts.link_queue_high,
                 link_queue_low: opts.link_queue_low,
@@ -436,6 +448,16 @@ impl NodeRuntime {
         let _ = self.input_tx.send(NodeInput::SetLinkDrop { to, ppm });
     }
 
+    /// Corrupt outgoing protocol frames to successor `to` with
+    /// probability `ppm / 1e6` (`0` clears the fault): one bit of the
+    /// sampled frame's copy is flipped before it is written. The
+    /// receiver's CRC check must reject the frame and heal the link —
+    /// the flip must never surface as a delivered payload (the
+    /// `SilentCorruption` nemesis property).
+    pub fn set_link_flip(&self, to: ServerId, ppm: u32) {
+        let _ = self.input_tx.send(NodeInput::SetLinkFlip { to, ppm });
+    }
+
     /// Fault injection: sever the outbound link to `to` and hold it
     /// down until [`NodeRuntime::link_up`]. Pending writes are flushed
     /// first (TCP delivers them with the FIN), then outbound frames
@@ -511,6 +533,7 @@ fn spawn_reader(
     mut stream: TcpStream,
     tx: Sender<NodeInput>,
     stop: Arc<AtomicBool>,
+    stats: Arc<LinkStats>,
 ) -> std::io::Result<std::thread::JoinHandle<()>> {
     std::thread::Builder::new().name(format!("ac-read-{id}")).spawn(move || {
         stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
@@ -545,10 +568,18 @@ fn spawn_reader(
                     }
                 }
                 Ok(None) => {} // read timeout: poll the stop flag
-                Err(_) => {
-                    // EOF or reset: the predecessor's link dropped. The
-                    // protocol thread starts the disconnect grace; only
-                    // its expiry becomes a suspicion.
+                Err(e) => {
+                    // A corrupt frame (CRC/decode failure) is a *link*
+                    // fault, not a protocol error: count it, then drop
+                    // the connection exactly like an EOF — the stream
+                    // past a bad frame cannot be trusted to be framed.
+                    // Either way the protocol thread starts the
+                    // disconnect grace; the peer's reconnect (or our
+                    // writer's) heals the link below the protocol, and
+                    // only a grace expiry becomes a suspicion.
+                    if is_corrupt_frame(&e) {
+                        stats.on_corrupt_frame();
+                    }
                     if !stop.load(Ordering::Relaxed) {
                         let _ = tx.send(NodeInput::ReaderGone { from });
                     }
@@ -618,6 +649,14 @@ struct ProtocolState {
     /// xorshift64* state for drop sampling: deterministic per node,
     /// cheap, and independent of the `rand` crate.
     drop_rng: u64,
+    /// Per-successor bit-flip rates (parts-per-million) — the wire
+    /// corruption nemesis surface. A sampled frame is copied, one bit
+    /// is flipped, and the corrupted copy is sent; the receiver's CRC
+    /// must catch it. Empty in healthy operation.
+    flip_ppm: HashMap<ServerId, u32>,
+    /// xorshift64* state for flip sampling and bit selection, separate
+    /// from `drop_rng` so enabling flips does not perturb drop replay.
+    flip_rng: u64,
     link_grace: Duration,
     link_queue_high: usize,
     link_queue_low: usize,
@@ -693,7 +732,8 @@ impl ProtocolState {
                             Err(_) => continue, // oversized: drop, FD handles the peer
                         },
                     };
-                    self.send_frame(to, cached);
+                    let outgoing = self.maybe_flip(&to, cached);
+                    self.send_frame(to, outgoing);
                 }
                 Action::Deliver { round, messages } => {
                     if self.delivery_tx.send(Delivery { round, messages }).is_err() {
@@ -705,6 +745,28 @@ impl ProtocolState {
         }
         self.actions = actions; // reuse the allocation
         !hung_up
+    }
+
+    /// Injected wire corruption: with probability `flip_ppm[to] / 1e6`,
+    /// copy the frame and flip one bit at an rng-chosen offset (header
+    /// bytes included — a flipped length or checksum must be caught
+    /// just like a flipped payload byte). The shared fan-out frame is
+    /// never mutated in place; only this destination sees the damage.
+    fn maybe_flip(&mut self, to: &ServerId, frame: Bytes) -> Bytes {
+        let Some(&ppm) = self.flip_ppm.get(to) else { return frame };
+        let mut x = self.flip_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.flip_rng = x;
+        let sample = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        if sample % DROP_PPM_SCALE >= ppm as u64 || frame.is_empty() {
+            return frame;
+        }
+        let bit = (sample >> 24) as usize % (frame.len() * 8);
+        let mut corrupted = frame.to_vec();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        Bytes::from(corrupted)
     }
 
     /// Route one encoded frame through the link's state machine.
@@ -1097,6 +1159,14 @@ impl ProtocolState {
                     self.drop_ppm.remove(&to);
                 } else {
                     self.drop_ppm.insert(to, ppm);
+                }
+                true
+            }
+            NodeInput::SetLinkFlip { to, ppm } => {
+                if ppm == 0 {
+                    self.flip_ppm.remove(&to);
+                } else {
+                    self.flip_ppm.insert(to, ppm);
                 }
                 true
             }

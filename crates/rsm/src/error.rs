@@ -59,6 +59,18 @@ pub enum ServiceError {
     /// error. Agreement itself is unaffected, but durable
     /// acknowledgments cannot be given.
     Durability(std::io::Error),
+    /// The divergence audit caught this replica's state digest
+    /// disagreeing with the majority at an audit round: its state
+    /// silently diverged (bit rot, a stray write, a non-deterministic
+    /// apply). The replica is **quarantined** — it stops answering
+    /// queries and is excluded as a snapshot source — until it rejoins
+    /// from a healthy peer's snapshot via the chunked catch-up path.
+    Diverged {
+        /// The quarantined server.
+        server: ServerId,
+        /// The audit round whose digest cross-check exposed it.
+        round: allconcur_core::Round,
+    },
 }
 
 /// How an unresolved command failed — the lightweight, copyable record
@@ -99,6 +111,13 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "service saturated; command shed, retry after {retry_after:?}")
             }
             ServiceError::Durability(e) => write!(f, "durability error: {e}"),
+            ServiceError::Diverged { server, round } => {
+                write!(
+                    f,
+                    "replica {server} diverged at audit round {round}; \
+                     quarantined until snapshot catch-up"
+                )
+            }
         }
     }
 }

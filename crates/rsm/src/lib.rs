@@ -63,4 +63,4 @@ pub use allconcur_core::replica::{
 };
 pub use allconcur_durability::{DurabilityConfig, DurabilityStore};
 pub use error::ServiceError;
-pub use service::{AdmissionConfig, CommandHandle, RecoveryReport, Service};
+pub use service::{AdmissionConfig, CommandHandle, IntegrityStats, RecoveryReport, Service};

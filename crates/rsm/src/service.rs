@@ -25,7 +25,8 @@ use allconcur_core::delivery::Delivery;
 use allconcur_core::replica::{Codec, Replica, StateMachine};
 use allconcur_core::{Round, ServerId};
 use allconcur_durability::{
-    CatchupSink, CatchupSource, DurabilityConfig, DurabilityStore, TornTail, VirtualDisk, Wal,
+    CatchupSink, CatchupSource, DurabilityConfig, DurabilityStore, MidLogRot, RecoverOutcome,
+    Recovered, ScrubReport, TornTail, VirtualDisk, Wal,
 };
 use allconcur_graph::Digraph;
 use bytes::Bytes;
@@ -115,10 +116,59 @@ pub struct RecoveryReport {
     pub snapshot_catchup: Vec<ServerId>,
     /// Total bounded chunks streamed across all catch-up transfers.
     pub catchup_chunks: usize,
+    /// Servers whose log had **mid-log rot** — a checksum failure on an
+    /// acknowledged round that cannot be a torn tail. Their own history
+    /// was refused (trimming it would silently unacknowledge durable
+    /// rounds); they were rebuilt from the reference server's chunked
+    /// catch-up instead.
+    pub rotted: Vec<(ServerId, MidLogRot)>,
 }
 
 fn dur_err(e: io::Error) -> ServiceError {
     ServiceError::Durability(e)
+}
+
+/// Divergence-audit counters of a [`Service`] — the replica-integrity
+/// observability surface, mirroring what `LinkStatsSnapshot` exposes at
+/// the transport layer ([`Service::integrity_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Audit rounds fully cross-checked (every expected digest arrived
+    /// and was compared).
+    pub audits: u64,
+    /// Audit rounds where at least two replicas' digests disagreed.
+    pub divergences: u64,
+    /// Replicas quarantined because their digest dissented from a
+    /// strict majority.
+    pub quarantines: u64,
+    /// Quarantined replicas healed back in via snapshot catch-up.
+    pub rejoins: u64,
+}
+
+/// FNV-1a offset basis / prime for the replica state digest. FNV-1a
+/// over the applied `(round, origin, payload)` tuples is deterministic
+/// across replicas and platforms, and byte-at-a-time folding keeps the
+/// apply path allocation-free.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Default divergence-audit cadence in rounds
+/// ([`Service::set_audit_interval`]).
+const DEFAULT_AUDIT_INTERVAL: u64 = 32;
+
+/// Fold one applied `(round, origin, payload)` tuple into a replica's
+/// incremental state digest. Every replica folds the same agreed
+/// tuples in the same order, so equal digests ⇔ equal applied history
+/// (up to hash collision) — without ever serializing the state.
+// lint:hot_path — folded on every applied message of every round
+fn fold_digest(mut digest: u64, round: Round, origin: ServerId, payload: &[u8]) -> u64 {
+    for &byte in round.to_le_bytes().iter().chain(origin.to_le_bytes().iter()) {
+        digest = (digest ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    for &byte in payload {
+        digest = (digest ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    digest
 }
 
 /// A wait budget that only touches the wall clock on wall-clock
@@ -306,6 +356,27 @@ pub struct Service<S: StateMachine> {
     /// WALs plus responses withheld until their round is fsynced
     /// somewhere. `None` keeps the original memory-only semantics.
     durability: Option<Durability<S::Response>>,
+    /// Per-replica incremental FNV-1a state digest over applied
+    /// `(round, origin, payload)` tuples — the divergence-audit input.
+    digests: Vec<u64>,
+    /// Published digests awaiting cross-check, per server:
+    /// `(audit round, digest)` ascending by round.
+    audit_log: Vec<VecDeque<(Round, u64)>>,
+    /// First audit round each server is expected to vote on (moves
+    /// past the snapshot point when a server rejoins after quarantine:
+    /// it cannot vouch for rounds it restored rather than applied).
+    audit_floor: Vec<Round>,
+    /// Digest cross-check cadence in rounds; 0 disables the audit.
+    audit_interval: u64,
+    /// `Some(audit round)` while a server is quarantined: the digest
+    /// cross-check at that round proved its replica diverged, so it
+    /// answers no queries ([`ServiceError::Diverged`]) until healed.
+    quarantined: Vec<Option<Round>>,
+    /// After a rejoin, rounds at or below this are already covered by
+    /// the rejoin snapshot: logged but not re-applied.
+    resume_after: Vec<Option<Round>>,
+    /// Divergence-audit counters.
+    integrity: IntegrityStats,
 }
 
 /// Minimum rounds of decoded commands kept in [`Service`]'s share cache;
@@ -340,6 +411,13 @@ impl<S: StateMachine> Service<S> {
             decoded: BTreeMap::new(),
             delivery_log: None,
             durability: None,
+            digests: vec![FNV_OFFSET; n],
+            audit_log: vec![VecDeque::new(); n],
+            audit_floor: vec![0; n],
+            audit_interval: DEFAULT_AUDIT_INTERVAL,
+            quarantined: vec![None; n],
+            resume_after: vec![None; n],
+            integrity: IntegrityStats::default(),
         })
     }
 
@@ -404,14 +482,36 @@ impl<S: StateMachine> Service<S> {
                 format!("store has {} disks for {n} servers", store.len()),
             )));
         }
+        let initial_snap = initial.snapshot();
+        let mut report = RecoveryReport::default();
         let mut wals = Vec::with_capacity(n);
         let mut recs = Vec::with_capacity(n);
-        for disk in store.into_disks() {
-            let (wal, rec) = Wal::recover(disk, cfg.clone()).map_err(dur_err)?;
-            wals.push(wal);
-            recs.push(rec);
+        for (s, disk) in store.into_disks().into_iter().enumerate() {
+            match Wal::recover_or_rot(disk, cfg.clone()).map_err(dur_err)? {
+                RecoverOutcome::Intact(wal, rec) => {
+                    wals.push(wal);
+                    recs.push(rec);
+                }
+                RecoverOutcome::Rotted { disk, rot } => {
+                    // Mid-log rot: an *acknowledged* round on this disk
+                    // is damaged. Trimming it (the torn-tail action)
+                    // would silently unacknowledge durable history, so
+                    // this server's log is refused wholesale — it is
+                    // treated as a fresh disk and rebuilt below from
+                    // the reference server's chunked catch-up. Its
+                    // rotted files are swept when the new epoch begins.
+                    report.rotted.push((s as ServerId, rot));
+                    wals.push(Wal::create(disk, cfg.clone(), &initial_snap).map_err(dur_err)?);
+                    recs.push(Recovered {
+                        epoch: 0,
+                        snapshot: None,
+                        snapshot_covers: 0,
+                        suffix: Vec::new(),
+                        torn: None,
+                    });
+                }
+            }
         }
-        let mut report = RecoveryReport::default();
         for (s, rec) in recs.iter().enumerate() {
             if let Some(torn) = rec.torn.clone() {
                 report.torn.push((s as ServerId, torn));
@@ -428,7 +528,6 @@ impl<S: StateMachine> Service<S> {
         let base = recs[reference].snapshot_covers;
         let tip = recs[reference].tip();
         report.recovered_rounds = tip;
-        let initial_snap = initial.snapshot();
         let reference_snapshot: &[u8] = match &recs[reference].snapshot {
             Some(bytes) => bytes,
             None => &initial_snap, // never-initialised disks: first boot
@@ -510,6 +609,13 @@ impl<S: StateMachine> Service<S> {
             decoded: BTreeMap::new(),
             delivery_log: None,
             durability: Some(Durability { cfg, epoch: new_epoch, wals, pending: VecDeque::new() }),
+            digests: vec![FNV_OFFSET; n],
+            audit_log: vec![VecDeque::new(); n],
+            audit_floor: vec![0; n],
+            audit_interval: DEFAULT_AUDIT_INTERVAL,
+            quarantined: vec![None; n],
+            resume_after: vec![None; n],
+            integrity: IntegrityStats::default(),
         };
         Ok((service, report))
     }
@@ -627,8 +733,15 @@ impl<S: StateMachine> Service<S> {
     /// Local read of server `at`'s state — no coordination, stale by at
     /// most one round. Drive the service ([`Service::pump`],
     /// [`Service::sync`], [`Service::wait`]) to keep replicas current.
+    ///
+    /// A quarantined replica answers [`ServiceError::Diverged`] instead
+    /// of serving state the divergence audit proved wrong.
     pub fn query_local(&self, at: ServerId) -> Result<&S, ServiceError> {
-        Ok(self.replica(at)?.query())
+        let replica = self.replica(at)?;
+        if let Some(round) = self.quarantined_at(at) {
+            return Err(ServiceError::Diverged { server: at, round });
+        }
+        Ok(replica.query())
     }
 
     /// Submit a typed command through `origin`. The command is encoded,
@@ -846,10 +959,12 @@ impl<S: StateMachine> Service<S> {
     /// Rounds and correlation restart from zero on the new overlay.
     pub fn reconfigure(&mut self, graph: Digraph, timeout: Duration) -> Result<(), ServiceError> {
         self.sync(timeout)?;
-        let source = *self
+        // Never seed the new configuration from a quarantined replica.
+        let source = self
             .cluster
             .live_servers()
-            .first()
+            .into_iter()
+            .find(|&id| self.quarantined[id as usize].is_none())
             .ok_or(ServiceError::Cluster(ClusterError::ShutDown))?;
         let snap = self.replicas[source as usize].snapshot();
         self.cluster.reconfigure(graph)?;
@@ -929,15 +1044,26 @@ impl<S: StateMachine> Service<S> {
         // Rounds restart from zero on the new overlay: cached decodes of
         // old-configuration rounds must not leak into the new numbering.
         self.decoded.clear();
+        // Every replica of the new configuration restored from the same
+        // settled snapshot: digests and audit state restart with the new
+        // round numbering, and any quarantine is healed by the restore.
+        self.digests = vec![FNV_OFFSET; n];
+        self.audit_log = vec![VecDeque::new(); n];
+        self.audit_floor = vec![0; n];
+        self.quarantined = vec![None; n];
+        self.resume_after = vec![None; n];
         Ok(())
     }
 
-    /// Snapshot of the most advanced live replica's state.
+    /// Snapshot of the most advanced live replica's state. Quarantined
+    /// replicas are never snapshot sources — their state is exactly
+    /// what the divergence audit refused to trust.
     pub fn snapshot(&self) -> Result<Bytes, ServiceError> {
         let best = self
             .cluster
             .live_servers()
             .into_iter()
+            .filter(|&id| self.quarantined[id as usize].is_none())
             .max_by_key(|&id| self.replicas[id as usize].applied_rounds())
             .ok_or(ServiceError::Cluster(ClusterError::ShutDown))?;
         Ok(self.replicas[best as usize].snapshot())
@@ -946,6 +1072,57 @@ impl<S: StateMachine> Service<S> {
     /// Graceful shutdown of the deployment.
     pub fn shutdown(self) -> Result<(), ServiceError> {
         self.cluster.shutdown()?;
+        Ok(())
+    }
+
+    // ---- integrity surface ------------------------------------------------
+
+    /// Set the divergence-audit cadence: every `interval` rounds each
+    /// replica publishes its incremental state digest, and once every
+    /// expected replica's digest for an audit round is in they are
+    /// cross-checked — a replica dissenting from a strict majority is
+    /// quarantined ([`ServiceError::Diverged`]) and later healed back
+    /// in via snapshot catch-up. `0` disables the audit (default: 32).
+    pub fn set_audit_interval(&mut self, interval: u64) {
+        self.audit_interval = interval;
+    }
+
+    /// The active divergence-audit cadence in rounds (0 = audits off).
+    pub fn audit_interval(&self) -> u64 {
+        self.audit_interval
+    }
+
+    /// Divergence-audit counters since construction.
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity
+    }
+
+    /// `Some(audit round)` while server `id`'s replica is quarantined.
+    pub fn quarantined_at(&self, id: ServerId) -> Option<Round> {
+        self.quarantined.get(id as usize).copied().flatten()
+    }
+
+    /// Fault injection: silently corrupt server `at`'s replica by
+    /// applying `command` **outside** agreement — state no agreed round
+    /// carried, exactly what bit rot or a non-deterministic apply would
+    /// produce. The corruption stays invisible (local queries answer
+    /// from the poisoned state) until the next digest cross-check
+    /// exposes and quarantines the replica. Test/nemesis surface.
+    pub fn poison_replica(
+        &mut self,
+        at: ServerId,
+        command: &S::Command,
+    ) -> Result<(), ServiceError> {
+        if (at as usize) >= self.cluster.n() {
+            return Err(ServiceError::Cluster(ClusterError::UnknownServer(at)));
+        }
+        // Perturb state *and* digest, as a genuinely corrupt apply
+        // would: the digest now attests to history no other replica
+        // applied.
+        let bytes = self.codec.encode(command);
+        let round = self.replicas[at as usize].last_round().map_or(0, |r| r + 1);
+        self.digests[at as usize] = fold_digest(self.digests[at as usize], round, at, &bytes);
+        self.replicas[at as usize].apply_unchecked(at, command.clone());
         Ok(())
     }
 
@@ -972,6 +1149,20 @@ impl<S: StateMachine> Service<S> {
     /// Server `id`'s write-ahead log, when durability is on.
     pub fn wal(&self, id: ServerId) -> Option<&Wal> {
         self.durability.as_ref().and_then(|d| d.wals.get(id as usize))
+    }
+
+    /// Run a read-only integrity scrub over server `id`'s write-ahead
+    /// log: every frame checksum, epoch tag, and round slot of the
+    /// current epoch is re-verified in place, plus the newest snapshot.
+    /// `None` without durability; mid-log rot surfaces as the typed
+    /// [`allconcur_durability::MidLogRot`] inside the error. The online
+    /// counterpart of recovery's classification — run it periodically
+    /// so rot is found before the next crash depends on the log.
+    pub fn scrub_wal(&mut self, id: ServerId) -> Option<Result<ScrubReport, ServiceError>> {
+        self.durability
+            .as_mut()
+            .and_then(|d| d.wals.get_mut(id as usize))
+            .map(|wal| wal.scrub().map_err(dur_err))
     }
 
     /// Server `id`'s disk, for fault injection and inspection (e.g.
@@ -1107,6 +1298,24 @@ impl<S: StateMachine> Service<S> {
             d.wals[at as usize].append(&delivery).map_err(dur_err)?;
         }
         let round = delivery.round;
+        // Quarantined replica: the agreed round is logged (the WAL
+        // append above keeps its durable history contiguous) but never
+        // applied to the untrusted state. First try to heal the replica
+        // from a healthy peer's snapshot; while that is impossible the
+        // round is skipped here and harvested by another replica.
+        if self.quarantined[at as usize].is_some() {
+            self.try_rejoin(at, round)?;
+            if self.quarantined[at as usize].is_some() {
+                self.release_durable();
+                return Ok(());
+            }
+        }
+        // Rounds the rejoin snapshot already covers are skipped, not
+        // re-applied; past the snapshot point application resumes.
+        if self.resume_after[at as usize].is_some_and(|covered| round <= covered) {
+            self.release_durable();
+            return Ok(());
+        }
         let harvest = round == self.harvested;
         if !self.decoded.contains_key(&round) {
             let commands =
@@ -1122,6 +1331,27 @@ impl<S: StateMachine> Service<S> {
             // again just for this replica.
             None => self.replicas[at as usize].apply_round(round, &delivery.messages, true)?,
         };
+        // Fold the applied round into this replica's state digest and,
+        // at an audit boundary, publish it and cross-check.
+        if self.audit_interval > 0 {
+            let mut digest = self.digests[at as usize];
+            for (origin, payload) in &delivery.messages {
+                digest = fold_digest(digest, round, *origin, payload);
+            }
+            self.digests[at as usize] = digest;
+            if (round + 1) % self.audit_interval == 0 {
+                self.audit_log[at as usize].push_back((round, digest));
+                self.check_audits();
+            }
+        }
+        if self.quarantined[at as usize].is_some() {
+            // The cross-check just quarantined this very replica: its
+            // state is no longer trusted — never checkpoint it, never
+            // harvest responses from it (another replica's delivery of
+            // this round harvests instead, `harvested` did not move).
+            self.release_durable();
+            return Ok(());
+        }
         self.maybe_checkpoint(at)?;
         if !harvest {
             self.release_durable();
@@ -1182,6 +1412,133 @@ impl<S: StateMachine> Service<S> {
         Ok(())
     }
 
+    /// Cross-check published digests: for every audit round all
+    /// expected servers have voted on, compare — a strict-majority
+    /// digest is taken as the agreed history, dissenters are
+    /// quarantined. With no strict majority nobody can be blamed
+    /// (the mismatch is still counted in
+    /// [`IntegrityStats::divergences`]). Runs only at audit boundaries,
+    /// never on the per-delivery hot path.
+    fn check_audits(&mut self) {
+        let n = self.cluster.n();
+        loop {
+            // The lowest audit round any server still has queued.
+            let Some(r) =
+                (0..n).filter_map(|s| self.audit_log[s].front().map(|&(r, _)| r)).min()
+            else {
+                return;
+            };
+            // Who must vote on `r`: live, unquarantined, and expected
+            // to have applied it (audit floor at or below `r` — a
+            // freshly rejoined server cannot vouch for rounds it
+            // restored rather than applied).
+            let mut votes: Vec<(ServerId, u64)> = Vec::new();
+            let mut missing = false;
+            for s in 0..n as ServerId {
+                let expected = self.cluster.is_live(s)
+                    && self.quarantined[s as usize].is_none()
+                    && self.audit_floor[s as usize] <= r;
+                if !expected {
+                    continue;
+                }
+                match self.audit_log[s as usize].iter().find(|&&(round, _)| round == r) {
+                    Some(&(_, digest)) => votes.push((s, digest)),
+                    None => missing = true,
+                }
+            }
+            if missing {
+                return; // an expected voter has not reached `r` yet
+            }
+            if !votes.is_empty() {
+                self.integrity.audits += 1;
+                if votes.iter().any(|&(_, d)| d != votes[0].1) {
+                    self.integrity.divergences += 1;
+                    let majority = votes
+                        .iter()
+                        .map(|&(_, d)| d)
+                        .find(|&d| votes.iter().filter(|&&(_, v)| v == d).count() * 2 > votes.len());
+                    if let Some(majority) = majority {
+                        for &(s, d) in &votes {
+                            if d != majority {
+                                self.quarantine(s, r);
+                            }
+                        }
+                    }
+                }
+            }
+            self.drop_audits_through(r);
+        }
+    }
+
+    /// Drop every queued audit vote at or below `r`.
+    fn drop_audits_through(&mut self, r: Round) {
+        for ring in &mut self.audit_log {
+            while ring.front().is_some_and(|&(round, _)| round <= r) {
+                ring.pop_front();
+            }
+        }
+    }
+
+    /// Quarantine server `s`: its digest dissented from the majority at
+    /// audit round `r`, so its replica's state is no longer trusted. It
+    /// stops answering queries and is excluded as a snapshot and audit
+    /// source until a rejoin heals it.
+    fn quarantine(&mut self, s: ServerId, r: Round) {
+        if self.quarantined[s as usize].is_none() {
+            self.quarantined[s as usize] = Some(r);
+            self.integrity.quarantines += 1;
+        }
+    }
+
+    /// Heal a quarantined replica: restore it from the healthiest live
+    /// unquarantined peer's snapshot — streamed through the same
+    /// bounded chunked catch-up a recovery uses — and resume applying
+    /// agreed rounds past the snapshot point. `next_round` is the round
+    /// about to be ingested: the snapshot must cover every round the
+    /// quarantined replica already skipped, or applying `next_round` on
+    /// top would leave a silent gap — a healer that lags behind defers
+    /// the rejoin to a later delivery. No healthy live peer → stays
+    /// quarantined (retried on the next delivery).
+    fn try_rejoin(&mut self, at: ServerId, next_round: Round) -> Result<(), ServiceError> {
+        let Some(healer) = self
+            .cluster
+            .live_servers()
+            .into_iter()
+            .filter(|&s| s != at && self.quarantined[s as usize].is_none())
+            .max_by_key(|&s| self.replicas[s as usize].last_round())
+        else {
+            return Ok(());
+        };
+        let covered = self.replicas[healer as usize].last_round();
+        if covered.map_or(0, |r| r + 1) < next_round {
+            return Ok(()); // snapshot would not cover the skipped rounds
+        }
+        let snap = self.replicas[healer as usize].snapshot();
+        let chunk_bytes = self
+            .durability
+            .as_ref()
+            .map_or_else(|| DurabilityConfig::default().catchup_chunk_bytes, |d| {
+                d.cfg.catchup_chunk_bytes
+            });
+        let mut sink = CatchupSink::new();
+        for chunk in CatchupSource::new(Some(&snap), covered.map_or(0, |r| r + 1), &[], chunk_bytes)
+        {
+            sink.accept(&chunk).map_err(dur_err)?;
+        }
+        let payload = sink.finish().map_err(dur_err)?;
+        let state: &[u8] = payload.snapshot.as_deref().unwrap_or(&snap);
+        self.replicas[at as usize] = Replica::from_snapshot(state)?;
+        // The healed replica adopts the healer's digest: identical
+        // state, identical history as far as the audit is concerned.
+        self.digests[at as usize] = self.digests[healer as usize];
+        self.resume_after[at as usize] = covered;
+        self.audit_floor[at as usize] = covered.map_or(0, |r| r + 1);
+        self.audit_log[at as usize].clear();
+        self.quarantined[at as usize] = None;
+        self.integrity.rejoins += 1;
+        Ok(())
+    }
+
     /// Move every withheld acknowledgment whose round is durable on at
     /// least one server into the redeemable responses.
     fn release_durable(&mut self) {
@@ -1229,7 +1586,18 @@ impl<S: StateMachine> Service<S> {
         let expected_last = self.flushed.checked_sub(1);
         let replicas_current = (0..self.cluster.n() as ServerId)
             .filter(|&id| self.cluster.is_live(id))
-            .all(|id| self.replicas[id as usize].last_round() == expected_last);
+            .all(|id| {
+                // A quarantined replica holds no currency promise (it
+                // is healed by rejoin, not by catching up), and a
+                // freshly rejoined one is current as soon as its rejoin
+                // snapshot covers every flushed round.
+                self.quarantined[id as usize].is_some()
+                    || self.replicas[id as usize].last_round() == expected_last
+                    || matches!(
+                        (self.resume_after[id as usize], expected_last),
+                        (Some(covered), Some(expected)) if covered >= expected
+                    )
+            });
         let acks_released = self.durability.as_ref().is_none_or(|d| d.pending.is_empty());
         queues_empty && flights_empty && replicas_current && acks_released
     }

@@ -88,6 +88,21 @@ pub enum FaultCmd {
         /// Additional latency.
         extra: SimTime,
     },
+    /// Corrupt each message on `from → to` independently with
+    /// probability `ppm / 1e6`. The simulator's messages are typed (no
+    /// byte encoding to flip), so a sampled corruption models the *post-
+    /// detection* outcome of the wire layer: the receiver's frame CRC
+    /// catches the flipped bit and discards the frame — the message is
+    /// destroyed, counted in [`LinkFaults::flipped`], and never
+    /// delivered corrupt. `ppm = 0` clears the fault.
+    BitFlip {
+        /// Sending side.
+        from: ServerId,
+        /// Receiving side.
+        to: ServerId,
+        /// Corruption probability in parts-per-million (clamped ≤ 1e6).
+        ppm: u32,
+    },
     /// Hold the next `burst` messages on `from → to` and release them in
     /// reverse order (oldest last) once the burst fills; a partial burst
     /// releases when the simulation would otherwise go idle.
@@ -128,6 +143,9 @@ struct LinkState {
     blocked: bool,
     /// Per-message drop probability in parts-per-million.
     drop_ppm: u32,
+    /// Per-message bit-flip probability in parts-per-million. A sampled
+    /// flip is CRC-detected at the receiver and the message discarded.
+    flip_ppm: u32,
     /// Delay spike added to each message's arrival.
     extra_delay: SimTime,
     /// Messages left to collect in the current reorder burst.
@@ -143,6 +161,7 @@ impl LinkState {
     fn is_clear(&self) -> bool {
         !self.blocked
             && self.drop_ppm == 0
+            && self.flip_ppm == 0
             && self.extra_delay == SimTime::ZERO
             && self.reorder_left == 0
             && self.held.is_empty()
@@ -155,6 +174,9 @@ pub struct LinkFaults {
     links: BTreeMap<(ServerId, ServerId), LinkState>,
     /// Messages destroyed by probabilistic drop since construction.
     dropped: u64,
+    /// Messages destroyed by injected bit flips (CRC-detected and
+    /// discarded at the receiver) since construction.
+    flipped: u64,
     /// Messages currently parked (blocked links + reorder bursts).
     parked: usize,
 }
@@ -174,6 +196,12 @@ impl LinkFaults {
     /// Messages destroyed by probabilistic drop so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Messages destroyed by injected bit flips so far — every one a
+    /// corruption the wire CRC *detected* (a flip is never delivered).
+    pub fn flipped(&self) -> u64 {
+        self.flipped
     }
 
     /// Whether any link is blocked or holding messages — a drained event
@@ -242,6 +270,10 @@ impl LinkFaults {
                 self.entry(*from, *to).drop_ppm = (*ppm).min(PPM);
                 self.prune(*from, *to);
             }
+            FaultCmd::BitFlip { from, to, ppm } => {
+                self.entry(*from, *to).flip_ppm = (*ppm).min(PPM);
+                self.prune(*from, *to);
+            }
             FaultCmd::Delay { from, to, extra } => {
                 self.entry(*from, *to).extra_delay = *extra;
                 self.prune(*from, *to);
@@ -290,6 +322,16 @@ impl LinkFaults {
         }
         if link.drop_ppm > 0 && rng.gen_range(0..PPM) < link.drop_ppm {
             self.dropped += 1;
+            return;
+        }
+        // A flipped bit is a *detected* fault, never a delivered one:
+        // typed messages have no byte image to corrupt, so the sampled
+        // flip collapses to its wire-layer outcome — the receiver's
+        // frame CRC fails and the frame is discarded (survivability
+        // comes from the overlay's redundant paths, exactly as for
+        // probabilistic drop).
+        if link.flip_ppm > 0 && rng.gen_range(0..PPM) < link.flip_ppm {
+            self.flipped += 1;
             return;
         }
         let mut m = m;
@@ -446,6 +488,26 @@ mod tests {
         assert!(faults.dropped() > 300 && faults.dropped() < 700, "{}", faults.dropped());
         // ppm = 0 clears the fault.
         faults.apply(&FaultCmd::Drop { from: 0, to: 1, ppm: 0 }, &mut out);
+        assert!(faults.is_empty());
+    }
+
+    #[test]
+    fn bit_flip_is_detected_and_dropped_and_counted() {
+        let mut faults = LinkFaults::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut out = Vec::new();
+        faults.apply(&FaultCmd::BitFlip { from: 0, to: 1, ppm: PPM / 2 }, &mut out);
+        for i in 0..1000 {
+            faults.route(msg(0, 1, i), &mut rng, &mut out);
+        }
+        // Every sampled flip is destroyed (CRC-detected), never
+        // delivered corrupt — delivered + flipped accounts for all.
+        let delivered = out.len() as u64;
+        assert_eq!(delivered + faults.flipped(), 1000);
+        assert_eq!(faults.dropped(), 0, "flips are counted apart from drops");
+        assert!(faults.flipped() > 300 && faults.flipped() < 700, "{}", faults.flipped());
+        // ppm = 0 clears the fault.
+        faults.apply(&FaultCmd::BitFlip { from: 0, to: 1, ppm: 0 }, &mut out);
         assert!(faults.is_empty());
     }
 

@@ -409,6 +409,13 @@ impl SimCluster {
         self.faults.dropped()
     }
 
+    /// Messages destroyed by injected bit flips so far — each one a
+    /// corruption the wire CRC detected and discarded (a flip never
+    /// reaches a protocol state machine).
+    pub fn flipped_messages(&self) -> u64 {
+        self.faults.flipped()
+    }
+
     /// Whether any link is partitioned or holding messages. While true,
     /// a drained event queue means "waiting for a heal", not a protocol
     /// stall — the facade's liveness diagnosis keys off this.

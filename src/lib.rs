@@ -105,7 +105,8 @@ pub mod prelude {
         ServerId,
     };
     pub use allconcur_durability::{
-        DurabilityConfig, DurabilityStore, FileDisk, MemDisk, VirtualDisk, Wal,
+        rot_error, DurabilityConfig, DurabilityStore, FileDisk, MemDisk, MidLogRot, ScrubReport,
+        VirtualDisk, Wal,
     };
     pub use allconcur_graph::{
         binomial::binomial_graph, gs::gs_digraph, Digraph, ReliabilityModel,
@@ -114,7 +115,7 @@ pub mod prelude {
         NemesisAction, NemesisPlan, PropertyChecker, Scenario, ScenarioReport,
     };
     pub use allconcur_rsm::{
-        AdmissionConfig, CommandHandle, RecoveryReport, Service, ServiceError,
+        AdmissionConfig, CommandHandle, IntegrityStats, RecoveryReport, Service, ServiceError,
     };
     pub use allconcur_sim::{
         harness::{RoundOutcome, SimCluster},

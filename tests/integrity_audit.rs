@@ -1,0 +1,198 @@
+//! End-to-end replica integrity: the divergence audit catches a
+//! silently corrupted replica, quarantines it (typed
+//! `ServiceError::Diverged`), heals it through snapshot catch-up, and
+//! the deployment reconverges — plus recovery's refusal to trust a
+//! write-ahead log with mid-log rot (it rebuilds the server from its
+//! peers instead of trimming acknowledged history).
+#![deny(deprecated)]
+
+use allconcur::prelude::*;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn put(key: impl Into<Bytes>, value: impl Into<Bytes>) -> KvCommand {
+    KvCommand::Put { key: key.into(), value: value.into() }
+}
+
+fn service(n: usize) -> Service<KvStore> {
+    Service::new(Cluster::sim(gs_digraph(n, 3).unwrap()), &KvStore::default()).unwrap()
+}
+
+/// Drive `rounds` agreed rounds, one command per round through `origin`.
+fn drive(kv: &mut Service<KvStore>, origin: ServerId, label: &str, rounds: u64) {
+    for i in 0..rounds {
+        kv.execute(origin, &put(format!("{label}-{i}"), format!("v{i}")), TIMEOUT).unwrap();
+    }
+    kv.sync(TIMEOUT).unwrap();
+}
+
+/// Fault-free runs audit continuously and never flag anything: the
+/// digest fold is pure bookkeeping with zero observable effect.
+#[test]
+fn fault_free_audit_is_silent() {
+    let n = 6;
+    let mut kv = service(n);
+    kv.set_audit_interval(4);
+    drive(&mut kv, 0, "clean", 13);
+    let stats = kv.integrity_stats();
+    assert!(stats.audits >= 3, "13 rounds at interval 4 must audit: {stats:?}");
+    assert_eq!(stats.divergences, 0, "{stats:?}");
+    assert_eq!(stats.quarantines, 0, "{stats:?}");
+    for s in 0..n as ServerId {
+        assert_eq!(kv.quarantined_at(s), None);
+    }
+    let reference = kv.query_local(0).unwrap().clone();
+    for s in 1..n as ServerId {
+        assert_eq!(kv.query_local(s).unwrap(), &reference, "replica {s}");
+    }
+}
+
+/// A poisoned replica (state mutated outside agreement) is caught at
+/// the next digest cross-check, quarantined with a typed error, healed
+/// back in from a peer snapshot, and reconverges with the majority —
+/// the poison never leaks into answers afterwards.
+#[test]
+fn poisoned_replica_is_quarantined_then_rejoins() {
+    let n = 6;
+    let victim: ServerId = 2;
+    let mut kv = service(n);
+    kv.set_audit_interval(4);
+
+    drive(&mut kv, 0, "pre", 2);
+    // Silent corruption: the victim applies a write no round carried.
+    kv.poison_replica(victim, &put("poison", "stray")).unwrap();
+    assert_eq!(
+        kv.query_local(victim).unwrap().get_local(b"poison"),
+        Some(&b"stray"[..]),
+        "the corruption starts out silent"
+    );
+
+    // Drive rounds one delivery at a time until the audit boundary
+    // exposes the divergence. (The quarantine is self-healing — the
+    // victim's next delivery triggers the rejoin — so the window is
+    // only observable between single `pump` steps.)
+    let mut quarantined_round = None;
+    'drive: for i in 0..8u64 {
+        kv.submit(0, &put(format!("mid-{i}"), "v")).unwrap();
+        kv.flush().unwrap();
+        while kv.pump(TIMEOUT).unwrap() {
+            if let Some(r) = kv.quarantined_at(victim) {
+                quarantined_round = Some(r);
+                break 'drive;
+            }
+        }
+    }
+    let audit_round = quarantined_round.expect("audit must catch the poisoned replica");
+    let stats = kv.integrity_stats();
+    assert!(stats.divergences >= 1, "{stats:?}");
+    assert_eq!(stats.quarantines, 1, "{stats:?}");
+
+    // Quarantine is typed and visible; healthy replicas are untouched.
+    match kv.query_local(victim) {
+        Err(ServiceError::Diverged { server, round }) => {
+            assert_eq!(server, victim);
+            assert_eq!(round, audit_round);
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+    assert!(kv.query_local(0).unwrap().get_local(b"poison").is_none());
+    // A quarantined replica is never the snapshot source.
+    let snap = kv.snapshot().unwrap();
+    let from_snap = KvStore::restore(&snap).unwrap();
+    assert!(from_snap.get_local(b"poison").is_none(), "snapshot drew from the poisoned replica");
+
+    // Healing: further rounds trigger the rejoin, and the deployment
+    // reconverges — poison gone, agreed writes all present.
+    drive(&mut kv, 0, "post", 6);
+    assert_eq!(kv.quarantined_at(victim), None, "victim must rejoin");
+    let stats = kv.integrity_stats();
+    assert_eq!(stats.rejoins, 1, "{stats:?}");
+    let reference = kv.query_local(0).unwrap().clone();
+    let healed = kv.query_local(victim).unwrap();
+    assert_eq!(healed, &reference, "healed replica must match the majority");
+    assert!(healed.get_local(b"poison").is_none(), "poison must not survive the rejoin");
+    assert!(healed.get_local(b"post-5").is_some(), "healed replica must keep applying");
+
+    // And the audit stays green afterwards.
+    drive(&mut kv, 0, "tail", 5);
+    assert_eq!(kv.integrity_stats().quarantines, 1, "no re-quarantine after healing");
+}
+
+/// Interval zero disables the audit: the poison goes undetected (the
+/// knob genuinely gates the mechanism).
+#[test]
+fn audit_interval_zero_disables_the_audit() {
+    let mut kv = service(6);
+    kv.set_audit_interval(0);
+    drive(&mut kv, 0, "pre", 2);
+    kv.poison_replica(1, &put("poison", "stray")).unwrap();
+    drive(&mut kv, 0, "post", 10);
+    assert_eq!(kv.quarantined_at(1), None);
+    assert_eq!(kv.integrity_stats(), IntegrityStats::default());
+}
+
+/// Mid-log rot on one server's WAL: recovery refuses to trim the
+/// acknowledged history (that would silently unacknowledge durable
+/// rounds) and instead rebuilds the server from the reference peer's
+/// chunked catch-up. Every acknowledged command survives on every
+/// replica.
+#[test]
+fn recovery_rebuilds_rotted_server_from_peers() {
+    let n = 6;
+    let victim = 3;
+    let mut kv = Service::with_durability(
+        Cluster::sim(gs_digraph(n, 3).unwrap()),
+        &KvStore::default(),
+        DurabilityStore::memory(n),
+        DurabilityConfig::deterministic(1),
+    )
+    .unwrap();
+    for uid in 0..12u64 {
+        kv.execute(0, &put(uid.to_le_bytes().to_vec(), "durable"), TIMEOUT).unwrap();
+    }
+    let mut store = kv.shutdown_into_store().unwrap().expect("durability was on");
+
+    // Bit rot inside the victim's first log frame — an *acknowledged*
+    // round, not a torn tail.
+    {
+        let mem = store.mem_disk_mut(victim).unwrap();
+        let mut segments: Vec<String> = mem
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|f| f.starts_with("wal-") && f.ends_with(".seg"))
+            .collect();
+        segments.sort();
+        let first = segments.first().expect("victim has log segments").clone();
+        assert!(mem.rot(&first, 21 * 8), "rot a payload bit of the first frame");
+    }
+
+    let (kv2, report) = Service::recover(
+        Cluster::sim(gs_digraph(n, 3).unwrap()),
+        &KvStore::default(),
+        store,
+        DurabilityConfig::deterministic(1),
+    )
+    .expect("recover despite one rotted log");
+
+    assert_eq!(report.rotted.len(), 1, "{report:?}");
+    assert_eq!(report.rotted[0].0, victim as ServerId, "{report:?}");
+    assert!(
+        report.snapshot_catchup.contains(&(victim as ServerId)),
+        "rotted server must take the snapshot catch-up path: {report:?}"
+    );
+    assert_eq!(report.recovered_rounds, 12, "peers' logs carry the full history");
+    // No acknowledged command lost, on any replica — including the
+    // rebuilt one.
+    for uid in 0..12u64 {
+        let key = uid.to_le_bytes();
+        for s in 0..n as ServerId {
+            assert_eq!(
+                kv2.query_local(s).unwrap().get_local(&key),
+                Some(&b"durable"[..]),
+                "uid {uid} missing on replica {s}"
+            );
+        }
+    }
+}

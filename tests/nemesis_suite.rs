@@ -104,6 +104,7 @@ fn scripted_partition_with_pipelined_rounds() {
         burst: 1,
         admission: None,
         durability: None,
+        audit_interval: None,
     };
     let report = scenario.run_sim().unwrap_or_else(|e| panic!("scripted partition: {e}"));
     assert_eq!(report.resolved, 12 * 8, "every command resolved across the partition");
@@ -132,6 +133,7 @@ fn scripted_loss_and_reorder_combination() {
         burst: 1,
         admission: None,
         durability: None,
+        audit_interval: None,
     };
     let report = scenario.run_sim().unwrap_or_else(|e| panic!("loss+reorder: {e}"));
     assert!(report.dropped > 0, "the lossy link saw no traffic");
