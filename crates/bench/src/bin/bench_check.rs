@@ -8,8 +8,16 @@
 //! ```text
 //! cargo run -p allconcur-bench --bin bench_check -- \
 //!     --baseline BENCH_rsm.json --fresh /tmp/new.json \
-//!     --metric cmds_per_sec_wall [--threshold 0.20]
+//!     --metric cmds_per_sec_wall [--threshold 0.20] \
+//!     [--monotone-in window] [--monotone-group n]
 //! ```
+//!
+//! `--monotone-in FIELD` additionally asserts the metric is monotone
+//! non-decreasing in `FIELD` within each `--monotone-group` (default
+//! `n`) group of the fresh series — the shape check behind the round
+//! pipelining claim: rounds/sec must not *fall* as the window grows at
+//! any deployment size (the n = 16 collapse the event-loop runtime
+//! fixed). Violations emit `::warning::` rows like regressions do.
 //!
 //! Series entries are matched by position (the benches emit a fixed,
 //! deterministic series), and every non-metric field of the entry is
@@ -18,6 +26,44 @@
 //! line); there is no serde in the build environment.
 
 use allconcur_bench::output::arg_value;
+
+/// Value of field `name` in a parsed series entry, if present.
+fn field<'a>(fields: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    fields.iter().find(|(f, _)| f == name).map(|(_, v)| v.as_str())
+}
+
+/// Within each `group` (file order), the metric must be monotone
+/// non-decreasing as `order` increases. Returns the number of
+/// violations, each emitted as a `::warning::` row.
+fn check_monotone(series: &[Entry], metric: &str, order: &str, group: &str) -> usize {
+    let mut violations = 0;
+    // (group value, order value, metric) of the previous entry seen for
+    // each group, in file order — the benches emit windows sorted per n.
+    let mut last: Vec<(String, f64, f64)> = Vec::new();
+    for (fields, value) in series {
+        let (Some(g), Some(o), Some(v)) =
+            (field(fields, group), field(fields, order).and_then(|x| x.parse::<f64>().ok()), value)
+        else {
+            continue;
+        };
+        match last.iter_mut().find(|(lg, _, _)| lg == g) {
+            Some((_, lo, lv)) => {
+                if o > *lo && *v < *lv {
+                    violations += 1;
+                    println!(
+                        "::warning::{metric} not monotone in {order} at {group}={g}: \
+                         {order}={lo} -> {order}={o} went {lv:.0} -> {v:.0} \
+                         (pipelining must not collapse as the window grows)",
+                    );
+                }
+                *lo = o;
+                *lv = *v;
+            }
+            None => last.push((g.to_string(), o, *v)),
+        }
+    }
+    violations
+}
 
 /// `(fields, metric_value)` for one series entry.
 type Entry = (Vec<(String, String)>, Option<f64>);
@@ -129,6 +175,21 @@ fn main() {
     }
     if regressions == 0 && !rows.is_empty() {
         println!("{metric}: no regressions beyond {:.0}% vs {baseline_path}", threshold * 100.0);
+    }
+
+    // Optional shape check: metric monotone non-decreasing in a field,
+    // per group. Checks the fresh series when it produced measurements,
+    // else the committed baseline (so the check still validates the
+    // reviewed numbers when a runner skipped the bench).
+    if let Some(order) = arg_value("--monotone-in") {
+        let group = arg_value("--monotone-group").unwrap_or_else(|| "n".to_string());
+        let has_fresh = fresh.iter().any(|(_, v)| v.is_some());
+        let (target, which) = if has_fresh { (&fresh, "fresh") } else { (&baseline, "baseline") };
+        let violations = check_monotone(target, &metric, &order, &group);
+        if violations == 0 {
+            println!("{metric} ({which}): monotone in {order} within every {group} group");
+        }
+        warnings += violations;
     }
 
     // Summary table — plain text on stdout, and appended as a Markdown

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! cargo run --release -p allconcur-bench --bin tcp_rounds \
-//!     [--csv] [--rounds N] [--sizes 4,8,16] [--windows 1,4,8] [--json PATH]
+//!     [--csv] [--rounds N] [--sizes 16,32,64] [--windows 1,4,8] [--json PATH]
 //! ```
 //!
 //! The driver keeps exactly `W` rounds outstanding (it submits round
@@ -73,7 +73,7 @@ fn main() {
     let rounds: u64 = arg_value("--rounds").and_then(|v| v.parse().ok()).unwrap_or(120);
     let sizes: Vec<usize> = arg_value("--sizes")
         .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
-        .unwrap_or_else(|| vec![4, 8, 16]);
+        .unwrap_or_else(|| vec![16, 32, 64]);
     let windows: Vec<usize> = arg_value("--windows")
         .map(|s| s.split(',').filter_map(|x| x.parse().ok()).collect())
         .unwrap_or_else(|| vec![1, 4, 8]);
@@ -95,7 +95,13 @@ fn main() {
     for &n in &sizes {
         // Larger deployments get fewer rounds so the full grid stays
         // within CI budgets (the measurement is per-round rates).
-        let budget = if n >= 16 { rounds / 2 } else { rounds };
+        let budget = if n >= 32 {
+            rounds / 4
+        } else if n >= 16 {
+            rounds / 2
+        } else {
+            rounds
+        };
         let d = allconcur_bench::workloads::paper_degree(n);
         let mut base: Option<f64> = None;
         for &w in &windows {

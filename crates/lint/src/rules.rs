@@ -48,7 +48,7 @@ pub const LOCK_ORDER_CRATES: &[&str] = &["net", "cluster"];
 pub const BOUNDED_QUEUE_CRATES: &[&str] = &["net", "cluster"];
 /// Crates whose roots must carry `#![forbid(unsafe_code)]`.
 pub const FORBID_UNSAFE_CRATES: &[&str] =
-    &["graph", "core", "sim", "cluster", "rsm", "durability", "nemesis"];
+    &["graph", "core", "sim", "net", "cluster", "rsm", "durability", "nemesis"];
 
 /// All rule names, for CLI validation and report ordering.
 pub const ALL_RULES: &[&str] = &[

@@ -119,7 +119,9 @@ fn main() {
             eprintln!("startup failed: {e}");
             std::process::exit(1);
         });
-    eprintln!("allconcur-node {id}: connected; reading payloads from stdin");
+    eprintln!(
+        "allconcur-node {id}: event loop up, connecting to peers; reading payloads from stdin"
+    );
 
     // Delivery printer thread.
     let stdin = std::io::stdin();

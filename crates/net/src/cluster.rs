@@ -5,6 +5,7 @@
 //! This is the harness behind the TCP integration tests, the
 //! `quickstart` example, and the TCP rows of the benchmark tables.
 
+use crate::event_loop::EventLoopPool;
 use crate::link::LinkStatsSnapshot;
 use crate::runtime::{Delivery, NodeRuntime, RuntimeOptions};
 use allconcur_core::config::{Config, FdMode};
@@ -16,9 +17,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// A local multi-server deployment.
+///
+/// Every node shares one [`EventLoopPool`] sized `min(cores, n)`, so
+/// the whole cluster runs on O(cores) threads — not the O(n·d) the old
+/// thread-per-socket runtime needed, which is what collapsed pipelined
+/// rounds at `n = 16` on small machines.
 pub struct LocalCluster {
     nodes: Vec<Option<NodeRuntime>>,
     cfg: Config,
+    pool: Arc<EventLoopPool>,
 }
 
 impl LocalCluster {
@@ -48,12 +55,23 @@ impl LocalCluster {
             udps.push(u);
         }
 
+        // One reactor per core (never more than one per node): the
+        // event loops multiplex every node's sockets and timers, so
+        // thread count stays O(cores) regardless of n and d.
+        let threads = if opts.loop_threads > 0 {
+            opts.loop_threads
+        } else {
+            std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+        };
+        let pool = EventLoopPool::new(threads.min(n).max(1))?;
+
         let mut nodes = Vec::with_capacity(n);
-        // Reverse order so that accept threads of high-numbered servers
-        // exist before low-numbered servers connect... connections retry
-        // anyway; order is cosmetic.
+        // Connections are non-blocking and retried under backoff, so
+        // registration order is cosmetic — every listener is already
+        // bound above.
         for (i, (listener, udp)) in listeners.into_iter().zip(udps).enumerate() {
-            let node = NodeRuntime::start(
+            let node = NodeRuntime::start_on(
+                &pool,
                 i as ServerId,
                 cfg.clone(),
                 listener,
@@ -64,12 +82,17 @@ impl LocalCluster {
             )?;
             nodes.push(Some(node));
         }
-        Ok(LocalCluster { nodes, cfg })
+        Ok(LocalCluster { nodes, cfg, pool })
     }
 
     /// Number of configured servers.
     pub fn n(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of reactor threads the shared event-loop pool runs on.
+    pub fn loop_threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The shared configuration.

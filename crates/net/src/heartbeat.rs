@@ -18,6 +18,30 @@ use std::time::{Duration, Instant};
 /// Heartbeat datagram: magic + sender id.
 const MAGIC: [u8; 4] = *b"ACHB";
 
+/// Wire size of one heartbeat datagram.
+pub const HEARTBEAT_LEN: usize = 8;
+
+/// Encode the heartbeat datagram `id` sends to its successors.
+///
+/// The thread-based sender below and the event-loop runtime (which folds
+/// heartbeat emission into its timer wheel) share this one encoding.
+pub fn encode_heartbeat(id: ServerId) -> [u8; HEARTBEAT_LEN] {
+    let mut buf = [0u8; HEARTBEAT_LEN];
+    buf[..4].copy_from_slice(&MAGIC);
+    buf[4..].copy_from_slice(&id.to_le_bytes());
+    buf
+}
+
+/// Decode a received datagram; `None` for anything malformed (wrong
+/// length or magic), which callers drop silently — heartbeats are
+/// unreliable by design.
+pub fn decode_heartbeat(buf: &[u8]) -> Option<ServerId> {
+    if buf.len() != HEARTBEAT_LEN || buf[..4] != MAGIC {
+        return None;
+    }
+    Some(ServerId::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]))
+}
+
 /// Failure-detector timing parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FdParams {
@@ -109,9 +133,7 @@ pub fn spawn_sender(
     stop: Arc<AtomicBool>,
 ) -> std::io::Result<std::thread::JoinHandle<()>> {
     std::thread::Builder::new().name(format!("ac-hb-send-{id}")).spawn(move || {
-        let mut buf = [0u8; 8];
-        buf[..4].copy_from_slice(&MAGIC);
-        buf[4..].copy_from_slice(&id.to_le_bytes());
+        let buf = encode_heartbeat(id);
         while !stop.load(Ordering::Relaxed) {
             for addr in &successors {
                 // Best-effort: heartbeats are unreliable by design.
@@ -134,11 +156,12 @@ pub fn spawn_receiver(
         let mut buf = [0u8; 16];
         while !stop.load(Ordering::Relaxed) {
             match socket.recv_from(&mut buf) {
-                Ok((8, _)) if buf[..4] == MAGIC => {
-                    let from = ServerId::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
-                    table.record(from);
+                Ok((n, _)) => {
+                    if let Some(from) = decode_heartbeat(&buf[..n]) {
+                        table.record(from);
+                    }
+                    // else: malformed datagram, drop
                 }
-                Ok(_) => {} // malformed datagram: drop
                 Err(ref e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut => {}

@@ -1,26 +1,33 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # allconcur-net — sockets-based TCP transport for AllConcur
 //!
-//! The paper's implementation runs over standard sockets-based TCP (and
-//! InfiniBand Verbs; §5). This crate is the TCP half: it drives the
-//! *same* [`allconcur_core::server::Server`] state machine as the
-//! simulator, over real `std::net` sockets with one OS process hosting
-//! one or more servers.
+//! The paper's implementation runs each server as a libev event loop
+//! over standard sockets-based TCP (and InfiniBand Verbs; §5). This
+//! crate is the TCP half: it drives the *same*
+//! [`allconcur_core::server::Server`] state machine as the simulator,
+//! over real `std::net` sockets on an epoll-driven reactor pool, with
+//! one OS process hosting one or more servers.
 //!
 //! * [`codec`] — length-prefixed framing of protocol messages plus the
 //!   connection handshake;
-//! * [`runtime`] — per-server runtime: listener, per-predecessor reader
-//!   threads, a protocol thread owning the state machine, buffered
-//!   writers to overlay successors;
+//! * [`event_loop`] — the epoll reactor pool: per-link readiness state
+//!   machines, coalesced vectored writes, timer-driven reconnect
+//!   backoff, heartbeat emission, and FD sweeps, all on O(cores)
+//!   threads;
+//! * [`runtime`] — per-server handle: registers a server with a
+//!   reactor and owns the application-facing channels (broadcast in,
+//!   deliveries out) plus the fault-injection surface;
 //! * [`heartbeat`] — UDP heartbeats and the timeout-based failure
 //!   detector (`Δ_hb` / `Δ_to`, §3.2) with the §3.3.2 adaptive timeout;
 //!   connection loss escalates to a suspicion only after the link-grace
 //!   budget expires without a reconnect;
 //! * [`link`] — per-link resilience primitives: capped-backoff-with-
-//!   jitter reconnect policy, bounded watermarked frame queues, and the
-//!   resilience counters;
+//!   jitter reconnect policy, bounded watermarked frame queues, the
+//!   coalescing write buffer, and the resilience counters;
 //! * [`cluster`] — [`cluster::LocalCluster`]: spin up a full deployment
-//!   on loopback for tests, examples, and benches.
+//!   on loopback (sharing one reactor pool) for tests, examples, and
+//!   benches.
 //!
 //! The integration tests in `tests/` run multi-server agreement,
 //! including crash-failure and link-flap runs, over real TCP on
@@ -28,6 +35,7 @@
 
 pub mod cluster;
 pub mod codec;
+pub mod event_loop;
 pub mod heartbeat;
 pub mod link;
 pub mod runtime;

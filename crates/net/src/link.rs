@@ -12,6 +12,10 @@
 //!   count;
 //! * [`FrameQueue`] — the bounded per-link outbound buffer with
 //!   high/low watermark hysteresis that keeps Degraded memory-safe;
+//! * [`WriteBuf`] — the Connected-side outbound buffer of the event
+//!   loop: refcounted frames coalesced into one vectored write
+//!   (`writev`) per ready link, resumable at any byte offset after a
+//!   partial write or `EAGAIN`;
 //! * [`LinkStats`] — atomic counters read by tests, the nemesis
 //!   harness, and CI failure dumps.
 //!
@@ -21,6 +25,7 @@
 use bytes::Bytes;
 use std::collections::VecDeque;
 use std::fmt;
+use std::io::{self, IoSlice, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -150,12 +155,35 @@ pub struct FrameQueue {
     low: usize,
     saturated: bool,
     shed: u64,
+    /// Put-back bytes accepted since the queue last drained empty (one
+    /// replay episode); see [`FrameQueue::push_front`].
+    putback_spent: usize,
+    /// Byte budget for put-backs per episode.
+    putback_budget: usize,
 }
+
+/// Default per-episode byte budget for [`FrameQueue::push_front`]: a
+/// full high watermark of [`allconcur_core::wire::MAX_FRAME`]-adjacent
+/// frames never comes near it, while a link flapping every few
+/// milliseconds re-spends the budget instead of growing the queue past
+/// the high watermark without bound.
+pub const PUTBACK_BUDGET_BYTES: usize = 8 * 1024 * 1024;
+
+/// How many frames above the high watermark a put-back may occupy: a
+/// dying connection returns at most the frames the watermark admitted
+/// plus whatever was in flight, so a small fixed slack suffices.
+const PUTBACK_SLACK_FRAMES: usize = 32;
 
 impl FrameQueue {
     /// Queue with the given watermarks. `high` is clamped to ≥ 1 and
     /// `low` to below `high`, so the hysteresis band always exists.
     pub fn new(high: usize, low: usize) -> FrameQueue {
+        FrameQueue::with_putback_budget(high, low, PUTBACK_BUDGET_BYTES)
+    }
+
+    /// [`FrameQueue::new`] with an explicit put-back byte budget (tests
+    /// exercise the bound without allocating megabytes).
+    pub fn with_putback_budget(high: usize, low: usize, putback_budget: usize) -> FrameQueue {
         let high = high.max(1);
         FrameQueue {
             frames: VecDeque::new(),
@@ -163,6 +191,8 @@ impl FrameQueue {
             low: low.min(high - 1),
             saturated: false,
             shed: 0,
+            putback_spent: 0,
+            putback_budget,
         }
     }
 
@@ -178,20 +208,41 @@ impl FrameQueue {
         true
     }
 
-    /// Return a frame to the front of the queue, bypassing the
-    /// watermarks — the replay path puts back the one frame a dying
-    /// reconnect failed to write, so occupancy exceeds `high` by at
-    /// most one.
-    pub fn push_front(&mut self, frame: Bytes) {
+    /// Return a frame to the front of the queue — the replay path puts
+    /// back what a dying reconnect failed to write, preserving FIFO
+    /// order ahead of frames queued since.
+    ///
+    /// Put-backs ride *above* the high watermark (the frames were
+    /// already admitted once), but not unboundedly: occupancy may
+    /// exceed `high` by at most a small fixed slack, and each
+    /// drain-to-empty episode accepts at most a fixed byte budget of
+    /// put-backs. A link flapping faster than it replays therefore
+    /// sheds (returns `false`, counted) instead of growing the Degraded
+    /// buffer without bound; shedding is equivalent to the transient
+    /// message loss the overlay's redundant paths already tolerate.
+    #[must_use = "a false return means the frame was shed, not requeued"]
+    pub fn push_front(&mut self, frame: Bytes) -> bool {
+        if self.frames.len() >= self.high + PUTBACK_SLACK_FRAMES
+            || self.putback_spent.saturating_add(frame.len()) > self.putback_budget
+        {
+            self.shed += 1;
+            return false;
+        }
+        self.putback_spent += frame.len();
         self.frames.push_front(frame);
+        true
     }
 
     /// Dequeue the oldest frame. Dropping below the low watermark exits
-    /// saturation.
+    /// saturation; draining empty refunds the put-back budget (the
+    /// episode's replay completed).
     pub fn pop(&mut self) -> Option<Bytes> {
         let f = self.frames.pop_front();
         if self.saturated && self.frames.len() <= self.low {
             self.saturated = false;
+        }
+        if self.frames.is_empty() {
+            self.putback_spent = 0;
         }
         f
     }
@@ -218,6 +269,119 @@ impl FrameQueue {
     }
 }
 
+/// Maximum buffers handed to one vectored write. Linux caps `writev`
+/// at `IOV_MAX` (1024); far fewer already amortises the syscall.
+const MAX_IOVECS: usize = 64;
+
+/// Outbound buffer of a *Connected* link under the non-blocking event
+/// loop: frames pushed during a reactor iteration coalesce into one
+/// vectored write (`writev` via [`Write::write_vectored`]) when the
+/// link is flushed, instead of one syscall per frame per successor.
+///
+/// The buffer is resumable at any byte offset: a partial write or
+/// `EAGAIN` mid-frame keeps the unwritten tail (including the
+/// partially-written head frame's remainder) for the next readiness
+/// event. On a write *error* the link degrades and
+/// [`WriteBuf::take_frames`] returns the unwritten frames — the head
+/// frame whole, from byte 0, because the peer discards the partial
+/// tail along with the dead socket — for put-back into the Degraded
+/// [`FrameQueue`].
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    frames: VecDeque<Bytes>,
+    /// Bytes of the head frame already written to the socket.
+    head_off: usize,
+    /// Total unwritten bytes across all frames.
+    bytes: usize,
+}
+
+impl WriteBuf {
+    /// Empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Queue one encoded frame for the next flush.
+    pub fn push(&mut self, frame: Bytes) {
+        if frame.is_empty() {
+            return;
+        }
+        self.bytes += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Unwritten bytes currently buffered.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Frames with at least one unwritten byte.
+    pub fn frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Write as much as the socket accepts, in as few vectored writes
+    /// as possible. `Ok(true)` when the buffer drained, `Ok(false)`
+    /// when the socket would block (re-arm write interest and retry on
+    /// the next readiness event), `Err` on a real transport error
+    /// (degrade the link; the unwritten frames are still buffered for
+    /// [`WriteBuf::take_frames`]).
+    pub fn flush<W: Write>(&mut self, w: &mut W) -> io::Result<bool> {
+        while !self.frames.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.frames.len().min(MAX_IOVECS));
+            for (i, f) in self.frames.iter().take(MAX_IOVECS).enumerate() {
+                let start = if i == 0 { self.head_off } else { 0 };
+                // head_off < head.len() is an invariant of consume();
+                // a frame is popped the moment it completes.
+                slices.push(IoSlice::new(&f[start.min(f.len())..]));
+            }
+            match w.write_vectored(&slices) {
+                Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "socket wrote 0")),
+                Ok(n) => self.consume(n),
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Advance past `n` written bytes.
+    fn consume(&mut self, mut n: usize) {
+        self.bytes = self.bytes.saturating_sub(n);
+        while n > 0 {
+            let Some(head) = self.frames.front() else {
+                self.head_off = 0;
+                return;
+            };
+            let left = head.len() - self.head_off.min(head.len());
+            if n < left {
+                self.head_off += n;
+                return;
+            }
+            n -= left;
+            self.head_off = 0;
+            self.frames.pop_front();
+        }
+    }
+
+    /// Drain the unwritten frames for put-back after a write error. The
+    /// head frame is returned whole (its already-written prefix replays
+    /// from byte 0 on the fresh connection — the peer discarded the
+    /// partial tail with the dead socket).
+    pub fn take_frames(&mut self) -> Vec<Bytes> {
+        self.head_off = 0;
+        self.bytes = 0;
+        self.frames.drain(..).collect()
+    }
+}
+
 /// Atomic resilience counters for one runtime, shared between the
 /// protocol thread (writes) and observers (tests, nemesis reports, CI
 /// failure dumps).
@@ -232,6 +396,7 @@ pub struct LinkStats {
     healed: AtomicU64,
     suspicions: AtomicU64,
     corrupt_frames: AtomicU64,
+    accept_failures: AtomicU64,
 }
 
 impl LinkStats {
@@ -284,6 +449,14 @@ impl LinkStats {
         self.corrupt_frames.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The listener's `accept` failed with a real error (fd exhaustion,
+    /// ENOBUFS, …). The runtime mutes the accept source under a capped
+    /// backoff instead of spinning; this counter is how a degraded —
+    /// rather than failed — node surfaces in tests and CI dumps.
+    pub fn on_accept_failure(&self) {
+        self.accept_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent-enough point-in-time copy (individual counters are
     /// each read atomically).
     pub fn snapshot(&self) -> LinkStatsSnapshot {
@@ -297,6 +470,7 @@ impl LinkStats {
             healed: self.healed.load(Ordering::Relaxed),
             suspicions: self.suspicions.load(Ordering::Relaxed),
             corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            accept_failures: self.accept_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -323,6 +497,9 @@ pub struct LinkStatsSnapshot {
     /// Inbound frames rejected by the CRC/decode check (each dropped
     /// the connection, which then healed through reader grace).
     pub corrupt_frames: u64,
+    /// Real (non-`WouldBlock`) accept errors; each mutes the listener
+    /// under a capped backoff rather than spinning or killing the node.
+    pub accept_failures: u64,
 }
 
 #[cfg(test)]
@@ -380,6 +557,99 @@ mod tests {
         assert!(!q.push(Bytes::from_static(b"b")));
         assert!(q.pop().is_some());
         assert!(q.push(Bytes::from_static(b"c")));
+    }
+
+    #[test]
+    fn push_front_is_bounded_per_episode() {
+        // Tiny byte budget: two 4-byte put-backs fit, the third sheds.
+        let mut q = FrameQueue::with_putback_budget(4, 2, 8);
+        assert!(q.push_front(Bytes::from_static(b"aaaa")));
+        assert!(q.push_front(Bytes::from_static(b"bbbb")));
+        assert!(!q.push_front(Bytes::from_static(b"cccc")), "byte budget exhausted");
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.len(), 2);
+        // Draining the queue empty refunds the budget (episode over).
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.push_front(Bytes::from_static(b"dddd")), "budget refunds on full drain");
+    }
+
+    #[test]
+    fn push_front_respects_frame_slack_above_high() {
+        let mut q = FrameQueue::with_putback_budget(1, 0, usize::MAX);
+        // 1 (high) + 32 (slack) single-byte put-backs fit; the next sheds.
+        for _ in 0..33 {
+            assert!(q.push_front(Bytes::from_static(b"x")));
+        }
+        assert!(!q.push_front(Bytes::from_static(b"x")), "slack above high is fixed");
+        assert_eq!(q.shed(), 1);
+    }
+
+    #[test]
+    fn push_front_keeps_fifo_ahead_of_push() {
+        let mut q = FrameQueue::new(8, 4);
+        assert!(q.push(Bytes::from_static(b"new")));
+        assert!(q.push_front(Bytes::from_static(b"replayed")));
+        assert_eq!(q.pop(), Some(Bytes::from_static(b"replayed")));
+        assert_eq!(q.pop(), Some(Bytes::from_static(b"new")));
+    }
+
+    /// A writer accepting `grant` bytes per call, then `WouldBlock`.
+    struct Choppy {
+        written: Vec<u8>,
+        grants: Vec<usize>,
+    }
+
+    impl Write for Choppy {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            match self.grants.pop() {
+                Some(0) | None => Err(io::Error::new(io::ErrorKind::WouldBlock, "full")),
+                Some(g) => {
+                    let k = g.min(buf.len());
+                    self.written.extend_from_slice(&buf[..k]);
+                    Ok(k)
+                }
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_buf_resumes_at_any_byte_offset() {
+        let frames = [Bytes::from_static(b"hello "), Bytes::from_static(b"event loop")];
+        let total: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+        // Every possible first-write split point, including 0 and all.
+        for split in 0..=total.len() {
+            let mut wb = WriteBuf::new();
+            for f in &frames {
+                wb.push(f.clone());
+            }
+            assert_eq!(wb.bytes(), total.len());
+            let mut w = Choppy { written: Vec::new(), grants: vec![split] };
+            assert!(!wb.flush(&mut w).unwrap() || split == total.len());
+            // Default `write_vectored` consumes one buffer per call:
+            // one generous grant per remaining frame drains everything.
+            let mut w2 = Choppy { written: w.written, grants: vec![usize::MAX; 4] };
+            assert!(wb.flush(&mut w2).unwrap(), "second grant drains");
+            assert_eq!(w2.written, total, "split at {split} must not corrupt the stream");
+            assert!(wb.is_empty());
+            assert_eq!(wb.bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn write_buf_take_frames_restores_head_from_byte_zero() {
+        let mut wb = WriteBuf::new();
+        wb.push(Bytes::from_static(b"abcdef"));
+        wb.push(Bytes::from_static(b"ghi"));
+        // Write 2 bytes of the head, then stall.
+        let mut w = Choppy { written: Vec::new(), grants: vec![2] };
+        assert!(!wb.flush(&mut w).unwrap());
+        let frames = wb.take_frames();
+        assert_eq!(frames, vec![Bytes::from_static(b"abcdef"), Bytes::from_static(b"ghi")]);
+        assert!(wb.is_empty());
     }
 
     #[test]

@@ -1,69 +1,52 @@
-//! Per-server TCP runtime.
+//! Per-server TCP runtime on the shared epoll event loop.
 //!
-//! Thread layout per server (mirroring the paper's libev-based event
-//! loop, translated to blocking threads):
+//! Each [`NodeRuntime`] registers its server — listener, UDP heartbeat
+//! socket, outbound links, protocol state machine — with an
+//! [`EventLoopPool`] reactor (see [`crate::event_loop`]). The reactor
+//! owns all of it: accepting, handshakes, frame decoding, coalesced
+//! vectored writes, reconnect backoff, heartbeats, FD sweeps, and the
+//! grace/gate timers all run as readiness and timer callbacks on one
+//! thread, so the state machine needs no locking at all — the paper's
+//! libev deployment (§5), not a thread per socket.
 //!
-//! * **accept** — accepts connections from overlay predecessors; each
-//!   accepted connection gets a **reader** thread that decodes frames and
-//!   forwards them to the protocol thread;
-//! * **protocol** — owns the [`Server`] state machine and the per-link
-//!   outbound state to overlay successors; the single consumer of the
-//!   input channel, so the state machine needs no locking at all;
-//! * **reconnector** (transient) — one short-lived thread per Degraded
-//!   outbound link, retrying the connection under
-//!   [`crate::link::BackoffPolicy`] and handing the fresh stream back to
-//!   the protocol thread;
-//! * **heartbeat sender / receiver / FD monitor** — see
-//!   [`crate::heartbeat`].
+//! A standalone [`NodeRuntime::start`] owns a single-reactor pool (one
+//! event-loop thread per server process, as deployed in the paper);
+//! [`crate::cluster::LocalCluster`] shares one pool across every
+//! in-process node via [`NodeRuntime::start_on`], keeping the whole
+//! cluster at O(cores) threads instead of the old O(n·d).
 //!
-//! Message flow direction matches the overlay: a server *connects out* to
-//! its successors (it sends to them) and *accepts in* from its
+//! Message flow direction matches the overlay: a server *connects out*
+//! to its successors (it sends to them) and *accepts in* from its
 //! predecessors.
 //!
 //! # Link resilience
 //!
 //! Transient link faults are healed below the protocol (they are not
-//! process failures — §3, §4.2.2). Each outbound link runs a small state
-//! machine:
-//!
-//! ```text
-//!            write/flush error, LinkDown, LinkFlap
-//!   Connected ────────────────────────────────────▶ Degraded
-//!       ▲                                            │   │
-//!       │  reconnect (replay buffered tail in order) │   │ link_grace
-//!       └────────────────────────────────────────────┘   │ exhausted
-//!                                                        ▼
-//!                                                      Down
-//! ```
-//!
-//! While Degraded, outbound frames buffer in a bounded
+//! process failures — §3, §4.2.2). Each outbound link runs a small
+//! state machine (diagrammed in [`crate::event_loop`]): while
+//! Degraded, outbound frames buffer in a bounded
 //! [`crate::link::FrameQueue`] (high/low watermark hysteresis; frames
-//! above the high watermark are shed and counted, never stored).
-//! Inbound (reader) disconnects get the same grace: suspicion is
-//! deferred `link_grace`, and a predecessor reconnecting under the
-//! budget cancels it and feeds [`crate::heartbeat::AdaptiveTimeout::
-//! report_false_suspicion`] so the FD's timeout adapts — an
-//! under-budget link flap causes zero membership removals. Only an
-//! outage exceeding the budget escalates to the ◇P suspicion path.
+//! above the high watermark are shed and counted, never stored), and a
+//! timer-driven [`crate::link::BackoffPolicy`] reconnect replays the
+//! buffered tail in order. Inbound (reader) disconnects get the same
+//! grace: suspicion is deferred `link_grace`, and a predecessor
+//! reconnecting under the budget cancels it and feeds
+//! [`crate::heartbeat::AdaptiveTimeout::report_false_suspicion`] so the
+//! FD's timeout adapts — an under-budget link flap causes zero
+//! membership removals. Only an outage exceeding the budget escalates
+//! to the ◇P suspicion path.
 
-use crate::codec::{
-    encode_frame, is_corrupt_frame, read_handshake, write_encoded_frame, write_handshake,
-    FrameReader,
-};
-use crate::heartbeat::{self, AdaptiveTimeout, FdParams, HeartbeatTable};
-use crate::link::{connect_with_retry, BackoffPolicy, FrameQueue, LinkStats, LinkStatsSnapshot};
+use crate::event_loop::{EventLoopPool, NodeSpec, NodeToken};
+use crate::heartbeat::FdParams;
+use crate::link::{LinkStats, LinkStatsSnapshot};
 use allconcur_core::config::Config;
 use allconcur_core::message::Message;
-use allconcur_core::server::{Action, Event, Server};
 use allconcur_core::ServerId;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use std::collections::HashMap;
-use std::io::{BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One completed round, as seen by the application.
 ///
@@ -71,12 +54,10 @@ use std::time::{Duration, Instant};
 /// outcome type (it used to be defined here).
 pub use allconcur_core::delivery::Delivery;
 
-/// Inputs multiplexed into the protocol thread.
-enum NodeInput {
-    Net {
-        from: ServerId,
-        msg: Message,
-    },
+/// Inputs multiplexed into a node's reactor. Network frames no longer
+/// travel through here — the reactor decodes them in place; this
+/// channel carries only application- and fault-injection-side inputs.
+pub(crate) enum NodeInput {
     Broadcast(Bytes),
     Suspect(ServerId),
     SetWindow(usize),
@@ -89,22 +70,6 @@ enum NodeInput {
     SetLinkFlip {
         to: ServerId,
         ppm: u32,
-    },
-    /// A reconnector re-established the outbound link to `to`; `gen`
-    /// stamps the Degraded episode it belongs to (stale ones are
-    /// discarded).
-    WriterUp {
-        to: ServerId,
-        gen: u64,
-        stream: TcpStream,
-    },
-    /// A predecessor's inbound connection completed its handshake.
-    ReaderUp {
-        from: ServerId,
-    },
-    /// A predecessor's inbound connection dropped (EOF/reset).
-    ReaderGone {
-        from: ServerId,
     },
     /// Fault injection: hold the outbound link to `to` down until
     /// healed by [`NodeInput::LinkUp`].
@@ -121,12 +86,11 @@ enum NodeInput {
     LinkUp {
         to: ServerId,
     },
-    Shutdown,
 }
 
 /// Drop rates are parts-per-million, matching the simulator's fault
 /// layer.
-const DROP_PPM_SCALE: u64 = 1_000_000;
+pub(crate) const DROP_PPM_SCALE: u64 = 1_000_000;
 
 /// Runtime tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -142,7 +106,7 @@ pub struct RuntimeOptions {
     /// Retry budget while establishing successor connections.
     pub connect_attempts: u32,
     /// Base delay of the capped-exponential connect/reconnect backoff
-    /// (see [`BackoffPolicy`]).
+    /// (see [`crate::link::BackoffPolicy`]).
     pub connect_backoff: Duration,
     /// Cap on the exponential backoff component.
     pub connect_backoff_cap: Duration,
@@ -157,13 +121,12 @@ pub struct RuntimeOptions {
     /// Low watermark: a saturated queue resumes accepting only after
     /// draining below this (hysteresis).
     pub link_queue_low: usize,
-    /// Capacity of the protocol thread's input channel. Readers block
-    /// when it fills (TCP backpressure propagates to senders);
-    /// [`NodeRuntime::broadcast`] fails fast instead, surfacing
+    /// Capacity of the node's input channel.
+    /// [`NodeRuntime::broadcast`] fails fast when it fills, surfacing
     /// saturation to the application as a typed `Busy` upstream.
     pub input_queue_depth: usize,
-    /// How long the protocol thread holds back peers' `BCAST`s for a
-    /// round the application has not submitted a payload for yet.
+    /// How long the protocol holds back peers' `BCAST`s for a round
+    /// the application has not submitted a payload for yet.
     ///
     /// Without the gate, a peer's round-`r` broadcast racing ahead of the
     /// local `broadcast()` call makes Algorithm 1 line 15 answer with an
@@ -188,6 +151,12 @@ pub struct RuntimeOptions {
     /// `r` completes, amortising the network round-trip — rounds/sec
     /// scales with `W` until CPU-bound (see the `tcp_rounds` bench).
     pub round_window: usize,
+    /// Reactor threads a standalone [`NodeRuntime::start`] spins up for
+    /// its private pool (`0` = one, the paper's one-loop-per-server
+    /// shape). Nodes started on a shared pool via
+    /// [`NodeRuntime::start_on`] ignore this —
+    /// [`crate::cluster::LocalCluster`] sizes its pool `min(cores, n)`.
+    pub loop_threads: usize,
 }
 
 impl Default for RuntimeOptions {
@@ -204,24 +173,42 @@ impl Default for RuntimeOptions {
             input_queue_depth: 4096,
             app_grace: Duration::from_millis(400),
             round_window: 1,
+            loop_threads: 0,
         }
     }
 }
 
+/// Backoff applied to a listener whose `accept` failed with a real
+/// error (typically fd exhaustion): capped exponential in the number of
+/// consecutive failures, so a starved node re-arms its listener at
+/// 10 ms and degrades toward one attempt per second instead of spinning
+/// hot on an error that will keep failing until fds free up.
+pub fn accept_retry_delay(consecutive_failures: u32) -> Duration {
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(1);
+    let exp = consecutive_failures.saturating_sub(1).min(10);
+    BASE.checked_mul(1u32 << exp).map(|d| d.min(CAP)).unwrap_or(CAP)
+}
+
 /// Handle to a running AllConcur server on real sockets.
+///
+/// The server itself lives on an [`EventLoopPool`] reactor; this handle
+/// owns the channels into and out of it (and, for a standalone
+/// [`NodeRuntime::start`], the private pool).
 pub struct NodeRuntime {
     id: ServerId,
     input_tx: Sender<NodeInput>,
     delivery_rx: Receiver<Delivery>,
-    stop: Arc<AtomicBool>,
     stats: Arc<LinkStats>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    pool: Arc<EventLoopPool>,
+    token: NodeToken,
 }
 
 impl NodeRuntime {
-    /// Start server `id`. `listener`/`udp` must already be bound;
-    /// `tcp_addrs`/`udp_addrs` give every server's addresses (index =
-    /// server id).
+    /// Start server `id` on its own private event loop (the paper's
+    /// one-process-per-server deployment). `listener`/`udp` must
+    /// already be bound; `tcp_addrs`/`udp_addrs` give every server's
+    /// addresses (index = server id).
     pub fn start(
         id: ServerId,
         cfg: Config,
@@ -231,176 +218,55 @@ impl NodeRuntime {
         udp_addrs: Vec<SocketAddr>,
         opts: RuntimeOptions,
     ) -> std::io::Result<NodeRuntime> {
-        let stop = Arc::new(AtomicBool::new(false));
+        let pool = EventLoopPool::new(opts.loop_threads.max(1))?;
+        NodeRuntime::start_on(&pool, id, cfg, listener, udp, tcp_addrs, udp_addrs, opts)
+    }
+
+    /// Start server `id` on a shared reactor pool. Used by
+    /// [`crate::cluster::LocalCluster`] to run a whole in-process
+    /// cluster on O(cores) threads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_on(
+        pool: &Arc<EventLoopPool>,
+        id: ServerId,
+        cfg: Config,
+        listener: TcpListener,
+        udp: UdpSocket,
+        tcp_addrs: Vec<SocketAddr>,
+        udp_addrs: Vec<SocketAddr>,
+        opts: RuntimeOptions,
+    ) -> std::io::Result<NodeRuntime> {
         let (input_tx, input_rx) = bounded::<NodeInput>(opts.input_queue_depth.max(8));
         // Deliveries are consumed by the application at its own pace and
-        // must never stall the protocol thread mid-round.
+        // must never stall the reactor mid-round.
         // lint:allow(bounded_queues): delivery backlog is bounded upstream by rsm admission control; blocking the protocol thread on a slow application consumer would deadlock rounds cluster-wide
         let (delivery_tx, delivery_rx) = unbounded::<Delivery>();
         let stats = Arc::new(LinkStats::default());
-        let mut threads = Vec::new();
-
-        let graph = cfg.graph.clone();
-        let successors: Vec<ServerId> = graph.successors(id).to_vec();
-        let predecessors: Vec<ServerId> = graph.predecessors(id).to_vec();
-
-        // --- accept + reader threads -------------------------------------
-        listener.set_nonblocking(true)?;
-        // On a startup failure after the first thread is running, raise
-        // the stop flag so already-spawned threads wind down instead of
-        // leaking — the caller gets the io::Error, not a panic.
-        let stop_on_err = {
-            let stop = stop.clone();
-            move |e: std::io::Error| {
-                stop.store(true, Ordering::Relaxed);
-                e
-            }
-        };
-        {
-            let stop = stop.clone();
-            let input_tx = input_tx.clone();
-            let stats2 = stats.clone();
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("ac-accept-{id}"))
-                    .spawn(move || {
-                        let mut readers = Vec::new();
-                        while !stop.load(Ordering::Relaxed) {
-                            match listener.accept() {
-                                Ok((stream, _)) => {
-                                    stream.set_nonblocking(false).ok();
-                                    let tx = input_tx.clone();
-                                    let stop2 = stop.clone();
-                                    // A failed reader spawn (thread
-                                    // exhaustion) drops the stream; the
-                                    // peer sees a disconnect and its FD
-                                    // takes over — never a panic here.
-                                    if let Ok(r) =
-                                        spawn_reader(id, stream, tx, stop2, stats2.clone())
-                                    {
-                                        readers.push(r);
-                                    }
-                                }
-                                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                                    std::thread::sleep(Duration::from_millis(2));
-                                }
-                                Err(_) => break,
-                            }
-                        }
-                        for r in readers {
-                            let _ = r.join();
-                        }
-                    })
-                    .map_err(&stop_on_err)?,
-            );
-        }
-
-        // --- outgoing connections to successors ---------------------------
-        let mut links: HashMap<ServerId, OutboundLink> = HashMap::new();
-        for &succ in &successors {
-            let addr = tcp_addrs[succ as usize];
-            let policy = BackoffPolicy::new(
-                opts.connect_backoff,
-                opts.connect_backoff_cap,
-                link_seed(id, succ),
-            );
-            let stream = connect_with_retry(addr, opts.connect_attempts, &policy)
-                .map_err(std::io::Error::from)
-                .map_err(&stop_on_err)?;
-            stream.set_nodelay(true).ok();
-            let mut w = BufWriter::new(stream);
-            write_handshake(&mut w, id).map_err(&stop_on_err)?;
-            w.flush().map_err(&stop_on_err)?;
-            links.insert(
-                succ,
-                OutboundLink {
-                    state: LinkWriter::Connected(w),
-                    deadline: None,
-                    hold: None,
-                    gen: 0,
-                },
-            );
-        }
-
-        // --- failure detector ----------------------------------------------
-        // The ◇P recipe (§3.3.2): the suspicion timeout starts at Δ_to
-        // and grows on evidence of false suspicion (a link flap healing
-        // under grace), capped so genuinely dead peers are still caught.
-        let adaptive_cap = opts.fd.timeout.checked_mul(8).unwrap_or(opts.fd.timeout);
-        let adaptive = Arc::new(AdaptiveTimeout::new(opts.fd.timeout, adaptive_cap));
-
-        // --- protocol thread ----------------------------------------------
-        {
-            let st = ProtocolState {
-                id,
-                server: Server::new(cfg, id),
-                links,
-                delivery_tx,
-                actions: Vec::new(),
-                dirty: Vec::new(),
-                deferred: std::collections::VecDeque::new(),
-                gate_deadline: None,
-                app_grace: opts.app_grace,
-                drop_ppm: HashMap::new(),
-                drop_rng: 0x9e37_79b9_7f4a_7c15 ^ (id as u64 + 1),
-                flip_ppm: HashMap::new(),
-                flip_rng: 0x6c62_272e_07bb_0142 ^ (id as u64 + 1),
-                link_grace: opts.link_grace,
-                link_queue_high: opts.link_queue_high,
-                link_queue_low: opts.link_queue_low,
-                connect_backoff: opts.connect_backoff,
-                connect_backoff_cap: opts.connect_backoff_cap,
-                suspect_on_disconnect: opts.suspect_on_disconnect,
-                tcp_addrs,
-                input_tx: input_tx.clone(),
-                stop: stop.clone(),
-                stats: stats.clone(),
-                adaptive: adaptive.clone(),
-                reader_counts: HashMap::new(),
-                reader_grace: HashMap::new(),
-            };
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("ac-proto-{id}"))
-                    .spawn(move || protocol_loop(st, input_rx))
-                    .map_err(&stop_on_err)?,
-            );
-        }
-
-        let hb_table = HeartbeatTable::new(&predecessors);
-        let succ_udp: Vec<SocketAddr> = successors.iter().map(|&s| udp_addrs[s as usize]).collect();
-        let hb_send_sock = udp.try_clone()?;
-        threads.push(
-            heartbeat::spawn_sender(hb_send_sock, id, succ_udp, opts.fd, stop.clone())
-                .map_err(&stop_on_err)?,
-        );
-        threads.push(
-            heartbeat::spawn_receiver(udp, id, hb_table.clone(), stop.clone())
-                .map_err(&stop_on_err)?,
-        );
-        {
-            let tx = input_tx.clone();
-            threads.push(
-                heartbeat::spawn_monitor(
-                    id,
-                    hb_table,
-                    opts.fd.heartbeat_period / 2,
-                    adaptive,
-                    stop.clone(),
-                    move |s| {
-                        let _ = tx.send(NodeInput::Suspect(s));
-                    },
-                )
-                .map_err(&stop_on_err)?,
-            );
-        }
-
-        Ok(NodeRuntime { id, input_tx, delivery_rx, stop, stats, threads })
+        let token = pool.register(NodeSpec {
+            id,
+            cfg,
+            listener,
+            udp,
+            tcp_addrs,
+            udp_addrs,
+            opts,
+            input_rx,
+            delivery_tx,
+            stats: stats.clone(),
+        })?;
+        Ok(NodeRuntime { id, input_tx, delivery_rx, stats, pool: pool.clone(), token })
     }
 
     /// This server's id.
     pub fn id(&self) -> ServerId {
         self.id
+    }
+
+    /// Queue an input for the reactor and wake it.
+    fn send_input(&self, input: NodeInput) {
+        if self.input_tx.send(input).is_ok() {
+            self.pool.wake(self.token);
+        }
     }
 
     /// Submit this round's payload for A-broadcast. Returns `false`
@@ -411,8 +277,15 @@ impl NodeRuntime {
     pub fn broadcast(&self, payload: Bytes) -> bool {
         // A short patience window absorbs sub-millisecond bursts without
         // turning them into spurious Busy errors; genuine saturation
-        // (protocol thread pinned) still fails fast.
-        self.input_tx.send_timeout(NodeInput::Broadcast(payload), Duration::from_millis(5)).is_ok()
+        // (reactor pinned) still fails fast.
+        let ok = self
+            .input_tx
+            .send_timeout(NodeInput::Broadcast(payload), Duration::from_millis(5))
+            .is_ok();
+        if ok {
+            self.pool.wake(self.token);
+        }
+        ok
     }
 
     /// Blocking receive of the next delivery, with timeout.
@@ -428,24 +301,23 @@ impl NodeRuntime {
     /// Inject a failure suspicion, as if the local FD had raised it.
     /// Used by the `Cluster` facade's lifecycle API and by `◇P` tests.
     pub fn inject_suspicion(&self, suspect: ServerId) {
-        let _ = self.input_tx.send(NodeInput::Suspect(suspect));
+        self.send_input(NodeInput::Suspect(suspect));
     }
 
     /// Adjust the round-pipelining window at runtime (applied by the
-    /// protocol thread before its next input).
+    /// reactor before its next input).
     pub fn set_round_window(&self, window: usize) {
-        let _ = self.input_tx.send(NodeInput::SetWindow(window));
+        self.send_input(NodeInput::SetWindow(window));
     }
 
     /// Drop outgoing protocol frames to successor `to` with probability
     /// `ppm / 1e6` (`0` clears the fault). The drop happens in the
-    /// protocol thread's writer path — the frame is simply never
-    /// written — so the TCP connection stays up and UDP heartbeats keep
-    /// flowing: this injects *message loss*, not a disconnect, and the
-    /// deployment survives it through the overlay's redundant
-    /// dissemination paths.
+    /// writer path — the frame is simply never written — so the TCP
+    /// connection stays up and UDP heartbeats keep flowing: this
+    /// injects *message loss*, not a disconnect, and the deployment
+    /// survives it through the overlay's redundant dissemination paths.
     pub fn set_link_drop(&self, to: ServerId, ppm: u32) {
-        let _ = self.input_tx.send(NodeInput::SetLinkDrop { to, ppm });
+        self.send_input(NodeInput::SetLinkDrop { to, ppm });
     }
 
     /// Corrupt outgoing protocol frames to successor `to` with
@@ -455,7 +327,7 @@ impl NodeRuntime {
     /// the flip must never surface as a delivered payload (the
     /// `SilentCorruption` nemesis property).
     pub fn set_link_flip(&self, to: ServerId, ppm: u32) {
-        let _ = self.input_tx.send(NodeInput::SetLinkFlip { to, ppm });
+        self.send_input(NodeInput::SetLinkFlip { to, ppm });
     }
 
     /// Fault injection: sever the outbound link to `to` and hold it
@@ -463,20 +335,20 @@ impl NodeRuntime {
     /// first (TCP delivers them with the FIN), then outbound frames
     /// buffer in the bounded Degraded queue for replay on heal.
     pub fn link_down(&self, to: ServerId) {
-        let _ = self.input_tx.send(NodeInput::LinkDown { to });
+        self.send_input(NodeInput::LinkDown { to });
     }
 
     /// Fault injection: like [`NodeRuntime::link_down`], but the link
     /// auto-heals after `down_for`.
     pub fn link_flap(&self, to: ServerId, down_for: Duration) {
-        let _ = self.input_tx.send(NodeInput::LinkFlap { to, down_for });
+        self.send_input(NodeInput::LinkFlap { to, down_for });
     }
 
     /// Fault injection: heal a link held down by
     /// [`NodeRuntime::link_down`]/[`NodeRuntime::link_flap`] and start
     /// reconnecting immediately.
     pub fn link_up(&self, to: ServerId) {
-        let _ = self.input_tx.send(NodeInput::LinkUp { to });
+        self.send_input(NodeInput::LinkUp { to });
     }
 
     /// Point-in-time copy of this runtime's resilience counters.
@@ -484,23 +356,20 @@ impl NodeRuntime {
         self.stats.snapshot()
     }
 
-    /// Stop all threads and close sockets. Used both for graceful
-    /// shutdown and to emulate a crash (peers detect via disconnect/FD).
+    /// Remove the node from its reactor and close its sockets. Used
+    /// both for graceful shutdown and to emulate a crash (peers detect
+    /// via disconnect/FD).
     pub fn shutdown(self) {
         let _ = self.shutdown_and_drain();
     }
 
     /// Like [`NodeRuntime::shutdown`], but additionally return every
     /// delivery the server produced that the application had not yet
-    /// received. Draining happens *after* the protocol thread has
-    /// joined, so no completed round can slip away in the teardown
+    /// received. Draining happens *after* the reactor has torn the node
+    /// down, so no completed round can slip away in the teardown
     /// window.
-    pub fn shutdown_and_drain(mut self) -> Vec<Delivery> {
-        self.stop.store(true, Ordering::Relaxed);
-        let _ = self.input_tx.send(NodeInput::Shutdown);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
+    pub fn shutdown_and_drain(self) -> Vec<Delivery> {
+        self.pool.remove(self.token);
         let mut drained = Vec::new();
         while let Some(d) = self.try_recv_delivery() {
             drained.push(d);
@@ -511,789 +380,16 @@ impl NodeRuntime {
 
 /// Jitter seed for the `id → to` link's backoff stream: unique per
 /// directed link so reconnect storms de-phase.
-fn link_seed(id: ServerId, to: ServerId) -> u64 {
+pub(crate) fn link_seed(id: ServerId, to: ServerId) -> u64 {
     (u64::from(id) << 32) ^ u64::from(to) ^ 0xA5A5_5A5A_D00D_F00D
 }
-
-/// Sleep `total` in short slices, returning early when `stop` rises.
-fn sleep_polling(total: Duration, stop: &AtomicBool) {
-    let slice = Duration::from_millis(5);
-    let deadline = Instant::now() + total;
-    while !stop.load(Ordering::Relaxed) {
-        let left = deadline.saturating_duration_since(Instant::now());
-        if left.is_zero() {
-            return;
-        }
-        std::thread::sleep(left.min(slice));
-    }
-}
-
-fn spawn_reader(
-    id: ServerId,
-    mut stream: TcpStream,
-    tx: Sender<NodeInput>,
-    stop: Arc<AtomicBool>,
-    stats: Arc<LinkStats>,
-) -> std::io::Result<std::thread::JoinHandle<()>> {
-    std::thread::Builder::new().name(format!("ac-read-{id}")).spawn(move || {
-        stream.set_read_timeout(Some(Duration::from_millis(50))).ok();
-        let from = loop {
-            match read_handshake(&mut stream) {
-                Ok(f) => break f,
-                Err(ref e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                }
-                Err(_) => return,
-            }
-        };
-        // Register with the protocol thread so a reconnect under grace
-        // cancels the pending disconnect suspicion.
-        if tx.send(NodeInput::ReaderUp { from }).is_err() {
-            return;
-        }
-        // Buffered frame parsing: one `read` syscall pulls a whole
-        // burst of pipelined frames, and a read timeout mid-frame
-        // resumes cleanly instead of desynchronising the stream.
-        let mut frames = FrameReader::new();
-        while !stop.load(Ordering::Relaxed) {
-            match frames.read_frame(&mut stream) {
-                Ok(Some(msg)) => {
-                    if tx.send(NodeInput::Net { from, msg }).is_err() {
-                        return;
-                    }
-                }
-                Ok(None) => {} // read timeout: poll the stop flag
-                Err(e) => {
-                    // A corrupt frame (CRC/decode failure) is a *link*
-                    // fault, not a protocol error: count it, then drop
-                    // the connection exactly like an EOF — the stream
-                    // past a bad frame cannot be trusted to be framed.
-                    // Either way the protocol thread starts the
-                    // disconnect grace; the peer's reconnect (or our
-                    // writer's) heals the link below the protocol, and
-                    // only a grace expiry becomes a suspicion.
-                    if is_corrupt_frame(&e) {
-                        stats.on_corrupt_frame();
-                    }
-                    if !stop.load(Ordering::Relaxed) {
-                        let _ = tx.send(NodeInput::ReaderGone { from });
-                    }
-                    return;
-                }
-            }
-        }
-    })
-}
-
-/// Writer half of one outbound link's state machine.
-enum LinkWriter {
-    /// Healthy: frames go straight to the buffered socket writer.
-    Connected(BufWriter<TcpStream>),
-    /// Disconnected, within grace (or held by fault injection):
-    /// outbound frames buffer (bounded) for replay on reconnect.
-    Degraded(FrameQueue),
-    /// Grace exhausted: frames are shed; the FD owns the peer's fate.
-    Down,
-}
-
-/// Fault-injection hold on a link.
-enum Hold {
-    /// Held until an explicit `LinkUp`.
-    Manual,
-    /// Held until the instant passes (a flap's auto-heal).
-    Until(Instant),
-}
-
-/// One outbound link: writer state plus resilience bookkeeping.
-struct OutboundLink {
-    state: LinkWriter,
-    /// Grace deadline while Degraded and actively reconnecting (`None`
-    /// while held down by fault injection — held links heal, they do
-    /// not expire).
-    deadline: Option<Instant>,
-    /// Fault-injection hold, if any.
-    hold: Option<Hold>,
-    /// Episode counter: bumped on every state transition so a stale
-    /// reconnector's `WriterUp` from a previous episode is discarded.
-    gen: u64,
-}
-
-/// Mutable state of one server's protocol thread.
-struct ProtocolState {
-    id: ServerId,
-    server: Server,
-    links: HashMap<ServerId, OutboundLink>,
-    delivery_tx: Sender<Delivery>,
-    actions: Vec<Action>,
-    /// Links holding unflushed bytes. Flushed once per drained input
-    /// batch ([`ProtocolState::flush_writers`]), not per frame — with
-    /// `d` successors and a burst of forwarded messages this collapses
-    /// many small `flush` syscalls into one per writer per batch.
-    dirty: Vec<ServerId>,
-    /// Peer `BCAST`s held back while their round awaits the
-    /// application's submission (see [`RuntimeOptions::app_grace`]),
-    /// in arrival order.
-    deferred: std::collections::VecDeque<(ServerId, Message)>,
-    /// When the gate opened; deferred messages are force-released past
-    /// this instant.
-    gate_deadline: Option<Instant>,
-    app_grace: Duration,
-    /// Per-successor send-drop rates (parts-per-million) — the writer
-    /// path of the nemesis fault surface. Empty in healthy operation.
-    drop_ppm: HashMap<ServerId, u32>,
-    /// xorshift64* state for drop sampling: deterministic per node,
-    /// cheap, and independent of the `rand` crate.
-    drop_rng: u64,
-    /// Per-successor bit-flip rates (parts-per-million) — the wire
-    /// corruption nemesis surface. A sampled frame is copied, one bit
-    /// is flipped, and the corrupted copy is sent; the receiver's CRC
-    /// must catch it. Empty in healthy operation.
-    flip_ppm: HashMap<ServerId, u32>,
-    /// xorshift64* state for flip sampling and bit selection, separate
-    /// from `drop_rng` so enabling flips does not perturb drop replay.
-    flip_rng: u64,
-    link_grace: Duration,
-    link_queue_high: usize,
-    link_queue_low: usize,
-    connect_backoff: Duration,
-    connect_backoff_cap: Duration,
-    suspect_on_disconnect: bool,
-    tcp_addrs: Vec<SocketAddr>,
-    /// Clone of the runtime's input sender, handed to reconnector
-    /// threads. The protocol thread itself never sends on it (that
-    /// could deadlock against its own bounded channel); the loop's
-    /// bounded `recv_timeout` keeps shutdown live regardless.
-    input_tx: Sender<NodeInput>,
-    stop: Arc<AtomicBool>,
-    stats: Arc<LinkStats>,
-    adaptive: Arc<AdaptiveTimeout>,
-    /// Live inbound connections per predecessor. A predecessor can
-    /// briefly have two (old socket not yet reaped during a reconnect),
-    /// so suspicion bookkeeping counts rather than toggles.
-    reader_counts: HashMap<ServerId, u32>,
-    /// Predecessors whose last inbound connection dropped: suspicion
-    /// fires when the deadline passes without a reconnect.
-    reader_grace: HashMap<ServerId, Instant>,
-}
-
-impl ProtocolState {
-    /// Feed one event and act on the outputs. Returns `false` when the
-    /// application side hung up. (Payloads submitted beyond the current
-    /// round queue inside the state machine and open later rounds by
-    /// themselves — the §5 batching flow.)
-    fn process(&mut self, event: Event) -> bool {
-        self.actions.clear();
-        self.server.handle_into(event, &mut self.actions);
-        self.write_actions()
-    }
-
-    /// Write out sends (encoding each distinct message **once** and
-    /// fanning the same refcounted frame to every destination) and
-    /// forward deliveries. Writers are only marked dirty here; the
-    /// caller flushes them per input batch. Returns `false` when the
-    /// application side hung up.
-    fn write_actions(&mut self) -> bool {
-        // The state machine emits fan-outs as consecutive `Send`s that
-        // clone one message, so a one-entry frame cache captures the
-        // whole run; a miss just re-encodes.
-        let mut frame: Option<(Message, bytes::Bytes)> = None;
-        let mut actions = std::mem::take(&mut self.actions);
-        let mut hung_up = false;
-        for action in actions.drain(..) {
-            match action {
-                Action::Send { to, msg } => {
-                    // Injected send-loss: the frame never leaves the
-                    // writer path.
-                    if let Some(&ppm) = self.drop_ppm.get(&to) {
-                        let mut x = self.drop_rng;
-                        x ^= x << 13;
-                        x ^= x >> 7;
-                        x ^= x << 17;
-                        self.drop_rng = x;
-                        if x.wrapping_mul(0x2545_f491_4f6c_dd1d) % DROP_PPM_SCALE < ppm as u64 {
-                            continue;
-                        }
-                    }
-                    if !self.links.contains_key(&to) {
-                        continue;
-                    }
-                    let cached = match &frame {
-                        Some((m, f)) if same_message(m, &msg) => f.clone(),
-                        _ => match encode_frame(&msg) {
-                            Ok(f) => {
-                                frame = Some((msg, f.clone()));
-                                f
-                            }
-                            Err(_) => continue, // oversized: drop, FD handles the peer
-                        },
-                    };
-                    let outgoing = self.maybe_flip(&to, cached);
-                    self.send_frame(to, outgoing);
-                }
-                Action::Deliver { round, messages } => {
-                    if self.delivery_tx.send(Delivery { round, messages }).is_err() {
-                        hung_up = true;
-                        break;
-                    }
-                }
-            }
-        }
-        self.actions = actions; // reuse the allocation
-        !hung_up
-    }
-
-    /// Injected wire corruption: with probability `flip_ppm[to] / 1e6`,
-    /// copy the frame and flip one bit at an rng-chosen offset (header
-    /// bytes included — a flipped length or checksum must be caught
-    /// just like a flipped payload byte). The shared fan-out frame is
-    /// never mutated in place; only this destination sees the damage.
-    fn maybe_flip(&mut self, to: &ServerId, frame: Bytes) -> Bytes {
-        let Some(&ppm) = self.flip_ppm.get(to) else { return frame };
-        let mut x = self.flip_rng;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.flip_rng = x;
-        let sample = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
-        if sample % DROP_PPM_SCALE >= ppm as u64 || frame.is_empty() {
-            return frame;
-        }
-        let bit = (sample >> 24) as usize % (frame.len() * 8);
-        let mut corrupted = frame.to_vec();
-        corrupted[bit / 8] ^= 1 << (bit % 8);
-        Bytes::from(corrupted)
-    }
-
-    /// Route one encoded frame through the link's state machine.
-    fn send_frame(&mut self, to: ServerId, frame: Bytes) {
-        let mut degrade = false;
-        let mut shed = false;
-        if let Some(link) = self.links.get_mut(&to) {
-            match &mut link.state {
-                LinkWriter::Connected(w) => {
-                    if write_encoded_frame(w, &frame).is_err() {
-                        degrade = true;
-                    } else if !self.dirty.contains(&to) {
-                        self.dirty.push(to);
-                    }
-                }
-                LinkWriter::Degraded(q) => shed = !q.push(frame.clone()),
-                LinkWriter::Down => shed = true,
-            }
-        }
-        if degrade {
-            // The frame that hit the error replays from its first byte
-            // on the fresh connection (the peer discards the partial
-            // tail with the dead socket), so it is queued, not lost.
-            self.enter_degraded(to, Some(frame));
-        }
-        if shed {
-            self.stats.on_shed(1);
-        }
-    }
-
-    /// Transition a link into Degraded after a write/flush failure and
-    /// start reconnecting (unless fault-held).
-    fn enter_degraded(&mut self, to: ServerId, first: Option<Bytes>) {
-        let (high, low, grace) = (self.link_queue_high, self.link_queue_low, self.link_grace);
-        let mut spawn = false;
-        if let Some(link) = self.links.get_mut(&to) {
-            let mut q = FrameQueue::new(high, low);
-            if let Some(f) = first {
-                let _ = q.push(f);
-            }
-            // Dropping the old writer closes the socket; its unflushed
-            // buffer (if any) is the only loss window, equivalent to a
-            // transient Drop fault the overlay's redundancy tolerates.
-            link.state = LinkWriter::Degraded(q);
-            link.gen += 1;
-            let held = link.hold.is_some();
-            link.deadline = if held { None } else { Some(Instant::now() + grace) };
-            spawn = !held;
-        }
-        self.dirty.retain(|&d| d != to);
-        self.stats.on_degraded();
-        if spawn {
-            self.spawn_reconnector(to);
-        }
-    }
-
-    /// Detached reconnector for the current Degraded episode of `to`:
-    /// capped-exponential retries with per-link deterministic jitter,
-    /// handing the fresh stream back as `WriterUp`. Runs past the grace
-    /// deadline by one budget of slack — a late success still heals a
-    /// link the membership has not removed.
-    fn spawn_reconnector(&mut self, to: ServerId) {
-        let Some(link) = self.links.get(&to) else { return };
-        let gen = link.gen;
-        let Some(&addr) = self.tcp_addrs.get(to as usize) else { return };
-        let policy = BackoffPolicy::new(
-            self.connect_backoff,
-            self.connect_backoff_cap,
-            link_seed(self.id, to),
-        );
-        let tx = self.input_tx.clone();
-        let stop = self.stop.clone();
-        let give_up = Instant::now() + self.link_grace + self.link_grace;
-        let id = self.id;
-        let _ = std::thread::Builder::new().name(format!("ac-reconn-{id}-{to}")).spawn(move || {
-            let mut attempt = 0u32;
-            while !stop.load(Ordering::Relaxed) {
-                if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(100)) {
-                    stream.set_nodelay(true).ok();
-                    if write_handshake(&mut (&stream), id).is_ok() {
-                        let _ = tx.send(NodeInput::WriterUp { to, gen, stream });
-                    }
-                    return;
-                }
-                if Instant::now() >= give_up {
-                    return;
-                }
-                sleep_polling(policy.delay(attempt), &stop);
-                attempt = attempt.saturating_add(1);
-            }
-        });
-    }
-
-    /// A reconnector delivered a fresh stream: replay the buffered tail
-    /// in order and return to Connected.
-    fn on_writer_up(&mut self, to: ServerId, gen: u64, stream: TcpStream) {
-        let mut queue = None;
-        if let Some(link) = self.links.get_mut(&to) {
-            if link.gen != gen {
-                return; // stale episode: drop the stream
-            }
-            let prev = std::mem::replace(&mut link.state, LinkWriter::Down);
-            match prev {
-                LinkWriter::Degraded(q) => {
-                    queue = Some(q);
-                    link.gen += 1;
-                    link.deadline = None;
-                }
-                other => {
-                    link.state = other;
-                    return;
-                }
-            }
-        }
-        let Some(mut q) = queue else { return };
-        let mut w = BufWriter::new(stream);
-        let mut replayed = 0u64;
-        let mut connected = true;
-        while let Some(f) = q.pop() {
-            if write_encoded_frame(&mut w, &f).is_err() {
-                // The new connection died mid-replay: back to Degraded
-                // with the unwritten tail (including this frame) and
-                // another reconnect episode.
-                q.push_front(f);
-                connected = false;
-                break;
-            }
-            replayed += 1;
-        }
-        self.stats.on_replayed(replayed);
-        if connected {
-            if let Some(link) = self.links.get_mut(&to) {
-                link.state = LinkWriter::Connected(w);
-            }
-            self.stats.on_reconnect();
-            if !self.dirty.contains(&to) {
-                self.dirty.push(to);
-            }
-        } else {
-            let mut retry_grace = false;
-            if let Some(link) = self.links.get_mut(&to) {
-                link.state = LinkWriter::Degraded(q);
-                link.gen += 1;
-                let held = link.hold.is_some();
-                link.deadline = if held { None } else { Some(Instant::now() + self.link_grace) };
-                retry_grace = !held;
-            }
-            if retry_grace {
-                self.spawn_reconnector(to);
-            }
-        }
-    }
-
-    /// Fault injection: hold the link to `to` down. Flushes first so
-    /// everything already written rides out with the FIN — an
-    /// under-grace hold is lossless end to end.
-    fn fault_hold(&mut self, to: ServerId, hold: Hold) {
-        let (high, low) = (self.link_queue_high, self.link_queue_low);
-        if let Some(link) = self.links.get_mut(&to) {
-            match &mut link.state {
-                LinkWriter::Connected(w) => {
-                    let _ = w.flush();
-                    link.state = LinkWriter::Degraded(FrameQueue::new(high, low));
-                    link.gen += 1;
-                    self.stats.on_degraded();
-                }
-                LinkWriter::Down => {
-                    link.state = LinkWriter::Degraded(FrameQueue::new(high, low));
-                    link.gen += 1;
-                    self.stats.on_degraded();
-                }
-                LinkWriter::Degraded(_) => {} // keep the buffered tail
-            }
-            link.hold = Some(hold);
-            link.deadline = None; // held links heal, they do not expire
-        }
-        self.dirty.retain(|&d| d != to);
-    }
-
-    /// Heal a fault-held link: resume the grace clock and reconnect.
-    fn heal_link(&mut self, to: ServerId) {
-        let grace = self.link_grace;
-        let mut spawn = false;
-        if let Some(link) = self.links.get_mut(&to) {
-            if link.hold.is_none() {
-                return;
-            }
-            link.hold = None;
-            match &mut link.state {
-                LinkWriter::Degraded(_) => {
-                    link.deadline = Some(Instant::now() + grace);
-                    spawn = true;
-                }
-                LinkWriter::Down => {
-                    link.state = LinkWriter::Degraded(FrameQueue::new(
-                        self.link_queue_high,
-                        self.link_queue_low,
-                    ));
-                    link.gen += 1;
-                    link.deadline = Some(Instant::now() + grace);
-                    self.stats.on_degraded();
-                    spawn = true;
-                }
-                LinkWriter::Connected(_) => {}
-            }
-        }
-        if spawn {
-            self.spawn_reconnector(to);
-        }
-    }
-
-    /// A predecessor's inbound connection completed its handshake:
-    /// cancel any pending disconnect grace — the flap healed, which is
-    /// exactly the §3.3.2 false-suspicion evidence the adaptive FD
-    /// timeout feeds on.
-    fn on_reader_up(&mut self, from: ServerId) {
-        *self.reader_counts.entry(from).or_insert(0) += 1;
-        if self.reader_grace.remove(&from).is_some() {
-            self.stats.on_healed();
-            self.adaptive.report_false_suspicion();
-        }
-    }
-
-    /// A predecessor's inbound connection dropped: when it was the last
-    /// one, start the disconnect grace instead of suspecting
-    /// immediately. Returns `false` when the app side hung up.
-    fn on_reader_gone(&mut self, from: ServerId) -> bool {
-        self.stats.on_reader_disconnect();
-        let count = self.reader_counts.entry(from).or_insert(0);
-        *count = count.saturating_sub(1);
-        if *count > 0 {
-            return true;
-        }
-        if self.link_grace.is_zero() {
-            // Degenerate configuration: the pre-resilience immediate
-            // suspicion path.
-            if self.suspect_on_disconnect {
-                self.stats.on_suspicion();
-                return self.process(Event::Suspect { suspect: from });
-            }
-            return true;
-        }
-        self.reader_grace.entry(from).or_insert_with(|| Instant::now() + self.link_grace);
-        true
-    }
-
-    /// Earliest pending deadline across all timed state: the app-grace
-    /// gate, Degraded links' grace, reader disconnect graces, and flap
-    /// auto-heals.
-    fn next_deadline(&self) -> Option<Instant> {
-        let mut next = self.gate_deadline;
-        let mut fold = |d: Instant| {
-            next = Some(match next {
-                Some(n) if n <= d => n,
-                _ => d,
-            });
-        };
-        for link in self.links.values() {
-            if let Some(d) = link.deadline {
-                fold(d);
-            }
-            if let Some(Hold::Until(t)) = link.hold {
-                fold(t);
-            }
-        }
-        for &d in self.reader_grace.values() {
-            fold(d);
-        }
-        next
-    }
-
-    /// Fire every deadline that has passed. Returns `false` when the
-    /// app side hung up.
-    fn on_tick(&mut self) -> bool {
-        let now = Instant::now();
-        // Flap auto-heals first: a heal and an expiry racing the same
-        // tick resolve in the link's favour.
-        let heals: Vec<ServerId> = self
-            .links
-            .iter()
-            .filter(|(_, l)| matches!(l.hold, Some(Hold::Until(t)) if t <= now))
-            .map(|(&k, _)| k)
-            .collect();
-        for to in heals {
-            self.heal_link(to);
-        }
-        // Degraded links whose grace ran out drop to Down.
-        let expired: Vec<ServerId> = self
-            .links
-            .iter()
-            .filter(|(_, l)| l.deadline.is_some_and(|d| d <= now))
-            .map(|(&k, _)| k)
-            .collect();
-        for to in expired {
-            if let Some(link) = self.links.get_mut(&to) {
-                let backlog = match &link.state {
-                    LinkWriter::Degraded(q) => q.len() as u64,
-                    _ => 0,
-                };
-                link.state = LinkWriter::Down;
-                link.deadline = None;
-                link.gen += 1;
-                self.stats.on_grace_expired();
-                if backlog > 0 {
-                    self.stats.on_shed(backlog);
-                }
-            }
-        }
-        // Reader graces that ran out escalate to the ◇P suspicion path.
-        let suspects: Vec<ServerId> =
-            self.reader_grace.iter().filter(|(_, &d)| d <= now).map(|(&k, _)| k).collect();
-        for from in suspects {
-            self.reader_grace.remove(&from);
-            if self.suspect_on_disconnect {
-                self.stats.on_suspicion();
-                if !self.process(Event::Suspect { suspect: from }) {
-                    return false;
-                }
-            }
-        }
-        // App-grace gate expiry.
-        if self.gate_deadline.is_some_and(|d| d <= now) {
-            self.gate_deadline = None;
-            if !self.release_deferred(true) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Flush every link that buffered bytes since the last flush.
-    fn flush_writers(&mut self) {
-        for to in std::mem::take(&mut self.dirty) {
-            let failed = match self.links.get_mut(&to) {
-                Some(OutboundLink { state: LinkWriter::Connected(w), .. }) => w.flush().is_err(),
-                _ => false,
-            };
-            if failed {
-                self.enter_degraded(to, None);
-            }
-        }
-    }
-
-    /// Whether `msg` must wait for the application: a `BCAST` belonging
-    /// to a round the application has neither broadcast in nor queued a
-    /// payload for. Round-aware, so pipelined submissions ahead of the
-    /// delivery frontier are never delayed; only genuinely-unsubmitted
-    /// rounds sit out the grace.
-    fn gated(&self, msg: &Message) -> bool {
-        matches!(msg, Message::Bcast { .. }) && msg.round() >= self.server.next_unsubmitted_round()
-    }
-
-    /// Feed one multiplexed input. Returns `false` when the loop should
-    /// exit (shutdown, or the application side hung up).
-    fn handle_input(&mut self, input: NodeInput) -> bool {
-        let ok = match input {
-            NodeInput::Net { from, msg } => {
-                // Defer a BCAST for a round the application has not
-                // submitted to yet — and, to preserve **per-link FIFO**,
-                // any message arriving behind a deferred one *from the
-                // same sender*: the tracking digraphs' edge refutation
-                // assumes a notifier's relayed `BCAST` is processed
-                // before its `FAIL` on every link (see
-                // `allconcur_core::tracking`), so a `FAIL` must never
-                // overtake a gated `BCAST` it arrived behind. Messages
-                // on *other* links flow through undelayed.
-                if self.deferred.iter().any(|&(f, _)| f == from) || self.gated(&msg) {
-                    if self.gate_deadline.is_none() {
-                        self.gate_deadline = Some(Instant::now() + self.app_grace);
-                    }
-                    self.deferred.push_back((from, msg));
-                    true
-                } else {
-                    self.process(Event::Receive { from, msg })
-                }
-            }
-            NodeInput::Broadcast(payload) => self.process(Event::ABroadcast(payload)),
-            NodeInput::Suspect(s) => {
-                // The monitor and disconnect paths can both report the
-                // same suspicion; the state machine dedups via F_i, and a
-                // suspicion for an already-removed server is a no-op.
-                self.process(Event::Suspect { suspect: s })
-            }
-            NodeInput::SetWindow(w) => {
-                self.server.set_round_window(w);
-                true
-            }
-            NodeInput::SetLinkDrop { to, ppm } => {
-                if ppm == 0 {
-                    self.drop_ppm.remove(&to);
-                } else {
-                    self.drop_ppm.insert(to, ppm);
-                }
-                true
-            }
-            NodeInput::SetLinkFlip { to, ppm } => {
-                if ppm == 0 {
-                    self.flip_ppm.remove(&to);
-                } else {
-                    self.flip_ppm.insert(to, ppm);
-                }
-                true
-            }
-            NodeInput::WriterUp { to, gen, stream } => {
-                self.on_writer_up(to, gen, stream);
-                true
-            }
-            NodeInput::ReaderUp { from } => {
-                self.on_reader_up(from);
-                true
-            }
-            NodeInput::ReaderGone { from } => self.on_reader_gone(from),
-            NodeInput::LinkDown { to } => {
-                self.fault_hold(to, Hold::Manual);
-                true
-            }
-            NodeInput::LinkFlap { to, down_for } => {
-                self.fault_hold(to, Hold::Until(Instant::now() + down_for));
-                true
-            }
-            NodeInput::LinkUp { to } => {
-                self.heal_link(to);
-                true
-            }
-            NodeInput::Shutdown => return false,
-        };
-        ok && self.release_deferred(false)
-    }
-
-    /// Process every deferred peer message that may be released: one
-    /// that is no longer gated (the application submitted its round, or
-    /// the window slid past it) *and* has no earlier deferred message
-    /// from the same sender — releases preserve per-link FIFO, the
-    /// ordering the tracking digraphs' refutation logic depends on.
-    /// `force` releases the oldest still-gated message unconditionally —
-    /// the grace expired, so the state machine answers with an empty
-    /// broadcast (Algorithm 1 line 15) rather than stalling the cluster.
-    fn release_deferred(&mut self, mut force: bool) -> bool {
-        let mut i = 0;
-        while i < self.deferred.len() {
-            let from = self.deferred[i].0;
-            // Per-link FIFO: an earlier deferred message from the same
-            // sender must go first. (The head, i == 0, is never blocked.)
-            if self.deferred.iter().take(i).any(|&(f, _)| f == from) {
-                i += 1;
-                continue;
-            }
-            if force || !self.gated(&self.deferred[i].1) {
-                force = false; // the grace force-releases exactly one
-                let Some((from, msg)) = self.deferred.remove(i) else { break };
-                if !self.process(Event::Receive { from, msg }) {
-                    return false;
-                }
-                // Processing can open rounds / advance the frontier and
-                // ungate earlier-queued messages: re-scan from the front.
-                i = 0;
-            } else {
-                i += 1;
-            }
-        }
-        if self.deferred.is_empty() {
-            self.gate_deadline = None;
-        } else if self.gate_deadline.is_none() {
-            self.gate_deadline = Some(Instant::now() + self.app_grace);
-        }
-        true
-    }
-}
-
-/// Upper bound on the idle wait, so the loop re-checks `stop` even when
-/// no deadline is pending (the state holds a clone of its own input
-/// sender for reconnectors, so channel disconnection alone cannot be
-/// relied on to wake it).
-const IDLE_POLL: Duration = Duration::from_millis(250);
-
-fn protocol_loop(mut st: ProtocolState, input_rx: Receiver<NodeInput>) {
-    loop {
-        let wait = match st.next_deadline() {
-            Some(d) => d.saturating_duration_since(Instant::now()).min(IDLE_POLL),
-            None => IDLE_POLL,
-        };
-        let input = match input_rx.recv_timeout(wait) {
-            Ok(i) => Some(i),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        if st.stop.load(Ordering::Relaxed) {
-            return;
-        }
-        let mut ok = match input {
-            Some(i) => st.handle_input(i),
-            None => st.on_tick(),
-        };
-        // Drain whatever else already queued up before touching the
-        // network flush: one flush per writer per *batch* of inputs,
-        // not per frame. Bounded so a firehose of input cannot starve
-        // the flush (and with it, downstream progress) indefinitely.
-        let mut drained = 0;
-        while ok && drained < MAX_BATCH_DRAIN {
-            match input_rx.try_recv() {
-                Ok(input) => {
-                    drained += 1;
-                    if st.stop.load(Ordering::Relaxed) {
-                        st.flush_writers();
-                        return;
-                    }
-                    ok = st.handle_input(input);
-                }
-                Err(_) => break,
-            }
-        }
-        st.flush_writers();
-        if !ok {
-            return;
-        }
-    }
-}
-
-/// Upper bound on inputs coalesced into one write-then-flush batch.
-const MAX_BATCH_DRAIN: usize = 256;
 
 /// Whether two messages are the *same* fan-out message, cheaply: field
 /// equality, with `Bcast` payloads compared by buffer identity instead
 /// of contents. The state machine fans a message out by cloning it per
 /// successor (refcounted payload), so identity captures exactly those
 /// runs; a false negative merely costs one re-encode.
-fn same_message(a: &Message, b: &Message) -> bool {
+pub(crate) fn same_message(a: &Message, b: &Message) -> bool {
     match (a, b) {
         (
             Message::Bcast { round: r1, origin: o1, payload: p1 },
@@ -1305,5 +401,28 @@ fn same_message(a: &Message, b: &Message) -> bool {
                 && (p1.is_empty() || p1.as_ptr() == p2.as_ptr())
         }
         _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::accept_retry_delay;
+    use std::time::Duration;
+
+    #[test]
+    fn accept_backoff_grows_and_caps() {
+        assert_eq!(accept_retry_delay(0), Duration::from_millis(10));
+        assert_eq!(accept_retry_delay(1), Duration::from_millis(10));
+        assert_eq!(accept_retry_delay(2), Duration::from_millis(20));
+        assert_eq!(accept_retry_delay(3), Duration::from_millis(40));
+        // Monotone non-decreasing, capped at 1 s.
+        let mut prev = Duration::ZERO;
+        for n in 0..64 {
+            let d = accept_retry_delay(n);
+            assert!(d >= prev, "backoff must not shrink (n={n})");
+            assert!(d <= Duration::from_secs(1), "backoff must cap (n={n})");
+            prev = d;
+        }
+        assert_eq!(accept_retry_delay(u32::MAX), Duration::from_secs(1));
     }
 }

@@ -1423,8 +1423,7 @@ impl<S: StateMachine> Service<S> {
         let n = self.cluster.n();
         loop {
             // The lowest audit round any server still has queued.
-            let Some(r) =
-                (0..n).filter_map(|s| self.audit_log[s].front().map(|&(r, _)| r)).min()
+            let Some(r) = (0..n).filter_map(|s| self.audit_log[s].front().map(|&(r, _)| r)).min()
             else {
                 return;
             };
@@ -1453,10 +1452,9 @@ impl<S: StateMachine> Service<S> {
                 self.integrity.audits += 1;
                 if votes.iter().any(|&(_, d)| d != votes[0].1) {
                     self.integrity.divergences += 1;
-                    let majority = votes
-                        .iter()
-                        .map(|&(_, d)| d)
-                        .find(|&d| votes.iter().filter(|&&(_, v)| v == d).count() * 2 > votes.len());
+                    let majority = votes.iter().map(|&(_, d)| d).find(|&d| {
+                        votes.iter().filter(|&&(_, v)| v == d).count() * 2 > votes.len()
+                    });
                     if let Some(majority) = majority {
                         for &(s, d) in &votes {
                             if d != majority {
@@ -1514,12 +1512,10 @@ impl<S: StateMachine> Service<S> {
             return Ok(()); // snapshot would not cover the skipped rounds
         }
         let snap = self.replicas[healer as usize].snapshot();
-        let chunk_bytes = self
-            .durability
-            .as_ref()
-            .map_or_else(|| DurabilityConfig::default().catchup_chunk_bytes, |d| {
-                d.cfg.catchup_chunk_bytes
-            });
+        let chunk_bytes = self.durability.as_ref().map_or_else(
+            || DurabilityConfig::default().catchup_chunk_bytes,
+            |d| d.cfg.catchup_chunk_bytes,
+        );
         let mut sink = CatchupSink::new();
         for chunk in CatchupSource::new(Some(&snap), covered.map_or(0, |r| r + 1), &[], chunk_bytes)
         {
@@ -1584,9 +1580,8 @@ impl<S: StateMachine> Service<S> {
         let queues_empty = self.queues.iter().all(PendingBatch::is_empty);
         let flights_empty = self.flights.iter().all(VecDeque::is_empty);
         let expected_last = self.flushed.checked_sub(1);
-        let replicas_current = (0..self.cluster.n() as ServerId)
-            .filter(|&id| self.cluster.is_live(id))
-            .all(|id| {
+        let replicas_current =
+            (0..self.cluster.n() as ServerId).filter(|&id| self.cluster.is_live(id)).all(|id| {
                 // A quarantined replica holds no currency promise (it
                 // is healed by rejoin, not by catching up), and a
                 // freshly rejoined one is current as soon as its rejoin

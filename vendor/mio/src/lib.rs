@@ -1,0 +1,376 @@
+//! Offline, API-compatible subset of the `mio` crate (the build
+//! environment has no crates.io access — same policy as the vendored
+//! `bytes`/`crossbeam`): a level-triggered Linux epoll readiness
+//! poller, just large enough for an event-loop TCP runtime.
+//!
+//! * [`Poll`] — owns the epoll instance; register/reregister/deregister
+//!   any `AsRawFd` source under a [`Token`] with an [`Interest`] set.
+//! * [`Events`] — reusable buffer filled by [`Poll::poll`].
+//! * [`Waker`] — eventfd-backed cross-thread wakeup, registered like
+//!   any other source.
+//! * [`net::connect_nonblocking`] — start a TCP connect without
+//!   blocking; completion is observed as writability plus
+//!   `TcpStream::take_error` (the classic `EINPROGRESS`/`SO_ERROR`
+//!   handshake), which is what lets a reactor retire dedicated
+//!   connect/reconnect threads.
+//!
+//! Only level-triggered mode is offered: the real mio defaults to
+//! edge-triggered, but level-triggered lets a reactor bound per-wake
+//! work (stop reading after N frames; epoll re-reports what remains)
+//! without the lost-wakeup hazards of edge semantics.
+
+mod sys;
+
+use std::io;
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::time::Duration;
+
+/// Opaque per-source identifier, echoed back in every [`Event`]. The
+/// poller never interprets it; callers typically pack a slab index plus
+/// a generation counter so events for a recycled slot are detectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readiness interest set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness (includes peer hangup).
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness (also connect completion).
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Union of two interest sets.
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does the set include read interest?
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Does the set include write interest?
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn to_epoll(self) -> u32 {
+        let mut ev = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            ev |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// One readiness event out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    flags: u32,
+}
+
+impl Event {
+    /// The token the source was registered under.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness — data, EOF, or peer shutdown of its write half.
+    pub fn is_readable(&self) -> bool {
+        self.flags & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0
+    }
+
+    /// Write readiness (for a connecting socket: connect completed,
+    /// successfully or not — check `take_error`).
+    pub fn is_writable(&self) -> bool {
+        self.flags & sys::EPOLLOUT != 0
+    }
+
+    /// Error or hangup. Always delivered regardless of interest set;
+    /// the source should be read (to collect the error/EOF) or torn
+    /// down.
+    pub fn is_error(&self) -> bool {
+        self.flags & (sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+}
+
+/// Reusable event buffer.
+pub struct Events {
+    raw: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    /// Buffer holding at most `cap` events per poll (clamped to ≥ 1).
+    pub fn with_capacity(cap: usize) -> Events {
+        Events { raw: vec![sys::epoll_event { events: 0, data: 0 }; cap.max(1)], len: 0 }
+    }
+
+    /// Events delivered by the last [`Poll::poll`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len]
+            .iter()
+            .map(|e| Event { token: Token(e.data as usize), flags: e.events })
+    }
+
+    /// Whether the last poll returned no events (pure timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance plus the registry of sources watched through it.
+pub struct Poll {
+    epfd: sys::c_int,
+}
+
+impl Poll {
+    /// Fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll { epfd: sys::sys_epoll_create()? })
+    }
+
+    /// Watch `source` for `interest`, tagging its events with `token`.
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.register_raw(source.as_raw_fd(), token, interest)
+    }
+
+    fn register_raw(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let ev = sys::epoll_event { events: interest.to_epoll(), data: token.0 as u64 };
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, Some(ev))
+    }
+
+    /// Change an already-registered source's token or interest.
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let ev = sys::epoll_event { events: interest.to_epoll(), data: token.0 as u64 };
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_MOD, source.as_raw_fd(), Some(ev))
+    }
+
+    /// Stop watching a source. (Closing the fd deregisters implicitly;
+    /// an explicit deregister keeps the sequence race-free when the fd
+    /// might be recycled.)
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        sys::sys_epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, source.as_raw_fd(), None)
+    }
+
+    /// Block until at least one event, the timeout, or a wake. `None`
+    /// blocks indefinitely. A signal interruption returns successfully
+    /// with zero events.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let ms: sys::c_int = match timeout {
+            None => -1,
+            Some(t) => {
+                // Round up so a 100µs deadline does not spin at 0ms.
+                let ms =
+                    t.as_millis().saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0));
+                sys::c_int::try_from(ms).unwrap_or(sys::c_int::MAX)
+            }
+        };
+        events.len = sys::sys_epoll_wait(self.epfd, &mut events.raw, ms)?;
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        sys::sys_close(self.epfd);
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`], backed by an eventfd. `wake` is
+/// async-signal-safe cheap (one `write`); the poller sees a readable
+/// event under the registered token and should call [`Waker::drain`]
+/// before going back to sleep.
+pub struct Waker {
+    fd: sys::c_int,
+}
+
+// An eventfd write is atomic; concurrent wakes from many threads are
+// exactly its use case.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+impl Waker {
+    /// Create a waker registered with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let fd = sys::sys_eventfd()?;
+        if let Err(e) = poll.register_raw(fd, token, Interest::READABLE) {
+            sys::sys_close(fd);
+            return Err(e);
+        }
+        Ok(Waker { fd })
+    }
+
+    /// Wake the poller (idempotent; safe from any thread).
+    pub fn wake(&self) -> io::Result<()> {
+        sys::sys_eventfd_write(self.fd)
+    }
+
+    /// Clear pending wakes so level-triggered polling stops reporting
+    /// the waker readable. Call from the poll thread on the waker's
+    /// event.
+    pub fn drain(&self) {
+        sys::sys_eventfd_drain(self.fd)
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        sys::sys_close(self.fd);
+    }
+}
+
+/// Non-blocking socket construction.
+pub mod net {
+    use super::*;
+
+    /// Start a non-blocking TCP connect. The returned stream is already
+    /// in non-blocking mode with the connect in progress (or complete).
+    /// Register it for [`Interest::WRITABLE`]; on the writable event,
+    /// `stream.take_error()` reports `None` for success or the
+    /// `SO_ERROR` of a failed connect.
+    pub fn connect_nonblocking(addr: std::net::SocketAddr) -> io::Result<TcpStream> {
+        let fd = sys::sys_connect_nonblocking(&addr)?;
+        // Safety: fd is a freshly created, unowned socket.
+        Ok(unsafe { TcpStream::from_raw_fd(fd) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.register(&server, Token(7), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        // Nothing pending: a short poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+
+        let mut buf = [0u8; 8];
+        let mut server_nb = server;
+        assert_eq!(server_nb.read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = net::connect_nonblocking(addr).unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        poll.register(&stream, Token(1), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().next().expect("connect completion");
+        assert!(ev.is_writable());
+        assert!(stream.take_error().unwrap().is_none(), "connect must succeed");
+        assert!(stream.peer_addr().is_ok());
+    }
+
+    #[test]
+    fn nonblocking_connect_to_dead_port_reports_error() {
+        // Bind-then-drop gives a port with (very likely) no listener.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let stream = match net::connect_nonblocking(dead) {
+            Ok(s) => s,
+            // Immediate refusal is also a valid failure mode.
+            Err(_) => return,
+        };
+        let mut poll = Poll::new().unwrap();
+        poll.register(&stream, Token(2), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        assert!(!events.is_empty(), "failed connect must still report");
+        assert!(stream.take_error().unwrap().is_some(), "SO_ERROR must carry the refusal");
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poll0 = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll0, Token(99)).unwrap());
+        let mut poll = poll0;
+        let mut events = Events::with_capacity(8);
+
+        let w2 = waker.clone();
+        let t = std::thread::spawn(move || w2.wake().unwrap());
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        t.join().unwrap();
+        let ev = events.iter().next().expect("wake event");
+        assert_eq!(ev.token(), Token(99));
+        waker.drain();
+
+        // Drained: the next short poll is quiet.
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn reregister_toggles_write_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let _server = listener.accept().unwrap();
+
+        let mut poll = Poll::new().unwrap();
+        // An idle connected socket is writable but not readable.
+        poll.register(&client, Token(3), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "no read interest satisfied");
+
+        poll.reregister(&client, Token(3), Interest::READABLE | Interest::WRITABLE).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5))).unwrap();
+        let ev = events.iter().next().expect("writable after reregister");
+        assert!(ev.is_writable());
+
+        poll.deregister(&client).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "deregistered source must stay silent");
+    }
+}

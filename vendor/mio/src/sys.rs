@@ -1,0 +1,203 @@
+//! Raw Linux syscall surface for the poller.
+//!
+//! The vendoring policy forbids external crates, including `libc` — but
+//! `std` already links the platform libc, so the handful of symbols the
+//! poller needs are declared directly. Everything here is Linux-only
+//! (epoll, eventfd), which is the only platform this workspace targets;
+//! the constants below are the x86_64/aarch64 values (they differ on
+//! some historical architectures such as mips/sparc).
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+use std::net::SocketAddr;
+
+pub type c_int = i32;
+pub type socklen_t = u32;
+
+/// Kernel ABI struct for `epoll_ctl`/`epoll_wait`. Packed: the kernel's
+/// x86_64 ABI has no padding between `events` and `data`, and glibc
+/// declares the struct `__attribute__((packed))` on every architecture.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+pub const AF_INET: c_int = 2;
+pub const AF_INET6: c_int = 10;
+pub const SOCK_STREAM: c_int = 1;
+pub const SOCK_NONBLOCK: c_int = 0o4000;
+pub const SOCK_CLOEXEC: c_int = 0o2000000;
+
+pub const EINPROGRESS: i32 = 115;
+pub const EINTR: i32 = 4;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut epoll_event, maxevents: c_int, timeout: c_int)
+        -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const u8, len: socklen_t) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn cvt(rc: c_int) -> io::Result<c_int> {
+    if rc < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(rc)
+    }
+}
+
+pub fn sys_epoll_create() -> io::Result<c_int> {
+    cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })
+}
+
+pub fn sys_epoll_ctl(epfd: c_int, op: c_int, fd: c_int, ev: Option<epoll_event>) -> io::Result<()> {
+    // DEL ignores the event argument, but pre-2.6.9 kernels required it
+    // non-null; passing a dummy either way is harmless.
+    let mut ev = ev.unwrap_or(epoll_event { events: 0, data: 0 });
+    cvt(unsafe { epoll_ctl(epfd, op, fd, &mut ev) }).map(|_| ())
+}
+
+/// Wait for events. `timeout_ms = -1` blocks indefinitely. An `EINTR`
+/// is reported as zero events rather than an error, matching mio.
+pub fn sys_epoll_wait(
+    epfd: c_int,
+    events: &mut [epoll_event],
+    timeout_ms: c_int,
+) -> io::Result<usize> {
+    let max = c_int::try_from(events.len()).unwrap_or(c_int::MAX).max(1);
+    let rc = unsafe { epoll_wait(epfd, events.as_mut_ptr(), max, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(EINTR) {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}
+
+pub fn sys_eventfd() -> io::Result<c_int> {
+    cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })
+}
+
+/// Bump the eventfd counter. `EAGAIN` (counter at max) is success: the
+/// fd is already readable, which is all a wake needs.
+pub fn sys_eventfd_write(fd: c_int) -> io::Result<()> {
+    let one: u64 = 1;
+    let rc = unsafe { write(fd, one.to_ne_bytes().as_ptr(), 8) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        return Err(err);
+    }
+    Ok(())
+}
+
+/// Drain the eventfd counter so level-triggered polling stops reporting
+/// it readable. Errors (including `EAGAIN` on an already-drained fd)
+/// are ignored.
+pub fn sys_eventfd_drain(fd: c_int) {
+    let mut buf = [0u8; 8];
+    let _ = unsafe { read(fd, buf.as_mut_ptr(), 8) };
+}
+
+pub fn sys_close(fd: c_int) {
+    let _ = unsafe { close(fd) };
+}
+
+/// `sockaddr_in`, hand-built: the vendoring policy leaves no libc crate
+/// to supply it.
+#[repr(C)]
+struct sockaddr_in {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+struct sockaddr_in6 {
+    sin6_family: u16,
+    sin6_port: u16,
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+/// Begin a non-blocking TCP connect to `addr`. Returns the socket fd
+/// with the connect either complete or in progress; the caller polls
+/// for writability and checks `SO_ERROR` (via
+/// `TcpStream::take_error`) to learn the outcome.
+pub fn sys_connect_nonblocking(addr: &SocketAddr) -> io::Result<c_int> {
+    let (domain, raw, len): (c_int, Vec<u8>, socklen_t) = match addr {
+        SocketAddr::V4(v4) => {
+            let sa = sockaddr_in {
+                sin_family: AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    (&sa as *const sockaddr_in).cast::<u8>(),
+                    std::mem::size_of::<sockaddr_in>(),
+                )
+            }
+            .to_vec();
+            (AF_INET, bytes, std::mem::size_of::<sockaddr_in>() as socklen_t)
+        }
+        SocketAddr::V6(v6) => {
+            let sa = sockaddr_in6 {
+                sin6_family: AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            let bytes = unsafe {
+                std::slice::from_raw_parts(
+                    (&sa as *const sockaddr_in6).cast::<u8>(),
+                    std::mem::size_of::<sockaddr_in6>(),
+                )
+            }
+            .to_vec();
+            (AF_INET6, bytes, std::mem::size_of::<sockaddr_in6>() as socklen_t)
+        }
+    };
+    let fd = cvt(unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    let rc = unsafe { connect(fd, raw.as_ptr(), len) };
+    if rc == 0 {
+        return Ok(fd);
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        return Ok(fd);
+    }
+    sys_close(fd);
+    Err(err)
+}
